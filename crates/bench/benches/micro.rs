@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks of the building blocks: the 128-bit CAS, a
+//! single-word MCNS transaction, and single operations on the NBTC hash table
+//! and skiplist (with and without an enclosing transaction).
+//!
+//! These complement the figure binaries (`fig7`–`fig10`): the figures report
+//! end-to-end throughput/latency series, while these benchmarks isolate the
+//! per-primitive costs discussed in Sec. 6.3 of the paper (the ~2.2×
+//! marginal overhead of transactional composition).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use medley::{CasWord, TxManager};
+use nbds::{MichaelHashMap, SkipList};
+use std::sync::Arc;
+
+fn bench_atomic128(c: &mut Criterion) {
+    let w = CasWord::new(0);
+    let mut i = 0u64;
+    c.bench_function("casword/plain_cas", |b| {
+        b.iter(|| {
+            let cur = w.try_load_value().unwrap();
+            assert!(w.cas_value(cur, cur + 1));
+            i = i.wrapping_add(1);
+        })
+    });
+}
+
+fn bench_mcns_single_word(c: &mut Criterion) {
+    let mgr = TxManager::new();
+    let mut h = mgr.register();
+    let w = CasWord::new(0);
+    c.bench_function("mcns/single_word_tx", |b| {
+        b.iter(|| {
+            h.run(|h| {
+                let v = h.nbtc_load(&w);
+                h.nbtc_cas(&w, v, v + 1, true, true);
+                Ok(())
+            })
+            .unwrap();
+        })
+    });
+}
+
+fn bench_hashmap_ops(c: &mut Criterion) {
+    let mgr = TxManager::new();
+    let mut h = mgr.register();
+    let map = Arc::new(MichaelHashMap::<u64>::with_buckets(1 << 12));
+    for k in 0..4096u64 {
+        map.insert(&mut h, k, k);
+    }
+    let mut k = 0u64;
+    c.bench_function("hashmap/standalone_put_remove", |b| {
+        b.iter(|| {
+            k = (k + 1) & 0xFFF;
+            map.put(&mut h, k, k);
+            map.remove(&mut h, k + 4096);
+        })
+    });
+    c.bench_function("hashmap/transactional_put_remove", |b| {
+        b.iter(|| {
+            k = (k + 1) & 0xFFF;
+            let _ = h.run(|h| {
+                map.put(h, k, k);
+                map.remove(h, k + 4096);
+                Ok(())
+            });
+        })
+    });
+}
+
+fn bench_skiplist_ops(c: &mut Criterion) {
+    let mgr = TxManager::new();
+    let mut h = mgr.register();
+    let sl = Arc::new(SkipList::<u64>::new());
+    for k in 0..4096u64 {
+        sl.insert(&mut h, k, k);
+    }
+    let mut k = 0u64;
+    c.bench_function("skiplist/standalone_get", |b| {
+        b.iter(|| {
+            k = (k + 1) & 0xFFF;
+            sl.get(&mut h, k);
+        })
+    });
+    c.bench_function("skiplist/transactional_get_pair", |b| {
+        b.iter(|| {
+            k = (k + 1) & 0xFFF;
+            let _ = h.run(|h| {
+                sl.get(h, k);
+                sl.get(h, (k + 7) & 0xFFF);
+                Ok(())
+            });
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(500))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_atomic128, bench_mcns_single_word, bench_hashmap_ops, bench_skiplist_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Fig. 9: TPC-C (newOrder + payment, 1:1) throughput vs. threads over
+//! transactional skiplists: Medley, txMontage, OneFile, TDSL.
+//! (LFTT is excluded because it supports only static transactions, exactly as
+//! in the paper.)
+
+use medley::TxManager;
+use nbds::SkipList;
+use pmem::{NvmCostModel, PersistenceDomain};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tpcc::{
+    execute_input, load_chunked, random_input, MedleyBackend, OneFileBackend, Scale, TdslBackend,
+    TpccBackend,
+};
+use txmontage::DurableSkipList;
+
+fn bench_backend<B: TpccBackend>(name: &str, backend: &B, scale: &Scale, threads: usize, secs: f64) {
+    // Load the database from one session in capacity-friendly chunks.
+    {
+        let mut s = backend.session();
+        load_chunked(backend, &mut s, scale);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let stop = Arc::clone(&stop);
+            let committed = Arc::clone(&committed);
+            joins.push(scope.spawn(move || {
+                let mut session = backend.session();
+                let mut rng = medley::util::FastRng::new(t as u64 + 1);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let input = random_input(&mut rng, scale);
+                    if backend.run_tx(&mut session, &mut |kv| execute_input(kv, &input)) {
+                        local += 1;
+                    }
+                }
+                committed.fetch_add(local, Ordering::Relaxed);
+            }));
+        }
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+        for j in joins {
+            let _ = j.join();
+        }
+    });
+    let tput = committed.load(Ordering::Relaxed) as f64 / secs;
+    println!("fig9,{name},newOrder:payment=1:1,{threads},{tput:.0}");
+}
+
+fn main() {
+    let args = bench::CommonArgs::parse();
+    let scale = Scale {
+        warehouses: 2,
+        districts_per_warehouse: 10,
+        customers_per_district: 256,
+        items: 1024,
+    };
+    println!("figure,system,ratio,threads,throughput_txn_per_s");
+    for &threads in &args.threads {
+        {
+            let mgr = TxManager::new();
+            let map = Arc::new(SkipList::<u64>::new());
+            let backend = MedleyBackend::new(mgr, map);
+            bench_backend("Medley", &backend, &scale, threads, args.seconds);
+        }
+        {
+            let mgr = TxManager::new();
+            let domain = PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::OPTANE_LIKE);
+            let map = Arc::new(DurableSkipList::skip_list(Arc::clone(&domain)));
+            let _advancer =
+                pmem::EpochAdvancer::spawn(Arc::clone(&domain), Duration::from_millis(10));
+            let backend = MedleyBackend::new(mgr, map);
+            bench_backend("txMontage", &backend, &scale, threads, args.seconds);
+        }
+        {
+            let backend = OneFileBackend::new(onefile::OneFileStm::new(), 1 << 16);
+            bench_backend("OneFile", &backend, &scale, threads, args.seconds);
+        }
+        {
+            let backend = TdslBackend::new();
+            bench_backend("TDSL", &backend, &scale, threads, args.seconds);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! `CasObj` / `CasWord`: the augmented atomic word of Medley.
+//!
+//! Every 64-bit word at which a *critical* memory access may occur (paper
+//! Def. 3) is augmented with a 64-bit counter, and the pair is manipulated
+//! with 128-bit CAS (paper Sec. 3.2, Fig. 4):
+//!
+//! * counter **even** ⇒ the low half holds a real value;
+//! * counter **odd**  ⇒ the low half holds a pointer to the [`Desc`]
+//!   (descriptor) of the transaction that currently owns the word.
+//!
+//! Installing a descriptor increments the counter (even → odd); uninstalling
+//! increments it again (odd → even).  Plain (non-transactional) CASes bump
+//! the counter by two so that read-set validation is ABA-safe.
+//!
+//! [`CasWord`] is the untyped 64-bit payload version used by the runtime;
+//! [`CasObj<T>`] is a thin typed wrapper mirroring the paper's
+//! `CASObj<T>` template for pointer-shaped payloads.
+
+use crate::atomic128::{pack, unpack, AtomicU128};
+use std::marker::PhantomData;
+
+/// The augmented atomic word: `(value: u64, counter: u64)` manipulated as one
+/// 128-bit unit.
+#[repr(transparent)]
+#[derive(Debug, Default)]
+pub struct CasWord {
+    inner: AtomicU128,
+}
+
+impl CasWord {
+    /// Creates a word holding `value` with counter 0.
+    pub const fn new(value: u64) -> Self {
+        Self {
+            inner: AtomicU128::new(value as u128),
+        }
+    }
+
+    /// Access to the raw 128-bit atomic (used by the descriptor machinery).
+    #[inline]
+    pub(crate) fn raw(&self) -> &AtomicU128 {
+        &self.inner
+    }
+
+    /// Atomically loads `(value, counter)`.
+    #[inline]
+    pub fn load_parts(&self) -> (u64, u64) {
+        unpack(self.inner.load())
+    }
+
+    /// Atomically loads the full 128-bit representation.
+    #[inline]
+    pub fn load_raw(&self) -> u128 {
+        self.inner.load()
+    }
+
+    /// Whether a counter value indicates an installed descriptor.
+    #[inline]
+    pub fn counter_is_descriptor(counter: u64) -> bool {
+        counter & 1 == 1
+    }
+
+    /// Non-atomic-looking initialization store: sets the value, preserving the
+    /// counter.  Intended for nodes that are not yet published to other
+    /// threads (e.g. setting `new_node.next` before the linearizing CAS); it
+    /// is nonetheless implemented with an atomic CAS loop so that misuse can
+    /// not tear the word.
+    pub fn store_value(&self, value: u64) {
+        loop {
+            let cur = self.inner.load();
+            let (_, cnt) = unpack(cur);
+            if self.inner.cas(cur, pack(value, cnt)) {
+                return;
+            }
+        }
+    }
+
+    /// Plain (non-transactional, non-critical) CAS on the value.
+    ///
+    /// Fails if a descriptor is currently installed or the value does not
+    /// match.  On success the counter advances by two so the word stays in
+    /// the "real value" parity and read-set validation observes the change.
+    pub fn cas_value(&self, expected: u64, desired: u64) -> bool {
+        let cur = self.inner.load();
+        let (val, cnt) = unpack(cur);
+        if Self::counter_is_descriptor(cnt) || val != expected {
+            return false;
+        }
+        self.inner.cas(cur, pack(desired, cnt.wrapping_add(2)))
+    }
+
+    /// Plain load of the value; returns `None` while a descriptor is
+    /// installed.  Non-transactional readers that must not help (e.g. the
+    /// un-instrumented "Original" baseline of Fig. 10) use this.
+    pub fn try_load_value(&self) -> Option<u64> {
+        let (val, cnt) = self.load_parts();
+        if Self::counter_is_descriptor(cnt) {
+            None
+        } else {
+            Some(val)
+        }
+    }
+
+    /// Spins until the word holds a real value and returns it, without
+    /// helping.  Only used in tests and single-threaded tooling.
+    pub fn load_value_spin(&self) -> u64 {
+        loop {
+            if let Some(v) = self.try_load_value() {
+                return v;
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Conversion between a payload type and the 64-bit representation stored in
+/// a [`CasWord`].
+///
+/// Implementations exist for `u64`, `usize`, and raw pointers.  Pointer
+/// payloads may carry low-order tag bits (e.g. deletion marks) because nodes
+/// are at least 8-byte aligned; tagging is the structure's business, the
+/// trait only transports the bits.
+pub trait Word: Copy {
+    /// Converts the payload to its stored representation.
+    fn into_bits(self) -> u64;
+    /// Recovers the payload from its stored representation.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Word for u64 {
+    fn into_bits(self) -> u64 {
+        self
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Word for usize {
+    fn into_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits as usize
+    }
+}
+
+impl<T> Word for *mut T {
+    fn into_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits as *mut T
+    }
+}
+
+impl<T> Word for *const T {
+    fn into_bits(self) -> u64 {
+        self as u64
+    }
+    fn from_bits(bits: u64) -> Self {
+        bits as *const T
+    }
+}
+
+/// Typed wrapper over [`CasWord`], mirroring the paper's `CASObj<T>`.
+#[repr(transparent)]
+#[derive(Debug, Default)]
+pub struct CasObj<T: Word> {
+    word: CasWord,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Word> CasObj<T> {
+    /// Creates a typed word holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            word: CasWord::new(value.into_bits()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The underlying untyped word (what the transactional runtime operates
+    /// on).
+    #[inline]
+    pub fn word(&self) -> &CasWord {
+        &self.word
+    }
+
+    /// Typed plain load; `None` while a descriptor is installed.
+    pub fn try_load(&self) -> Option<T> {
+        self.word.try_load_value().map(T::from_bits)
+    }
+
+    /// Typed initialization store (see [`CasWord::store_value`]).
+    pub fn store(&self, value: T) {
+        self.word.store_value(value.into_bits());
+    }
+
+    /// Typed plain CAS (see [`CasWord::cas_value`]).
+    pub fn cas(&self, expected: T, desired: T) -> bool {
+        self.word.cas_value(expected.into_bits(), desired.into_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_word_has_even_counter_and_value() {
+        let w = CasWord::new(42);
+        assert_eq!(w.load_parts(), (42, 0));
+        assert_eq!(w.try_load_value(), Some(42));
+    }
+
+    #[test]
+    fn cas_value_bumps_counter_by_two() {
+        let w = CasWord::new(1);
+        assert!(w.cas_value(1, 2));
+        assert_eq!(w.load_parts(), (2, 2));
+        assert!(!w.cas_value(1, 3), "stale expected must fail");
+        assert_eq!(w.load_parts(), (2, 2));
+    }
+
+    #[test]
+    fn store_value_preserves_counter() {
+        let w = CasWord::new(1);
+        assert!(w.cas_value(1, 2));
+        w.store_value(9);
+        assert_eq!(w.load_parts(), (9, 2));
+    }
+
+    #[test]
+    fn descriptor_parity_is_detected() {
+        assert!(!CasWord::counter_is_descriptor(0));
+        assert!(CasWord::counter_is_descriptor(1));
+        assert!(!CasWord::counter_is_descriptor(2));
+    }
+
+    #[test]
+    fn try_load_value_hides_descriptors() {
+        let w = CasWord::new(7);
+        // Simulate an installed descriptor: odd counter.
+        assert!(w.raw().cas(pack(7, 0), pack(0xdead_beef, 1)));
+        assert_eq!(w.try_load_value(), None);
+        assert!(!w.cas_value(0xdead_beef, 5), "plain CAS must not touch descriptors");
+        // Uninstall.
+        assert!(w.raw().cas(pack(0xdead_beef, 1), pack(8, 2)));
+        assert_eq!(w.try_load_value(), Some(8));
+    }
+
+    #[test]
+    fn typed_casobj_roundtrips_pointers() {
+        let boxed = Box::into_raw(Box::new(123u64));
+        let obj: CasObj<*mut u64> = CasObj::new(std::ptr::null_mut());
+        assert!(obj.cas(std::ptr::null_mut(), boxed));
+        assert_eq!(obj.try_load(), Some(boxed));
+        // Clean up.
+        unsafe { drop(Box::from_raw(boxed)) };
+    }
+
+    #[test]
+    fn word_trait_roundtrip() {
+        assert_eq!(u64::from_bits(5u64.into_bits()), 5);
+        assert_eq!(usize::from_bits(7usize.into_bits()), 7);
+        let p: *const u32 = &10;
+        assert_eq!(<*const u32>::from_bits(p.into_bits()), p);
+    }
+}

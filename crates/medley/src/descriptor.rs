@@ -1,0 +1,530 @@
+//! Transaction descriptors and the status-word protocol of M-compare-N-swap.
+//!
+//! Each thread owns one [`Desc`] (pre-allocated inside the `TxManager` and
+//! reused across transactions, as in the paper).  A descriptor packs a
+//! `tid | serial | status` triple into a single 64-bit status word (Fig. 4)
+//! and carries a read set and a write set.
+//!
+//! ## Cross-thread access
+//!
+//! Other threads ("helpers") read a descriptor's sets while finalizing a
+//! stalled transaction, so every entry field is an atomic and every entry is
+//! stamped with the serial number of the transaction it belongs to.  The
+//! owner invalidates the stamp, rewrites the fields, and then re-stamps, so a
+//! helper that observes the expected serial both before and after reading the
+//! fields is guaranteed a consistent snapshot (a per-entry seqlock).  This is
+//! the part of the paper where shared mutable descriptors collide with Rust's
+//! ownership model; the atomic-field + stamp discipline keeps the
+//! implementation free of undefined behaviour without a global lock.
+
+use crate::atomic128::pack;
+use crate::casobj::CasWord;
+use crate::util::CachePadded;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Maximum number of read-set and write-set entries per transaction.
+///
+/// TPC-C `newOrder` touches on the order of a hundred words; 4096 leaves
+/// ample headroom while keeping a descriptor around 256 KiB.
+pub const MAX_ENTRIES: usize = 4096;
+
+/// Transaction status values (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Initial state; the transaction is still executing operations.
+    InPrep = 0,
+    /// `tx_end` has been called; the transaction is ready to commit and may be
+    /// helped to completion by any thread.
+    InProg = 1,
+    /// The transaction committed; speculative values become real.
+    Committed = 2,
+    /// The transaction aborted; speculative values are rolled back.
+    Aborted = 3,
+}
+
+impl Status {
+    fn from_bits(bits: u64) -> Self {
+        match bits & 3 {
+            0 => Status::InPrep,
+            1 => Status::InProg,
+            2 => Status::Committed,
+            _ => Status::Aborted,
+        }
+    }
+}
+
+const STATUS_MASK: u64 = 0b11;
+const SERIAL_SHIFT: u32 = 2;
+const SERIAL_BITS: u32 = 48;
+const SERIAL_MASK: u64 = ((1 << SERIAL_BITS) - 1) << SERIAL_SHIFT;
+const TID_SHIFT: u32 = 50;
+
+/// Packs a `(tid, serial, status)` triple into a status word.
+#[inline]
+pub fn pack_status(tid: u64, serial: u64, status: Status) -> u64 {
+    (tid << TID_SHIFT) | ((serial << SERIAL_SHIFT) & SERIAL_MASK) | status as u64
+}
+
+/// Extracts the thread id from a status word.
+#[inline]
+pub fn tid_of(word: u64) -> u64 {
+    word >> TID_SHIFT
+}
+
+/// Extracts the serial number from a status word.
+#[inline]
+pub fn serial_of(word: u64) -> u64 {
+    (word & SERIAL_MASK) >> SERIAL_SHIFT
+}
+
+/// Extracts the status from a status word.
+#[inline]
+pub fn status_of(word: u64) -> Status {
+    Status::from_bits(word)
+}
+
+/// One read-set entry: an address and the `(value, counter)` pair observed by
+/// the linearizing load of a read-only operation.
+#[derive(Debug, Default)]
+pub(crate) struct ReadEntry {
+    stamp: AtomicU64,
+    addr: AtomicUsize,
+    val: AtomicU64,
+    cnt: AtomicU64,
+}
+
+/// One write-set entry: the address, the pre-image `(old value, counter)` and
+/// the speculative new value of a critical CAS.
+#[derive(Debug, Default)]
+pub(crate) struct WriteEntry {
+    stamp: AtomicU64,
+    addr: AtomicUsize,
+    old_val: AtomicU64,
+    cnt: AtomicU64,
+    new_val: AtomicU64,
+}
+
+/// A per-thread transaction descriptor.
+///
+/// Reused across transactions; the serial number embedded in the status word
+/// distinguishes incarnations.
+pub struct Desc {
+    status: CachePadded<AtomicU64>,
+    rcount: AtomicUsize,
+    wcount: AtomicUsize,
+    reads: Box<[ReadEntry]>,
+    writes: Box<[WriteEntry]>,
+}
+
+impl std::fmt::Debug for Desc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.status.load(Ordering::Relaxed);
+        f.debug_struct("Desc")
+            .field("tid", &tid_of(s))
+            .field("serial", &serial_of(s))
+            .field("status", &status_of(s))
+            .field("reads", &self.rcount.load(Ordering::Relaxed))
+            .field("writes", &self.wcount.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Desc {
+    /// Creates a descriptor for thread `tid` with its read/write sets
+    /// pre-allocated.
+    pub fn new(tid: u64) -> Self {
+        let reads = (0..MAX_ENTRIES).map(|_| ReadEntry::default()).collect();
+        let writes = (0..MAX_ENTRIES).map(|_| WriteEntry::default()).collect();
+        Self {
+            status: CachePadded::new(AtomicU64::new(pack_status(tid, 0, Status::InPrep))),
+            rcount: AtomicUsize::new(0),
+            wcount: AtomicUsize::new(0),
+            reads,
+            writes,
+        }
+    }
+
+    /// The raw status word.
+    #[inline]
+    pub fn status_word(&self) -> u64 {
+        self.status.load(Ordering::SeqCst)
+    }
+
+    /// Current serial number.
+    #[inline]
+    pub fn serial(&self) -> u64 {
+        serial_of(self.status_word())
+    }
+
+    /// Current status.
+    #[inline]
+    pub fn status(&self) -> Status {
+        status_of(self.status_word())
+    }
+
+    /// This descriptor's address encoded as the 64-bit payload stored in a
+    /// [`CasWord`] while the descriptor is installed.
+    #[inline]
+    pub fn as_payload(&self) -> u64 {
+        self as *const Desc as u64
+    }
+
+    /// Begins a new transaction: clears both sets and advances the serial
+    /// number, resetting the status to `InPrep` (paper `txBegin`).
+    ///
+    /// Only the owning thread calls this.
+    pub fn begin(&self) {
+        self.rcount.store(0, Ordering::SeqCst);
+        self.wcount.store(0, Ordering::SeqCst);
+        let cur = self.status.load(Ordering::SeqCst);
+        let next = pack_status(tid_of(cur), serial_of(cur).wrapping_add(1), Status::InPrep);
+        self.status.store(next, Ordering::SeqCst);
+    }
+
+    /// CAS on the status word that preserves `tid | serial` and moves
+    /// `expected_full`'s status to `to` (paper `stsCAS`).
+    #[inline]
+    pub fn status_cas(&self, expected_full: u64, to: Status) -> bool {
+        let desired = (expected_full & !STATUS_MASK) | to as u64;
+        self.status
+            .compare_exchange(expected_full, desired, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Transitions `InPrep -> InProg` for the current serial (paper
+    /// `setReady`).  Fails if the transaction has already been aborted.
+    pub fn set_ready(&self) -> bool {
+        let cur = self.status.load(Ordering::SeqCst);
+        if status_of(cur) != Status::InPrep {
+            return false;
+        }
+        self.status_cas(cur, Status::InProg)
+    }
+
+    // ------------------------------------------------------------------
+    // Owner-side set maintenance
+    // ------------------------------------------------------------------
+
+    /// Appends an entry to the read set.  Returns `false` when capacity is
+    /// exhausted (the transaction must then abort with `CapacityExceeded`).
+    pub fn push_read(&self, serial: u64, addr: *const CasWord, val: u64, cnt: u64) -> bool {
+        let idx = self.rcount.load(Ordering::Relaxed);
+        if idx >= MAX_ENTRIES {
+            return false;
+        }
+        let e = &self.reads[idx];
+        e.stamp.store(0, Ordering::SeqCst);
+        e.addr.store(addr as usize, Ordering::SeqCst);
+        e.val.store(val, Ordering::SeqCst);
+        e.cnt.store(cnt, Ordering::SeqCst);
+        e.stamp.store(serial, Ordering::SeqCst);
+        self.rcount.store(idx + 1, Ordering::SeqCst);
+        true
+    }
+
+    /// Appends an entry to the write set.  Returns the entry index, or `None`
+    /// when capacity is exhausted.
+    pub fn push_write(
+        &self,
+        serial: u64,
+        addr: *const CasWord,
+        old_val: u64,
+        cnt: u64,
+        new_val: u64,
+    ) -> Option<usize> {
+        let idx = self.wcount.load(Ordering::Relaxed);
+        if idx >= MAX_ENTRIES {
+            return None;
+        }
+        let e = &self.writes[idx];
+        e.stamp.store(0, Ordering::SeqCst);
+        e.addr.store(addr as usize, Ordering::SeqCst);
+        e.old_val.store(old_val, Ordering::SeqCst);
+        e.cnt.store(cnt, Ordering::SeqCst);
+        e.new_val.store(new_val, Ordering::SeqCst);
+        e.stamp.store(serial, Ordering::SeqCst);
+        self.wcount.store(idx + 1, Ordering::SeqCst);
+        Some(idx)
+    }
+
+    /// Marks a write entry dead (its install CAS failed); helpers will skip it
+    /// and the slot is simply not reused within this transaction.
+    pub fn kill_write(&self, idx: usize) {
+        self.writes[idx].stamp.store(0, Ordering::SeqCst);
+    }
+
+    /// Looks up the speculative value this transaction has written to `addr`,
+    /// if any (owner-only; used when an operation reads a word the same
+    /// transaction already wrote).
+    pub fn speculative_value(&self, serial: u64, addr: *const CasWord) -> Option<(usize, u64)> {
+        let n = self.wcount.load(Ordering::Relaxed).min(MAX_ENTRIES);
+        // Scan backwards so the most recent write to the address wins.
+        for idx in (0..n).rev() {
+            let e = &self.writes[idx];
+            if e.stamp.load(Ordering::SeqCst) == serial
+                && e.addr.load(Ordering::SeqCst) == addr as usize
+            {
+                return Some((idx, e.new_val.load(Ordering::SeqCst)));
+            }
+        }
+        None
+    }
+
+    /// Owner-only: replaces the speculative new value of write entry `idx`.
+    pub fn update_new_val(&self, idx: usize, new_val: u64) {
+        self.writes[idx].new_val.store(new_val, Ordering::SeqCst);
+    }
+
+    /// Owner-only: current number of live write entries (diagnostics).
+    pub fn write_count(&self) -> usize {
+        self.wcount.load(Ordering::Relaxed)
+    }
+
+    /// Owner-only: current number of read entries (diagnostics).
+    pub fn read_count(&self) -> usize {
+        self.rcount.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Commit/abort machinery (callable by owner and helpers)
+    // ------------------------------------------------------------------
+
+    /// Validates every read entry stamped with `serial`: the addressed word
+    /// must still hold exactly the recorded `(value, counter)` pair.
+    pub fn validate_reads(&self, serial: u64) -> bool {
+        let n = self.rcount.load(Ordering::SeqCst).min(MAX_ENTRIES);
+        for idx in 0..n {
+            let e = &self.reads[idx];
+            if e.stamp.load(Ordering::SeqCst) != serial {
+                continue;
+            }
+            let addr = e.addr.load(Ordering::SeqCst);
+            let val = e.val.load(Ordering::SeqCst);
+            let cnt = e.cnt.load(Ordering::SeqCst);
+            if e.stamp.load(Ordering::SeqCst) != serial {
+                continue; // entry was recycled mid-read; it belongs to another serial
+            }
+            // SAFETY: the CasWord lives inside a data-structure node that is
+            // protected by the owner's EBR pin for the duration of the
+            // transaction, and helpers only run `validate_reads` while the
+            // owner's transaction (hence its pin) is still live.
+            let obj = unsafe { &*(addr as *const CasWord) };
+            let (cur_val, cur_cnt) = obj.load_parts();
+            if cur_val != val || cur_cnt != cnt {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Uninstalls this descriptor from every write-set entry stamped with
+    /// `serial`, writing back the new value on commit or the old value on
+    /// abort (paper `uninstall`).  Idempotent and safe to run concurrently
+    /// from several threads: each per-word CAS expects the installed
+    /// descriptor with the exact counter, so at most one uninstaller wins per
+    /// word and all of them write the same value.
+    pub fn uninstall(&self, serial: u64, outcome: Status) {
+        debug_assert!(outcome == Status::Committed || outcome == Status::Aborted);
+        let n = self.wcount.load(Ordering::SeqCst).min(MAX_ENTRIES);
+        let me = self.as_payload();
+        for idx in 0..n {
+            let e = &self.writes[idx];
+            if e.stamp.load(Ordering::SeqCst) != serial {
+                continue;
+            }
+            let addr = e.addr.load(Ordering::SeqCst);
+            let old_val = e.old_val.load(Ordering::SeqCst);
+            let cnt = e.cnt.load(Ordering::SeqCst);
+            let new_val = e.new_val.load(Ordering::SeqCst);
+            if e.stamp.load(Ordering::SeqCst) != serial {
+                continue; // recycled; not ours to touch
+            }
+            let write_back = if outcome == Status::Committed { new_val } else { old_val };
+            // SAFETY: same argument as in `validate_reads`.
+            let obj = unsafe { &*(addr as *const CasWord) };
+            let installed = pack(me, cnt.wrapping_add(1));
+            let replacement = pack(write_back, cnt.wrapping_add(2));
+            let _ = obj.raw().cas(installed, replacement);
+        }
+    }
+
+    /// Finalizes this descriptor on behalf of another thread that found it
+    /// installed in `obj` holding the raw 128-bit value `observed`
+    /// (paper `tryFinalize`, with additional serial re-validation so that a
+    /// lagging helper can never interfere with a *newer* transaction of the
+    /// same owner thread).
+    pub fn try_finalize(&self, obj: &CasWord, observed: u128) {
+        let d = self.status.load(Ordering::SeqCst);
+        // Ensure the status word we read describes the transaction that is
+        // actually installed in `obj`; otherwise the owner has already moved
+        // on and there is nothing for us to do.
+        if obj.raw().load() != observed {
+            return;
+        }
+        let serial = serial_of(d);
+        let mut cur = d;
+        if status_of(cur) == Status::InPrep {
+            // Eager contention management: abort the in-preparation owner.
+            let _ = self.status_cas(cur, Status::Aborted);
+            cur = self.status.load(Ordering::SeqCst);
+            if serial_of(cur) != serial {
+                return;
+            }
+        }
+        if status_of(cur) == Status::InProg {
+            // Help the owner finish its commit.
+            if self.validate_reads(serial) {
+                let _ = self.status_cas(cur, Status::Committed);
+            } else {
+                let _ = self.status_cas(cur, Status::Aborted);
+            }
+            cur = self.status.load(Ordering::SeqCst);
+            if serial_of(cur) != serial {
+                return;
+            }
+        }
+        match status_of(cur) {
+            Status::Committed => self.uninstall(serial, Status::Committed),
+            Status::Aborted => self.uninstall(serial, Status::Aborted),
+            // The owner raced ahead (new serial, or still somehow InPrep /
+            // InProg for a different incarnation): leave it alone.
+            _ => {}
+        }
+    }
+
+    /// Directly resolves the final outcome of the current serial from the
+    /// owner's side at commit time.  Returns the final status.
+    pub fn finalize_own(&self, serial: u64) -> Status {
+        let cur = self.status.load(Ordering::SeqCst);
+        if serial_of(cur) != serial {
+            // Should not happen for the owner; treat as aborted.
+            return Status::Aborted;
+        }
+        if status_of(cur) == Status::InProg {
+            if self.validate_reads(serial) {
+                let _ = self.status_cas(cur, Status::Committed);
+            } else {
+                let _ = self.status_cas(cur, Status::Aborted);
+            }
+        }
+        status_of(self.status.load(Ordering::SeqCst))
+    }
+
+    /// Owner-side abort of the current serial regardless of state (used by
+    /// `tx_abort`).  Returns the final status (a helper may have already
+    /// committed an `InProg` transaction, in which case the commit wins).
+    pub fn abort_own(&self, serial: u64) -> Status {
+        loop {
+            let cur = self.status.load(Ordering::SeqCst);
+            if serial_of(cur) != serial {
+                return Status::Aborted;
+            }
+            match status_of(cur) {
+                Status::Committed => return Status::Committed,
+                Status::Aborted => return Status::Aborted,
+                Status::InPrep | Status::InProg => {
+                    if self.status_cas(cur, Status::Aborted) {
+                        return Status::Aborted;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_word_packing_roundtrip() {
+        for tid in [0u64, 1, 511, 16383] {
+            for serial in [0u64, 1, 42, (1 << 48) - 1] {
+                for st in [Status::InPrep, Status::InProg, Status::Committed, Status::Aborted] {
+                    let w = pack_status(tid, serial, st);
+                    assert_eq!(tid_of(w), tid);
+                    assert_eq!(serial_of(w), serial);
+                    assert_eq!(status_of(w), st);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn begin_bumps_serial_and_resets() {
+        let d = Desc::new(3);
+        assert_eq!(d.serial(), 0);
+        d.begin();
+        assert_eq!(d.serial(), 1);
+        assert_eq!(d.status(), Status::InPrep);
+        assert_eq!(d.read_count(), 0);
+        assert_eq!(d.write_count(), 0);
+        d.begin();
+        assert_eq!(d.serial(), 2);
+    }
+
+    #[test]
+    fn set_ready_then_commit_abort_transitions() {
+        let d = Desc::new(1);
+        d.begin();
+        assert!(d.set_ready());
+        assert_eq!(d.status(), Status::InProg);
+        assert!(!d.set_ready(), "setReady requires InPrep");
+        let cur = d.status_word();
+        assert!(d.status_cas(cur, Status::Committed));
+        assert_eq!(d.status(), Status::Committed);
+    }
+
+    #[test]
+    fn speculative_value_finds_latest_write() {
+        let d = Desc::new(0);
+        d.begin();
+        let s = d.serial();
+        let a = CasWord::new(10);
+        let b = CasWord::new(20);
+        let ia = d.push_write(s, &a, 10, 0, 11).unwrap();
+        d.push_write(s, &b, 20, 0, 21).unwrap();
+        assert_eq!(d.speculative_value(s, &a), Some((ia, 11)));
+        d.update_new_val(ia, 99);
+        assert_eq!(d.speculative_value(s, &a), Some((ia, 99)));
+        assert_eq!(d.speculative_value(s, &CasWord::new(0)), None);
+    }
+
+    #[test]
+    fn killed_write_is_invisible() {
+        let d = Desc::new(0);
+        d.begin();
+        let s = d.serial();
+        let a = CasWord::new(1);
+        let idx = d.push_write(s, &a, 1, 0, 2).unwrap();
+        d.kill_write(idx);
+        assert_eq!(d.speculative_value(s, &a), None);
+    }
+
+    #[test]
+    fn validate_reads_detects_change() {
+        let d = Desc::new(0);
+        d.begin();
+        let s = d.serial();
+        let a = CasWord::new(5);
+        let (v, c) = a.load_parts();
+        assert!(d.push_read(s, &a, v, c));
+        assert!(d.validate_reads(s));
+        // Any change to the word (value or counter) must fail validation.
+        assert!(a.cas_value(5, 6));
+        assert!(!d.validate_reads(s));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let d = Desc::new(0);
+        d.begin();
+        let s = d.serial();
+        let a = CasWord::new(0);
+        for _ in 0..MAX_ENTRIES {
+            assert!(d.push_read(s, &a, 0, 0));
+        }
+        assert!(!d.push_read(s, &a, 0, 0));
+    }
+}

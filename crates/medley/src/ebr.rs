@@ -1,0 +1,389 @@
+//! Epoch-based safe memory reclamation (SMR).
+//!
+//! The paper's `Composable` base class provides `tRetire` backed by
+//! epoch-based reclamation (Fraser [10], Hart et al. [17], RCU [27]); every
+//! NBTC structure relies on it so that a node is never freed while another
+//! thread may still hold a private reference to it.  We implement the classic
+//! three-generation scheme:
+//!
+//! * a global epoch counter advances only when every *pinned* participant has
+//!   observed the current epoch;
+//! * retired objects are tagged with the epoch in which they were retired and
+//!   freed once the global epoch has advanced twice past it.
+//!
+//! A participant stays pinned for the duration of an entire Medley
+//! transaction (not just a single operation): the transaction's read and
+//! write sets hold raw pointers into data-structure nodes between constituent
+//! operations, so those nodes must not be reclaimed until the transaction has
+//! committed or aborted.
+
+use crate::util::CachePadded;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of retirements between attempts to advance the global epoch.
+const ADVANCE_THRESHOLD: usize = 64;
+
+/// A type-erased retired allocation awaiting reclamation.
+struct Retired {
+    ptr: *mut u8,
+    drop_fn: unsafe fn(*mut u8),
+    epoch: u64,
+}
+
+// SAFETY: the retired pointer is only dropped by the owning participant, and
+// ownership of the allocation was transferred to the bag at retire time.
+unsafe impl Send for Retired {}
+
+unsafe fn drop_boxed<T>(ptr: *mut u8) {
+    // SAFETY: forwarded from the caller's contract: `ptr` originated from
+    // `Box::<T>::into_raw` and is uniquely owned by the limbo bag.
+    drop(unsafe { Box::from_raw(ptr as *mut T) });
+}
+
+/// Shared state of the reclamation domain.
+#[derive(Debug)]
+pub struct Collector {
+    global_epoch: CachePadded<AtomicU64>,
+    slots: Box<[CachePadded<Slot>]>,
+    registered: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// Epoch the participant was pinned in, or `IDLE` when not pinned.
+    local_epoch: AtomicU64,
+    in_use: AtomicBool,
+}
+
+const IDLE: u64 = u64::MAX;
+
+impl Collector {
+    /// Creates a collector able to serve up to `max_participants` concurrently
+    /// registered threads.
+    pub fn new(max_participants: usize) -> Arc<Self> {
+        let slots = (0..max_participants)
+            .map(|_| {
+                CachePadded::new(Slot {
+                    local_epoch: AtomicU64::new(IDLE),
+                    in_use: AtomicBool::new(false),
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Arc::new(Self {
+            global_epoch: CachePadded::new(AtomicU64::new(2)),
+            slots,
+            registered: AtomicUsize::new(0),
+        })
+    }
+
+    /// Current value of the global epoch (primarily for tests and stats).
+    pub fn global_epoch(&self) -> u64 {
+        self.global_epoch.load(Ordering::Acquire)
+    }
+
+    /// Number of currently registered participants.
+    pub fn participants(&self) -> usize {
+        self.registered.load(Ordering::Relaxed)
+    }
+
+    /// Registers the calling thread, returning a [`Participant`] handle.
+    ///
+    /// # Panics
+    /// Panics if `max_participants` handles are already live.
+    pub fn register(self: &Arc<Self>) -> Participant {
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if slot
+                .in_use
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.registered.fetch_add(1, Ordering::Relaxed);
+                return Participant {
+                    collector: Arc::clone(self),
+                    slot: idx,
+                    pin_depth: 0,
+                    bag: Vec::new(),
+                    retired_since_advance: 0,
+                };
+            }
+        }
+        panic!("ebr::Collector: participant slots exhausted");
+    }
+
+    /// Attempts to advance the global epoch.  Succeeds only if every pinned
+    /// participant has already observed the current epoch.
+    fn try_advance(&self) -> u64 {
+        let global = self.global_epoch.load(Ordering::Acquire);
+        for slot in self.slots.iter() {
+            if !slot.in_use.load(Ordering::Acquire) {
+                continue;
+            }
+            let local = slot.local_epoch.load(Ordering::Acquire);
+            if local != IDLE && local != global {
+                return global; // a straggler pins an older epoch
+            }
+        }
+        // Multiple threads may race here; the CAS makes the advance idempotent.
+        let _ = self.global_epoch.compare_exchange(
+            global,
+            global + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        self.global_epoch.load(Ordering::Acquire)
+    }
+}
+
+/// A per-thread handle onto a [`Collector`].
+///
+/// The handle is **not** `Sync`; each thread owns its own.  Dropping the
+/// handle flushes (frees) any garbage that is already safe and leaks the
+/// remainder to the collector's final drop (bounded by the last two epochs).
+pub struct Participant {
+    collector: Arc<Collector>,
+    slot: usize,
+    pin_depth: usize,
+    bag: Vec<Retired>,
+    retired_since_advance: usize,
+}
+
+impl std::fmt::Debug for Participant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Participant")
+            .field("slot", &self.slot)
+            .field("pin_depth", &self.pin_depth)
+            .field("pending", &self.bag.len())
+            .finish()
+    }
+}
+
+impl Participant {
+    /// Pins the participant to the current epoch.  Pins nest; only the
+    /// outermost pin/unpin pair touches shared state.
+    pub fn pin(&mut self) {
+        if self.pin_depth == 0 {
+            let g = self.collector.global_epoch.load(Ordering::Acquire);
+            self.collector.slots[self.slot]
+                .local_epoch
+                .store(g, Ordering::SeqCst);
+        }
+        self.pin_depth += 1;
+    }
+
+    /// Releases one level of pinning.
+    pub fn unpin(&mut self) {
+        debug_assert!(self.pin_depth > 0, "unpin without matching pin");
+        self.pin_depth -= 1;
+        if self.pin_depth == 0 {
+            self.collector.slots[self.slot]
+                .local_epoch
+                .store(IDLE, Ordering::Release);
+        }
+    }
+
+    /// Whether the participant currently holds at least one pin.
+    pub fn is_pinned(&self) -> bool {
+        self.pin_depth > 0
+    }
+
+    /// Retires a boxed allocation; it will be dropped once no thread can
+    /// still hold a reference obtained before the retirement.
+    pub fn retire<T: Send + 'static>(&mut self, boxed: Box<T>) {
+        let epoch = self.collector.global_epoch.load(Ordering::Acquire);
+        self.bag.push(Retired {
+            ptr: Box::into_raw(boxed) as *mut u8,
+            drop_fn: drop_boxed::<T>,
+            epoch,
+        });
+        self.retired_since_advance += 1;
+        if self.retired_since_advance >= ADVANCE_THRESHOLD {
+            self.retired_since_advance = 0;
+            self.collector.try_advance();
+        }
+        self.collect();
+    }
+
+    /// Retires a raw pointer previously produced by `Box::into_raw`.
+    ///
+    /// # Safety
+    /// `ptr` must be a valid, uniquely-owned `Box<T>` allocation that no other
+    /// thread will free.
+    pub unsafe fn retire_raw<T: Send + 'static>(&mut self, ptr: *mut T) {
+        // SAFETY: forwarded from the caller's contract.
+        self.retire(unsafe { Box::from_raw(ptr) });
+    }
+
+    /// Frees every retired allocation that is at least two epochs old.
+    pub fn collect(&mut self) {
+        let global = self.collector.global_epoch.load(Ordering::Acquire);
+        let mut i = 0;
+        while i < self.bag.len() {
+            if self.bag[i].epoch + 2 <= global {
+                let r = self.bag.swap_remove(i);
+                // SAFETY: the allocation was transferred to us at retire time
+                // and the grace period (two epoch advances) has elapsed.
+                unsafe { (r.drop_fn)(r.ptr) };
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Forces epoch advancement attempts until the local bag is empty or no
+    /// further progress is possible (used by tests and shutdown paths).
+    pub fn flush(&mut self) {
+        for _ in 0..4 {
+            self.collector.try_advance();
+            self.collect();
+            if self.bag.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Number of allocations waiting in this participant's limbo bag.
+    pub fn pending(&self) -> usize {
+        self.bag.len()
+    }
+
+    /// The collector this participant belongs to.
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+}
+
+impl Drop for Participant {
+    fn drop(&mut self) {
+        // Make a best-effort attempt to drain the bag, then release the slot.
+        self.collector.slots[self.slot]
+            .local_epoch
+            .store(IDLE, Ordering::Release);
+        self.flush();
+        // Anything still pending is freed here: no new references can be
+        // created once the slot shows IDLE and the remaining items were
+        // retired at least one full operation ago by this thread.  To stay
+        // conservative we only do this when no other participant is pinned.
+        let anyone_pinned = self
+            .collector
+            .slots
+            .iter()
+            .enumerate()
+            .any(|(i, s)| i != self.slot && s.in_use.load(Ordering::Acquire) && s.local_epoch.load(Ordering::Acquire) != IDLE);
+        if !anyone_pinned {
+            for r in self.bag.drain(..) {
+                // SAFETY: no participant is pinned, so no thread holds a
+                // reference obtained before these retirements.
+                unsafe { (r.drop_fn)(r.ptr) };
+            }
+        } else {
+            // Leak the stragglers rather than risk a use-after-free; this is
+            // bounded by the final bag of an exiting thread.
+            std::mem::forget(std::mem::take(&mut self.bag));
+        }
+        self.collector.slots[self.slot]
+            .in_use
+            .store(false, Ordering::Release);
+        self.collector.registered.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+
+    struct Tracked(#[allow(dead_code)] u64);
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn retire_eventually_drops() {
+        DROPS.store(0, Ordering::SeqCst);
+        let c = Collector::new(4);
+        let mut p = c.register();
+        p.pin();
+        for i in 0..10 {
+            p.retire(Box::new(Tracked(i)));
+        }
+        p.unpin();
+        p.flush();
+        assert_eq!(DROPS.load(Ordering::SeqCst), 10);
+        assert_eq!(p.pending(), 0);
+    }
+
+    #[test]
+    fn pinned_straggler_blocks_reclamation() {
+        let c = Collector::new(4);
+        let mut a = c.register();
+        let mut b = c.register();
+        b.pin(); // straggler pinned at the current epoch
+        let before = c.global_epoch();
+        a.pin();
+        a.retire(Box::new(42u64));
+        a.unpin();
+        // Straggler still pinned at `before`; epoch may advance at most once
+        // past it, so the item (retired at `before`) cannot yet be freed.
+        a.flush();
+        assert!(c.global_epoch() <= before + 1);
+        assert_eq!(a.pending(), 1);
+        b.unpin();
+        a.flush();
+        assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn nested_pins() {
+        let c = Collector::new(2);
+        let mut p = c.register();
+        p.pin();
+        p.pin();
+        assert!(p.is_pinned());
+        p.unpin();
+        assert!(p.is_pinned());
+        p.unpin();
+        assert!(!p.is_pinned());
+    }
+
+    #[test]
+    fn registration_slots_recycle() {
+        let c = Collector::new(1);
+        {
+            let _p = c.register();
+            assert_eq!(c.participants(), 1);
+        }
+        assert_eq!(c.participants(), 0);
+        let _p2 = c.register(); // would panic if the slot leaked
+    }
+
+    #[test]
+    fn concurrent_retire_stress() {
+        DROPS.store(0, Ordering::SeqCst);
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 500;
+        let c = Collector::new(THREADS);
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let mut p = c.register();
+                for i in 0..PER_THREAD {
+                    p.pin();
+                    p.retire(Box::new(Tracked(i as u64)));
+                    p.unpin();
+                }
+                p.flush();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), THREADS * PER_THREAD);
+    }
+}

@@ -1,0 +1,55 @@
+//! Transaction error types.
+//!
+//! The paper's C++ API signals aborts by throwing `TransactionAborted`; in
+//! Rust the same information travels through `Result`s.
+
+use std::fmt;
+
+/// Reason a Medley transaction did not commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxError {
+    /// The transaction lost a conflict (another thread aborted it, or read-set
+    /// validation failed at commit time).  `TxManager::run` retries these.
+    Conflict,
+    /// The programmer called `tx_abort` explicitly (e.g. insufficient funds in
+    /// the running example of Fig. 3).  `TxManager::run` does *not* retry.
+    Explicit,
+    /// The transaction touched more distinct words than a descriptor can
+    /// track.  Retrying will not help; restructure the transaction.
+    CapacityExceeded,
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Conflict => write!(f, "transaction aborted due to a conflict"),
+            TxError::Explicit => write!(f, "transaction aborted explicitly by the program"),
+            TxError::CapacityExceeded => {
+                write!(f, "transaction exceeded the descriptor read/write-set capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Convenience alias used throughout the transactional data structures.
+pub type TxResult<T> = Result<T, TxError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TxError::Conflict.to_string().contains("conflict"));
+        assert!(TxError::Explicit.to_string().contains("explicitly"));
+        assert!(TxError::CapacityExceeded.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(TxError::Conflict);
+    }
+}

@@ -1,0 +1,79 @@
+//! # Medley — NonBlocking Transaction Composition (NBTC)
+//!
+//! Medley is an obstruction-free runtime for composing operations of
+//! *existing* nonblocking data structures into strictly serializable
+//! transactions, reproducing the system described in
+//! **"Transactional Composition of Nonblocking Data Structures"**
+//! (Cai, Wen, Scott; PPoPP 2023).
+//!
+//! The key observation of NBTC is that in an already-nonblocking structure
+//! only the *critical* memory accesses — the linearizing load of a read-only
+//! operation and the CASes between an update's publication point and its
+//! linearization point — must take effect together, atomically.  Everything
+//! before them can run eagerly; everything after them ("cleanup") can be
+//! postponed until after commit.  Medley therefore instruments roughly **one
+//! memory access per constituent operation** instead of every load and store
+//! like a conventional STM.
+//!
+//! ## Architecture
+//!
+//! * [`atomic128`] — a 128-bit atomic word (`lock cmpxchg16b`).
+//! * [`casobj`] — [`CasWord`]/[`CasObj`]: a 64-bit value augmented with a
+//!   64-bit counter; odd counters mark an installed transaction descriptor.
+//! * [`descriptor`] — per-thread reusable descriptors implementing
+//!   M-compare-N-swap: read set, write set, and the `tid|serial|status` word.
+//! * [`txmanager`] — [`TxManager`] / [`ThreadHandle`]: transaction control
+//!   (`tx_begin`/`tx_end`/`tx_abort`/`run`), the transactional accesses
+//!   `nbtc_load`/`nbtc_cas`, and the `Composable` support surface
+//!   (`add_to_read_set`, `add_cleanup`, `tnew`, `tdelete`, `tretire`).
+//! * [`ebr`] — epoch-based safe memory reclamation.
+//!
+//! ## Example
+//!
+//! ```
+//! use medley::{TxManager, TxError, CasWord};
+//!
+//! let mgr = TxManager::new();
+//! let mut h = mgr.register();
+//! let a = CasWord::new(100);
+//! let b = CasWord::new(0);
+//!
+//! // Atomically move 10 units from `a` to `b`.
+//! let moved: Result<(), TxError> = h.run(|h| {
+//!     let x = h.nbtc_load(&a);
+//!     let y = h.nbtc_load(&b);
+//!     if x < 10 {
+//!         return Err(h.tx_abort());
+//!     }
+//!     if !h.nbtc_cas(&a, x, x - 10, true, true) {
+//!         return Err(TxError::Conflict);
+//!     }
+//!     if !h.nbtc_cas(&b, y, y + 10, true, true) {
+//!         return Err(TxError::Conflict);
+//!     }
+//!     Ok(())
+//! });
+//! assert!(moved.is_ok());
+//! assert_eq!(a.try_load_value(), Some(90));
+//! assert_eq!(b.try_load_value(), Some(10));
+//! ```
+//!
+//! Higher-level NBTC-transformed containers (queues, hash tables, skiplists,
+//! binary search trees) live in the companion `nbds` crate; persistence
+//! (txMontage) lives in `pmem` + `txmontage`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod atomic128;
+pub mod casobj;
+pub mod descriptor;
+pub mod ebr;
+pub mod errors;
+pub mod txmanager;
+pub mod util;
+
+pub use casobj::{CasObj, CasWord, Word};
+pub use descriptor::{Desc, Status, MAX_ENTRIES};
+pub use errors::{TxError, TxResult};
+pub use txmanager::{ThreadHandle, TxManager, TxStats};

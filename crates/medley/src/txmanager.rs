@@ -1,0 +1,1015 @@
+//! The transaction manager and per-thread handles.
+//!
+//! [`TxManager`] owns one pre-allocated descriptor per thread slot plus the
+//! epoch-based reclamation domain; it is shared (via `Arc`) among all
+//! transactional data structures that may participate in the same
+//! transactions, exactly like the `TxManager*` the paper's `Composable`
+//! objects share.
+//!
+//! [`ThreadHandle`] is the per-thread capability through which every
+//! operation runs.  It combines the roles of the paper's `OpStarter`
+//! (per-operation instrumentation gate + SMR pin), the thread-local
+//! descriptor pointer, and the thread-local `cleanups` / `allocs` lists.
+//!
+//! The transactional memory accesses `nbtc_load` / `nbtc_cas` /
+//! `add_to_read_set` live here as methods on the handle: they need mutable
+//! access to per-thread state (speculation-interval flag, recent-load ring),
+//! which maps naturally onto `&mut self`.
+
+use crate::atomic128::{pack, unpack};
+use crate::casobj::CasWord;
+use crate::descriptor::{Desc, Status};
+use crate::ebr;
+use crate::errors::{TxError, TxResult};
+use crate::util::{Backoff, CachePadded};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sentinel counter recorded for loads that returned one of the transaction's
+/// own speculative values; such loads never need read-set validation.
+const OWN_SPECULATIVE: u64 = u64::MAX;
+
+/// Size of the per-handle ring buffer remembering recent `nbtc_load`s so that
+/// `add_to_read_set` can recover the counter observed by the load.
+const RECENT_LOADS: usize = 16;
+
+/// Aggregate statistics maintained by a [`TxManager`].
+#[derive(Debug, Default)]
+pub struct TxStats {
+    /// Transactions that committed.
+    pub commits: AtomicU64,
+    /// Transactions that aborted (for any reason).
+    pub aborts: AtomicU64,
+    /// Times a thread finalized (helped or aborted) another thread's
+    /// descriptor.
+    pub helps: AtomicU64,
+}
+
+impl TxStats {
+    /// Snapshot of `(commits, aborts, helps)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.commits.load(Ordering::Relaxed),
+            self.aborts.load(Ordering::Relaxed),
+            self.helps.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Shared transaction-management state (paper `TxManager`).
+pub struct TxManager {
+    descs: Box<[CachePadded<Desc>]>,
+    slot_in_use: Box<[AtomicBool]>,
+    collector: Arc<ebr::Collector>,
+    epoch_word: CachePadded<CasWord>,
+    epoch_validation: AtomicBool,
+    stats: TxStats,
+}
+
+impl std::fmt::Debug for TxManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxManager")
+            .field("max_threads", &self.descs.len())
+            .field("epoch_validation", &self.epoch_validation.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TxManager {
+    /// Default number of thread slots.
+    pub const DEFAULT_MAX_THREADS: usize = 128;
+
+    /// Creates a manager with the default number of thread slots.
+    pub fn new() -> Arc<Self> {
+        Self::with_max_threads(Self::DEFAULT_MAX_THREADS)
+    }
+
+    /// Creates a manager able to serve up to `max_threads` concurrently
+    /// registered handles.
+    pub fn with_max_threads(max_threads: usize) -> Arc<Self> {
+        assert!(max_threads >= 1 && max_threads < (1 << 14), "tid must fit in 14 bits");
+        let descs = (0..max_threads)
+            .map(|tid| CachePadded::new(Desc::new(tid as u64)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let slot_in_use = (0..max_threads)
+            .map(|_| AtomicBool::new(false))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Arc::new(Self {
+            descs,
+            slot_in_use,
+            collector: ebr::Collector::new(max_threads),
+            epoch_word: CachePadded::new(CasWord::new(0)),
+            epoch_validation: AtomicBool::new(false),
+            stats: TxStats::default(),
+        })
+    }
+
+    /// Registers the calling thread and returns its handle.
+    ///
+    /// # Panics
+    /// Panics if all thread slots are taken.
+    pub fn register(self: &Arc<Self>) -> ThreadHandle {
+        for (tid, flag) in self.slot_in_use.iter().enumerate() {
+            if flag
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                let participant = self.collector.register();
+                let desc_ptr: *const Desc = &*self.descs[tid];
+                return ThreadHandle {
+                    mgr: Arc::clone(self),
+                    tid,
+                    desc_ptr,
+                    participant,
+                    in_tx: false,
+                    spec_interval: false,
+                    serial: 0,
+                    snapshot_epoch: 0,
+                    capacity_exceeded: false,
+                    recent: [(0, 0, 0); RECENT_LOADS],
+                    recent_pos: 0,
+                    cleanups: Vec::new(),
+                    abort_actions: Vec::new(),
+                    allocs: Vec::new(),
+                    local_commits: 0,
+                    local_aborts: 0,
+                };
+            }
+        }
+        panic!("TxManager: thread slots exhausted");
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &TxStats {
+        &self.stats
+    }
+
+    /// The epoch-based reclamation domain shared by structures built on this
+    /// manager.
+    pub fn collector(&self) -> &Arc<ebr::Collector> {
+        &self.collector
+    }
+
+    /// The persistence-epoch word (txMontage hook).  `pmem`'s epoch system
+    /// advances it; when [`TxManager::set_epoch_validation`] is enabled every
+    /// transaction reads it at `tx_begin` and validates it at commit, which
+    /// guarantees that all operations of a transaction linearize in the same
+    /// persistence epoch (paper Sec. 4.4).
+    pub fn epoch_word(&self) -> &CasWord {
+        &self.epoch_word
+    }
+
+    /// Current value of the persistence epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch_word.load_parts().0
+    }
+
+    /// Advances the persistence epoch by one, returning the new value.
+    pub fn advance_epoch(&self) -> u64 {
+        loop {
+            let (v, _) = self.epoch_word.load_parts();
+            if self.epoch_word.cas_value(v, v + 1) {
+                return v + 1;
+            }
+        }
+    }
+
+    /// Enables or disables folding the persistence-epoch check into every
+    /// transaction's read set.
+    pub fn set_epoch_validation(&self, enabled: bool) {
+        self.epoch_validation.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether epoch validation is currently enabled.
+    pub fn epoch_validation_enabled(&self) -> bool {
+        self.epoch_validation.load(Ordering::SeqCst)
+    }
+}
+
+type DropFn = unsafe fn(*mut u8);
+
+unsafe fn drop_raw<T>(ptr: *mut u8) {
+    // SAFETY: forwarded from the caller's contract: `ptr` was produced by
+    // `Box::<T>::into_raw` in `tnew` and never published.
+    drop(unsafe { Box::from_raw(ptr as *mut T) });
+}
+
+type Cleanup = Box<dyn FnOnce(&mut ThreadHandle)>;
+
+/// Per-thread handle used to execute operations and transactions.
+///
+/// Not `Send`/`Sync`: each thread registers its own handle with
+/// [`TxManager::register`].
+pub struct ThreadHandle {
+    mgr: Arc<TxManager>,
+    tid: usize,
+    desc_ptr: *const Desc,
+    participant: ebr::Participant,
+    in_tx: bool,
+    spec_interval: bool,
+    serial: u64,
+    snapshot_epoch: u64,
+    capacity_exceeded: bool,
+    recent: [(usize, u64, u64); RECENT_LOADS],
+    recent_pos: usize,
+    cleanups: Vec<Cleanup>,
+    abort_actions: Vec<Cleanup>,
+    allocs: Vec<(*mut u8, DropFn)>,
+    local_commits: u64,
+    local_aborts: u64,
+}
+
+impl std::fmt::Debug for ThreadHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadHandle")
+            .field("tid", &self.tid)
+            .field("in_tx", &self.in_tx)
+            .field("serial", &self.serial)
+            .finish()
+    }
+}
+
+impl ThreadHandle {
+    #[inline]
+    fn desc(&self) -> &Desc {
+        // SAFETY: `desc_ptr` points into `self.mgr.descs`, which lives as long
+        // as the `Arc<TxManager>` this handle holds.
+        unsafe { &*self.desc_ptr }
+    }
+
+    /// The manager this handle belongs to.
+    pub fn manager(&self) -> &Arc<TxManager> {
+        &self.mgr
+    }
+
+    /// The thread-slot id of this handle.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Whether a transaction is currently open on this handle.
+    pub fn in_tx(&self) -> bool {
+        self.in_tx
+    }
+
+    /// The persistence epoch observed at `tx_begin` (meaningful only when
+    /// epoch validation is enabled and a transaction is open).
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.snapshot_epoch
+    }
+
+    /// `(commits, aborts)` performed through this handle.
+    pub fn local_stats(&self) -> (u64, u64) {
+        (self.local_commits, self.local_aborts)
+    }
+
+    // ------------------------------------------------------------------
+    // Operation bracket (paper `OpStarter`)
+    // ------------------------------------------------------------------
+
+    /// Runs one data-structure operation: pins the SMR epoch for its duration
+    /// and resets the speculation interval, exactly as the paper's
+    /// `OpStarter` constructor does at the top of every operation.
+    pub fn with_op<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.participant.pin();
+        self.spec_interval = false;
+        let r = f(self);
+        self.spec_interval = false;
+        self.participant.unpin();
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction control (paper `txBegin` / `txEnd` / `txAbort`)
+    // ------------------------------------------------------------------
+
+    /// Starts a transaction.
+    ///
+    /// # Panics
+    /// Panics if a transaction is already open on this handle.
+    pub fn tx_begin(&mut self) {
+        assert!(!self.in_tx, "nested transactions are not supported");
+        self.desc().begin();
+        self.serial = self.desc().serial();
+        self.in_tx = true;
+        self.spec_interval = false;
+        self.capacity_exceeded = false;
+        self.recent = [(0, 0, 0); RECENT_LOADS];
+        self.recent_pos = 0;
+        debug_assert!(self.cleanups.is_empty());
+        debug_assert!(self.allocs.is_empty());
+        self.participant.pin();
+        if self.mgr.epoch_validation_enabled() {
+            let (epoch, cnt) = self.mgr.epoch_word.load_parts();
+            self.snapshot_epoch = epoch;
+            // Folding the epoch check into the MCNS read set is all txMontage
+            // needs for failure atomicity (paper Sec. 4.4).
+            if !self.desc().push_read(self.serial, &*self.mgr.epoch_word, epoch, cnt) {
+                self.capacity_exceeded = true;
+            }
+        }
+    }
+
+    /// Attempts to commit the open transaction.
+    ///
+    /// On success the speculative writes of all constituent operations become
+    /// visible atomically and the registered cleanup closures run.  On
+    /// failure everything is rolled back.
+    pub fn tx_end(&mut self) -> TxResult<()> {
+        assert!(self.in_tx, "tx_end without tx_begin");
+        if self.capacity_exceeded {
+            self.abort_internal();
+            return Err(TxError::CapacityExceeded);
+        }
+        let desc = self.desc();
+        if !desc.set_ready() {
+            // Another thread aborted us while we were still InPrep.
+            self.abort_internal();
+            return Err(TxError::Conflict);
+        }
+        let outcome = desc.finalize_own(self.serial);
+        match outcome {
+            Status::Committed => {
+                desc.uninstall(self.serial, Status::Committed);
+                self.in_tx = false;
+                self.spec_interval = false;
+                // Ownership of tnew-ed blocks passes to the structures.
+                self.allocs.clear();
+                self.abort_actions.clear();
+                let cleanups = std::mem::take(&mut self.cleanups);
+                for c in cleanups {
+                    c(self);
+                }
+                self.participant.unpin();
+                self.local_commits += 1;
+                self.mgr.stats.commits.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            _ => {
+                self.abort_internal();
+                Err(TxError::Conflict)
+            }
+        }
+    }
+
+    /// Explicitly aborts the open transaction, rolling back all speculative
+    /// state.  Returns the error value to propagate (`TxError::Explicit`),
+    /// so the idiomatic call site is `return Err(handle.tx_abort());`.
+    pub fn tx_abort(&mut self) -> TxError {
+        assert!(self.in_tx, "tx_abort without tx_begin");
+        self.abort_internal();
+        TxError::Explicit
+    }
+
+    /// Validates the read set of the open transaction (paper
+    /// `validateReads`): optional opacity check for transactions whose glue
+    /// code cannot tolerate inconsistent reads.
+    pub fn validate_reads(&self) -> bool {
+        if !self.in_tx {
+            return true;
+        }
+        self.desc().validate_reads(self.serial)
+    }
+
+    /// Runs `body` as a transaction, retrying on conflicts with exponential
+    /// backoff.  Explicit aborts and capacity overflows are returned to the
+    /// caller.
+    pub fn run<R>(
+        &mut self,
+        mut body: impl FnMut(&mut Self) -> TxResult<R>,
+    ) -> TxResult<R> {
+        let mut backoff = Backoff::new();
+        loop {
+            self.tx_begin();
+            match body(self) {
+                Ok(value) => {
+                    if !self.in_tx {
+                        // The body aborted explicitly but still returned Ok;
+                        // treat the produced value as the result.
+                        return Ok(value);
+                    }
+                    match self.tx_end() {
+                        Ok(()) => return Ok(value),
+                        Err(TxError::Conflict) => {
+                            backoff.backoff();
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(err) => {
+                    if self.in_tx {
+                        self.abort_internal();
+                    }
+                    match err {
+                        TxError::Conflict => {
+                            backoff.backoff();
+                            continue;
+                        }
+                        other => return Err(other),
+                    }
+                }
+            }
+        }
+    }
+
+    fn abort_internal(&mut self) {
+        let desc = self.desc();
+        let st = desc.abort_own(self.serial);
+        let outcome = if st == Status::Committed { Status::Committed } else { Status::Aborted };
+        desc.uninstall(self.serial, outcome);
+        // Undo tnew allocations: they were never published (speculative
+        // installs have just been rolled back), so immediate free is safe.
+        for (ptr, drop_fn) in std::mem::take(&mut self.allocs) {
+            // SAFETY: allocated by `tnew` on this thread and never handed to
+            // any other thread.
+            unsafe { drop_fn(ptr) };
+        }
+        self.cleanups.clear();
+        self.in_tx = false;
+        self.spec_interval = false;
+        let abort_actions = std::mem::take(&mut self.abort_actions);
+        for a in abort_actions {
+            a(self);
+        }
+        self.participant.unpin();
+        self.local_aborts += 1;
+        self.mgr.stats.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Composable support (paper `Composable` base class)
+    // ------------------------------------------------------------------
+
+    /// Registers a read for commit-time validation.  `val` must be the value
+    /// returned by the immediately preceding [`ThreadHandle::nbtc_load`] of
+    /// `obj` (the linearizing load of a read-only operation).
+    pub fn add_to_read_set(&mut self, obj: &CasWord, val: u64) {
+        if !self.in_tx {
+            return;
+        }
+        let addr = obj as *const CasWord as usize;
+        let mut cnt = None;
+        for i in 0..RECENT_LOADS {
+            let (a, v, c) = self.recent[(self.recent_pos + RECENT_LOADS - 1 - i) % RECENT_LOADS];
+            if a == addr && v == val {
+                cnt = Some(c);
+                break;
+            }
+        }
+        let cnt = match cnt {
+            Some(c) => c,
+            None => {
+                // Fall back to re-reading: if the value is unchanged the read
+                // can be treated as having occurred now; otherwise poison the
+                // entry so the transaction aborts at commit.
+                let (v, c) = obj.load_parts();
+                if v == val && !CasWord::counter_is_descriptor(c) {
+                    c
+                } else {
+                    u64::MAX // unmatchable counter => validation fails
+                }
+            }
+        };
+        if cnt == OWN_SPECULATIVE {
+            // Reading one's own speculative write needs no validation.
+            return;
+        }
+        if !self.desc().push_read(self.serial, obj, val, cnt) {
+            self.capacity_exceeded = true;
+        }
+    }
+
+    /// Registers post-critical ("cleanup") work to run after the transaction
+    /// commits; outside a transaction the closure runs immediately.
+    pub fn add_cleanup(&mut self, f: impl FnOnce(&mut ThreadHandle) + 'static) {
+        if self.in_tx {
+            self.cleanups.push(Box::new(f));
+        } else {
+            f(self);
+        }
+    }
+
+    /// Registers compensation work that runs only if the transaction aborts
+    /// (the complement of [`ThreadHandle::add_cleanup`]).  Outside a
+    /// transaction the closure is dropped without running, since a
+    /// non-transactional operation cannot abort.
+    ///
+    /// txMontage uses this to release payload records allocated by an
+    /// operation whose enclosing transaction rolls back.
+    pub fn add_abort_action(&mut self, f: impl FnOnce(&mut ThreadHandle) + 'static) {
+        if self.in_tx {
+            self.abort_actions.push(Box::new(f));
+        }
+    }
+
+    /// Allocates a block whose ownership is tied to the transaction: if the
+    /// transaction aborts, the block is freed automatically (paper `tNew`).
+    pub fn tnew<T>(&mut self, value: T) -> *mut T {
+        let ptr = Box::into_raw(Box::new(value));
+        if self.in_tx {
+            self.allocs.push((ptr as *mut u8, drop_raw::<T>));
+        }
+        ptr
+    }
+
+    /// Frees a block previously produced by [`ThreadHandle::tnew`] that was
+    /// never published (paper `tDelete`).
+    ///
+    /// # Safety
+    /// `ptr` must have been returned by `tnew::<T>` on this handle and must
+    /// not be reachable from any shared structure.
+    pub unsafe fn tdelete<T>(&mut self, ptr: *mut T) {
+        if self.in_tx {
+            if let Some(pos) = self.allocs.iter().position(|(p, _)| *p == ptr as *mut u8) {
+                self.allocs.swap_remove(pos);
+            }
+        }
+        // SAFETY: forwarded from the caller's contract.
+        drop(unsafe { Box::from_raw(ptr) });
+    }
+
+    /// Retires a node through epoch-based reclamation (paper `tRetire`).
+    /// Inside a transaction the retirement is deferred until commit; on abort
+    /// it simply does not happen (the node was never unlinked).
+    ///
+    /// # Safety
+    /// `ptr` must have been allocated via `Box` (directly or through `tnew`)
+    /// and must be unlinked from the structure by the time the retirement
+    /// takes effect, with no other thread retiring it as well.
+    pub unsafe fn tretire<T: Send + 'static>(&mut self, ptr: *mut T) {
+        if self.in_tx {
+            let addr = ptr as usize;
+            self.add_cleanup(move |h| {
+                // SAFETY: forwarded from the caller's contract on `tretire`.
+                unsafe { h.participant.retire_raw(addr as *mut T) };
+            });
+        } else {
+            // SAFETY: forwarded from the caller's contract.
+            unsafe { self.participant.retire_raw(ptr) };
+        }
+    }
+
+    /// Immediate retirement regardless of transaction state (used by cleanup
+    /// closures themselves).
+    ///
+    /// # Safety
+    /// Same contract as [`ThreadHandle::tretire`].
+    pub unsafe fn retire_now<T: Send + 'static>(&mut self, ptr: *mut T) {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.participant.retire_raw(ptr) };
+    }
+
+    // ------------------------------------------------------------------
+    // Transactional memory accesses (paper `nbtcLoad` / `nbtcCAS`)
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn record_recent(&mut self, addr: usize, val: u64, cnt: u64) {
+        self.recent[self.recent_pos % RECENT_LOADS] = (addr, val, cnt);
+        self.recent_pos = self.recent_pos.wrapping_add(1);
+    }
+
+    /// Transactional load of a [`CasWord`].
+    ///
+    /// Outside a transaction this behaves like an ordinary atomic load except
+    /// that it finalizes any descriptor it encounters (so non-transactional
+    /// operations are never blocked by a stalled transaction).  Inside a
+    /// transaction it additionally returns the transaction's own speculative
+    /// value when one exists and remembers the observed counter for
+    /// [`ThreadHandle::add_to_read_set`].
+    pub fn nbtc_load(&mut self, obj: &CasWord) -> u64 {
+        loop {
+            let raw = obj.load_raw();
+            let (val, cnt) = unpack(raw);
+            if CasWord::counter_is_descriptor(cnt) {
+                let desc_ptr = val as *const Desc;
+                if self.in_tx && std::ptr::eq(desc_ptr, self.desc_ptr) {
+                    // Seeing our own speculative write starts the speculation
+                    // interval of the current operation (paper Sec. 2.2,
+                    // second complication).
+                    self.spec_interval = true;
+                    if let Some((_, v)) = self.desc().speculative_value(self.serial, obj) {
+                        let addr = obj as *const CasWord as usize;
+                        self.record_recent(addr, v, OWN_SPECULATIVE);
+                        return v;
+                    }
+                    // Inconsistent (should not happen): fall through and retry.
+                    continue;
+                }
+                // SAFETY: descriptors live inside their TxManager, which is
+                // kept alive by every structure and handle that can reach
+                // this word.
+                unsafe { (*desc_ptr).try_finalize(obj, raw) };
+                self.mgr.stats.helps.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if self.in_tx {
+                let addr = obj as *const CasWord as usize;
+                self.record_recent(addr, val, cnt);
+            }
+            return val;
+        }
+    }
+
+    /// Transactional CAS on a [`CasWord`] (paper `nbtcCAS`).
+    ///
+    /// `lin_pt` / `pub_pt` declare whether this CAS, if successful, is the
+    /// linearization and/or publication point of the current operation.  A
+    /// critical CAS (one inside the operation's speculation interval) is
+    /// executed speculatively: the descriptor is installed in place of the
+    /// value and the real update happens at commit time.
+    pub fn nbtc_cas(
+        &mut self,
+        obj: &CasWord,
+        expected: u64,
+        desired: u64,
+        lin_pt: bool,
+        pub_pt: bool,
+    ) -> bool {
+        if !self.in_tx {
+            // Instrumentation elided outside transactions: ordinary CAS that
+            // finalizes any encountered descriptor first.
+            loop {
+                let raw = obj.load_raw();
+                let (val, cnt) = unpack(raw);
+                if CasWord::counter_is_descriptor(cnt) {
+                    // SAFETY: see nbtc_load.
+                    unsafe { (*(val as *const Desc)).try_finalize(obj, raw) };
+                    self.mgr.stats.helps.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if val != expected {
+                    return false;
+                }
+                if obj.raw().cas(raw, pack(desired, cnt.wrapping_add(2))) {
+                    return true;
+                }
+                // The word changed under us; re-examine.
+            }
+        }
+        loop {
+            let raw = obj.load_raw();
+            let (val, cnt) = unpack(raw);
+            if CasWord::counter_is_descriptor(cnt) {
+                let desc_ptr = val as *const Desc;
+                if std::ptr::eq(desc_ptr, self.desc_ptr) {
+                    // Operating on a word we already own speculatively.
+                    self.spec_interval = true;
+                    let desc = self.desc();
+                    if let Some((idx, cur)) = desc.speculative_value(self.serial, obj) {
+                        if cur != expected {
+                            return false;
+                        }
+                        desc.update_new_val(idx, desired);
+                        if lin_pt {
+                            self.spec_interval = false;
+                        }
+                        return true;
+                    }
+                    continue;
+                }
+                // SAFETY: see nbtc_load.
+                unsafe { (*desc_ptr).try_finalize(obj, raw) };
+                self.mgr.stats.helps.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if val != expected {
+                return false;
+            }
+            if pub_pt || lin_pt {
+                self.spec_interval = true;
+            }
+            if self.spec_interval {
+                // Critical CAS: install the descriptor.
+                let desc = self.desc();
+                let Some(idx) = desc.push_write(self.serial, obj, val, cnt, desired) else {
+                    self.capacity_exceeded = true;
+                    return false;
+                };
+                let installed = pack(desc.as_payload(), cnt.wrapping_add(1));
+                if obj.raw().cas(raw, installed) {
+                    if lin_pt {
+                        self.spec_interval = false;
+                    }
+                    return true;
+                }
+                desc.kill_write(idx);
+                return false;
+            }
+            // Non-critical CAS inside a transaction (e.g. helping an already
+            // linearized operation): executed on the fly.
+            return obj.raw().cas(raw, pack(desired, cnt.wrapping_add(2)));
+        }
+    }
+
+    /// Marks the start of the current operation's speculation interval
+    /// explicitly.  Structures whose publication point is not a CAS visible
+    /// to `nbtc_cas` (rare) can call this directly.
+    pub fn start_speculative_interval(&mut self) {
+        if self.in_tx {
+            self.spec_interval = true;
+        }
+    }
+
+    /// Whether the current operation is inside its speculation interval.
+    pub fn in_speculative_interval(&self) -> bool {
+        self.spec_interval
+    }
+}
+
+impl Drop for ThreadHandle {
+    fn drop(&mut self) {
+        if self.in_tx {
+            // A handle dropped mid-transaction (e.g. due to a panic in glue
+            // code) must not leave its descriptor installed anywhere.
+            self.abort_internal();
+        }
+        self.mgr.slot_in_use[self.tid].store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_release_slots() {
+        let mgr = TxManager::with_max_threads(2);
+        let h1 = mgr.register();
+        let h2 = mgr.register();
+        assert_ne!(h1.tid(), h2.tid());
+        drop(h1);
+        let h3 = mgr.register();
+        assert!(h3.tid() < 2);
+        drop(h2);
+        drop(h3);
+    }
+
+    #[test]
+    fn single_word_transaction_commits() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(1);
+        h.tx_begin();
+        let v = h.nbtc_load(&w);
+        assert_eq!(v, 1);
+        assert!(h.nbtc_cas(&w, 1, 2, true, true));
+        // Speculative: other (non-transactional) observers see a descriptor.
+        assert_eq!(w.try_load_value(), None);
+        assert!(h.tx_end().is_ok());
+        assert_eq!(w.try_load_value(), Some(2));
+        assert_eq!(mgr.stats().snapshot().0, 1);
+    }
+
+    #[test]
+    fn abort_rolls_back_speculative_writes() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(1);
+        h.tx_begin();
+        assert!(h.nbtc_cas(&w, 1, 2, true, true));
+        let err = h.tx_abort();
+        assert_eq!(err, TxError::Explicit);
+        assert_eq!(w.try_load_value(), Some(1));
+        assert!(!h.in_tx());
+    }
+
+    #[test]
+    fn read_validation_detects_conflicting_write() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let mut other = mgr.register();
+        let w = CasWord::new(1);
+        let target = CasWord::new(10);
+        h.tx_begin();
+        let v = h.nbtc_load(&w);
+        h.add_to_read_set(&w, v);
+        // A conflicting non-transactional write invalidates the read.
+        assert!(other.nbtc_cas(&w, 1, 5, true, true));
+        assert!(h.nbtc_cas(&target, 10, 11, true, true));
+        assert_eq!(h.tx_end(), Err(TxError::Conflict));
+        // The speculative write to `target` must have been rolled back.
+        assert_eq!(target.try_load_value(), Some(10));
+    }
+
+    #[test]
+    fn own_speculative_values_are_visible_within_tx() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(1);
+        h.tx_begin();
+        assert!(h.nbtc_cas(&w, 1, 2, true, true));
+        assert_eq!(h.nbtc_load(&w), 2, "same tx must see its own write");
+        // Read of own speculative value does not poison the read set.
+        h.add_to_read_set(&w, 2);
+        assert!(h.nbtc_cas(&w, 2, 3, true, true));
+        assert!(h.tx_end().is_ok());
+        assert_eq!(w.try_load_value(), Some(3));
+    }
+
+    #[test]
+    fn foreign_descriptor_is_aborted_eagerly() {
+        let mgr = TxManager::new();
+        let mut a = mgr.register();
+        let mut b = mgr.register();
+        let w = CasWord::new(1);
+        a.tx_begin();
+        assert!(a.nbtc_cas(&w, 1, 2, true, true));
+        // b, running non-transactionally, encounters a's descriptor, aborts
+        // the InPrep transaction, and proceeds.
+        assert!(b.nbtc_cas(&w, 1, 9, true, true));
+        assert_eq!(w.try_load_value(), Some(9));
+        // a's commit must now fail.
+        assert_eq!(a.tx_end(), Err(TxError::Conflict));
+        assert_eq!(w.try_load_value(), Some(9));
+    }
+
+    #[test]
+    fn run_retries_conflicts_and_returns_value() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(0);
+        let mut attempts = 0;
+        let out: TxResult<u64> = h.run(|h| {
+            attempts += 1;
+            let v = h.nbtc_load(&w);
+            if attempts == 1 {
+                // Simulate a conflict on the first attempt.
+                return Err(TxError::Conflict);
+            }
+            assert!(h.nbtc_cas(&w, v, v + 1, true, true));
+            Ok(v + 1)
+        });
+        assert_eq!(out, Ok(1));
+        assert!(attempts >= 2);
+        assert_eq!(w.try_load_value(), Some(1));
+    }
+
+    #[test]
+    fn run_propagates_explicit_abort() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(5);
+        let out: TxResult<()> = h.run(|h| {
+            assert!(h.nbtc_cas(&w, 5, 6, true, true));
+            Err(h.tx_abort())
+        });
+        assert_eq!(out, Err(TxError::Explicit));
+        assert_eq!(w.try_load_value(), Some(5));
+    }
+
+    #[test]
+    fn tnew_is_freed_on_abort() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        h.tx_begin();
+        let p = h.tnew(123u64);
+        assert_eq!(unsafe { *p }, 123);
+        let _ = h.tx_abort();
+        // No leak: Miri/asan would flag a double free if tnew's rollback were
+        // wrong; here we just assert the transaction state is clean.
+        assert!(!h.in_tx());
+    }
+
+    #[test]
+    fn cleanups_run_only_after_commit() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(0);
+
+        let ran = Rc::new(Cell::new(0));
+        let r2 = Rc::clone(&ran);
+        h.tx_begin();
+        assert!(h.nbtc_cas(&w, 0, 1, true, true));
+        h.add_cleanup(move |_| r2.set(r2.get() + 1));
+        assert_eq!(ran.get(), 0, "cleanup must not run before commit");
+        assert!(h.tx_end().is_ok());
+        assert_eq!(ran.get(), 1);
+
+        // On abort the cleanup must never run.
+        let r3 = Rc::clone(&ran);
+        h.tx_begin();
+        h.add_cleanup(move |_| r3.set(r3.get() + 100));
+        let _ = h.tx_abort();
+        assert_eq!(ran.get(), 1);
+
+        // Outside a transaction the closure runs immediately.
+        let r4 = Rc::clone(&ran);
+        h.add_cleanup(move |_| r4.set(r4.get() + 10));
+        assert_eq!(ran.get(), 11);
+    }
+
+    #[test]
+    fn epoch_validation_aborts_cross_epoch_transactions() {
+        let mgr = TxManager::new();
+        mgr.set_epoch_validation(true);
+        let mut h = mgr.register();
+        let w = CasWord::new(0);
+        h.tx_begin();
+        assert_eq!(h.snapshot_epoch(), 0);
+        assert!(h.nbtc_cas(&w, 0, 1, true, true));
+        // The persistence epoch advances before the transaction commits.
+        mgr.advance_epoch();
+        assert_eq!(h.tx_end(), Err(TxError::Conflict));
+        assert_eq!(w.try_load_value(), Some(0));
+        // A retry in the new epoch succeeds.
+        h.tx_begin();
+        assert_eq!(h.snapshot_epoch(), 1);
+        assert!(h.nbtc_cas(&w, 0, 1, true, true));
+        assert!(h.tx_end().is_ok());
+    }
+
+    #[test]
+    fn non_critical_cas_inside_tx_takes_effect_immediately() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(7);
+        h.tx_begin();
+        // Not a publication or linearization point and no speculation
+        // interval started: helping CASes execute on the fly.
+        assert!(h.nbtc_cas(&w, 7, 8, false, false));
+        assert_eq!(w.try_load_value(), Some(8));
+        let _ = h.tx_abort();
+        // The non-critical CAS is NOT rolled back (it helped an operation
+        // that had already linearized).
+        assert_eq!(w.try_load_value(), Some(8));
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_atomic() {
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 2_000;
+        let mgr = TxManager::new();
+        let w = Arc::new(CasWord::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let mgr = Arc::clone(&mgr);
+            let w = Arc::clone(&w);
+            handles.push(std::thread::spawn(move || {
+                let mut h = mgr.register();
+                for _ in 0..PER_THREAD {
+                    loop {
+                        let done: TxResult<bool> = h.run(|h| {
+                            let v = h.nbtc_load(&w);
+                            Ok(h.nbtc_cas(&w, v, v + 1, true, true))
+                        });
+                        if done.unwrap() {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(w.try_load_value(), Some((THREADS * PER_THREAD) as u64));
+    }
+
+    #[test]
+    fn two_word_transfer_preserves_sum() {
+        // The canonical Fig. 3 scenario: transfer between two "accounts" with
+        // concurrent transfers in both directions; the sum is invariant.
+        const THREADS: usize = 4;
+        const PER_THREAD: usize = 1_000;
+        let mgr = TxManager::new();
+        let a = Arc::new(CasWord::new(1_000));
+        let b = Arc::new(CasWord::new(1_000));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let mgr = Arc::clone(&mgr);
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let mut h = mgr.register();
+                let (from, to) = if t % 2 == 0 { (a, b) } else { (b, a) };
+                for _ in 0..PER_THREAD {
+                    let _ = h.run(|h| {
+                        let x = h.nbtc_load(&from);
+                        let y = h.nbtc_load(&to);
+                        if x == 0 {
+                            return Err(h.tx_abort());
+                        }
+                        if !h.nbtc_cas(&from, x, x - 1, true, true) {
+                            return Err(TxError::Conflict);
+                        }
+                        if !h.nbtc_cas(&to, y, y + 1, true, true) {
+                            return Err(TxError::Conflict);
+                        }
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        let total = a.try_load_value().unwrap() + b.try_load_value().unwrap();
+        assert_eq!(total, 2_000);
+    }
+}

@@ -1,0 +1,36 @@
+//! # nbds — NBTC-transformed nonblocking data structures
+//!
+//! This crate contains the concurrent data structures the paper composes with
+//! Medley, each transformed mechanically according to the NBTC methodology
+//! (replace critical loads/CASes with `nbtc_load`/`nbtc_cas`, register the
+//! linearizing loads of read-only outcomes with `add_to_read_set`, push
+//! post-linearization work to `add_cleanup`, and allocate through
+//! `tnew`/`tdelete`/`tretire`):
+//!
+//! * [`MichaelList`] — Michael's lock-free ordered list (paper Fig. 2's
+//!   building block);
+//! * [`MichaelHashMap`] — Michael's chained hash table;
+//! * [`SkipList`] — a Fraser-style CAS-based skiplist;
+//! * [`MsQueue`] — the Michael–Scott FIFO queue.
+//!
+//! Every operation takes a [`medley::ThreadHandle`]; called between
+//! `tx_begin`/`tx_end` (or inside [`medley::ThreadHandle::run`]) the
+//! operations of one or more structures compose into a strictly serializable
+//! transaction, and called outside a transaction they behave exactly like the
+//! original nonblocking algorithms (instrumentation is elided).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod hashtable;
+pub mod list;
+pub mod map;
+pub mod msqueue;
+pub mod skiplist;
+pub mod tag;
+
+pub use hashtable::MichaelHashMap;
+pub use list::MichaelList;
+pub use map::TxMap;
+pub use msqueue::MsQueue;
+pub use skiplist::SkipList;

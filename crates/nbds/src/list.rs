@@ -1,0 +1,520 @@
+//! NBTC-transformed version of Michael's lock-free ordered linked list
+//! (the building block of Michael's chained hash table, paper Fig. 2).
+//!
+//! The transformation follows the paper mechanically:
+//!
+//! * every *critical* load/CAS goes through `nbtc_load` / `nbtc_cas`;
+//! * the linearizing load of a read-only outcome (`get`, failed `insert`,
+//!   failed `remove`) is registered with `add_to_read_set`;
+//! * physical unlinking and node retirement — the post-linearization
+//!   "cleanup" phase — is registered with `add_cleanup`, so inside a
+//!   transaction it runs only after commit;
+//! * node allocation goes through `tnew` so that aborted transactions free
+//!   their speculative nodes.
+//!
+//! `put` uses the paper's replace trick: marking the old node's `next`
+//! pointer *at* the replacement node simultaneously removes the old node and
+//! splices in the new one with a single (critical) CAS.
+
+use crate::tag;
+use medley::{CasWord, ThreadHandle};
+use std::marker::PhantomData;
+use std::ptr;
+
+/// A node of the ordered list.  `next` carries the Harris/Michael deletion
+/// mark in its low bit.
+pub(crate) struct Node<V> {
+    pub(crate) key: u64,
+    pub(crate) val: V,
+    pub(crate) next: CasWord,
+}
+
+/// Result of a `find` traversal: the predecessor word, the value observed in
+/// it, and the candidate node (first node with `key >= target`).
+struct Position<V> {
+    prev: *const CasWord,
+    prev_val: u64,
+    curr: *mut Node<V>,
+    /// Unmarked successor bits of `curr`; only meaningful when `curr` is
+    /// non-null.
+    next: u64,
+    found: bool,
+}
+
+/// A sorted, lock-free, NBTC-composable linked-list map from `u64` keys to
+/// values of type `V`.
+///
+/// All operations work both inside and outside Medley transactions; outside a
+/// transaction the instrumentation is elided and the structure behaves like
+/// the original nonblocking list.
+pub struct MichaelList<V> {
+    head: CasWord,
+    _marker: PhantomData<V>,
+}
+
+// SAFETY: the list is an ordinary shared concurrent container; nodes are
+// reachable from multiple threads and reclaimed through EBR.
+unsafe impl<V: Send + Sync> Send for MichaelList<V> {}
+unsafe impl<V: Send + Sync> Sync for MichaelList<V> {}
+
+impl<V> Default for MichaelList<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> MichaelList<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self {
+            head: CasWord::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Michael's `find`: positions the caller just before the first node with
+    /// key ≥ `key`, helping to physically unlink any logically deleted node
+    /// encountered on the way.
+    fn find(&self, h: &mut ThreadHandle, key: u64) -> Position<V> {
+        'retry: loop {
+            let mut prev: *const CasWord = &self.head;
+            // SAFETY: `prev` points either at the list head (owned by self)
+            // or at the `next` field of a node protected by the EBR pin the
+            // caller holds for the duration of the operation.
+            let mut curr_bits = h.nbtc_load(unsafe { &*prev });
+            loop {
+                let curr = tag::as_ptr::<Node<V>>(curr_bits);
+                if curr.is_null() {
+                    return Position {
+                        prev,
+                        prev_val: curr_bits,
+                        curr: ptr::null_mut(),
+                        next: 0,
+                        found: false,
+                    };
+                }
+                // SAFETY: `curr` was reachable from the list and cannot be
+                // freed while we are pinned.
+                let next_bits = h.nbtc_load(unsafe { &(*curr).next });
+                if tag::is_marked(next_bits) {
+                    // `curr` is logically deleted (by an operation that has
+                    // already linearized); help unlink it.  This CAS is not a
+                    // publication or linearization point of *our* operation,
+                    // but it becomes critical automatically if it follows a
+                    // speculative read within the same transaction.
+                    let succ = tag::unmarked(next_bits);
+                    if !h.nbtc_cas(unsafe { &*prev }, tag::from_ptr(curr), succ, false, false) {
+                        continue 'retry;
+                    }
+                    // SAFETY: we won the unlink CAS, so we are the unique
+                    // retirer of `curr`.
+                    unsafe { h.tretire(curr) };
+                    curr_bits = succ;
+                    continue;
+                }
+                // SAFETY: as above.
+                let ckey = unsafe { (*curr).key };
+                if ckey >= key {
+                    return Position {
+                        prev,
+                        prev_val: curr_bits,
+                        curr,
+                        next: next_bits,
+                        found: ckey == key,
+                    };
+                }
+                prev = unsafe { &(*curr).next as *const CasWord };
+                curr_bits = next_bits;
+            }
+        }
+    }
+
+    /// Looks up `key`, returning a clone of its value.
+    pub fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
+        h.with_op(|h| {
+            let pos = self.find(h, key);
+            // SAFETY: `pos.curr` is pinned; cloning the value does not race
+            // with reclamation.
+            let res = if pos.found {
+                Some(unsafe { (*pos.curr).val.clone() })
+            } else {
+                None
+            };
+            // The load of `prev` that yielded `curr` is the linearizing load
+            // of this read-only operation.
+            // SAFETY: `pos.prev` is valid while pinned.
+            h.add_to_read_set(unsafe { &*pos.prev }, pos.prev_val);
+            res
+        })
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, h: &mut ThreadHandle, key: u64) -> bool {
+        self.get(h, key).is_some()
+    }
+
+    /// Inserts `key -> val` only if `key` is absent.  Returns `true` on
+    /// success; on failure the value is dropped.
+    pub fn insert(&self, h: &mut ThreadHandle, key: u64, val: V) -> bool {
+        h.with_op(|h| {
+            let node = h.tnew(Node {
+                key,
+                val,
+                next: CasWord::new(0),
+            });
+            loop {
+                let pos = self.find(h, key);
+                if pos.found {
+                    // Failed insert is a read-only outcome.
+                    // SAFETY: `node` was just allocated by us and never
+                    // published; `pos.prev` is pinned.
+                    unsafe { h.tdelete(node) };
+                    h.add_to_read_set(unsafe { &*pos.prev }, pos.prev_val);
+                    return false;
+                }
+                // SAFETY: `node` is still private.
+                unsafe { (*node).next.store_value(tag::from_ptr(pos.curr)) };
+                // Linearization (and publication) point of a successful insert.
+                // SAFETY: `pos.prev` is pinned.
+                if h.nbtc_cas(
+                    unsafe { &*pos.prev },
+                    tag::from_ptr(pos.curr),
+                    tag::from_ptr(node),
+                    true,
+                    true,
+                ) {
+                    return true;
+                }
+            }
+        })
+    }
+
+    /// Inserts or replaces, returning the previous value if any.
+    pub fn put(&self, h: &mut ThreadHandle, key: u64, val: V) -> Option<V> {
+        h.with_op(|h| {
+            let node = h.tnew(Node {
+                key,
+                val,
+                next: CasWord::new(0),
+            });
+            loop {
+                let pos = self.find(h, key);
+                if pos.found {
+                    let curr = pos.curr;
+                    // Replace: the new node adopts curr's successor, and a
+                    // single CAS marks curr while splicing the new node in
+                    // (its marked pointer *is* the new node).
+                    // SAFETY: `node` is private; `curr` is pinned.
+                    unsafe { (*node).next.store_value(pos.next) };
+                    if h.nbtc_cas(
+                        unsafe { &(*curr).next },
+                        pos.next,
+                        tag::marked(tag::from_ptr(node)),
+                        true,
+                        true,
+                    ) {
+                        // SAFETY: `curr` is pinned; val cloned before retirement.
+                        let old = unsafe { (*curr).val.clone() };
+                        let prev_addr = pos.prev as usize;
+                        let curr_addr = curr as usize;
+                        let node_addr = node as usize;
+                        // Cleanup: physically unlink the replaced node.
+                        h.add_cleanup(move |h| {
+                            let prev = prev_addr as *const CasWord;
+                            // SAFETY: the structure outlives the transaction
+                            // (caller contract); a successful unlink makes us
+                            // the unique retirer.
+                            if unsafe { &*prev }.cas_value(curr_addr as u64, node_addr as u64) {
+                                unsafe { h.retire_now(curr_addr as *mut Node<V>) };
+                            }
+                            // Otherwise a concurrent traversal already helped.
+                        });
+                        return Some(old);
+                    }
+                } else {
+                    // SAFETY: `node` is private; `pos.prev` is pinned.
+                    unsafe { (*node).next.store_value(tag::from_ptr(pos.curr)) };
+                    if h.nbtc_cas(
+                        unsafe { &*pos.prev },
+                        tag::from_ptr(pos.curr),
+                        tag::from_ptr(node),
+                        true,
+                        true,
+                    ) {
+                        return None;
+                    }
+                }
+            }
+        })
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
+        h.with_op(|h| {
+            loop {
+                let pos = self.find(h, key);
+                if !pos.found {
+                    // SAFETY: `pos.prev` is pinned.
+                    h.add_to_read_set(unsafe { &*pos.prev }, pos.prev_val);
+                    return None;
+                }
+                let curr = pos.curr;
+                // Linearization point: marking curr's next pointer.
+                // SAFETY: `curr` is pinned.
+                if h.nbtc_cas(
+                    unsafe { &(*curr).next },
+                    pos.next,
+                    tag::marked(pos.next),
+                    true,
+                    true,
+                ) {
+                    // SAFETY: `curr` is pinned.
+                    let old = unsafe { (*curr).val.clone() };
+                    let prev_addr = pos.prev as usize;
+                    let curr_addr = curr as usize;
+                    let next_bits = pos.next;
+                    h.add_cleanup(move |h| {
+                        let prev = prev_addr as *const CasWord;
+                        // SAFETY: see `put`'s cleanup.
+                        if unsafe { &*prev }.cas_value(curr_addr as u64, next_bits) {
+                            unsafe { h.retire_now(curr_addr as *mut Node<V>) };
+                        }
+                    });
+                    return Some(old);
+                }
+            }
+        })
+    }
+
+    /// Quiescent snapshot of the live `(key, value)` pairs, in key order.
+    ///
+    /// Intended for tests, recovery tooling and single-threaded inspection:
+    /// it must not race with concurrent transactional updates.
+    pub fn snapshot(&self) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        let mut bits = self.head.load_value_spin();
+        loop {
+            let node = tag::as_ptr::<Node<V>>(bits);
+            if node.is_null() {
+                break;
+            }
+            // SAFETY: quiescence is the caller's contract.
+            let next = unsafe { (*node).next.load_value_spin() };
+            if !tag::is_marked(next) {
+                unsafe { out.push(((*node).key, (*node).val.clone())) };
+            }
+            bits = tag::unmarked(next);
+        }
+        out
+    }
+
+    /// Number of live keys (quiescent; see [`MichaelList::snapshot`]).
+    pub fn len_quiescent(&self) -> usize {
+        self.snapshot().len()
+    }
+}
+
+impl<V> Drop for MichaelList<V> {
+    fn drop(&mut self) {
+        // Exclusive access: free every node still reachable from the head.
+        // Nodes that were unlinked earlier are owned by the EBR limbo bags.
+        let mut bits = tag::unmarked(self.head.load_value_spin());
+        while !tag::as_ptr::<Node<V>>(bits).is_null() {
+            let node = tag::as_ptr::<Node<V>>(bits);
+            // SAFETY: `&mut self` gives exclusive access; each reachable node
+            // is freed exactly once.
+            let next = unsafe { (*node).next.load_value_spin() };
+            unsafe { drop(Box::from_raw(node)) };
+            bits = tag::unmarked(next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medley::{TxManager, TxResult};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<TxManager>, MichaelList<u64>) {
+        (TxManager::new(), MichaelList::new())
+    }
+
+    #[test]
+    fn empty_list_lookups() {
+        let (mgr, list) = setup();
+        let mut h = mgr.register();
+        assert_eq!(list.get(&mut h, 1), None);
+        assert!(!list.contains(&mut h, 1));
+        assert_eq!(list.remove(&mut h, 1), None);
+        assert_eq!(list.len_quiescent(), 0);
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let (mgr, list) = setup();
+        let mut h = mgr.register();
+        assert!(list.insert(&mut h, 5, 50));
+        assert!(!list.insert(&mut h, 5, 51), "duplicate insert must fail");
+        assert_eq!(list.get(&mut h, 5), Some(50));
+        assert_eq!(list.remove(&mut h, 5), Some(50));
+        assert_eq!(list.get(&mut h, 5), None);
+        assert_eq!(list.remove(&mut h, 5), None);
+    }
+
+    #[test]
+    fn keys_stay_sorted() {
+        let (mgr, list) = setup();
+        let mut h = mgr.register();
+        for k in [5u64, 1, 9, 3, 7, 2, 8] {
+            assert!(list.insert(&mut h, k, k * 10));
+        }
+        let snap = list.snapshot();
+        let keys: Vec<u64> = snap.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn put_replaces_and_returns_old() {
+        let (mgr, list) = setup();
+        let mut h = mgr.register();
+        assert_eq!(list.put(&mut h, 7, 70), None);
+        assert_eq!(list.put(&mut h, 7, 71), Some(70));
+        assert_eq!(list.get(&mut h, 7), Some(71));
+        assert_eq!(list.len_quiescent(), 1);
+        assert_eq!(list.remove(&mut h, 7), Some(71));
+        assert_eq!(list.len_quiescent(), 0);
+    }
+
+    #[test]
+    fn transactional_ops_are_atomic() {
+        let (mgr, list) = setup();
+        let mut h = mgr.register();
+        assert!(list.insert(&mut h, 1, 10));
+        // Move key 1 to key 2 atomically.
+        let res: TxResult<()> = h.run(|h| {
+            let v = list.remove(h, 1).unwrap();
+            assert!(list.insert(h, 2, v));
+            Ok(())
+        });
+        assert!(res.is_ok());
+        assert_eq!(list.get(&mut h, 1), None);
+        assert_eq!(list.get(&mut h, 2), Some(10));
+    }
+
+    #[test]
+    fn aborted_transaction_leaves_no_trace() {
+        let (mgr, list) = setup();
+        let mut h = mgr.register();
+        assert!(list.insert(&mut h, 1, 10));
+        let res: TxResult<()> = h.run(|h| {
+            assert_eq!(list.remove(h, 1), Some(10));
+            assert!(list.insert(h, 2, 20));
+            assert!(list.insert(h, 3, 30));
+            Err(h.tx_abort())
+        });
+        assert!(res.is_err());
+        assert_eq!(list.get(&mut h, 1), Some(10), "remove must be rolled back");
+        assert_eq!(list.get(&mut h, 2), None, "insert must be rolled back");
+        assert_eq!(list.get(&mut h, 3), None);
+        assert_eq!(list.len_quiescent(), 1);
+    }
+
+    #[test]
+    fn transaction_sees_its_own_writes() {
+        let (mgr, list) = setup();
+        let mut h = mgr.register();
+        let res: TxResult<()> = h.run(|h| {
+            assert!(list.insert(h, 4, 40));
+            assert_eq!(list.get(h, 4), Some(40), "read-your-own-write");
+            assert_eq!(list.remove(h, 4), Some(40));
+            assert_eq!(list.get(h, 4), None, "read-your-own-delete");
+            assert!(list.insert(h, 4, 41));
+            Ok(())
+        });
+        assert!(res.is_ok());
+        assert_eq!(list.get(&mut h, 4), Some(41));
+        assert_eq!(list.len_quiescent(), 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 300;
+        let mgr = TxManager::new();
+        let list = Arc::new(MichaelList::<u64>::new());
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let mgr = Arc::clone(&mgr);
+            let list = Arc::clone(&list);
+            joins.push(std::thread::spawn(move || {
+                let mut h = mgr.register();
+                for i in 0..PER_THREAD {
+                    let k = t * PER_THREAD + i;
+                    assert!(list.insert(&mut h, k, k));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(list.len_quiescent(), (THREADS * PER_THREAD) as usize);
+        let mut h = mgr.register();
+        for k in 0..THREADS * PER_THREAD {
+            assert_eq!(list.get(&mut h, k), Some(k));
+        }
+    }
+
+    #[test]
+    fn concurrent_transfer_preserves_total() {
+        // Classic bank-transfer workload over list cells.
+        const THREADS: usize = 4;
+        const OPS: usize = 400;
+        const ACCOUNTS: u64 = 8;
+        let mgr = TxManager::new();
+        let list = Arc::new(MichaelList::<u64>::new());
+        {
+            let mut h = mgr.register();
+            for a in 0..ACCOUNTS {
+                assert!(list.insert(&mut h, a, 100));
+            }
+        }
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let mgr = Arc::clone(&mgr);
+            let list = Arc::clone(&list);
+            joins.push(std::thread::spawn(move || {
+                let mut h = mgr.register();
+                let mut rng = medley::util::FastRng::new(t as u64 + 1);
+                for _ in 0..OPS {
+                    let from = rng.next_below(ACCOUNTS);
+                    let to = rng.next_below(ACCOUNTS);
+                    if from == to {
+                        continue;
+                    }
+                    let _ = h.run(|h| {
+                        let a = list.get(h, from).unwrap();
+                        let b = list.get(h, to).unwrap();
+                        if a == 0 {
+                            return Err(h.tx_abort());
+                        }
+                        list.put(h, from, a - 1);
+                        list.put(h, to, b + 1);
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let total: u64 = list.snapshot().iter().map(|(_, v)| *v).sum();
+        assert_eq!(total, ACCOUNTS * 100);
+    }
+}

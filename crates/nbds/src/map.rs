@@ -1,0 +1,119 @@
+//! A common trait for transactional key/value maps.
+//!
+//! The benchmark harness, the TPC-C layer, and the integration tests all work
+//! against this trait so that the Medley hash table, the Medley skiplist, the
+//! txMontage persistent maps, and the baseline systems (OneFile, TDSL, LFTT)
+//! can be swapped freely — mirroring how the paper runs the same workloads
+//! over every competitor.
+
+use medley::ThreadHandle;
+
+/// A map from `u64` keys to values of type `V` whose operations can
+/// participate in Medley transactions (or run standalone).
+pub trait TxMap<V>: Send + Sync {
+    /// Looks up `key`.
+    fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V>;
+    /// Inserts `key -> val` only if absent; returns `true` on success.
+    fn insert(&self, h: &mut ThreadHandle, key: u64, val: V) -> bool;
+    /// Inserts or replaces; returns the previous value if any.
+    fn put(&self, h: &mut ThreadHandle, key: u64, val: V) -> Option<V>;
+    /// Removes `key`; returns its value if present.
+    fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<V>;
+    /// Whether `key` is present.
+    fn contains(&self, h: &mut ThreadHandle, key: u64) -> bool {
+        self.get(h, key).is_some()
+    }
+}
+
+impl<V> TxMap<V> for crate::MichaelHashMap<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
+        MichaelHashMapExt::get(self, h, key)
+    }
+    fn insert(&self, h: &mut ThreadHandle, key: u64, val: V) -> bool {
+        crate::MichaelHashMap::insert(self, h, key, val)
+    }
+    fn put(&self, h: &mut ThreadHandle, key: u64, val: V) -> Option<V> {
+        crate::MichaelHashMap::put(self, h, key, val)
+    }
+    fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
+        crate::MichaelHashMap::remove(self, h, key)
+    }
+}
+
+// Helper alias to avoid infinite recursion between the trait method and the
+// inherent method of the same name.
+trait MichaelHashMapExt<V> {
+    fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V>;
+}
+impl<V> MichaelHashMapExt<V> for crate::MichaelHashMap<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
+        crate::MichaelHashMap::get(self, h, key)
+    }
+}
+
+impl<V> TxMap<V> for crate::SkipList<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
+        crate::SkipList::get(self, h, key)
+    }
+    fn insert(&self, h: &mut ThreadHandle, key: u64, val: V) -> bool {
+        crate::SkipList::insert(self, h, key, val)
+    }
+    fn put(&self, h: &mut ThreadHandle, key: u64, val: V) -> Option<V> {
+        crate::SkipList::put(self, h, key, val)
+    }
+    fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
+        crate::SkipList::remove(self, h, key)
+    }
+}
+
+impl<V> TxMap<V> for crate::MichaelList<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
+        crate::MichaelList::get(self, h, key)
+    }
+    fn insert(&self, h: &mut ThreadHandle, key: u64, val: V) -> bool {
+        crate::MichaelList::insert(self, h, key, val)
+    }
+    fn put(&self, h: &mut ThreadHandle, key: u64, val: V) -> Option<V> {
+        crate::MichaelList::put(self, h, key, val)
+    }
+    fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
+        crate::MichaelList::remove(self, h, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medley::TxManager;
+
+    fn exercise(map: &dyn TxMap<u64>, h: &mut ThreadHandle) {
+        assert!(!map.contains(h, 9));
+        assert!(map.insert(h, 9, 90));
+        assert!(map.contains(h, 9));
+        assert_eq!(map.get(h, 9), Some(90));
+        assert_eq!(map.put(h, 9, 91), Some(90));
+        assert_eq!(map.remove(h, 9), Some(91));
+        assert_eq!(map.remove(h, 9), None);
+    }
+
+    #[test]
+    fn all_structures_satisfy_the_trait() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        exercise(&crate::MichaelHashMap::<u64>::with_buckets(16), &mut h);
+        exercise(&crate::SkipList::<u64>::new(), &mut h);
+        exercise(&crate::MichaelList::<u64>::new(), &mut h);
+    }
+}

@@ -1,0 +1,668 @@
+//! NBTC-transformed lock-free skiplist (in the style of Fraser's CAS-based
+//! skiplist, which the paper transforms for Medley and LFTT).
+//!
+//! Membership is defined entirely by the bottom-level list, which is a
+//! Harris/Michael ordered list: the linearization point of an insert is the
+//! level-0 link CAS, the linearization point of a remove (or of the removal
+//! half of a replace) is the level-0 marking CAS, and the linearizing load of
+//! a read-only outcome is the load of the level-0 predecessor.  Exactly **one
+//! critical CAS per update** therefore needs to be executed speculatively.
+//!
+//! The upper levels are a probabilistic index (in nbMontage terms, they are
+//! "index", not "payload"): they are linked and unlinked in the
+//! post-linearization cleanup phase with plain CASes, so they never carry
+//! descriptors and never need to be rolled back.  An aborted remove may leave
+//! a node's upper levels marked; the node simply degrades to a bottom-level
+//! node until it is removed for real, which affects performance but never
+//! correctness.
+//!
+//! Reclamation: a node is retired only by the operation that logically
+//! deleted it, and only after a verification search has confirmed the node is
+//! unlinked from every level, so index pointers can never dangle.
+
+use crate::tag;
+use medley::{CasWord, ThreadHandle};
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Maximum tower height (matches the paper's 20-level skiplists).
+pub const MAX_HEIGHT: usize = 20;
+
+pub(crate) struct Node<V> {
+    key: u64,
+    val: V,
+    height: usize,
+    tower: [CasWord; MAX_HEIGHT],
+}
+
+impl<V> Node<V> {
+    fn new_tower() -> [CasWord; MAX_HEIGHT] {
+        std::array::from_fn(|_| CasWord::new(0))
+    }
+}
+
+/// Result of positioning at the bottom level.
+struct Level0Pos<V> {
+    prev: *const CasWord,
+    prev_val: u64,
+    curr: *mut Node<V>,
+    next: u64,
+    found: bool,
+}
+
+/// A lock-free, NBTC-composable skiplist map from `u64` keys to `V`.
+pub struct SkipList<V> {
+    head: [CasWord; MAX_HEIGHT],
+    seed: AtomicU64,
+    _marker: PhantomData<V>,
+}
+
+// SAFETY: shared concurrent container, nodes reclaimed through EBR.
+unsafe impl<V: Send + Sync> Send for SkipList<V> {}
+unsafe impl<V: Send + Sync> Sync for SkipList<V> {}
+
+impl<V> SkipList<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    /// Creates an empty skiplist.
+    pub fn new() -> Self {
+        Self {
+            head: std::array::from_fn(|_| CasWord::new(0)),
+            seed: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Pseudo-random tower height with a geometric(1/2) distribution.
+    fn random_height(&self) -> usize {
+        let mut x = self.seed.fetch_add(0xA24B_AED4_963E_E407, Ordering::Relaxed);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        ((x.trailing_ones() as usize) + 1).min(MAX_HEIGHT)
+    }
+
+    /// The level-`level` link word of `node`, or of the head tower when
+    /// `node` is null.
+    #[inline]
+    fn word_at(&self, node: *mut Node<V>, level: usize) -> *const CasWord {
+        if node.is_null() {
+            &self.head[level]
+        } else {
+            // SAFETY: callers only pass nodes protected by the current pin.
+            unsafe { &(*node).tower[level] }
+        }
+    }
+
+    /// Searches for `key`, filling `preds`/`succs` with the insertion point
+    /// at every level and returning the bottom-level position.  Marked nodes
+    /// encountered on the way are physically unlinked (helping), but never
+    /// retired here.
+    fn search(
+        &self,
+        h: &mut ThreadHandle,
+        key: u64,
+        preds: &mut [*mut Node<V>; MAX_HEIGHT],
+        succs: &mut [u64; MAX_HEIGHT],
+    ) -> Level0Pos<V> {
+        'retry: loop {
+            let mut pred_node: *mut Node<V> = ptr::null_mut();
+            for level in (0..MAX_HEIGHT).rev() {
+                loop {
+                    let pred_word = self.word_at(pred_node, level);
+                    // SAFETY: pred_word is valid while pinned.
+                    let raw = h.nbtc_load(unsafe { &*pred_word });
+                    let curr_bits = tag::unmarked(raw);
+                    let curr = tag::as_ptr::<Node<V>>(curr_bits);
+                    if curr.is_null() {
+                        preds[level] = pred_node;
+                        succs[level] = 0;
+                        if level == 0 {
+                            return Level0Pos {
+                                prev: pred_word,
+                                prev_val: raw,
+                                curr: ptr::null_mut(),
+                                next: 0,
+                                found: false,
+                            };
+                        }
+                        break;
+                    }
+                    // SAFETY: curr reachable and pinned.
+                    let next_raw = h.nbtc_load(unsafe { &(*curr).tower[level] });
+                    if tag::is_marked(next_raw) {
+                        // curr is deleted at this level; help unlink it.
+                        if !h.nbtc_cas(
+                            unsafe { &*pred_word },
+                            curr_bits,
+                            tag::unmarked(next_raw),
+                            false,
+                            false,
+                        ) {
+                            continue 'retry;
+                        }
+                        continue;
+                    }
+                    let ckey = unsafe { (*curr).key };
+                    if ckey < key {
+                        pred_node = curr;
+                        continue;
+                    }
+                    preds[level] = pred_node;
+                    succs[level] = curr_bits;
+                    if level == 0 {
+                        return Level0Pos {
+                            prev: pred_word,
+                            prev_val: raw,
+                            curr,
+                            next: next_raw,
+                            found: ckey == key,
+                        };
+                    }
+                    break;
+                }
+            }
+            unreachable!("level 0 always returns");
+        }
+    }
+
+    fn empty_arrays() -> ([*mut Node<V>; MAX_HEIGHT], [u64; MAX_HEIGHT]) {
+        ([ptr::null_mut(); MAX_HEIGHT], [0; MAX_HEIGHT])
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
+        h.with_op(|h| {
+            let (mut preds, mut succs) = Self::empty_arrays();
+            let pos = self.search(h, key, &mut preds, &mut succs);
+            // SAFETY: pos.curr pinned.
+            let res = if pos.found {
+                Some(unsafe { (*pos.curr).val.clone() })
+            } else {
+                None
+            };
+            // SAFETY: pos.prev valid while pinned.
+            h.add_to_read_set(unsafe { &*pos.prev }, pos.prev_val);
+            res
+        })
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, h: &mut ThreadHandle, key: u64) -> bool {
+        self.get(h, key).is_some()
+    }
+
+    /// Links `node` into levels `1..height` (post-linearization index
+    /// maintenance).  Called from cleanup context (outside any transaction).
+    fn link_upper_levels(&self, h: &mut ThreadHandle, node: *mut Node<V>, height: usize) {
+        let (mut preds, mut succs) = Self::empty_arrays();
+        // SAFETY: node is linked at level 0 (committed) and cannot be freed
+        // before it is unlinked from every level, which cannot happen while
+        // its own remover has not yet retired it and we are pinned.
+        let key = unsafe { (*node).key };
+        'levels: for level in 1..height {
+            loop {
+                // Stop early if the node has since been logically deleted.
+                let bottom = unsafe { (*node).tower[0].load_parts().0 };
+                if tag::is_marked(bottom) {
+                    break 'levels;
+                }
+                let _ = self.search(h, key, &mut preds, &mut succs);
+                let succ = succs[level];
+                if tag::as_ptr::<Node<V>>(succ) == node {
+                    // Already linked at this level (e.g. by a previous retry).
+                    continue 'levels;
+                }
+                // Point the node at its successor, unless it got marked.
+                let cur = unsafe { (*node).tower[level].load_parts().0 };
+                if tag::is_marked(cur) {
+                    break 'levels;
+                }
+                if cur != succ && !unsafe { &(*node).tower[level] }.cas_value(cur, succ) {
+                    continue;
+                }
+                let pred_word = self.word_at(preds[level], level);
+                // SAFETY: preds[level] pinned.
+                if unsafe { &*pred_word }.cas_value(succ, tag::from_ptr(node)) {
+                    continue 'levels;
+                }
+                // Lost a race; re-search and retry this level.
+            }
+        }
+    }
+
+    /// Marks levels `height-1 .. 1` of `node` (cleanup of a logical delete),
+    /// then unlinks the node everywhere and retires it.
+    fn finish_removal(&self, h: &mut ThreadHandle, node: *mut Node<V>) {
+        // SAFETY: node is pinned and not yet retired (we are its unique
+        // retirer).
+        let height = unsafe { (*node).height };
+        let key = unsafe { (*node).key };
+        for level in (1..height).rev() {
+            loop {
+                let cur = unsafe { (*node).tower[level].load_parts().0 };
+                if tag::is_marked(cur) {
+                    break;
+                }
+                if unsafe { &(*node).tower[level] }.cas_value(cur, tag::marked(cur)) {
+                    break;
+                }
+            }
+        }
+        // A full search unlinks the node from every level it is still linked
+        // at; afterwards no new links to it can be created (it is marked at
+        // every level), so it is safe to retire.
+        let (mut preds, mut succs) = Self::empty_arrays();
+        let _ = self.search(h, key, &mut preds, &mut succs);
+        // SAFETY: unreachable from the structure and uniquely retired here.
+        unsafe { h.retire_now(node) };
+    }
+
+    /// Inserts `key -> val` only if absent; returns `true` on success.
+    pub fn insert(&self, h: &mut ThreadHandle, key: u64, val: V) -> bool {
+        h.with_op(|h| {
+            let height = self.random_height();
+            let node = h.tnew(Node {
+                key,
+                val,
+                height,
+                tower: Node::<V>::new_tower(),
+            });
+            loop {
+                let (mut preds, mut succs) = Self::empty_arrays();
+                let pos = self.search(h, key, &mut preds, &mut succs);
+                if pos.found {
+                    // SAFETY: node private; pos.prev pinned.
+                    unsafe { h.tdelete(node) };
+                    h.add_to_read_set(unsafe { &*pos.prev }, pos.prev_val);
+                    return false;
+                }
+                // SAFETY: node still private.
+                unsafe { (*node).tower[0].store_value(tag::from_ptr(pos.curr)) };
+                // Linearization + publication point: bottom-level link.
+                if h.nbtc_cas(
+                    unsafe { &*pos.prev },
+                    tag::from_ptr(pos.curr),
+                    tag::from_ptr(node),
+                    true,
+                    true,
+                ) {
+                    let list_addr = self as *const Self as usize;
+                    let node_addr = node as usize;
+                    h.add_cleanup(move |h| {
+                        let list = list_addr as *const Self;
+                        // SAFETY: the structure outlives the transaction
+                        // (caller contract).
+                        unsafe { (*list).link_upper_levels(h, node_addr as *mut Node<V>, height) };
+                    });
+                    return true;
+                }
+            }
+        })
+    }
+
+    /// Inserts or replaces; returns the previous value if any.
+    pub fn put(&self, h: &mut ThreadHandle, key: u64, val: V) -> Option<V> {
+        h.with_op(|h| {
+            let height = self.random_height();
+            let node = h.tnew(Node {
+                key,
+                val,
+                height,
+                tower: Node::<V>::new_tower(),
+            });
+            loop {
+                let (mut preds, mut succs) = Self::empty_arrays();
+                let pos = self.search(h, key, &mut preds, &mut succs);
+                if pos.found {
+                    let old_node = pos.curr;
+                    // Replace: mark the old node's bottom link so that the
+                    // marked pointer *is* the replacement (paper Fig. 2).
+                    // SAFETY: node private; old_node pinned.
+                    unsafe { (*node).tower[0].store_value(pos.next) };
+                    if h.nbtc_cas(
+                        unsafe { &(*old_node).tower[0] },
+                        pos.next,
+                        tag::marked(tag::from_ptr(node)),
+                        true,
+                        true,
+                    ) {
+                        let old = unsafe { (*old_node).val.clone() };
+                        let list_addr = self as *const Self as usize;
+                        let node_addr = node as usize;
+                        let old_addr = old_node as usize;
+                        h.add_cleanup(move |h| {
+                            let list = list_addr as *const Self;
+                            // SAFETY: caller contract (structure outlives tx).
+                            unsafe {
+                                (*list).link_upper_levels(h, node_addr as *mut Node<V>, height);
+                                (*list).finish_removal(h, old_addr as *mut Node<V>);
+                            }
+                        });
+                        return Some(old);
+                    }
+                } else {
+                    // SAFETY: node private; pos.prev pinned.
+                    unsafe { (*node).tower[0].store_value(tag::from_ptr(pos.curr)) };
+                    if h.nbtc_cas(
+                        unsafe { &*pos.prev },
+                        tag::from_ptr(pos.curr),
+                        tag::from_ptr(node),
+                        true,
+                        true,
+                    ) {
+                        let list_addr = self as *const Self as usize;
+                        let node_addr = node as usize;
+                        h.add_cleanup(move |h| {
+                            let list = list_addr as *const Self;
+                            // SAFETY: caller contract.
+                            unsafe {
+                                (*list).link_upper_levels(h, node_addr as *mut Node<V>, height)
+                            };
+                        });
+                        return None;
+                    }
+                }
+            }
+        })
+    }
+
+    /// Removes `key`; returns its value if present.
+    pub fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
+        h.with_op(|h| {
+            loop {
+                let (mut preds, mut succs) = Self::empty_arrays();
+                let pos = self.search(h, key, &mut preds, &mut succs);
+                if !pos.found {
+                    // SAFETY: pos.prev pinned.
+                    h.add_to_read_set(unsafe { &*pos.prev }, pos.prev_val);
+                    return None;
+                }
+                let node = pos.curr;
+                // Linearization point: marking the bottom-level link.
+                // SAFETY: node pinned.
+                if h.nbtc_cas(
+                    unsafe { &(*node).tower[0] },
+                    pos.next,
+                    tag::marked(pos.next),
+                    true,
+                    true,
+                ) {
+                    let old = unsafe { (*node).val.clone() };
+                    let list_addr = self as *const Self as usize;
+                    let node_addr = node as usize;
+                    h.add_cleanup(move |h| {
+                        let list = list_addr as *const Self;
+                        // SAFETY: caller contract.
+                        unsafe { (*list).finish_removal(h, node_addr as *mut Node<V>) };
+                    });
+                    return Some(old);
+                }
+            }
+        })
+    }
+
+    /// Quiescent snapshot of the live `(key, value)` pairs in key order.
+    pub fn snapshot(&self) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        let mut bits = tag::unmarked(self.head[0].load_value_spin());
+        while let Some(node) = unsafe { tag::as_ptr::<Node<V>>(bits).as_ref() } {
+            let next = node.tower[0].load_value_spin();
+            if !tag::is_marked(next) {
+                out.push((node.key, node.val.clone()));
+            }
+            bits = tag::unmarked(next);
+        }
+        out
+    }
+
+    /// Quiescent count of live keys.
+    pub fn len_quiescent(&self) -> usize {
+        self.snapshot().len()
+    }
+}
+
+impl<V> Default for SkipList<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> Drop for SkipList<V> {
+    fn drop(&mut self) {
+        // Free every node reachable at level 0; unlinked nodes are owned by
+        // EBR limbo bags.
+        let mut bits = tag::unmarked(self.head[0].load_value_spin());
+        while !tag::as_ptr::<Node<V>>(bits).is_null() {
+            let node = tag::as_ptr::<Node<V>>(bits);
+            // SAFETY: exclusive access in Drop.
+            let next = unsafe { (*node).tower[0].load_value_spin() };
+            unsafe { drop(Box::from_raw(node)) };
+            bits = tag::unmarked(next);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medley::{TxManager, TxResult};
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_crud() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let sl = SkipList::new();
+        assert_eq!(sl.get(&mut h, 3), None);
+        assert!(sl.insert(&mut h, 3, 30));
+        assert!(!sl.insert(&mut h, 3, 31));
+        assert_eq!(sl.get(&mut h, 3), Some(30));
+        assert_eq!(sl.put(&mut h, 3, 33), Some(30));
+        assert_eq!(sl.get(&mut h, 3), Some(33));
+        assert_eq!(sl.remove(&mut h, 3), Some(33));
+        assert_eq!(sl.remove(&mut h, 3), None);
+        assert_eq!(sl.len_quiescent(), 0);
+    }
+
+    #[test]
+    fn many_keys_stay_sorted() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let sl = SkipList::new();
+        let mut keys: Vec<u64> = (0..1_000).map(|i| (i * 2_654_435_761u64) % 100_000).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for &k in &keys {
+            assert!(sl.insert(&mut h, k, k + 1));
+        }
+        let snap = sl.snapshot();
+        assert_eq!(snap.len(), keys.len());
+        let snap_keys: Vec<u64> = snap.iter().map(|(k, _)| *k).collect();
+        assert_eq!(snap_keys, keys, "snapshot must be sorted and complete");
+        for &k in keys.iter().step_by(3) {
+            assert_eq!(sl.remove(&mut h, k), Some(k + 1));
+        }
+        for &k in keys.iter() {
+            let expect = if keys.iter().position(|&x| x == k).unwrap() % 3 == 0 {
+                None
+            } else {
+                Some(k + 1)
+            };
+            assert_eq!(sl.get(&mut h, k), expect);
+        }
+    }
+
+    #[test]
+    fn random_height_distribution_is_sane() {
+        let sl = SkipList::<u64>::new();
+        let mut counts = [0usize; MAX_HEIGHT + 1];
+        for _ in 0..10_000 {
+            let h = sl.random_height();
+            assert!((1..=MAX_HEIGHT).contains(&h));
+            counts[h] += 1;
+        }
+        assert!(counts[1] > 3_000, "about half the towers should be height 1");
+        assert!(counts[1] < 7_000);
+    }
+
+    #[test]
+    fn transactional_composition_and_rollback() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let sl = SkipList::new();
+        assert!(sl.insert(&mut h, 1, 10));
+
+        // Committed transaction: move 1 -> 2.
+        let ok: TxResult<()> = h.run(|h| {
+            let v = sl.remove(h, 1).unwrap();
+            assert!(sl.insert(h, 2, v));
+            assert_eq!(sl.get(h, 1), None, "own delete visible");
+            assert_eq!(sl.get(h, 2), Some(10), "own insert visible");
+            Ok(())
+        });
+        assert!(ok.is_ok());
+        assert_eq!(sl.get(&mut h, 1), None);
+        assert_eq!(sl.get(&mut h, 2), Some(10));
+
+        // Aborted transaction leaves no trace.
+        let err: TxResult<()> = h.run(|h| {
+            assert_eq!(sl.remove(h, 2), Some(10));
+            assert!(sl.insert(h, 5, 50));
+            Err(h.tx_abort())
+        });
+        assert!(err.is_err());
+        assert_eq!(sl.get(&mut h, 2), Some(10));
+        assert_eq!(sl.get(&mut h, 5), None);
+        assert_eq!(sl.len_quiescent(), 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_and_lookups() {
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 400;
+        let mgr = TxManager::new();
+        let sl = Arc::new(SkipList::<u64>::new());
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let mgr = Arc::clone(&mgr);
+            let sl = Arc::clone(&sl);
+            joins.push(std::thread::spawn(move || {
+                let mut h = mgr.register();
+                for i in 0..PER_THREAD {
+                    let k = t * PER_THREAD + i;
+                    assert!(sl.insert(&mut h, k, k * 7));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(sl.len_quiescent(), (THREADS * PER_THREAD) as usize);
+        let mut h = mgr.register();
+        for k in 0..THREADS * PER_THREAD {
+            assert_eq!(sl.get(&mut h, k), Some(k * 7));
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_value_invariant() {
+        const THREADS: usize = 4;
+        const OPS: usize = 500;
+        const KEY_SPACE: u64 = 64;
+        let mgr = TxManager::new();
+        let sl = Arc::new(SkipList::<u64>::new());
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let mgr = Arc::clone(&mgr);
+            let sl = Arc::clone(&sl);
+            joins.push(std::thread::spawn(move || {
+                let mut h = mgr.register();
+                let mut rng = medley::util::FastRng::new((t + 11) as u64);
+                for _ in 0..OPS {
+                    let k = rng.next_below(KEY_SPACE);
+                    match rng.next_below(4) {
+                        0 => {
+                            sl.insert(&mut h, k, k * 2);
+                        }
+                        1 => {
+                            sl.put(&mut h, k, k * 2);
+                        }
+                        2 => {
+                            sl.remove(&mut h, k);
+                        }
+                        _ => {
+                            if let Some(v) = sl.get(&mut h, k) {
+                                assert_eq!(v, k * 2);
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let snap = sl.snapshot();
+        for (k, v) in &snap {
+            assert_eq!(*v, *k * 2);
+        }
+        let keys: Vec<u64> = snap.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "level-0 list must remain sorted and duplicate-free");
+    }
+
+    #[test]
+    fn concurrent_transfers_preserve_sum() {
+        const THREADS: usize = 4;
+        const OPS: usize = 250;
+        const ACCOUNTS: u64 = 10;
+        let mgr = TxManager::new();
+        let sl = Arc::new(SkipList::<u64>::new());
+        {
+            let mut h = mgr.register();
+            for a in 0..ACCOUNTS {
+                assert!(sl.insert(&mut h, a, 1_000));
+            }
+        }
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let mgr = Arc::clone(&mgr);
+            let sl = Arc::clone(&sl);
+            joins.push(std::thread::spawn(move || {
+                let mut h = mgr.register();
+                let mut rng = medley::util::FastRng::new((t + 3) as u64);
+                for _ in 0..OPS {
+                    let from = rng.next_below(ACCOUNTS);
+                    let to = rng.next_below(ACCOUNTS);
+                    if from == to {
+                        continue;
+                    }
+                    let amt = 1 + rng.next_below(5);
+                    let _ = h.run(|h| {
+                        let a = sl.get(h, from).unwrap();
+                        let b = sl.get(h, to).unwrap();
+                        if a < amt {
+                            return Err(h.tx_abort());
+                        }
+                        sl.put(h, from, a - amt);
+                        sl.put(h, to, b + amt);
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let total: u64 = sl.snapshot().iter().map(|(_, v)| *v).sum();
+        assert_eq!(total, ACCOUNTS * 1_000);
+    }
+}

@@ -1,0 +1,70 @@
+//! Tagged-pointer helpers.
+//!
+//! All node pointers stored in [`medley::CasWord`]s are at least 8-byte
+//! aligned, so the low bit is free to carry the Harris/Michael deletion mark
+//! ("this node is logically removed").  The descriptor-vs-value distinction
+//! of Medley lives in the *counter* half of the `CasWord`, so value tagging
+//! and transactional instrumentation never collide.
+
+/// The logical-deletion mark.
+pub const MARK: u64 = 1;
+
+/// Returns `bits` with the deletion mark set.
+#[inline]
+pub fn marked(bits: u64) -> u64 {
+    bits | MARK
+}
+
+/// Returns `bits` with the deletion mark cleared.
+#[inline]
+pub fn unmarked(bits: u64) -> u64 {
+    bits & !MARK
+}
+
+/// Whether the deletion mark is set.
+#[inline]
+pub fn is_marked(bits: u64) -> bool {
+    bits & MARK == MARK
+}
+
+/// Converts stored bits to a (possibly null) node pointer, dropping any mark.
+#[inline]
+pub fn as_ptr<T>(bits: u64) -> *mut T {
+    unmarked(bits) as usize as *mut T
+}
+
+/// Converts a node pointer to its stored representation (unmarked).
+#[inline]
+pub fn from_ptr<T>(ptr: *mut T) -> u64 {
+    debug_assert_eq!(ptr as usize as u64 & MARK, 0, "node pointers must be aligned");
+    ptr as usize as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_roundtrip() {
+        let bits = 0x1000u64;
+        assert!(!is_marked(bits));
+        let m = marked(bits);
+        assert!(is_marked(m));
+        assert_eq!(unmarked(m), bits);
+    }
+
+    #[test]
+    fn pointer_roundtrip() {
+        let b = Box::into_raw(Box::new(7u64));
+        let bits = from_ptr(b);
+        assert_eq!(as_ptr::<u64>(bits), b);
+        assert_eq!(as_ptr::<u64>(marked(bits)), b, "as_ptr strips the mark");
+        unsafe { drop(Box::from_raw(b)) };
+    }
+
+    #[test]
+    fn null_is_representable() {
+        assert_eq!(as_ptr::<u64>(0), std::ptr::null_mut());
+        assert!(!is_marked(0));
+    }
+}

@@ -1,0 +1,315 @@
+//! A sequential chained hash table parallelized with the OneFile-style STM —
+//! exactly the configuration the paper benchmarks ("In OneFile, we use a
+//! sequential chained hash table parallelized using STM").
+//!
+//! Node `next` pointers and values are `TmVar`s; every operation runs inside
+//! a read or write transaction of [`OneFileStm`], and multiple operations can
+//! be composed by the caller into a single larger transaction (that is what
+//! the Fig. 7/8 workloads do).
+
+use crate::stm::{OfAbort, OneFileStm, ReadTx, TmVar, WriteTx};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+struct Node {
+    key: u64,
+    val: TmVar,
+    next: TmVar, // *mut Node as u64; 0 = null
+}
+
+/// A chained hash map whose every mutable word is STM-managed.
+pub struct OneFileMap {
+    stm: Arc<OneFileStm>,
+    buckets: Box<[TmVar]>,
+    mask: u64,
+    /// Nodes unlinked by `remove`/`put`; freed when the map is dropped
+    /// (readers carry no hazard information in this baseline).
+    graveyard: Mutex<Vec<*mut Node>>,
+}
+
+// SAFETY: nodes are shared across threads; all mutation is mediated by the
+// STM, and reclamation is deferred to drop.
+unsafe impl Send for OneFileMap {}
+unsafe impl Sync for OneFileMap {}
+
+impl OneFileMap {
+    /// Creates a map with `buckets` buckets (rounded up to a power of two).
+    pub fn new(stm: Arc<OneFileStm>, buckets: usize) -> Self {
+        let n = buckets.next_power_of_two().max(1);
+        Self {
+            stm,
+            buckets: (0..n).map(|_| TmVar::new(0)).collect::<Vec<_>>().into_boxed_slice(),
+            mask: (n - 1) as u64,
+            graveyard: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The STM instance transactions on this map must use.
+    pub fn stm(&self) -> &Arc<OneFileStm> {
+        &self.stm
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> &TmVar {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.buckets[(h & self.mask) as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Composable (inside-transaction) operations
+    // ------------------------------------------------------------------
+
+    /// Lookup inside a write transaction.
+    pub fn get_w(&self, tx: &WriteTx, key: u64) -> Option<u64> {
+        let mut cur = tx.read(self.bucket(key));
+        while cur != 0 {
+            // SAFETY: node pointers stored in TmVars are live until drop.
+            let node = unsafe { &*(cur as usize as *const Node) };
+            if node.key == key {
+                return Some(tx.read(&node.val));
+            }
+            if node.key > key {
+                return None;
+            }
+            cur = tx.read(&node.next);
+        }
+        None
+    }
+
+    /// Lookup inside a read-only transaction.
+    pub fn get_r(&self, tx: &ReadTx<'_>, key: u64) -> Option<u64> {
+        let mut cur = tx.read(self.bucket(key));
+        while cur != 0 {
+            // SAFETY: as above.
+            let node = unsafe { &*(cur as usize as *const Node) };
+            if node.key == key {
+                return Some(tx.read(&node.val));
+            }
+            if node.key > key {
+                return None;
+            }
+            cur = tx.read(&node.next);
+        }
+        None
+    }
+
+    /// Insert-or-replace inside a write transaction; returns the old value.
+    pub fn put_w(&self, tx: &mut WriteTx, key: u64, val: u64) -> Option<u64> {
+        let mut prev: Option<&TmVar> = None;
+        let head = self.bucket(key);
+        let mut cur = tx.read(head);
+        while cur != 0 {
+            // SAFETY: as above.
+            let node = unsafe { &*(cur as usize as *const Node) };
+            if node.key == key {
+                let old = tx.read(&node.val);
+                tx.write(&node.val, val);
+                return Some(old);
+            }
+            if node.key > key {
+                break;
+            }
+            prev = Some(&node.next);
+            cur = tx.read(&node.next);
+        }
+        let new_node = Box::into_raw(Box::new(Node {
+            key,
+            val: TmVar::new(val),
+            next: TmVar::new(cur),
+        }));
+        let bits = new_node as usize as u64;
+        match prev {
+            Some(p) => tx.write(p, bits),
+            None => tx.write(head, bits),
+        }
+        None
+    }
+
+    /// Insert-if-absent inside a write transaction.
+    pub fn insert_w(&self, tx: &mut WriteTx, key: u64, val: u64) -> bool {
+        if self.get_w(tx, key).is_some() {
+            return false;
+        }
+        self.put_w(tx, key, val);
+        true
+    }
+
+    /// Remove inside a write transaction; returns the old value.
+    pub fn remove_w(&self, tx: &mut WriteTx, key: u64) -> Option<u64> {
+        let head = self.bucket(key);
+        let mut prev: Option<&TmVar> = None;
+        let mut cur = tx.read(head);
+        while cur != 0 {
+            // SAFETY: as above.
+            let node = unsafe { &*(cur as usize as *const Node) };
+            if node.key == key {
+                let old = tx.read(&node.val);
+                let next = tx.read(&node.next);
+                match prev {
+                    Some(p) => tx.write(p, next),
+                    None => tx.write(head, next),
+                }
+                self.graveyard.lock().push(cur as usize as *mut Node);
+                return Some(old);
+            }
+            if node.key > key {
+                return None;
+            }
+            prev = Some(&node.next);
+            cur = tx.read(&node.next);
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Standalone single-operation wrappers
+    // ------------------------------------------------------------------
+
+    /// Standalone lookup (runs its own read transaction).
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.stm.read_tx(|tx| self.get_r(tx, key))
+    }
+
+    /// Standalone insert-or-replace.
+    pub fn put(&self, key: u64, val: u64) -> Option<u64> {
+        self.stm
+            .write_tx(|tx| Ok::<_, OfAbort>(self.put_w(tx, key, val)))
+            .unwrap()
+    }
+
+    /// Standalone insert-if-absent.
+    pub fn insert(&self, key: u64, val: u64) -> bool {
+        self.stm
+            .write_tx(|tx| Ok::<_, OfAbort>(self.insert_w(tx, key, val)))
+            .unwrap()
+    }
+
+    /// Standalone remove.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        self.stm
+            .write_tx(|tx| Ok::<_, OfAbort>(self.remove_w(tx, key)))
+            .unwrap()
+    }
+
+    /// Quiescent number of live keys.
+    pub fn len_quiescent(&self) -> usize {
+        let mut n = 0;
+        for b in self.buckets.iter() {
+            let mut cur = b.load_raw();
+            while cur != 0 {
+                n += 1;
+                // SAFETY: quiescent access.
+                cur = unsafe { (*(cur as usize as *const Node)).next.load_raw() };
+            }
+        }
+        n
+    }
+}
+
+impl Drop for OneFileMap {
+    fn drop(&mut self) {
+        for b in self.buckets.iter() {
+            let mut cur = b.load_raw();
+            while cur != 0 {
+                let node = cur as usize as *mut Node;
+                // SAFETY: exclusive access in Drop.
+                cur = unsafe { (*node).next.load_raw() };
+                unsafe { drop(Box::from_raw(node)) };
+            }
+        }
+        for node in self.graveyard.lock().drain(..) {
+            // SAFETY: graveyard nodes were unlinked and never freed.
+            unsafe { drop(Box::from_raw(node)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_crud() {
+        let stm = OneFileStm::new();
+        let map = OneFileMap::new(stm, 64);
+        assert_eq!(map.get(1), None);
+        assert!(map.insert(1, 10));
+        assert!(!map.insert(1, 11));
+        assert_eq!(map.get(1), Some(10));
+        assert_eq!(map.put(1, 12), Some(10));
+        assert_eq!(map.remove(1), Some(12));
+        assert_eq!(map.remove(1), None);
+        assert_eq!(map.len_quiescent(), 0);
+    }
+
+    #[test]
+    fn composed_transaction_is_atomic() {
+        let stm = OneFileStm::new();
+        let map = OneFileMap::new(Arc::clone(&stm), 64);
+        assert!(map.insert(1, 100));
+        // Transfer 30 units from key 1 to key 2 in one transaction.
+        let r = stm.write_tx(|tx| {
+            let a = map.get_w(tx, 1).unwrap();
+            if a < 30 {
+                return Err(OfAbort);
+            }
+            map.put_w(tx, 1, a - 30);
+            let b = map.get_w(tx, 2).unwrap_or(0);
+            map.put_w(tx, 2, b + 30);
+            Ok(())
+        });
+        assert!(r.is_ok());
+        assert_eq!(map.get(1), Some(70));
+        assert_eq!(map.get(2), Some(30));
+        // Aborted transfer changes nothing.
+        let r = stm.write_tx(|tx| {
+            let a = map.get_w(tx, 1).unwrap();
+            map.put_w(tx, 1, a + 999);
+            Err::<(), _>(OfAbort)
+        });
+        assert!(r.is_err());
+        assert_eq!(map.get(1), Some(70));
+    }
+
+    #[test]
+    fn concurrent_transfers_preserve_sum() {
+        const THREADS: usize = 4;
+        const OPS: usize = 300;
+        const KEYS: u64 = 8;
+        let stm = OneFileStm::new();
+        let map = Arc::new(OneFileMap::new(Arc::clone(&stm), 32));
+        for k in 0..KEYS {
+            map.insert(k, 100);
+        }
+        let mut joins = Vec::new();
+        for t in 0..THREADS {
+            let stm = Arc::clone(&stm);
+            let map = Arc::clone(&map);
+            joins.push(std::thread::spawn(move || {
+                let mut rng = medley::util::FastRng::new(t as u64 + 1);
+                for _ in 0..OPS {
+                    let from = rng.next_below(KEYS);
+                    let to = rng.next_below(KEYS);
+                    if from == to {
+                        continue;
+                    }
+                    let _ = stm.write_tx(|tx| {
+                        let a = map.get_w(tx, from).unwrap();
+                        let b = map.get_w(tx, to).unwrap();
+                        if a == 0 {
+                            return Err(OfAbort);
+                        }
+                        map.put_w(tx, from, a - 1);
+                        map.put_w(tx, to, b + 1);
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let total: u64 = (0..KEYS).map(|k| map.get(k).unwrap()).sum();
+        assert_eq!(total, KEYS * 100);
+    }
+}

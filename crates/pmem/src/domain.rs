@@ -1,0 +1,353 @@
+//! The persistence domain: payload store + epoch protocol (nbMontage-style).
+//!
+//! nbMontage distinguishes *payloads* (semantically significant data — for a
+//! mapping, the pile of key/value pairs) from *indices* (transient structures
+//! kept in DRAM and rebuilt on recovery).  Payloads are tagged with the epoch
+//! of the operation that created or retired them; wall-clock time is divided
+//! into epochs, payloads are written back in batches at epoch boundaries, and
+//! recovery after a crash in epoch `e` restores the state as of the end of
+//! epoch `e - 2`.
+//!
+//! [`PersistenceDomain`] implements exactly this protocol over the simulated
+//! NVM of [`crate::nvm`].  The epoch clock is the `TxManager`'s epoch word,
+//! so that — with `TxManager::set_epoch_validation(true)` — Medley
+//! transactions validate the epoch as part of their MCNS commit and therefore
+//! always linearize entirely inside one epoch: this is the one-line
+//! integration that gives txMontage failure atomicity "almost for free"
+//! (paper Sec. 4.4).
+
+use crate::nvm::{NvmCostModel, SimNvm};
+use medley::TxManager;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A payload slot is retired but its retirement is not yet durable.
+const LIVE: u64 = u64::MAX;
+
+/// One payload record: a key/value pair plus the epochs in which it was
+/// created and retired.  In real nbMontage this is a cache-line-sized block
+/// in NVM; here it is a slot in the simulated-NVM slab.
+#[derive(Debug, Clone, Copy)]
+struct Payload {
+    key: u64,
+    val: u64,
+    birth: u64,
+    retire: u64,
+}
+
+/// Identifier of a payload record (returned by [`PersistenceDomain::alloc_payload`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayloadId(pub u64);
+
+#[derive(Debug, Default)]
+struct Slab {
+    slots: Vec<Payload>,
+    free: Vec<usize>,
+}
+
+/// Statistics of a persistence domain.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DomainStats {
+    /// Payload records currently considered live.
+    pub live_payloads: usize,
+    /// Payload slots available for reuse.
+    pub free_slots: usize,
+    /// Epoch up to which payloads have been written back.
+    pub persisted_epoch: u64,
+    /// Current epoch.
+    pub current_epoch: u64,
+}
+
+/// An nbMontage-style persistence domain bound to one [`TxManager`].
+pub struct PersistenceDomain {
+    mgr: Arc<TxManager>,
+    nvm: SimNvm,
+    slab: Mutex<Slab>,
+    /// Epoch up to which all payload births/retirements have been "written
+    /// back" to simulated NVM.
+    persisted_epoch: AtomicU64,
+}
+
+impl std::fmt::Debug for PersistenceDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistenceDomain")
+            .field("current_epoch", &self.current_epoch())
+            .field("persisted_epoch", &self.persisted_epoch.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl PersistenceDomain {
+    /// Creates a domain on `mgr` with the given NVM cost model, and turns on
+    /// epoch validation for all transactions of that manager.
+    pub fn new(mgr: Arc<TxManager>, cost: NvmCostModel) -> Arc<Self> {
+        mgr.set_epoch_validation(true);
+        Arc::new(Self {
+            mgr,
+            nvm: SimNvm::new(cost),
+            slab: Mutex::new(Slab::default()),
+            persisted_epoch: AtomicU64::new(0),
+        })
+    }
+
+    /// The transaction manager whose epoch word drives this domain.
+    pub fn manager(&self) -> &Arc<TxManager> {
+        &self.mgr
+    }
+
+    /// The simulated NVM device (for inspecting flush/fence counts).
+    pub fn nvm(&self) -> &SimNvm {
+        &self.nvm
+    }
+
+    /// Current epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.mgr.current_epoch()
+    }
+
+    /// Allocates a payload record for `key -> val`, tagged with `epoch`.
+    pub fn alloc_payload(&self, key: u64, val: u64, epoch: u64) -> PayloadId {
+        let mut slab = self.slab.lock();
+        let payload = Payload {
+            key,
+            val,
+            birth: epoch,
+            retire: LIVE,
+        };
+        let idx = if let Some(idx) = slab.free.pop() {
+            slab.slots[idx] = payload;
+            idx
+        } else {
+            slab.slots.push(payload);
+            slab.slots.len() - 1
+        };
+        PayloadId(idx as u64)
+    }
+
+    /// Abandons a payload that belongs to an *aborted* transaction: the
+    /// record was never part of any durable state (its birth epoch is more
+    /// recent than every possible recovery horizon), so its slot can be
+    /// recycled immediately.
+    pub fn abandon_payload(&self, id: PayloadId) {
+        let mut slab = self.slab.lock();
+        let idx = id.0 as usize;
+        slab.slots[idx].birth = LIVE;
+        slab.slots[idx].retire = 0;
+        slab.free.push(idx);
+    }
+
+    /// Marks the payload `id` as retired in `epoch` (the key/value pair it
+    /// represents has been removed or replaced).
+    pub fn retire_payload(&self, id: PayloadId, epoch: u64) {
+        let mut slab = self.slab.lock();
+        let slot = &mut slab.slots[id.0 as usize];
+        debug_assert_eq!(slot.retire, LIVE, "payload retired twice");
+        slot.retire = epoch;
+    }
+
+    /// Advances the epoch clock by one and performs the periodic persistence
+    /// work for every epoch that is now two behind: all payloads born or
+    /// retired in those epochs are written back (one simulated cache-line
+    /// flush per record, one fence per batch), and slots whose retirement is
+    /// durable are recycled.
+    ///
+    /// Returns the new current epoch.
+    pub fn advance_epoch(&self) -> u64 {
+        let new_epoch = self.mgr.advance_epoch();
+        let durable_upto = new_epoch.saturating_sub(2);
+        let mut slab = self.slab.lock();
+        let prev = self.persisted_epoch.load(Ordering::Acquire);
+        if durable_upto > prev {
+            let mut flushed = 0u64;
+            let mut recycle = Vec::new();
+            for (idx, p) in slab.slots.iter().enumerate() {
+                let born_now = p.birth > prev && p.birth <= durable_upto;
+                let retired_now = p.retire != LIVE && p.retire > prev && p.retire <= durable_upto;
+                if born_now || retired_now {
+                    flushed += 1;
+                }
+                if p.retire != LIVE && p.retire <= durable_upto {
+                    recycle.push(idx);
+                }
+            }
+            if flushed > 0 {
+                self.nvm.flush_lines(flushed);
+            }
+            self.nvm.fence();
+            for idx in recycle {
+                // A slot is recycled only once its retirement is durable, so
+                // recovery can never resurrect it.
+                if !slab.free.contains(&idx) {
+                    slab.free.push(idx);
+                    slab.slots[idx].birth = LIVE; // tombstone
+                }
+            }
+            self.persisted_epoch.store(durable_upto, Ordering::Release);
+        }
+        new_epoch
+    }
+
+    /// nbMontage `sync()`: makes everything completed before the call
+    /// durable by advancing the epoch twice.
+    pub fn sync(&self) {
+        self.advance_epoch();
+        self.advance_epoch();
+    }
+
+    /// Simulates post-crash recovery: returns the key/value mapping as of the
+    /// end of epoch `current - 2` (the nbMontage recovery point).  A payload
+    /// is recovered if it was born in a durable epoch and either never
+    /// retired or retired after the recovery point.
+    pub fn recover(&self) -> HashMap<u64, u64> {
+        let crash_epoch = self.current_epoch();
+        let horizon = crash_epoch.saturating_sub(2);
+        let slab = self.slab.lock();
+        let mut out = HashMap::new();
+        for p in slab.slots.iter() {
+            if p.birth == LIVE {
+                continue; // recycled tombstone
+            }
+            if p.birth <= horizon && (p.retire == LIVE || p.retire > horizon) {
+                out.insert(p.key, p.val);
+            }
+        }
+        out
+    }
+
+    /// Counters describing the domain's state.
+    pub fn stats(&self) -> DomainStats {
+        let slab = self.slab.lock();
+        let live = slab
+            .slots
+            .iter()
+            .filter(|p| p.birth != LIVE && p.retire == LIVE)
+            .count();
+        DomainStats {
+            live_payloads: live,
+            free_slots: slab.free.len(),
+            persisted_epoch: self.persisted_epoch.load(Ordering::Relaxed),
+            current_epoch: self.current_epoch(),
+        }
+    }
+}
+
+/// A background thread that advances the domain's epoch at a fixed period,
+/// like nbMontage's epoch advancer.
+pub struct EpochAdvancer {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl EpochAdvancer {
+    /// Spawns an advancer ticking every `period`.
+    pub fn spawn(domain: Arc<PersistenceDomain>, period: std::time::Duration) -> Self {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                std::thread::sleep(period);
+                domain.advance_epoch();
+            }
+        });
+        Self {
+            stop,
+            join: Some(join),
+        }
+    }
+}
+
+impl Drop for EpochAdvancer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> Arc<PersistenceDomain> {
+        PersistenceDomain::new(TxManager::new(), NvmCostModel::ZERO)
+    }
+
+    #[test]
+    fn payloads_become_durable_after_two_epochs() {
+        let d = domain();
+        let e = d.current_epoch();
+        d.alloc_payload(1, 10, e);
+        // Not yet durable: recovery horizon is e - 2.
+        assert!(d.recover().is_empty());
+        d.advance_epoch();
+        d.advance_epoch();
+        let rec = d.recover();
+        assert_eq!(rec.get(&1), Some(&10));
+    }
+
+    #[test]
+    fn retirement_hides_payload_after_horizon_passes() {
+        let d = domain();
+        let e = d.current_epoch();
+        let id = d.alloc_payload(2, 20, e);
+        d.sync();
+        assert_eq!(d.recover().get(&2), Some(&20));
+        let e2 = d.current_epoch();
+        d.retire_payload(id, e2);
+        // Retirement not yet durable: still recovered.
+        assert_eq!(d.recover().get(&2), Some(&20));
+        d.sync();
+        assert!(d.recover().get(&2).is_none());
+    }
+
+    #[test]
+    fn retired_slots_are_recycled_only_when_durable() {
+        let d = domain();
+        let e = d.current_epoch();
+        let id = d.alloc_payload(3, 30, e);
+        d.retire_payload(id, e);
+        assert_eq!(d.stats().free_slots, 0);
+        d.sync();
+        assert_eq!(d.stats().free_slots, 1);
+        // The recycled slot is reused by the next allocation.
+        let id2 = d.alloc_payload(4, 40, d.current_epoch());
+        assert_eq!(id2, id);
+    }
+
+    #[test]
+    fn flush_and_fence_are_batched_per_epoch() {
+        let d = domain();
+        let e = d.current_epoch();
+        for k in 0..100 {
+            d.alloc_payload(k, k, e);
+        }
+        let (flushes_before, _) = d.nvm().stats().snapshot();
+        assert_eq!(flushes_before, 0, "no eager flushing");
+        d.sync();
+        let (flushes, fences) = d.nvm().stats().snapshot();
+        assert_eq!(flushes, 100, "one write-back per payload, batched");
+        assert!(fences <= 4, "a handful of fences per epoch, not per op");
+    }
+
+    #[test]
+    fn epoch_validation_is_enabled_on_the_manager() {
+        let mgr = TxManager::new();
+        assert!(!mgr.epoch_validation_enabled());
+        let _d = PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::ZERO);
+        assert!(mgr.epoch_validation_enabled());
+    }
+
+    #[test]
+    fn advancer_ticks_in_background() {
+        let d = domain();
+        let before = d.current_epoch();
+        {
+            let _adv = EpochAdvancer::spawn(Arc::clone(&d), std::time::Duration::from_millis(5));
+            std::thread::sleep(std::time::Duration::from_millis(60));
+        }
+        assert!(d.current_epoch() > before);
+    }
+}

@@ -1,0 +1,29 @@
+//! # pmem — nbMontage-style periodic persistence substrate
+//!
+//! This crate reproduces the parts of **nbMontage** (Cai et al., DISC'21)
+//! that txMontage builds on:
+//!
+//! * an **epoch clock** (the `TxManager`'s epoch word) that divides time into
+//!   coarse intervals;
+//! * a **payload store** holding the semantically significant data of each
+//!   structure (key/value pairs), each record tagged with the epoch of the
+//!   operation that created or retired it;
+//! * **periodic persistence**: payloads are written back in batches at epoch
+//!   boundaries rather than eagerly, and post-crash recovery restores the
+//!   state as of the end of epoch `e − 2` — the *buffered* durable
+//!   linearizability of Izraelevitz et al., extended to transactions
+//!   (buffered durable strict serializability) by txMontage;
+//! * a **simulated NVM** device that counts (and optionally charges latency
+//!   for) cache-line write-backs and fences, standing in for the Optane
+//!   hardware of the paper per DESIGN.md's substitution table.
+//!
+//! The `txmontage` crate combines this domain with the Medley maps of `nbds`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod domain;
+pub mod nvm;
+
+pub use domain::{DomainStats, EpochAdvancer, PayloadId, PersistenceDomain};
+pub use nvm::{NvmCostModel, NvmStats, SimNvm};

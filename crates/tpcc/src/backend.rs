@@ -1,0 +1,274 @@
+//! Backends: adapters that let the TPC-C transactions run on each of the
+//! transactional systems compared in the paper's Fig. 9.
+
+use crate::{KvTx, TpccAbort, TpccBackend};
+use medley::{ThreadHandle, TxError, TxManager};
+use nbds::TxMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Medley / txMontage backend (any nbds::TxMap, including txmontage::Durable)
+// ---------------------------------------------------------------------------
+
+/// Backend running TPC-C over a Medley-composable map (a `SkipList`, a
+/// `MichaelHashMap`, or a txMontage `Durable` wrapper).
+pub struct MedleyBackend<M> {
+    mgr: Arc<TxManager>,
+    map: Arc<M>,
+}
+
+impl<M: TxMap<u64>> MedleyBackend<M> {
+    /// Creates the backend.
+    pub fn new(mgr: Arc<TxManager>, map: Arc<M>) -> Self {
+        Self { mgr, map }
+    }
+
+    /// The underlying map.
+    pub fn map(&self) -> &Arc<M> {
+        &self.map
+    }
+
+    /// The transaction manager.
+    pub fn manager(&self) -> &Arc<TxManager> {
+        &self.mgr
+    }
+}
+
+struct MedleyKv<'a, M> {
+    h: &'a mut ThreadHandle,
+    map: &'a M,
+}
+
+impl<'a, M: TxMap<u64>> KvTx for MedleyKv<'a, M> {
+    fn get(&mut self, key: u64) -> Option<u64> {
+        self.map.get(self.h, key)
+    }
+    fn put(&mut self, key: u64, val: u64) {
+        self.map.put(self.h, key, val);
+    }
+    fn insert(&mut self, key: u64, val: u64) -> bool {
+        self.map.insert(self.h, key, val)
+    }
+}
+
+impl<M: TxMap<u64> + 'static> TpccBackend for MedleyBackend<M> {
+    type Session = ThreadHandle;
+
+    fn session(&self) -> ThreadHandle {
+        self.mgr.register()
+    }
+
+    fn run_tx(
+        &self,
+        session: &mut ThreadHandle,
+        body: &mut dyn FnMut(&mut dyn KvTx) -> Result<(), TpccAbort>,
+    ) -> bool {
+        let map = &*self.map;
+        let res: Result<bool, TxError> = session.run(|h| {
+            let mut kv = MedleyKv { h, map };
+            match body(&mut kv) {
+                Ok(()) => Ok(true),
+                Err(TpccAbort) => Err(kv.h.tx_abort()),
+            }
+        });
+        matches!(res, Ok(true))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OneFile backend
+// ---------------------------------------------------------------------------
+
+/// Backend running TPC-C over the OneFile-style STM hash map.
+pub struct OneFileBackend {
+    stm: Arc<onefile::OneFileStm>,
+    map: Arc<onefile::OneFileMap>,
+}
+
+impl OneFileBackend {
+    /// Creates the backend (`buckets` for the underlying hash table).
+    pub fn new(stm: Arc<onefile::OneFileStm>, buckets: usize) -> Self {
+        let map = Arc::new(onefile::OneFileMap::new(Arc::clone(&stm), buckets));
+        Self { stm, map }
+    }
+
+    /// The underlying map.
+    pub fn map(&self) -> &Arc<onefile::OneFileMap> {
+        &self.map
+    }
+}
+
+struct OneFileKv<'a> {
+    tx: &'a mut onefile::WriteTx,
+    map: &'a onefile::OneFileMap,
+}
+
+impl<'a> KvTx for OneFileKv<'a> {
+    fn get(&mut self, key: u64) -> Option<u64> {
+        self.map.get_w(self.tx, key)
+    }
+    fn put(&mut self, key: u64, val: u64) {
+        self.map.put_w(self.tx, key, val);
+    }
+    fn insert(&mut self, key: u64, val: u64) -> bool {
+        self.map.insert_w(self.tx, key, val)
+    }
+}
+
+impl TpccBackend for OneFileBackend {
+    type Session = ();
+
+    fn session(&self) {}
+
+    fn run_tx(
+        &self,
+        _session: &mut (),
+        body: &mut dyn FnMut(&mut dyn KvTx) -> Result<(), TpccAbort>,
+    ) -> bool {
+        let map = &*self.map;
+        let res = self.stm.write_tx(|tx| {
+            let mut kv = OneFileKv { tx, map };
+            body(&mut kv).map_err(|_| onefile::OfAbort)
+        });
+        res.is_ok()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TDSL backend
+// ---------------------------------------------------------------------------
+
+/// Backend running TPC-C over the TDSL-style blocking transactional map.
+pub struct TdslBackend {
+    map: Arc<tdsl::TdslMap>,
+}
+
+impl TdslBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Self {
+            map: Arc::new(tdsl::TdslMap::new()),
+        }
+    }
+
+    /// The underlying map.
+    pub fn map(&self) -> &Arc<tdsl::TdslMap> {
+        &self.map
+    }
+}
+
+impl Default for TdslBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct TdslKv<'a> {
+    tx: &'a mut tdsl::TdslTx,
+    map: &'a tdsl::TdslMap,
+}
+
+impl<'a> KvTx for TdslKv<'a> {
+    fn get(&mut self, key: u64) -> Option<u64> {
+        self.map.get_tx(self.tx, key)
+    }
+    fn put(&mut self, key: u64, val: u64) {
+        self.map.put_tx(self.tx, key, val);
+    }
+    fn insert(&mut self, key: u64, val: u64) -> bool {
+        self.map.insert_tx(self.tx, key, val)
+    }
+}
+
+impl TpccBackend for TdslBackend {
+    type Session = ();
+
+    fn session(&self) {}
+
+    fn run_tx(
+        &self,
+        _session: &mut (),
+        body: &mut dyn FnMut(&mut dyn KvTx) -> Result<(), TpccAbort>,
+    ) -> bool {
+        let map = &*self.map;
+        let res = map.run(|tx| {
+            let mut kv = TdslKv { tx, map };
+            body(&mut kv).map_err(|_| tdsl::TdslAbort::Explicit)
+        });
+        res.is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{execute_input, load_initial_data, random_input, Scale};
+    use crate::keys::*;
+
+    fn check_backend<B: TpccBackend>(backend: &B) {
+        let scale = Scale::default();
+        let mut session = backend.session();
+        // Load.
+        assert!(backend.run_tx(&mut session, &mut |kv| {
+            load_initial_data(kv, &scale);
+            Ok(())
+        }));
+        // Run a deterministic mix and track expected aggregates.
+        let mut rng = medley::util::FastRng::new(42);
+        let mut expected_payments = 0u64;
+        let mut orders = 0u64;
+        for _ in 0..200 {
+            let input = random_input(&mut rng, &scale);
+            if let crate::TxInput::Payment { amount, .. } = &input {
+                expected_payments += *amount;
+            }
+            if matches!(input, crate::TxInput::NewOrder { .. }) {
+                orders += 1;
+            }
+            assert!(backend.run_tx(&mut session, &mut |kv| execute_input(kv, &input)));
+        }
+        // Sum of warehouse YTDs equals the sum of all payment amounts.
+        let mut w_ytd_total = 0u64;
+        let mut next_oid_total = 0u64;
+        assert!(backend.run_tx(&mut session, &mut |kv| {
+            for w in 0..scale.warehouses {
+                w_ytd_total += kv.get(warehouse_key(Field::Ytd, w)).unwrap();
+                for d in 0..scale.districts_per_warehouse {
+                    next_oid_total += kv.get(district_key(Field::NextOrderId, w, d)).unwrap() - 1;
+                }
+            }
+            Ok(())
+        }));
+        assert_eq!(w_ytd_total, expected_payments);
+        assert_eq!(next_oid_total, orders);
+    }
+
+    #[test]
+    fn medley_backend_passes_consistency_checks() {
+        let mgr = TxManager::new();
+        let map = Arc::new(nbds::SkipList::<u64>::new());
+        let backend = MedleyBackend::new(mgr, map);
+        check_backend(&backend);
+    }
+
+    #[test]
+    fn onefile_backend_passes_consistency_checks() {
+        let backend = OneFileBackend::new(onefile::OneFileStm::new(), 1 << 12);
+        check_backend(&backend);
+    }
+
+    #[test]
+    fn tdsl_backend_passes_consistency_checks() {
+        let backend = TdslBackend::new();
+        check_backend(&backend);
+    }
+
+    #[test]
+    fn txmontage_backend_passes_consistency_checks() {
+        let mgr = TxManager::new();
+        let domain = pmem::PersistenceDomain::new(Arc::clone(&mgr), pmem::NvmCostModel::ZERO);
+        let map = Arc::new(txmontage::DurableSkipList::skip_list(domain));
+        let backend = MedleyBackend::new(mgr, map);
+        check_backend(&backend);
+    }
+}

@@ -1,0 +1,148 @@
+//! Key encoding: every TPC-C table field used by `newOrder` / `payment` maps
+//! to one `u64` key in the backing transactional map.
+//!
+//! Layout: `| table:8 | field:8 | warehouse:8 | district:8 | entity:32 |`.
+
+/// Table identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Table {
+    /// WAREHOUSE
+    Warehouse = 1,
+    /// DISTRICT
+    District = 2,
+    /// CUSTOMER
+    Customer = 3,
+    /// ITEM
+    Item = 4,
+    /// STOCK
+    Stock = 5,
+    /// ORDER
+    Order = 6,
+    /// NEW-ORDER
+    NewOrder = 7,
+    /// ORDER-LINE
+    OrderLine = 8,
+    /// HISTORY
+    History = 9,
+}
+
+/// Field identifiers within a table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Field {
+    /// W_YTD / D_YTD / S_YTD ...
+    Ytd = 1,
+    /// W_TAX / D_TAX
+    Tax = 2,
+    /// D_NEXT_O_ID
+    NextOrderId = 3,
+    /// C_BALANCE
+    Balance = 4,
+    /// C_YTD_PAYMENT
+    YtdPayment = 5,
+    /// C_PAYMENT_CNT
+    PaymentCnt = 6,
+    /// I_PRICE
+    Price = 7,
+    /// S_QUANTITY
+    Quantity = 8,
+    /// S_ORDER_CNT
+    OrderCnt = 9,
+    /// Order header / order-line / history record
+    Record = 10,
+    /// O_OL_CNT (number of lines in an order)
+    LineCount = 11,
+}
+
+/// Encodes a field key.
+#[inline]
+pub fn key(table: Table, field: Field, warehouse: u64, district: u64, entity: u64) -> u64 {
+    debug_assert!(warehouse < 256 && district < 256 && entity < (1 << 32));
+    ((table as u64) << 56) | ((field as u64) << 48) | (warehouse << 40) | (district << 32) | entity
+}
+
+/// Key of a warehouse-level field.
+pub fn warehouse_key(field: Field, w: u64) -> u64 {
+    key(Table::Warehouse, field, w, 0, 0)
+}
+
+/// Key of a district-level field.
+pub fn district_key(field: Field, w: u64, d: u64) -> u64 {
+    key(Table::District, field, w, d, 0)
+}
+
+/// Key of a customer-level field.
+pub fn customer_key(field: Field, w: u64, d: u64, c: u64) -> u64 {
+    key(Table::Customer, field, w, d, c)
+}
+
+/// Key of an item-level field.
+pub fn item_key(field: Field, i: u64) -> u64 {
+    key(Table::Item, field, 0, 0, i)
+}
+
+/// Key of a stock-level field.
+pub fn stock_key(field: Field, w: u64, i: u64) -> u64 {
+    key(Table::Stock, field, w, 0, i)
+}
+
+/// Key of an order header record (order id within a district).
+pub fn order_key(field: Field, w: u64, d: u64, o: u64) -> u64 {
+    key(Table::Order, field, w, d, o)
+}
+
+/// Key of a NEW-ORDER record.
+pub fn new_order_key(w: u64, d: u64, o: u64) -> u64 {
+    key(Table::NewOrder, Field::Record, w, d, o)
+}
+
+/// Key of an order line (order id and line number packed into the entity).
+pub fn order_line_key(w: u64, d: u64, o: u64, line: u64) -> u64 {
+    debug_assert!(line < 16 && o < (1 << 28));
+    key(Table::OrderLine, Field::Record, w, d, (o << 4) | line)
+}
+
+/// Key of a history record (per customer, sequence-numbered).
+pub fn history_key(w: u64, d: u64, c: u64, seq: u64) -> u64 {
+    debug_assert!(seq < 256 && c < (1 << 24));
+    key(Table::History, Field::Record, w, d, (c << 8) | seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_unique_across_tables_and_fields() {
+        let ks = vec![
+            warehouse_key(Field::Ytd, 1),
+            warehouse_key(Field::Tax, 1),
+            warehouse_key(Field::Ytd, 2),
+            district_key(Field::Ytd, 1, 1),
+            district_key(Field::NextOrderId, 1, 1),
+            customer_key(Field::Balance, 1, 1, 42),
+            customer_key(Field::YtdPayment, 1, 1, 42),
+            item_key(Field::Price, 42),
+            stock_key(Field::Quantity, 1, 42),
+            order_key(Field::Record, 1, 1, 7),
+            new_order_key(1, 1, 7),
+            order_line_key(1, 1, 7, 3),
+            history_key(1, 1, 42, 0),
+        ];
+        let mut dedup = ks.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ks.len(), "key encoding collided");
+    }
+
+    #[test]
+    fn order_line_keys_distinct_per_line() {
+        let a = order_line_key(1, 2, 100, 0);
+        let b = order_line_key(1, 2, 100, 1);
+        let c = order_line_key(1, 2, 101, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: create a transaction manager, transform-ready data structures,
+//! and compose operations into atomic transactions.
+//!
+//! Run with: `cargo run --release -p examples --bin quickstart`
+
+use medley::{TxManager, TxResult};
+use nbds::{MichaelHashMap, MsQueue, SkipList};
+
+fn main() {
+    // One TxManager is shared by every structure that may participate in the
+    // same transactions (it owns the per-thread descriptors and the SMR
+    // domain).
+    let mgr = TxManager::new();
+    let mut h = mgr.register();
+
+    // Three different NBTC-transformed nonblocking structures.
+    let inventory: MichaelHashMap<u64> = MichaelHashMap::with_buckets(1 << 12);
+    let prices: SkipList<u64> = SkipList::new();
+    let audit_log: MsQueue<u64> = MsQueue::new();
+
+    // Outside a transaction, operations behave exactly like the original
+    // nonblocking algorithms (instrumentation is elided).
+    inventory.insert(&mut h, 42, 10); // item 42, 10 in stock
+    prices.insert(&mut h, 42, 199); // item 42 costs 1.99
+
+    // Inside a transaction, operations on *different* structures take effect
+    // atomically: sell one unit of item 42 and log the sale.
+    let sale: TxResult<u64> = h.run(|h| {
+        let stock = inventory.get(h, 42).unwrap_or(0);
+        let price = prices.get(h, 42).unwrap_or(0);
+        if stock == 0 {
+            return Err(h.tx_abort()); // all-or-nothing: nothing happens
+        }
+        inventory.put(h, 42, stock - 1);
+        audit_log.enqueue(h, price);
+        Ok(price)
+    });
+
+    println!("sold item 42 for {:?} cents", sale);
+    println!("stock now: {:?}", inventory.get(&mut h, 42));
+    println!("audit log entry: {:?}", audit_log.dequeue(&mut h));
+
+    // Statistics from the manager: commits, aborts, helping events.
+    let (commits, aborts, helps) = mgr.stats().snapshot();
+    println!("commits={commits} aborts={aborts} helps={helps}");
+}

@@ -1,0 +1,61 @@
+//! TPC-C subset demo: run newOrder/payment transactions over Medley skiplists
+//! and verify the money-conservation invariants afterwards.
+//!
+//! Run with: `cargo run --release -p examples --bin tpcc_demo`
+
+use medley::TxManager;
+use nbds::SkipList;
+use std::sync::Arc;
+use tpcc::{
+    district_key, execute_input, load_chunked, random_input, warehouse_key, Field, MedleyBackend,
+    Scale, TpccBackend, TxInput,
+};
+
+fn main() {
+    let mgr = TxManager::new();
+    let map = Arc::new(SkipList::<u64>::new());
+    let backend = MedleyBackend::new(Arc::clone(&mgr), map);
+    let scale = Scale {
+        warehouses: 2,
+        districts_per_warehouse: 4,
+        customers_per_district: 64,
+        items: 256,
+    };
+
+    let mut session = backend.session();
+    load_chunked(&backend, &mut session, &scale);
+    println!("loaded {} warehouses", scale.warehouses);
+
+    let mut rng = medley::util::FastRng::new(7);
+    let mut payments_total = 0u64;
+    let mut orders = 0u64;
+    for _ in 0..2_000 {
+        let input = random_input(&mut rng, &scale);
+        match &input {
+            TxInput::Payment { amount, .. } => payments_total += amount,
+            TxInput::NewOrder { .. } => orders += 1,
+        }
+        assert!(backend.run_tx(&mut session, &mut |kv| execute_input(kv, &input)));
+    }
+
+    // Consistency checks (the same ones the tpcc test suite applies).
+    let mut w_ytd = 0u64;
+    let mut placed = 0u64;
+    assert!(backend.run_tx(&mut session, &mut |kv| {
+        for w in 0..scale.warehouses {
+            w_ytd += kv.get(warehouse_key(Field::Ytd, w)).unwrap();
+            for d in 0..scale.districts_per_warehouse {
+                placed += kv.get(district_key(Field::NextOrderId, w, d)).unwrap() - 1;
+            }
+        }
+        Ok(())
+    }));
+
+    println!("payments processed: {payments_total} cents; warehouse YTD total: {w_ytd}");
+    println!("newOrder transactions committed: {orders}; orders recorded: {placed}");
+    assert_eq!(w_ytd, payments_total, "payment money must be conserved");
+    assert_eq!(placed, orders, "every committed newOrder must allocate exactly one order id");
+    let (commits, aborts, _) = mgr.stats().snapshot();
+    println!("medley commits={commits} aborts={aborts}");
+    println!("TPC-C invariants hold");
+}

@@ -1,0 +1,218 @@
+//! Cross-crate integration tests: transactions spanning multiple structure
+//! types, persistence layered on transactional maps, and end-to-end TPC-C
+//! consistency on every backend.
+
+use medley::{TxManager, TxResult};
+use nbds::{MichaelHashMap, MsQueue, SkipList};
+use pmem::{NvmCostModel, PersistenceDomain};
+use std::sync::Arc;
+use txmontage::DurableHashMap;
+
+#[test]
+fn transaction_spanning_queue_hash_and_skiplist() {
+    let mgr = TxManager::new();
+    let mut h = mgr.register();
+    let queue: MsQueue<u64> = MsQueue::new();
+    let map: MichaelHashMap<u64> = MichaelHashMap::with_buckets(64);
+    let index: SkipList<u64> = SkipList::new();
+
+    map.insert(&mut h, 10, 100);
+
+    // Move a value from the hash map into both the queue and the skiplist,
+    // atomically across three different structure types.
+    let res: TxResult<()> = h.run(|h| {
+        let v = map.remove(h, 10).expect("key present");
+        queue.enqueue(h, v);
+        index.insert(h, v, 1);
+        Ok(())
+    });
+    assert!(res.is_ok());
+    assert_eq!(map.get(&mut h, 10), None);
+    assert_eq!(queue.dequeue(&mut h), Some(100));
+    assert!(index.contains(&mut h, 100));
+
+    // The same composition, aborted, leaves every structure untouched.
+    map.insert(&mut h, 20, 200);
+    let res: TxResult<()> = h.run(|h| {
+        let v = map.remove(h, 20).unwrap();
+        queue.enqueue(h, v);
+        index.insert(h, v, 1);
+        Err(h.tx_abort())
+    });
+    assert!(res.is_err());
+    assert_eq!(map.get(&mut h, 20), Some(200));
+    assert_eq!(queue.len_quiescent(), 0);
+    assert!(!index.contains(&mut h, 200));
+}
+
+#[test]
+fn concurrent_cross_structure_invariant() {
+    // Tokens live either in the hash map or in the skiplist; transactions
+    // move them back and forth, so the total count is invariant.
+    const THREADS: usize = 4;
+    const OPS: usize = 300;
+    const TOKENS: u64 = 32;
+    let mgr = TxManager::new();
+    let a = Arc::new(MichaelHashMap::<u64>::with_buckets(64));
+    let b = Arc::new(SkipList::<u64>::new());
+    {
+        let mut h = mgr.register();
+        for t in 0..TOKENS {
+            assert!(a.insert(&mut h, t, 1));
+        }
+    }
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let mgr = Arc::clone(&mgr);
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        joins.push(std::thread::spawn(move || {
+            let mut h = mgr.register();
+            let mut rng = medley::util::FastRng::new(t as u64 + 99);
+            for _ in 0..OPS {
+                let k = rng.next_below(TOKENS);
+                let _ = h.run(|h| {
+                    if let Some(v) = a.remove(h, k) {
+                        assert!(b.insert(h, k, v));
+                    } else if let Some(v) = b.remove(h, k) {
+                        assert!(a.insert(h, k, v));
+                    }
+                    Ok(())
+                });
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let total = a.len_quiescent() + b.len_quiescent();
+    assert_eq!(total as u64, TOKENS, "tokens must be conserved across structures");
+}
+
+#[test]
+fn persistent_and_transient_maps_in_one_transaction() {
+    let mgr = TxManager::new();
+    let domain = PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::ZERO);
+    let durable = DurableHashMap::hash_map(64, Arc::clone(&domain));
+    let transient: SkipList<u64> = SkipList::new();
+    let mut h = mgr.register();
+
+    let res: TxResult<()> = h.run(|h| {
+        durable.put(h, 1, 10);
+        transient.insert(h, 1, 10);
+        Ok(())
+    });
+    assert!(res.is_ok());
+    domain.sync();
+    assert_eq!(durable.recover().get(&1), Some(&10));
+    assert!(transient.contains(&mut h, 1));
+}
+
+#[test]
+fn recovery_after_concurrent_transactional_load() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 100;
+    let mgr = TxManager::new();
+    let domain = PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::ZERO);
+    let map = Arc::new(DurableHashMap::hash_map(256, Arc::clone(&domain)));
+    let mut joins = Vec::new();
+    for t in 0..THREADS {
+        let mgr = Arc::clone(&mgr);
+        let map = Arc::clone(&map);
+        joins.push(std::thread::spawn(move || {
+            let mut h = mgr.register();
+            for i in 0..PER_THREAD {
+                let k = t * PER_THREAD + i;
+                let _ = h.run(|h| {
+                    map.put(h, k, k + 1);
+                    Ok(())
+                });
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    domain.sync();
+    let rec = map.recover();
+    assert_eq!(rec.len() as u64, THREADS * PER_THREAD);
+    for k in 0..THREADS * PER_THREAD {
+        assert_eq!(rec.get(&k), Some(&(k + 1)));
+    }
+}
+
+#[test]
+fn tpcc_consistency_on_medley_and_txmontage() {
+    use tpcc::{
+        district_key, execute_input, load_chunked, random_input, warehouse_key, Field,
+        MedleyBackend, Scale, TpccBackend, TxInput,
+    };
+
+    fn run<B: TpccBackend>(backend: &B) {
+        let scale = Scale::default();
+        let mut s = backend.session();
+        load_chunked(backend, &mut s, &scale);
+        let mut rng = medley::util::FastRng::new(5);
+        let mut paid = 0u64;
+        let mut orders = 0u64;
+        for _ in 0..150 {
+            let input = random_input(&mut rng, &scale);
+            match &input {
+                TxInput::Payment { amount, .. } => paid += *amount,
+                TxInput::NewOrder { .. } => orders += 1,
+            }
+            assert!(backend.run_tx(&mut s, &mut |kv| execute_input(kv, &input)));
+        }
+        let mut ytd = 0u64;
+        let mut placed = 0u64;
+        assert!(backend.run_tx(&mut s, &mut |kv| {
+            for w in 0..scale.warehouses {
+                ytd += kv.get(warehouse_key(Field::Ytd, w)).unwrap();
+                for d in 0..scale.districts_per_warehouse {
+                    placed += kv.get(district_key(Field::NextOrderId, w, d)).unwrap() - 1;
+                }
+            }
+            Ok(())
+        }));
+        assert_eq!(ytd, paid);
+        assert_eq!(placed, orders);
+    }
+
+    let mgr = TxManager::new();
+    run(&MedleyBackend::new(
+        Arc::clone(&mgr),
+        Arc::new(SkipList::<u64>::new()),
+    ));
+
+    let mgr2 = TxManager::new();
+    let domain = PersistenceDomain::new(Arc::clone(&mgr2), NvmCostModel::ZERO);
+    run(&MedleyBackend::new(
+        mgr2,
+        Arc::new(txmontage::DurableSkipList::skip_list(domain)),
+    ));
+}
+
+#[test]
+fn bench_harness_smoke_all_systems() {
+    use bench::systems::{LfttMicro, OneFileMicro, TdslMicro};
+    use bench::{run_micro, MedleyMicro, MicroConfig};
+    use std::time::Duration;
+
+    let cfg = MicroConfig {
+        ratio: (2, 1, 1),
+        key_space: 512,
+        preload: 128,
+        max_ops_per_tx: 4,
+        duration: Duration::from_millis(30),
+    };
+    let mgr = TxManager::new();
+    let medley_sys = MedleyMicro::new(
+        "Medley",
+        Arc::clone(&mgr),
+        Arc::new(MichaelHashMap::<u64>::with_buckets(256)),
+    );
+    assert!(run_micro(&medley_sys, &cfg, 1) > 0.0);
+    assert!(run_micro(&OneFileMicro::transient(256), &cfg, 2) > 0.0);
+    assert!(run_micro(&TdslMicro::new(), &cfg, 2) > 0.0);
+    assert!(run_micro(&LfttMicro::new(256), &cfg, 2) > 0.0);
+}

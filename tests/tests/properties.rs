@@ -1,0 +1,147 @@
+//! Property-based tests: the transactional structures must agree with a
+//! sequential model under arbitrary operation sequences, and transactions
+//! must be all-or-nothing.
+
+use medley::{TxManager, TxResult};
+use nbds::{MichaelHashMap, SkipList, TxMap};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// An operation in a generated workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u64),
+    Insert(u64, u64),
+    Put(u64, u64),
+    Remove(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small key space maximizes collisions between operations.
+    let key = 0u64..32;
+    let val = 0u64..1_000;
+    prop_oneof![
+        key.clone().prop_map(Op::Get),
+        (key.clone(), val.clone()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (key.clone(), val.clone()).prop_map(|(k, v)| Op::Put(k, v)),
+        key.prop_map(Op::Remove),
+    ]
+}
+
+fn check_against_model<M: TxMap<u64>>(map: &M, ops: &[Op]) {
+    let mgr = TxManager::new();
+    let mut h = mgr.register();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Get(k) => assert_eq!(map.get(&mut h, k), model.get(&k).copied()),
+            Op::Insert(k, v) => {
+                let expected = !model.contains_key(&k);
+                if expected {
+                    model.insert(k, v);
+                }
+                assert_eq!(map.insert(&mut h, k, v), expected);
+            }
+            Op::Put(k, v) => {
+                assert_eq!(map.put(&mut h, k, v), model.insert(k, v));
+            }
+            Op::Remove(k) => assert_eq!(map.remove(&mut h, k), model.remove(&k)),
+        }
+    }
+    for (k, v) in &model {
+        assert_eq!(map.get(&mut h, *k), Some(*v));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hashmap_matches_sequential_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        check_against_model(&MichaelHashMap::<u64>::with_buckets(16), &ops);
+    }
+
+    #[test]
+    fn skiplist_matches_sequential_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        check_against_model(&SkipList::<u64>::new(), &ops);
+    }
+
+    #[test]
+    fn skiplist_snapshot_is_sorted_and_deduplicated(
+        ops in proptest::collection::vec(op_strategy(), 1..200)
+    ) {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let sl = SkipList::<u64>::new();
+        for op in &ops {
+            match *op {
+                Op::Get(k) => { sl.get(&mut h, k); }
+                Op::Insert(k, v) => { sl.insert(&mut h, k, v); }
+                Op::Put(k, v) => { sl.put(&mut h, k, v); }
+                Op::Remove(k) => { sl.remove(&mut h, k); }
+            }
+        }
+        let keys: Vec<u64> = sl.snapshot().iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn aborted_transactions_are_all_or_nothing(
+        committed in proptest::collection::vec(op_strategy(), 1..40),
+        speculative in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let map = MichaelHashMap::<u64>::with_buckets(16);
+        // Apply a committed prefix non-transactionally.
+        for op in &committed {
+            match *op {
+                Op::Get(k) => { map.get(&mut h, k); }
+                Op::Insert(k, v) => { map.insert(&mut h, k, v); }
+                Op::Put(k, v) => { map.put(&mut h, k, v); }
+                Op::Remove(k) => { map.remove(&mut h, k); }
+            }
+        }
+        let before = {
+            let mut snap = map.snapshot();
+            snap.sort_unstable();
+            snap
+        };
+        // Run an aborted transaction over arbitrary further operations.
+        let res: TxResult<()> = h.run(|h| {
+            for op in &speculative {
+                match *op {
+                    Op::Get(k) => { map.get(h, k); }
+                    Op::Insert(k, v) => { map.insert(h, k, v); }
+                    Op::Put(k, v) => { map.put(h, k, v); }
+                    Op::Remove(k) => { map.remove(h, k); }
+                }
+            }
+            Err(h.tx_abort())
+        });
+        prop_assert!(res.is_err());
+        let after = {
+            let mut snap = map.snapshot();
+            snap.sort_unstable();
+            snap
+        };
+        prop_assert_eq!(before, after, "aborted transaction must leave no trace");
+    }
+
+    #[test]
+    fn tpcc_key_encoding_is_injective(
+        a in (0u64..10, 0u64..10, 0u64..1000),
+        b in (0u64..10, 0u64..10, 0u64..1000),
+    ) {
+        use tpcc::{customer_key, Field};
+        if a != b {
+            prop_assert_ne!(
+                customer_key(Field::Balance, a.0, a.1, a.2),
+                customer_key(Field::Balance, b.0, b.1, b.2)
+            );
+        }
+    }
+}
