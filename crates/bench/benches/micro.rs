@@ -1,16 +1,159 @@
 //! Criterion micro-benchmarks of the building blocks: the 128-bit CAS, a
-//! single-word MCNS transaction, and single operations on the NBTC hash table
-//! and skiplist (with and without an enclosing transaction).
+//! single-word MCNS transaction, single operations on the NBTC hash table
+//! and skiplist (with and without an enclosing transaction), and — the perf
+//! focus of the commit-fast-path work — the three canonical transaction
+//! shapes (1-op, read-only lookup, 2-op transfer) measured with the fast
+//! paths enabled (`fast`) and disabled (`general`) at 1/4/16 threads.
 //!
 //! These complement the figure binaries (`fig7`–`fig10`): the figures report
 //! end-to-end throughput/latency series, while these benchmarks isolate the
 //! per-primitive costs discussed in Sec. 6.3 of the paper (the ~2.2×
 //! marginal overhead of transactional composition).
+//!
+//! Results are also written to `BENCH_micro.json` (path overridable via the
+//! `BENCH_JSON` environment variable) so the perf trajectory of successive
+//! PRs can be diffed mechanically.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use medley::{CasWord, TxManager};
 use nbds::{MichaelHashMap, SkipList};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Transaction shape exercised by the fast-path sweep.
+#[derive(Debug, Clone, Copy)]
+enum TxShape {
+    /// One `nbtc_load` + one critical `nbtc_cas` on a private word (the
+    /// single-CAS direct-commit candidate).
+    OneOp,
+    /// Two registered loads, no writes (the read-only commit candidate).
+    ReadOnly,
+    /// A two-word transfer (always the general descriptor path; measures the
+    /// cost of buffering + materialization when fast paths are on).
+    Transfer2,
+}
+
+/// Runs `iters` transactions of `shape` spread over `threads` threads on
+/// disjoint per-thread words, returning the wall time of the measured
+/// region (threads synchronized by a barrier; spawn cost excluded).
+fn run_tx_shape(threads: usize, iters: u64, fast: bool, shape: TxShape) -> Duration {
+    let mgr = TxManager::with_max_threads(threads + 1);
+    mgr.set_fast_paths(fast);
+    // Amortize thread spawn/teardown (which dominates on small batches,
+    // especially when the host has fewer cores than threads) by running at
+    // least 2000 transactions per thread and scaling the measured time back
+    // to the requested iteration count.
+    let per_thread = (iters / threads as u64).max(2_000);
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut joins = Vec::new();
+    for _ in 0..threads {
+        let mgr = Arc::clone(&mgr);
+        let barrier = Arc::clone(&barrier);
+        joins.push(std::thread::spawn(move || {
+            let mut h = mgr.register();
+            // Disjoint per-thread words: this sweep isolates commit-path
+            // cost, not data contention.
+            let a = CasWord::new(1_000);
+            let b = CasWord::new(1_000);
+            barrier.wait();
+            for _ in 0..per_thread {
+                match shape {
+                    TxShape::OneOp => {
+                        let _ = h.run(|h| {
+                            let v = h.nbtc_load(&a);
+                            h.nbtc_cas(&a, v, v.wrapping_add(1), true, true);
+                            Ok(())
+                        });
+                    }
+                    TxShape::ReadOnly => {
+                        let _ = h.run(|h| {
+                            let x = h.nbtc_load(&a);
+                            h.add_to_read_set(&a, x);
+                            let y = h.nbtc_load(&b);
+                            h.add_to_read_set(&b, y);
+                            Ok(())
+                        });
+                    }
+                    TxShape::Transfer2 => {
+                        let _ = h.run(|h| {
+                            let x = h.nbtc_load(&a);
+                            let y = h.nbtc_load(&b);
+                            if !h.nbtc_cas(&a, x, x.wrapping_sub(1), true, true) {
+                                return Err(medley::TxError::Conflict);
+                            }
+                            if !h.nbtc_cas(&b, y, y.wrapping_add(1), true, true) {
+                                return Err(medley::TxError::Conflict);
+                            }
+                            Ok(())
+                        });
+                    }
+                }
+            }
+        }));
+    }
+    // Start the clock before releasing the barrier: on a box with fewer
+    // cores than threads the workers may otherwise run to completion before
+    // the main thread is scheduled again.
+    let start = Instant::now();
+    barrier.wait();
+    for j in joins {
+        let _ = j.join();
+    }
+    let elapsed = start.elapsed();
+    let executed = per_thread * threads as u64;
+    // Report time for exactly `iters` transactions (iter_custom contract).
+    Duration::from_nanos((elapsed.as_nanos() as u64).saturating_mul(iters) / executed.max(1))
+}
+
+fn bench_commit_fast_paths(c: &mut Criterion) {
+    for &threads in &[1usize, 4, 16] {
+        for &(shape, name) in &[
+            (TxShape::OneOp, "1op"),
+            (TxShape::ReadOnly, "readonly"),
+            (TxShape::Transfer2, "transfer2"),
+        ] {
+            for &(fast, mode) in &[(true, "fast"), (false, "general")] {
+                c.bench_function(&format!("tx/{name}/{threads}t/{mode}"), |b| {
+                    b.iter_custom(|iters| run_tx_shape(threads, iters, fast, shape))
+                });
+            }
+        }
+    }
+}
+
+fn bench_container_single_op_tx(c: &mut Criterion) {
+    // A lone container operation inside a transaction: the container marks
+    // its single critical CAS, so the direct-commit path should make this
+    // nearly as cheap as the standalone operation.
+    for &(fast, mode) in &[(true, "fast"), (false, "general")] {
+        let mgr = TxManager::new();
+        mgr.set_fast_paths(fast);
+        let mut h = mgr.register();
+        let map = Arc::new(MichaelHashMap::<u64>::with_buckets(1 << 12));
+        for k in 0..4096u64 {
+            map.insert(&mut h, k, k);
+        }
+        let mut k = 0u64;
+        c.bench_function(&format!("hashmap/tx_single_put/{mode}"), |b| {
+            b.iter(|| {
+                k = (k + 1) & 0xFFF;
+                let _ = h.run(|h| {
+                    map.put(h, k, k);
+                    Ok(())
+                });
+            })
+        });
+        c.bench_function(&format!("hashmap/tx_single_get/{mode}"), |b| {
+            b.iter(|| {
+                k = (k + 1) & 0xFFF;
+                let _ = h.run(|h| {
+                    map.get(h, k);
+                    Ok(())
+                });
+            })
+        });
+    }
+}
 
 fn bench_atomic128(c: &mut Criterion) {
     let w = CasWord::new(0);
@@ -103,6 +246,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_atomic128, bench_mcns_single_word, bench_hashmap_ops, bench_skiplist_ops
+    targets = bench_atomic128, bench_mcns_single_word, bench_hashmap_ops, bench_skiplist_ops,
+        bench_commit_fast_paths, bench_container_single_op_tx
 }
 criterion_main!(benches);

@@ -62,8 +62,10 @@ fn main() {
             let mgr = TxManager::new();
             let domain = PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::OPTANE_LIKE);
             let map = Arc::new(DurableSkipList::skip_list(Arc::clone(&domain)));
-            let _advancer =
-                pmem::EpochAdvancer::spawn(Arc::clone(&domain), std::time::Duration::from_millis(10));
+            let _advancer = pmem::EpochAdvancer::spawn(
+                Arc::clone(&domain),
+                std::time::Duration::from_millis(10),
+            );
             let sys = MedleyMicro::new("txMontage", mgr, map);
             let lat = bench::run_micro_latency(&sys, &cfg, threads);
             bench::emit("fig10c", "txMontage", ratio, threads, lat);

@@ -21,28 +21,54 @@ fn main() {
                 let mgr = TxManager::new();
                 let map = Arc::new(MichaelHashMap::<u64>::with_buckets(buckets));
                 let sys = MedleyMicro::new("Medley", mgr, map);
-                emit("fig7", "Medley", ratio, threads, bench::run_micro(&sys, &cfg, threads));
+                emit(
+                    "fig7",
+                    "Medley",
+                    ratio,
+                    threads,
+                    bench::run_micro(&sys, &cfg, threads),
+                );
             }
             // txMontage (persistent hash table, periodic persistence).
             {
                 let mgr = TxManager::new();
                 let domain = PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::OPTANE_LIKE);
                 let map = Arc::new(DurableHashMap::hash_map(buckets, Arc::clone(&domain)));
-                let _advancer =
-                    pmem::EpochAdvancer::spawn(Arc::clone(&domain), std::time::Duration::from_millis(10));
+                let _advancer = pmem::EpochAdvancer::spawn(
+                    Arc::clone(&domain),
+                    std::time::Duration::from_millis(10),
+                );
                 let sys = MedleyMicro::new("txMontage", mgr, map);
-                emit("fig7", "txMontage", ratio, threads, bench::run_micro(&sys, &cfg, threads));
+                emit(
+                    "fig7",
+                    "txMontage",
+                    ratio,
+                    threads,
+                    bench::run_micro(&sys, &cfg, threads),
+                );
             }
             // OneFile (transient STM).
             {
                 let sys = OneFileMicro::transient(buckets);
-                emit("fig7", "OneFile", ratio, threads, bench::run_micro(&sys, &cfg, threads));
+                emit(
+                    "fig7",
+                    "OneFile",
+                    ratio,
+                    threads,
+                    bench::run_micro(&sys, &cfg, threads),
+                );
             }
             // POneFile (eager persistence).
             {
                 let nvm = Arc::new(SimNvm::new(NvmCostModel::OPTANE_LIKE));
                 let sys = OneFileMicro::persistent(buckets, nvm);
-                emit("fig7", "POneFile", ratio, threads, bench::run_micro(&sys, &cfg, threads));
+                emit(
+                    "fig7",
+                    "POneFile",
+                    ratio,
+                    threads,
+                    bench::run_micro(&sys, &cfg, threads),
+                );
             }
         }
     }

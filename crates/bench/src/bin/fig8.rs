@@ -20,33 +20,71 @@ fn main() {
                 let mgr = TxManager::new();
                 let map = Arc::new(SkipList::<u64>::new());
                 let sys = MedleyMicro::new("Medley", mgr, map);
-                emit("fig8", "Medley", ratio, threads, bench::run_micro(&sys, &cfg, threads));
+                emit(
+                    "fig8",
+                    "Medley",
+                    ratio,
+                    threads,
+                    bench::run_micro(&sys, &cfg, threads),
+                );
             }
             {
                 let mgr = TxManager::new();
                 let domain = PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::OPTANE_LIKE);
                 let map = Arc::new(DurableSkipList::skip_list(Arc::clone(&domain)));
-                let _advancer =
-                    pmem::EpochAdvancer::spawn(Arc::clone(&domain), std::time::Duration::from_millis(10));
+                let _advancer = pmem::EpochAdvancer::spawn(
+                    Arc::clone(&domain),
+                    std::time::Duration::from_millis(10),
+                );
                 let sys = MedleyMicro::new("txMontage", mgr, map);
-                emit("fig8", "txMontage", ratio, threads, bench::run_micro(&sys, &cfg, threads));
+                emit(
+                    "fig8",
+                    "txMontage",
+                    ratio,
+                    threads,
+                    bench::run_micro(&sys, &cfg, threads),
+                );
             }
             {
                 let sys = OneFileMicro::transient(buckets);
-                emit("fig8", "OneFile", ratio, threads, bench::run_micro(&sys, &cfg, threads));
+                emit(
+                    "fig8",
+                    "OneFile",
+                    ratio,
+                    threads,
+                    bench::run_micro(&sys, &cfg, threads),
+                );
             }
             {
                 let nvm = Arc::new(SimNvm::new(NvmCostModel::OPTANE_LIKE));
                 let sys = OneFileMicro::persistent(buckets, nvm);
-                emit("fig8", "POneFile", ratio, threads, bench::run_micro(&sys, &cfg, threads));
+                emit(
+                    "fig8",
+                    "POneFile",
+                    ratio,
+                    threads,
+                    bench::run_micro(&sys, &cfg, threads),
+                );
             }
             {
                 let sys = TdslMicro::new();
-                emit("fig8", "TDSL", ratio, threads, bench::run_micro(&sys, &cfg, threads));
+                emit(
+                    "fig8",
+                    "TDSL",
+                    ratio,
+                    threads,
+                    bench::run_micro(&sys, &cfg, threads),
+                );
             }
             {
                 let sys = LfttMicro::new(buckets);
-                emit("fig8", "LFTT", ratio, threads, bench::run_micro(&sys, &cfg, threads));
+                emit(
+                    "fig8",
+                    "LFTT",
+                    ratio,
+                    threads,
+                    bench::run_micro(&sys, &cfg, threads),
+                );
             }
         }
     }

@@ -15,7 +15,13 @@ use tpcc::{
 };
 use txmontage::DurableSkipList;
 
-fn bench_backend<B: TpccBackend>(name: &str, backend: &B, scale: &Scale, threads: usize, secs: f64) {
+fn bench_backend<B: TpccBackend>(
+    name: &str,
+    backend: &B,
+    scale: &Scale,
+    threads: usize,
+    secs: f64,
+) {
     // Load the database from one session in capacity-friendly chunks.
     {
         let mut s = backend.session();

@@ -1,0 +1,332 @@
+//! A self-contained, offline drop-in subset of the `criterion` benchmarking
+//! API.
+//!
+//! This container cannot reach crates.io, so the workspace ships this shim
+//! instead of the real crate.  It implements exactly the surface the `bench`
+//! crate uses — [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_custom`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`] — with the same semantics (warm-up, fixed sample
+//! count, per-iteration statistics), and adds one thing the perf roadmap
+//! needs: every run appends its results to a machine-readable JSON report
+//! (`BENCH_<target>.json`, e.g. `BENCH_micro.json` for the `micro` bench
+//! target), so successive PRs can diff throughput numbers mechanically.
+//!
+//! Output location: the file is written to the path named by the
+//! `BENCH_JSON` environment variable if set, otherwise to
+//! `BENCH_<target>.json` in the process working directory (for `cargo
+//! bench`, the package root).
+
+use std::time::{Duration, Instant};
+
+/// Re-exports mirroring `criterion::black_box`.
+///
+/// An identity function that hides its argument from the optimizer, so that
+/// benchmarked expressions are not constant-folded away.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Statistics of one completed benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Number of measurement samples taken.
+    pub samples: usize,
+    /// Total iterations across all samples.
+    pub iterations: u64,
+    /// Mean wall time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Median of the per-sample means, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest per-sample mean, in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest per-sample mean, in nanoseconds.
+    pub max_ns: f64,
+}
+
+impl BenchResult {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":{},\"samples\":{},\"iterations\":{},",
+                "\"mean_ns\":{:.2},\"median_ns\":{:.2},\"min_ns\":{:.2},\"max_ns\":{:.2}}}"
+            ),
+            json_string(&self.name),
+            self.samples,
+            self.iterations,
+            self.mean_ns,
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(200),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and records (and prints) its statistics.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up phase: also used to estimate the per-iteration cost so the
+        // measurement phase can pick a sensible batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut bencher = Bencher {
+            mode: Mode::Batch(1),
+            elapsed: Duration::ZERO,
+            iters_done: 0,
+        };
+        while warm_start.elapsed() < self.warm_up_time {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters_done = 0;
+            f(&mut bencher);
+            warm_iters += bencher.iters_done.max(1);
+        }
+        let warm_elapsed = warm_start.elapsed();
+        let est_ns_per_iter = (warm_elapsed.as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        // Pick a batch size so each sample lasts roughly
+        // measurement_time / sample_size.
+        let per_sample_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((per_sample_ns / est_ns_per_iter).round() as u64).max(1);
+
+        let mut sample_means = Vec::with_capacity(self.sample_size);
+        let mut total_iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                mode: Mode::Batch(batch),
+                elapsed: Duration::ZERO,
+                iters_done: 0,
+            };
+            f(&mut b);
+            let iters = b.iters_done.max(1);
+            total_iters += iters;
+            sample_means.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        sample_means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean_ns = sample_means.iter().sum::<f64>() / sample_means.len() as f64;
+        let median_ns = sample_means[sample_means.len() / 2];
+        let result = BenchResult {
+            name: name.to_string(),
+            samples: self.sample_size,
+            iterations: total_iters,
+            mean_ns,
+            median_ns,
+            min_ns: sample_means[0],
+            max_ns: *sample_means.last().unwrap(),
+        };
+        println!(
+            "{:<44} time: [{:>12.1} ns/iter]  (median {:.1}, min {:.1}, max {:.1}, {} samples)",
+            result.name,
+            result.mean_ns,
+            result.median_ns,
+            result.min_ns,
+            result.max_ns,
+            result.samples
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes the JSON report for this run.
+    ///
+    /// `target` is the bench-target name (used for the default
+    /// `BENCH_<target>.json` file name); the `BENCH_JSON` environment
+    /// variable overrides the full path.
+    pub fn final_summary(&self, target: &str) {
+        let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| format!("BENCH_{target}.json"));
+        let entries: Vec<String> = self.results.iter().map(BenchResult::to_json).collect();
+        let body = format!(
+            "{{\n  \"target\": {},\n  \"results\": [\n    {}\n  ]\n}}\n",
+            json_string(target),
+            entries.join(",\n    ")
+        );
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("wrote {} benchmark results to {path}", self.results.len()),
+            Err(e) => eprintln!("failed to write benchmark report {path}: {e}"),
+        }
+    }
+}
+
+enum Mode {
+    /// Run the closure `n` times per `iter` call (driver-chosen batch).
+    Batch(u64),
+}
+
+/// Timing handle passed to benchmark closures (subset of
+/// `criterion::Bencher`).
+pub struct Bencher {
+    mode: Mode,
+    elapsed: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Times `f`, running it a driver-chosen number of times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let Mode::Batch(n) = self.mode;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters_done += n;
+    }
+
+    /// Hands the iteration count to `f`, which must return the measured wall
+    /// time for exactly that many iterations (mirrors
+    /// `criterion::Bencher::iter_custom`).  Use this when the timed region
+    /// spawns threads or needs its own clock placement.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        let Mode::Batch(n) = self.mode;
+        self.elapsed += f(n);
+        self.iters_done += n;
+    }
+}
+
+/// Declares a group of benchmarks (subset of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() -> $crate::Criterion {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` (subset of `criterion::criterion_main!`).
+/// After all groups run, the collected results are written to the JSON
+/// report named after the bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                let criterion = $group();
+                criterion.final_summary(env!("CARGO_CRATE_NAME"));
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_sane_stats() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let r = &c.results()[0];
+        assert_eq!(r.name, "noop");
+        assert_eq!(r.samples, 5);
+        assert!(r.iterations > 0);
+        assert!(r.mean_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn iter_custom_is_trusted_verbatim() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(100 * iters))
+        });
+        let r = &c.results()[0];
+        assert!((r.mean_ns - 100.0).abs() < 1.0, "mean {} != 100", r.mean_ns);
+    }
+
+    #[test]
+    fn json_report_is_written() {
+        let dir = std::env::temp_dir().join("criterion-shim-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("BENCH_test.json");
+        std::env::set_var("BENCH_JSON", &path);
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("a/b", |b| b.iter(|| black_box(2 * 2)));
+        c.final_summary("test");
+        std::env::remove_var("BENCH_JSON");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"name\":\"a/b\""));
+        assert!(body.contains("\"mean_ns\""));
+    }
+}

@@ -137,7 +137,10 @@ impl LfttMap {
     pub fn new(buckets: usize) -> Self {
         let n = buckets.next_power_of_two().max(1);
         Self {
-            buckets: (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice(),
+            buckets: (0..n)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             mask: (n - 1) as u64,
             commits: AtomicU64::new(0),
             aborts: AtomicU64::new(0),
@@ -251,7 +254,12 @@ impl LfttMap {
                     let swapped = unsafe {
                         (*node)
                             .info
-                            .compare_exchange(info_ptr, new_info, Ordering::AcqRel, Ordering::Acquire)
+                            .compare_exchange(
+                                info_ptr,
+                                new_info,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
                             .is_ok()
                     };
                     if swapped {
@@ -426,7 +434,10 @@ mod tests {
         let desc = LfttDesc::new(vec![LfttOp::Remove(5)]);
         assert_eq!(m.adopt(&desc, LfttOp::Remove(5)), Ok(true));
         // Competitor aborts the active transaction and proceeds.
-        assert!(m.contains(5), "active (not committed) remove must not be visible");
+        assert!(
+            m.contains(5),
+            "active (not committed) remove must not be visible"
+        );
         assert_eq!(desc.status(), TxStatus::Aborted);
     }
 

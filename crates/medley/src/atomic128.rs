@@ -108,16 +108,24 @@ impl AtomicU128 {
         let out_hi: u64;
         // SAFETY: `dst` is 16-byte aligned (repr(align(16))) and points to
         // memory owned by `self`.  `cmpxchg16b` is available on all x86_64
-        // CPUs this crate targets.  RBX is reserved by LLVM, so we stash the
-        // low desired word in a scratch register and exchange it around the
-        // instruction.
+        // CPUs this crate targets.
+        //
+        // RBX handling: `cmpxchg16b` hard-codes RBX for the low desired
+        // word, but RBX is LLVM-reserved and must hold its original value
+        // again by the end of the template.  Every operand is pinned to an
+        // explicit register here — an earlier version used `{ptr} = in(reg)`
+        // and the allocator handed the *pointer* RBX itself, so the
+        // `xchg` that installs the desired word clobbered the address and
+        // the instruction dereferenced garbage (release-only segfaults).
+        // With explicit registers the allocator cannot touch RBX, and the
+        // template swaps it with RSI around the instruction.
         unsafe {
             core::arch::asm!(
-                "xchg {tmp}, rbx",
-                "lock cmpxchg16b [{ptr}]",
-                "mov rbx, {tmp}",
-                ptr = in(reg) dst,
-                tmp = inout(reg) des_lo => _,
+                "xchg rbx, rsi",
+                "lock cmpxchg16b [rdi]",
+                "mov rbx, rsi",
+                in("rdi") dst,
+                inout("rsi") des_lo => _,
                 inout("rax") exp_lo => out_lo,
                 inout("rdx") exp_hi => out_hi,
                 in("rcx") des_hi,
@@ -146,7 +154,7 @@ impl AtomicU128 {
 
 #[cfg(not(target_arch = "x86_64"))]
 mod fallback {
-    use parking_lot::Mutex;
+    use crate::util::sync::Mutex;
 
     const STRIPES: usize = 64;
     static LOCKS: [Mutex<()>; STRIPES] = [const { Mutex::new(()) }; STRIPES];

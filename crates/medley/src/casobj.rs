@@ -88,6 +88,25 @@ impl CasWord {
         self.inner.cas(cur, pack(desired, cnt.wrapping_add(2)))
     }
 
+    /// ABA-safe plain CAS: succeeds only if the word holds exactly the
+    /// `(expected, expected_cnt)` pair, advancing the counter by two.
+    ///
+    /// This is the commit instruction of the single-CAS direct-commit fast
+    /// path: a transaction whose write set is one word replaces the
+    /// remembered pre-image with the new value in a single step, staying in
+    /// the even-counter ("real value") parity exactly as a non-transactional
+    /// [`CasWord::cas_value`] would.  The explicit counter makes the check
+    /// immune to ABA on the value.
+    pub fn cas_value_counted(&self, expected: u64, expected_cnt: u64, desired: u64) -> bool {
+        if Self::counter_is_descriptor(expected_cnt) {
+            return false;
+        }
+        self.inner.cas(
+            pack(expected, expected_cnt),
+            pack(desired, expected_cnt.wrapping_add(2)),
+        )
+    }
+
     /// Plain load of the value; returns `None` while a descriptor is
     /// installed.  Non-transactional readers that must not help (e.g. the
     /// un-instrumented "Original" baseline of Fig. 10) use this.
@@ -198,7 +217,8 @@ impl<T: Word> CasObj<T> {
 
     /// Typed plain CAS (see [`CasWord::cas_value`]).
     pub fn cas(&self, expected: T, desired: T) -> bool {
-        self.word.cas_value(expected.into_bits(), desired.into_bits())
+        self.word
+            .cas_value(expected.into_bits(), desired.into_bits())
     }
 }
 
@@ -243,7 +263,10 @@ mod tests {
         // Simulate an installed descriptor: odd counter.
         assert!(w.raw().cas(pack(7, 0), pack(0xdead_beef, 1)));
         assert_eq!(w.try_load_value(), None);
-        assert!(!w.cas_value(0xdead_beef, 5), "plain CAS must not touch descriptors");
+        assert!(
+            !w.cas_value(0xdead_beef, 5),
+            "plain CAS must not touch descriptors"
+        );
         // Uninstall.
         assert!(w.raw().cas(pack(0xdead_beef, 1), pack(8, 2)));
         assert_eq!(w.try_load_value(), Some(8));

@@ -291,7 +291,17 @@ impl Desc {
     // ------------------------------------------------------------------
 
     /// Validates every read entry stamped with `serial`: the addressed word
-    /// must still hold exactly the recorded `(value, counter)` pair.
+    /// must still hold exactly the recorded `(value, counter)` pair — or
+    /// hold **this transaction's own descriptor**, installed by a later
+    /// write of the same transaction over exactly that `(value, counter)`
+    /// pre-image (installation bumps the counter by one).
+    ///
+    /// The own-write tolerance is essential, not cosmetic: a transaction
+    /// that reads a word and later writes it (for instance a transfer whose
+    /// source node is the list predecessor of its destination) would
+    /// otherwise invalidate its own read, abort, and — because the retry
+    /// deterministically reproduces the same read-then-write pattern —
+    /// livelock forever.
     pub fn validate_reads(&self, serial: u64) -> bool {
         let n = self.rcount.load(Ordering::SeqCst).min(MAX_ENTRIES);
         for idx in 0..n {
@@ -311,9 +321,20 @@ impl Desc {
             // owner's transaction (hence its pin) is still live.
             let obj = unsafe { &*(addr as *const CasWord) };
             let (cur_val, cur_cnt) = obj.load_parts();
-            if cur_val != val || cur_cnt != cnt {
-                return false;
+            if cur_val == val && cur_cnt == cnt {
+                continue;
             }
+            if CasWord::counter_is_descriptor(cur_cnt)
+                && cur_val == self.as_payload()
+                && cur_cnt == cnt.wrapping_add(1)
+            {
+                // Own write installed over the observed pre-image: the read
+                // is still valid (the write takes effect atomically with the
+                // commit; counters advance on every change, so a matching
+                // `cnt` pins the exact incarnation that was read).
+                continue;
+            }
+            return false;
         }
         true
     }
@@ -340,7 +361,11 @@ impl Desc {
             if e.stamp.load(Ordering::SeqCst) != serial {
                 continue; // recycled; not ours to touch
             }
-            let write_back = if outcome == Status::Committed { new_val } else { old_val };
+            let write_back = if outcome == Status::Committed {
+                new_val
+            } else {
+                old_val
+            };
             // SAFETY: same argument as in `validate_reads`.
             let obj = unsafe { &*(addr as *const CasWord) };
             let installed = pack(me, cnt.wrapping_add(1));
@@ -441,7 +466,12 @@ mod tests {
     fn status_word_packing_roundtrip() {
         for tid in [0u64, 1, 511, 16383] {
             for serial in [0u64, 1, 42, (1 << 48) - 1] {
-                for st in [Status::InPrep, Status::InProg, Status::Committed, Status::Aborted] {
+                for st in [
+                    Status::InPrep,
+                    Status::InProg,
+                    Status::Committed,
+                    Status::Aborted,
+                ] {
                     let w = pack_status(tid, serial, st);
                     assert_eq!(tid_of(w), tid);
                     assert_eq!(serial_of(w), serial);
@@ -500,6 +530,34 @@ mod tests {
         let idx = d.push_write(s, &a, 1, 0, 2).unwrap();
         d.kill_write(idx);
         assert_eq!(d.speculative_value(s, &a), None);
+    }
+
+    #[test]
+    fn validate_reads_tolerates_own_installed_write() {
+        // A transaction that reads a word and later installs its own write
+        // over the observed pre-image must still validate (regression test
+        // for the read-your-own-write-set livelock).
+        let d = Desc::new(0);
+        d.begin();
+        let s = d.serial();
+        let a = CasWord::new(5);
+        let (v, c) = a.load_parts();
+        assert!(d.push_read(s, &a, v, c));
+        assert!(d.push_write(s, &a, v, c, 6).is_some());
+        // Simulate the install: descriptor payload with counter bumped by 1.
+        assert!(a
+            .raw()
+            .cas(pack(v, c), pack(d.as_payload(), c.wrapping_add(1))));
+        assert!(
+            d.validate_reads(s),
+            "own installed write must not invalidate the read"
+        );
+        // A *foreign* descriptor (different payload) must still fail.
+        assert!(a.raw().cas(
+            pack(d.as_payload(), c.wrapping_add(1)),
+            pack(0xdead_beef, c.wrapping_add(1))
+        ));
+        assert!(!d.validate_reads(s));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! operations, so those nodes must not be reclaimed until the transaction has
 //! committed or aborted.
 
+use crate::util::sync::Mutex;
 use crate::util::CachePadded;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -42,11 +43,27 @@ unsafe fn drop_boxed<T>(ptr: *mut u8) {
 }
 
 /// Shared state of the reclamation domain.
-#[derive(Debug)]
 pub struct Collector {
     global_epoch: CachePadded<AtomicU64>,
     slots: Box<[CachePadded<Slot>]>,
     registered: AtomicUsize,
+    /// Garbage inherited from exited participants whose bags were not yet
+    /// safe to free; drained opportunistically by live participants and
+    /// unconditionally when the collector itself is dropped.
+    orphans: Mutex<Vec<Retired>>,
+    /// Lock-free emptiness hint for `orphans`, so the per-retirement
+    /// `collect` path never touches the shared mutex in the common case
+    /// (no exited-thread garbage pending).
+    orphan_count: AtomicUsize,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("global_epoch", &self.global_epoch.load(Ordering::Relaxed))
+            .field("registered", &self.registered.load(Ordering::Relaxed))
+            .finish()
+    }
 }
 
 #[derive(Debug)]
@@ -75,6 +92,8 @@ impl Collector {
             global_epoch: CachePadded::new(AtomicU64::new(2)),
             slots,
             registered: AtomicUsize::new(0),
+            orphans: Mutex::new(Vec::new()),
+            orphan_count: AtomicUsize::new(0),
         })
     }
 
@@ -133,6 +152,38 @@ impl Collector {
             Ordering::Acquire,
         );
         self.global_epoch.load(Ordering::Acquire)
+    }
+
+    /// Frees every orphaned allocation whose grace period has elapsed.
+    /// Cheap when there are none: a relaxed counter check skips the lock.
+    fn drain_orphans(this: &Arc<Self>, global: u64) {
+        if this.orphan_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut orphans = this.orphans.lock();
+        let mut i = 0;
+        while i < orphans.len() {
+            if orphans[i].epoch + 2 <= global {
+                let r = orphans.swap_remove(i);
+                // SAFETY: ownership was transferred to the orphan list by an
+                // exiting participant and the grace period has elapsed.
+                unsafe { (r.drop_fn)(r.ptr) };
+            } else {
+                i += 1;
+            }
+        }
+        this.orphan_count.store(orphans.len(), Ordering::Release);
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        // No participant can exist here (each holds an `Arc<Collector>`), so
+        // every remaining orphan is unreachable and safe to free.
+        for r in self.orphans.lock().drain(..) {
+            // SAFETY: as above; the collector is the sole owner now.
+            unsafe { (r.drop_fn)(r.ptr) };
+        }
     }
 }
 
@@ -215,7 +266,9 @@ impl Participant {
         self.retire(unsafe { Box::from_raw(ptr) });
     }
 
-    /// Frees every retired allocation that is at least two epochs old.
+    /// Frees every retired allocation that is at least two epochs old, both
+    /// in this participant's bag and among garbage inherited from exited
+    /// participants.
     pub fn collect(&mut self) {
         let global = self.collector.global_epoch.load(Ordering::Acquire);
         let mut i = 0;
@@ -229,6 +282,7 @@ impl Participant {
                 i += 1;
             }
         }
+        Collector::drain_orphans(&self.collector, global);
     }
 
     /// Forces epoch advancement attempts until the local bag is empty or no
@@ -265,12 +319,11 @@ impl Drop for Participant {
         // created once the slot shows IDLE and the remaining items were
         // retired at least one full operation ago by this thread.  To stay
         // conservative we only do this when no other participant is pinned.
-        let anyone_pinned = self
-            .collector
-            .slots
-            .iter()
-            .enumerate()
-            .any(|(i, s)| i != self.slot && s.in_use.load(Ordering::Acquire) && s.local_epoch.load(Ordering::Acquire) != IDLE);
+        let anyone_pinned = self.collector.slots.iter().enumerate().any(|(i, s)| {
+            i != self.slot
+                && s.in_use.load(Ordering::Acquire)
+                && s.local_epoch.load(Ordering::Acquire) != IDLE
+        });
         if !anyone_pinned {
             for r in self.bag.drain(..) {
                 // SAFETY: no participant is pinned, so no thread holds a
@@ -278,9 +331,15 @@ impl Drop for Participant {
                 unsafe { (r.drop_fn)(r.ptr) };
             }
         } else {
-            // Leak the stragglers rather than risk a use-after-free; this is
-            // bounded by the final bag of an exiting thread.
-            std::mem::forget(std::mem::take(&mut self.bag));
+            // Hand the stragglers to the collector: live participants drain
+            // them once the grace period elapses, and the collector's own
+            // drop frees whatever is left, so an exiting thread leaks
+            // nothing.
+            let mut orphans = self.collector.orphans.lock();
+            orphans.append(&mut std::mem::take(&mut self.bag));
+            self.collector
+                .orphan_count
+                .store(orphans.len(), Ordering::Release);
         }
         self.collector.slots[self.slot]
             .in_use
@@ -384,6 +443,11 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // Bags of threads that exited while others were still pinned were
+        // handed to the collector; any live participant drains them.
+        let mut p = c.register();
+        p.flush();
+        drop(p);
         assert_eq!(DROPS.load(Ordering::SeqCst), THREADS * PER_THREAD);
     }
 }

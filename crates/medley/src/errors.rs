@@ -25,7 +25,10 @@ impl fmt::Display for TxError {
             TxError::Conflict => write!(f, "transaction aborted due to a conflict"),
             TxError::Explicit => write!(f, "transaction aborted explicitly by the program"),
             TxError::CapacityExceeded => {
-                write!(f, "transaction exceeded the descriptor read/write-set capacity")
+                write!(
+                    f,
+                    "transaction exceeded the descriptor read/write-set capacity"
+                )
             }
         }
     }

@@ -76,4 +76,4 @@ pub mod util;
 pub use casobj::{CasObj, CasWord, Word};
 pub use descriptor::{Desc, Status, MAX_ENTRIES};
 pub use errors::{TxError, TxResult};
-pub use txmanager::{ThreadHandle, TxManager, TxStats};
+pub use txmanager::{ThreadHandle, TxManager, TxStats, TxStatsSnapshot};

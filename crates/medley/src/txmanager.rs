@@ -33,26 +33,58 @@ const OWN_SPECULATIVE: u64 = u64::MAX;
 /// `add_to_read_set` can recover the counter observed by the load.
 const RECENT_LOADS: usize = 16;
 
+/// How many commit/abort/help events a [`ThreadHandle`] accumulates locally
+/// before flushing them into the shared [`TxStats`] counters.  Batching keeps
+/// the commit fast paths free of shared-cache-line traffic; exact global
+/// counts are available after [`ThreadHandle::flush_stats`] (called
+/// automatically when a handle is dropped).
+const STATS_FLUSH_EVERY: u64 = 64;
+
 /// Aggregate statistics maintained by a [`TxManager`].
+///
+/// Every counter lives on its own pair of cache lines so that threads
+/// flushing different counters never false-share.  Counters are updated in
+/// batches from per-thread tallies (see [`ThreadHandle::flush_stats`]), so a
+/// snapshot taken while handles are live may lag by up to
+/// `STATS_FLUSH_EVERY` events per handle.
 #[derive(Debug, Default)]
 pub struct TxStats {
-    /// Transactions that committed.
-    pub commits: AtomicU64,
+    commits: CachePadded<AtomicU64>,
+    aborts: CachePadded<AtomicU64>,
+    helps: CachePadded<AtomicU64>,
+    fast_commits: CachePadded<AtomicU64>,
+    ro_commits: CachePadded<AtomicU64>,
+}
+
+/// A point-in-time copy of a [`TxStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TxStatsSnapshot {
+    /// Transactions that committed (via any path).
+    pub commits: u64,
     /// Transactions that aborted (for any reason).
-    pub aborts: AtomicU64,
+    pub aborts: u64,
     /// Times a thread finalized (helped or aborted) another thread's
     /// descriptor.
-    pub helps: AtomicU64,
+    pub helps: u64,
+    /// Commits that took the single-CAS direct path: exactly one write-set
+    /// entry, committed with one plain 128-bit CAS and no descriptor
+    /// installation (subset of `commits`).
+    pub fast_commits: u64,
+    /// Commits of read-only transactions: validated their read set and
+    /// committed with zero shared-memory writes (subset of `commits`).
+    pub ro_commits: u64,
 }
 
 impl TxStats {
-    /// Snapshot of `(commits, aborts, helps)`.
-    pub fn snapshot(&self) -> (u64, u64, u64) {
-        (
-            self.commits.load(Ordering::Relaxed),
-            self.aborts.load(Ordering::Relaxed),
-            self.helps.load(Ordering::Relaxed),
-        )
+    /// Snapshot of all counters.
+    pub fn snapshot(&self) -> TxStatsSnapshot {
+        TxStatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            helps: self.helps.load(Ordering::Relaxed),
+            fast_commits: self.fast_commits.load(Ordering::Relaxed),
+            ro_commits: self.ro_commits.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -63,6 +95,7 @@ pub struct TxManager {
     collector: Arc<ebr::Collector>,
     epoch_word: CachePadded<CasWord>,
     epoch_validation: AtomicBool,
+    fast_paths: AtomicBool,
     stats: TxStats,
 }
 
@@ -70,7 +103,10 @@ impl std::fmt::Debug for TxManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TxManager")
             .field("max_threads", &self.descs.len())
-            .field("epoch_validation", &self.epoch_validation.load(Ordering::Relaxed))
+            .field(
+                "epoch_validation",
+                &self.epoch_validation.load(Ordering::Relaxed),
+            )
             .finish()
     }
 }
@@ -87,7 +123,10 @@ impl TxManager {
     /// Creates a manager able to serve up to `max_threads` concurrently
     /// registered handles.
     pub fn with_max_threads(max_threads: usize) -> Arc<Self> {
-        assert!(max_threads >= 1 && max_threads < (1 << 14), "tid must fit in 14 bits");
+        assert!(
+            (1..(1 << 14)).contains(&max_threads),
+            "tid must fit in 14 bits"
+        );
         let descs = (0..max_threads)
             .map(|tid| CachePadded::new(Desc::new(tid as u64)))
             .collect::<Vec<_>>()
@@ -102,6 +141,10 @@ impl TxManager {
             collector: ebr::Collector::new(max_threads),
             epoch_word: CachePadded::new(CasWord::new(0)),
             epoch_validation: AtomicBool::new(false),
+            // On by default; `MEDLEY_DISABLE_FAST_PATHS=1` forces every
+            // transaction through the general descriptor path (debugging and
+            // baseline measurement aid, same effect as `set_fast_paths(false)`).
+            fast_paths: AtomicBool::new(std::env::var_os("MEDLEY_DISABLE_FAST_PATHS").is_none()),
             stats: TxStats::default(),
         })
     }
@@ -128,6 +171,10 @@ impl TxManager {
                     serial: 0,
                     snapshot_epoch: 0,
                     capacity_exceeded: false,
+                    doomed: false,
+                    fast_ok: true,
+                    pending_write: None,
+                    local_reads: Vec::new(),
                     recent: [(0, 0, 0); RECENT_LOADS],
                     recent_pos: 0,
                     cleanups: Vec::new(),
@@ -135,6 +182,12 @@ impl TxManager {
                     allocs: Vec::new(),
                     local_commits: 0,
                     local_aborts: 0,
+                    stat_commits: 0,
+                    stat_aborts: 0,
+                    stat_helps: 0,
+                    stat_fast_commits: 0,
+                    stat_ro_commits: 0,
+                    stat_unflushed: 0,
                 };
             }
         }
@@ -186,6 +239,21 @@ impl TxManager {
     pub fn epoch_validation_enabled(&self) -> bool {
         self.epoch_validation.load(Ordering::SeqCst)
     }
+
+    /// Enables or disables the commit fast paths (single-CAS direct commit
+    /// and descriptor-free read-only commit).  Enabled by default; disabling
+    /// forces every transaction through the general M-compare-N-swap
+    /// descriptor protocol, which the benchmarks use as the "before"
+    /// baseline.  The setting is sampled at `tx_begin`, so in-flight
+    /// transactions are unaffected.
+    pub fn set_fast_paths(&self, enabled: bool) {
+        self.fast_paths.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether the commit fast paths are currently enabled.
+    pub fn fast_paths_enabled(&self) -> bool {
+        self.fast_paths.load(Ordering::Relaxed)
+    }
 }
 
 type DropFn = unsafe fn(*mut u8);
@@ -197,6 +265,25 @@ unsafe fn drop_raw<T>(ptr: *mut u8) {
 }
 
 type Cleanup = Box<dyn FnOnce(&mut ThreadHandle)>;
+
+/// The transaction's first critical CAS, buffered thread-locally instead of
+/// being installed as a descriptor (single-CAS direct-commit fast path).
+///
+/// As long as a transaction has performed exactly one critical CAS, nothing
+/// needs to be published: the write is remembered here and, if no further
+/// critical word is touched, `tx_end` commits it with one plain 128-bit CAS
+/// from `(old_val, cnt)` to `(new_val, cnt + 2)` — the same transition a
+/// non-transactional `nbtc_cas` would make.  The moment a second critical
+/// word is written, the buffered write is *materialized* (descriptor entry
+/// pushed and installed) and the transaction continues on the general
+/// M-compare-N-swap path.
+#[derive(Debug, Clone, Copy)]
+struct PendingWrite {
+    addr: *const CasWord,
+    old_val: u64,
+    cnt: u64,
+    new_val: u64,
+}
 
 /// Per-thread handle used to execute operations and transactions.
 ///
@@ -212,6 +299,23 @@ pub struct ThreadHandle {
     serial: u64,
     snapshot_epoch: u64,
     capacity_exceeded: bool,
+    /// The transaction already lost a conflict mid-flight (a buffered write
+    /// could not be materialized, or a read was observed to be stale); the
+    /// commit is guaranteed to fail, but operations keep executing normally
+    /// so that glue-code retry loops stay live.
+    doomed: bool,
+    /// Whether the commit fast paths apply to the open transaction (sampled
+    /// from the manager at `tx_begin`).
+    fast_ok: bool,
+    pending_write: Option<PendingWrite>,
+    /// The transaction's read set, buffered in plain thread-local memory as
+    /// `(addr, value, counter)`.  Only a transaction that publishes its
+    /// descriptor (general commit path) spills these into the descriptor's
+    /// seqlock-stamped entries — and it does so before `setReady`, which is
+    /// the earliest point a helper may validate them.  Read-only and
+    /// single-CAS transactions validate this buffer directly and never pay
+    /// the per-entry atomic-store protocol.
+    local_reads: Vec<(usize, u64, u64)>,
     recent: [(usize, u64, u64); RECENT_LOADS],
     recent_pos: usize,
     cleanups: Vec<Cleanup>,
@@ -219,6 +323,24 @@ pub struct ThreadHandle {
     allocs: Vec<(*mut u8, DropFn)>,
     local_commits: u64,
     local_aborts: u64,
+    // Per-thread tallies flushed into `TxManager::stats` in batches.
+    stat_commits: u64,
+    stat_aborts: u64,
+    stat_helps: u64,
+    stat_fast_commits: u64,
+    stat_ro_commits: u64,
+    stat_unflushed: u64,
+}
+
+/// Which commit path a transaction took (statistics bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CommitKind {
+    /// General M-compare-N-swap descriptor commit.
+    General,
+    /// Single-CAS direct commit (descriptor never installed).
+    SingleCas,
+    /// Read-only commit (zero shared-memory writes).
+    ReadOnly,
 }
 
 impl std::fmt::Debug for ThreadHandle {
@@ -296,6 +418,10 @@ impl ThreadHandle {
         self.in_tx = true;
         self.spec_interval = false;
         self.capacity_exceeded = false;
+        self.doomed = false;
+        self.fast_ok = self.mgr.fast_paths_enabled();
+        self.pending_write = None;
+        self.local_reads.clear();
         self.recent = [(0, 0, 0); RECENT_LOADS];
         self.recent_pos = 0;
         debug_assert!(self.cleanups.is_empty());
@@ -306,9 +432,8 @@ impl ThreadHandle {
             self.snapshot_epoch = epoch;
             // Folding the epoch check into the MCNS read set is all txMontage
             // needs for failure atomicity (paper Sec. 4.4).
-            if !self.desc().push_read(self.serial, &*self.mgr.epoch_word, epoch, cnt) {
-                self.capacity_exceeded = true;
-            }
+            let addr = &*self.mgr.epoch_word as *const CasWord as usize;
+            self.local_reads.push((addr, epoch, cnt));
         }
     }
 
@@ -317,9 +442,113 @@ impl ThreadHandle {
     /// On success the speculative writes of all constituent operations become
     /// visible atomically and the registered cleanup closures run.  On
     /// failure everything is rolled back.
+    ///
+    /// Three commit paths exist, tried cheapest-first:
+    ///
+    /// 1. **Read-only** — no critical CAS was performed: the recorded
+    ///    `(addr, value, counter)` reads are re-validated and the transaction
+    ///    commits with *zero* shared-memory writes; the `tid|serial|status`
+    ///    word is never touched and no helper can ever observe the
+    ///    transaction.
+    /// 2. **Single-CAS direct** — exactly one critical CAS was performed and
+    ///    is still buffered (never published): after read validation the
+    ///    write commits with one plain 128-bit CAS bumping the even counter
+    ///    by 2, exactly like a non-transactional update.  Contention (the
+    ///    word changed, or a descriptor of another transaction is installed
+    ///    and survives helping) falls back to a conflict abort, and
+    ///    [`ThreadHandle::run`] retries on the general path as needed.
+    /// 3. **General** — the published descriptor goes through the
+    ///    M-compare-N-swap status protocol (`setReady` → validate →
+    ///    commit/abort → uninstall), helpable by any thread.
     pub fn tx_end(&mut self) -> TxResult<()> {
         assert!(self.in_tx, "tx_end without tx_begin");
         if self.capacity_exceeded {
+            self.abort_internal();
+            return Err(TxError::CapacityExceeded);
+        }
+        if self.doomed {
+            self.abort_internal();
+            return Err(TxError::Conflict);
+        }
+        // Fast path 1: descriptor-free read-only commit.
+        if self.fast_ok && self.pending_write.is_none() && self.desc().write_count() == 0 {
+            if self.validate_local_reads() {
+                self.commit_tail(CommitKind::ReadOnly);
+                return Ok(());
+            }
+            self.abort_internal();
+            return Err(TxError::Conflict);
+        }
+        // Fast path 2: single-CAS direct commit of the buffered write.
+        //
+        // Serializability constraint: the direct commit orders the
+        // transaction at its commit CAS, but nothing pins the read set
+        // between validation and that CAS (the buffered write is invisible,
+        // so concurrent symmetric transactions could all validate and then
+        // all commit — write skew).  The general path closes exactly this
+        // window by installing the descriptor on every write word *before*
+        // validating.  The direct commit is therefore taken only when the
+        // commit CAS itself subsumes read validation: the read set is empty,
+        // or every read is of the written word's own pre-image (in which
+        // case the ABA-safe `(value, counter)` check of the commit CAS *is*
+        // the validation, atomically at the linearization point).  Note the
+        // txMontage epoch read registered at `tx_begin` counts as a foreign
+        // read, so epoch-validated transactions always publish a descriptor.
+        if let Some(pw) = self.pending_write {
+            debug_assert_eq!(
+                self.desc().write_count(),
+                0,
+                "a buffered write must be the transaction's only write"
+            );
+            let reads_subsumed = self.local_reads.iter().all(|&(addr, val, cnt)| {
+                addr == pw.addr as usize && val == pw.old_val && cnt == pw.cnt
+            });
+            if reads_subsumed {
+                // SAFETY: the word was passed to `nbtc_cas` during this
+                // transaction and is protected by the EBR pin held since
+                // `tx_begin`.
+                let obj = unsafe { &*pw.addr };
+                loop {
+                    let raw = obj.load_raw();
+                    let (val, cnt) = unpack(raw);
+                    if CasWord::counter_is_descriptor(cnt) {
+                        // Another transaction owns the word; finalize it and
+                        // re-examine (same non-blocking helping discipline
+                        // as `nbtc_cas`).
+                        // SAFETY: see `nbtc_load`.
+                        unsafe { (*(val as *const Desc)).try_finalize(obj, raw) };
+                        self.stat_helps += 1;
+                        continue;
+                    }
+                    if val != pw.old_val || cnt != pw.cnt {
+                        self.abort_internal();
+                        return Err(TxError::Conflict);
+                    }
+                    if obj.cas_value_counted(pw.old_val, pw.cnt, pw.new_val) {
+                        self.commit_tail(CommitKind::SingleCas);
+                        return Ok(());
+                    }
+                    // The word changed between load and CAS; re-examine.
+                }
+            }
+            // Foreign reads alongside the buffered write: only the
+            // descriptor protocol can order them.  Materialize and fall
+            // through to the general path.
+            self.materialize_pending();
+            if self.capacity_exceeded {
+                self.abort_internal();
+                return Err(TxError::CapacityExceeded);
+            }
+            if self.doomed {
+                self.abort_internal();
+                return Err(TxError::Conflict);
+            }
+        }
+        // General path: the descriptor state machine.  Hand the buffered
+        // read set to the descriptor first — helpers may validate on our
+        // behalf the moment `setReady` publishes us.
+        if !self.spill_reads_to_descriptor() {
+            self.capacity_exceeded = true;
             self.abort_internal();
             return Err(TxError::CapacityExceeded);
         }
@@ -333,24 +562,81 @@ impl ThreadHandle {
         match outcome {
             Status::Committed => {
                 desc.uninstall(self.serial, Status::Committed);
-                self.in_tx = false;
-                self.spec_interval = false;
-                // Ownership of tnew-ed blocks passes to the structures.
-                self.allocs.clear();
-                self.abort_actions.clear();
-                let cleanups = std::mem::take(&mut self.cleanups);
-                for c in cleanups {
-                    c(self);
-                }
-                self.participant.unpin();
-                self.local_commits += 1;
-                self.mgr.stats.commits.fetch_add(1, Ordering::Relaxed);
+                self.commit_tail(CommitKind::General);
                 Ok(())
             }
             _ => {
                 self.abort_internal();
                 Err(TxError::Conflict)
             }
+        }
+    }
+
+    /// Common post-commit bookkeeping: releases transactional state, runs the
+    /// registered cleanup closures, unpins, and tallies statistics.
+    fn commit_tail(&mut self, kind: CommitKind) {
+        self.in_tx = false;
+        self.spec_interval = false;
+        self.pending_write = None;
+        // Ownership of tnew-ed blocks passes to the structures.
+        self.allocs.clear();
+        self.abort_actions.clear();
+        let cleanups = std::mem::take(&mut self.cleanups);
+        for c in cleanups {
+            c(self);
+        }
+        self.participant.unpin();
+        self.local_commits += 1;
+        self.stat_commits += 1;
+        match kind {
+            CommitKind::SingleCas => self.stat_fast_commits += 1,
+            CommitKind::ReadOnly => self.stat_ro_commits += 1,
+            CommitKind::General => {}
+        }
+        self.note_stat_event();
+    }
+
+    /// Flushes the per-thread statistic tallies into the shared
+    /// [`TxStats`] counters.  Called automatically every
+    /// `STATS_FLUSH_EVERY` events and when the handle is dropped; call it
+    /// explicitly before reading [`TxManager::stats`] if exact counts are
+    /// needed while this handle is still live.
+    pub fn flush_stats(&mut self) {
+        let stats = &self.mgr.stats;
+        if self.stat_commits > 0 {
+            stats
+                .commits
+                .fetch_add(self.stat_commits, Ordering::Relaxed);
+            self.stat_commits = 0;
+        }
+        if self.stat_aborts > 0 {
+            stats.aborts.fetch_add(self.stat_aborts, Ordering::Relaxed);
+            self.stat_aborts = 0;
+        }
+        if self.stat_helps > 0 {
+            stats.helps.fetch_add(self.stat_helps, Ordering::Relaxed);
+            self.stat_helps = 0;
+        }
+        if self.stat_fast_commits > 0 {
+            stats
+                .fast_commits
+                .fetch_add(self.stat_fast_commits, Ordering::Relaxed);
+            self.stat_fast_commits = 0;
+        }
+        if self.stat_ro_commits > 0 {
+            stats
+                .ro_commits
+                .fetch_add(self.stat_ro_commits, Ordering::Relaxed);
+            self.stat_ro_commits = 0;
+        }
+        self.stat_unflushed = 0;
+    }
+
+    #[inline]
+    fn note_stat_event(&mut self) {
+        self.stat_unflushed += 1;
+        if self.stat_unflushed >= STATS_FLUSH_EVERY {
+            self.flush_stats();
         }
     }
 
@@ -365,21 +651,23 @@ impl ThreadHandle {
 
     /// Validates the read set of the open transaction (paper
     /// `validateReads`): optional opacity check for transactions whose glue
-    /// code cannot tolerate inconsistent reads.
+    /// code cannot tolerate inconsistent reads.  Also reports `false` once
+    /// the transaction is doomed (a buffered write lost its word, or a read
+    /// was observed stale during registration): the commit cannot succeed.
     pub fn validate_reads(&self) -> bool {
         if !self.in_tx {
             return true;
         }
-        self.desc().validate_reads(self.serial)
+        if self.doomed {
+            return false;
+        }
+        self.validate_local_reads()
     }
 
     /// Runs `body` as a transaction, retrying on conflicts with exponential
     /// backoff.  Explicit aborts and capacity overflows are returned to the
     /// caller.
-    pub fn run<R>(
-        &mut self,
-        mut body: impl FnMut(&mut Self) -> TxResult<R>,
-    ) -> TxResult<R> {
+    pub fn run<R>(&mut self, mut body: impl FnMut(&mut Self) -> TxResult<R>) -> TxResult<R> {
         let mut backoff = Backoff::new();
         loop {
             self.tx_begin();
@@ -416,9 +704,16 @@ impl ThreadHandle {
     }
 
     fn abort_internal(&mut self) {
+        // A buffered write was never published: dropping it is the rollback.
+        self.pending_write = None;
+        self.doomed = false;
         let desc = self.desc();
         let st = desc.abort_own(self.serial);
-        let outcome = if st == Status::Committed { Status::Committed } else { Status::Aborted };
+        let outcome = if st == Status::Committed {
+            Status::Committed
+        } else {
+            Status::Aborted
+        };
         desc.uninstall(self.serial, outcome);
         // Undo tnew allocations: they were never published (speculative
         // installs have just been rolled back), so immediate free is safe.
@@ -436,7 +731,8 @@ impl ThreadHandle {
         }
         self.participant.unpin();
         self.local_aborts += 1;
-        self.mgr.stats.aborts.fetch_add(1, Ordering::Relaxed);
+        self.stat_aborts += 1;
+        self.note_stat_event();
     }
 
     // ------------------------------------------------------------------
@@ -444,8 +740,33 @@ impl ThreadHandle {
     // ------------------------------------------------------------------
 
     /// Registers a read for commit-time validation.  `val` must be the value
-    /// returned by the immediately preceding [`ThreadHandle::nbtc_load`] of
-    /// `obj` (the linearizing load of a read-only operation).
+    /// returned by a preceding [`ThreadHandle::nbtc_load`] of `obj` (the
+    /// linearizing load of a read-only operation).
+    ///
+    /// ## The `RECENT_LOADS` ring and its invariant
+    ///
+    /// The counter observed by the linearizing load is recovered from a ring
+    /// remembering the last [`RECENT_LOADS`] transactional loads.  The ring
+    /// is exact as long as no more than `RECENT_LOADS` loads separate the
+    /// linearizing load from its registration — true for every structure in
+    /// `nbds`, which registers immediately after its traversal (and, since
+    /// the counted-read API, without consulting the ring at all).  When the
+    /// ring *has* wrapped, registration degrades explicitly rather than
+    /// silently:
+    ///
+    /// * if the word still holds `val` (and no descriptor), the read is
+    ///   conservatively re-timestamped with the counter observed **now** —
+    ///   sound, because a read-only operation returning `val` may linearize
+    ///   at any point inside the transaction where `val` is current;
+    /// * otherwise the value is gone, the transaction can never validate,
+    ///   and it is marked *doomed* on the spot: `tx_end` fails with
+    ///   [`TxError::Conflict`] without doing any commit work, and
+    ///   [`ThreadHandle::validate_reads`] reports `false` immediately.
+    ///
+    /// Structures that track the observed counter themselves should prefer
+    /// [`ThreadHandle::nbtc_load_counted`] +
+    /// [`ThreadHandle::add_read_with_counter`], which bypass the ring
+    /// entirely.
     pub fn add_to_read_set(&mut self, obj: &CasWord, val: u64) {
         if !self.in_tx {
             return;
@@ -462,24 +783,79 @@ impl ThreadHandle {
         let cnt = match cnt {
             Some(c) => c,
             None => {
-                // Fall back to re-reading: if the value is unchanged the read
-                // can be treated as having occurred now; otherwise poison the
-                // entry so the transaction aborts at commit.
+                // Ring overflow: fall back to re-reading (see the doc
+                // comment above for why each arm is sound).
                 let (v, c) = obj.load_parts();
                 if v == val && !CasWord::counter_is_descriptor(c) {
                     c
                 } else {
-                    u64::MAX // unmatchable counter => validation fails
+                    self.doomed = true;
+                    return;
                 }
             }
         };
-        if cnt == OWN_SPECULATIVE {
+        self.add_read_with_counter(obj, val, cnt);
+    }
+
+    /// Registers a read whose observed counter the caller tracked itself
+    /// (returned by [`ThreadHandle::nbtc_load_counted`]).  Skips the
+    /// `RECENT_LOADS` ring search of [`ThreadHandle::add_to_read_set`], and
+    /// is immune to its overflow fallback; this is the preferred way for a
+    /// data structure to register the linearizing load of a read-only
+    /// operation.
+    pub fn add_read_with_counter(&mut self, obj: &CasWord, val: u64, cnt: u64) {
+        if !self.in_tx || cnt == OWN_SPECULATIVE {
             // Reading one's own speculative write needs no validation.
             return;
         }
-        if !self.desc().push_read(self.serial, obj, val, cnt) {
+        if self.local_reads.len() >= crate::descriptor::MAX_ENTRIES {
             self.capacity_exceeded = true;
+            return;
         }
+        self.local_reads
+            .push((obj as *const CasWord as usize, val, cnt));
+    }
+
+    /// Validates the locally buffered read set against current memory.  Each
+    /// entry must still hold the recorded `(value, counter)` pair, or hold
+    /// this transaction's own descriptor installed over exactly that
+    /// pre-image (see [`Desc::validate_reads`], which applies the same rule
+    /// to the spilled entries on behalf of helpers).
+    fn validate_local_reads(&self) -> bool {
+        let me = self.desc().as_payload();
+        for &(addr, val, cnt) in &self.local_reads {
+            // SAFETY: the word is protected by the EBR pin held since
+            // tx_begin (same argument as `Desc::validate_reads`).
+            let obj = unsafe { &*(addr as *const CasWord) };
+            let (cur_val, cur_cnt) = obj.load_parts();
+            if cur_val == val && cur_cnt == cnt {
+                continue;
+            }
+            if CasWord::counter_is_descriptor(cur_cnt)
+                && cur_val == me
+                && cur_cnt == cnt.wrapping_add(1)
+            {
+                continue;
+            }
+            // The buffered single-CAS write also counts as "own write" when
+            // it targets a word we read earlier: memory is untouched, so the
+            // plain comparison above already covered it.
+            return false;
+        }
+        true
+    }
+
+    /// Spills the locally buffered read set into the descriptor's stamped
+    /// entries so helpers can validate on our behalf.  Must complete before
+    /// `setReady` publishes the transaction as helpable.
+    fn spill_reads_to_descriptor(&mut self) -> bool {
+        let desc = self.desc();
+        for &(addr, val, cnt) in &self.local_reads {
+            if !desc.push_read(self.serial, addr as *const CasWord, val, cnt) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Registers post-critical ("cleanup") work to run after the transaction
@@ -578,13 +954,44 @@ impl ThreadHandle {
     /// that it finalizes any descriptor it encounters (so non-transactional
     /// operations are never blocked by a stalled transaction).  Inside a
     /// transaction it additionally returns the transaction's own speculative
-    /// value when one exists and remembers the observed counter for
+    /// value when one exists (whether buffered for the single-CAS fast path
+    /// or installed as a descriptor) and remembers the observed counter for
     /// [`ThreadHandle::add_to_read_set`].
     pub fn nbtc_load(&mut self, obj: &CasWord) -> u64 {
+        self.nbtc_load_counted(obj).0
+    }
+
+    /// Like [`ThreadHandle::nbtc_load`], but also returns the counter token
+    /// observed by the load, for registration via
+    /// [`ThreadHandle::add_read_with_counter`].
+    ///
+    /// The token is opaque: when the load returned one of the transaction's
+    /// own speculative values it is a sentinel that makes the registration a
+    /// no-op (reading your own write needs no validation), otherwise it is
+    /// the word's version counter.
+    pub fn nbtc_load_counted(&mut self, obj: &CasWord) -> (u64, u64) {
+        if self.in_tx {
+            if let Some(pw) = &self.pending_write {
+                if std::ptr::eq(pw.addr, obj as *const CasWord) {
+                    // Our own buffered (fast-path) write: the speculation
+                    // interval of the current operation starts here, exactly
+                    // as when an installed own descriptor is observed.
+                    self.spec_interval = true;
+                    let v = pw.new_val;
+                    let addr = obj as *const CasWord as usize;
+                    self.record_recent(addr, v, OWN_SPECULATIVE);
+                    return (v, OWN_SPECULATIVE);
+                }
+            }
+        }
         loop {
             let raw = obj.load_raw();
             let (val, cnt) = unpack(raw);
             if CasWord::counter_is_descriptor(cnt) {
+                debug_assert!(
+                    val != 0 && (val as usize).is_multiple_of(std::mem::align_of::<Desc>()),
+                    "odd-counter word holds non-descriptor payload {val:#x} (cnt {cnt:#x})"
+                );
                 let desc_ptr = val as *const Desc;
                 if self.in_tx && std::ptr::eq(desc_ptr, self.desc_ptr) {
                     // Seeing our own speculative write starts the speculation
@@ -594,7 +1001,7 @@ impl ThreadHandle {
                     if let Some((_, v)) = self.desc().speculative_value(self.serial, obj) {
                         let addr = obj as *const CasWord as usize;
                         self.record_recent(addr, v, OWN_SPECULATIVE);
-                        return v;
+                        return (v, OWN_SPECULATIVE);
                     }
                     // Inconsistent (should not happen): fall through and retry.
                     continue;
@@ -603,14 +1010,15 @@ impl ThreadHandle {
                 // kept alive by every structure and handle that can reach
                 // this word.
                 unsafe { (*desc_ptr).try_finalize(obj, raw) };
-                self.mgr.stats.helps.fetch_add(1, Ordering::Relaxed);
+                self.stat_helps += 1;
+                self.note_stat_event();
                 continue;
             }
             if self.in_tx {
                 let addr = obj as *const CasWord as usize;
                 self.record_recent(addr, val, cnt);
             }
-            return val;
+            return (val, cnt);
         }
     }
 
@@ -619,8 +1027,13 @@ impl ThreadHandle {
     /// `lin_pt` / `pub_pt` declare whether this CAS, if successful, is the
     /// linearization and/or publication point of the current operation.  A
     /// critical CAS (one inside the operation's speculation interval) is
-    /// executed speculatively: the descriptor is installed in place of the
-    /// value and the real update happens at commit time.
+    /// executed speculatively.  The transaction's *first* critical CAS is
+    /// buffered thread-locally (see [`PendingWrite`]): an operation whose
+    /// single critical CAS stays the transaction's only write — a lone
+    /// `insert`/`remove`/`enqueue` inside [`ThreadHandle::run`] — therefore
+    /// never installs a descriptor and commits with one plain CAS.  From the
+    /// second critical word onwards the descriptor is installed in place of
+    /// each value and the real update happens at commit time.
     pub fn nbtc_cas(
         &mut self,
         obj: &CasWord,
@@ -638,7 +1051,8 @@ impl ThreadHandle {
                 if CasWord::counter_is_descriptor(cnt) {
                     // SAFETY: see nbtc_load.
                     unsafe { (*(val as *const Desc)).try_finalize(obj, raw) };
-                    self.mgr.stats.helps.fetch_add(1, Ordering::Relaxed);
+                    self.stat_helps += 1;
+                    self.note_stat_event();
                     continue;
                 }
                 if val != expected {
@@ -648,6 +1062,22 @@ impl ThreadHandle {
                     return true;
                 }
                 // The word changed under us; re-examine.
+            }
+        }
+        // Operating on the word our buffered write owns speculatively:
+        // rewrite the buffer in place, like updating an installed own
+        // descriptor entry.
+        if let Some(pw) = &mut self.pending_write {
+            if std::ptr::eq(pw.addr, obj as *const CasWord) {
+                self.spec_interval = true;
+                if pw.new_val != expected {
+                    return false;
+                }
+                pw.new_val = desired;
+                if lin_pt {
+                    self.spec_interval = false;
+                }
+                return true;
             }
         }
         loop {
@@ -673,7 +1103,8 @@ impl ThreadHandle {
                 }
                 // SAFETY: see nbtc_load.
                 unsafe { (*desc_ptr).try_finalize(obj, raw) };
-                self.mgr.stats.helps.fetch_add(1, Ordering::Relaxed);
+                self.stat_helps += 1;
+                self.note_stat_event();
                 continue;
             }
             if val != expected {
@@ -683,7 +1114,26 @@ impl ThreadHandle {
                 self.spec_interval = true;
             }
             if self.spec_interval {
-                // Critical CAS: install the descriptor.
+                // Critical CAS.  If it is the transaction's first, buffer it
+                // for the single-CAS direct-commit fast path instead of
+                // installing the descriptor.
+                if self.fast_ok && self.pending_write.is_none() && self.desc().write_count() == 0 {
+                    self.pending_write = Some(PendingWrite {
+                        addr: obj as *const CasWord,
+                        old_val: val,
+                        cnt,
+                        new_val: desired,
+                    });
+                    if lin_pt {
+                        self.spec_interval = false;
+                    }
+                    return true;
+                }
+                // A second critical word: the transaction no longer
+                // qualifies for the direct commit.  Materialize the buffered
+                // first write (install its descriptor entry), then continue
+                // on the general path.
+                self.materialize_pending();
                 let desc = self.desc();
                 let Some(idx) = desc.push_write(self.serial, obj, val, cnt, desired) else {
                     self.capacity_exceeded = true;
@@ -702,6 +1152,34 @@ impl ThreadHandle {
             // Non-critical CAS inside a transaction (e.g. helping an already
             // linearized operation): executed on the fly.
             return obj.raw().cas(raw, pack(desired, cnt.wrapping_add(2)));
+        }
+    }
+
+    /// Converts the buffered first write into an installed descriptor entry
+    /// (exit from the single-CAS fast path onto the general MCNS path).
+    ///
+    /// If the word no longer holds the value the buffered CAS succeeded
+    /// against, the transaction has already lost the conflict: it is marked
+    /// doomed — the commit will fail with [`TxError::Conflict`] — but
+    /// execution continues normally (subsequent operations run real
+    /// speculation against current memory), so glue-code retry loops keep
+    /// making progress instead of spinning on a dead transaction.
+    fn materialize_pending(&mut self) {
+        let Some(pw) = self.pending_write.take() else {
+            return;
+        };
+        let desc = self.desc();
+        let Some(idx) = desc.push_write(self.serial, pw.addr, pw.old_val, pw.cnt, pw.new_val)
+        else {
+            self.capacity_exceeded = true;
+            return;
+        };
+        // SAFETY: the word is protected by the EBR pin held since tx_begin.
+        let obj = unsafe { &*pw.addr };
+        let installed = pack(desc.as_payload(), pw.cnt.wrapping_add(1));
+        if !obj.raw().cas(pack(pw.old_val, pw.cnt), installed) {
+            desc.kill_write(idx);
+            self.doomed = true;
         }
     }
 
@@ -727,6 +1205,7 @@ impl Drop for ThreadHandle {
             // code) must not leave its descriptor installed anywhere.
             self.abort_internal();
         }
+        self.flush_stats();
         self.mgr.slot_in_use[self.tid].store(false, Ordering::Release);
     }
 }
@@ -757,11 +1236,247 @@ mod tests {
         let v = h.nbtc_load(&w);
         assert_eq!(v, 1);
         assert!(h.nbtc_cas(&w, 1, 2, true, true));
-        // Speculative: other (non-transactional) observers see a descriptor.
+        // The first critical CAS is buffered (single-CAS fast path): other
+        // observers still see the old value, not a descriptor.
+        assert_eq!(w.try_load_value(), Some(1));
+        assert!(h.tx_end().is_ok());
+        assert_eq!(w.try_load_value(), Some(2));
+        h.flush_stats();
+        let snap = mgr.stats().snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(
+            snap.fast_commits, 1,
+            "lone critical CAS must commit directly"
+        );
+    }
+
+    #[test]
+    fn single_word_transaction_with_fast_paths_disabled_installs_descriptor() {
+        let mgr = TxManager::new();
+        mgr.set_fast_paths(false);
+        let mut h = mgr.register();
+        let w = CasWord::new(1);
+        h.tx_begin();
+        assert!(h.nbtc_cas(&w, 1, 2, true, true));
+        // General path: other (non-transactional) observers see a descriptor.
         assert_eq!(w.try_load_value(), None);
         assert!(h.tx_end().is_ok());
         assert_eq!(w.try_load_value(), Some(2));
-        assert_eq!(mgr.stats().snapshot().0, 1);
+        h.flush_stats();
+        let snap = mgr.stats().snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.fast_commits, 0);
+    }
+
+    #[test]
+    fn read_only_transaction_commits_descriptor_free() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(7);
+        h.tx_begin();
+        let v = h.nbtc_load(&w);
+        h.add_to_read_set(&w, v);
+        assert!(h.tx_end().is_ok());
+        h.flush_stats();
+        let snap = mgr.stats().snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.ro_commits, 1);
+        assert_eq!(snap.fast_commits, 0);
+        // The word was never touched: value and counter are pristine.
+        assert_eq!(w.load_parts(), (7, 0));
+    }
+
+    #[test]
+    fn read_only_commit_detects_invalidated_read() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let mut other = mgr.register();
+        let w = CasWord::new(1);
+        h.tx_begin();
+        let v = h.nbtc_load(&w);
+        h.add_to_read_set(&w, v);
+        assert!(other.nbtc_cas(&w, 1, 2, true, true));
+        assert_eq!(h.tx_end(), Err(TxError::Conflict));
+        h.flush_stats();
+        assert_eq!(mgr.stats().snapshot().ro_commits, 0);
+    }
+
+    #[test]
+    fn second_critical_word_materializes_buffered_write() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let a = CasWord::new(10);
+        let b = CasWord::new(20);
+        h.tx_begin();
+        assert!(h.nbtc_cas(&a, 10, 11, true, true));
+        // First critical CAS is buffered: `a` still shows its old value.
+        assert_eq!(a.try_load_value(), Some(10));
+        assert!(h.nbtc_cas(&b, 20, 21, true, true));
+        // Materialized: both words now carry the descriptor.
+        assert_eq!(a.try_load_value(), None);
+        assert_eq!(b.try_load_value(), None);
+        assert!(h.tx_end().is_ok());
+        assert_eq!(a.try_load_value(), Some(11));
+        assert_eq!(b.try_load_value(), Some(21));
+        h.flush_stats();
+        let snap = mgr.stats().snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(
+            snap.fast_commits, 0,
+            "two-word tx must take the general path"
+        );
+    }
+
+    #[test]
+    fn buffered_write_lost_to_contention_aborts_and_retries() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let mut other = mgr.register();
+        let w = CasWord::new(1);
+        h.tx_begin();
+        assert!(h.nbtc_cas(&w, 1, 2, true, true)); // buffered
+                                                   // The buffered write is invisible, so a non-transactional CAS wins
+                                                   // the word outright.
+        assert!(other.nbtc_cas(&w, 1, 9, true, true));
+        assert_eq!(h.tx_end(), Err(TxError::Conflict));
+        assert_eq!(w.try_load_value(), Some(9));
+        // A retry through `run` succeeds on the fresh value.
+        let out: TxResult<()> = h.run(|h| {
+            let v = h.nbtc_load(&w);
+            assert!(h.nbtc_cas(&w, v, v + 1, true, true));
+            Ok(())
+        });
+        assert!(out.is_ok());
+        assert_eq!(w.try_load_value(), Some(10));
+    }
+
+    #[test]
+    fn materialization_failure_dooms_but_keeps_executing() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let mut other = mgr.register();
+        let a = CasWord::new(1);
+        let b = CasWord::new(5);
+        h.tx_begin();
+        assert!(h.nbtc_cas(&a, 1, 2, true, true)); // buffered
+                                                   // `a` changes under the buffered write...
+        assert!(other.nbtc_cas(&a, 1, 7, true, true));
+        // ...so the second critical CAS (which forces materialization) dooms
+        // the transaction, but execution continues and commit fails cleanly.
+        assert!(h.nbtc_cas(&b, 5, 6, true, true));
+        assert!(
+            !h.validate_reads(),
+            "doomed transaction must report invalid"
+        );
+        assert_eq!(h.tx_end(), Err(TxError::Conflict));
+        assert_eq!(a.try_load_value(), Some(7));
+        assert_eq!(b.try_load_value(), Some(5), "speculation on b rolled back");
+    }
+
+    #[test]
+    fn symmetric_read_write_pairs_cannot_write_skew() {
+        // tx1 reads A and writes B; tx2 reads B and writes A, fully
+        // interleaved.  A serializable runtime must abort at least one of
+        // them: if both committed, each would have read state the other's
+        // write invalidated, with no serial order.  (Regression test for the
+        // single-CAS fast path committing foreign reads without pinning
+        // them.)
+        let mgr = TxManager::new();
+        let mut h1 = mgr.register();
+        let mut h2 = mgr.register();
+        let a = CasWord::new(10);
+        let b = CasWord::new(20);
+        h1.tx_begin();
+        let va = h1.nbtc_load(&a);
+        h1.add_to_read_set(&a, va);
+        assert!(h1.nbtc_cas(&b, 20, 21, true, true));
+        h2.tx_begin();
+        let vb = h2.nbtc_load(&b);
+        h2.add_to_read_set(&b, vb);
+        assert!(h2.nbtc_cas(&a, 10, 11, true, true));
+        let r1 = h1.tx_end();
+        let r2 = h2.tx_end();
+        assert!(
+            r1.is_err() || r2.is_err(),
+            "write skew: both symmetric transactions committed ({r1:?}, {r2:?})"
+        );
+        // The surviving state must correspond to a serial order.
+        let (fa, fb) = (a.try_load_value().unwrap(), b.try_load_value().unwrap());
+        match (r1.is_ok(), r2.is_ok()) {
+            (true, false) => assert_eq!((fa, fb), (10, 21)),
+            (false, true) => assert_eq!((fa, fb), (11, 20)),
+            (false, false) => assert_eq!((fa, fb), (10, 20)),
+            (true, true) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn foreign_read_plus_single_write_takes_general_path() {
+        // The direct commit cannot order reads of other words (write-skew
+        // hazard), so such a transaction must publish a descriptor even
+        // though its write set is a single word.
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let a = CasWord::new(1);
+        let b = CasWord::new(2);
+        h.tx_begin();
+        let v = h.nbtc_load(&a);
+        h.add_to_read_set(&a, v);
+        assert!(h.nbtc_cas(&b, 2, 3, true, true));
+        assert!(h.tx_end().is_ok());
+        h.flush_stats();
+        let snap = mgr.stats().snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(
+            snap.fast_commits, 0,
+            "a buffered write with a foreign read must not commit directly"
+        );
+        assert_eq!(b.try_load_value(), Some(3));
+    }
+
+    #[test]
+    fn single_cas_with_same_word_read_still_takes_fast_path() {
+        // A read of the written word's own pre-image is subsumed by the
+        // commit CAS: the transaction still qualifies for the direct path.
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(5);
+        h.tx_begin();
+        let v = h.nbtc_load(&w);
+        h.add_to_read_set(&w, v);
+        assert!(h.nbtc_cas(&w, 5, 6, true, true));
+        assert!(h.tx_end().is_ok());
+        h.flush_stats();
+        assert_eq!(mgr.stats().snapshot().fast_commits, 1);
+        assert_eq!(w.try_load_value(), Some(6));
+    }
+
+    #[test]
+    fn recent_ring_overflow_falls_back_conservatively() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let target = CasWord::new(42);
+        let noise: Vec<CasWord> = (0..2 * RECENT_LOADS as u64).map(CasWord::new).collect();
+        // Unchanged word: registration after ring overflow re-timestamps and
+        // the transaction still commits read-only.
+        h.tx_begin();
+        let v = h.nbtc_load(&target);
+        for w in &noise {
+            h.nbtc_load(w);
+        }
+        h.add_to_read_set(&target, v);
+        assert!(h.tx_end().is_ok());
+        // Changed word: the stale registration dooms the transaction on the
+        // spot instead of silently passing validation.
+        h.tx_begin();
+        let v = h.nbtc_load(&target);
+        for w in &noise {
+            h.nbtc_load(w);
+        }
+        assert!(target.cas_value(42, 43), "simulate a conflicting writer");
+        h.add_to_read_set(&target, v);
+        assert!(!h.validate_reads());
+        assert_eq!(h.tx_end(), Err(TxError::Conflict));
     }
 
     #[test]
@@ -813,6 +1528,8 @@ mod tests {
     #[test]
     fn foreign_descriptor_is_aborted_eagerly() {
         let mgr = TxManager::new();
+        // Force the general path so an actual descriptor is installed.
+        mgr.set_fast_paths(false);
         let mut a = mgr.register();
         let mut b = mgr.register();
         let w = CasWord::new(1);

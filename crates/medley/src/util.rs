@@ -7,6 +7,49 @@
 
 use std::ops::{Deref, DerefMut};
 
+pub mod sync {
+    //! A `parking_lot`-flavoured mutex over `std::sync::Mutex`.
+    //!
+    //! The workspace builds in offline containers with no registry access, so
+    //! instead of depending on `parking_lot` the crates that need a plain
+    //! blocking lock (the baselines `onefile`/`tdsl`, the `pmem` slab, and the
+    //! non-x86_64 `AtomicU128` fallback) use this wrapper: `lock()` returns
+    //! the guard directly and poisoning is ignored (a panicking holder does
+    //! not make the data unusable for the benchmark baselines, matching
+    //! `parking_lot` semantics).
+
+    /// A mutual-exclusion lock whose `lock` returns the guard directly.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex holding `value`.
+        pub const fn new(value: T) -> Self {
+            Self {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Acquires the lock, ignoring poisoning.
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            match self.inner.into_inner() {
+                Ok(v) => v,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+    }
+}
+
 /// Pads and aligns a value to 128 bytes to avoid false sharing.
 ///
 /// 128 bytes (two cache lines) is used rather than 64 because Intel
@@ -100,7 +143,11 @@ impl FastRng {
     /// constant so the stream never degenerates).
     pub fn new(seed: u64) -> Self {
         Self {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 

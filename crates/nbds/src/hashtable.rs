@@ -5,6 +5,11 @@
 //! The paper's microbenchmark uses 1 M buckets over a 1 M key space; the
 //! default here matches, and [`MichaelHashMap::with_buckets`] lets tests and
 //! benchmarks pick smaller tables.
+//!
+//! Operations delegate to the per-bucket [`MichaelList`], so they inherit its
+//! commit fast-path eligibility: a transaction made of one `insert`/`put`/
+//! `remove` commits with a single plain CAS and lookup-only transactions
+//! commit descriptor-free (see `medley::TxManager` fast paths).
 
 use crate::list::MichaelList;
 use medley::ThreadHandle;
@@ -272,7 +277,12 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
-        let total: u64 = a.snapshot().iter().chain(b.snapshot().iter()).map(|(_, v)| *v).sum();
+        let total: u64 = a
+            .snapshot()
+            .iter()
+            .chain(b.snapshot().iter())
+            .map(|(_, v)| *v)
+            .sum();
         assert_eq!(total, KEYS * 10 * 2);
     }
 }

@@ -15,6 +15,17 @@
 //! `put` uses the paper's replace trick: marking the old node's `next`
 //! pointer *at* the replacement node simultaneously removes the old node and
 //! splices in the new one with a single (critical) CAS.
+//!
+//! ## Commit fast-path eligibility
+//!
+//! Every update here performs exactly **one** critical CAS, so a transaction
+//! consisting of a single `insert`/`put`/`remove` qualifies for the runtime's
+//! single-CAS direct commit (no descriptor is ever installed), and a
+//! transaction of lookups and failed updates commits descriptor-free through
+//! the read-only path.  The traversal marks its linearizing load for the
+//! runtime by registering the `(value, counter)` pair it tracked via
+//! `nbtc_load_counted`, which both pinpoints the critical access and keeps
+//! read-set registration exact regardless of traversal length.
 
 use crate::tag;
 use medley::{CasWord, ThreadHandle};
@@ -34,6 +45,11 @@ pub(crate) struct Node<V> {
 struct Position<V> {
     prev: *const CasWord,
     prev_val: u64,
+    /// Counter token observed by the load of `prev` that yielded `prev_val`
+    /// (see [`medley::ThreadHandle::nbtc_load_counted`]).  Passing it to
+    /// `add_read_with_counter` registers the linearizing load of a read-only
+    /// outcome exactly, without going through the recent-loads ring.
+    prev_cnt: u64,
     curr: *mut Node<V>,
     /// Unmarked successor bits of `curr`; only meaningful when `curr` is
     /// non-null.
@@ -87,13 +103,14 @@ where
             // SAFETY: `prev` points either at the list head (owned by self)
             // or at the `next` field of a node protected by the EBR pin the
             // caller holds for the duration of the operation.
-            let mut curr_bits = h.nbtc_load(unsafe { &*prev });
+            let (mut curr_bits, mut prev_cnt) = h.nbtc_load_counted(unsafe { &*prev });
             loop {
                 let curr = tag::as_ptr::<Node<V>>(curr_bits);
                 if curr.is_null() {
                     return Position {
                         prev,
                         prev_val: curr_bits,
+                        prev_cnt,
                         curr: ptr::null_mut(),
                         next: 0,
                         found: false,
@@ -101,7 +118,7 @@ where
                 }
                 // SAFETY: `curr` was reachable from the list and cannot be
                 // freed while we are pinned.
-                let next_bits = h.nbtc_load(unsafe { &(*curr).next });
+                let (next_bits, next_cnt) = h.nbtc_load_counted(unsafe { &(*curr).next });
                 if tag::is_marked(next_bits) {
                     // `curr` is logically deleted (by an operation that has
                     // already linearized); help unlink it.  This CAS is not a
@@ -115,7 +132,12 @@ where
                     // SAFETY: we won the unlink CAS, so we are the unique
                     // retirer of `curr`.
                     unsafe { h.tretire(curr) };
-                    curr_bits = succ;
+                    // The unlink advanced `prev`'s counter; re-load so the
+                    // counter token stays exact.
+                    // SAFETY: `prev` is valid while pinned (as above).
+                    let (nb, nc) = h.nbtc_load_counted(unsafe { &*prev });
+                    curr_bits = nb;
+                    prev_cnt = nc;
                     continue;
                 }
                 // SAFETY: as above.
@@ -124,6 +146,7 @@ where
                     return Position {
                         prev,
                         prev_val: curr_bits,
+                        prev_cnt,
                         curr,
                         next: next_bits,
                         found: ckey == key,
@@ -131,6 +154,7 @@ where
                 }
                 prev = unsafe { &(*curr).next as *const CasWord };
                 curr_bits = next_bits;
+                prev_cnt = next_cnt;
             }
         }
     }
@@ -147,9 +171,10 @@ where
                 None
             };
             // The load of `prev` that yielded `curr` is the linearizing load
-            // of this read-only operation.
+            // of this read-only operation; its counter token was tracked by
+            // `find`, so registration bypasses the recent-loads ring.
             // SAFETY: `pos.prev` is valid while pinned.
-            h.add_to_read_set(unsafe { &*pos.prev }, pos.prev_val);
+            h.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
             res
         })
     }
@@ -175,7 +200,7 @@ where
                     // SAFETY: `node` was just allocated by us and never
                     // published; `pos.prev` is pinned.
                     unsafe { h.tdelete(node) };
-                    h.add_to_read_set(unsafe { &*pos.prev }, pos.prev_val);
+                    h.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
                     return false;
                 }
                 // SAFETY: `node` is still private.
@@ -261,7 +286,7 @@ where
                 let pos = self.find(h, key);
                 if !pos.found {
                     // SAFETY: `pos.prev` is pinned.
-                    h.add_to_read_set(unsafe { &*pos.prev }, pos.prev_val);
+                    h.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
                     return None;
                 }
                 let curr = pos.curr;

@@ -6,6 +6,11 @@
 //! link of the new node at the tail, and the linearizing CAS of a dequeue is
 //! the swing of the head pointer.  Everything else (advancing the tail,
 //! retiring the old dummy) is helping or cleanup.
+//!
+//! Both `enqueue` and a successful `dequeue` therefore contribute exactly
+//! one critical CAS: a transaction containing a single queue operation takes
+//! the runtime's single-CAS direct-commit path, and an empty `dequeue` (or
+//! `is_empty`) registers one counted load and commits descriptor-free.
 
 use crate::tag;
 use medley::{CasWord, ThreadHandle};
@@ -97,11 +102,11 @@ where
                 let head_bits = h.nbtc_load(&self.head);
                 let head_ptr = tag::as_ptr::<Node<V>>(head_bits);
                 // SAFETY: pinned.
-                let next_bits = h.nbtc_load(unsafe { &(*head_ptr).next });
+                let (next_bits, next_cnt) = h.nbtc_load_counted(unsafe { &(*head_ptr).next });
                 if next_bits == 0 {
                     // Empty: the linearizing load of this read-only outcome is
                     // the observation that the dummy has no successor.
-                    h.add_to_read_set(unsafe { &(*head_ptr).next }, 0);
+                    h.add_read_with_counter(unsafe { &(*head_ptr).next }, 0, next_cnt);
                     return None;
                 }
                 let tail_bits = h.nbtc_load(&self.tail);
@@ -133,9 +138,9 @@ where
             let head_bits = h.nbtc_load(&self.head);
             let head_ptr = tag::as_ptr::<Node<V>>(head_bits);
             // SAFETY: pinned.
-            let next_bits = h.nbtc_load(unsafe { &(*head_ptr).next });
+            let (next_bits, next_cnt) = h.nbtc_load_counted(unsafe { &(*head_ptr).next });
             if next_bits == 0 {
-                h.add_to_read_set(unsafe { &(*head_ptr).next }, 0);
+                h.add_read_with_counter(unsafe { &(*head_ptr).next }, 0, next_cnt);
                 true
             } else {
                 false

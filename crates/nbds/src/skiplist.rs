@@ -19,6 +19,12 @@
 //! Reclamation: a node is retired only by the operation that logically
 //! deleted it, and only after a verification search has confirmed the node is
 //! unlinked from every level, so index pointers can never dangle.
+//!
+//! Because every update performs exactly one critical CAS (the level-0 link
+//! or mark) and every read-only outcome registers exactly one counted load,
+//! single-operation transactions over this skiplist take the runtime's
+//! single-CAS direct-commit path and read-only transactions commit
+//! descriptor-free.
 
 use crate::tag;
 use medley::{CasWord, ThreadHandle};
@@ -46,6 +52,9 @@ impl<V> Node<V> {
 struct Level0Pos<V> {
     prev: *const CasWord,
     prev_val: u64,
+    /// Counter token observed by the load of `prev` (for exact read-set
+    /// registration of read-only outcomes; see `nbtc_load_counted`).
+    prev_cnt: u64,
     curr: *mut Node<V>,
     next: u64,
     found: bool,
@@ -77,7 +86,9 @@ where
 
     /// Pseudo-random tower height with a geometric(1/2) distribution.
     fn random_height(&self) -> usize {
-        let mut x = self.seed.fetch_add(0xA24B_AED4_963E_E407, Ordering::Relaxed);
+        let mut x = self
+            .seed
+            .fetch_add(0xA24B_AED4_963E_E407, Ordering::Relaxed);
         x ^= x >> 33;
         x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
         x ^= x >> 33;
@@ -113,7 +124,18 @@ where
                 loop {
                     let pred_word = self.word_at(pred_node, level);
                     // SAFETY: pred_word is valid while pinned.
-                    let raw = h.nbtc_load(unsafe { &*pred_word });
+                    let (raw, raw_cnt) = h.nbtc_load_counted(unsafe { &*pred_word });
+                    if tag::is_marked(raw) && !pred_node.is_null() {
+                        // The pred node picked up at a higher level has since
+                        // been deleted at this one (possibly speculatively by
+                        // our own transaction, in which case no helper can
+                        // unlink it until commit).  Restart this level from
+                        // the head tower, where the marked node is
+                        // encountered as `curr` and handled by the
+                        // unlink-help branch below.
+                        pred_node = ptr::null_mut();
+                        continue;
+                    }
                     let curr_bits = tag::unmarked(raw);
                     let curr = tag::as_ptr::<Node<V>>(curr_bits);
                     if curr.is_null() {
@@ -123,6 +145,7 @@ where
                             return Level0Pos {
                                 prev: pred_word,
                                 prev_val: raw,
+                                prev_cnt: raw_cnt,
                                 curr: ptr::null_mut(),
                                 next: 0,
                                 found: false,
@@ -156,6 +179,7 @@ where
                         return Level0Pos {
                             prev: pred_word,
                             prev_val: raw,
+                            prev_cnt: raw_cnt,
                             curr,
                             next: next_raw,
                             found: ckey == key,
@@ -184,7 +208,7 @@ where
                 None
             };
             // SAFETY: pos.prev valid while pinned.
-            h.add_to_read_set(unsafe { &*pos.prev }, pos.prev_val);
+            h.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
             res
         })
     }
@@ -226,9 +250,82 @@ where
                 let pred_word = self.word_at(preds[level], level);
                 // SAFETY: preds[level] pinned.
                 if unsafe { &*pred_word }.cas_value(succ, tag::from_ptr(node)) {
+                    // Post-link validation: the successor we just linked to
+                    // may have been marked (and even verified as unlinked by
+                    // its remover) between our search and the link CAS.  We
+                    // created that link, so we are responsible for making
+                    // sure it does not outlive our EBR pin — unlink any
+                    // marked successor before returning, or the remover's
+                    // retirement would leave a permanently dangling index
+                    // pointer (use-after-free for later traversals).
+                    self.unlink_marked_successors(node, level);
                     continue 'levels;
                 }
                 // Lost a race; re-search and retry this level.
+            }
+        }
+    }
+
+    /// Repeatedly unlinks `node`'s level-`level` successor while that
+    /// successor is marked at `level`.  Part of the creator-validates
+    /// discipline described in [`SkipList::link_upper_levels`].
+    fn unlink_marked_successors(&self, node: *mut Node<V>, level: usize) {
+        loop {
+            // SAFETY: `node` is reachable and pinned by the caller; any
+            // successor observed here was linked while we are pinned, so its
+            // memory cannot be reclaimed before we return.
+            let cur = unsafe { (*node).tower[level].load_parts().0 };
+            let succ = tag::as_ptr::<Node<V>>(tag::unmarked(cur));
+            if tag::is_marked(cur) || succ.is_null() {
+                return;
+            }
+            let succ_next = unsafe { (*succ).tower[level].load_parts().0 };
+            if !tag::is_marked(succ_next) {
+                return;
+            }
+            // Marked successor: splice it out of our own link word.
+            let _ = unsafe { &(*node).tower[level] }.cas_value(cur, tag::unmarked(succ_next));
+            // Re-examine: the replacement successor may be marked as well.
+        }
+    }
+
+    /// Walks level `level` from the head, unlinking **every** marked node
+    /// with key ≤ `key` (paper-style helping, but traversing *through* equal
+    /// keys).  A plain `search` is not enough for a retiring node: a `put`
+    /// replacement carries the same key as its victim, so `search(key)`
+    /// stops at the replacement and never reaches a marked victim linked
+    /// behind it.
+    fn purge_level(&self, h: &mut ThreadHandle, level: usize, key: u64) {
+        'retry: loop {
+            let mut pred: *mut Node<V> = ptr::null_mut();
+            loop {
+                let pred_word = self.word_at(pred, level);
+                // SAFETY: pred_word valid while pinned.
+                let raw = h.nbtc_load(unsafe { &*pred_word });
+                let curr_bits = tag::unmarked(raw);
+                let curr = tag::as_ptr::<Node<V>>(curr_bits);
+                if curr.is_null() {
+                    return;
+                }
+                // SAFETY: curr reachable and pinned.
+                let next_raw = h.nbtc_load(unsafe { &(*curr).tower[level] });
+                if tag::is_marked(next_raw) {
+                    if !h.nbtc_cas(
+                        unsafe { &*pred_word },
+                        curr_bits,
+                        tag::unmarked(next_raw),
+                        false,
+                        false,
+                    ) {
+                        continue 'retry;
+                    }
+                    continue;
+                }
+                let ckey = unsafe { (*curr).key };
+                if ckey > key {
+                    return;
+                }
+                pred = curr;
             }
         }
     }
@@ -251,11 +348,16 @@ where
                 }
             }
         }
-        // A full search unlinks the node from every level it is still linked
-        // at; afterwards no new links to it can be created (it is marked at
-        // every level), so it is safe to retire.
-        let (mut preds, mut succs) = Self::empty_arrays();
-        let _ = self.search(h, key, &mut preds, &mut succs);
+        // Purge every level the node may still be linked at; the traversal
+        // goes through equal keys so a replacement with the same key cannot
+        // shadow the retiring node.  Afterwards the only links that can
+        // still materialize come from in-flight linkers, and those unlink
+        // their own marked successors before unpinning (see
+        // `link_upper_levels`), which is enough because this node's memory
+        // cannot be reclaimed while any such linker stays pinned.
+        for level in (0..height).rev() {
+            self.purge_level(h, level, key);
+        }
         // SAFETY: unreachable from the structure and uniquely retired here.
         unsafe { h.retire_now(node) };
     }
@@ -276,7 +378,7 @@ where
                 if pos.found {
                     // SAFETY: node private; pos.prev pinned.
                     unsafe { h.tdelete(node) };
-                    h.add_to_read_set(unsafe { &*pos.prev }, pos.prev_val);
+                    h.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
                     return false;
                 }
                 // SAFETY: node still private.
@@ -377,7 +479,7 @@ where
                 let pos = self.search(h, key, &mut preds, &mut succs);
                 if !pos.found {
                     // SAFETY: pos.prev pinned.
-                    h.add_to_read_set(unsafe { &*pos.prev }, pos.prev_val);
+                    h.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
                     return None;
                 }
                 let node = pos.curr;
@@ -475,7 +577,9 @@ mod tests {
         let mgr = TxManager::new();
         let mut h = mgr.register();
         let sl = SkipList::new();
-        let mut keys: Vec<u64> = (0..1_000).map(|i| (i * 2_654_435_761u64) % 100_000).collect();
+        let mut keys: Vec<u64> = (0..1_000)
+            .map(|i| (i * 2_654_435_761u64) % 100_000)
+            .collect();
         keys.sort_unstable();
         keys.dedup();
         for &k in &keys {
@@ -507,7 +611,10 @@ mod tests {
             assert!((1..=MAX_HEIGHT).contains(&h));
             counts[h] += 1;
         }
-        assert!(counts[1] > 3_000, "about half the towers should be height 1");
+        assert!(
+            counts[1] > 3_000,
+            "about half the towers should be height 1"
+        );
         assert!(counts[1] < 7_000);
     }
 
@@ -616,7 +723,10 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(keys, sorted, "level-0 list must remain sorted and duplicate-free");
+        assert_eq!(
+            keys, sorted,
+            "level-0 list must remain sorted and duplicate-free"
+        );
     }
 
     #[test]

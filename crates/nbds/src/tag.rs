@@ -36,7 +36,11 @@ pub fn as_ptr<T>(bits: u64) -> *mut T {
 /// Converts a node pointer to its stored representation (unmarked).
 #[inline]
 pub fn from_ptr<T>(ptr: *mut T) -> u64 {
-    debug_assert_eq!(ptr as usize as u64 & MARK, 0, "node pointers must be aligned");
+    debug_assert_eq!(
+        ptr as usize as u64 & MARK,
+        0,
+        "node pointers must be aligned"
+    );
     ptr as usize as u64
 }
 

@@ -8,7 +8,7 @@
 //! the Fig. 7/8 workloads do).
 
 use crate::stm::{OfAbort, OneFileStm, ReadTx, TmVar, WriteTx};
-use parking_lot::Mutex;
+use medley::util::sync::Mutex;
 use std::sync::Arc;
 
 struct Node {
@@ -38,7 +38,10 @@ impl OneFileMap {
         let n = buckets.next_power_of_two().max(1);
         Self {
             stm,
-            buckets: (0..n).map(|_| TmVar::new(0)).collect::<Vec<_>>().into_boxed_slice(),
+            buckets: (0..n)
+                .map(|_| TmVar::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             mask: (n - 1) as u64,
             graveyard: Mutex::new(Vec::new()),
         }

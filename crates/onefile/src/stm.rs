@@ -2,7 +2,7 @@
 //! transactions, sequence-validated read transactions, and optional eager
 //! persistence per commit.
 
-use parking_lot::Mutex;
+use medley::util::sync::Mutex;
 use pmem::SimNvm;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -17,8 +17,8 @@
 //! (paper Sec. 4.4).
 
 use crate::nvm::{NvmCostModel, SimNvm};
+use medley::util::sync::Mutex;
 use medley::TxManager;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -74,8 +74,27 @@ impl std::fmt::Debug for PersistenceDomain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PersistenceDomain")
             .field("current_epoch", &self.current_epoch())
-            .field("persisted_epoch", &self.persisted_epoch.load(Ordering::Relaxed))
+            .field(
+                "persisted_epoch",
+                &self.persisted_epoch.load(Ordering::Relaxed),
+            )
             .finish()
+    }
+}
+
+/// Exclusive upper bound of the durable epochs at clock value `epoch`:
+/// epochs `0 .. durable_end(epoch)` are durable.  Recovery at epoch `e`
+/// restores the state as of the *end of epoch `e - 2`*, so nothing at all is
+/// durable until the clock has reached 2 (the seed's `saturating_sub`
+/// arithmetic conflated "epoch 0 is durable" with "nothing is durable yet",
+/// recovering fresh epoch-0 payloads before any write-back and skipping them
+/// in the write-back batches).
+#[inline]
+fn durable_end(epoch: u64) -> u64 {
+    if epoch >= 2 {
+        epoch - 1
+    } else {
+        0
     }
 }
 
@@ -156,19 +175,21 @@ impl PersistenceDomain {
     /// Returns the new current epoch.
     pub fn advance_epoch(&self) -> u64 {
         let new_epoch = self.mgr.advance_epoch();
-        let durable_upto = new_epoch.saturating_sub(2);
+        // `persisted_epoch` holds the *exclusive* end of the epoch range
+        // whose payload births/retirements have been written back.
+        let durable = durable_end(new_epoch);
         let mut slab = self.slab.lock();
         let prev = self.persisted_epoch.load(Ordering::Acquire);
-        if durable_upto > prev {
+        if durable > prev {
             let mut flushed = 0u64;
             let mut recycle = Vec::new();
             for (idx, p) in slab.slots.iter().enumerate() {
-                let born_now = p.birth > prev && p.birth <= durable_upto;
-                let retired_now = p.retire != LIVE && p.retire > prev && p.retire <= durable_upto;
+                let born_now = p.birth >= prev && p.birth < durable;
+                let retired_now = p.retire != LIVE && p.retire >= prev && p.retire < durable;
                 if born_now || retired_now {
                     flushed += 1;
                 }
-                if p.retire != LIVE && p.retire <= durable_upto {
+                if p.retire != LIVE && p.retire < durable {
                     recycle.push(idx);
                 }
             }
@@ -184,7 +205,7 @@ impl PersistenceDomain {
                     slab.slots[idx].birth = LIVE; // tombstone
                 }
             }
-            self.persisted_epoch.store(durable_upto, Ordering::Release);
+            self.persisted_epoch.store(durable, Ordering::Release);
         }
         new_epoch
     }
@@ -202,14 +223,14 @@ impl PersistenceDomain {
     /// retired or retired after the recovery point.
     pub fn recover(&self) -> HashMap<u64, u64> {
         let crash_epoch = self.current_epoch();
-        let horizon = crash_epoch.saturating_sub(2);
+        let horizon = durable_end(crash_epoch);
         let slab = self.slab.lock();
         let mut out = HashMap::new();
         for p in slab.slots.iter() {
             if p.birth == LIVE {
                 continue; // recycled tombstone
             }
-            if p.birth <= horizon && (p.retire == LIVE || p.retire > horizon) {
+            if p.birth < horizon && (p.retire == LIVE || p.retire >= horizon) {
                 out.insert(p.key, p.val);
             }
         }
@@ -300,7 +321,7 @@ mod tests {
         // Retirement not yet durable: still recovered.
         assert_eq!(d.recover().get(&2), Some(&20));
         d.sync();
-        assert!(d.recover().get(&2).is_none());
+        assert!(!d.recover().contains_key(&2));
     }
 
     #[test]

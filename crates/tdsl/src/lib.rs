@@ -18,7 +18,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
-use parking_lot::Mutex;
+use medley::util::sync::Mutex;
 use std::collections::btree_map::BTreeMap;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,11 +42,14 @@ impl Cell {
     }
 }
 
+/// One shard of the key → cell index.
+type Shard = Mutex<HashMap<u64, Arc<Cell>>>;
+
 /// A TDSL-style transactional map from `u64` keys to `u64` values.
 pub struct TdslMap {
     /// Sharded index from key to its cell; cells are created on first touch
     /// and live for the lifetime of the map.
-    shards: Box<[Mutex<HashMap<u64, Arc<Cell>>>]>,
+    shards: Box<[Shard]>,
     commits: AtomicU64,
     aborts: AtomicU64,
 }
@@ -131,7 +134,8 @@ impl TdslMap {
     pub fn put_tx(&self, tx: &mut TdslTx, key: u64, val: u64) -> Option<u64> {
         let old = self.get_tx(tx, key);
         let cell = self.cell(key);
-        tx.writes.insert(Arc::as_ptr(&cell) as usize, (cell, Some(val)));
+        tx.writes
+            .insert(Arc::as_ptr(&cell) as usize, (cell, Some(val)));
         old
     }
 
@@ -141,7 +145,8 @@ impl TdslMap {
             return false;
         }
         let cell = self.cell(key);
-        tx.writes.insert(Arc::as_ptr(&cell) as usize, (cell, Some(val)));
+        tx.writes
+            .insert(Arc::as_ptr(&cell) as usize, (cell, Some(val)));
         true
     }
 
@@ -238,7 +243,12 @@ impl TdslMap {
     pub fn len_quiescent(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().values().filter(|c| c.value.lock().is_some()).count())
+            .map(|s| {
+                s.lock()
+                    .values()
+                    .filter(|c| c.value.lock().is_some())
+                    .count()
+            })
             .sum()
     }
 }

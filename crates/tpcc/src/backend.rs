@@ -202,8 +202,8 @@ impl TpccBackend for TdslBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::{execute_input, load_initial_data, random_input, Scale};
     use crate::keys::*;
+    use crate::workload::{execute_input, load_initial_data, random_input, Scale};
 
     fn check_backend<B: TpccBackend>(backend: &B) {
         let scale = Scale::default();

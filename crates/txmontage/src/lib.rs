@@ -138,9 +138,7 @@ where
         match prev {
             Some((old_val, old_payload)) => {
                 let domain = Arc::clone(&self.domain);
-                h.add_cleanup(move |_| {
-                    domain.retire_payload(pmem::PayloadId(old_payload), epoch)
-                });
+                h.add_cleanup(move |_| domain.retire_payload(pmem::PayloadId(old_payload), epoch));
                 Some(old_val)
             }
             None => None,
@@ -153,9 +151,7 @@ where
         match self.inner.remove(h, key) {
             Some((old_val, old_payload)) => {
                 let domain = Arc::clone(&self.domain);
-                h.add_cleanup(move |_| {
-                    domain.retire_payload(pmem::PayloadId(old_payload), epoch)
-                });
+                h.add_cleanup(move |_| domain.retire_payload(pmem::PayloadId(old_payload), epoch));
                 Some(old_val)
             }
             None => None,
@@ -218,7 +214,7 @@ mod tests {
         // Remove, then make the removal durable.
         assert_eq!(map.remove(&mut h, 1), Some(10));
         domain.sync();
-        assert!(map.recover().get(&1).is_none());
+        assert!(!map.recover().contains_key(&1));
     }
 
     #[test]
@@ -262,7 +258,10 @@ mod tests {
         assert!(res.is_err());
         domain.sync();
         let rec = map.recover();
-        assert!(rec.is_empty(), "aborted transaction must not be recovered: {rec:?}");
+        assert!(
+            rec.is_empty(),
+            "aborted transaction must not be recovered: {rec:?}"
+        );
         assert_eq!(domain.stats().live_payloads, 0);
     }
 
@@ -320,6 +319,6 @@ mod tests {
         map.put(&mut h, 3, 33);
         let rec = map.recover();
         assert_eq!(rec.get(&1), Some(&11), "epoch-0 update must be durable");
-        assert!(rec.get(&3).is_none(), "current-epoch update may be lost");
+        assert!(!rec.contains_key(&3), "current-epoch update may be lost");
     }
 }

@@ -72,8 +72,11 @@ fn main() {
     println!(
         "total balance {total} (expected {expected}), {denied} transfers denied for insufficient funds"
     );
-    let (commits, aborts, helps) = mgr.stats().snapshot();
-    println!("commits={commits} aborts={aborts} helps={helps}");
+    let snap = mgr.stats().snapshot();
+    println!(
+        "commits={} (fast={} read-only={}) aborts={} helps={}",
+        snap.commits, snap.fast_commits, snap.ro_commits, snap.aborts, snap.helps
+    );
     assert_eq!(total, expected, "strict serializability violated!");
     println!("invariant holds: transfers were strictly serializable");
 }

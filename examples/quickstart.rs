@@ -40,7 +40,13 @@ fn main() {
     println!("stock now: {:?}", inventory.get(&mut h, 42));
     println!("audit log entry: {:?}", audit_log.dequeue(&mut h));
 
-    // Statistics from the manager: commits, aborts, helping events.
-    let (commits, aborts, helps) = mgr.stats().snapshot();
-    println!("commits={commits} aborts={aborts} helps={helps}");
+    // Statistics from the manager: commits (split by commit path), aborts,
+    // helping events.  Flush this handle's batched tallies first so the
+    // global counters are exact.
+    h.flush_stats();
+    let snap = mgr.stats().snapshot();
+    println!(
+        "commits={} (fast={} read-only={}) aborts={} helps={}",
+        snap.commits, snap.fast_commits, snap.ro_commits, snap.aborts, snap.helps
+    );
 }

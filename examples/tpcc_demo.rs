@@ -54,8 +54,15 @@ fn main() {
     println!("payments processed: {payments_total} cents; warehouse YTD total: {w_ytd}");
     println!("newOrder transactions committed: {orders}; orders recorded: {placed}");
     assert_eq!(w_ytd, payments_total, "payment money must be conserved");
-    assert_eq!(placed, orders, "every committed newOrder must allocate exactly one order id");
-    let (commits, aborts, _) = mgr.stats().snapshot();
-    println!("medley commits={commits} aborts={aborts}");
+    assert_eq!(
+        placed, orders,
+        "every committed newOrder must allocate exactly one order id"
+    );
+    drop(session); // flush the session's batched statistics
+    let snap = mgr.stats().snapshot();
+    println!(
+        "medley commits={} (fast={} read-only={}) aborts={}",
+        snap.commits, snap.fast_commits, snap.ro_commits, snap.aborts
+    );
     println!("TPC-C invariants hold");
 }
