@@ -15,7 +15,7 @@
 //! PRs can be diffed mechanically.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use medley::{CasWord, TxManager};
+use medley::{AbortReason, CasWord, Ctx, TxManager};
 use nbds::{MichaelHashMap, SkipList};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -59,30 +59,30 @@ fn run_tx_shape(threads: usize, iters: u64, fast: bool, shape: TxShape) -> Durat
             for _ in 0..per_thread {
                 match shape {
                     TxShape::OneOp => {
-                        let _ = h.run(|h| {
-                            let v = h.nbtc_load(&a);
-                            h.nbtc_cas(&a, v, v.wrapping_add(1), true, true);
+                        let _ = h.run(|t| {
+                            let v = t.nbtc_load(&a);
+                            t.nbtc_cas(&a, v, v.wrapping_add(1), true, true);
                             Ok(())
                         });
                     }
                     TxShape::ReadOnly => {
-                        let _ = h.run(|h| {
-                            let x = h.nbtc_load(&a);
-                            h.add_to_read_set(&a, x);
-                            let y = h.nbtc_load(&b);
-                            h.add_to_read_set(&b, y);
+                        let _ = h.run(|t| {
+                            let (x, xc) = t.nbtc_load_counted(&a);
+                            t.add_read_with_counter(&a, x, xc);
+                            let (y, yc) = t.nbtc_load_counted(&b);
+                            t.add_read_with_counter(&b, y, yc);
                             Ok(())
                         });
                     }
                     TxShape::Transfer2 => {
-                        let _ = h.run(|h| {
-                            let x = h.nbtc_load(&a);
-                            let y = h.nbtc_load(&b);
-                            if !h.nbtc_cas(&a, x, x.wrapping_sub(1), true, true) {
-                                return Err(medley::TxError::Conflict);
+                        let _ = h.run(|t| {
+                            let x = t.nbtc_load(&a);
+                            let y = t.nbtc_load(&b);
+                            if !t.nbtc_cas(&a, x, x.wrapping_sub(1), true, true) {
+                                return Err(t.abort(AbortReason::Conflict));
                             }
-                            if !h.nbtc_cas(&b, y, y.wrapping_add(1), true, true) {
-                                return Err(medley::TxError::Conflict);
+                            if !t.nbtc_cas(&b, y, y.wrapping_add(1), true, true) {
+                                return Err(t.abort(AbortReason::Conflict));
                             }
                             Ok(())
                         });
@@ -131,14 +131,14 @@ fn bench_container_single_op_tx(c: &mut Criterion) {
         let mut h = mgr.register();
         let map = Arc::new(MichaelHashMap::<u64>::with_buckets(1 << 12));
         for k in 0..4096u64 {
-            map.insert(&mut h, k, k);
+            map.insert(&mut h.nontx(), k, k);
         }
         let mut k = 0u64;
         c.bench_function(&format!("hashmap/tx_single_put/{mode}"), |b| {
             b.iter(|| {
                 k = (k + 1) & 0xFFF;
-                let _ = h.run(|h| {
-                    map.put(h, k, k);
+                let _ = h.run(|t| {
+                    map.put(t, k, k);
                     Ok(())
                 });
             })
@@ -146,8 +146,8 @@ fn bench_container_single_op_tx(c: &mut Criterion) {
         c.bench_function(&format!("hashmap/tx_single_get/{mode}"), |b| {
             b.iter(|| {
                 k = (k + 1) & 0xFFF;
-                let _ = h.run(|h| {
-                    map.get(h, k);
+                let _ = h.run(|t| {
+                    map.get(t, k);
                     Ok(())
                 });
             })
@@ -173,9 +173,9 @@ fn bench_mcns_single_word(c: &mut Criterion) {
     let w = CasWord::new(0);
     c.bench_function("mcns/single_word_tx", |b| {
         b.iter(|| {
-            h.run(|h| {
-                let v = h.nbtc_load(&w);
-                h.nbtc_cas(&w, v, v + 1, true, true);
+            h.run(|t| {
+                let v = t.nbtc_load(&w);
+                t.nbtc_cas(&w, v, v + 1, true, true);
                 Ok(())
             })
             .unwrap();
@@ -188,22 +188,23 @@ fn bench_hashmap_ops(c: &mut Criterion) {
     let mut h = mgr.register();
     let map = Arc::new(MichaelHashMap::<u64>::with_buckets(1 << 12));
     for k in 0..4096u64 {
-        map.insert(&mut h, k, k);
+        map.insert(&mut h.nontx(), k, k);
     }
     let mut k = 0u64;
     c.bench_function("hashmap/standalone_put_remove", |b| {
+        let mut cx = h.nontx();
         b.iter(|| {
             k = (k + 1) & 0xFFF;
-            map.put(&mut h, k, k);
-            map.remove(&mut h, k + 4096);
+            map.put(&mut cx, k, k);
+            map.remove(&mut cx, k + 4096);
         })
     });
     c.bench_function("hashmap/transactional_put_remove", |b| {
         b.iter(|| {
             k = (k + 1) & 0xFFF;
-            let _ = h.run(|h| {
-                map.put(h, k, k);
-                map.remove(h, k + 4096);
+            let _ = h.run(|t| {
+                map.put(t, k, k);
+                map.remove(t, k + 4096);
                 Ok(())
             });
         })
@@ -215,21 +216,22 @@ fn bench_skiplist_ops(c: &mut Criterion) {
     let mut h = mgr.register();
     let sl = Arc::new(SkipList::<u64>::new());
     for k in 0..4096u64 {
-        sl.insert(&mut h, k, k);
+        sl.insert(&mut h.nontx(), k, k);
     }
     let mut k = 0u64;
     c.bench_function("skiplist/standalone_get", |b| {
+        let mut cx = h.nontx();
         b.iter(|| {
             k = (k + 1) & 0xFFF;
-            sl.get(&mut h, k);
+            sl.get(&mut cx, k);
         })
     });
     c.bench_function("skiplist/transactional_get_pair", |b| {
         b.iter(|| {
             k = (k + 1) & 0xFFF;
-            let _ = h.run(|h| {
-                sl.get(h, k);
-                sl.get(h, (k + 7) & 0xFFF);
+            let _ = h.run(|t| {
+                sl.get(t, k);
+                sl.get(t, (k + 7) & 0xFFF);
                 Ok(())
             });
         })

@@ -18,6 +18,7 @@
 use medley::util::FastRng;
 use medley::{TxError, TxManager};
 use nbds::TxMap;
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -181,17 +182,17 @@ struct MedleyMicroSession<'a, M> {
 impl<'a, M: TxMap<u64>> MicroSession for MedleyMicroSession<'a, M> {
     fn run_tx(&mut self, ops: &[MicroOp]) -> bool {
         let map = self.map;
-        let res: Result<(), TxError> = self.handle.run(|h| {
+        let res: Result<(), TxError> = self.handle.run(|t| {
             for op in ops {
                 match *op {
                     MicroOp::Get(k) => {
-                        map.get(h, k);
+                        map.get(t, k);
                     }
                     MicroOp::Insert(k) => {
-                        map.insert(h, k, k);
+                        map.insert(t, k, k);
                     }
                     MicroOp::Remove(k) => {
-                        map.remove(h, k);
+                        map.remove(t, k);
                     }
                 }
             }
@@ -235,17 +236,19 @@ struct TxOffSession<'a, M> {
 
 impl<'a, M: TxMap<u64>> MicroSession for TxOffSession<'a, M> {
     fn run_tx(&mut self, ops: &[MicroOp]) -> bool {
-        let h = &mut self.handle;
+        // Standalone context: each operation monomorphizes down to the
+        // uninstrumented nonblocking algorithm (the "TxOff" series).
+        let mut cx = self.handle.nontx();
         for op in ops {
             match *op {
                 MicroOp::Get(k) => {
-                    self.map.get(h, k);
+                    self.map.get(&mut cx, k);
                 }
                 MicroOp::Insert(k) => {
-                    self.map.insert(h, k, k);
+                    self.map.insert(&mut cx, k, k);
                 }
                 MicroOp::Remove(k) => {
-                    self.map.remove(h, k);
+                    self.map.remove(&mut cx, k);
                 }
             }
         }

@@ -5,7 +5,7 @@
 //! with 128-bit CAS (paper Sec. 3.2, Fig. 4):
 //!
 //! * counter **even** ⇒ the low half holds a real value;
-//! * counter **odd**  ⇒ the low half holds a pointer to the [`Desc`]
+//! * counter **odd**  ⇒ the low half holds a pointer to the [`Desc`](crate::Desc)
 //!   (descriptor) of the transaction that currently owns the word.
 //!
 //! Installing a descriptor increments the counter (even → odd); uninstalling

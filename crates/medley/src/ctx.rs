@@ -1,0 +1,841 @@
+//! Execution contexts: the typestate layer that makes "standalone" and
+//! "inside a transaction" different *types* rather than a runtime branch.
+//!
+//! NBTC's headline promise (paper Sec. 2) is that a transformed operation
+//! runs **uninstrumented** when called outside a transaction and
+//! **speculatively** when called inside one.  The original API expressed that
+//! distinction with an `in_tx` flag consulted on every critical access; this
+//! module expresses it in the type system instead, in the style of kcas's
+//! explicit `xt` transaction contexts:
+//!
+//! * [`NonTx`] is the standalone context.  Its `nbtc_load` / `nbtc_cas`
+//!   compile down to the plain loads and CASes of the original nonblocking
+//!   algorithm (plus the mandatory helping of encountered descriptors) —
+//!   no `in_tx` check, no read-set bookkeeping, no speculative-value lookup.
+//!   A container operation monomorphized for `NonTx` *is* the uninstrumented
+//!   algorithm.
+//! * [`Txn`] is the transactional context: an RAII guard created only by
+//!   [`ThreadHandle::run`] / [`ThreadHandle::begin`].  It records reads and
+//!   writes for commit-time validation, gives the transaction read-your-own-
+//!   write visibility, exposes [`Txn::abort`] for `?`-style early return, and
+//!   **aborts the transaction when dropped without commit** — so a panic
+//!   unwinding out of a transaction body can no longer leak an installed
+//!   descriptor or leave the handle stuck mid-transaction.
+//!
+//! Containers are written once, generically: `fn get<C: Ctx>(&self, cx: &mut
+//! C, ...)`.  Misuse the old API allowed — calling a "transactional" helper
+//! with no transaction open, starting a second transaction on a handle whose
+//! first is still running, smuggling the transaction token out of its retry
+//! closure — is rejected at compile time (see the `compile_fail` examples on
+//! [`Txn`]).
+
+use crate::casobj::CasWord;
+use crate::errors::{Abort, AbortReason, TxResult};
+use crate::txmanager::{AbortKind, ThreadHandle};
+
+mod sealed {
+    /// Seals [`super::Ctx`]: the NBTC runtime defines exactly two execution
+    /// contexts (standalone and transactional), and the containers'
+    /// correctness argument — critical accesses are either all plain or all
+    /// speculative within one operation — relies on there being no third.
+    pub trait Sealed {}
+    impl Sealed for super::NonTx<'_> {}
+    impl Sealed for super::Txn<'_> {}
+}
+
+/// An execution context for NBTC-transformed operations.
+///
+/// This trait is **sealed**: its only implementations are [`NonTx`]
+/// (standalone execution — instrumentation compiled away) and [`Txn`]
+/// (transactional execution — critical accesses run speculatively and take
+/// effect atomically at commit).  Data structures written against `Ctx`
+/// therefore get the paper's NBTC contract for free:
+///
+/// * **Standalone** (`NonTx`): `nbtc_load` and `nbtc_cas` are the plain
+///   atomic load / value-CAS of the original nonblocking algorithm, with the
+///   single addition that an encountered transaction descriptor is finalized
+///   (helped or aborted) so a stalled transaction can never block a
+///   non-transactional operation.  `add_read_with_counter` is a no-op;
+///   `add_cleanup` runs its closure immediately; `tnew`/`tretire` allocate
+///   and retire directly.
+/// * **Transactional** (`Txn`): the transaction's *first* critical CAS is
+///   buffered thread-locally (single-CAS direct-commit fast path), later ones
+///   install the descriptor; loads see the transaction's own speculative
+///   values; registered reads are validated at commit; cleanup closures run
+///   only after a successful commit, and `tnew`ed blocks are freed on abort.
+///
+/// The methods mirror the paper's `Composable` support surface; see
+/// [`ThreadHandle`] for the underlying semantics of each.
+pub trait Ctx: sealed::Sealed + Sized {
+    /// Brackets one data-structure operation: pins the SMR epoch for its
+    /// duration and (in a transaction) resets the speculation interval,
+    /// exactly as the paper's `OpStarter` does at the top of every operation.
+    fn with_op<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R;
+
+    /// Transactional load of a [`CasWord`] (paper `nbtcLoad`); plain
+    /// descriptor-finalizing load in a [`NonTx`] context.
+    fn nbtc_load(&mut self, obj: &CasWord) -> u64 {
+        self.nbtc_load_counted(obj).0
+    }
+
+    /// Like [`Ctx::nbtc_load`], but also returns the counter token observed
+    /// by the load, for exact read registration via
+    /// [`Ctx::add_read_with_counter`].
+    fn nbtc_load_counted(&mut self, obj: &CasWord) -> (u64, u64);
+
+    /// Transactional CAS (paper `nbtcCAS`); plain descriptor-finalizing CAS
+    /// in a [`NonTx`] context.  `lin_pt` / `pub_pt` declare whether this CAS,
+    /// if successful, is the linearization and/or publication point of the
+    /// current operation.
+    fn nbtc_cas(
+        &mut self,
+        obj: &CasWord,
+        expected: u64,
+        desired: u64,
+        lin_pt: bool,
+        pub_pt: bool,
+    ) -> bool;
+
+    /// Registers the linearizing load of a read-only outcome for commit-time
+    /// validation (`val`/`cnt` as returned by [`Ctx::nbtc_load_counted`]).
+    /// No-op in a [`NonTx`] context — standalone operations have nothing to
+    /// validate.
+    fn add_read_with_counter(&mut self, obj: &CasWord, val: u64, cnt: u64);
+
+    /// Registers post-critical ("cleanup") work: deferred to after commit in
+    /// a transaction, run immediately in a [`NonTx`] context.
+    fn add_cleanup(&mut self, f: impl FnOnce(&mut ThreadHandle) + 'static);
+
+    /// Registers compensation work that runs only if the transaction aborts;
+    /// dropped without running in a [`NonTx`] context (a standalone operation
+    /// cannot abort).
+    fn add_abort_action(&mut self, f: impl FnOnce(&mut ThreadHandle) + 'static);
+
+    /// Allocates a block whose ownership is tied to the transaction (paper
+    /// `tNew`): freed automatically on abort; plain allocation in a
+    /// [`NonTx`] context.
+    fn tnew<T>(&mut self, value: T) -> *mut T;
+
+    /// Frees a block previously produced by [`Ctx::tnew`] that was never
+    /// published (paper `tDelete`).
+    ///
+    /// # Safety
+    /// `ptr` must have been returned by `tnew::<T>` on this context's handle
+    /// and must not be reachable from any shared structure.
+    unsafe fn tdelete<T>(&mut self, ptr: *mut T);
+
+    /// Retires a node through epoch-based reclamation (paper `tRetire`):
+    /// deferred to commit in a transaction, immediate in a [`NonTx`] context.
+    ///
+    /// # Safety
+    /// `ptr` must have been allocated via `Box` (directly or through `tnew`)
+    /// and must be unlinked from the structure by the time the retirement
+    /// takes effect, with no other thread retiring it as well.
+    unsafe fn tretire<T: Send + 'static>(&mut self, ptr: *mut T);
+
+    /// Immediate retirement regardless of context (used by cleanup closures
+    /// and cleanup-phase helpers).
+    ///
+    /// # Safety
+    /// Same contract as [`Ctx::tretire`].
+    unsafe fn retire_now<T: Send + 'static>(&mut self, ptr: *mut T);
+
+    /// Whether this context executes transactionally.  `const`-foldable after
+    /// monomorphization: `false` for [`NonTx`], `true` for an open [`Txn`].
+    fn is_transactional(&self) -> bool;
+
+    /// The persistence epoch the open transaction snapshotted at begin
+    /// (txMontage hook), or `None` in a standalone context.
+    fn snapshot_epoch(&self) -> Option<u64>;
+}
+
+// ---------------------------------------------------------------------------
+// NonTx
+// ---------------------------------------------------------------------------
+
+/// The standalone execution context: operations run **uninstrumented**, as
+/// the original nonblocking algorithms.
+///
+/// `NonTx` is a zero-cost wrapper around `&mut ThreadHandle` (obtained from
+/// [`ThreadHandle::nontx`]); monomorphizing a container operation for it
+/// compiles the transactional machinery away entirely — no `in_tx` branch is
+/// ever evaluated, no read set is kept, and `tnew`/`tretire`/`add_cleanup`
+/// reduce to plain allocation, immediate retirement, and immediate cleanup.
+///
+/// ```
+/// use medley::{Ctx, TxManager};
+///
+/// let mgr = TxManager::new();
+/// let mut h = mgr.register();
+/// let w = medley::CasWord::new(3);
+/// // A lone CAS through the standalone context: one plain counted CAS.
+/// assert!(h.nontx().nbtc_cas(&w, 3, 4, true, true));
+/// assert_eq!(w.try_load_value(), Some(4));
+/// ```
+pub struct NonTx<'h> {
+    h: &'h mut ThreadHandle,
+}
+
+impl<'h> NonTx<'h> {
+    /// Wraps a thread handle as a standalone execution context
+    /// (equivalent to [`ThreadHandle::nontx`]).
+    /// # Panics
+    /// Panics if a low-level transaction (`tx_begin`) is open on the handle:
+    /// running a standalone operation in the middle of a transaction would
+    /// silently bypass its atomicity, so the misuse the borrow checker
+    /// cannot see (the primitive layer is not guard-based) is rejected at
+    /// runtime in every build.
+    #[inline]
+    pub fn new(h: &'h mut ThreadHandle) -> Self {
+        assert!(
+            !h.in_tx(),
+            "standalone context over a handle with an open low-level transaction"
+        );
+        Self { h }
+    }
+
+    // Note: deliberately no `handle()` escape hatch — handing the raw
+    // `&mut ThreadHandle` back out would let callers open a low-level
+    // transaction behind the wrapper and bypass the invariant asserted in
+    // `new`.  Drop the context to get the handle back.
+}
+
+impl Ctx for NonTx<'_> {
+    fn with_op<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        // Unwind-safe bracket: the guard owns the context borrow and the
+        // body runs on a reborrow through it, so the unpin in `Drop` runs
+        // even when the body panics (a leaked pin would stall epoch
+        // reclamation process-wide), without any raw-pointer aliasing.
+        struct Guard<'a, 'h>(&'a mut NonTx<'h>);
+        impl Drop for Guard<'_, '_> {
+            fn drop(&mut self) {
+                self.0.h.unpin_op();
+            }
+        }
+        self.h.pin_op();
+        let guard = Guard(self);
+        f(&mut *guard.0)
+    }
+
+    #[inline]
+    fn nbtc_load_counted(&mut self, obj: &CasWord) -> (u64, u64) {
+        self.h.untracked_load_counted(obj)
+    }
+
+    #[inline]
+    fn nbtc_cas(
+        &mut self,
+        obj: &CasWord,
+        expected: u64,
+        desired: u64,
+        _lin_pt: bool,
+        _pub_pt: bool,
+    ) -> bool {
+        self.h.untracked_cas(obj, expected, desired)
+    }
+
+    #[inline]
+    fn add_read_with_counter(&mut self, _obj: &CasWord, _val: u64, _cnt: u64) {}
+
+    fn add_cleanup(&mut self, f: impl FnOnce(&mut ThreadHandle) + 'static) {
+        f(self.h);
+    }
+
+    fn add_abort_action(&mut self, _f: impl FnOnce(&mut ThreadHandle) + 'static) {}
+
+    #[inline]
+    fn tnew<T>(&mut self, value: T) -> *mut T {
+        Box::into_raw(Box::new(value))
+    }
+
+    unsafe fn tdelete<T>(&mut self, ptr: *mut T) {
+        // SAFETY: forwarded from the caller's contract.
+        drop(unsafe { Box::from_raw(ptr) });
+    }
+
+    unsafe fn tretire<T: Send + 'static>(&mut self, ptr: *mut T) {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.h.retire_now(ptr) };
+    }
+
+    unsafe fn retire_now<T: Send + 'static>(&mut self, ptr: *mut T) {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.h.retire_now(ptr) };
+    }
+
+    #[inline]
+    fn is_transactional(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn snapshot_epoch(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl std::fmt::Debug for NonTx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NonTx").field("tid", &self.h.tid()).finish()
+    }
+}
+
+impl ThreadHandle {
+    /// The standalone execution context of this handle: container operations
+    /// called through it run uninstrumented, exactly like the original
+    /// nonblocking algorithms.
+    #[inline]
+    pub fn nontx(&mut self) -> NonTx<'_> {
+        NonTx::new(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Txn
+// ---------------------------------------------------------------------------
+
+/// The transactional execution context: an RAII guard over an open Medley
+/// transaction.
+///
+/// A `Txn` is created only by [`ThreadHandle::run`] (which owns the retry
+/// loop) or [`ThreadHandle::begin`] (manual commit control).  While it is
+/// alive it mutably borrows the handle, so the type system enforces the
+/// runtime's single-open-transaction rule, and its `Drop` aborts the
+/// transaction if it is still open — panics unwinding out of a transaction
+/// body roll back instead of leaking an installed descriptor.
+///
+/// A second `begin` while a transaction is open is rejected at compile time:
+///
+/// ```compile_fail,E0499
+/// use medley::TxManager;
+/// let mgr = TxManager::new();
+/// let mut h = mgr.register();
+/// let t1 = h.begin();
+/// let t2 = h.begin(); // ERROR: `h` is already mutably borrowed by `t1`
+/// drop(t1);
+/// drop(t2);
+/// ```
+///
+/// And the guard cannot be smuggled out of a [`ThreadHandle::run`] closure
+/// (its lifetime is higher-ranked, so nothing outside the closure can hold
+/// it):
+///
+/// ```compile_fail
+/// use medley::TxManager;
+/// let mgr = TxManager::new();
+/// let mut h = mgr.register();
+/// let mut escaped = None;
+/// let _ = h.run(|t| {
+///     escaped = Some(t); // ERROR: borrowed data escapes the closure
+///     Ok(())
+/// });
+/// ```
+///
+/// Standalone calls cannot run concurrently with the transaction either —
+/// the handle is mutably borrowed for as long as the guard lives:
+///
+/// ```compile_fail,E0499
+/// use medley::{Ctx, TxManager};
+/// let mgr = TxManager::new();
+/// let mut h = mgr.register();
+/// let t = h.begin();
+/// h.nontx(); // ERROR: cannot borrow `h` mutably a second time
+/// drop(t);
+/// ```
+pub struct Txn<'h> {
+    h: &'h mut ThreadHandle,
+    /// Set by [`Txn::abort`]; lets a later [`Txn::commit`] report the abort
+    /// instead of panicking, and lets `run` classify the outcome.
+    aborted: Option<AbortReason>,
+}
+
+impl<'h> Txn<'h> {
+    #[inline]
+    pub(crate) fn new(h: &'h mut ThreadHandle) -> Self {
+        debug_assert!(h.in_tx());
+        Self { h, aborted: None }
+    }
+
+    /// Whether the transaction is still open (neither committed nor
+    /// aborted).  After [`Txn::abort`] the guard stays usable — operations
+    /// simply execute standalone, which keeps retry glue loops live — but
+    /// the transaction itself is gone.
+    #[inline]
+    pub fn is_open(&self) -> bool {
+        self.h.in_tx()
+    }
+
+    /// Aborts the transaction now and returns the [`Abort`] token to
+    /// propagate, so the idiomatic early return from a transaction body is
+    ///
+    /// ```
+    /// use medley::{AbortReason, TxError, TxManager};
+    /// let mgr = TxManager::new();
+    /// let mut h = mgr.register();
+    /// let balance = 3_u64;
+    /// let res = h.run(|t| {
+    ///     if balance < 10 {
+    ///         return Err(t.abort(AbortReason::Explicit));
+    ///     }
+    ///     Ok(())
+    /// });
+    /// assert_eq!(res, Err(TxError::Explicit));
+    /// ```
+    ///
+    /// [`AbortReason::Explicit`] is final ([`ThreadHandle::run`] reports
+    /// [`TxError::Explicit`](crate::TxError::Explicit) without retrying);
+    /// [`AbortReason::Conflict`]
+    /// requests a retry.
+    pub fn abort(&mut self, reason: AbortReason) -> Abort {
+        if self.h.in_tx() {
+            self.h.abort_with(match reason {
+                AbortReason::Explicit => AbortKind::Explicit,
+                AbortReason::Conflict => AbortKind::Conflict,
+            });
+            self.aborted = Some(reason);
+        }
+        Abort::new(reason)
+    }
+
+    /// Attempts to commit the transaction, consuming the guard (paper
+    /// `txEnd`).  Only needed with [`ThreadHandle::begin`];
+    /// [`ThreadHandle::run`] commits on its own.
+    ///
+    /// If the transaction was already closed by [`Txn::abort`], this reports
+    /// the abort ([`TxError::Explicit`](crate::TxError::Explicit) or
+    /// [`TxError::Conflict`](crate::TxError::Conflict)) instead of
+    /// committing.
+    #[inline]
+    pub fn commit(self) -> TxResult<()> {
+        if !self.h.in_tx() {
+            // Closed by an earlier `abort` on this guard.
+            return Err(match self.aborted {
+                Some(AbortReason::Conflict) => crate::TxError::Conflict,
+                _ => crate::TxError::Explicit,
+            });
+        }
+        // `tx_end` closes the transaction on every path (commit or abort),
+        // so the subsequent guard drop is a no-op.
+        self.h.tx_end()
+    }
+
+    /// Validates the read set registered so far (paper `validateReads`):
+    /// optional opacity check for bodies that cannot tolerate inconsistent
+    /// reads.  Reports `false` once the transaction is doomed or aborted.
+    pub fn validate_reads(&self) -> bool {
+        if !self.h.in_tx() {
+            return false;
+        }
+        self.h.validate_reads()
+    }
+
+    // Note: deliberately no `handle()` escape hatch; closing or reopening
+    // the low-level transaction behind the guard would desynchronize its
+    // bookkeeping.  Commit or drop the guard first, then use the handle.
+}
+
+impl Drop for Txn<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if self.h.in_tx() {
+            // Dropped without commit: abort.  This is the unwind path — a
+            // panic in a transaction body, or glue code that let the guard
+            // fall out of scope — and it must leave the handle reusable with
+            // no descriptor installed anywhere.
+            self.h.abort_with(AbortKind::Unwind);
+        }
+    }
+}
+
+impl Ctx for Txn<'_> {
+    fn with_op<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        // Unwind-safe bracket (see the `NonTx` impl): additionally resets
+        // the speculation interval on both entry and exit, as the paper's
+        // `OpStarter` does.
+        struct Guard<'a, 'h>(&'a mut Txn<'h>);
+        impl Drop for Guard<'_, '_> {
+            fn drop(&mut self) {
+                self.0.h.clear_spec_interval();
+                self.0.h.unpin_op();
+            }
+        }
+        self.h.pin_op();
+        self.h.clear_spec_interval();
+        let guard = Guard(self);
+        f(&mut *guard.0)
+    }
+
+    #[inline]
+    fn nbtc_load_counted(&mut self, obj: &CasWord) -> (u64, u64) {
+        if self.h.in_tx() {
+            self.h.tx_load_counted(obj)
+        } else {
+            // Aborted guard: execution continues standalone so glue-code
+            // retry loops keep making progress (matches the doomed-
+            // transaction discipline of the runtime).
+            self.h.untracked_load_counted(obj)
+        }
+    }
+
+    #[inline]
+    fn nbtc_cas(
+        &mut self,
+        obj: &CasWord,
+        expected: u64,
+        desired: u64,
+        lin_pt: bool,
+        pub_pt: bool,
+    ) -> bool {
+        if self.h.in_tx() {
+            self.h.tx_cas(obj, expected, desired, lin_pt, pub_pt)
+        } else {
+            self.h.untracked_cas(obj, expected, desired)
+        }
+    }
+
+    #[inline]
+    fn add_read_with_counter(&mut self, obj: &CasWord, val: u64, cnt: u64) {
+        self.h.add_read_with_counter(obj, val, cnt);
+    }
+
+    fn add_cleanup(&mut self, f: impl FnOnce(&mut ThreadHandle) + 'static) {
+        self.h.add_cleanup(f);
+    }
+
+    fn add_abort_action(&mut self, f: impl FnOnce(&mut ThreadHandle) + 'static) {
+        self.h.add_abort_action(f);
+    }
+
+    #[inline]
+    fn tnew<T>(&mut self, value: T) -> *mut T {
+        self.h.tnew(value)
+    }
+
+    unsafe fn tdelete<T>(&mut self, ptr: *mut T) {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.h.tdelete(ptr) };
+    }
+
+    unsafe fn tretire<T: Send + 'static>(&mut self, ptr: *mut T) {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.h.tretire(ptr) };
+    }
+
+    unsafe fn retire_now<T: Send + 'static>(&mut self, ptr: *mut T) {
+        // SAFETY: forwarded from the caller's contract.
+        unsafe { self.h.retire_now(ptr) };
+    }
+
+    #[inline]
+    fn is_transactional(&self) -> bool {
+        self.h.in_tx()
+    }
+
+    #[inline]
+    fn snapshot_epoch(&self) -> Option<u64> {
+        if self.h.in_tx() {
+            Some(self.h.snapshot_epoch())
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Debug for Txn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("tid", &self.h.tid())
+            .field("open", &self.h.in_tx())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunConfig
+// ---------------------------------------------------------------------------
+
+/// Retry policy for [`ThreadHandle::run_with`], built in the builder style.
+///
+/// The default (used by [`ThreadHandle::run`]) retries conflicts forever
+/// with full exponential backoff, which matches the obstruction-free
+/// progress argument of the paper: a transaction that keeps losing conflicts
+/// eventually runs in isolation long enough to commit.  Latency-sensitive
+/// callers can bound the retry count (surfaced as
+/// [`TxError::RetriesExhausted`](crate::TxError::RetriesExhausted)) and cap
+/// how far the backoff escalates.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    max_retries: Option<u64>,
+    backoff_limit: u32,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: None,
+            backoff_limit: u32::MAX,
+        }
+    }
+}
+
+impl RunConfig {
+    /// The default policy: unlimited retries, full exponential backoff.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds the number of *retries* (attempts after the first).  When the
+    /// budget is exhausted [`ThreadHandle::run_with`] returns
+    /// [`TxError::RetriesExhausted`](crate::TxError::RetriesExhausted)
+    /// instead of spinning further; 0 means
+    /// one attempt, no retry.
+    pub fn max_retries(mut self, retries: u64) -> Self {
+        self.max_retries = Some(retries);
+        self
+    }
+
+    /// Removes the retry bound (the default).
+    pub fn unlimited_retries(mut self) -> Self {
+        self.max_retries = None;
+        self
+    }
+
+    /// Caps the exponential-backoff escalation at `limit` doubling steps
+    /// (0 = a single spin-loop hint between attempts; the default escalates
+    /// all the way to `thread::yield_now`).
+    pub fn backoff_limit(mut self, limit: u32) -> Self {
+        self.backoff_limit = limit;
+        self
+    }
+
+    pub(crate) fn max_retries_value(&self) -> Option<u64> {
+        self.max_retries
+    }
+
+    pub(crate) fn backoff_limit_value(&self) -> u32 {
+        self.backoff_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errors::TxError;
+    use crate::txmanager::TxManager;
+
+    #[test]
+    fn nontx_is_uninstrumented() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(1);
+        let mut cx = h.nontx();
+        assert!(!cx.is_transactional());
+        assert_eq!(cx.snapshot_epoch(), None);
+        let (v, c) = cx.nbtc_load_counted(&w);
+        assert_eq!((v, c), (1, 0));
+        // Registration is a no-op; the CAS is a plain counted CAS.
+        cx.add_read_with_counter(&w, v, c);
+        assert!(cx.nbtc_cas(&w, 1, 2, true, true));
+        assert_eq!(w.load_parts(), (2, 2));
+    }
+
+    #[test]
+    fn nontx_cleanup_runs_immediately_and_abort_action_is_dropped() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let ran = Rc::new(Cell::new(0));
+        let (r1, r2) = (Rc::clone(&ran), Rc::clone(&ran));
+        let mut cx = h.nontx();
+        cx.add_cleanup(move |_| r1.set(r1.get() + 1));
+        assert_eq!(ran.get(), 1);
+        cx.add_abort_action(move |_| r2.set(r2.get() + 100));
+        assert_eq!(ran.get(), 1, "standalone abort actions never run");
+    }
+
+    #[test]
+    fn txn_guard_commits_and_reports_state() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(5);
+        let mut t = h.begin();
+        assert!(t.is_open());
+        assert!(t.is_transactional());
+        let v = t.nbtc_load(&w);
+        assert!(t.nbtc_cas(&w, v, v + 1, true, true));
+        assert!(t.commit().is_ok());
+        assert_eq!(w.try_load_value(), Some(6));
+        assert!(!h.in_tx());
+    }
+
+    #[test]
+    fn txn_guard_aborts_on_drop() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(5);
+        {
+            let mut t = h.begin();
+            assert!(t.nbtc_cas(&w, 5, 9, true, true));
+            // Guard falls out of scope without commit.
+        }
+        assert!(!h.in_tx(), "drop must close the transaction");
+        assert_eq!(w.try_load_value(), Some(5), "write rolled back");
+        h.flush_stats();
+        assert_eq!(mgr.stats().snapshot().unwind_aborts, 1);
+    }
+
+    #[test]
+    fn explicit_abort_returns_token_and_rolls_back() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(5);
+        let res: TxResult<()> = h.run(|t| {
+            assert!(t.nbtc_cas(&w, 5, 6, true, true));
+            Err(t.abort(AbortReason::Explicit))
+        });
+        assert_eq!(res, Err(TxError::Explicit));
+        assert_eq!(w.try_load_value(), Some(5));
+        h.flush_stats();
+        let snap = mgr.stats().snapshot();
+        assert_eq!(snap.explicit_aborts, 1);
+        assert_eq!(snap.unwind_aborts, 0, "aborted guard must not double-count");
+    }
+
+    #[test]
+    fn conflict_abort_retries() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(0);
+        let mut attempts = 0;
+        let res = h.run(|t| {
+            attempts += 1;
+            let v = t.nbtc_load(&w);
+            if attempts < 3 {
+                return Err(t.abort(AbortReason::Conflict));
+            }
+            assert!(t.nbtc_cas(&w, v, v + 1, true, true));
+            Ok(v + 1)
+        });
+        assert_eq!(res, Ok(1));
+        assert_eq!(attempts, 3);
+        h.flush_stats();
+        assert_eq!(mgr.stats().snapshot().conflict_aborts, 2);
+    }
+
+    #[test]
+    fn run_with_bounded_retries_exhausts() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let cfg = RunConfig::new().max_retries(3).backoff_limit(0);
+        let mut attempts = 0;
+        let res: TxResult<()> = h.run_with(&cfg, |t| {
+            attempts += 1;
+            Err(t.abort(AbortReason::Conflict))
+        });
+        assert_eq!(res, Err(TxError::RetriesExhausted));
+        assert_eq!(attempts, 4, "one initial attempt plus three retries");
+        assert!(!h.in_tx());
+    }
+
+    #[test]
+    fn commit_after_abort_reports_the_abort_instead_of_panicking() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let mut t = h.begin();
+        let _ = t.abort(AbortReason::Explicit);
+        assert_eq!(t.commit(), Err(TxError::Explicit));
+        let mut t = h.begin();
+        let _ = t.abort(AbortReason::Conflict);
+        assert_eq!(t.commit(), Err(TxError::Conflict));
+        assert!(!h.in_tx());
+    }
+
+    #[test]
+    fn stale_abort_token_still_closes_the_transaction() {
+        // A body that smuggles a token from an earlier `run` and returns it
+        // without aborting: `run` must close the open transaction under the
+        // token's reason (not leave it to the unwind guard).
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(1);
+        let mut stale: Option<crate::errors::Abort> = None;
+        let _: TxResult<()> = h.run(|t| {
+            stale = Some(t.abort(AbortReason::Explicit));
+            Err(stale.unwrap())
+        });
+        let res: TxResult<()> = h.run(|t| {
+            assert!(t.nbtc_cas(&w, 1, 2, true, true));
+            Err(stale.unwrap()) // transaction still open here
+        });
+        assert_eq!(res, Err(TxError::Explicit));
+        assert!(!h.in_tx());
+        assert_eq!(w.try_load_value(), Some(1), "open tx must be rolled back");
+        h.flush_stats();
+        let snap = mgr.stats().snapshot();
+        assert_eq!(
+            snap.unwind_aborts, 0,
+            "stale token must not be classified as an unwind abort"
+        );
+        assert_eq!(snap.explicit_aborts, 2);
+    }
+
+    #[test]
+    fn panic_inside_operation_body_does_not_leak_the_op_pin() {
+        // A panicking `V::clone` (or user closure) inside `with_op` must not
+        // leave the EBR pin held — a leaked pin stalls epoch reclamation for
+        // the whole process.
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut cx = h.nontx();
+            cx.with_op(|cx| {
+                let _ = cx.nbtc_load(&w);
+                panic!("boom inside a standalone operation");
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(h.pin_depth(), 0, "standalone op pin leaked on unwind");
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _: TxResult<()> = h.run(|t| {
+                t.with_op(|t| {
+                    let _ = t.nbtc_load(&w);
+                    panic!("boom inside a transactional operation");
+                })
+            });
+        }));
+        assert!(result.is_err());
+        assert!(!h.in_tx());
+        assert_eq!(h.pin_depth(), 0, "transactional op pin leaked on unwind");
+    }
+
+    #[test]
+    #[should_panic(expected = "standalone context")]
+    fn nontx_during_low_level_transaction_is_rejected() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        h.tx_begin();
+        let _ = NonTx::new(&mut h); // must panic in every build profile
+    }
+
+    #[test]
+    fn aborted_guard_keeps_executing_standalone() {
+        // Matches the doomed-transaction discipline: after an abort the body
+        // may keep calling operations; they take effect immediately.
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let w = CasWord::new(1);
+        let res: TxResult<u64> = h.run(|t| {
+            let _ = t.abort(AbortReason::Conflict);
+            assert!(!t.is_open());
+            assert!(t.nbtc_cas(&w, 1, 7, true, true));
+            Ok(t.nbtc_load(&w))
+        });
+        // Body returned Ok after aborting: the value is the result and the
+        // standalone CAS stuck.
+        assert_eq!(res, Ok(7));
+        assert_eq!(w.try_load_value(), Some(7));
+    }
+}

@@ -1,7 +1,7 @@
 //! Epoch-based safe memory reclamation (SMR).
 //!
 //! The paper's `Composable` base class provides `tRetire` backed by
-//! epoch-based reclamation (Fraser [10], Hart et al. [17], RCU [27]); every
+//! epoch-based reclamation (Fraser \[10], Hart et al. \[17], RCU \[27]); every
 //! NBTC structure relies on it so that a node is never freed while another
 //! thread may still hold a private reference to it.  We implement the classic
 //! three-generation scheme:
@@ -213,6 +213,7 @@ impl std::fmt::Debug for Participant {
 impl Participant {
     /// Pins the participant to the current epoch.  Pins nest; only the
     /// outermost pin/unpin pair touches shared state.
+    #[inline]
     pub fn pin(&mut self) {
         if self.pin_depth == 0 {
             let g = self.collector.global_epoch.load(Ordering::Acquire);
@@ -223,7 +224,14 @@ impl Participant {
         self.pin_depth += 1;
     }
 
+    /// Current pin-nesting depth (diagnostics/tests).
+    #[cfg(test)]
+    pub(crate) fn pin_depth(&self) -> usize {
+        self.pin_depth
+    }
+
     /// Releases one level of pinning.
+    #[inline]
     pub fn unpin(&mut self) {
         debug_assert!(self.pin_depth > 0, "unpin without matching pin");
         self.pin_depth -= 1;

@@ -22,34 +22,42 @@
 //!   64-bit counter; odd counters mark an installed transaction descriptor.
 //! * [`descriptor`] — per-thread reusable descriptors implementing
 //!   M-compare-N-swap: read set, write set, and the `tid|serial|status` word.
-//! * [`txmanager`] — [`TxManager`] / [`ThreadHandle`]: transaction control
-//!   (`tx_begin`/`tx_end`/`tx_abort`/`run`), the transactional accesses
-//!   `nbtc_load`/`nbtc_cas`, and the `Composable` support surface
-//!   (`add_to_read_set`, `add_cleanup`, `tnew`, `tdelete`, `tretire`).
+//! * [`ctx`] — the **user-facing typestate API**: the sealed [`Ctx`] trait
+//!   with its two execution contexts, [`NonTx`] (standalone — the
+//!   instrumentation monomorphizes away) and [`Txn`] (transactional — an
+//!   RAII guard that aborts on drop/unwind), plus the [`RunConfig`] retry
+//!   policy.
+//! * [`txmanager`] — [`TxManager`] / [`ThreadHandle`]: the low-level
+//!   transaction machinery ([`ThreadHandle::run`] / [`ThreadHandle::begin`]
+//!   create `Txn` guards; `tx_begin`/`tx_end`/`nbtc_load`/`nbtc_cas` are the
+//!   primitive layer the contexts are built from) and the `Composable`
+//!   support surface (`add_to_read_set`, `add_cleanup`, `tnew`, `tdelete`,
+//!   `tretire`).
 //! * [`ebr`] — epoch-based safe memory reclamation.
 //!
 //! ## Example
 //!
 //! ```
-//! use medley::{TxManager, TxError, CasWord};
+//! use medley::{AbortReason, Ctx, TxManager, TxError, CasWord};
 //!
 //! let mgr = TxManager::new();
 //! let mut h = mgr.register();
 //! let a = CasWord::new(100);
 //! let b = CasWord::new(0);
 //!
-//! // Atomically move 10 units from `a` to `b`.
-//! let moved: Result<(), TxError> = h.run(|h| {
-//!     let x = h.nbtc_load(&a);
-//!     let y = h.nbtc_load(&b);
+//! // Atomically move 10 units from `a` to `b`.  The closure receives a
+//! // `Txn` guard; aborting goes through it, and a panic would roll back.
+//! let moved: Result<(), TxError> = h.run(|t| {
+//!     let x = t.nbtc_load(&a);
+//!     let y = t.nbtc_load(&b);
 //!     if x < 10 {
-//!         return Err(h.tx_abort());
+//!         return Err(t.abort(AbortReason::Explicit));
 //!     }
-//!     if !h.nbtc_cas(&a, x, x - 10, true, true) {
-//!         return Err(TxError::Conflict);
+//!     if !t.nbtc_cas(&a, x, x - 10, true, true) {
+//!         return Err(t.abort(AbortReason::Conflict));
 //!     }
-//!     if !h.nbtc_cas(&b, y, y + 10, true, true) {
-//!         return Err(TxError::Conflict);
+//!     if !t.nbtc_cas(&b, y, y + 10, true, true) {
+//!         return Err(t.abort(AbortReason::Conflict));
 //!     }
 //!     Ok(())
 //! });
@@ -67,6 +75,7 @@
 
 pub mod atomic128;
 pub mod casobj;
+pub mod ctx;
 pub mod descriptor;
 pub mod ebr;
 pub mod errors;
@@ -74,6 +83,7 @@ pub mod txmanager;
 pub mod util;
 
 pub use casobj::{CasObj, CasWord, Word};
+pub use ctx::{Ctx, NonTx, RunConfig, Txn};
 pub use descriptor::{Desc, Status, MAX_ENTRIES};
-pub use errors::{TxError, TxResult};
+pub use errors::{Abort, AbortReason, TxError, TxResult};
 pub use txmanager::{ThreadHandle, TxManager, TxStats, TxStatsSnapshot};

@@ -18,9 +18,10 @@
 
 use crate::atomic128::{pack, unpack};
 use crate::casobj::CasWord;
+use crate::ctx::{RunConfig, Txn};
 use crate::descriptor::{Desc, Status};
 use crate::ebr;
-use crate::errors::{TxError, TxResult};
+use crate::errors::{Abort, AbortReason, TxError, TxResult};
 use crate::util::{Backoff, CachePadded};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -54,6 +55,10 @@ pub struct TxStats {
     helps: CachePadded<AtomicU64>,
     fast_commits: CachePadded<AtomicU64>,
     ro_commits: CachePadded<AtomicU64>,
+    conflict_aborts: CachePadded<AtomicU64>,
+    explicit_aborts: CachePadded<AtomicU64>,
+    capacity_aborts: CachePadded<AtomicU64>,
+    unwind_aborts: CachePadded<AtomicU64>,
 }
 
 /// A point-in-time copy of a [`TxStats`].
@@ -73,6 +78,22 @@ pub struct TxStatsSnapshot {
     /// Commits of read-only transactions: validated their read set and
     /// committed with zero shared-memory writes (subset of `commits`).
     pub ro_commits: u64,
+    /// Aborts caused by losing a conflict — another transaction's write
+    /// invalidated a read, a buffered write lost its word, or a helper
+    /// aborted the descriptor (subset of `aborts`).
+    pub conflict_aborts: u64,
+    /// Aborts requested by the program through
+    /// [`Txn::abort`](crate::Txn::abort) with
+    /// [`AbortReason::Explicit`], or the
+    /// low-level [`ThreadHandle::tx_abort`] (subset of `aborts`).
+    pub explicit_aborts: u64,
+    /// Aborts because the transaction overflowed the descriptor's read/write
+    /// set capacity (subset of `aborts`).
+    pub capacity_aborts: u64,
+    /// Aborts performed by a [`Txn`] drop guard unwinding out of
+    /// a panicking transaction body, or by a [`ThreadHandle`] dropped
+    /// mid-transaction (subset of `aborts`).
+    pub unwind_aborts: u64,
 }
 
 impl TxStats {
@@ -84,8 +105,26 @@ impl TxStats {
             helps: self.helps.load(Ordering::Relaxed),
             fast_commits: self.fast_commits.load(Ordering::Relaxed),
             ro_commits: self.ro_commits.load(Ordering::Relaxed),
+            conflict_aborts: self.conflict_aborts.load(Ordering::Relaxed),
+            explicit_aborts: self.explicit_aborts.load(Ordering::Relaxed),
+            capacity_aborts: self.capacity_aborts.load(Ordering::Relaxed),
+            unwind_aborts: self.unwind_aborts.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Internal classification of why an abort happened (surfaces in
+/// [`TxStats`] as the per-reason abort counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AbortKind {
+    /// Lost a conflict (validation failure, stolen word, helper abort).
+    Conflict,
+    /// The program asked for the abort.
+    Explicit,
+    /// Descriptor capacity overflow.
+    Capacity,
+    /// A drop guard aborted on unwind (panic) or handle teardown.
+    Unwind,
 }
 
 /// Shared transaction-management state (paper `TxManager`).
@@ -174,6 +213,7 @@ impl TxManager {
                     doomed: false,
                     fast_ok: true,
                     pending_write: None,
+                    overflow_writes: Vec::new(),
                     local_reads: Vec::new(),
                     recent: [(0, 0, 0); RECENT_LOADS],
                     recent_pos: 0,
@@ -187,6 +227,10 @@ impl TxManager {
                     stat_helps: 0,
                     stat_fast_commits: 0,
                     stat_ro_commits: 0,
+                    stat_conflict_aborts: 0,
+                    stat_explicit_aborts: 0,
+                    stat_capacity_aborts: 0,
+                    stat_unwind_aborts: 0,
                     stat_unflushed: 0,
                 };
             }
@@ -308,6 +352,14 @@ pub struct ThreadHandle {
     /// from the manager at `tx_begin`).
     fast_ok: bool,
     pending_write: Option<PendingWrite>,
+    /// Local write overlay of a transaction that overflowed the descriptor's
+    /// write capacity: `(addr, speculative value)`.  Once `capacity_exceeded`
+    /// is set no transactional access touches shared memory — writes land
+    /// here and loads consult it first — so the (inevitably failing) body
+    /// still executes against a consistent view and every container retry or
+    /// helping loop converges instead of livelocking.  Dropped wholesale on
+    /// abort.
+    overflow_writes: Vec<(usize, u64)>,
     /// The transaction's read set, buffered in plain thread-local memory as
     /// `(addr, value, counter)`.  Only a transaction that publishes its
     /// descriptor (general commit path) spills these into the descriptor's
@@ -329,6 +381,10 @@ pub struct ThreadHandle {
     stat_helps: u64,
     stat_fast_commits: u64,
     stat_ro_commits: u64,
+    stat_conflict_aborts: u64,
+    stat_explicit_aborts: u64,
+    stat_capacity_aborts: u64,
+    stat_unwind_aborts: u64,
     stat_unflushed: u64,
 }
 
@@ -367,17 +423,20 @@ impl ThreadHandle {
     }
 
     /// The thread-slot id of this handle.
+    #[inline]
     pub fn tid(&self) -> usize {
         self.tid
     }
 
     /// Whether a transaction is currently open on this handle.
+    #[inline]
     pub fn in_tx(&self) -> bool {
         self.in_tx
     }
 
     /// The persistence epoch observed at `tx_begin` (meaningful only when
     /// epoch validation is enabled and a transaction is open).
+    #[inline]
     pub fn snapshot_epoch(&self) -> u64 {
         self.snapshot_epoch
     }
@@ -394,13 +453,51 @@ impl ThreadHandle {
     /// Runs one data-structure operation: pins the SMR epoch for its duration
     /// and resets the speculation interval, exactly as the paper's
     /// `OpStarter` constructor does at the top of every operation.
+    #[inline]
     pub fn with_op<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        // Same unwind-safe bracket as the `Ctx::with_op` impls: the guard
+        // owns the handle borrow and the body runs on a reborrow through
+        // it, so a panicking body cannot leak the EBR pin (a leaked pin
+        // stalls epoch reclamation process-wide).
+        struct Guard<'a>(&'a mut ThreadHandle);
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                self.0.spec_interval = false;
+                self.0.participant.unpin();
+            }
+        }
         self.participant.pin();
         self.spec_interval = false;
-        let r = f(self);
-        self.spec_interval = false;
+        let guard = Guard(self);
+        f(&mut *guard.0)
+    }
+
+    /// Pins the SMR epoch for the duration of one operation (the
+    /// pin half of [`ThreadHandle::with_op`]; used by the execution
+    /// contexts, whose `with_op` cannot borrow the handle and itself at
+    /// once).
+    #[inline]
+    pub(crate) fn pin_op(&mut self) {
+        self.participant.pin();
+    }
+
+    /// Unpins the SMR epoch (the unpin half of [`ThreadHandle::with_op`]).
+    #[inline]
+    pub(crate) fn unpin_op(&mut self) {
         self.participant.unpin();
-        r
+    }
+
+    /// Resets the per-operation speculation-interval flag (the paper's
+    /// `OpStarter` reset).
+    #[inline]
+    pub(crate) fn clear_spec_interval(&mut self) {
+        self.spec_interval = false;
+    }
+
+    /// Current SMR pin-nesting depth of this handle (diagnostics/tests).
+    #[cfg(test)]
+    pub(crate) fn pin_depth(&self) -> usize {
+        self.participant.pin_depth()
     }
 
     // ------------------------------------------------------------------
@@ -421,6 +518,7 @@ impl ThreadHandle {
         self.doomed = false;
         self.fast_ok = self.mgr.fast_paths_enabled();
         self.pending_write = None;
+        self.overflow_writes.clear();
         self.local_reads.clear();
         self.recent = [(0, 0, 0); RECENT_LOADS];
         self.recent_pos = 0;
@@ -463,11 +561,11 @@ impl ThreadHandle {
     pub fn tx_end(&mut self) -> TxResult<()> {
         assert!(self.in_tx, "tx_end without tx_begin");
         if self.capacity_exceeded {
-            self.abort_internal();
+            self.abort_with(AbortKind::Capacity);
             return Err(TxError::CapacityExceeded);
         }
         if self.doomed {
-            self.abort_internal();
+            self.abort_with(AbortKind::Conflict);
             return Err(TxError::Conflict);
         }
         // Fast path 1: descriptor-free read-only commit.
@@ -476,7 +574,7 @@ impl ThreadHandle {
                 self.commit_tail(CommitKind::ReadOnly);
                 return Ok(());
             }
-            self.abort_internal();
+            self.abort_with(AbortKind::Conflict);
             return Err(TxError::Conflict);
         }
         // Fast path 2: single-CAS direct commit of the buffered write.
@@ -521,7 +619,7 @@ impl ThreadHandle {
                         continue;
                     }
                     if val != pw.old_val || cnt != pw.cnt {
-                        self.abort_internal();
+                        self.abort_with(AbortKind::Conflict);
                         return Err(TxError::Conflict);
                     }
                     if obj.cas_value_counted(pw.old_val, pw.cnt, pw.new_val) {
@@ -536,11 +634,11 @@ impl ThreadHandle {
             // through to the general path.
             self.materialize_pending();
             if self.capacity_exceeded {
-                self.abort_internal();
+                self.abort_with(AbortKind::Capacity);
                 return Err(TxError::CapacityExceeded);
             }
             if self.doomed {
-                self.abort_internal();
+                self.abort_with(AbortKind::Conflict);
                 return Err(TxError::Conflict);
             }
         }
@@ -549,13 +647,13 @@ impl ThreadHandle {
         // behalf the moment `setReady` publishes us.
         if !self.spill_reads_to_descriptor() {
             self.capacity_exceeded = true;
-            self.abort_internal();
+            self.abort_with(AbortKind::Capacity);
             return Err(TxError::CapacityExceeded);
         }
         let desc = self.desc();
         if !desc.set_ready() {
             // Another thread aborted us while we were still InPrep.
-            self.abort_internal();
+            self.abort_with(AbortKind::Conflict);
             return Err(TxError::Conflict);
         }
         let outcome = desc.finalize_own(self.serial);
@@ -566,7 +664,7 @@ impl ThreadHandle {
                 Ok(())
             }
             _ => {
-                self.abort_internal();
+                self.abort_with(AbortKind::Conflict);
                 Err(TxError::Conflict)
             }
         }
@@ -602,33 +700,22 @@ impl ThreadHandle {
     /// explicitly before reading [`TxManager::stats`] if exact counts are
     /// needed while this handle is still live.
     pub fn flush_stats(&mut self) {
+        fn drain(local: &mut u64, shared: &AtomicU64) {
+            if *local > 0 {
+                shared.fetch_add(*local, Ordering::Relaxed);
+                *local = 0;
+            }
+        }
         let stats = &self.mgr.stats;
-        if self.stat_commits > 0 {
-            stats
-                .commits
-                .fetch_add(self.stat_commits, Ordering::Relaxed);
-            self.stat_commits = 0;
-        }
-        if self.stat_aborts > 0 {
-            stats.aborts.fetch_add(self.stat_aborts, Ordering::Relaxed);
-            self.stat_aborts = 0;
-        }
-        if self.stat_helps > 0 {
-            stats.helps.fetch_add(self.stat_helps, Ordering::Relaxed);
-            self.stat_helps = 0;
-        }
-        if self.stat_fast_commits > 0 {
-            stats
-                .fast_commits
-                .fetch_add(self.stat_fast_commits, Ordering::Relaxed);
-            self.stat_fast_commits = 0;
-        }
-        if self.stat_ro_commits > 0 {
-            stats
-                .ro_commits
-                .fetch_add(self.stat_ro_commits, Ordering::Relaxed);
-            self.stat_ro_commits = 0;
-        }
+        drain(&mut self.stat_commits, &stats.commits);
+        drain(&mut self.stat_aborts, &stats.aborts);
+        drain(&mut self.stat_helps, &stats.helps);
+        drain(&mut self.stat_fast_commits, &stats.fast_commits);
+        drain(&mut self.stat_ro_commits, &stats.ro_commits);
+        drain(&mut self.stat_conflict_aborts, &stats.conflict_aborts);
+        drain(&mut self.stat_explicit_aborts, &stats.explicit_aborts);
+        drain(&mut self.stat_capacity_aborts, &stats.capacity_aborts);
+        drain(&mut self.stat_unwind_aborts, &stats.unwind_aborts);
         self.stat_unflushed = 0;
     }
 
@@ -645,7 +732,7 @@ impl ThreadHandle {
     /// so the idiomatic call site is `return Err(handle.tx_abort());`.
     pub fn tx_abort(&mut self) -> TxError {
         assert!(self.in_tx, "tx_abort without tx_begin");
-        self.abort_internal();
+        self.abort_with(AbortKind::Explicit);
         TxError::Explicit
     }
 
@@ -664,48 +751,119 @@ impl ThreadHandle {
         self.validate_local_reads()
     }
 
-    /// Runs `body` as a transaction, retrying on conflicts with exponential
-    /// backoff.  Explicit aborts and capacity overflows are returned to the
-    /// caller.
-    pub fn run<R>(&mut self, mut body: impl FnMut(&mut Self) -> TxResult<R>) -> TxResult<R> {
-        let mut backoff = Backoff::new();
+    /// Opens a transaction and returns its [`Txn`] guard (typestate
+    /// `txBegin`).
+    ///
+    /// While the guard is alive the handle is mutably borrowed, so a second
+    /// `begin` (or any standalone [`NonTx`](crate::NonTx) access) on the same
+    /// handle is a *compile-time* error.  If the guard is dropped without
+    /// [`Txn::commit`] — including by a panic unwinding through the
+    /// transaction body — the transaction is aborted and the handle stays
+    /// reusable.
+    ///
+    /// Most code should use [`ThreadHandle::run`], which adds the retry loop;
+    /// `begin` is for callers that need manual commit control.
+    #[inline]
+    pub fn begin(&mut self) -> Txn<'_> {
+        self.tx_begin();
+        Txn::new(self)
+    }
+
+    /// Runs `body` as a transaction under the default [`RunConfig`]:
+    /// conflicts retry forever with exponential backoff, explicit aborts are
+    /// returned as [`TxError::Explicit`], and capacity overflows as
+    /// [`TxError::CapacityExceeded`].
+    ///
+    /// The body receives a [`Txn`] execution context; container operations
+    /// called through it compose into one atomic transaction.  The guard
+    /// cannot escape the closure (its lifetime is higher-ranked), and a panic
+    /// inside the body aborts the transaction on unwind instead of leaking an
+    /// installed descriptor.
+    pub fn run<R>(&mut self, body: impl FnMut(&mut Txn<'_>) -> Result<R, Abort>) -> TxResult<R> {
+        self.run_with(&RunConfig::default(), body)
+    }
+
+    /// Runs `body` as a transaction under an explicit retry policy.
+    ///
+    /// ```
+    /// use medley::{Ctx, RunConfig, TxManager};
+    ///
+    /// let mgr = TxManager::new();
+    /// let mut h = mgr.register();
+    /// let w = medley::CasWord::new(5);
+    /// let cfg = RunConfig::new().max_retries(16).backoff_limit(4);
+    /// let doubled = h.run_with(&cfg, |t| {
+    ///     let v = t.nbtc_load(&w);
+    ///     t.nbtc_cas(&w, v, v * 2, true, true);
+    ///     Ok(v * 2)
+    /// });
+    /// assert_eq!(doubled, Ok(10));
+    /// ```
+    #[inline]
+    pub fn run_with<R>(
+        &mut self,
+        cfg: &RunConfig,
+        mut body: impl FnMut(&mut Txn<'_>) -> Result<R, Abort>,
+    ) -> TxResult<R> {
+        let mut backoff = Backoff::with_limit(cfg.backoff_limit_value());
+        let mut attempts: u64 = 0;
         loop {
-            self.tx_begin();
-            match body(self) {
+            attempts += 1;
+            let mut txn = self.begin();
+            match body(&mut txn) {
                 Ok(value) => {
-                    if !self.in_tx {
+                    if !txn.is_open() {
                         // The body aborted explicitly but still returned Ok;
                         // treat the produced value as the result.
                         return Ok(value);
                     }
-                    match self.tx_end() {
+                    match txn.commit() {
                         Ok(()) => return Ok(value),
-                        Err(TxError::Conflict) => {
-                            backoff.backoff();
-                            continue;
-                        }
+                        Err(TxError::Conflict) => {}
                         Err(e) => return Err(e),
                     }
                 }
-                Err(err) => {
-                    if self.in_tx {
-                        self.abort_internal();
+                Err(abort) => {
+                    // `Abort` normally proves the body already rolled the
+                    // transaction back (the token only comes from
+                    // `Txn::abort`).  A stale token smuggled in from an
+                    // earlier attempt can arrive with the transaction still
+                    // open, though — close it under the token's reason so
+                    // the statistics classify it correctly rather than as an
+                    // unwind abort of the guard drop.
+                    if txn.is_open() {
+                        let _ = txn.abort(abort.reason());
                     }
-                    match err {
-                        TxError::Conflict => {
-                            backoff.backoff();
-                            continue;
-                        }
-                        other => return Err(other),
+                    drop(txn);
+                    match abort.reason() {
+                        AbortReason::Explicit => return Err(TxError::Explicit),
+                        AbortReason::Conflict => {}
                     }
                 }
             }
+            if let Some(max) = cfg.max_retries_value() {
+                if attempts > max {
+                    return Err(TxError::RetriesExhausted);
+                }
+            }
+            backoff.backoff();
         }
     }
 
-    fn abort_internal(&mut self) {
-        // A buffered write was never published: dropping it is the rollback.
+    /// Aborts the open transaction, recording `kind` in the per-reason abort
+    /// statistics.
+    #[inline]
+    pub(crate) fn abort_with(&mut self, kind: AbortKind) {
+        match kind {
+            AbortKind::Conflict => self.stat_conflict_aborts += 1,
+            AbortKind::Explicit => self.stat_explicit_aborts += 1,
+            AbortKind::Capacity => self.stat_capacity_aborts += 1,
+            AbortKind::Unwind => self.stat_unwind_aborts += 1,
+        }
+        // A buffered write was never published: dropping it is the rollback,
+        // and the capacity-overflow overlay never touched shared memory.
         self.pending_write = None;
+        self.overflow_writes.clear();
         self.doomed = false;
         let desc = self.desc();
         let st = desc.abort_own(self.serial);
@@ -746,7 +904,7 @@ impl ThreadHandle {
     /// ## The `RECENT_LOADS` ring and its invariant
     ///
     /// The counter observed by the linearizing load is recovered from a ring
-    /// remembering the last [`RECENT_LOADS`] transactional loads.  The ring
+    /// remembering the last `RECENT_LOADS` (16) transactional loads.  The ring
     /// is exact as long as no more than `RECENT_LOADS` loads separate the
     /// linearizing load from its registration — true for every structure in
     /// `nbds`, which registers immediately after its traversal (and, since
@@ -767,6 +925,7 @@ impl ThreadHandle {
     /// [`ThreadHandle::nbtc_load_counted`] +
     /// [`ThreadHandle::add_read_with_counter`], which bypass the ring
     /// entirely.
+    #[inline]
     pub fn add_to_read_set(&mut self, obj: &CasWord, val: u64) {
         if !self.in_tx {
             return;
@@ -803,6 +962,7 @@ impl ThreadHandle {
     /// is immune to its overflow fallback; this is the preferred way for a
     /// data structure to register the linearizing load of a read-only
     /// operation.
+    #[inline]
     pub fn add_read_with_counter(&mut self, obj: &CasWord, val: u64, cnt: u64) {
         if !self.in_tx || cnt == OWN_SPECULATIVE {
             // Reading one's own speculative write needs no validation.
@@ -883,6 +1043,7 @@ impl ThreadHandle {
 
     /// Allocates a block whose ownership is tied to the transaction: if the
     /// transaction aborts, the block is freed automatically (paper `tNew`).
+    #[inline]
     pub fn tnew<T>(&mut self, value: T) -> *mut T {
         let ptr = Box::into_raw(Box::new(value));
         if self.in_tx {
@@ -957,6 +1118,7 @@ impl ThreadHandle {
     /// value when one exists (whether buffered for the single-CAS fast path
     /// or installed as a descriptor) and remembers the observed counter for
     /// [`ThreadHandle::add_to_read_set`].
+    #[inline]
     pub fn nbtc_load(&mut self, obj: &CasWord) -> u64 {
         self.nbtc_load_counted(obj).0
     }
@@ -969,19 +1131,67 @@ impl ThreadHandle {
     /// own speculative values it is a sentinel that makes the registration a
     /// no-op (reading your own write needs no validation), otherwise it is
     /// the word's version counter.
+    #[inline]
     pub fn nbtc_load_counted(&mut self, obj: &CasWord) -> (u64, u64) {
         if self.in_tx {
-            if let Some(pw) = &self.pending_write {
-                if std::ptr::eq(pw.addr, obj as *const CasWord) {
-                    // Our own buffered (fast-path) write: the speculation
-                    // interval of the current operation starts here, exactly
-                    // as when an installed own descriptor is observed.
-                    self.spec_interval = true;
-                    let v = pw.new_val;
-                    let addr = obj as *const CasWord as usize;
-                    self.record_recent(addr, v, OWN_SPECULATIVE);
-                    return (v, OWN_SPECULATIVE);
-                }
+            self.tx_load_counted(obj)
+        } else {
+            self.untracked_load_counted(obj)
+        }
+    }
+
+    /// The standalone (non-transactional) load: an ordinary atomic load that
+    /// finalizes any encountered descriptor.  This is the *whole*
+    /// instrumentation of a standalone operation — no `in_tx` branch, no
+    /// speculative-value lookup, no read bookkeeping — and it is what
+    /// [`NonTx`](crate::NonTx) monomorphizes container operations down to.
+    #[inline]
+    pub(crate) fn untracked_load_counted(&mut self, obj: &CasWord) -> (u64, u64) {
+        loop {
+            let raw = obj.load_raw();
+            let (val, cnt) = unpack(raw);
+            if CasWord::counter_is_descriptor(cnt) {
+                debug_assert!(
+                    val != 0 && (val as usize).is_multiple_of(std::mem::align_of::<Desc>()),
+                    "odd-counter word holds non-descriptor payload {val:#x} (cnt {cnt:#x})"
+                );
+                // SAFETY: descriptors live inside their TxManager, which is
+                // kept alive by every structure and handle that can reach
+                // this word.
+                unsafe { (*(val as *const Desc)).try_finalize(obj, raw) };
+                self.stat_helps += 1;
+                self.note_stat_event();
+                continue;
+            }
+            return (val, cnt);
+        }
+    }
+
+    /// The transactional load (used by [`Txn`](crate::Txn)): additionally
+    /// returns the transaction's own speculative value when one exists
+    /// (whether buffered for the single-CAS fast path or installed as a
+    /// descriptor) and remembers the observed counter for
+    /// [`ThreadHandle::add_to_read_set`].
+    #[inline]
+    pub(crate) fn tx_load_counted(&mut self, obj: &CasWord) -> (u64, u64) {
+        if self.capacity_exceeded {
+            let addr = obj as *const CasWord as usize;
+            if let Some(&(_, v)) = self.overflow_writes.iter().rev().find(|(a, _)| *a == addr) {
+                self.spec_interval = true;
+                self.record_recent(addr, v, OWN_SPECULATIVE);
+                return (v, OWN_SPECULATIVE);
+            }
+        }
+        if let Some(pw) = &self.pending_write {
+            if std::ptr::eq(pw.addr, obj as *const CasWord) {
+                // Our own buffered (fast-path) write: the speculation
+                // interval of the current operation starts here, exactly
+                // as when an installed own descriptor is observed.
+                self.spec_interval = true;
+                let v = pw.new_val;
+                let addr = obj as *const CasWord as usize;
+                self.record_recent(addr, v, OWN_SPECULATIVE);
+                return (v, OWN_SPECULATIVE);
             }
         }
         loop {
@@ -993,7 +1203,7 @@ impl ThreadHandle {
                     "odd-counter word holds non-descriptor payload {val:#x} (cnt {cnt:#x})"
                 );
                 let desc_ptr = val as *const Desc;
-                if self.in_tx && std::ptr::eq(desc_ptr, self.desc_ptr) {
+                if std::ptr::eq(desc_ptr, self.desc_ptr) {
                     // Seeing our own speculative write starts the speculation
                     // interval of the current operation (paper Sec. 2.2,
                     // second complication).
@@ -1006,18 +1216,14 @@ impl ThreadHandle {
                     // Inconsistent (should not happen): fall through and retry.
                     continue;
                 }
-                // SAFETY: descriptors live inside their TxManager, which is
-                // kept alive by every structure and handle that can reach
-                // this word.
+                // SAFETY: as in `untracked_load_counted`.
                 unsafe { (*desc_ptr).try_finalize(obj, raw) };
                 self.stat_helps += 1;
                 self.note_stat_event();
                 continue;
             }
-            if self.in_tx {
-                let addr = obj as *const CasWord as usize;
-                self.record_recent(addr, val, cnt);
-            }
+            let addr = obj as *const CasWord as usize;
+            self.record_recent(addr, val, cnt);
             return (val, cnt);
         }
     }
@@ -1028,12 +1234,14 @@ impl ThreadHandle {
     /// linearization and/or publication point of the current operation.  A
     /// critical CAS (one inside the operation's speculation interval) is
     /// executed speculatively.  The transaction's *first* critical CAS is
-    /// buffered thread-locally (see [`PendingWrite`]): an operation whose
+    /// buffered thread-locally (see `PendingWrite` in this module): an
+    /// operation whose
     /// single critical CAS stays the transaction's only write — a lone
     /// `insert`/`remove`/`enqueue` inside [`ThreadHandle::run`] — therefore
     /// never installs a descriptor and commits with one plain CAS.  From the
     /// second critical word onwards the descriptor is installed in place of
     /// each value and the real update happens at commit time.
+    #[inline]
     pub fn nbtc_cas(
         &mut self,
         obj: &CasWord,
@@ -1043,26 +1251,51 @@ impl ThreadHandle {
         pub_pt: bool,
     ) -> bool {
         if !self.in_tx {
-            // Instrumentation elided outside transactions: ordinary CAS that
-            // finalizes any encountered descriptor first.
-            loop {
-                let raw = obj.load_raw();
-                let (val, cnt) = unpack(raw);
-                if CasWord::counter_is_descriptor(cnt) {
-                    // SAFETY: see nbtc_load.
-                    unsafe { (*(val as *const Desc)).try_finalize(obj, raw) };
-                    self.stat_helps += 1;
-                    self.note_stat_event();
-                    continue;
-                }
-                if val != expected {
-                    return false;
-                }
-                if obj.raw().cas(raw, pack(desired, cnt.wrapping_add(2))) {
-                    return true;
-                }
-                // The word changed under us; re-examine.
+            self.untracked_cas(obj, expected, desired)
+        } else {
+            self.tx_cas(obj, expected, desired, lin_pt, pub_pt)
+        }
+    }
+
+    /// The standalone (non-transactional) CAS: an ordinary value CAS that
+    /// finalizes any encountered descriptor first, exactly the update the
+    /// original nonblocking algorithm would perform.  Counterpart of
+    /// [`ThreadHandle::untracked_load_counted`] for [`NonTx`](crate::NonTx).
+    #[inline]
+    pub(crate) fn untracked_cas(&mut self, obj: &CasWord, expected: u64, desired: u64) -> bool {
+        loop {
+            let raw = obj.load_raw();
+            let (val, cnt) = unpack(raw);
+            if CasWord::counter_is_descriptor(cnt) {
+                // SAFETY: see untracked_load_counted.
+                unsafe { (*(val as *const Desc)).try_finalize(obj, raw) };
+                self.stat_helps += 1;
+                self.note_stat_event();
+                continue;
             }
+            if val != expected {
+                return false;
+            }
+            if obj.raw().cas(raw, pack(desired, cnt.wrapping_add(2))) {
+                return true;
+            }
+            // The word changed under us; re-examine.
+        }
+    }
+
+    /// The transactional CAS (used by [`Txn`](crate::Txn)); see
+    /// [`ThreadHandle::nbtc_cas`] for the speculation rules.
+    #[inline]
+    pub(crate) fn tx_cas(
+        &mut self,
+        obj: &CasWord,
+        expected: u64,
+        desired: u64,
+        lin_pt: bool,
+        pub_pt: bool,
+    ) -> bool {
+        if self.capacity_exceeded {
+            return self.overflow_cas(obj, expected, desired);
         }
         // Operating on the word our buffered write owns speculatively:
         // rewrite the buffer in place, like updating an installed own
@@ -1136,8 +1369,22 @@ impl ThreadHandle {
                 self.materialize_pending();
                 let desc = self.desc();
                 let Some(idx) = desc.push_write(self.serial, obj, val, cnt, desired) else {
+                    // Write-set overflow: the commit is guaranteed to fail
+                    // with `CapacityExceeded`.  Failing the CAS would send
+                    // container retry loops (re-traverse, re-CAS) into a
+                    // livelock, because with a full write set the CAS could
+                    // never succeed.  Instead the transaction switches into
+                    // *overlay mode*: this and every later transactional
+                    // access runs against the local `overflow_writes` buffer
+                    // and never touches shared memory, so execution stays
+                    // consistent, every loop converges, and `tx_end` reports
+                    // the failure.  `doomed` makes `validate_reads` report
+                    // the inconsistency immediately.
                     self.capacity_exceeded = true;
-                    return false;
+                    self.doomed = true;
+                    self.overflow_writes
+                        .push((obj as *const CasWord as usize, desired));
+                    return true;
                 };
                 let installed = pack(desc.as_payload(), cnt.wrapping_add(1));
                 if obj.raw().cas(raw, installed) {
@@ -1183,6 +1430,21 @@ impl ThreadHandle {
         }
     }
 
+    /// Transactional CAS of a capacity-overflowed ("overlay mode")
+    /// transaction: shared memory is never touched again — the CAS is
+    /// evaluated against the transaction's current visible value (overlay
+    /// first, then its pre-overflow speculation, then real memory) and, on
+    /// success, recorded in the overlay.  See `overflow_writes`.
+    fn overflow_cas(&mut self, obj: &CasWord, expected: u64, desired: u64) -> bool {
+        let addr = obj as *const CasWord as usize;
+        let (cur, _) = self.tx_load_counted(obj);
+        if cur != expected {
+            return false;
+        }
+        self.overflow_writes.push((addr, desired));
+        true
+    }
+
     /// Marks the start of the current operation's speculation interval
     /// explicitly.  Structures whose publication point is not a CAS visible
     /// to `nbtc_cas` (rare) can call this directly.
@@ -1203,7 +1465,7 @@ impl Drop for ThreadHandle {
         if self.in_tx {
             // A handle dropped mid-transaction (e.g. due to a panic in glue
             // code) must not leave its descriptor installed anywhere.
-            self.abort_internal();
+            self.abort_with(AbortKind::Unwind);
         }
         self.flush_stats();
         self.mgr.slot_in_use[self.tid].store(false, Ordering::Release);
@@ -1213,6 +1475,7 @@ impl Drop for ThreadHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ctx::Ctx;
 
     #[test]
     fn register_and_release_slots() {
@@ -1341,9 +1604,9 @@ mod tests {
         assert_eq!(h.tx_end(), Err(TxError::Conflict));
         assert_eq!(w.try_load_value(), Some(9));
         // A retry through `run` succeeds on the fresh value.
-        let out: TxResult<()> = h.run(|h| {
-            let v = h.nbtc_load(&w);
-            assert!(h.nbtc_cas(&w, v, v + 1, true, true));
+        let out: TxResult<()> = h.run(|t| {
+            let v = t.nbtc_load(&w);
+            assert!(t.nbtc_cas(&w, v, v + 1, true, true));
             Ok(())
         });
         assert!(out.is_ok());
@@ -1550,14 +1813,14 @@ mod tests {
         let mut h = mgr.register();
         let w = CasWord::new(0);
         let mut attempts = 0;
-        let out: TxResult<u64> = h.run(|h| {
+        let out: TxResult<u64> = h.run(|t| {
             attempts += 1;
-            let v = h.nbtc_load(&w);
+            let v = t.nbtc_load(&w);
             if attempts == 1 {
                 // Simulate a conflict on the first attempt.
-                return Err(TxError::Conflict);
+                return Err(t.abort(AbortReason::Conflict));
             }
-            assert!(h.nbtc_cas(&w, v, v + 1, true, true));
+            assert!(t.nbtc_cas(&w, v, v + 1, true, true));
             Ok(v + 1)
         });
         assert_eq!(out, Ok(1));
@@ -1570,12 +1833,68 @@ mod tests {
         let mgr = TxManager::new();
         let mut h = mgr.register();
         let w = CasWord::new(5);
-        let out: TxResult<()> = h.run(|h| {
-            assert!(h.nbtc_cas(&w, 5, 6, true, true));
-            Err(h.tx_abort())
+        let out: TxResult<()> = h.run(|t| {
+            assert!(t.nbtc_cas(&w, 5, 6, true, true));
+            Err(t.abort(AbortReason::Explicit))
         });
         assert_eq!(out, Err(TxError::Explicit));
         assert_eq!(w.try_load_value(), Some(5));
+    }
+
+    #[test]
+    fn write_set_overflow_surfaces_capacity_exceeded_without_livelock() {
+        // Regression: a critical CAS past the descriptor's write capacity
+        // used to report failure, which container retry loops interpret as
+        // contention — spinning forever on a transaction that can never
+        // commit.  It must now pretend-succeed (the transaction is doomed)
+        // so control reaches `tx_end`, which reports `CapacityExceeded`.
+        let mgr = TxManager::new();
+        // Force the general path so every CAS consumes a descriptor entry.
+        mgr.set_fast_paths(false);
+        let mut h = mgr.register();
+        let words: Vec<CasWord> = (0..crate::descriptor::MAX_ENTRIES + 2)
+            .map(|_| CasWord::new(0))
+            .collect();
+        let res: TxResult<()> = h.run(|t| {
+            for w in &words {
+                assert!(
+                    t.nbtc_cas(w, 0, 1, true, true),
+                    "a doomed transaction's CAS must not fail into a retry loop"
+                );
+            }
+            assert!(!t.validate_reads(), "overflowed transaction is doomed");
+            // Overlay mode: later accesses see the transaction's own fake
+            // writes, so verify-by-reload loops (the helping pattern in the
+            // containers) converge instead of spinning on unchanged memory.
+            let extra = CasWord::new(10);
+            let mut spins = 0;
+            loop {
+                spins += 1;
+                assert!(spins < 4, "overlay CAS loop failed to converge");
+                let v = t.nbtc_load(&extra);
+                if t.nbtc_cas(&extra, v, v + 1, true, true) {
+                    break;
+                }
+            }
+            assert_eq!(
+                t.nbtc_load(&extra),
+                11,
+                "overlay write must be visible to the same transaction"
+            );
+            assert!(
+                !t.nbtc_cas(&extra, 10, 99, true, true),
+                "stale expected value must still fail"
+            );
+            assert_eq!(extra.try_load_value(), Some(10), "memory untouched");
+            Ok(())
+        });
+        assert_eq!(res, Err(TxError::CapacityExceeded));
+        assert!(!h.in_tx());
+        for w in &words {
+            assert_eq!(w.try_load_value(), Some(0), "all writes rolled back");
+        }
+        h.flush_stats();
+        assert_eq!(mgr.stats().snapshot().capacity_aborts, 1);
     }
 
     #[test]
@@ -1671,9 +1990,9 @@ mod tests {
                 let mut h = mgr.register();
                 for _ in 0..PER_THREAD {
                     loop {
-                        let done: TxResult<bool> = h.run(|h| {
-                            let v = h.nbtc_load(&w);
-                            Ok(h.nbtc_cas(&w, v, v + 1, true, true))
+                        let done: TxResult<bool> = h.run(|t| {
+                            let v = t.nbtc_load(&w);
+                            Ok(t.nbtc_cas(&w, v, v + 1, true, true))
                         });
                         if done.unwrap() {
                             break;
@@ -1706,17 +2025,17 @@ mod tests {
                 let mut h = mgr.register();
                 let (from, to) = if t % 2 == 0 { (a, b) } else { (b, a) };
                 for _ in 0..PER_THREAD {
-                    let _ = h.run(|h| {
-                        let x = h.nbtc_load(&from);
-                        let y = h.nbtc_load(&to);
+                    let _ = h.run(|t| {
+                        let x = t.nbtc_load(&from);
+                        let y = t.nbtc_load(&to);
                         if x == 0 {
-                            return Err(h.tx_abort());
+                            return Err(t.abort(AbortReason::Explicit));
                         }
-                        if !h.nbtc_cas(&from, x, x - 1, true, true) {
-                            return Err(TxError::Conflict);
+                        if !t.nbtc_cas(&from, x, x - 1, true, true) {
+                            return Err(t.abort(AbortReason::Conflict));
                         }
-                        if !h.nbtc_cas(&to, y, y + 1, true, true) {
-                            return Err(TxError::Conflict);
+                        if !t.nbtc_cas(&to, y, y + 1, true, true) {
+                            return Err(t.abort(AbortReason::Conflict));
                         }
                         Ok(())
                     });

@@ -90,18 +90,37 @@ impl<T> DerefMut for CachePadded<T> {
 /// Starts with a handful of `spin_loop` hints and escalates to
 /// `thread::yield_now` once the exponent saturates, which is important on
 /// machines with fewer cores than runnable threads (such as CI containers).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Backoff {
     step: u32,
+    limit: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Backoff {
     const SPIN_LIMIT: u32 = 6;
     const YIELD_LIMIT: u32 = 10;
 
-    /// Creates a fresh backoff counter.
+    /// Creates a fresh backoff counter with the default escalation cap.
     pub fn new() -> Self {
-        Self { step: 0 }
+        Self::with_limit(Self::YIELD_LIMIT)
+    }
+
+    /// Creates a backoff counter whose exponent saturates at `limit`
+    /// (clamped to the default maximum).  A limit of 0 makes every
+    /// [`Backoff::backoff`] a single spin-loop hint — the cheapest polite
+    /// retry — which latency-sensitive callers select through
+    /// [`RunConfig::backoff_limit`](crate::RunConfig::backoff_limit).
+    pub fn with_limit(limit: u32) -> Self {
+        Self {
+            step: 0,
+            limit: limit.min(Self::YIELD_LIMIT),
+        }
     }
 
     /// Resets the counter to its initial state.
@@ -118,7 +137,7 @@ impl Backoff {
         } else {
             std::thread::yield_now();
         }
-        if self.step < Self::YIELD_LIMIT {
+        if self.step < self.limit {
             self.step += 1;
         }
     }
@@ -126,7 +145,7 @@ impl Backoff {
     /// Returns `true` once the caller should consider parking or aborting
     /// rather than continuing to spin.
     pub fn is_completed(&self) -> bool {
-        self.step >= Self::YIELD_LIMIT
+        self.step >= self.limit
     }
 }
 

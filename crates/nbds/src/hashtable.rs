@@ -12,7 +12,7 @@
 //! commit descriptor-free (see `medley::TxManager` fast paths).
 
 use crate::list::MichaelList;
-use medley::ThreadHandle;
+use medley::Ctx;
 
 /// Default number of buckets (matches the paper's configuration).
 pub const DEFAULT_BUCKETS: usize = 1 << 20;
@@ -55,28 +55,29 @@ where
     }
 
     /// Looks up `key`.
-    pub fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
-        self.bucket(key).get(h, key)
+    pub fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        self.bucket(key).get(cx, key)
     }
 
-    /// Whether `key` is present.
-    pub fn contains(&self, h: &mut ThreadHandle, key: u64) -> bool {
-        self.bucket(key).contains(h, key)
+    /// Whether `key` is present (counted-read traversal; never clones the
+    /// value).
+    pub fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool {
+        self.bucket(key).contains(cx, key)
     }
 
     /// Inserts `key -> val` only if absent; returns `true` on success.
-    pub fn insert(&self, h: &mut ThreadHandle, key: u64, val: V) -> bool {
-        self.bucket(key).insert(h, key, val)
+    pub fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> bool {
+        self.bucket(key).insert(cx, key, val)
     }
 
     /// Inserts or replaces; returns the previous value if any.
-    pub fn put(&self, h: &mut ThreadHandle, key: u64, val: V) -> Option<V> {
-        self.bucket(key).put(h, key, val)
+    pub fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> Option<V> {
+        self.bucket(key).put(cx, key, val)
     }
 
     /// Removes `key`; returns its value if it was present.
-    pub fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
-        self.bucket(key).remove(h, key)
+    pub fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        self.bucket(key).remove(cx, key)
     }
 
     /// Quiescent count of live keys (test/diagnostic helper).
@@ -107,7 +108,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use medley::{TxManager, TxResult};
+    use medley::{AbortReason, TxManager, TxResult};
     use std::sync::Arc;
 
     fn small_map() -> MichaelHashMap<u64> {
@@ -119,14 +120,14 @@ mod tests {
         let mgr = TxManager::new();
         let mut h = mgr.register();
         let map = small_map();
-        assert_eq!(map.get(&mut h, 1), None);
-        assert!(map.insert(&mut h, 1, 10));
-        assert!(!map.insert(&mut h, 1, 11));
-        assert_eq!(map.get(&mut h, 1), Some(10));
-        assert_eq!(map.put(&mut h, 1, 12), Some(10));
-        assert_eq!(map.put(&mut h, 2, 20), None);
-        assert_eq!(map.remove(&mut h, 1), Some(12));
-        assert_eq!(map.remove(&mut h, 1), None);
+        assert_eq!(map.get(&mut h.nontx(), 1), None);
+        assert!(map.insert(&mut h.nontx(), 1, 10));
+        assert!(!map.insert(&mut h.nontx(), 1, 11));
+        assert_eq!(map.get(&mut h.nontx(), 1), Some(10));
+        assert_eq!(map.put(&mut h.nontx(), 1, 12), Some(10));
+        assert_eq!(map.put(&mut h.nontx(), 2, 20), None);
+        assert_eq!(map.remove(&mut h.nontx(), 1), Some(12));
+        assert_eq!(map.remove(&mut h.nontx(), 1), None);
         assert_eq!(map.len_quiescent(), 1);
     }
 
@@ -144,14 +145,14 @@ mod tests {
         let mut h = mgr.register();
         let map = MichaelHashMap::with_buckets(256);
         for k in 0..2_000u64 {
-            assert!(map.insert(&mut h, k, k * 3));
+            assert!(map.insert(&mut h.nontx(), k, k * 3));
         }
         assert_eq!(map.len_quiescent(), 2_000);
         for k in 0..2_000u64 {
-            assert_eq!(map.get(&mut h, k), Some(k * 3));
+            assert_eq!(map.get(&mut h.nontx(), k), Some(k * 3));
         }
         for k in (0..2_000u64).step_by(2) {
-            assert_eq!(map.remove(&mut h, k), Some(k * 3));
+            assert_eq!(map.remove(&mut h.nontx(), k), Some(k * 3));
         }
         assert_eq!(map.len_quiescent(), 1_000);
     }
@@ -164,8 +165,8 @@ mod tests {
         let mut h = mgr.register();
         let ht1 = small_map();
         let ht2 = small_map();
-        assert!(ht1.insert(&mut h, 100, 500)); // account 100 with balance 500
-        assert!(ht2.insert(&mut h, 200, 50));
+        assert!(ht1.insert(&mut h.nontx(), 100, 500)); // account 100 with balance 500
+        assert!(ht2.insert(&mut h.nontx(), 200, 50));
 
         let transfer = |h: &mut medley::ThreadHandle, amount: u64| -> TxResult<()> {
             h.run(|h| {
@@ -177,19 +178,19 @@ mod tests {
                         ht2.put(h, 200, v2.unwrap_or(0) + amount);
                         Ok(())
                     }
-                    _ => Err(h.tx_abort()),
+                    _ => Err(h.abort(AbortReason::Explicit)),
                 }
             })
         };
 
         assert!(transfer(&mut h, 120).is_ok());
-        assert_eq!(ht1.get(&mut h, 100), Some(380));
-        assert_eq!(ht2.get(&mut h, 200), Some(170));
+        assert_eq!(ht1.get(&mut h.nontx(), 100), Some(380));
+        assert_eq!(ht2.get(&mut h.nontx(), 200), Some(170));
 
         // Insufficient funds: the explicit abort leaves both tables untouched.
         assert!(transfer(&mut h, 1_000).is_err());
-        assert_eq!(ht1.get(&mut h, 100), Some(380));
-        assert_eq!(ht2.get(&mut h, 200), Some(170));
+        assert_eq!(ht1.get(&mut h.nontx(), 100), Some(380));
+        assert_eq!(ht2.get(&mut h.nontx(), 200), Some(170));
     }
 
     #[test]
@@ -210,13 +211,13 @@ mod tests {
                     let k = rng.next_below(KEY_SPACE);
                     match rng.next_below(3) {
                         0 => {
-                            map.put(&mut h, k, k * 2);
+                            map.put(&mut h.nontx(), k, k * 2);
                         }
                         1 => {
-                            map.remove(&mut h, k);
+                            map.remove(&mut h.nontx(), k);
                         }
                         _ => {
-                            if let Some(v) = map.get(&mut h, k) {
+                            if let Some(v) = map.get(&mut h.nontx(), k) {
                                 assert_eq!(v, k * 2, "value must always match its key");
                             }
                         }
@@ -245,8 +246,8 @@ mod tests {
         {
             let mut h = mgr.register();
             for k in 0..KEYS {
-                assert!(a.insert(&mut h, k, 10));
-                assert!(b.insert(&mut h, k, 10));
+                assert!(a.insert(&mut h.nontx(), k, 10));
+                assert!(b.insert(&mut h.nontx(), k, 10));
             }
         }
         let mut joins = Vec::new();
@@ -265,7 +266,7 @@ mod tests {
                         let sv = src.get(h, k).unwrap_or(0);
                         let dv = dst.get(h, k).unwrap_or(0);
                         if sv == 0 {
-                            return Err(h.tx_abort());
+                            return Err(h.abort(AbortReason::Explicit));
                         }
                         src.put(h, k, sv - 1);
                         dst.put(h, k, dv + 1);

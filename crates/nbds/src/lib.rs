@@ -13,11 +13,14 @@
 //! * [`SkipList`] — a Fraser-style CAS-based skiplist;
 //! * [`MsQueue`] — the Michael–Scott FIFO queue.
 //!
-//! Every operation takes a [`medley::ThreadHandle`]; called between
-//! `tx_begin`/`tx_end` (or inside [`medley::ThreadHandle::run`]) the
+//! Every operation is generic over a [`medley::Ctx`] execution context.
+//! Called with the [`medley::Txn`] guard handed out by
+//! [`medley::ThreadHandle::run`] (or [`medley::ThreadHandle::begin`]), the
 //! operations of one or more structures compose into a strictly serializable
-//! transaction, and called outside a transaction they behave exactly like the
-//! original nonblocking algorithms (instrumentation is elided).
+//! transaction; called with a [`medley::NonTx`] standalone context (from
+//! [`medley::ThreadHandle::nontx`]) they monomorphize into exactly the
+//! original nonblocking algorithms — the standalone/transactional
+//! distinction is a compile-time fact, not a runtime branch.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -31,6 +34,6 @@ pub mod tag;
 
 pub use hashtable::MichaelHashMap;
 pub use list::MichaelList;
-pub use map::TxMap;
+pub use map::{TxMap, TxQueue};
 pub use msqueue::MsQueue;
 pub use skiplist::SkipList;

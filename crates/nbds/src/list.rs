@@ -12,6 +12,11 @@
 //! * node allocation goes through `tnew` so that aborted transactions free
 //!   their speculative nodes.
 //!
+//! Every operation is generic over a [`medley::Ctx`] execution context:
+//! monomorphized for [`medley::NonTx`] it *is* the original uninstrumented
+//! algorithm, and monomorphized for [`medley::Txn`] its critical accesses
+//! run speculatively and commit atomically.
+//!
 //! `put` uses the paper's replace trick: marking the old node's `next`
 //! pointer *at* the replacement node simultaneously removes the old node and
 //! splices in the new one with a single (critical) CAS.
@@ -28,7 +33,7 @@
 //! read-set registration exact regardless of traversal length.
 
 use crate::tag;
-use medley::{CasWord, ThreadHandle};
+use medley::{CasWord, Ctx};
 use std::marker::PhantomData;
 use std::ptr;
 
@@ -97,13 +102,13 @@ where
     /// Michael's `find`: positions the caller just before the first node with
     /// key ≥ `key`, helping to physically unlink any logically deleted node
     /// encountered on the way.
-    fn find(&self, h: &mut ThreadHandle, key: u64) -> Position<V> {
+    fn find<C: Ctx>(&self, cx: &mut C, key: u64) -> Position<V> {
         'retry: loop {
             let mut prev: *const CasWord = &self.head;
             // SAFETY: `prev` points either at the list head (owned by self)
             // or at the `next` field of a node protected by the EBR pin the
             // caller holds for the duration of the operation.
-            let (mut curr_bits, mut prev_cnt) = h.nbtc_load_counted(unsafe { &*prev });
+            let (mut curr_bits, mut prev_cnt) = cx.nbtc_load_counted(unsafe { &*prev });
             loop {
                 let curr = tag::as_ptr::<Node<V>>(curr_bits);
                 if curr.is_null() {
@@ -118,7 +123,7 @@ where
                 }
                 // SAFETY: `curr` was reachable from the list and cannot be
                 // freed while we are pinned.
-                let (next_bits, next_cnt) = h.nbtc_load_counted(unsafe { &(*curr).next });
+                let (next_bits, next_cnt) = cx.nbtc_load_counted(unsafe { &(*curr).next });
                 if tag::is_marked(next_bits) {
                     // `curr` is logically deleted (by an operation that has
                     // already linearized); help unlink it.  This CAS is not a
@@ -126,16 +131,16 @@ where
                     // but it becomes critical automatically if it follows a
                     // speculative read within the same transaction.
                     let succ = tag::unmarked(next_bits);
-                    if !h.nbtc_cas(unsafe { &*prev }, tag::from_ptr(curr), succ, false, false) {
+                    if !cx.nbtc_cas(unsafe { &*prev }, tag::from_ptr(curr), succ, false, false) {
                         continue 'retry;
                     }
                     // SAFETY: we won the unlink CAS, so we are the unique
                     // retirer of `curr`.
-                    unsafe { h.tretire(curr) };
+                    unsafe { cx.tretire(curr) };
                     // The unlink advanced `prev`'s counter; re-load so the
                     // counter token stays exact.
                     // SAFETY: `prev` is valid while pinned (as above).
-                    let (nb, nc) = h.nbtc_load_counted(unsafe { &*prev });
+                    let (nb, nc) = cx.nbtc_load_counted(unsafe { &*prev });
                     curr_bits = nb;
                     prev_cnt = nc;
                     continue;
@@ -160,9 +165,9 @@ where
     }
 
     /// Looks up `key`, returning a clone of its value.
-    pub fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
-        h.with_op(|h| {
-            let pos = self.find(h, key);
+    pub fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        cx.with_op(|cx| {
+            let pos = self.find(cx, key);
             // SAFETY: `pos.curr` is pinned; cloning the value does not race
             // with reclamation.
             let res = if pos.found {
@@ -174,40 +179,46 @@ where
             // of this read-only operation; its counter token was tracked by
             // `find`, so registration bypasses the recent-loads ring.
             // SAFETY: `pos.prev` is valid while pinned.
-            h.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
+            cx.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
             res
         })
     }
 
-    /// Whether `key` is present.
-    pub fn contains(&self, h: &mut ThreadHandle, key: u64) -> bool {
-        self.get(h, key).is_some()
+    /// Whether `key` is present.  Registers the same counted linearizing
+    /// load as [`MichaelList::get`] but never clones the value.
+    pub fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool {
+        cx.with_op(|cx| {
+            let pos = self.find(cx, key);
+            // SAFETY: `pos.prev` is valid while pinned.
+            cx.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
+            pos.found
+        })
     }
 
     /// Inserts `key -> val` only if `key` is absent.  Returns `true` on
     /// success; on failure the value is dropped.
-    pub fn insert(&self, h: &mut ThreadHandle, key: u64, val: V) -> bool {
-        h.with_op(|h| {
-            let node = h.tnew(Node {
+    pub fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> bool {
+        cx.with_op(|cx| {
+            let node = cx.tnew(Node {
                 key,
                 val,
                 next: CasWord::new(0),
             });
             loop {
-                let pos = self.find(h, key);
+                let pos = self.find(cx, key);
                 if pos.found {
                     // Failed insert is a read-only outcome.
                     // SAFETY: `node` was just allocated by us and never
                     // published; `pos.prev` is pinned.
-                    unsafe { h.tdelete(node) };
-                    h.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
+                    unsafe { cx.tdelete(node) };
+                    cx.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
                     return false;
                 }
                 // SAFETY: `node` is still private.
                 unsafe { (*node).next.store_value(tag::from_ptr(pos.curr)) };
                 // Linearization (and publication) point of a successful insert.
                 // SAFETY: `pos.prev` is pinned.
-                if h.nbtc_cas(
+                if cx.nbtc_cas(
                     unsafe { &*pos.prev },
                     tag::from_ptr(pos.curr),
                     tag::from_ptr(node),
@@ -221,15 +232,15 @@ where
     }
 
     /// Inserts or replaces, returning the previous value if any.
-    pub fn put(&self, h: &mut ThreadHandle, key: u64, val: V) -> Option<V> {
-        h.with_op(|h| {
-            let node = h.tnew(Node {
+    pub fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> Option<V> {
+        cx.with_op(|cx| {
+            let node = cx.tnew(Node {
                 key,
                 val,
                 next: CasWord::new(0),
             });
             loop {
-                let pos = self.find(h, key);
+                let pos = self.find(cx, key);
                 if pos.found {
                     let curr = pos.curr;
                     // Replace: the new node adopts curr's successor, and a
@@ -237,7 +248,7 @@ where
                     // (its marked pointer *is* the new node).
                     // SAFETY: `node` is private; `curr` is pinned.
                     unsafe { (*node).next.store_value(pos.next) };
-                    if h.nbtc_cas(
+                    if cx.nbtc_cas(
                         unsafe { &(*curr).next },
                         pos.next,
                         tag::marked(tag::from_ptr(node)),
@@ -250,7 +261,7 @@ where
                         let curr_addr = curr as usize;
                         let node_addr = node as usize;
                         // Cleanup: physically unlink the replaced node.
-                        h.add_cleanup(move |h| {
+                        cx.add_cleanup(move |h| {
                             let prev = prev_addr as *const CasWord;
                             // SAFETY: the structure outlives the transaction
                             // (caller contract); a successful unlink makes us
@@ -265,7 +276,7 @@ where
                 } else {
                     // SAFETY: `node` is private; `pos.prev` is pinned.
                     unsafe { (*node).next.store_value(tag::from_ptr(pos.curr)) };
-                    if h.nbtc_cas(
+                    if cx.nbtc_cas(
                         unsafe { &*pos.prev },
                         tag::from_ptr(pos.curr),
                         tag::from_ptr(node),
@@ -280,19 +291,19 @@ where
     }
 
     /// Removes `key`, returning its value if it was present.
-    pub fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
-        h.with_op(|h| {
+    pub fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        cx.with_op(|cx| {
             loop {
-                let pos = self.find(h, key);
+                let pos = self.find(cx, key);
                 if !pos.found {
                     // SAFETY: `pos.prev` is pinned.
-                    h.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
+                    cx.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
                     return None;
                 }
                 let curr = pos.curr;
                 // Linearization point: marking curr's next pointer.
                 // SAFETY: `curr` is pinned.
-                if h.nbtc_cas(
+                if cx.nbtc_cas(
                     unsafe { &(*curr).next },
                     pos.next,
                     tag::marked(pos.next),
@@ -304,7 +315,7 @@ where
                     let prev_addr = pos.prev as usize;
                     let curr_addr = curr as usize;
                     let next_bits = pos.next;
-                    h.add_cleanup(move |h| {
+                    cx.add_cleanup(move |h| {
                         let prev = prev_addr as *const CasWord;
                         // SAFETY: see `put`'s cleanup.
                         if unsafe { &*prev }.cas_value(curr_addr as u64, next_bits) {
@@ -364,7 +375,7 @@ impl<V> Drop for MichaelList<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use medley::{TxManager, TxResult};
+    use medley::{AbortReason, TxManager, TxResult};
     use std::sync::Arc;
 
     fn setup() -> (Arc<TxManager>, MichaelList<u64>) {
@@ -375,9 +386,9 @@ mod tests {
     fn empty_list_lookups() {
         let (mgr, list) = setup();
         let mut h = mgr.register();
-        assert_eq!(list.get(&mut h, 1), None);
-        assert!(!list.contains(&mut h, 1));
-        assert_eq!(list.remove(&mut h, 1), None);
+        assert_eq!(list.get(&mut h.nontx(), 1), None);
+        assert!(!list.contains(&mut h.nontx(), 1));
+        assert_eq!(list.remove(&mut h.nontx(), 1), None);
         assert_eq!(list.len_quiescent(), 0);
     }
 
@@ -385,12 +396,15 @@ mod tests {
     fn insert_get_remove_roundtrip() {
         let (mgr, list) = setup();
         let mut h = mgr.register();
-        assert!(list.insert(&mut h, 5, 50));
-        assert!(!list.insert(&mut h, 5, 51), "duplicate insert must fail");
-        assert_eq!(list.get(&mut h, 5), Some(50));
-        assert_eq!(list.remove(&mut h, 5), Some(50));
-        assert_eq!(list.get(&mut h, 5), None);
-        assert_eq!(list.remove(&mut h, 5), None);
+        assert!(list.insert(&mut h.nontx(), 5, 50));
+        assert!(
+            !list.insert(&mut h.nontx(), 5, 51),
+            "duplicate insert must fail"
+        );
+        assert_eq!(list.get(&mut h.nontx(), 5), Some(50));
+        assert_eq!(list.remove(&mut h.nontx(), 5), Some(50));
+        assert_eq!(list.get(&mut h.nontx(), 5), None);
+        assert_eq!(list.remove(&mut h.nontx(), 5), None);
     }
 
     #[test]
@@ -398,7 +412,7 @@ mod tests {
         let (mgr, list) = setup();
         let mut h = mgr.register();
         for k in [5u64, 1, 9, 3, 7, 2, 8] {
-            assert!(list.insert(&mut h, k, k * 10));
+            assert!(list.insert(&mut h.nontx(), k, k * 10));
         }
         let snap = list.snapshot();
         let keys: Vec<u64> = snap.iter().map(|(k, _)| *k).collect();
@@ -409,11 +423,11 @@ mod tests {
     fn put_replaces_and_returns_old() {
         let (mgr, list) = setup();
         let mut h = mgr.register();
-        assert_eq!(list.put(&mut h, 7, 70), None);
-        assert_eq!(list.put(&mut h, 7, 71), Some(70));
-        assert_eq!(list.get(&mut h, 7), Some(71));
+        assert_eq!(list.put(&mut h.nontx(), 7, 70), None);
+        assert_eq!(list.put(&mut h.nontx(), 7, 71), Some(70));
+        assert_eq!(list.get(&mut h.nontx(), 7), Some(71));
         assert_eq!(list.len_quiescent(), 1);
-        assert_eq!(list.remove(&mut h, 7), Some(71));
+        assert_eq!(list.remove(&mut h.nontx(), 7), Some(71));
         assert_eq!(list.len_quiescent(), 0);
     }
 
@@ -421,7 +435,7 @@ mod tests {
     fn transactional_ops_are_atomic() {
         let (mgr, list) = setup();
         let mut h = mgr.register();
-        assert!(list.insert(&mut h, 1, 10));
+        assert!(list.insert(&mut h.nontx(), 1, 10));
         // Move key 1 to key 2 atomically.
         let res: TxResult<()> = h.run(|h| {
             let v = list.remove(h, 1).unwrap();
@@ -429,25 +443,33 @@ mod tests {
             Ok(())
         });
         assert!(res.is_ok());
-        assert_eq!(list.get(&mut h, 1), None);
-        assert_eq!(list.get(&mut h, 2), Some(10));
+        assert_eq!(list.get(&mut h.nontx(), 1), None);
+        assert_eq!(list.get(&mut h.nontx(), 2), Some(10));
     }
 
     #[test]
     fn aborted_transaction_leaves_no_trace() {
         let (mgr, list) = setup();
         let mut h = mgr.register();
-        assert!(list.insert(&mut h, 1, 10));
+        assert!(list.insert(&mut h.nontx(), 1, 10));
         let res: TxResult<()> = h.run(|h| {
             assert_eq!(list.remove(h, 1), Some(10));
             assert!(list.insert(h, 2, 20));
             assert!(list.insert(h, 3, 30));
-            Err(h.tx_abort())
+            Err(h.abort(AbortReason::Explicit))
         });
         assert!(res.is_err());
-        assert_eq!(list.get(&mut h, 1), Some(10), "remove must be rolled back");
-        assert_eq!(list.get(&mut h, 2), None, "insert must be rolled back");
-        assert_eq!(list.get(&mut h, 3), None);
+        assert_eq!(
+            list.get(&mut h.nontx(), 1),
+            Some(10),
+            "remove must be rolled back"
+        );
+        assert_eq!(
+            list.get(&mut h.nontx(), 2),
+            None,
+            "insert must be rolled back"
+        );
+        assert_eq!(list.get(&mut h.nontx(), 3), None);
         assert_eq!(list.len_quiescent(), 1);
     }
 
@@ -464,7 +486,7 @@ mod tests {
             Ok(())
         });
         assert!(res.is_ok());
-        assert_eq!(list.get(&mut h, 4), Some(41));
+        assert_eq!(list.get(&mut h.nontx(), 4), Some(41));
         assert_eq!(list.len_quiescent(), 1);
     }
 
@@ -482,7 +504,7 @@ mod tests {
                 let mut h = mgr.register();
                 for i in 0..PER_THREAD {
                     let k = t * PER_THREAD + i;
-                    assert!(list.insert(&mut h, k, k));
+                    assert!(list.insert(&mut h.nontx(), k, k));
                 }
             }));
         }
@@ -492,7 +514,7 @@ mod tests {
         assert_eq!(list.len_quiescent(), (THREADS * PER_THREAD) as usize);
         let mut h = mgr.register();
         for k in 0..THREADS * PER_THREAD {
-            assert_eq!(list.get(&mut h, k), Some(k));
+            assert_eq!(list.get(&mut h.nontx(), k), Some(k));
         }
     }
 
@@ -507,7 +529,7 @@ mod tests {
         {
             let mut h = mgr.register();
             for a in 0..ACCOUNTS {
-                assert!(list.insert(&mut h, a, 100));
+                assert!(list.insert(&mut h.nontx(), a, 100));
             }
         }
         let mut joins = Vec::new();
@@ -527,7 +549,7 @@ mod tests {
                         let a = list.get(h, from).unwrap();
                         let b = list.get(h, to).unwrap();
                         if a == 0 {
-                            return Err(h.tx_abort());
+                            return Err(h.abort(AbortReason::Explicit));
                         }
                         list.put(h, from, a - 1);
                         list.put(h, to, b + 1);

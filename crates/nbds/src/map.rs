@@ -1,59 +1,72 @@
-//! A common trait for transactional key/value maps.
+//! Common traits for transactional containers.
 //!
 //! The benchmark harness, the TPC-C layer, and the integration tests all work
-//! against this trait so that the Medley hash table, the Medley skiplist, the
-//! txMontage persistent maps, and the baseline systems (OneFile, TDSL, LFTT)
-//! can be swapped freely — mirroring how the paper runs the same workloads
-//! over every competitor.
+//! against these traits so that the Medley hash table, the Medley skiplist,
+//! the txMontage persistent maps, and the baseline systems (OneFile, TDSL,
+//! LFTT) can be swapped freely — mirroring how the paper runs the same
+//! workloads over every competitor.
+//!
+//! All operations are generic over a [`Ctx`] execution context, so a single
+//! `impl` serves both standalone calls (through [`medley::NonTx`], where the
+//! instrumentation monomorphizes away) and transactional calls (through
+//! [`medley::Txn`]).  The price is that the traits are not object-safe;
+//! harness code is generic over `M: TxMap<V>` instead of boxing
+//! `dyn TxMap`.
 
-use medley::ThreadHandle;
+use medley::Ctx;
 
 /// A map from `u64` keys to values of type `V` whose operations can
-/// participate in Medley transactions (or run standalone).
+/// participate in Medley transactions (called with a [`medley::Txn`]
+/// context) or run standalone (called with a [`medley::NonTx`] context).
 pub trait TxMap<V>: Send + Sync {
     /// Looks up `key`.
-    fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V>;
+    fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V>;
     /// Inserts `key -> val` only if absent; returns `true` on success.
-    fn insert(&self, h: &mut ThreadHandle, key: u64, val: V) -> bool;
+    fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> bool;
     /// Inserts or replaces; returns the previous value if any.
-    fn put(&self, h: &mut ThreadHandle, key: u64, val: V) -> Option<V>;
+    fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> Option<V>;
     /// Removes `key`; returns its value if present.
-    fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<V>;
+    fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V>;
     /// Whether `key` is present.
-    fn contains(&self, h: &mut ThreadHandle, key: u64) -> bool {
-        self.get(h, key).is_some()
+    ///
+    /// The default clones the value through [`TxMap::get`]; the `nbds`
+    /// containers override it with a counted-read traversal that never
+    /// clones `V`.
+    fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool {
+        self.get(cx, key).is_some()
     }
+}
+
+/// A FIFO queue whose operations can participate in Medley transactions or
+/// run standalone — the queue-shaped counterpart of [`TxMap`], so queue
+/// workloads are harness-swappable too.
+pub trait TxQueue<V>: Send + Sync {
+    /// Appends `val` at the tail.
+    fn enqueue<C: Ctx>(&self, cx: &mut C, val: V);
+    /// Removes and returns the head value, or `None` if empty.
+    fn dequeue<C: Ctx>(&self, cx: &mut C) -> Option<V>;
+    /// Whether the queue is empty (a single linearizing observation).
+    fn is_empty<C: Ctx>(&self, cx: &mut C) -> bool;
 }
 
 impl<V> TxMap<V> for crate::MichaelHashMap<V>
 where
     V: Clone + Send + Sync + 'static,
 {
-    fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
-        MichaelHashMapExt::get(self, h, key)
+    fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        crate::MichaelHashMap::get(self, cx, key)
     }
-    fn insert(&self, h: &mut ThreadHandle, key: u64, val: V) -> bool {
-        crate::MichaelHashMap::insert(self, h, key, val)
+    fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> bool {
+        crate::MichaelHashMap::insert(self, cx, key, val)
     }
-    fn put(&self, h: &mut ThreadHandle, key: u64, val: V) -> Option<V> {
-        crate::MichaelHashMap::put(self, h, key, val)
+    fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> Option<V> {
+        crate::MichaelHashMap::put(self, cx, key, val)
     }
-    fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
-        crate::MichaelHashMap::remove(self, h, key)
+    fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        crate::MichaelHashMap::remove(self, cx, key)
     }
-}
-
-// Helper alias to avoid infinite recursion between the trait method and the
-// inherent method of the same name.
-trait MichaelHashMapExt<V> {
-    fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V>;
-}
-impl<V> MichaelHashMapExt<V> for crate::MichaelHashMap<V>
-where
-    V: Clone + Send + Sync + 'static,
-{
-    fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
-        crate::MichaelHashMap::get(self, h, key)
+    fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool {
+        crate::MichaelHashMap::contains(self, cx, key)
     }
 }
 
@@ -61,17 +74,20 @@ impl<V> TxMap<V> for crate::SkipList<V>
 where
     V: Clone + Send + Sync + 'static,
 {
-    fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
-        crate::SkipList::get(self, h, key)
+    fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        crate::SkipList::get(self, cx, key)
     }
-    fn insert(&self, h: &mut ThreadHandle, key: u64, val: V) -> bool {
-        crate::SkipList::insert(self, h, key, val)
+    fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> bool {
+        crate::SkipList::insert(self, cx, key, val)
     }
-    fn put(&self, h: &mut ThreadHandle, key: u64, val: V) -> Option<V> {
-        crate::SkipList::put(self, h, key, val)
+    fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> Option<V> {
+        crate::SkipList::put(self, cx, key, val)
     }
-    fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
-        crate::SkipList::remove(self, h, key)
+    fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        crate::SkipList::remove(self, cx, key)
+    }
+    fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool {
+        crate::SkipList::contains(self, cx, key)
     }
 }
 
@@ -79,33 +95,52 @@ impl<V> TxMap<V> for crate::MichaelList<V>
 where
     V: Clone + Send + Sync + 'static,
 {
-    fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
-        crate::MichaelList::get(self, h, key)
+    fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        crate::MichaelList::get(self, cx, key)
     }
-    fn insert(&self, h: &mut ThreadHandle, key: u64, val: V) -> bool {
-        crate::MichaelList::insert(self, h, key, val)
+    fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> bool {
+        crate::MichaelList::insert(self, cx, key, val)
     }
-    fn put(&self, h: &mut ThreadHandle, key: u64, val: V) -> Option<V> {
-        crate::MichaelList::put(self, h, key, val)
+    fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> Option<V> {
+        crate::MichaelList::put(self, cx, key, val)
     }
-    fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
-        crate::MichaelList::remove(self, h, key)
+    fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        crate::MichaelList::remove(self, cx, key)
+    }
+    fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool {
+        crate::MichaelList::contains(self, cx, key)
+    }
+}
+
+impl<V> TxQueue<V> for crate::MsQueue<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn enqueue<C: Ctx>(&self, cx: &mut C, val: V) {
+        crate::MsQueue::enqueue(self, cx, val)
+    }
+    fn dequeue<C: Ctx>(&self, cx: &mut C) -> Option<V> {
+        crate::MsQueue::dequeue(self, cx)
+    }
+    fn is_empty<C: Ctx>(&self, cx: &mut C) -> bool {
+        crate::MsQueue::is_empty(self, cx)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use medley::TxManager;
+    use medley::{ThreadHandle, TxManager};
 
-    fn exercise(map: &dyn TxMap<u64>, h: &mut ThreadHandle) {
-        assert!(!map.contains(h, 9));
-        assert!(map.insert(h, 9, 90));
-        assert!(map.contains(h, 9));
-        assert_eq!(map.get(h, 9), Some(90));
-        assert_eq!(map.put(h, 9, 91), Some(90));
-        assert_eq!(map.remove(h, 9), Some(91));
-        assert_eq!(map.remove(h, 9), None);
+    fn exercise<M: TxMap<u64>>(map: &M, h: &mut ThreadHandle) {
+        let cx = &mut h.nontx();
+        assert!(!map.contains(cx, 9));
+        assert!(map.insert(cx, 9, 90));
+        assert!(map.contains(cx, 9));
+        assert_eq!(map.get(cx, 9), Some(90));
+        assert_eq!(map.put(cx, 9, 91), Some(90));
+        assert_eq!(map.remove(cx, 9), Some(91));
+        assert_eq!(map.remove(cx, 9), None);
     }
 
     #[test]
@@ -115,5 +150,39 @@ mod tests {
         exercise(&crate::MichaelHashMap::<u64>::with_buckets(16), &mut h);
         exercise(&crate::SkipList::<u64>::new(), &mut h);
         exercise(&crate::MichaelList::<u64>::new(), &mut h);
+    }
+
+    #[test]
+    fn queue_trait_is_usable_in_both_contexts() {
+        fn drive<Q: TxQueue<u64>>(q: &Q, h: &mut ThreadHandle) {
+            assert!(q.is_empty(&mut h.nontx()));
+            q.enqueue(&mut h.nontx(), 5);
+            let moved: medley::TxResult<Option<u64>> = h.run(|t| {
+                let v = q.dequeue(t);
+                if let Some(v) = v {
+                    q.enqueue(t, v + 1);
+                }
+                Ok(v)
+            });
+            assert_eq!(moved, Ok(Some(5)));
+            assert_eq!(q.dequeue(&mut h.nontx()), Some(6));
+        }
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        drive(&crate::MsQueue::<u64>::new(), &mut h);
+    }
+
+    #[test]
+    fn contains_works_transactionally_without_cloning() {
+        // `contains` must register a validatable read: a read-only
+        // transaction made of `contains` calls commits descriptor-free.
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let map = crate::MichaelHashMap::<String>::with_buckets(16);
+        assert!(map.insert(&mut h.nontx(), 1, "one".to_string()));
+        let res = h.run(|t| Ok((map.contains(t, 1), map.contains(t, 2))));
+        assert_eq!(res, Ok((true, false)));
+        h.flush_stats();
+        assert!(mgr.stats().snapshot().ro_commits >= 1);
     }
 }

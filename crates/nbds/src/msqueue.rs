@@ -13,7 +13,7 @@
 //! `is_empty`) registers one counted load and commits descriptor-free.
 
 use crate::tag;
-use medley::{CasWord, ThreadHandle};
+use medley::{CasWord, Ctx};
 use std::marker::PhantomData;
 
 struct Node<V> {
@@ -51,27 +51,27 @@ where
     }
 
     /// Appends `val` at the tail of the queue.
-    pub fn enqueue(&self, h: &mut ThreadHandle, val: V) {
-        h.with_op(|h| {
-            let node = h.tnew(Node {
+    pub fn enqueue<C: Ctx>(&self, cx: &mut C, val: V) {
+        cx.with_op(|cx| {
+            let node = cx.tnew(Node {
                 val: Some(val),
                 next: CasWord::new(0),
             });
             loop {
-                let tail_bits = h.nbtc_load(&self.tail);
+                let tail_bits = cx.nbtc_load(&self.tail);
                 let tail_ptr = tag::as_ptr::<Node<V>>(tail_bits);
                 // SAFETY: `tail_ptr` is protected by the operation's EBR pin.
-                let next_bits = h.nbtc_load(unsafe { &(*tail_ptr).next });
+                let next_bits = cx.nbtc_load(unsafe { &(*tail_ptr).next });
                 if next_bits != 0 {
                     // Tail is lagging; help advance it (the enqueue that
                     // linked `next` has already linearized, so this is not a
                     // publication point of our operation).
-                    h.nbtc_cas(&self.tail, tail_bits, next_bits, false, false);
+                    cx.nbtc_cas(&self.tail, tail_bits, next_bits, false, false);
                     continue;
                 }
                 // Linearization (and publication) point of enqueue: linking
                 // the new node after the current last node.
-                if h.nbtc_cas(
+                if cx.nbtc_cas(
                     unsafe { &(*tail_ptr).next },
                     0,
                     tag::from_ptr(node),
@@ -81,7 +81,7 @@ where
                     // Post-linearization cleanup: swing the tail pointer.
                     let tail_addr = &self.tail as *const CasWord as usize;
                     let node_bits = tag::from_ptr(node);
-                    h.add_cleanup(move |_h| {
+                    cx.add_cleanup(move |_h| {
                         let tail = tail_addr as *const CasWord;
                         // SAFETY: the queue outlives the transaction (caller
                         // contract).  Failure means someone already advanced
@@ -96,35 +96,35 @@ where
 
     /// Removes and returns the value at the head of the queue, or `None` if
     /// the queue is empty.
-    pub fn dequeue(&self, h: &mut ThreadHandle) -> Option<V> {
-        h.with_op(|h| {
+    pub fn dequeue<C: Ctx>(&self, cx: &mut C) -> Option<V> {
+        cx.with_op(|cx| {
             loop {
-                let head_bits = h.nbtc_load(&self.head);
+                let head_bits = cx.nbtc_load(&self.head);
                 let head_ptr = tag::as_ptr::<Node<V>>(head_bits);
                 // SAFETY: pinned.
-                let (next_bits, next_cnt) = h.nbtc_load_counted(unsafe { &(*head_ptr).next });
+                let (next_bits, next_cnt) = cx.nbtc_load_counted(unsafe { &(*head_ptr).next });
                 if next_bits == 0 {
                     // Empty: the linearizing load of this read-only outcome is
                     // the observation that the dummy has no successor.
-                    h.add_read_with_counter(unsafe { &(*head_ptr).next }, 0, next_cnt);
+                    cx.add_read_with_counter(unsafe { &(*head_ptr).next }, 0, next_cnt);
                     return None;
                 }
-                let tail_bits = h.nbtc_load(&self.tail);
+                let tail_bits = cx.nbtc_load(&self.tail);
                 if head_bits == tail_bits {
                     // Tail is lagging behind a non-empty queue; help.
-                    h.nbtc_cas(&self.tail, tail_bits, next_bits, false, false);
+                    cx.nbtc_cas(&self.tail, tail_bits, next_bits, false, false);
                     continue;
                 }
                 let next_ptr = tag::as_ptr::<Node<V>>(next_bits);
                 // SAFETY: pinned; `next_ptr` stays valid until retired+freed.
                 let val = unsafe { (*next_ptr).val.clone() };
                 // Linearization point of dequeue: swinging the head pointer.
-                if h.nbtc_cas(&self.head, head_bits, next_bits, true, true) {
+                if cx.nbtc_cas(&self.head, head_bits, next_bits, true, true) {
                     // Cleanup: retire the old dummy node.
                     // SAFETY: the old dummy is unreachable once the head has
                     // moved past it; we won the CAS, so we are its unique
                     // retirer.
-                    unsafe { h.tretire(head_ptr) };
+                    unsafe { cx.tretire(head_ptr) };
                     return val;
                 }
             }
@@ -133,14 +133,14 @@ where
 
     /// Whether the queue is currently empty (single observation; not a
     /// linearizable compound check unless called inside a transaction).
-    pub fn is_empty(&self, h: &mut ThreadHandle) -> bool {
-        h.with_op(|h| {
-            let head_bits = h.nbtc_load(&self.head);
+    pub fn is_empty<C: Ctx>(&self, cx: &mut C) -> bool {
+        cx.with_op(|cx| {
+            let head_bits = cx.nbtc_load(&self.head);
             let head_ptr = tag::as_ptr::<Node<V>>(head_bits);
             // SAFETY: pinned.
-            let (next_bits, next_cnt) = h.nbtc_load_counted(unsafe { &(*head_ptr).next });
+            let (next_bits, next_cnt) = cx.nbtc_load_counted(unsafe { &(*head_ptr).next });
             if next_bits == 0 {
-                h.add_read_with_counter(unsafe { &(*head_ptr).next }, 0, next_cnt);
+                cx.add_read_with_counter(unsafe { &(*head_ptr).next }, 0, next_cnt);
                 true
             } else {
                 false
@@ -190,7 +190,7 @@ impl<V> Drop for MsQueue<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use medley::{TxManager, TxResult};
+    use medley::{AbortReason, TxManager, TxResult};
     use std::collections::HashSet;
     use std::sync::Arc;
 
@@ -199,17 +199,17 @@ mod tests {
         let mgr = TxManager::new();
         let mut h = mgr.register();
         let q = MsQueue::new();
-        assert!(q.is_empty(&mut h));
-        assert_eq!(q.dequeue(&mut h), None);
+        assert!(q.is_empty(&mut h.nontx()));
+        assert_eq!(q.dequeue(&mut h.nontx()), None);
         for i in 0..100u64 {
-            q.enqueue(&mut h, i);
+            q.enqueue(&mut h.nontx(), i);
         }
         assert_eq!(q.len_quiescent(), 100);
         for i in 0..100u64 {
-            assert_eq!(q.dequeue(&mut h), Some(i));
+            assert_eq!(q.dequeue(&mut h.nontx()), Some(i));
         }
-        assert_eq!(q.dequeue(&mut h), None);
-        assert!(q.is_empty(&mut h));
+        assert_eq!(q.dequeue(&mut h.nontx()), None);
+        assert!(q.is_empty(&mut h.nontx()));
     }
 
     #[test]
@@ -218,7 +218,7 @@ mod tests {
         let mut h = mgr.register();
         let q1 = MsQueue::new();
         let q2 = MsQueue::new();
-        q1.enqueue(&mut h, 7u64);
+        q1.enqueue(&mut h.nontx(), 7u64);
         // Atomically move the head of q1 to q2.
         let res: TxResult<()> = h.run(|h| {
             let v = q1.dequeue(h).expect("q1 is non-empty");
@@ -227,7 +227,7 @@ mod tests {
         });
         assert!(res.is_ok());
         assert_eq!(q1.len_quiescent(), 0);
-        assert_eq!(q2.dequeue(&mut h), Some(7));
+        assert_eq!(q2.dequeue(&mut h.nontx()), Some(7));
     }
 
     #[test]
@@ -236,18 +236,18 @@ mod tests {
         let mut h = mgr.register();
         let q1 = MsQueue::new();
         let q2 = MsQueue::new();
-        q1.enqueue(&mut h, 1u64);
-        q1.enqueue(&mut h, 2u64);
+        q1.enqueue(&mut h.nontx(), 1u64);
+        q1.enqueue(&mut h.nontx(), 2u64);
         let res: TxResult<()> = h.run(|h| {
             assert_eq!(q1.dequeue(h), Some(1));
             q2.enqueue(h, 1);
-            Err(h.tx_abort())
+            Err(h.abort(AbortReason::Explicit))
         });
         assert!(res.is_err());
         assert_eq!(q1.len_quiescent(), 2, "dequeue must be rolled back");
         assert_eq!(q2.len_quiescent(), 0, "enqueue must be rolled back");
-        assert_eq!(q1.dequeue(&mut h), Some(1));
-        assert_eq!(q1.dequeue(&mut h), Some(2));
+        assert_eq!(q1.dequeue(&mut h.nontx()), Some(1));
+        assert_eq!(q1.dequeue(&mut h.nontx()), Some(2));
     }
 
     #[test]
@@ -277,7 +277,7 @@ mod tests {
             joins.push(std::thread::spawn(move || {
                 let mut h = mgr.register();
                 for i in 0..PER_PRODUCER {
-                    q.enqueue(&mut h, p * PER_PRODUCER + i);
+                    q.enqueue(&mut h.nontx(), p * PER_PRODUCER + i);
                 }
                 Vec::new()
             }));
@@ -290,7 +290,7 @@ mod tests {
                 let mut got = Vec::new();
                 let target = (PRODUCERS * PER_PRODUCER) as usize / CONSUMERS;
                 while got.len() < target {
-                    if let Some(v) = q.dequeue(&mut h) {
+                    if let Some(v) = q.dequeue(&mut h.nontx()) {
                         got.push(v);
                     } else {
                         std::thread::yield_now();
@@ -321,7 +321,7 @@ mod tests {
             std::thread::spawn(move || {
                 let mut h = mgr.register();
                 for i in 0..PER_PRODUCER {
-                    q.enqueue(&mut h, i);
+                    q.enqueue(&mut h.nontx(), i);
                 }
             })
         };
@@ -333,7 +333,7 @@ mod tests {
                 let mut last = None;
                 let mut count = 0;
                 while count < PER_PRODUCER {
-                    if let Some(v) = q.dequeue(&mut h) {
+                    if let Some(v) = q.dequeue(&mut h.nontx()) {
                         if let Some(prev) = last {
                             assert!(v > prev, "FIFO violated: {v} after {prev}");
                         }

@@ -27,7 +27,7 @@
 //! descriptor-free.
 
 use crate::tag;
-use medley::{CasWord, ThreadHandle};
+use medley::{CasWord, Ctx, NonTx};
 use std::marker::PhantomData;
 use std::ptr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -111,9 +111,9 @@ where
     /// at every level and returning the bottom-level position.  Marked nodes
     /// encountered on the way are physically unlinked (helping), but never
     /// retired here.
-    fn search(
+    fn search<C: Ctx>(
         &self,
-        h: &mut ThreadHandle,
+        cx: &mut C,
         key: u64,
         preds: &mut [*mut Node<V>; MAX_HEIGHT],
         succs: &mut [u64; MAX_HEIGHT],
@@ -124,7 +124,7 @@ where
                 loop {
                     let pred_word = self.word_at(pred_node, level);
                     // SAFETY: pred_word is valid while pinned.
-                    let (raw, raw_cnt) = h.nbtc_load_counted(unsafe { &*pred_word });
+                    let (raw, raw_cnt) = cx.nbtc_load_counted(unsafe { &*pred_word });
                     if tag::is_marked(raw) && !pred_node.is_null() {
                         // The pred node picked up at a higher level has since
                         // been deleted at this one (possibly speculatively by
@@ -154,10 +154,10 @@ where
                         break;
                     }
                     // SAFETY: curr reachable and pinned.
-                    let next_raw = h.nbtc_load(unsafe { &(*curr).tower[level] });
+                    let next_raw = cx.nbtc_load(unsafe { &(*curr).tower[level] });
                     if tag::is_marked(next_raw) {
                         // curr is deleted at this level; help unlink it.
-                        if !h.nbtc_cas(
+                        if !cx.nbtc_cas(
                             unsafe { &*pred_word },
                             curr_bits,
                             tag::unmarked(next_raw),
@@ -197,10 +197,10 @@ where
     }
 
     /// Looks up `key`.
-    pub fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
-        h.with_op(|h| {
+    pub fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        cx.with_op(|cx| {
             let (mut preds, mut succs) = Self::empty_arrays();
-            let pos = self.search(h, key, &mut preds, &mut succs);
+            let pos = self.search(cx, key, &mut preds, &mut succs);
             // SAFETY: pos.curr pinned.
             let res = if pos.found {
                 Some(unsafe { (*pos.curr).val.clone() })
@@ -208,19 +208,27 @@ where
                 None
             };
             // SAFETY: pos.prev valid while pinned.
-            h.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
+            cx.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
             res
         })
     }
 
-    /// Whether `key` is present.
-    pub fn contains(&self, h: &mut ThreadHandle, key: u64) -> bool {
-        self.get(h, key).is_some()
+    /// Whether `key` is present.  Registers the same counted linearizing
+    /// load as [`SkipList::get`] but never clones the value.
+    pub fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool {
+        cx.with_op(|cx| {
+            let (mut preds, mut succs) = Self::empty_arrays();
+            let pos = self.search(cx, key, &mut preds, &mut succs);
+            // SAFETY: pos.prev valid while pinned.
+            cx.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
+            pos.found
+        })
     }
 
     /// Links `node` into levels `1..height` (post-linearization index
-    /// maintenance).  Called from cleanup context (outside any transaction).
-    fn link_upper_levels(&self, h: &mut ThreadHandle, node: *mut Node<V>, height: usize) {
+    /// maintenance).  Called from cleanup context, which is definitionally
+    /// non-transactional — hence the concrete [`NonTx`] context.
+    fn link_upper_levels(&self, cx: &mut NonTx<'_>, node: *mut Node<V>, height: usize) {
         let (mut preds, mut succs) = Self::empty_arrays();
         // SAFETY: node is linked at level 0 (committed) and cannot be freed
         // before it is unlinked from every level, which cannot happen while
@@ -233,7 +241,7 @@ where
                 if tag::is_marked(bottom) {
                     break 'levels;
                 }
-                let _ = self.search(h, key, &mut preds, &mut succs);
+                let _ = self.search(cx, key, &mut preds, &mut succs);
                 let succ = succs[level];
                 if tag::as_ptr::<Node<V>>(succ) == node {
                     // Already linked at this level (e.g. by a previous retry).
@@ -295,22 +303,22 @@ where
     /// replacement carries the same key as its victim, so `search(key)`
     /// stops at the replacement and never reaches a marked victim linked
     /// behind it.
-    fn purge_level(&self, h: &mut ThreadHandle, level: usize, key: u64) {
+    fn purge_level(&self, cx: &mut NonTx<'_>, level: usize, key: u64) {
         'retry: loop {
             let mut pred: *mut Node<V> = ptr::null_mut();
             loop {
                 let pred_word = self.word_at(pred, level);
                 // SAFETY: pred_word valid while pinned.
-                let raw = h.nbtc_load(unsafe { &*pred_word });
+                let raw = cx.nbtc_load(unsafe { &*pred_word });
                 let curr_bits = tag::unmarked(raw);
                 let curr = tag::as_ptr::<Node<V>>(curr_bits);
                 if curr.is_null() {
                     return;
                 }
                 // SAFETY: curr reachable and pinned.
-                let next_raw = h.nbtc_load(unsafe { &(*curr).tower[level] });
+                let next_raw = cx.nbtc_load(unsafe { &(*curr).tower[level] });
                 if tag::is_marked(next_raw) {
-                    if !h.nbtc_cas(
+                    if !cx.nbtc_cas(
                         unsafe { &*pred_word },
                         curr_bits,
                         tag::unmarked(next_raw),
@@ -332,7 +340,7 @@ where
 
     /// Marks levels `height-1 .. 1` of `node` (cleanup of a logical delete),
     /// then unlinks the node everywhere and retires it.
-    fn finish_removal(&self, h: &mut ThreadHandle, node: *mut Node<V>) {
+    fn finish_removal(&self, cx: &mut NonTx<'_>, node: *mut Node<V>) {
         // SAFETY: node is pinned and not yet retired (we are its unique
         // retirer).
         let height = unsafe { (*node).height };
@@ -356,17 +364,17 @@ where
         // `link_upper_levels`), which is enough because this node's memory
         // cannot be reclaimed while any such linker stays pinned.
         for level in (0..height).rev() {
-            self.purge_level(h, level, key);
+            self.purge_level(cx, level, key);
         }
         // SAFETY: unreachable from the structure and uniquely retired here.
-        unsafe { h.retire_now(node) };
+        unsafe { cx.retire_now(node) };
     }
 
     /// Inserts `key -> val` only if absent; returns `true` on success.
-    pub fn insert(&self, h: &mut ThreadHandle, key: u64, val: V) -> bool {
-        h.with_op(|h| {
+    pub fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> bool {
+        cx.with_op(|cx| {
             let height = self.random_height();
-            let node = h.tnew(Node {
+            let node = cx.tnew(Node {
                 key,
                 val,
                 height,
@@ -374,17 +382,17 @@ where
             });
             loop {
                 let (mut preds, mut succs) = Self::empty_arrays();
-                let pos = self.search(h, key, &mut preds, &mut succs);
+                let pos = self.search(cx, key, &mut preds, &mut succs);
                 if pos.found {
                     // SAFETY: node private; pos.prev pinned.
-                    unsafe { h.tdelete(node) };
-                    h.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
+                    unsafe { cx.tdelete(node) };
+                    cx.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
                     return false;
                 }
                 // SAFETY: node still private.
                 unsafe { (*node).tower[0].store_value(tag::from_ptr(pos.curr)) };
                 // Linearization + publication point: bottom-level link.
-                if h.nbtc_cas(
+                if cx.nbtc_cas(
                     unsafe { &*pos.prev },
                     tag::from_ptr(pos.curr),
                     tag::from_ptr(node),
@@ -393,11 +401,14 @@ where
                 ) {
                     let list_addr = self as *const Self as usize;
                     let node_addr = node as usize;
-                    h.add_cleanup(move |h| {
+                    cx.add_cleanup(move |h| {
                         let list = list_addr as *const Self;
+                        let mut cx = NonTx::new(h);
                         // SAFETY: the structure outlives the transaction
                         // (caller contract).
-                        unsafe { (*list).link_upper_levels(h, node_addr as *mut Node<V>, height) };
+                        unsafe {
+                            (*list).link_upper_levels(&mut cx, node_addr as *mut Node<V>, height)
+                        };
                     });
                     return true;
                 }
@@ -406,10 +417,10 @@ where
     }
 
     /// Inserts or replaces; returns the previous value if any.
-    pub fn put(&self, h: &mut ThreadHandle, key: u64, val: V) -> Option<V> {
-        h.with_op(|h| {
+    pub fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> Option<V> {
+        cx.with_op(|cx| {
             let height = self.random_height();
-            let node = h.tnew(Node {
+            let node = cx.tnew(Node {
                 key,
                 val,
                 height,
@@ -417,14 +428,14 @@ where
             });
             loop {
                 let (mut preds, mut succs) = Self::empty_arrays();
-                let pos = self.search(h, key, &mut preds, &mut succs);
+                let pos = self.search(cx, key, &mut preds, &mut succs);
                 if pos.found {
                     let old_node = pos.curr;
                     // Replace: mark the old node's bottom link so that the
                     // marked pointer *is* the replacement (paper Fig. 2).
                     // SAFETY: node private; old_node pinned.
                     unsafe { (*node).tower[0].store_value(pos.next) };
-                    if h.nbtc_cas(
+                    if cx.nbtc_cas(
                         unsafe { &(*old_node).tower[0] },
                         pos.next,
                         tag::marked(tag::from_ptr(node)),
@@ -435,12 +446,17 @@ where
                         let list_addr = self as *const Self as usize;
                         let node_addr = node as usize;
                         let old_addr = old_node as usize;
-                        h.add_cleanup(move |h| {
+                        cx.add_cleanup(move |h| {
                             let list = list_addr as *const Self;
+                            let mut cx = NonTx::new(h);
                             // SAFETY: caller contract (structure outlives tx).
                             unsafe {
-                                (*list).link_upper_levels(h, node_addr as *mut Node<V>, height);
-                                (*list).finish_removal(h, old_addr as *mut Node<V>);
+                                (*list).link_upper_levels(
+                                    &mut cx,
+                                    node_addr as *mut Node<V>,
+                                    height,
+                                );
+                                (*list).finish_removal(&mut cx, old_addr as *mut Node<V>);
                             }
                         });
                         return Some(old);
@@ -448,7 +464,7 @@ where
                 } else {
                     // SAFETY: node private; pos.prev pinned.
                     unsafe { (*node).tower[0].store_value(tag::from_ptr(pos.curr)) };
-                    if h.nbtc_cas(
+                    if cx.nbtc_cas(
                         unsafe { &*pos.prev },
                         tag::from_ptr(pos.curr),
                         tag::from_ptr(node),
@@ -457,11 +473,16 @@ where
                     ) {
                         let list_addr = self as *const Self as usize;
                         let node_addr = node as usize;
-                        h.add_cleanup(move |h| {
+                        cx.add_cleanup(move |h| {
                             let list = list_addr as *const Self;
+                            let mut cx = NonTx::new(h);
                             // SAFETY: caller contract.
                             unsafe {
-                                (*list).link_upper_levels(h, node_addr as *mut Node<V>, height)
+                                (*list).link_upper_levels(
+                                    &mut cx,
+                                    node_addr as *mut Node<V>,
+                                    height,
+                                )
                             };
                         });
                         return None;
@@ -472,20 +493,20 @@ where
     }
 
     /// Removes `key`; returns its value if present.
-    pub fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<V> {
-        h.with_op(|h| {
+    pub fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        cx.with_op(|cx| {
             loop {
                 let (mut preds, mut succs) = Self::empty_arrays();
-                let pos = self.search(h, key, &mut preds, &mut succs);
+                let pos = self.search(cx, key, &mut preds, &mut succs);
                 if !pos.found {
                     // SAFETY: pos.prev pinned.
-                    h.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
+                    cx.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
                     return None;
                 }
                 let node = pos.curr;
                 // Linearization point: marking the bottom-level link.
                 // SAFETY: node pinned.
-                if h.nbtc_cas(
+                if cx.nbtc_cas(
                     unsafe { &(*node).tower[0] },
                     pos.next,
                     tag::marked(pos.next),
@@ -495,10 +516,11 @@ where
                     let old = unsafe { (*node).val.clone() };
                     let list_addr = self as *const Self as usize;
                     let node_addr = node as usize;
-                    h.add_cleanup(move |h| {
+                    cx.add_cleanup(move |h| {
                         let list = list_addr as *const Self;
+                        let mut cx = NonTx::new(h);
                         // SAFETY: caller contract.
-                        unsafe { (*list).finish_removal(h, node_addr as *mut Node<V>) };
+                        unsafe { (*list).finish_removal(&mut cx, node_addr as *mut Node<V>) };
                     });
                     return Some(old);
                 }
@@ -553,7 +575,7 @@ impl<V> Drop for SkipList<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use medley::{TxManager, TxResult};
+    use medley::{AbortReason, TxManager, TxResult};
     use std::sync::Arc;
 
     #[test]
@@ -561,14 +583,14 @@ mod tests {
         let mgr = TxManager::new();
         let mut h = mgr.register();
         let sl = SkipList::new();
-        assert_eq!(sl.get(&mut h, 3), None);
-        assert!(sl.insert(&mut h, 3, 30));
-        assert!(!sl.insert(&mut h, 3, 31));
-        assert_eq!(sl.get(&mut h, 3), Some(30));
-        assert_eq!(sl.put(&mut h, 3, 33), Some(30));
-        assert_eq!(sl.get(&mut h, 3), Some(33));
-        assert_eq!(sl.remove(&mut h, 3), Some(33));
-        assert_eq!(sl.remove(&mut h, 3), None);
+        assert_eq!(sl.get(&mut h.nontx(), 3), None);
+        assert!(sl.insert(&mut h.nontx(), 3, 30));
+        assert!(!sl.insert(&mut h.nontx(), 3, 31));
+        assert_eq!(sl.get(&mut h.nontx(), 3), Some(30));
+        assert_eq!(sl.put(&mut h.nontx(), 3, 33), Some(30));
+        assert_eq!(sl.get(&mut h.nontx(), 3), Some(33));
+        assert_eq!(sl.remove(&mut h.nontx(), 3), Some(33));
+        assert_eq!(sl.remove(&mut h.nontx(), 3), None);
         assert_eq!(sl.len_quiescent(), 0);
     }
 
@@ -583,14 +605,14 @@ mod tests {
         keys.sort_unstable();
         keys.dedup();
         for &k in &keys {
-            assert!(sl.insert(&mut h, k, k + 1));
+            assert!(sl.insert(&mut h.nontx(), k, k + 1));
         }
         let snap = sl.snapshot();
         assert_eq!(snap.len(), keys.len());
         let snap_keys: Vec<u64> = snap.iter().map(|(k, _)| *k).collect();
         assert_eq!(snap_keys, keys, "snapshot must be sorted and complete");
         for &k in keys.iter().step_by(3) {
-            assert_eq!(sl.remove(&mut h, k), Some(k + 1));
+            assert_eq!(sl.remove(&mut h.nontx(), k), Some(k + 1));
         }
         for &k in keys.iter() {
             let expect = if keys.iter().position(|&x| x == k).unwrap() % 3 == 0 {
@@ -598,7 +620,7 @@ mod tests {
             } else {
                 Some(k + 1)
             };
-            assert_eq!(sl.get(&mut h, k), expect);
+            assert_eq!(sl.get(&mut h.nontx(), k), expect);
         }
     }
 
@@ -623,7 +645,7 @@ mod tests {
         let mgr = TxManager::new();
         let mut h = mgr.register();
         let sl = SkipList::new();
-        assert!(sl.insert(&mut h, 1, 10));
+        assert!(sl.insert(&mut h.nontx(), 1, 10));
 
         // Committed transaction: move 1 -> 2.
         let ok: TxResult<()> = h.run(|h| {
@@ -634,18 +656,18 @@ mod tests {
             Ok(())
         });
         assert!(ok.is_ok());
-        assert_eq!(sl.get(&mut h, 1), None);
-        assert_eq!(sl.get(&mut h, 2), Some(10));
+        assert_eq!(sl.get(&mut h.nontx(), 1), None);
+        assert_eq!(sl.get(&mut h.nontx(), 2), Some(10));
 
         // Aborted transaction leaves no trace.
         let err: TxResult<()> = h.run(|h| {
             assert_eq!(sl.remove(h, 2), Some(10));
             assert!(sl.insert(h, 5, 50));
-            Err(h.tx_abort())
+            Err(h.abort(AbortReason::Explicit))
         });
         assert!(err.is_err());
-        assert_eq!(sl.get(&mut h, 2), Some(10));
-        assert_eq!(sl.get(&mut h, 5), None);
+        assert_eq!(sl.get(&mut h.nontx(), 2), Some(10));
+        assert_eq!(sl.get(&mut h.nontx(), 5), None);
         assert_eq!(sl.len_quiescent(), 1);
     }
 
@@ -663,7 +685,7 @@ mod tests {
                 let mut h = mgr.register();
                 for i in 0..PER_THREAD {
                     let k = t * PER_THREAD + i;
-                    assert!(sl.insert(&mut h, k, k * 7));
+                    assert!(sl.insert(&mut h.nontx(), k, k * 7));
                 }
             }));
         }
@@ -673,7 +695,7 @@ mod tests {
         assert_eq!(sl.len_quiescent(), (THREADS * PER_THREAD) as usize);
         let mut h = mgr.register();
         for k in 0..THREADS * PER_THREAD {
-            assert_eq!(sl.get(&mut h, k), Some(k * 7));
+            assert_eq!(sl.get(&mut h.nontx(), k), Some(k * 7));
         }
     }
 
@@ -695,16 +717,16 @@ mod tests {
                     let k = rng.next_below(KEY_SPACE);
                     match rng.next_below(4) {
                         0 => {
-                            sl.insert(&mut h, k, k * 2);
+                            sl.insert(&mut h.nontx(), k, k * 2);
                         }
                         1 => {
-                            sl.put(&mut h, k, k * 2);
+                            sl.put(&mut h.nontx(), k, k * 2);
                         }
                         2 => {
-                            sl.remove(&mut h, k);
+                            sl.remove(&mut h.nontx(), k);
                         }
                         _ => {
-                            if let Some(v) = sl.get(&mut h, k) {
+                            if let Some(v) = sl.get(&mut h.nontx(), k) {
                                 assert_eq!(v, k * 2);
                             }
                         }
@@ -739,7 +761,7 @@ mod tests {
         {
             let mut h = mgr.register();
             for a in 0..ACCOUNTS {
-                assert!(sl.insert(&mut h, a, 1_000));
+                assert!(sl.insert(&mut h.nontx(), a, 1_000));
             }
         }
         let mut joins = Vec::new();
@@ -760,7 +782,7 @@ mod tests {
                         let a = sl.get(h, from).unwrap();
                         let b = sl.get(h, to).unwrap();
                         if a < amt {
-                            return Err(h.tx_abort());
+                            return Err(h.abort(AbortReason::Explicit));
                         }
                         sl.put(h, from, a - amt);
                         sl.put(h, to, b + amt);

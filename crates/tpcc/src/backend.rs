@@ -2,7 +2,7 @@
 //! transactional systems compared in the paper's Fig. 9.
 
 use crate::{KvTx, TpccAbort, TpccBackend};
-use medley::{ThreadHandle, TxError, TxManager};
+use medley::{AbortReason, Ctx, ThreadHandle, TxManager, TxResult};
 use nbds::TxMap;
 use std::sync::Arc;
 
@@ -34,20 +34,23 @@ impl<M: TxMap<u64>> MedleyBackend<M> {
     }
 }
 
-struct MedleyKv<'a, M> {
-    h: &'a mut ThreadHandle,
+/// [`KvTx`] adapter over any Medley execution context: the same adapter
+/// serves transactional bodies (`C = Txn`) and, if a caller ever wants raw
+/// standalone access, `C = NonTx`.
+struct MedleyKv<'a, C, M> {
+    cx: &'a mut C,
     map: &'a M,
 }
 
-impl<'a, M: TxMap<u64>> KvTx for MedleyKv<'a, M> {
+impl<C: Ctx, M: TxMap<u64>> KvTx for MedleyKv<'_, C, M> {
     fn get(&mut self, key: u64) -> Option<u64> {
-        self.map.get(self.h, key)
+        self.map.get(self.cx, key)
     }
     fn put(&mut self, key: u64, val: u64) {
-        self.map.put(self.h, key, val);
+        self.map.put(self.cx, key, val);
     }
     fn insert(&mut self, key: u64, val: u64) -> bool {
-        self.map.insert(self.h, key, val)
+        self.map.insert(self.cx, key, val)
     }
 }
 
@@ -64,11 +67,11 @@ impl<M: TxMap<u64> + 'static> TpccBackend for MedleyBackend<M> {
         body: &mut dyn FnMut(&mut dyn KvTx) -> Result<(), TpccAbort>,
     ) -> bool {
         let map = &*self.map;
-        let res: Result<bool, TxError> = session.run(|h| {
-            let mut kv = MedleyKv { h, map };
+        let res: TxResult<bool> = session.run(|t| {
+            let mut kv = MedleyKv { cx: t, map };
             match body(&mut kv) {
                 Ok(()) => Ok(true),
-                Err(TpccAbort) => Err(kv.h.tx_abort()),
+                Err(TpccAbort) => Err(kv.cx.abort(AbortReason::Explicit)),
             }
         });
         matches!(res, Ok(true))

@@ -33,15 +33,23 @@
 //! let map = Durable::new(MichaelHashMap::with_buckets(64), domain.clone());
 //! let mut h = mgr.register();
 //!
-//! map.put(&mut h, 1, 100);
+//! // Standalone (uninstrumented) update through the NonTx context...
+//! map.put(&mut h.nontx(), 1, 100);
+//! // ...or a failure-atomic transactional one through the Txn context.
+//! let _ = h.run(|t| {
+//!     map.put(t, 2, 200);
+//!     map.put(t, 3, 300);
+//!     Ok(())
+//! });
 //! domain.sync();                       // make it durable
 //! assert_eq!(map.recover().get(&1), Some(&100));
+//! assert_eq!(map.recover().get(&2), Some(&200));
 //! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
-use medley::ThreadHandle;
+use medley::Ctx;
 use nbds::{MichaelHashMap, SkipList, TxMap};
 use pmem::PersistenceDomain;
 use std::collections::HashMap;
@@ -96,31 +104,28 @@ where
     /// The epoch to tag payloads of the current operation with: inside a
     /// transaction, the epoch validated by the MCNS commit; outside, the
     /// current epoch.
-    fn op_epoch(&self, h: &ThreadHandle) -> u64 {
-        if h.in_tx() {
-            h.snapshot_epoch()
-        } else {
-            self.domain.current_epoch()
-        }
+    fn op_epoch<C: Ctx>(&self, cx: &C) -> u64 {
+        cx.snapshot_epoch()
+            .unwrap_or_else(|| self.domain.current_epoch())
     }
 
     /// Looks up `key`.
-    pub fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<u64> {
-        self.inner.get(h, key).map(|(v, _)| v)
+    pub fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<u64> {
+        self.inner.get(cx, key).map(|(v, _)| v)
     }
 
-    /// Whether `key` is present.
-    pub fn contains(&self, h: &mut ThreadHandle, key: u64) -> bool {
-        self.inner.get(h, key).is_some()
+    /// Whether `key` is present (no payload or value is cloned).
+    pub fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool {
+        self.inner.contains(cx, key)
     }
 
     /// Inserts `key -> val` if absent; returns `true` on success.
-    pub fn insert(&self, h: &mut ThreadHandle, key: u64, val: u64) -> bool {
-        let epoch = self.op_epoch(h);
+    pub fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: u64) -> bool {
+        let epoch = self.op_epoch(cx);
         let payload = self.domain.alloc_payload(key, val, epoch);
-        if self.inner.insert(h, key, (val, payload.0)) {
+        if self.inner.insert(cx, key, (val, payload.0)) {
             let domain = Arc::clone(&self.domain);
-            h.add_abort_action(move |_| domain.abandon_payload(payload));
+            cx.add_abort_action(move |_| domain.abandon_payload(payload));
             true
         } else {
             self.domain.abandon_payload(payload);
@@ -129,16 +134,16 @@ where
     }
 
     /// Inserts or replaces; returns the previous value if any.
-    pub fn put(&self, h: &mut ThreadHandle, key: u64, val: u64) -> Option<u64> {
-        let epoch = self.op_epoch(h);
+    pub fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: u64) -> Option<u64> {
+        let epoch = self.op_epoch(cx);
         let payload = self.domain.alloc_payload(key, val, epoch);
-        let prev = self.inner.put(h, key, (val, payload.0));
+        let prev = self.inner.put(cx, key, (val, payload.0));
         let domain = Arc::clone(&self.domain);
-        h.add_abort_action(move |_| domain.abandon_payload(payload));
+        cx.add_abort_action(move |_| domain.abandon_payload(payload));
         match prev {
             Some((old_val, old_payload)) => {
                 let domain = Arc::clone(&self.domain);
-                h.add_cleanup(move |_| domain.retire_payload(pmem::PayloadId(old_payload), epoch));
+                cx.add_cleanup(move |_| domain.retire_payload(pmem::PayloadId(old_payload), epoch));
                 Some(old_val)
             }
             None => None,
@@ -146,12 +151,12 @@ where
     }
 
     /// Removes `key`; returns its value if present.
-    pub fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<u64> {
-        let epoch = self.op_epoch(h);
-        match self.inner.remove(h, key) {
+    pub fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<u64> {
+        let epoch = self.op_epoch(cx);
+        match self.inner.remove(cx, key) {
             Some((old_val, old_payload)) => {
                 let domain = Arc::clone(&self.domain);
-                h.add_cleanup(move |_| domain.retire_payload(pmem::PayloadId(old_payload), epoch));
+                cx.add_cleanup(move |_| domain.retire_payload(pmem::PayloadId(old_payload), epoch));
                 Some(old_val)
             }
             None => None,
@@ -174,24 +179,27 @@ impl<M> TxMap<u64> for Durable<M>
 where
     M: TxMap<Indexed>,
 {
-    fn get(&self, h: &mut ThreadHandle, key: u64) -> Option<u64> {
-        Durable::get(self, h, key)
+    fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<u64> {
+        Durable::get(self, cx, key)
     }
-    fn insert(&self, h: &mut ThreadHandle, key: u64, val: u64) -> bool {
-        Durable::insert(self, h, key, val)
+    fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: u64) -> bool {
+        Durable::insert(self, cx, key, val)
     }
-    fn put(&self, h: &mut ThreadHandle, key: u64, val: u64) -> Option<u64> {
-        Durable::put(self, h, key, val)
+    fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: u64) -> Option<u64> {
+        Durable::put(self, cx, key, val)
     }
-    fn remove(&self, h: &mut ThreadHandle, key: u64) -> Option<u64> {
-        Durable::remove(self, h, key)
+    fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<u64> {
+        Durable::remove(self, cx, key)
+    }
+    fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool {
+        Durable::contains(self, cx, key)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use medley::{TxManager, TxResult};
+    use medley::{AbortReason, TxManager, TxResult};
     use pmem::NvmCostModel;
 
     fn setup() -> (Arc<TxManager>, Arc<PersistenceDomain>, DurableHashMap) {
@@ -205,14 +213,14 @@ mod tests {
     fn basic_persistence_roundtrip() {
         let (mgr, domain, map) = setup();
         let mut h = mgr.register();
-        assert!(map.insert(&mut h, 1, 10));
-        assert_eq!(map.get(&mut h, 1), Some(10));
+        assert!(map.insert(&mut h.nontx(), 1, 10));
+        assert_eq!(map.get(&mut h.nontx(), 1), Some(10));
         // Not yet durable.
         assert!(map.recover().is_empty());
         domain.sync();
         assert_eq!(map.recover().get(&1), Some(&10));
         // Remove, then make the removal durable.
-        assert_eq!(map.remove(&mut h, 1), Some(10));
+        assert_eq!(map.remove(&mut h.nontx(), 1), Some(10));
         domain.sync();
         assert!(!map.recover().contains_key(&1));
     }
@@ -221,8 +229,8 @@ mod tests {
     fn replace_retires_old_payload() {
         let (mgr, domain, map) = setup();
         let mut h = mgr.register();
-        assert_eq!(map.put(&mut h, 5, 50), None);
-        assert_eq!(map.put(&mut h, 5, 51), Some(50));
+        assert_eq!(map.put(&mut h.nontx(), 5, 50), None);
+        assert_eq!(map.put(&mut h.nontx(), 5, 51), Some(50));
         domain.sync();
         let rec = map.recover();
         assert_eq!(rec.get(&5), Some(&51));
@@ -253,7 +261,7 @@ mod tests {
         let res: TxResult<()> = h.run(|h| {
             map.put(h, 7, 70);
             map.put(h, 8, 80);
-            Err(h.tx_abort())
+            Err(h.abort(AbortReason::Explicit))
         });
         assert!(res.is_err());
         domain.sync();
@@ -293,10 +301,10 @@ mod tests {
         let map = DurableSkipList::skip_list(Arc::clone(&domain));
         let mut h = mgr.register();
         for k in 0..50u64 {
-            assert!(map.insert(&mut h, k, k * 2));
+            assert!(map.insert(&mut h.nontx(), k, k * 2));
         }
         for k in (0..50u64).step_by(2) {
-            assert_eq!(map.remove(&mut h, k), Some(k * 2));
+            assert_eq!(map.remove(&mut h.nontx(), k), Some(k * 2));
         }
         domain.sync();
         let rec = map.recover();
@@ -312,11 +320,11 @@ mod tests {
         // an epoch at or before the recovery horizon.
         let (mgr, domain, map) = setup();
         let mut h = mgr.register();
-        map.put(&mut h, 1, 11);
+        map.put(&mut h.nontx(), 1, 11);
         domain.advance_epoch(); // epoch 1
-        map.put(&mut h, 2, 22);
+        map.put(&mut h.nontx(), 2, 22);
         domain.advance_epoch(); // epoch 2: epoch-0 work durable
-        map.put(&mut h, 3, 33);
+        map.put(&mut h.nontx(), 3, 33);
         let rec = map.recover();
         assert_eq!(rec.get(&1), Some(&11), "epoch-0 update must be durable");
         assert!(!rec.contains_key(&3), "current-epoch update may be lost");

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release -p examples --bin bank_transfer`
 
-use medley::TxManager;
+use medley::{AbortReason, TxManager};
 use nbds::MichaelHashMap;
 use std::sync::Arc;
 
@@ -20,9 +20,10 @@ fn main() {
 
     {
         let mut h = mgr.register();
+        let mut cx = h.nontx(); // standalone context: uninstrumented preload
         for a in 0..ACCOUNTS {
-            checking.insert(&mut h, a, INITIAL);
-            savings.insert(&mut h, a, INITIAL);
+            checking.insert(&mut cx, a, INITIAL);
+            savings.insert(&mut cx, a, INITIAL);
         }
     }
 
@@ -40,15 +41,18 @@ fn main() {
                 let to = rng.next_below(ACCOUNTS);
                 let amount = 1 + rng.next_below(50);
                 // Move `amount` from `from`'s checking account to `to`'s
-                // savings account, atomically across the two tables.
-                let res = h.run(|h| {
-                    let c = checking.get(h, from).unwrap_or(0);
-                    let s = savings.get(h, to).unwrap_or(0);
+                // savings account, atomically across the two tables.  The
+                // `Txn` guard `t` is the only way to touch the structures
+                // transactionally, and `abort` returns the proof token the
+                // body must produce to bail out early.
+                let res = h.run(|t| {
+                    let c = checking.get(t, from).unwrap_or(0);
+                    let s = savings.get(t, to).unwrap_or(0);
                     if c < amount {
-                        return Err(h.tx_abort());
+                        return Err(t.abort(AbortReason::Explicit));
                     }
-                    checking.put(h, from, c - amount);
-                    savings.put(h, to, s + amount);
+                    checking.put(t, from, c - amount);
+                    savings.put(t, to, s + amount);
                     Ok(())
                 });
                 if res.is_err() {
@@ -74,8 +78,14 @@ fn main() {
     );
     let snap = mgr.stats().snapshot();
     println!(
-        "commits={} (fast={} read-only={}) aborts={} helps={}",
-        snap.commits, snap.fast_commits, snap.ro_commits, snap.aborts, snap.helps
+        "commits={} (fast={} read-only={}) aborts={} (conflict={} explicit={}) helps={}",
+        snap.commits,
+        snap.fast_commits,
+        snap.ro_commits,
+        snap.aborts,
+        snap.conflict_aborts,
+        snap.explicit_aborts,
+        snap.helps
     );
     assert_eq!(total, expected, "strict serializability violated!");
     println!("invariant holds: transfers were strictly serializable");

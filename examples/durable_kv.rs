@@ -19,10 +19,11 @@ fn main() {
 
     let mut h = mgr.register();
 
-    // A transactional, failure-atomic update of two keys.
-    let _ = h.run(|h| {
-        store.put(h, 1, 111);
-        store.put(h, 2, 222);
+    // A transactional, failure-atomic update of two keys through the `Txn`
+    // execution context.
+    let _ = h.run(|t| {
+        store.put(t, 1, 111);
+        store.put(t, 2, 222);
         Ok(())
     });
 
@@ -35,11 +36,10 @@ fn main() {
         v
     });
 
-    // Updates in the current epoch may be lost by a crash...
-    let _ = h.run(|h| {
-        store.put(h, 3, 333);
-        Ok(())
-    });
+    // Updates in the current epoch may be lost by a crash...  (A lone
+    // update needs no composition: the standalone `NonTx` context runs it
+    // uninstrumented, and nbMontage still makes it failure-atomic.)
+    store.put(&mut h.nontx(), 3, 333);
     let early = store.recover();
     println!(
         "immediately after the update, key 3 recovered: {}",

@@ -1,9 +1,10 @@
 //! Quickstart: create a transaction manager, transform-ready data structures,
-//! and compose operations into atomic transactions.
+//! and compose operations into atomic transactions through the typestate
+//! `Ctx` API.
 //!
-//! Run with: `cargo run --release -p examples --bin quickstart`
+//! Run with: `cargo run --release -p integration-tests --example quickstart`
 
-use medley::{TxManager, TxResult};
+use medley::{AbortReason, TxManager, TxResult};
 use nbds::{MichaelHashMap, MsQueue, SkipList};
 
 fn main() {
@@ -18,35 +19,45 @@ fn main() {
     let prices: SkipList<u64> = SkipList::new();
     let audit_log: MsQueue<u64> = MsQueue::new();
 
-    // Outside a transaction, operations behave exactly like the original
-    // nonblocking algorithms (instrumentation is elided).
-    inventory.insert(&mut h, 42, 10); // item 42, 10 in stock
-    prices.insert(&mut h, 42, 199); // item 42 costs 1.99
+    // Standalone calls go through the `NonTx` execution context: the
+    // operations monomorphize into the original uninstrumented nonblocking
+    // algorithms — there is no transaction machinery left in this code path.
+    inventory.insert(&mut h.nontx(), 42, 10); // item 42, 10 in stock
+    prices.insert(&mut h.nontx(), 42, 199); // item 42 costs 1.99
 
-    // Inside a transaction, operations on *different* structures take effect
-    // atomically: sell one unit of item 42 and log the sale.
-    let sale: TxResult<u64> = h.run(|h| {
-        let stock = inventory.get(h, 42).unwrap_or(0);
-        let price = prices.get(h, 42).unwrap_or(0);
+    // Transactional calls go through the `Txn` guard handed to the `run`
+    // closure: operations on *different* structures take effect atomically —
+    // sell one unit of item 42 and log the sale.  `t.abort(..)` rolls back
+    // and returns the proof token for `?`-style early return; a panic in the
+    // body would abort on unwind instead of wedging the handle.
+    let sale: TxResult<u64> = h.run(|t| {
+        let stock = inventory.get(t, 42).unwrap_or(0);
+        let price = prices.get(t, 42).unwrap_or(0);
         if stock == 0 {
-            return Err(h.tx_abort()); // all-or-nothing: nothing happens
+            return Err(t.abort(AbortReason::Explicit)); // all-or-nothing
         }
-        inventory.put(h, 42, stock - 1);
-        audit_log.enqueue(h, price);
+        inventory.put(t, 42, stock - 1);
+        audit_log.enqueue(t, price);
         Ok(price)
     });
 
     println!("sold item 42 for {:?} cents", sale);
-    println!("stock now: {:?}", inventory.get(&mut h, 42));
-    println!("audit log entry: {:?}", audit_log.dequeue(&mut h));
+    println!("stock now: {:?}", inventory.get(&mut h.nontx(), 42));
+    println!("audit log entry: {:?}", audit_log.dequeue(&mut h.nontx()));
 
-    // Statistics from the manager: commits (split by commit path), aborts,
-    // helping events.  Flush this handle's batched tallies first so the
-    // global counters are exact.
-    h.flush_stats();
+    // Statistics from the manager: commits (split by commit path), aborts
+    // (split by reason), helping events.  Dropping the handle flushes its
+    // batched tallies, so the global counters are exact afterwards; use
+    // `h.flush_stats()` instead to sample mid-run.
+    drop(h);
     let snap = mgr.stats().snapshot();
     println!(
-        "commits={} (fast={} read-only={}) aborts={} helps={}",
-        snap.commits, snap.fast_commits, snap.ro_commits, snap.aborts, snap.helps
+        "commits={} (fast={} read-only={}) aborts={} (explicit={}) helps={}",
+        snap.commits,
+        snap.fast_commits,
+        snap.ro_commits,
+        snap.aborts,
+        snap.explicit_aborts,
+        snap.helps
     );
 }

@@ -2,7 +2,7 @@
 //! types, persistence layered on transactional maps, and end-to-end TPC-C
 //! consistency on every backend.
 
-use medley::{TxError, TxManager, TxResult};
+use medley::{AbortReason, TxManager, TxResult};
 use nbds::{MichaelHashMap, MsQueue, SkipList};
 use pmem::{NvmCostModel, PersistenceDomain};
 use std::sync::Arc;
@@ -16,7 +16,7 @@ fn transaction_spanning_queue_hash_and_skiplist() {
     let map: MichaelHashMap<u64> = MichaelHashMap::with_buckets(64);
     let index: SkipList<u64> = SkipList::new();
 
-    map.insert(&mut h, 10, 100);
+    map.insert(&mut h.nontx(), 10, 100);
 
     // Move a value from the hash map into both the queue and the skiplist,
     // atomically across three different structure types.
@@ -27,22 +27,22 @@ fn transaction_spanning_queue_hash_and_skiplist() {
         Ok(())
     });
     assert!(res.is_ok());
-    assert_eq!(map.get(&mut h, 10), None);
-    assert_eq!(queue.dequeue(&mut h), Some(100));
-    assert!(index.contains(&mut h, 100));
+    assert_eq!(map.get(&mut h.nontx(), 10), None);
+    assert_eq!(queue.dequeue(&mut h.nontx()), Some(100));
+    assert!(index.contains(&mut h.nontx(), 100));
 
     // The same composition, aborted, leaves every structure untouched.
-    map.insert(&mut h, 20, 200);
+    map.insert(&mut h.nontx(), 20, 200);
     let res: TxResult<()> = h.run(|h| {
         let v = map.remove(h, 20).unwrap();
         queue.enqueue(h, v);
         index.insert(h, v, 1);
-        Err(h.tx_abort())
+        Err(h.abort(AbortReason::Explicit))
     });
     assert!(res.is_err());
-    assert_eq!(map.get(&mut h, 20), Some(200));
+    assert_eq!(map.get(&mut h.nontx(), 20), Some(200));
     assert_eq!(queue.len_quiescent(), 0);
-    assert!(!index.contains(&mut h, 200));
+    assert!(!index.contains(&mut h.nontx(), 200));
 }
 
 #[test]
@@ -58,7 +58,7 @@ fn concurrent_cross_structure_invariant() {
     {
         let mut h = mgr.register();
         for t in 0..TOKENS {
-            assert!(a.insert(&mut h, t, 1));
+            assert!(a.insert(&mut h.nontx(), t, 1));
         }
     }
     let mut joins = Vec::new();
@@ -79,11 +79,11 @@ fn concurrent_cross_structure_invariant() {
                     // a committed transfer really moved exactly one token.
                     if let Some(v) = a.remove(h, k) {
                         if !b.insert(h, k, v) {
-                            return Err(TxError::Conflict);
+                            return Err(h.abort(AbortReason::Conflict));
                         }
                     } else if let Some(v) = b.remove(h, k) {
                         if !a.insert(h, k, v) {
-                            return Err(TxError::Conflict);
+                            return Err(h.abort(AbortReason::Conflict));
                         }
                     }
                     Ok(())
@@ -117,7 +117,7 @@ fn persistent_and_transient_maps_in_one_transaction() {
     assert!(res.is_ok());
     domain.sync();
     assert_eq!(durable.recover().get(&1), Some(&10));
-    assert!(transient.contains(&mut h, 1));
+    assert!(transient.contains(&mut h.nontx(), 1));
 }
 
 #[test]

@@ -9,7 +9,7 @@
 //! with that seed.
 
 use medley::util::FastRng;
-use medley::{TxManager, TxResult};
+use medley::{AbortReason, TxManager, TxResult};
 use nbds::{MichaelHashMap, SkipList, TxMap};
 use std::collections::BTreeMap;
 
@@ -59,22 +59,22 @@ fn check_against_model<M: TxMap<u64>>(map: &M, ops: &[Op]) {
     let mut model: BTreeMap<u64, u64> = BTreeMap::new();
     for op in ops {
         match *op {
-            Op::Get(k) => assert_eq!(map.get(&mut h, k), model.get(&k).copied()),
+            Op::Get(k) => assert_eq!(map.get(&mut h.nontx(), k), model.get(&k).copied()),
             Op::Insert(k, v) => {
                 let expected = !model.contains_key(&k);
                 if expected {
                     model.insert(k, v);
                 }
-                assert_eq!(map.insert(&mut h, k, v), expected);
+                assert_eq!(map.insert(&mut h.nontx(), k, v), expected);
             }
             Op::Put(k, v) => {
-                assert_eq!(map.put(&mut h, k, v), model.insert(k, v));
+                assert_eq!(map.put(&mut h.nontx(), k, v), model.insert(k, v));
             }
-            Op::Remove(k) => assert_eq!(map.remove(&mut h, k), model.remove(&k)),
+            Op::Remove(k) => assert_eq!(map.remove(&mut h.nontx(), k), model.remove(&k)),
         }
     }
     for (k, v) in &model {
-        assert_eq!(map.get(&mut h, *k), Some(*v));
+        assert_eq!(map.get(&mut h.nontx(), *k), Some(*v));
     }
 }
 
@@ -104,16 +104,16 @@ fn skiplist_snapshot_is_sorted_and_deduplicated() {
         for op in &ops {
             match *op {
                 Op::Get(k) => {
-                    sl.get(&mut h, k);
+                    sl.get(&mut h.nontx(), k);
                 }
                 Op::Insert(k, v) => {
-                    sl.insert(&mut h, k, v);
+                    sl.insert(&mut h.nontx(), k, v);
                 }
                 Op::Put(k, v) => {
-                    sl.put(&mut h, k, v);
+                    sl.put(&mut h.nontx(), k, v);
                 }
                 Op::Remove(k) => {
-                    sl.remove(&mut h, k);
+                    sl.remove(&mut h.nontx(), k);
                 }
             }
         }
@@ -137,16 +137,16 @@ fn aborted_transactions_are_all_or_nothing() {
         for op in &committed {
             match *op {
                 Op::Get(k) => {
-                    map.get(&mut h, k);
+                    map.get(&mut h.nontx(), k);
                 }
                 Op::Insert(k, v) => {
-                    map.insert(&mut h, k, v);
+                    map.insert(&mut h.nontx(), k, v);
                 }
                 Op::Put(k, v) => {
-                    map.put(&mut h, k, v);
+                    map.put(&mut h.nontx(), k, v);
                 }
                 Op::Remove(k) => {
-                    map.remove(&mut h, k);
+                    map.remove(&mut h.nontx(), k);
                 }
             }
         }
@@ -173,7 +173,7 @@ fn aborted_transactions_are_all_or_nothing() {
                     }
                 }
             }
-            Err(h.tx_abort())
+            Err(h.abort(AbortReason::Explicit))
         });
         assert!(res.is_err());
         let after = {

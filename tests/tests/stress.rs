@@ -3,8 +3,8 @@
 //! single-CAS direct commit, the descriptor-free read-only commit, and the
 //! general descriptor path in one workload.
 
-use medley::{CasWord, TxError, TxManager, TxResult};
-use nbds::{MichaelHashMap, MsQueue};
+use medley::{AbortReason, CasWord, Ctx, TxManager, TxResult};
+use nbds::{MichaelHashMap, MsQueue, TxQueue};
 use std::sync::Arc;
 
 const THREADS: usize = 8;
@@ -41,17 +41,17 @@ fn bank_transfer_conservation_across_cas_words() {
                             continue;
                         }
                         let amt = 1 + rng.next_below(5);
-                        let _ = h.run(|h| {
-                            let a = h.nbtc_load(&accounts[from]);
-                            let b = h.nbtc_load(&accounts[to]);
+                        let _ = h.run(|t| {
+                            let a = t.nbtc_load(&accounts[from]);
+                            let b = t.nbtc_load(&accounts[to]);
                             if a < amt {
-                                return Err(h.tx_abort());
+                                return Err(t.abort(AbortReason::Explicit));
                             }
-                            if !h.nbtc_cas(&accounts[from], a, a - amt, true, true) {
-                                return Err(TxError::Conflict);
+                            if !t.nbtc_cas(&accounts[from], a, a - amt, true, true) {
+                                return Err(t.abort(AbortReason::Conflict));
                             }
-                            if !h.nbtc_cas(&accounts[to], b, b + amt, true, true) {
-                                return Err(TxError::Conflict);
+                            if !t.nbtc_cas(&accounts[to], b, b + amt, true, true) {
+                                return Err(t.abort(AbortReason::Conflict));
                             }
                             Ok(())
                         });
@@ -61,26 +61,26 @@ fn bank_transfer_conservation_across_cas_words() {
                     // account within the same speculative write).
                     3 => {
                         let acc = rng.next_below(ACCOUNTS) as usize;
-                        let _ = h.run(|h| {
-                            let v = h.nbtc_load(&accounts[acc]);
-                            if !h.nbtc_cas(&accounts[acc], v, v + 7, true, true) {
-                                return Err(TxError::Conflict);
+                        let _ = h.run(|t| {
+                            let v = t.nbtc_load(&accounts[acc]);
+                            if !t.nbtc_cas(&accounts[acc], v, v + 7, true, true) {
+                                return Err(t.abort(AbortReason::Conflict));
                             }
                             // Rewrite of the same buffered word: still one
                             // write-set entry, still the direct commit.
-                            if !h.nbtc_cas(&accounts[acc], v + 7, v, true, true) {
-                                return Err(TxError::Conflict);
+                            if !t.nbtc_cas(&accounts[acc], v + 7, v, true, true) {
+                                return Err(t.abort(AbortReason::Conflict));
                             }
                             Ok(())
                         });
                     }
                     // Read-only audit: must always observe the invariant.
                     _ => {
-                        let total: TxResult<u64> = h.run(|h| {
+                        let total: TxResult<u64> = h.run(|t| {
                             let mut sum = 0;
                             for w in accounts.iter() {
-                                let v = h.nbtc_load(w);
-                                h.add_to_read_set(w, v);
+                                let (v, c) = t.nbtc_load_counted(w);
+                                t.add_read_with_counter(w, v, c);
                                 sum += v;
                             }
                             Ok(sum)
@@ -129,10 +129,18 @@ fn queue_hashtable_transfer_conserves_tokens() {
     let mgr = TxManager::new();
     let queue: Arc<MsQueue<u64>> = Arc::new(MsQueue::new());
     let table: Arc<MichaelHashMap<u64>> = Arc::new(MichaelHashMap::with_buckets(128));
+    // Drive the queue exclusively through the `TxQueue` trait object surface
+    // (generically), proving queues are harness-swappable like maps.
+    fn enq<Q: TxQueue<u64>, C: Ctx>(q: &Q, cx: &mut C, v: u64) {
+        q.enqueue(cx, v);
+    }
+    fn deq<Q: TxQueue<u64>, C: Ctx>(q: &Q, cx: &mut C) -> Option<u64> {
+        q.dequeue(cx)
+    }
     {
         let mut h = mgr.register();
         for tok in 0..TOKENS {
-            queue.enqueue(&mut h, tok);
+            enq(&*queue, &mut h.nontx(), tok);
         }
     }
 
@@ -148,14 +156,14 @@ fn queue_hashtable_transfer_conserves_tokens() {
                 match rng.next_below(4) {
                     // Queue → table (two containers, general path).
                     0 => {
-                        let _ = h.run(|h| {
-                            if let Some(tok) = queue.dequeue(h) {
+                        let _ = h.run(|t| {
+                            if let Some(tok) = deq(&*queue, t) {
                                 // Helper markers from case 2 are consumed by
                                 // the dequeue alone; real tokens move into
                                 // the table.
-                                if tok != u64::MAX && !table.insert(h, tok, tok) {
+                                if tok != u64::MAX && !table.insert(t, tok, tok) {
                                     // Inconsistent speculation: retry.
-                                    return Err(TxError::Conflict);
+                                    return Err(t.abort(AbortReason::Conflict));
                                 }
                             }
                             Ok(())
@@ -164,9 +172,9 @@ fn queue_hashtable_transfer_conserves_tokens() {
                     // Table → queue.
                     1 => {
                         let k = rng.next_below(TOKENS);
-                        let _ = h.run(|h| {
-                            if let Some(tok) = table.remove(h, k) {
-                                queue.enqueue(h, tok);
+                        let _ = h.run(|t| {
+                            if let Some(tok) = table.remove(t, k) {
+                                enq(&*queue, t, tok);
                             }
                             Ok(())
                         });
@@ -174,18 +182,18 @@ fn queue_hashtable_transfer_conserves_tokens() {
                     // Lone enqueue+dequeue round trip: single-op txs through
                     // the direct-commit path.
                     2 => {
-                        let _ = h.run(|h| {
-                            queue.enqueue(h, u64::MAX);
+                        let _ = h.run(|t| {
+                            enq(&*queue, t, u64::MAX);
                             Ok(())
                         });
-                        let _ = h.run(|h| {
+                        let _ = h.run(|t| {
                             // The helper token may be interleaved with real
                             // tokens; push non-tokens back where a real token
                             // was drawn.
-                            if let Some(tok) = queue.dequeue(h) {
+                            if let Some(tok) = deq(&*queue, t) {
                                 if tok != u64::MAX {
-                                    queue.enqueue(h, tok);
-                                    return Err(h.tx_abort());
+                                    enq(&*queue, t, tok);
+                                    return Err(t.abort(AbortReason::Explicit));
                                 }
                             }
                             Ok(())
@@ -194,8 +202,8 @@ fn queue_hashtable_transfer_conserves_tokens() {
                     // Read-only lookup transaction.
                     _ => {
                         let k = rng.next_below(TOKENS);
-                        let _ = h.run(|h| {
-                            if let Some(v) = table.get(h, k) {
+                        let _ = h.run(|t| {
+                            if let Some(v) = table.get(t, k) {
                                 assert_eq!(v, k, "value must always match its key");
                             }
                             Ok(())
@@ -214,7 +222,7 @@ fn queue_hashtable_transfer_conserves_tokens() {
     // explicit aborts, but count whatever remains defensively).
     let mut h = mgr.register();
     let mut seen = std::collections::HashSet::new();
-    while let Some(tok) = queue.dequeue(&mut h) {
+    while let Some(tok) = queue.dequeue(&mut h.nontx()) {
         if tok != u64::MAX {
             assert!(seen.insert(tok), "token {tok} duplicated");
         }
