@@ -33,17 +33,23 @@ enum TxShape {
     Transfer2,
 }
 
-/// Runs `iters` transactions of `shape` spread over `threads` threads on
-/// disjoint per-thread words, returning the wall time of the measured
-/// region (threads synchronized by a barrier; spawn cost excluded).
-fn run_tx_shape(threads: usize, iters: u64, fast: bool, shape: TxShape) -> Duration {
+/// Minimum transactions per thread in one `run_tx_shape` sample.  Multi-
+/// thread sweeps at small driver-requested batch sizes used to execute as
+/// few as 2–3 recorded iterations per sample (40 across a whole 16-thread
+/// series), so the recorded means were dominated by scaling noise; the floor
+/// guarantees every sample measures a statistically meaningful amount of
+/// work, and `iter_custom_counted` records the executed count honestly.
+const MIN_TX_PER_THREAD: u64 = 4_000;
+
+/// Runs at least `iters` transactions of `shape` spread over `threads`
+/// threads on disjoint per-thread words (with a per-thread floor of
+/// [`MIN_TX_PER_THREAD`]), returning the wall time of the measured region
+/// and the number of transactions actually executed (threads synchronized
+/// by a barrier; spawn cost excluded).
+fn run_tx_shape(threads: usize, iters: u64, fast: bool, shape: TxShape) -> (Duration, u64) {
     let mgr = TxManager::with_max_threads(threads + 1);
     mgr.set_fast_paths(fast);
-    // Amortize thread spawn/teardown (which dominates on small batches,
-    // especially when the host has fewer cores than threads) by running at
-    // least 2000 transactions per thread and scaling the measured time back
-    // to the requested iteration count.
-    let per_thread = (iters / threads as u64).max(2_000);
+    let per_thread = (iters / threads as u64).max(MIN_TX_PER_THREAD);
     let barrier = Arc::new(Barrier::new(threads + 1));
     let mut joins = Vec::new();
     for _ in 0..threads {
@@ -101,8 +107,7 @@ fn run_tx_shape(threads: usize, iters: u64, fast: bool, shape: TxShape) -> Durat
     }
     let elapsed = start.elapsed();
     let executed = per_thread * threads as u64;
-    // Report time for exactly `iters` transactions (iter_custom contract).
-    Duration::from_nanos((elapsed.as_nanos() as u64).saturating_mul(iters) / executed.max(1))
+    (elapsed, executed)
 }
 
 fn bench_commit_fast_paths(c: &mut Criterion) {
@@ -114,7 +119,7 @@ fn bench_commit_fast_paths(c: &mut Criterion) {
         ] {
             for &(fast, mode) in &[(true, "fast"), (false, "general")] {
                 c.bench_function(&format!("tx/{name}/{threads}t/{mode}"), |b| {
-                    b.iter_custom(|iters| run_tx_shape(threads, iters, fast, shape))
+                    b.iter_custom_counted(|iters| run_tx_shape(threads, iters, fast, shape))
                 });
             }
         }

@@ -59,11 +59,14 @@ fn bench_backend<B: TpccBackend>(
 
 fn main() {
     let args = bench::CommonArgs::parse();
+    // The extra scale flags let CI smoke runs shrink the TPC-C database:
+    // loading at the default scale takes minutes on small hosts regardless
+    // of `--seconds`.
     let scale = Scale {
-        warehouses: 2,
-        districts_per_warehouse: 10,
-        customers_per_district: 256,
-        items: 1024,
+        warehouses: bench::CommonArgs::extra_flag("--warehouses", 2),
+        districts_per_warehouse: bench::CommonArgs::extra_flag("--districts", 10),
+        customers_per_district: bench::CommonArgs::extra_flag("--customers", 256),
+        items: bench::CommonArgs::extra_flag("--items", 1024),
     };
     println!("figure,system,ratio,threads,throughput_txn_per_s");
     for &threads in &args.threads {

@@ -1,0 +1,52 @@
+//! Contended-throughput harness: ops/sec-vs-threads series under zipfian and
+//! uniform key distributions, written to `BENCH_throughput.json`.
+//!
+//! Three workloads per thread count and distribution:
+//!
+//! * `transfer/*` — two-word transfers over a tiny hot account set (general
+//!   descriptor path under install conflicts and helping storms), with a
+//!   read-only audit every eighth transaction;
+//! * `map2:1:1/*` — single-op update-heavy mix over a hash table (single-CAS
+//!   and read-only fast paths under bucket contention);
+//! * `map18:1:1/*` — read-heavy mix (read-only path dominant).
+//!
+//! ```text
+//! cargo run --release -p bench --bin throughput -- \
+//!     --threads 1,4,16 --seconds 0.5 --keys 65536 --accounts 8 --theta 0.99
+//! ```
+//!
+//! Prints `workload/dist,threads,ops_per_sec,commits,aborts,helps` CSV rows
+//! and writes the full per-series statistics (commit-path mix, conflict
+//! aborts, helps) to the JSON report (`BENCH_JSON` overrides the path).
+
+use bench::workload::{run_hot_transfer, run_map_mix, write_report, KeyDist, ThroughputConfig};
+use bench::CommonArgs;
+use std::time::Duration;
+
+fn main() {
+    let args = CommonArgs::parse();
+    let accounts: u64 = CommonArgs::extra_flag("--accounts", 8);
+    let theta: f64 = CommonArgs::extra_flag("--theta", 0.99);
+    let duration = Duration::from_secs_f64(args.seconds);
+
+    println!("workload,threads,ops_per_sec,commits,aborts,helps");
+    let mut results = Vec::new();
+    for &threads in &args.threads {
+        for dist in [KeyDist::Zipfian(theta), KeyDist::Uniform] {
+            let cfg = ThroughputConfig {
+                threads,
+                duration,
+                dist,
+            };
+            let r = run_hot_transfer(&cfg, accounts);
+            println!("{}", r.csv_row());
+            results.push(r);
+            for ratio in [(2, 1, 1), (18, 1, 1)] {
+                let r = run_map_mix(&cfg, args.keys, ratio);
+                println!("{}", r.csv_row());
+                results.push(r);
+            }
+        }
+    }
+    write_report("throughput", &results);
+}

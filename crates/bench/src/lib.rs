@@ -24,6 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub mod systems;
+pub mod workload;
 
 /// One operation of a composed microbenchmark transaction.
 #[derive(Debug, Clone, Copy)]
@@ -325,6 +326,37 @@ impl CommonArgs {
             }
         }
         out
+    }
+
+    /// Reads one extra `--flag value` (or `--flag=value`) argument the
+    /// shared parser does not know about (it deliberately ignores unknown
+    /// flags so binaries can layer their own), falling back to `default`
+    /// only when the flag is absent.  A present-but-unparsable value is a
+    /// hard error: silently falling back would e.g. turn a CI smoke run
+    /// with a mistyped `--warehouses` into a full-scale TPC-C load.  Works
+    /// for any `FromStr` value type (`u64` scales, `f64` skew parameters).
+    pub fn extra_flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+        let args: Vec<String> = std::env::args().collect();
+        let eq_prefix = format!("{name}=");
+        let raw = args.iter().enumerate().find_map(|(i, a)| {
+            if let Some(v) = a.strip_prefix(&eq_prefix) {
+                Some(v.to_string())
+            } else if a == name {
+                Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| panic!("{name} requires a value"))
+                        .clone(),
+                )
+            } else {
+                None
+            }
+        });
+        match raw {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid value {v:?} for {name}")),
+        }
     }
 
     /// Builds a [`MicroConfig`] with the given operation ratio.

@@ -1,0 +1,498 @@
+//! Contended-throughput workloads: key-distribution generators (uniform and
+//! zipfian), duration-based multi-thread runners, and the machine-readable
+//! `BENCH_throughput.json` report.
+//!
+//! The microbenchmarks in `benches/micro.rs` isolate *per-transaction
+//! latency* on disjoint data; this module measures the opposite regime —
+//! sustained ops/sec while many threads fight over a skewed key space — so
+//! that contended general-path changes (helping storms, validation cost,
+//! install conflicts) are measured rather than asserted.  Every result
+//! carries the `TxStats` delta of its run, so a series shows not only the
+//! throughput but *why* it moved (conflict aborts, helps, commit-path mix).
+
+use medley::util::FastRng;
+use medley::{AbortReason, CasWord, Ctx, TxManager, TxResult, TxStatsSnapshot};
+use nbds::MichaelHashMap;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Key distributions
+// ---------------------------------------------------------------------------
+
+/// The generalized harmonic number `H_{n,theta}` (the zipfian normalizer).
+pub fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+/// A zipfian key generator over `[0, n)` (rank 0 hottest), using the
+/// Gray et al. "Quickly generating billion-record synthetic databases"
+/// construction also used by YCSB.
+///
+/// `theta` in `(0, 1)` controls the skew; the YCSB default `0.99` makes the
+/// hottest of 2^16 keys absorb roughly 9% of all draws.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a generator for `n` keys with skew `theta`.
+    ///
+    /// # Panics
+    /// Panics unless `n > 0` and `0 < theta < 1` (use
+    /// [`KeySampler::Uniform`] for the unskewed case).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs a nonempty key space");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1), got {theta}"
+        );
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// The size of the key space.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The probability of drawing rank `k` (0-based; rank 0 is hottest).
+    pub fn rank_probability(&self, k: u64) -> f64 {
+        1.0 / ((k + 1) as f64).powf(self.theta) / self.zetan
+    }
+
+    /// Draws one key in `[0, n)`.
+    pub fn sample(&self, rng: &mut FastRng) -> u64 {
+        // 53 uniform mantissa bits -> u in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1.min(self.n - 1);
+        }
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+}
+
+/// A key-distribution choice, materializable into a [`KeySampler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over the key space.
+    Uniform,
+    /// Zipfian with the given `theta` (rank 0 hottest).
+    Zipfian(f64),
+}
+
+impl KeyDist {
+    /// Builds the sampler for a key space of `n` keys.
+    pub fn sampler(self, n: u64) -> KeySampler {
+        match self {
+            KeyDist::Uniform => KeySampler::Uniform(n),
+            KeyDist::Zipfian(theta) => KeySampler::Zipf(Zipf::new(n, theta)),
+        }
+    }
+
+    /// Short label used in series names (`uniform`, `zipf99`, ...).
+    pub fn label(self) -> String {
+        match self {
+            KeyDist::Uniform => "uniform".to_string(),
+            KeyDist::Zipfian(theta) => format!("zipf{:02}", (theta * 100.0).round() as u32),
+        }
+    }
+}
+
+/// A materialized key generator (cheap to sample per draw).
+#[derive(Debug, Clone)]
+pub enum KeySampler {
+    /// Uniform over `[0, n)`.
+    Uniform(u64),
+    /// Zipfian (see [`Zipf`]).
+    Zipf(Zipf),
+}
+
+impl KeySampler {
+    /// Draws one key.
+    #[inline]
+    pub fn sample(&self, rng: &mut FastRng) -> u64 {
+        match self {
+            KeySampler::Uniform(n) => rng.next_below(*n),
+            KeySampler::Zipf(z) => z.sample(rng),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Duration-based throughput runners
+// ---------------------------------------------------------------------------
+
+/// Parameters shared by the throughput workloads.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+    /// Key distribution of the workload's picks.
+    pub dist: KeyDist,
+}
+
+/// One measured series point, with the statistics delta that explains it.
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// Series name, e.g. `transfer/zipf99`.
+    pub name: String,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Committed transactions during the measured window.
+    pub committed: u64,
+    /// Wall-clock duration of the measured window.
+    pub elapsed: Duration,
+    /// Committed transactions per second (all threads combined).
+    pub ops_per_sec: f64,
+    /// `TxStats` accumulated by the run (fresh manager per run, handles
+    /// dropped before sampling, so the counts are exact).
+    pub stats: TxStatsSnapshot,
+}
+
+impl ThroughputResult {
+    fn new(
+        name: String,
+        threads: usize,
+        committed: u64,
+        elapsed: Duration,
+        stats: TxStatsSnapshot,
+    ) -> Self {
+        let ops_per_sec = committed as f64 / elapsed.as_secs_f64().max(1e-9);
+        Self {
+            name,
+            threads,
+            committed,
+            elapsed,
+            ops_per_sec,
+            stats,
+        }
+    }
+
+    /// One JSON object (used by [`write_report`]).
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"threads\":{},\"committed\":{},",
+                "\"elapsed_s\":{:.4},\"ops_per_sec\":{:.0},",
+                "\"commits\":{},\"aborts\":{},\"helps\":{},",
+                "\"fast_commits\":{},\"ro_commits\":{},\"general_commits\":{},",
+                "\"conflict_aborts\":{}}}"
+            ),
+            self.name,
+            self.threads,
+            self.committed,
+            self.elapsed.as_secs_f64(),
+            self.ops_per_sec,
+            s.commits,
+            s.aborts,
+            s.helps,
+            s.fast_commits,
+            s.ro_commits,
+            s.general_commits,
+            s.conflict_aborts,
+        )
+    }
+
+    /// One CSV row (`name,threads,ops_per_sec,commits,aborts,helps`, where
+    /// `name` is `workload/dist`).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{:.0},{},{},{}",
+            self.name,
+            self.threads,
+            self.ops_per_sec,
+            self.stats.commits,
+            self.stats.aborts,
+            self.stats.helps
+        )
+    }
+}
+
+/// Runs `body` on `cfg.threads` threads for `cfg.duration`, barrier-released,
+/// and returns `(committed, wall elapsed)`.  `body(thread_idx, stop)` must
+/// return its thread-local committed count.
+fn run_threads<F>(threads: usize, duration: Duration, body: F) -> (u64, Duration)
+where
+    F: Fn(usize, &AtomicBool) -> u64 + Sync,
+{
+    let stop = AtomicBool::new(false);
+    let committed = AtomicU64::new(0);
+    let barrier = Barrier::new(threads + 1);
+    let mut started = None;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let body = &body;
+            let stop = &stop;
+            let committed = &committed;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let local = body(t, stop);
+                committed.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        started = Some(Instant::now());
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    // Measured after the scope joins, so the elapsed window matches the
+    // committed counter exactly (workers drain within one transaction of
+    // observing `stop`).
+    let elapsed = started.expect("barrier released").elapsed();
+    (committed.load(Ordering::Relaxed), elapsed)
+}
+
+/// Hot-word transfer contention: `accounts` words (default 8 — small enough
+/// that the zipfian head lands most transfers on one or two words), each
+/// transaction moving one unit between two sampled accounts on the general
+/// descriptor path, with one read-only full audit every eighth transaction.
+///
+/// This is the adversarial workload for the commit pipeline: install
+/// conflicts, helping storms, and validation failures all concentrate on the
+/// hottest word.  The total balance is asserted invariant at the end.
+pub fn run_hot_transfer(cfg: &ThroughputConfig, accounts: u64) -> ThroughputResult {
+    const INITIAL: u64 = 1 << 20;
+    assert!(accounts >= 2);
+    let mgr = TxManager::with_max_threads(cfg.threads + 1);
+    let words: Arc<Vec<CasWord>> = Arc::new((0..accounts).map(|_| CasWord::new(INITIAL)).collect());
+    let sampler = cfg.dist.sampler(accounts);
+
+    let (committed, elapsed) = run_threads(cfg.threads, cfg.duration, |t, stop| {
+        let mut h = mgr.register();
+        let mut rng = FastRng::new(0xACC0 + t as u64);
+        let sampler = sampler.clone();
+        let mut local = 0u64;
+        let mut i = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            i += 1;
+            if i.is_multiple_of(8) {
+                // Read-only audit across every account: validates the whole
+                // read set under fire.
+                let total: TxResult<u64> = h.run(|tx| {
+                    let mut sum = 0;
+                    for w in words.iter() {
+                        let (v, c) = tx.nbtc_load_counted(w);
+                        tx.add_read_with_counter(w, v, c);
+                        sum += v;
+                    }
+                    Ok(sum)
+                });
+                if let Ok(sum) = total {
+                    assert_eq!(sum, accounts * INITIAL, "audit saw a torn state");
+                    local += 1;
+                }
+                continue;
+            }
+            let from = sampler.sample(&mut rng) as usize;
+            let mut to = sampler.sample(&mut rng) as usize;
+            if to == from {
+                to = (to + 1) % accounts as usize;
+            }
+            let res: TxResult<()> = h.run(|tx| {
+                let a = tx.nbtc_load(&words[from]);
+                let b = tx.nbtc_load(&words[to]);
+                if a == 0 {
+                    return Err(tx.abort(AbortReason::Explicit));
+                }
+                if !tx.nbtc_cas(&words[from], a, a - 1, true, true) {
+                    return Err(tx.abort(AbortReason::Conflict));
+                }
+                if !tx.nbtc_cas(&words[to], b, b + 1, true, true) {
+                    return Err(tx.abort(AbortReason::Conflict));
+                }
+                Ok(())
+            });
+            if res.is_ok() {
+                local += 1;
+            }
+        }
+        local
+    });
+
+    let total: u64 = words.iter().map(|w| w.try_load_value().unwrap()).sum();
+    assert_eq!(total, accounts * INITIAL, "transfers must conserve balance");
+    ThroughputResult::new(
+        format!("transfer/{}", cfg.dist.label()),
+        cfg.threads,
+        committed,
+        elapsed,
+        mgr.stats().snapshot(),
+    )
+}
+
+/// Map mix over a hash table: single-operation transactions with a
+/// `get:insert:remove` ratio, keys drawn from the configured distribution.
+/// Zipfian picks concentrate updates on a handful of hot buckets, exercising
+/// the single-CAS path under contention; gets stress the read-only path.
+pub fn run_map_mix(
+    cfg: &ThroughputConfig,
+    key_space: u64,
+    ratio: (u32, u32, u32),
+) -> ThroughputResult {
+    let mgr = TxManager::with_max_threads(cfg.threads + 1);
+    let buckets = (key_space as usize / 4).next_power_of_two().max(64);
+    let map: Arc<MichaelHashMap<u64>> = Arc::new(MichaelHashMap::with_buckets(buckets));
+    // Preload half the key space.
+    {
+        let mut h = mgr.register();
+        let mut cx = h.nontx();
+        for k in (0..key_space).step_by(2) {
+            map.insert(&mut cx, k, k);
+        }
+    }
+    let sampler = cfg.dist.sampler(key_space);
+    let (g, i, r) = ratio;
+    let total_ratio = (g + i + r) as u64;
+
+    let (committed, elapsed) = run_threads(cfg.threads, cfg.duration, |t, stop| {
+        let mut h = mgr.register();
+        let mut rng = FastRng::new(0x4A9 + t as u64);
+        let sampler = sampler.clone();
+        let mut local = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            let k = sampler.sample(&mut rng);
+            let dice = rng.next_below(total_ratio);
+            let res: TxResult<()> = h.run(|tx| {
+                if dice < g as u64 {
+                    map.get(tx, k);
+                } else if dice < (g + i) as u64 {
+                    map.insert(tx, k, k);
+                } else {
+                    map.remove(tx, k);
+                }
+                Ok(())
+            });
+            if res.is_ok() {
+                local += 1;
+            }
+        }
+        local
+    });
+
+    ThroughputResult::new(
+        format!("map{}:{}:{}/{}", g, i, r, cfg.dist.label()),
+        cfg.threads,
+        committed,
+        elapsed,
+        mgr.stats().snapshot(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// Writes the JSON report for a throughput run to the path named by the
+/// `BENCH_JSON` environment variable, or `BENCH_<target>.json` in the
+/// working directory (mirrors the criterion shim's convention).
+pub fn write_report(target: &str, results: &[ThroughputResult]) {
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| format!("BENCH_{target}.json"));
+    let entries: Vec<String> = results.iter().map(ThroughputResult::to_json).collect();
+    let body = format!(
+        "{{\n  \"target\": \"{}\",\n  \"results\": [\n    {}\n  ]\n}}\n",
+        target,
+        entries.join(",\n    ")
+    );
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("wrote {} throughput results to {path}", results.len()),
+        Err(e) => eprintln!("failed to write throughput report {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_samples_stay_in_bounds() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = FastRng::new(7);
+        for _ in 0..20_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn zipf_head_matches_theory() {
+        // The empirical frequency of rank 0 must track 1/zeta(n, theta).
+        let n = 1 << 10;
+        let z = Zipf::new(n, 0.99);
+        let expected = z.rank_probability(0);
+        let mut rng = FastRng::new(42);
+        let samples = 200_000;
+        let hits = (0..samples).filter(|_| z.sample(&mut rng) == 0).count();
+        let observed = hits as f64 / samples as f64;
+        assert!(
+            (observed - expected).abs() < 0.25 * expected,
+            "rank-0 frequency {observed:.4} vs expected {expected:.4}"
+        );
+    }
+
+    #[test]
+    fn uniform_sampler_is_flat() {
+        let s = KeyDist::Uniform.sampler(8);
+        let mut rng = FastRng::new(3);
+        let mut counts = [0u64; 8];
+        for _ in 0..80_000 {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "uniform bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn hot_transfer_smoke() {
+        let cfg = ThroughputConfig {
+            threads: 2,
+            duration: Duration::from_millis(40),
+            dist: KeyDist::Zipfian(0.99),
+        };
+        let r = run_hot_transfer(&cfg, 8);
+        assert!(r.committed > 0, "contended transfers must commit: {r:?}");
+        assert!(r.stats.commits >= r.committed);
+    }
+
+    #[test]
+    fn map_mix_smoke() {
+        let cfg = ThroughputConfig {
+            threads: 2,
+            duration: Duration::from_millis(40),
+            dist: KeyDist::Uniform,
+        };
+        let r = run_map_mix(&cfg, 1 << 10, (2, 1, 1));
+        assert!(r.committed > 0);
+        assert!(r.stats.fast_commits + r.stats.ro_commits > 0);
+    }
+}

@@ -244,6 +244,21 @@ impl Bencher {
         self.elapsed += f(n);
         self.iters_done += n;
     }
+
+    /// Like [`Bencher::iter_custom`], but for timed regions that enforce
+    /// their own *minimum* amount of work (e.g. a floor of transactions per
+    /// spawned thread so multi-thread samples are not noise): `f` receives
+    /// the requested iteration count and returns `(elapsed, executed)` for
+    /// the work it actually ran.  The recorded per-iteration mean is
+    /// `elapsed / executed` — exact, with no scaling artifacts — and the
+    /// report's `iterations` field reflects the work that truly happened
+    /// rather than the driver's request.
+    pub fn iter_custom_counted<F: FnMut(u64) -> (Duration, u64)>(&mut self, mut f: F) {
+        let Mode::Batch(n) = self.mode;
+        let (elapsed, executed) = f(n);
+        self.elapsed += elapsed;
+        self.iters_done += executed.max(1);
+    }
 }
 
 /// Declares a group of benchmarks (subset of `criterion::criterion_group!`).

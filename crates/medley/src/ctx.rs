@@ -58,11 +58,14 @@ mod sealed {
 ///   non-transactional operation.  `add_read_with_counter` is a no-op;
 ///   `add_cleanup` runs its closure immediately; `tnew`/`tretire` allocate
 ///   and retire directly.
-/// * **Transactional** (`Txn`): the transaction's *first* critical CAS is
-///   buffered thread-locally (single-CAS direct-commit fast path), later ones
-///   install the descriptor; loads see the transaction's own speculative
-///   values; registered reads are validated at commit; cleanup closures run
-///   only after a successful commit, and `tnew`ed blocks are freed on abort.
+/// * **Transactional** (`Txn`): every critical CAS is buffered in plain
+///   thread-local memory (lazy publication — nothing is visible to other
+///   threads until commit); loads see the transaction's own buffered values;
+///   registered reads are validated at commit; the commit itself picks the
+///   cheapest sufficient path (descriptor-free read-only, single plain CAS,
+///   or publish-install-resolve through the descriptor); cleanup closures
+///   run only after a successful commit, and `tnew`ed blocks are freed on
+///   abort.
 ///
 /// The methods mirror the paper's `Composable` support surface; see
 /// [`ThreadHandle`] for the underlying semantics of each.

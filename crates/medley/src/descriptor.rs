@@ -5,28 +5,96 @@
 //! `tid | serial | status` triple into a single 64-bit status word (Fig. 4)
 //! and carries a read set and a write set.
 //!
-//! ## Cross-thread access
+//! ## The two-phase (private-then-published) lifecycle
+//!
+//! Since the lazy-publication refactor the descriptor is **cold for the whole
+//! execution phase** of a transaction.  Reads and writes accumulate in plain
+//! thread-local buffers owned by the `ThreadHandle` (`local_reads` /
+//! `local_writes` in `txmanager.rs`); no shared entry is written and no
+//! descriptor is installed in any [`CasWord`] while operations execute.  Only
+//! `tx_end` — and only on the general commit path — moves the transaction
+//! into its **published** phase:
+//!
+//! 1. *publish*: every buffered read and write is copied into the
+//!    stamp-sealed entries below ([`Desc::push_read`] / [`Desc::push_write`]);
+//! 2. *install*: the descriptor is CASed into each written word over its
+//!    recorded `(value, counter)` pre-image;
+//! 3. *expose*: `setReady` flips the status word `InPrep -> InProg`, after
+//!    which any thread may help validate and finalize;
+//! 4. *resolve*: validation decides `Committed`/`Aborted` and `uninstall`
+//!    replaces the descriptor in each word with the new (or old) value.
+//!
+//! Helpers can reach the descriptor only through an installed word, so the
+//! publish step always happens-before any cross-thread access (the install
+//! CAS is a `lock cmpxchg16b`, a full barrier).  Everything before step 1 is
+//! invisible to other threads — the price of helping-readiness (shared-memory
+//! traffic on every entry) is paid once per *published* transaction instead
+//! of once per operation.
+//!
+//! ## Hot/cold layout
+//!
+//! Small transactions should never walk cold memory.  The descriptor is
+//! split into a **hot header** — the status word, the two set sizes, and
+//! `INLINE_READS`/`INLINE_WRITES` (8 + 8) inline entries, all sharing the
+//! descriptor's first few cache lines — and a **spill region** holding the
+//! remaining capacity (up to [`MAX_ENTRIES`] total per set).  The spill is
+//! allocated lazily on first use: a thread that only ever runs small
+//! transactions costs ~1 KiB instead of the ~300 KiB a fully pre-allocated
+//! descriptor used to occupy (and `TxManager::new` no longer touches ~40 MiB
+//! of entry memory up front).
+//!
+//! ## Cross-thread access and memory ordering
 //!
 //! Other threads ("helpers") read a descriptor's sets while finalizing a
-//! stalled transaction, so every entry field is an atomic and every entry is
-//! stamped with the serial number of the transaction it belongs to.  The
-//! owner invalidates the stamp, rewrites the fields, and then re-stamps, so a
-//! helper that observes the expected serial both before and after reading the
-//! fields is guaranteed a consistent snapshot (a per-entry seqlock).  This is
-//! the part of the paper where shared mutable descriptors collide with Rust's
-//! ownership model; the atomic-field + stamp discipline keeps the
-//! implementation free of undefined behaviour without a global lock.
+//! published transaction, so every entry field is an atomic and every entry
+//! is stamped with the serial number of the transaction it belongs to.  Each
+//! entry is a per-entry seqlock with the serial as the sequence word:
+//!
+//! * **publish** (owner): `stamp.store(0, Relaxed)`; `fence(Release)`;
+//!   field stores (`Relaxed`); `stamp.store(serial, Release)`.
+//! * **snapshot** (helper): `stamp.load(Acquire)`; field loads (`Relaxed`);
+//!   `fence(Acquire)`; `stamp` re-load — accept only if both loads returned
+//!   the expected serial.
+//!
+//! The correctness argument is the classic seqlock one, with serials in
+//! place of sequence numbers (serials are strictly monotonic per descriptor,
+//! so the stamp can never ABA):
+//!
+//! * If the first stamp load returns `serial`, it synchronizes with the
+//!   owner's `Release` store of `serial`, so the subsequent field loads see
+//!   at least that incarnation's values (field stores precede the stamp
+//!   store in the owner's program order).
+//! * If any field load observed a *later* incarnation's value, the owner's
+//!   `fence(Release)`-after-`stamp = 0` pairs with the helper's
+//!   `fence(Acquire)`-before-re-load: the re-load then sees `0` (or the
+//!   later serial), never the stale `serial`, and the snapshot is rejected.
+//!
+//! This replaces the earlier per-field `SeqCst` discipline: on x86 every
+//! `SeqCst` store costs a full fence, which the commit path paid five times
+//! per entry; the `Release`/`Acquire` pairs compile to plain loads and
+//! stores.  The status word keeps `SeqCst` CASes — it is the linearization
+//! point of commit/abort and is touched a constant number of times per
+//! transaction.
 
 use crate::atomic128::pack;
 use crate::casobj::CasWord;
-use crate::util::CachePadded;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Maximum number of read-set and write-set entries per transaction.
 ///
 /// TPC-C `newOrder` touches on the order of a hundred words; 4096 leaves
-/// ample headroom while keeping a descriptor around 256 KiB.
+/// ample headroom.  Only the first `INLINE_READS`/`INLINE_WRITES` (8 + 8)
+/// entries live inside the descriptor; the rest are spilled to a lazily
+/// allocated region, so the capacity is effectively free until a transaction
+/// actually uses it.
 pub const MAX_ENTRIES: usize = 4096;
+
+/// Read-set entries stored inline in the descriptor's hot header.
+pub(crate) const INLINE_READS: usize = 8;
+
+/// Write-set entries stored inline in the descriptor's hot header.
+pub(crate) const INLINE_WRITES: usize = 8;
 
 /// Transaction status values (paper Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +162,37 @@ pub(crate) struct ReadEntry {
     cnt: AtomicU64,
 }
 
+impl ReadEntry {
+    /// Owner-side seqlock publish (see the module docs for the ordering
+    /// argument).
+    #[inline]
+    fn publish(&self, serial: u64, addr: usize, val: u64, cnt: u64) {
+        self.stamp.store(0, Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.addr.store(addr, Ordering::Relaxed);
+        self.val.store(val, Ordering::Relaxed);
+        self.cnt.store(cnt, Ordering::Relaxed);
+        self.stamp.store(serial, Ordering::Release);
+    }
+
+    /// Helper-side seqlock snapshot: `Some((addr, val, cnt))` iff the entry
+    /// consistently belongs to `serial`.
+    #[inline]
+    fn snapshot(&self, serial: u64) -> Option<(usize, u64, u64)> {
+        if self.stamp.load(Ordering::Acquire) != serial {
+            return None;
+        }
+        let addr = self.addr.load(Ordering::Relaxed);
+        let val = self.val.load(Ordering::Relaxed);
+        let cnt = self.cnt.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        if self.stamp.load(Ordering::Relaxed) != serial {
+            return None; // recycled mid-read; it belongs to another serial
+        }
+        Some((addr, val, cnt))
+    }
+}
+
 /// One write-set entry: the address, the pre-image `(old value, counter)` and
 /// the speculative new value of a critical CAS.
 #[derive(Debug, Default)]
@@ -105,16 +204,51 @@ pub(crate) struct WriteEntry {
     new_val: AtomicU64,
 }
 
+impl WriteEntry {
+    #[inline]
+    fn publish(&self, serial: u64, addr: usize, old_val: u64, cnt: u64, new_val: u64) {
+        self.stamp.store(0, Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.addr.store(addr, Ordering::Relaxed);
+        self.old_val.store(old_val, Ordering::Relaxed);
+        self.cnt.store(cnt, Ordering::Relaxed);
+        self.new_val.store(new_val, Ordering::Relaxed);
+        self.stamp.store(serial, Ordering::Release);
+    }
+
+    /// `Some((addr, old_val, cnt, new_val))` iff the entry consistently
+    /// belongs to `serial`.
+    #[inline]
+    fn snapshot(&self, serial: u64) -> Option<(usize, u64, u64, u64)> {
+        if self.stamp.load(Ordering::Acquire) != serial {
+            return None;
+        }
+        let addr = self.addr.load(Ordering::Relaxed);
+        let old_val = self.old_val.load(Ordering::Relaxed);
+        let cnt = self.cnt.load(Ordering::Relaxed);
+        let new_val = self.new_val.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        if self.stamp.load(Ordering::Relaxed) != serial {
+            return None;
+        }
+        Some((addr, old_val, cnt, new_val))
+    }
+}
+
 /// A per-thread transaction descriptor.
 ///
 /// Reused across transactions; the serial number embedded in the status word
-/// distinguishes incarnations.
+/// distinguishes incarnations.  The layout is split into a hot header
+/// (status, counts, inline entries) and a lazily allocated spill region; see
+/// the module docs.
 pub struct Desc {
-    status: CachePadded<AtomicU64>,
+    status: AtomicU64,
     rcount: AtomicUsize,
     wcount: AtomicUsize,
-    reads: Box<[ReadEntry]>,
-    writes: Box<[WriteEntry]>,
+    reads_inline: [ReadEntry; INLINE_READS],
+    writes_inline: [WriteEntry; INLINE_WRITES],
+    reads_spill: OnceLock<Box<[ReadEntry]>>,
+    writes_spill: OnceLock<Box<[WriteEntry]>>,
 }
 
 impl std::fmt::Debug for Desc {
@@ -131,17 +265,17 @@ impl std::fmt::Debug for Desc {
 }
 
 impl Desc {
-    /// Creates a descriptor for thread `tid` with its read/write sets
-    /// pre-allocated.
+    /// Creates a descriptor for thread `tid`.  Only the hot header is
+    /// allocated; the spill region materializes on first use.
     pub fn new(tid: u64) -> Self {
-        let reads = (0..MAX_ENTRIES).map(|_| ReadEntry::default()).collect();
-        let writes = (0..MAX_ENTRIES).map(|_| WriteEntry::default()).collect();
         Self {
-            status: CachePadded::new(AtomicU64::new(pack_status(tid, 0, Status::InPrep))),
+            status: AtomicU64::new(pack_status(tid, 0, Status::InPrep)),
             rcount: AtomicUsize::new(0),
             wcount: AtomicUsize::new(0),
-            reads,
-            writes,
+            reads_inline: std::array::from_fn(|_| ReadEntry::default()),
+            writes_inline: std::array::from_fn(|_| WriteEntry::default()),
+            reads_spill: OnceLock::new(),
+            writes_spill: OnceLock::new(),
         }
     }
 
@@ -170,16 +304,41 @@ impl Desc {
         self as *const Desc as u64
     }
 
+    /// Entry `idx` of the read set (inline or spill).  The spill half is only
+    /// reachable once the owner has pushed past the inline capacity, which
+    /// initializes it first.
+    #[inline]
+    fn read_entry(&self, idx: usize) -> &ReadEntry {
+        if idx < INLINE_READS {
+            &self.reads_inline[idx]
+        } else {
+            &self.reads_spill.get().expect("spill read published")[idx - INLINE_READS]
+        }
+    }
+
+    #[inline]
+    fn write_entry(&self, idx: usize) -> &WriteEntry {
+        if idx < INLINE_WRITES {
+            &self.writes_inline[idx]
+        } else {
+            &self.writes_spill.get().expect("spill write published")[idx - INLINE_WRITES]
+        }
+    }
+
     /// Begins a new transaction: clears both sets and advances the serial
     /// number, resetting the status to `InPrep` (paper `txBegin`).
     ///
-    /// Only the owning thread calls this.
+    /// Only the owning thread calls this, and with lazy publication the
+    /// descriptor is guaranteed uninstalled everywhere by the time it runs,
+    /// so plain (`Relaxed`/`Release`) stores suffice: stale helpers of the
+    /// previous serial are fenced off by the entry stamps and the serial
+    /// check in every status CAS.
     pub fn begin(&self) {
-        self.rcount.store(0, Ordering::SeqCst);
-        self.wcount.store(0, Ordering::SeqCst);
-        let cur = self.status.load(Ordering::SeqCst);
+        self.rcount.store(0, Ordering::Relaxed);
+        self.wcount.store(0, Ordering::Relaxed);
+        let cur = self.status.load(Ordering::Relaxed);
         let next = pack_status(tid_of(cur), serial_of(cur).wrapping_add(1), Status::InPrep);
-        self.status.store(next, Ordering::SeqCst);
+        self.status.store(next, Ordering::Release);
     }
 
     /// CAS on the status word that preserves `tid | serial` and moves
@@ -203,7 +362,7 @@ impl Desc {
     }
 
     // ------------------------------------------------------------------
-    // Owner-side set maintenance
+    // Owner-side publication (the "publish" step of the lifecycle)
     // ------------------------------------------------------------------
 
     /// Appends an entry to the read set.  Returns `false` when capacity is
@@ -213,18 +372,22 @@ impl Desc {
         if idx >= MAX_ENTRIES {
             return false;
         }
-        let e = &self.reads[idx];
-        e.stamp.store(0, Ordering::SeqCst);
-        e.addr.store(addr as usize, Ordering::SeqCst);
-        e.val.store(val, Ordering::SeqCst);
-        e.cnt.store(cnt, Ordering::SeqCst);
-        e.stamp.store(serial, Ordering::SeqCst);
-        self.rcount.store(idx + 1, Ordering::SeqCst);
+        let e = if idx < INLINE_READS {
+            &self.reads_inline[idx]
+        } else {
+            &self.reads_spill.get_or_init(|| {
+                (0..MAX_ENTRIES - INLINE_READS)
+                    .map(|_| ReadEntry::default())
+                    .collect()
+            })[idx - INLINE_READS]
+        };
+        e.publish(serial, addr as usize, val, cnt);
+        self.rcount.store(idx + 1, Ordering::Release);
         true
     }
 
-    /// Appends an entry to the write set.  Returns the entry index, or `None`
-    /// when capacity is exhausted.
+    /// Appends an entry to the write set.  Returns `false` when capacity is
+    /// exhausted.
     pub fn push_write(
         &self,
         serial: u64,
@@ -232,51 +395,26 @@ impl Desc {
         old_val: u64,
         cnt: u64,
         new_val: u64,
-    ) -> Option<usize> {
+    ) -> bool {
         let idx = self.wcount.load(Ordering::Relaxed);
         if idx >= MAX_ENTRIES {
-            return None;
+            return false;
         }
-        let e = &self.writes[idx];
-        e.stamp.store(0, Ordering::SeqCst);
-        e.addr.store(addr as usize, Ordering::SeqCst);
-        e.old_val.store(old_val, Ordering::SeqCst);
-        e.cnt.store(cnt, Ordering::SeqCst);
-        e.new_val.store(new_val, Ordering::SeqCst);
-        e.stamp.store(serial, Ordering::SeqCst);
-        self.wcount.store(idx + 1, Ordering::SeqCst);
-        Some(idx)
+        let e = if idx < INLINE_WRITES {
+            &self.writes_inline[idx]
+        } else {
+            &self.writes_spill.get_or_init(|| {
+                (0..MAX_ENTRIES - INLINE_WRITES)
+                    .map(|_| WriteEntry::default())
+                    .collect()
+            })[idx - INLINE_WRITES]
+        };
+        e.publish(serial, addr as usize, old_val, cnt, new_val);
+        self.wcount.store(idx + 1, Ordering::Release);
+        true
     }
 
-    /// Marks a write entry dead (its install CAS failed); helpers will skip it
-    /// and the slot is simply not reused within this transaction.
-    pub fn kill_write(&self, idx: usize) {
-        self.writes[idx].stamp.store(0, Ordering::SeqCst);
-    }
-
-    /// Looks up the speculative value this transaction has written to `addr`,
-    /// if any (owner-only; used when an operation reads a word the same
-    /// transaction already wrote).
-    pub fn speculative_value(&self, serial: u64, addr: *const CasWord) -> Option<(usize, u64)> {
-        let n = self.wcount.load(Ordering::Relaxed).min(MAX_ENTRIES);
-        // Scan backwards so the most recent write to the address wins.
-        for idx in (0..n).rev() {
-            let e = &self.writes[idx];
-            if e.stamp.load(Ordering::SeqCst) == serial
-                && e.addr.load(Ordering::SeqCst) == addr as usize
-            {
-                return Some((idx, e.new_val.load(Ordering::SeqCst)));
-            }
-        }
-        None
-    }
-
-    /// Owner-only: replaces the speculative new value of write entry `idx`.
-    pub fn update_new_val(&self, idx: usize, new_val: u64) {
-        self.writes[idx].new_val.store(new_val, Ordering::SeqCst);
-    }
-
-    /// Owner-only: current number of live write entries (diagnostics).
+    /// Owner-only: current number of write entries (diagnostics).
     pub fn write_count(&self) -> usize {
         self.wcount.load(Ordering::Relaxed)
     }
@@ -292,29 +430,23 @@ impl Desc {
 
     /// Validates every read entry stamped with `serial`: the addressed word
     /// must still hold exactly the recorded `(value, counter)` pair — or
-    /// hold **this transaction's own descriptor**, installed by a later
-    /// write of the same transaction over exactly that `(value, counter)`
-    /// pre-image (installation bumps the counter by one).
+    /// hold **this transaction's own descriptor**, installed by a write of
+    /// the same transaction over exactly that `(value, counter)` pre-image
+    /// (installation bumps the counter by one).
     ///
     /// The own-write tolerance is essential, not cosmetic: a transaction
-    /// that reads a word and later writes it (for instance a transfer whose
-    /// source node is the list predecessor of its destination) would
-    /// otherwise invalidate its own read, abort, and — because the retry
-    /// deterministically reproduces the same read-then-write pattern —
+    /// that reads a word and also writes it (for instance a transfer whose
+    /// source node is the list predecessor of its destination) installs its
+    /// descriptor over the very pre-image the read recorded; without the
+    /// tolerance it would invalidate its own read, abort, and — because the
+    /// retry deterministically reproduces the same read-then-write pattern —
     /// livelock forever.
     pub fn validate_reads(&self, serial: u64) -> bool {
-        let n = self.rcount.load(Ordering::SeqCst).min(MAX_ENTRIES);
+        let n = self.rcount.load(Ordering::Acquire).min(MAX_ENTRIES);
         for idx in 0..n {
-            let e = &self.reads[idx];
-            if e.stamp.load(Ordering::SeqCst) != serial {
-                continue;
-            }
-            let addr = e.addr.load(Ordering::SeqCst);
-            let val = e.val.load(Ordering::SeqCst);
-            let cnt = e.cnt.load(Ordering::SeqCst);
-            if e.stamp.load(Ordering::SeqCst) != serial {
-                continue; // entry was recycled mid-read; it belongs to another serial
-            }
+            let Some((addr, val, cnt)) = self.read_entry(idx).snapshot(serial) else {
+                continue; // stale or recycled entry of another serial
+            };
             // SAFETY: the CasWord lives inside a data-structure node that is
             // protected by the owner's EBR pin for the duration of the
             // transaction, and helpers only run `validate_reads` while the
@@ -344,23 +476,17 @@ impl Desc {
     /// abort (paper `uninstall`).  Idempotent and safe to run concurrently
     /// from several threads: each per-word CAS expects the installed
     /// descriptor with the exact counter, so at most one uninstaller wins per
-    /// word and all of them write the same value.
+    /// word and all of them write the same value.  Entries whose install CAS
+    /// never ran (commit lost a conflict mid-install) fail the expected-value
+    /// check and are skipped harmlessly.
     pub fn uninstall(&self, serial: u64, outcome: Status) {
         debug_assert!(outcome == Status::Committed || outcome == Status::Aborted);
-        let n = self.wcount.load(Ordering::SeqCst).min(MAX_ENTRIES);
+        let n = self.wcount.load(Ordering::Acquire).min(MAX_ENTRIES);
         let me = self.as_payload();
         for idx in 0..n {
-            let e = &self.writes[idx];
-            if e.stamp.load(Ordering::SeqCst) != serial {
-                continue;
-            }
-            let addr = e.addr.load(Ordering::SeqCst);
-            let old_val = e.old_val.load(Ordering::SeqCst);
-            let cnt = e.cnt.load(Ordering::SeqCst);
-            let new_val = e.new_val.load(Ordering::SeqCst);
-            if e.stamp.load(Ordering::SeqCst) != serial {
+            let Some((addr, old_val, cnt, new_val)) = self.write_entry(idx).snapshot(serial) else {
                 continue; // recycled; not ours to touch
-            }
+            };
             let write_back = if outcome == Status::Committed {
                 new_val
             } else {
@@ -379,6 +505,12 @@ impl Desc {
     /// (paper `tryFinalize`, with additional serial re-validation so that a
     /// lagging helper can never interfere with a *newer* transaction of the
     /// same owner thread).
+    ///
+    /// With lazy publication a helper can only get here during the install
+    /// window of `tx_end` (status `InPrep`, entries already published) or
+    /// after `setReady` (`InProg`), so the entries it needs are always
+    /// visible: the install CAS that exposed the descriptor is a full
+    /// barrier ordered after the publish stores.
     pub fn try_finalize(&self, obj: &CasWord, observed: u128) {
         let d = self.status.load(Ordering::SeqCst);
         // Ensure the status word we read describes the transaction that is
@@ -390,7 +522,8 @@ impl Desc {
         let serial = serial_of(d);
         let mut cur = d;
         if status_of(cur) == Status::InPrep {
-            // Eager contention management: abort the in-preparation owner.
+            // Eager contention management: abort the owner caught between
+            // install and `setReady`.
             let _ = self.status_cas(cur, Status::Aborted);
             cur = self.status.load(Ordering::SeqCst);
             if serial_of(cur) != serial {
@@ -507,29 +640,47 @@ mod tests {
     }
 
     #[test]
-    fn speculative_value_finds_latest_write() {
+    fn spill_region_is_lazy_and_transparent() {
         let d = Desc::new(0);
         d.begin();
         let s = d.serial();
-        let a = CasWord::new(10);
-        let b = CasWord::new(20);
-        let ia = d.push_write(s, &a, 10, 0, 11).unwrap();
-        d.push_write(s, &b, 20, 0, 21).unwrap();
-        assert_eq!(d.speculative_value(s, &a), Some((ia, 11)));
-        d.update_new_val(ia, 99);
-        assert_eq!(d.speculative_value(s, &a), Some((ia, 99)));
-        assert_eq!(d.speculative_value(s, &CasWord::new(0)), None);
+        let a = CasWord::new(7);
+        // Stay within the inline capacity: no spill allocation.
+        for _ in 0..INLINE_READS {
+            assert!(d.push_read(s, &a, 7, 0));
+        }
+        assert!(
+            d.reads_spill.get().is_none(),
+            "inline pushes must not spill"
+        );
+        // One more read crosses into the spill region.
+        assert!(d.push_read(s, &a, 7, 0));
+        assert!(d.reads_spill.get().is_some());
+        assert_eq!(d.read_count(), INLINE_READS + 1);
+        // All entries (inline and spilled) validate against current memory.
+        assert!(d.validate_reads(s));
+        assert!(a.cas_value(7, 8));
+        assert!(
+            !d.validate_reads(s),
+            "spilled entries must be validated too"
+        );
     }
 
     #[test]
-    fn killed_write_is_invisible() {
+    fn entry_snapshot_rejects_other_serials() {
         let d = Desc::new(0);
         d.begin();
         let s = d.serial();
         let a = CasWord::new(1);
-        let idx = d.push_write(s, &a, 1, 0, 2).unwrap();
-        d.kill_write(idx);
-        assert_eq!(d.speculative_value(s, &a), None);
+        assert!(d.push_read(s, &a, 1, 0));
+        assert!(d.reads_inline[0].snapshot(s).is_some());
+        assert!(d.reads_inline[0].snapshot(s + 1).is_none());
+        // Recycling the entry for the next serial invalidates the old stamp.
+        d.begin();
+        let s2 = d.serial();
+        assert!(d.push_read(s2, &a, 1, 0));
+        assert!(d.reads_inline[0].snapshot(s).is_none());
+        assert!(d.reads_inline[0].snapshot(s2).is_some());
     }
 
     #[test]
@@ -543,7 +694,7 @@ mod tests {
         let a = CasWord::new(5);
         let (v, c) = a.load_parts();
         assert!(d.push_read(s, &a, v, c));
-        assert!(d.push_write(s, &a, v, c, 6).is_some());
+        assert!(d.push_write(s, &a, v, c, 6));
         // Simulate the install: descriptor payload with counter bumped by 1.
         assert!(a
             .raw()
@@ -572,6 +723,26 @@ mod tests {
         // Any change to the word (value or counter) must fail validation.
         assert!(a.cas_value(5, 6));
         assert!(!d.validate_reads(s));
+    }
+
+    #[test]
+    fn uninstall_writes_back_and_skips_never_installed_entries() {
+        let d = Desc::new(0);
+        d.begin();
+        let s = d.serial();
+        let a = CasWord::new(10);
+        let b = CasWord::new(20);
+        let (av, ac) = a.load_parts();
+        let (bv, bc) = b.load_parts();
+        assert!(d.push_write(s, &a, av, ac, 11));
+        assert!(d.push_write(s, &b, bv, bc, 21));
+        // Install only `a`; `b`'s install never ran (lost conflict).
+        assert!(a
+            .raw()
+            .cas(pack(av, ac), pack(d.as_payload(), ac.wrapping_add(1))));
+        d.uninstall(s, Status::Aborted);
+        assert_eq!(a.try_load_value(), Some(10), "installed word rolled back");
+        assert_eq!(b.load_parts(), (20, 0), "never-installed word untouched");
     }
 
     #[test]

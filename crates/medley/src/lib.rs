@@ -22,6 +22,11 @@
 //!   64-bit counter; odd counters mark an installed transaction descriptor.
 //! * [`descriptor`] — per-thread reusable descriptors implementing
 //!   M-compare-N-swap: read set, write set, and the `tid|serial|status` word.
+//!   Descriptors follow a two-phase, *private-then-published* lifecycle:
+//!   reads and writes accumulate in plain thread-local buffers during
+//!   execution and are published (and installed) only at `tx_end`, on the
+//!   general commit path — see the module docs for the layout (hot header +
+//!   lazy spill) and memory-ordering argument.
 //! * [`ctx`] — the **user-facing typestate API**: the sealed [`Ctx`] trait
 //!   with its two execution contexts, [`NonTx`] (standalone — the
 //!   instrumentation monomorphizes away) and [`Txn`] (transactional — an

@@ -31,7 +31,10 @@ use std::sync::Arc;
 const OWN_SPECULATIVE: u64 = u64::MAX;
 
 /// Size of the per-handle ring buffer remembering recent `nbtc_load`s so that
-/// `add_to_read_set` can recover the counter observed by the load.
+/// `add_to_read_set` can recover the counter observed by the load.  Entries
+/// are tagged with the serial of the transaction that recorded them, so the
+/// ring never needs to be bulk-cleared at `tx_begin` (384 bytes of stores on
+/// the old layout) and stale entries of earlier transactions can never match.
 const RECENT_LOADS: usize = 16;
 
 /// How many commit/abort/help events a [`ThreadHandle`] accumulates locally
@@ -55,6 +58,7 @@ pub struct TxStats {
     helps: CachePadded<AtomicU64>,
     fast_commits: CachePadded<AtomicU64>,
     ro_commits: CachePadded<AtomicU64>,
+    general_commits: CachePadded<AtomicU64>,
     conflict_aborts: CachePadded<AtomicU64>,
     explicit_aborts: CachePadded<AtomicU64>,
     capacity_aborts: CachePadded<AtomicU64>,
@@ -78,6 +82,11 @@ pub struct TxStatsSnapshot {
     /// Commits of read-only transactions: validated their read set and
     /// committed with zero shared-memory writes (subset of `commits`).
     pub ro_commits: u64,
+    /// Commits that took the general M-compare-N-swap path: published their
+    /// sets into the descriptor, installed it on every written word, and ran
+    /// the helpable status protocol (subset of `commits`; `commits` =
+    /// `fast_commits + ro_commits + general_commits`).
+    pub general_commits: u64,
     /// Aborts caused by losing a conflict — another transaction's write
     /// invalidated a read, a buffered write lost its word, or a helper
     /// aborted the descriptor (subset of `aborts`).
@@ -105,6 +114,7 @@ impl TxStats {
             helps: self.helps.load(Ordering::Relaxed),
             fast_commits: self.fast_commits.load(Ordering::Relaxed),
             ro_commits: self.ro_commits.load(Ordering::Relaxed),
+            general_commits: self.general_commits.load(Ordering::Relaxed),
             conflict_aborts: self.conflict_aborts.load(Ordering::Relaxed),
             explicit_aborts: self.explicit_aborts.load(Ordering::Relaxed),
             capacity_aborts: self.capacity_aborts.load(Ordering::Relaxed),
@@ -212,10 +222,11 @@ impl TxManager {
                     capacity_exceeded: false,
                     doomed: false,
                     fast_ok: true,
-                    pending_write: None,
+                    local_writes: Vec::new(),
+                    write_filter: 0,
                     overflow_writes: Vec::new(),
                     local_reads: Vec::new(),
-                    recent: [(0, 0, 0); RECENT_LOADS],
+                    recent: [(0, 0, 0, 0); RECENT_LOADS],
                     recent_pos: 0,
                     cleanups: Vec::new(),
                     abort_actions: Vec::new(),
@@ -227,6 +238,7 @@ impl TxManager {
                     stat_helps: 0,
                     stat_fast_commits: 0,
                     stat_ro_commits: 0,
+                    stat_general_commits: 0,
                     stat_conflict_aborts: 0,
                     stat_explicit_aborts: 0,
                     stat_capacity_aborts: 0,
@@ -310,19 +322,24 @@ unsafe fn drop_raw<T>(ptr: *mut u8) {
 
 type Cleanup = Box<dyn FnOnce(&mut ThreadHandle)>;
 
-/// The transaction's first critical CAS, buffered thread-locally instead of
-/// being installed as a descriptor (single-CAS direct-commit fast path).
+/// One critical CAS of the open transaction, buffered in plain thread-local
+/// memory (the owner-private hot path of the lazy-publication pipeline).
 ///
-/// As long as a transaction has performed exactly one critical CAS, nothing
-/// needs to be published: the write is remembered here and, if no further
-/// critical word is touched, `tx_end` commits it with one plain 128-bit CAS
-/// from `(old_val, cnt)` to `(new_val, cnt + 2)` — the same transition a
-/// non-transactional `nbtc_cas` would make.  The moment a second critical
-/// word is written, the buffered write is *materialized* (descriptor entry
-/// pushed and installed) and the transaction continues on the general
-/// M-compare-N-swap path.
+/// *Every* critical CAS lands here first — not just the first one, as in the
+/// earlier single-buffer design.  Nothing is published while the transaction
+/// executes: loads of a buffered word return `new_val` (read-your-own-write),
+/// rewrites update `new_val` in place, and other threads see the untouched
+/// pre-image.  At `tx_end` the buffer decides the commit path:
+///
+/// * empty → descriptor-free read-only commit;
+/// * one entry whose pre-image subsumes the read set → single plain 128-bit
+///   CAS from `(old_val, cnt)` to `(new_val, cnt + 2)`, exactly the
+///   transition a non-transactional `nbtc_cas` would make;
+/// * otherwise → the entries are published into the descriptor, the
+///   descriptor is installed over each recorded pre-image, and the
+///   M-compare-N-swap status protocol runs (general path).
 #[derive(Debug, Clone, Copy)]
-struct PendingWrite {
+struct LocalWrite {
     addr: *const CasWord,
     old_val: u64,
     cnt: u64,
@@ -351,7 +368,16 @@ pub struct ThreadHandle {
     /// Whether the commit fast paths apply to the open transaction (sampled
     /// from the manager at `tx_begin`).
     fast_ok: bool,
-    pending_write: Option<PendingWrite>,
+    /// The transaction's write set, buffered in plain thread-local memory.
+    /// Addresses are unique (a second CAS on a buffered word rewrites its
+    /// entry in place), and nothing is published until `tx_end`.  See
+    /// [`LocalWrite`].
+    local_writes: Vec<LocalWrite>,
+    /// 64-bit Bloom filter over the addresses in `local_writes`: a load
+    /// whose address misses the filter provably has no buffered write, so
+    /// the read-your-own-write lookup skips the linear scan.  Large
+    /// transactions (TPC-C) would otherwise pay O(write-set) per load.
+    write_filter: u64,
     /// Local write overlay of a transaction that overflowed the descriptor's
     /// write capacity: `(addr, speculative value)`.  Once `capacity_exceeded`
     /// is set no transactional access touches shared memory — writes land
@@ -368,7 +394,9 @@ pub struct ThreadHandle {
     /// single-CAS transactions validate this buffer directly and never pay
     /// the per-entry atomic-store protocol.
     local_reads: Vec<(usize, u64, u64)>,
-    recent: [(usize, u64, u64); RECENT_LOADS],
+    /// Recent-load ring entries: `(addr, val, cnt, serial)`.  Only entries
+    /// tagged with the current transaction's serial are live.
+    recent: [(usize, u64, u64, u64); RECENT_LOADS],
     recent_pos: usize,
     cleanups: Vec<Cleanup>,
     abort_actions: Vec<Cleanup>,
@@ -381,6 +409,7 @@ pub struct ThreadHandle {
     stat_helps: u64,
     stat_fast_commits: u64,
     stat_ro_commits: u64,
+    stat_general_commits: u64,
     stat_conflict_aborts: u64,
     stat_explicit_aborts: u64,
     stat_capacity_aborts: u64,
@@ -517,11 +546,12 @@ impl ThreadHandle {
         self.capacity_exceeded = false;
         self.doomed = false;
         self.fast_ok = self.mgr.fast_paths_enabled();
-        self.pending_write = None;
+        self.local_writes.clear();
+        self.write_filter = 0;
         self.overflow_writes.clear();
         self.local_reads.clear();
-        self.recent = [(0, 0, 0); RECENT_LOADS];
-        self.recent_pos = 0;
+        // The recent-load ring needs no clearing: entries are tagged with the
+        // serial that recorded them, and the serial just advanced.
         debug_assert!(self.cleanups.is_empty());
         debug_assert!(self.allocs.is_empty());
         self.participant.pin();
@@ -541,23 +571,28 @@ impl ThreadHandle {
     /// visible atomically and the registered cleanup closures run.  On
     /// failure everything is rolled back.
     ///
-    /// Three commit paths exist, tried cheapest-first:
+    /// Three commit paths exist, tried cheapest-first.  The whole execution
+    /// phase ran against private thread-local buffers (`local_reads` /
+    /// `local_writes`); nothing has been published yet, so `tx_end` owns the
+    /// entire publication decision:
     ///
-    /// 1. **Read-only** — no critical CAS was performed: the recorded
+    /// 1. **Read-only** — the write buffer is empty: the recorded
     ///    `(addr, value, counter)` reads are re-validated and the transaction
     ///    commits with *zero* shared-memory writes; the `tid|serial|status`
     ///    word is never touched and no helper can ever observe the
     ///    transaction.
-    /// 2. **Single-CAS direct** — exactly one critical CAS was performed and
-    ///    is still buffered (never published): after read validation the
-    ///    write commits with one plain 128-bit CAS bumping the even counter
-    ///    by 2, exactly like a non-transactional update.  Contention (the
-    ///    word changed, or a descriptor of another transaction is installed
-    ///    and survives helping) falls back to a conflict abort, and
-    ///    [`ThreadHandle::run`] retries on the general path as needed.
-    /// 3. **General** — the published descriptor goes through the
-    ///    M-compare-N-swap status protocol (`setReady` → validate →
-    ///    commit/abort → uninstall), helpable by any thread.
+    /// 2. **Single-CAS direct** — the write buffer holds exactly one entry
+    ///    whose pre-image subsumes the read set: the write commits with one
+    ///    plain 128-bit CAS bumping the even counter by 2, exactly like a
+    ///    non-transactional update.  Contention (the word changed, or a
+    ///    descriptor of another transaction is installed and survives
+    ///    helping) falls back to a conflict abort, and
+    ///    [`ThreadHandle::run`] retries as needed.
+    /// 3. **General** — the buffered sets are published into the
+    ///    descriptor's seqlock-stamped entries, the descriptor is installed
+    ///    over each write's recorded pre-image, and the M-compare-N-swap
+    ///    status protocol runs (`setReady` → validate → commit/abort →
+    ///    uninstall), helpable by any thread from the first install onward.
     pub fn tx_end(&mut self) -> TxResult<()> {
         assert!(self.in_tx, "tx_end without tx_begin");
         if self.capacity_exceeded {
@@ -568,91 +603,121 @@ impl ThreadHandle {
             self.abort_with(AbortKind::Conflict);
             return Err(TxError::Conflict);
         }
-        // Fast path 1: descriptor-free read-only commit.
-        if self.fast_ok && self.pending_write.is_none() && self.desc().write_count() == 0 {
-            if self.validate_local_reads() {
-                self.commit_tail(CommitKind::ReadOnly);
-                return Ok(());
-            }
-            self.abort_with(AbortKind::Conflict);
-            return Err(TxError::Conflict);
-        }
-        // Fast path 2: single-CAS direct commit of the buffered write.
-        //
-        // Serializability constraint: the direct commit orders the
-        // transaction at its commit CAS, but nothing pins the read set
-        // between validation and that CAS (the buffered write is invisible,
-        // so concurrent symmetric transactions could all validate and then
-        // all commit — write skew).  The general path closes exactly this
-        // window by installing the descriptor on every write word *before*
-        // validating.  The direct commit is therefore taken only when the
-        // commit CAS itself subsumes read validation: the read set is empty,
-        // or every read is of the written word's own pre-image (in which
-        // case the ABA-safe `(value, counter)` check of the commit CAS *is*
-        // the validation, atomically at the linearization point).  Note the
-        // txMontage epoch read registered at `tx_begin` counts as a foreign
-        // read, so epoch-validated transactions always publish a descriptor.
-        if let Some(pw) = self.pending_write {
-            debug_assert_eq!(
-                self.desc().write_count(),
-                0,
-                "a buffered write must be the transaction's only write"
-            );
-            let reads_subsumed = self.local_reads.iter().all(|&(addr, val, cnt)| {
-                addr == pw.addr as usize && val == pw.old_val && cnt == pw.cnt
-            });
-            if reads_subsumed {
-                // SAFETY: the word was passed to `nbtc_cas` during this
-                // transaction and is protected by the EBR pin held since
-                // `tx_begin`.
-                let obj = unsafe { &*pw.addr };
-                loop {
-                    let raw = obj.load_raw();
-                    let (val, cnt) = unpack(raw);
-                    if CasWord::counter_is_descriptor(cnt) {
-                        // Another transaction owns the word; finalize it and
-                        // re-examine (same non-blocking helping discipline
-                        // as `nbtc_cas`).
-                        // SAFETY: see `nbtc_load`.
-                        unsafe { (*(val as *const Desc)).try_finalize(obj, raw) };
-                        self.stat_helps += 1;
-                        continue;
-                    }
-                    if val != pw.old_val || cnt != pw.cnt {
-                        self.abort_with(AbortKind::Conflict);
-                        return Err(TxError::Conflict);
-                    }
-                    if obj.cas_value_counted(pw.old_val, pw.cnt, pw.new_val) {
-                        self.commit_tail(CommitKind::SingleCas);
-                        return Ok(());
-                    }
-                    // The word changed between load and CAS; re-examine.
+        if self.fast_ok {
+            // Fast path 1: descriptor-free read-only commit.
+            if self.local_writes.is_empty() {
+                if self.validate_local_reads() {
+                    self.commit_tail(CommitKind::ReadOnly);
+                    return Ok(());
                 }
-            }
-            // Foreign reads alongside the buffered write: only the
-            // descriptor protocol can order them.  Materialize and fall
-            // through to the general path.
-            self.materialize_pending();
-            if self.capacity_exceeded {
-                self.abort_with(AbortKind::Capacity);
-                return Err(TxError::CapacityExceeded);
-            }
-            if self.doomed {
                 self.abort_with(AbortKind::Conflict);
                 return Err(TxError::Conflict);
             }
+            // Fast path 2: single-CAS direct commit of the buffered write.
+            //
+            // Serializability constraint: the direct commit orders the
+            // transaction at its commit CAS, but nothing pins the read set
+            // between validation and that CAS (the buffered write is
+            // invisible, so concurrent symmetric transactions could all
+            // validate and then all commit — write skew).  The general path
+            // closes exactly this window by installing the descriptor on
+            // every write word *before* validating.  The direct commit is
+            // therefore taken only when the commit CAS itself subsumes read
+            // validation: the read set is empty, or every read is of the
+            // written word's own pre-image (in which case the ABA-safe
+            // `(value, counter)` check of the commit CAS *is* the
+            // validation, atomically at the linearization point).  Note the
+            // txMontage epoch read registered at `tx_begin` counts as a
+            // foreign read, so epoch-validated transactions always publish a
+            // descriptor.
+            if self.local_writes.len() == 1 {
+                let pw = self.local_writes[0];
+                let reads_subsumed = self.local_reads.iter().all(|&(addr, val, cnt)| {
+                    addr == pw.addr as usize && val == pw.old_val && cnt == pw.cnt
+                });
+                if reads_subsumed {
+                    // SAFETY: the word was passed to `nbtc_cas` during this
+                    // transaction and is protected by the EBR pin held since
+                    // `tx_begin`.
+                    let obj = unsafe { &*pw.addr };
+                    loop {
+                        let raw = obj.load_raw();
+                        let (val, cnt) = unpack(raw);
+                        if CasWord::counter_is_descriptor(cnt) {
+                            // Another transaction owns the word; finalize it
+                            // and re-examine (same non-blocking helping
+                            // discipline as `nbtc_cas`).
+                            // SAFETY: see `nbtc_load`.
+                            unsafe { (*(val as *const Desc)).try_finalize(obj, raw) };
+                            self.stat_helps += 1;
+                            continue;
+                        }
+                        if val != pw.old_val || cnt != pw.cnt {
+                            self.abort_with(AbortKind::Conflict);
+                            return Err(TxError::Conflict);
+                        }
+                        if obj.cas_value_counted(pw.old_val, pw.cnt, pw.new_val) {
+                            self.commit_tail(CommitKind::SingleCas);
+                            return Ok(());
+                        }
+                        // The word changed between load and CAS; re-examine.
+                    }
+                }
+            }
         }
-        // General path: the descriptor state machine.  Hand the buffered
-        // read set to the descriptor first — helpers may validate on our
-        // behalf the moment `setReady` publishes us.
-        if !self.spill_reads_to_descriptor() {
+        self.commit_general()
+    }
+
+    /// The general commit path: publish, install, expose, resolve (see the
+    /// `descriptor` module docs for the lifecycle).  This is the only place
+    /// in the runtime where the descriptor becomes visible to other threads.
+    fn commit_general(&mut self) -> TxResult<()> {
+        // Publish phase: copy the buffered sets into the descriptor's
+        // stamped entries.  Helpers may need them the moment the first
+        // install CAS lands.
+        if !self.publish_sets() {
             self.capacity_exceeded = true;
             self.abort_with(AbortKind::Capacity);
             return Err(TxError::CapacityExceeded);
         }
+        // Install phase: CAS the descriptor over each recorded pre-image.
+        // Addresses in `local_writes` are unique, so our own descriptor can
+        // never be encountered here; a foreign descriptor is finalized and
+        // the word re-examined (non-blocking helping), and a changed
+        // pre-image is a lost conflict — installed prefixes are rolled back
+        // by the uninstall inside `abort_with`.
+        let me = self.desc().as_payload();
+        for i in 0..self.local_writes.len() {
+            let w = self.local_writes[i];
+            // SAFETY: the word is protected by the EBR pin held since
+            // `tx_begin`.
+            let obj = unsafe { &*w.addr };
+            let installed = pack(me, w.cnt.wrapping_add(1));
+            loop {
+                let raw = obj.load_raw();
+                let (val, cnt) = unpack(raw);
+                if CasWord::counter_is_descriptor(cnt) {
+                    debug_assert_ne!(val, me, "own descriptor on a not-yet-installed word");
+                    // SAFETY: see `nbtc_load`.
+                    unsafe { (*(val as *const Desc)).try_finalize(obj, raw) };
+                    self.stat_helps += 1;
+                    self.note_stat_event();
+                    continue;
+                }
+                if val != w.old_val || cnt != w.cnt {
+                    self.abort_with(AbortKind::Conflict);
+                    return Err(TxError::Conflict);
+                }
+                if obj.raw().cas(raw, installed) {
+                    break;
+                }
+                // The word changed between load and CAS; re-examine.
+            }
+        }
+        // Expose phase: from here on any thread can help (or abort) us.
         let desc = self.desc();
         if !desc.set_ready() {
-            // Another thread aborted us while we were still InPrep.
+            // Another thread aborted us during the install window.
             self.abort_with(AbortKind::Conflict);
             return Err(TxError::Conflict);
         }
@@ -670,12 +735,32 @@ impl ThreadHandle {
         }
     }
 
+    /// Publishes the buffered read and write sets into the descriptor's
+    /// stamped entries (lazy publication: this runs once per general-path
+    /// commit, never during execution).  Returns `false` on capacity
+    /// overflow.
+    fn publish_sets(&mut self) -> bool {
+        let serial = self.serial;
+        let desc = self.desc();
+        for &(addr, val, cnt) in &self.local_reads {
+            if !desc.push_read(serial, addr as *const CasWord, val, cnt) {
+                return false;
+            }
+        }
+        for w in &self.local_writes {
+            if !desc.push_write(serial, w.addr, w.old_val, w.cnt, w.new_val) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Common post-commit bookkeeping: releases transactional state, runs the
     /// registered cleanup closures, unpins, and tallies statistics.
     fn commit_tail(&mut self, kind: CommitKind) {
         self.in_tx = false;
         self.spec_interval = false;
-        self.pending_write = None;
+        self.local_writes.clear();
         // Ownership of tnew-ed blocks passes to the structures.
         self.allocs.clear();
         self.abort_actions.clear();
@@ -689,7 +774,7 @@ impl ThreadHandle {
         match kind {
             CommitKind::SingleCas => self.stat_fast_commits += 1,
             CommitKind::ReadOnly => self.stat_ro_commits += 1,
-            CommitKind::General => {}
+            CommitKind::General => self.stat_general_commits += 1,
         }
         self.note_stat_event();
     }
@@ -712,6 +797,7 @@ impl ThreadHandle {
         drain(&mut self.stat_helps, &stats.helps);
         drain(&mut self.stat_fast_commits, &stats.fast_commits);
         drain(&mut self.stat_ro_commits, &stats.ro_commits);
+        drain(&mut self.stat_general_commits, &stats.general_commits);
         drain(&mut self.stat_conflict_aborts, &stats.conflict_aborts);
         drain(&mut self.stat_explicit_aborts, &stats.explicit_aborts);
         drain(&mut self.stat_capacity_aborts, &stats.capacity_aborts);
@@ -860,9 +946,11 @@ impl ThreadHandle {
             AbortKind::Capacity => self.stat_capacity_aborts += 1,
             AbortKind::Unwind => self.stat_unwind_aborts += 1,
         }
-        // A buffered write was never published: dropping it is the rollback,
-        // and the capacity-overflow overlay never touched shared memory.
-        self.pending_write = None;
+        // Buffered writes that were never published: dropping them is the
+        // rollback (any that *were* installed are rolled back by the
+        // uninstall below), and the capacity-overflow overlay never touched
+        // shared memory.
+        self.local_writes.clear();
         self.overflow_writes.clear();
         self.doomed = false;
         let desc = self.desc();
@@ -933,8 +1021,8 @@ impl ThreadHandle {
         let addr = obj as *const CasWord as usize;
         let mut cnt = None;
         for i in 0..RECENT_LOADS {
-            let (a, v, c) = self.recent[(self.recent_pos + RECENT_LOADS - 1 - i) % RECENT_LOADS];
-            if a == addr && v == val {
+            let (a, v, c, s) = self.recent[(self.recent_pos + RECENT_LOADS - 1 - i) % RECENT_LOADS];
+            if s == self.serial && a == addr && v == val {
                 cnt = Some(c);
                 break;
             }
@@ -977,41 +1065,18 @@ impl ThreadHandle {
     }
 
     /// Validates the locally buffered read set against current memory.  Each
-    /// entry must still hold the recorded `(value, counter)` pair, or hold
-    /// this transaction's own descriptor installed over exactly that
-    /// pre-image (see [`Desc::validate_reads`], which applies the same rule
-    /// to the spilled entries on behalf of helpers).
+    /// entry must still hold the recorded `(value, counter)` pair.  Used by
+    /// the descriptor-free commit paths and the public opacity check; with
+    /// lazy publication this runs strictly before anything is installed, so
+    /// — unlike [`Desc::validate_reads`] — it never needs the own-descriptor
+    /// tolerance (buffered writes leave memory untouched, so a read of a
+    /// word the transaction later wrote still compares equal).
     fn validate_local_reads(&self) -> bool {
-        let me = self.desc().as_payload();
         for &(addr, val, cnt) in &self.local_reads {
             // SAFETY: the word is protected by the EBR pin held since
             // tx_begin (same argument as `Desc::validate_reads`).
             let obj = unsafe { &*(addr as *const CasWord) };
-            let (cur_val, cur_cnt) = obj.load_parts();
-            if cur_val == val && cur_cnt == cnt {
-                continue;
-            }
-            if CasWord::counter_is_descriptor(cur_cnt)
-                && cur_val == me
-                && cur_cnt == cnt.wrapping_add(1)
-            {
-                continue;
-            }
-            // The buffered single-CAS write also counts as "own write" when
-            // it targets a word we read earlier: memory is untouched, so the
-            // plain comparison above already covered it.
-            return false;
-        }
-        true
-    }
-
-    /// Spills the locally buffered read set into the descriptor's stamped
-    /// entries so helpers can validate on our behalf.  Must complete before
-    /// `setReady` publishes the transaction as helpable.
-    fn spill_reads_to_descriptor(&mut self) -> bool {
-        let desc = self.desc();
-        for &(addr, val, cnt) in &self.local_reads {
-            if !desc.push_read(self.serial, addr as *const CasWord, val, cnt) {
+            if obj.load_parts() != (val, cnt) {
                 return false;
             }
         }
@@ -1105,8 +1170,29 @@ impl ThreadHandle {
 
     #[inline]
     fn record_recent(&mut self, addr: usize, val: u64, cnt: u64) {
-        self.recent[self.recent_pos % RECENT_LOADS] = (addr, val, cnt);
+        self.recent[self.recent_pos % RECENT_LOADS] = (addr, val, cnt, self.serial);
         self.recent_pos = self.recent_pos.wrapping_add(1);
+    }
+
+    /// The Bloom-filter bit for a word address (Fibonacci hash of the
+    /// pointer, top 6 bits select one of 64 positions).
+    #[inline]
+    fn filter_bit(obj: &CasWord) -> u64 {
+        let h = (obj as *const CasWord as usize as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        1u64 << (h >> 58)
+    }
+
+    /// The transaction's buffered write to `obj`, if any (addresses in
+    /// `local_writes` are unique).  The Bloom filter screens out the common
+    /// case — a load of a word this transaction never wrote — in O(1).
+    #[inline]
+    fn local_write_index(&self, obj: &CasWord) -> Option<usize> {
+        if self.write_filter & Self::filter_bit(obj) == 0 {
+            return None;
+        }
+        self.local_writes
+            .iter()
+            .position(|w| std::ptr::eq(w.addr, obj as *const CasWord))
     }
 
     /// Transactional load of a [`CasWord`].
@@ -1114,10 +1200,9 @@ impl ThreadHandle {
     /// Outside a transaction this behaves like an ordinary atomic load except
     /// that it finalizes any descriptor it encounters (so non-transactional
     /// operations are never blocked by a stalled transaction).  Inside a
-    /// transaction it additionally returns the transaction's own speculative
-    /// value when one exists (whether buffered for the single-CAS fast path
-    /// or installed as a descriptor) and remembers the observed counter for
-    /// [`ThreadHandle::add_to_read_set`].
+    /// transaction it additionally returns the transaction's own buffered
+    /// speculative value when one exists and remembers the observed counter
+    /// for [`ThreadHandle::add_to_read_set`].
     #[inline]
     pub fn nbtc_load(&mut self, obj: &CasWord) -> u64 {
         self.nbtc_load_counted(obj).0
@@ -1168,9 +1253,9 @@ impl ThreadHandle {
     }
 
     /// The transactional load (used by [`Txn`](crate::Txn)): additionally
-    /// returns the transaction's own speculative value when one exists
-    /// (whether buffered for the single-CAS fast path or installed as a
-    /// descriptor) and remembers the observed counter for
+    /// returns the transaction's own buffered value when one exists
+    /// (read-your-own-write visibility over the thread-local write buffer)
+    /// and remembers the observed counter for
     /// [`ThreadHandle::add_to_read_set`].
     #[inline]
     pub(crate) fn tx_load_counted(&mut self, obj: &CasWord) -> (u64, u64) {
@@ -1182,17 +1267,15 @@ impl ThreadHandle {
                 return (v, OWN_SPECULATIVE);
             }
         }
-        if let Some(pw) = &self.pending_write {
-            if std::ptr::eq(pw.addr, obj as *const CasWord) {
-                // Our own buffered (fast-path) write: the speculation
-                // interval of the current operation starts here, exactly
-                // as when an installed own descriptor is observed.
-                self.spec_interval = true;
-                let v = pw.new_val;
-                let addr = obj as *const CasWord as usize;
-                self.record_recent(addr, v, OWN_SPECULATIVE);
-                return (v, OWN_SPECULATIVE);
-            }
+        if let Some(i) = self.local_write_index(obj) {
+            // Our own buffered write: the speculation interval of the
+            // current operation starts here, exactly as when the paper's
+            // protocol observes its own installed descriptor.
+            self.spec_interval = true;
+            let v = self.local_writes[i].new_val;
+            let addr = obj as *const CasWord as usize;
+            self.record_recent(addr, v, OWN_SPECULATIVE);
+            return (v, OWN_SPECULATIVE);
         }
         loop {
             let raw = obj.load_raw();
@@ -1203,19 +1286,13 @@ impl ThreadHandle {
                     "odd-counter word holds non-descriptor payload {val:#x} (cnt {cnt:#x})"
                 );
                 let desc_ptr = val as *const Desc;
-                if std::ptr::eq(desc_ptr, self.desc_ptr) {
-                    // Seeing our own speculative write starts the speculation
-                    // interval of the current operation (paper Sec. 2.2,
-                    // second complication).
-                    self.spec_interval = true;
-                    if let Some((_, v)) = self.desc().speculative_value(self.serial, obj) {
-                        let addr = obj as *const CasWord as usize;
-                        self.record_recent(addr, v, OWN_SPECULATIVE);
-                        return (v, OWN_SPECULATIVE);
-                    }
-                    // Inconsistent (should not happen): fall through and retry.
-                    continue;
-                }
+                // Lazy publication: our own descriptor is only ever installed
+                // inside `tx_end`, after the execution phase, so any
+                // descriptor encountered here is foreign.
+                debug_assert!(
+                    !std::ptr::eq(desc_ptr, self.desc_ptr),
+                    "own descriptor installed during the execution phase"
+                );
                 // SAFETY: as in `untracked_load_counted`.
                 unsafe { (*desc_ptr).try_finalize(obj, raw) };
                 self.stat_helps += 1;
@@ -1233,14 +1310,13 @@ impl ThreadHandle {
     /// `lin_pt` / `pub_pt` declare whether this CAS, if successful, is the
     /// linearization and/or publication point of the current operation.  A
     /// critical CAS (one inside the operation's speculation interval) is
-    /// executed speculatively.  The transaction's *first* critical CAS is
-    /// buffered thread-locally (see `PendingWrite` in this module): an
-    /// operation whose
-    /// single critical CAS stays the transaction's only write — a lone
-    /// `insert`/`remove`/`enqueue` inside [`ThreadHandle::run`] — therefore
-    /// never installs a descriptor and commits with one plain CAS.  From the
-    /// second critical word onwards the descriptor is installed in place of
-    /// each value and the real update happens at commit time.
+    /// executed speculatively: *every* critical CAS is buffered in the
+    /// thread-local write set (see `LocalWrite` in this module) and becomes
+    /// visible to other threads only at commit.  A transaction whose single
+    /// critical CAS stays its only write — a lone `insert`/`remove`/`enqueue`
+    /// inside [`ThreadHandle::run`] — never publishes a descriptor at all and
+    /// commits with one plain CAS; multi-write transactions publish and
+    /// install the descriptor inside `tx_end` (lazy publication).
     #[inline]
     pub fn nbtc_cas(
         &mut self,
@@ -1297,43 +1373,32 @@ impl ThreadHandle {
         if self.capacity_exceeded {
             return self.overflow_cas(obj, expected, desired);
         }
-        // Operating on the word our buffered write owns speculatively:
-        // rewrite the buffer in place, like updating an installed own
-        // descriptor entry.
-        if let Some(pw) = &mut self.pending_write {
-            if std::ptr::eq(pw.addr, obj as *const CasWord) {
-                self.spec_interval = true;
-                if pw.new_val != expected {
-                    return false;
-                }
-                pw.new_val = desired;
-                if lin_pt {
-                    self.spec_interval = false;
-                }
-                return true;
+        // Operating on a word the transaction already wrote: rewrite the
+        // buffered entry in place.  Any CAS on a buffered word — critical or
+        // not — is absorbed by the buffer, exactly as the paper's protocol
+        // updates an installed own descriptor entry.
+        if let Some(i) = self.local_write_index(obj) {
+            self.spec_interval = true;
+            if self.local_writes[i].new_val != expected {
+                return false;
             }
+            self.local_writes[i].new_val = desired;
+            if lin_pt {
+                self.spec_interval = false;
+            }
+            return true;
         }
         loop {
             let raw = obj.load_raw();
             let (val, cnt) = unpack(raw);
             if CasWord::counter_is_descriptor(cnt) {
                 let desc_ptr = val as *const Desc;
-                if std::ptr::eq(desc_ptr, self.desc_ptr) {
-                    // Operating on a word we already own speculatively.
-                    self.spec_interval = true;
-                    let desc = self.desc();
-                    if let Some((idx, cur)) = desc.speculative_value(self.serial, obj) {
-                        if cur != expected {
-                            return false;
-                        }
-                        desc.update_new_val(idx, desired);
-                        if lin_pt {
-                            self.spec_interval = false;
-                        }
-                        return true;
-                    }
-                    continue;
-                }
+                // Foreign by construction: lazy publication keeps our own
+                // descriptor uninstalled for the whole execution phase.
+                debug_assert!(
+                    !std::ptr::eq(desc_ptr, self.desc_ptr),
+                    "own descriptor installed during the execution phase"
+                );
                 // SAFETY: see nbtc_load.
                 unsafe { (*desc_ptr).try_finalize(obj, raw) };
                 self.stat_helps += 1;
@@ -1347,28 +1412,12 @@ impl ThreadHandle {
                 self.spec_interval = true;
             }
             if self.spec_interval {
-                // Critical CAS.  If it is the transaction's first, buffer it
-                // for the single-CAS direct-commit fast path instead of
-                // installing the descriptor.
-                if self.fast_ok && self.pending_write.is_none() && self.desc().write_count() == 0 {
-                    self.pending_write = Some(PendingWrite {
-                        addr: obj as *const CasWord,
-                        old_val: val,
-                        cnt,
-                        new_val: desired,
-                    });
-                    if lin_pt {
-                        self.spec_interval = false;
-                    }
-                    return true;
-                }
-                // A second critical word: the transaction no longer
-                // qualifies for the direct commit.  Materialize the buffered
-                // first write (install its descriptor entry), then continue
-                // on the general path.
-                self.materialize_pending();
-                let desc = self.desc();
-                let Some(idx) = desc.push_write(self.serial, obj, val, cnt, desired) else {
+                // Critical CAS: buffer it.  Nothing is published — the
+                // descriptor entry is written and installed only at
+                // `tx_end`, so the owner-private hot path costs a Vec push
+                // into cache-hot memory instead of five shared atomic
+                // stores plus an install CAS.
+                if self.local_writes.len() >= crate::descriptor::MAX_ENTRIES {
                     // Write-set overflow: the commit is guaranteed to fail
                     // with `CapacityExceeded`.  Failing the CAS would send
                     // container retry loops (re-traverse, re-CAS) into a
@@ -1385,48 +1434,22 @@ impl ThreadHandle {
                     self.overflow_writes
                         .push((obj as *const CasWord as usize, desired));
                     return true;
-                };
-                let installed = pack(desc.as_payload(), cnt.wrapping_add(1));
-                if obj.raw().cas(raw, installed) {
-                    if lin_pt {
-                        self.spec_interval = false;
-                    }
-                    return true;
                 }
-                desc.kill_write(idx);
-                return false;
+                self.local_writes.push(LocalWrite {
+                    addr: obj as *const CasWord,
+                    old_val: val,
+                    cnt,
+                    new_val: desired,
+                });
+                self.write_filter |= Self::filter_bit(obj);
+                if lin_pt {
+                    self.spec_interval = false;
+                }
+                return true;
             }
             // Non-critical CAS inside a transaction (e.g. helping an already
             // linearized operation): executed on the fly.
             return obj.raw().cas(raw, pack(desired, cnt.wrapping_add(2)));
-        }
-    }
-
-    /// Converts the buffered first write into an installed descriptor entry
-    /// (exit from the single-CAS fast path onto the general MCNS path).
-    ///
-    /// If the word no longer holds the value the buffered CAS succeeded
-    /// against, the transaction has already lost the conflict: it is marked
-    /// doomed — the commit will fail with [`TxError::Conflict`] — but
-    /// execution continues normally (subsequent operations run real
-    /// speculation against current memory), so glue-code retry loops keep
-    /// making progress instead of spinning on a dead transaction.
-    fn materialize_pending(&mut self) {
-        let Some(pw) = self.pending_write.take() else {
-            return;
-        };
-        let desc = self.desc();
-        let Some(idx) = desc.push_write(self.serial, pw.addr, pw.old_val, pw.cnt, pw.new_val)
-        else {
-            self.capacity_exceeded = true;
-            return;
-        };
-        // SAFETY: the word is protected by the EBR pin held since tx_begin.
-        let obj = unsafe { &*pw.addr };
-        let installed = pack(desc.as_payload(), pw.cnt.wrapping_add(1));
-        if !obj.raw().cas(pack(pw.old_val, pw.cnt), installed) {
-            desc.kill_write(idx);
-            self.doomed = true;
         }
     }
 
@@ -1514,21 +1537,27 @@ mod tests {
     }
 
     #[test]
-    fn single_word_transaction_with_fast_paths_disabled_installs_descriptor() {
+    fn single_word_transaction_with_fast_paths_disabled_takes_general_path() {
         let mgr = TxManager::new();
         mgr.set_fast_paths(false);
         let mut h = mgr.register();
         let w = CasWord::new(1);
         h.tx_begin();
         assert!(h.nbtc_cas(&w, 1, 2, true, true));
-        // General path: other (non-transactional) observers see a descriptor.
-        assert_eq!(w.try_load_value(), None);
+        // Lazy publication: even on the general path the write stays in the
+        // owner-private buffer until `tx_end`; other observers see the
+        // pre-image, never a descriptor, during execution.
+        assert_eq!(w.try_load_value(), Some(1));
         assert!(h.tx_end().is_ok());
         assert_eq!(w.try_load_value(), Some(2));
         h.flush_stats();
         let snap = mgr.stats().snapshot();
         assert_eq!(snap.commits, 1);
         assert_eq!(snap.fast_commits, 0);
+        assert_eq!(
+            snap.general_commits, 1,
+            "disabled fast paths must force the published-descriptor commit"
+        );
     }
 
     #[test]
@@ -1565,19 +1594,23 @@ mod tests {
     }
 
     #[test]
-    fn second_critical_word_materializes_buffered_write() {
+    fn second_critical_word_stays_buffered_until_commit() {
         let mgr = TxManager::new();
         let mut h = mgr.register();
         let a = CasWord::new(10);
         let b = CasWord::new(20);
         h.tx_begin();
         assert!(h.nbtc_cas(&a, 10, 11, true, true));
-        // First critical CAS is buffered: `a` still shows its old value.
+        // Every critical CAS is buffered: `a` still shows its old value.
         assert_eq!(a.try_load_value(), Some(10));
         assert!(h.nbtc_cas(&b, 20, 21, true, true));
-        // Materialized: both words now carry the descriptor.
-        assert_eq!(a.try_load_value(), None);
-        assert_eq!(b.try_load_value(), None);
+        // Still nothing published — lazy publication defers the descriptor
+        // to `tx_end`.
+        assert_eq!(a.try_load_value(), Some(10));
+        assert_eq!(b.try_load_value(), Some(20));
+        // Read-your-own-write visibility comes from the buffer.
+        assert_eq!(h.nbtc_load(&a), 11);
+        assert_eq!(h.nbtc_load(&b), 21);
         assert!(h.tx_end().is_ok());
         assert_eq!(a.try_load_value(), Some(11));
         assert_eq!(b.try_load_value(), Some(21));
@@ -1588,6 +1621,7 @@ mod tests {
             snap.fast_commits, 0,
             "two-word tx must take the general path"
         );
+        assert_eq!(snap.general_commits, 1);
     }
 
     #[test]
@@ -1614,7 +1648,7 @@ mod tests {
     }
 
     #[test]
-    fn materialization_failure_dooms_but_keeps_executing() {
+    fn stolen_buffered_word_fails_at_commit_install() {
         let mgr = TxManager::new();
         let mut h = mgr.register();
         let mut other = mgr.register();
@@ -1624,16 +1658,16 @@ mod tests {
         assert!(h.nbtc_cas(&a, 1, 2, true, true)); // buffered
                                                    // `a` changes under the buffered write...
         assert!(other.nbtc_cas(&a, 1, 7, true, true));
-        // ...so the second critical CAS (which forces materialization) dooms
-        // the transaction, but execution continues and commit fails cleanly.
+        // ...but execution continues undisturbed against the private buffer
+        // (lazy publication defers conflict detection to the commit-time
+        // install, whose pre-image CAS then fails).
         assert!(h.nbtc_cas(&b, 5, 6, true, true));
-        assert!(
-            !h.validate_reads(),
-            "doomed transaction must report invalid"
-        );
+        assert_eq!(h.nbtc_load(&b), 6, "buffered speculation stays visible");
         assert_eq!(h.tx_end(), Err(TxError::Conflict));
         assert_eq!(a.try_load_value(), Some(7));
         assert_eq!(b.try_load_value(), Some(5), "speculation on b rolled back");
+        h.flush_stats();
+        assert_eq!(mgr.stats().snapshot().conflict_aborts, 1);
     }
 
     #[test]
@@ -1789,20 +1823,56 @@ mod tests {
     }
 
     #[test]
-    fn foreign_descriptor_is_aborted_eagerly() {
+    fn installed_foreign_descriptor_is_finalized_by_plain_operations() {
+        // Simulate a transaction caught mid-commit: a descriptor published
+        // (entry stamped) and installed in `w`, still InPrep — exactly the
+        // state a preempted owner leaves between the install and `setReady`
+        // steps of `tx_end`.  A non-transactional CAS must abort it, write
+        // the pre-image back, and proceed — and count the help.
         let mgr = TxManager::new();
-        // Force the general path so an actual descriptor is installed.
+        let mut b = mgr.register();
+        let w = CasWord::new(1);
+        let stalled = Desc::new(99);
+        stalled.begin();
+        let serial = stalled.serial();
+        let (v, c) = w.load_parts();
+        assert!(stalled.push_write(serial, &w, v, c, 2));
+        assert!(w
+            .raw()
+            .cas(pack(v, c), pack(stalled.as_payload(), c.wrapping_add(1))));
+        assert_eq!(w.try_load_value(), None, "descriptor visibly installed");
+        // b, running non-transactionally, encounters the descriptor, aborts
+        // the InPrep transaction, uninstalls the pre-image, and wins the
+        // word.
+        assert!(b.nbtc_cas(&w, 1, 9, true, true));
+        assert_eq!(w.try_load_value(), Some(9));
+        assert_eq!(stalled.status(), Status::Aborted);
+        b.flush_stats();
+        assert!(
+            mgr.stats().snapshot().helps >= 1,
+            "the finalization must be counted as a help"
+        );
+        // The stalled owner's own commit attempt must now fail.
+        assert!(!stalled.set_ready());
+    }
+
+    #[test]
+    fn contender_during_install_window_wins_and_commit_fails() {
+        let mgr = TxManager::new();
+        // Force the general path so `tx_end` actually publishes a
+        // descriptor (invisible during execution either way).
         mgr.set_fast_paths(false);
         let mut a = mgr.register();
         let mut b = mgr.register();
         let w = CasWord::new(1);
         a.tx_begin();
         assert!(a.nbtc_cas(&w, 1, 2, true, true));
-        // b, running non-transactionally, encounters a's descriptor, aborts
-        // the InPrep transaction, and proceeds.
+        // Lazy publication: b sees the pre-image (no descriptor) and wins
+        // the word outright with a plain CAS.
+        assert_eq!(w.try_load_value(), Some(1));
         assert!(b.nbtc_cas(&w, 1, 9, true, true));
         assert_eq!(w.try_load_value(), Some(9));
-        // a's commit must now fail.
+        // a's commit-time install finds the changed pre-image and fails.
         assert_eq!(a.tx_end(), Err(TxError::Conflict));
         assert_eq!(w.try_load_value(), Some(9));
     }

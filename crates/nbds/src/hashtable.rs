@@ -10,6 +10,13 @@
 //! commit fast-path eligibility: a transaction made of one `insert`/`put`/
 //! `remove` commits with a single plain CAS and lookup-only transactions
 //! commit descriptor-free (see `medley::TxManager` fast paths).
+//!
+//! Under the lazy-publication runtime even *multi*-operation transactions
+//! leave the buckets untouched while they execute: every critical CAS is
+//! buffered thread-locally and the counted reads registered by the list
+//! traversals stay in the owner-private read buffer, so concurrent
+//! standalone operations on the same buckets never encounter (or help) a
+//! descriptor before the transaction reaches its commit.
 
 use crate::list::MichaelList;
 use medley::Ctx;

@@ -30,7 +30,10 @@
 //! the read-only path.  The traversal marks its linearizing load for the
 //! runtime by registering the `(value, counter)` pair it tracked via
 //! `nbtc_load_counted`, which both pinpoints the critical access and keeps
-//! read-set registration exact regardless of traversal length.
+//! read-set registration exact regardless of traversal length.  With lazy
+//! publication the registration is pure thread-local bookkeeping: the
+//! counted read reaches the shared descriptor only if the enclosing
+//! transaction ends up publishing one at commit.
 
 use crate::tag;
 use medley::{CasWord, Ctx};

@@ -11,6 +11,10 @@
 //! one critical CAS: a transaction containing a single queue operation takes
 //! the runtime's single-CAS direct-commit path, and an empty `dequeue` (or
 //! `is_empty`) registers one counted load and commits descriptor-free.
+//! Multi-operation transactions (e.g. an atomic move between two queues)
+//! buffer both critical CASes thread-locally and publish a descriptor only
+//! at commit, so the queues stay descriptor-free for the whole execution
+//! phase.
 
 use crate::tag;
 use medley::{CasWord, Ctx};

@@ -24,7 +24,10 @@
 //! or mark) and every read-only outcome registers exactly one counted load,
 //! single-operation transactions over this skiplist take the runtime's
 //! single-CAS direct-commit path and read-only transactions commit
-//! descriptor-free.
+//! descriptor-free.  Larger transactions buffer all their level-0 CASes
+//! thread-locally (lazy publication), so the tower structure is never
+//! exposed to a half-done transaction: other threads see the pre-image of
+//! every critical word until the commit-time install.
 
 use crate::tag;
 use medley::{CasWord, Ctx, NonTx};

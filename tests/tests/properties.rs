@@ -186,6 +186,71 @@ fn aborted_transactions_are_all_or_nothing() {
 }
 
 #[test]
+fn zipfian_theoretical_ranks_form_a_distribution() {
+    use bench::workload::Zipf;
+    // Deterministic sanity of the generator's analytic side: rank
+    // probabilities are positive, non-increasing, and sum to 1.
+    for &(n, theta) in &[(2u64, 0.5), (16, 0.99), (1024, 0.7), (4096, 0.99)] {
+        let z = Zipf::new(n, theta);
+        let mut sum = 0.0;
+        let mut prev = f64::INFINITY;
+        for k in 0..n {
+            let p = z.rank_probability(k);
+            assert!(p > 0.0);
+            assert!(p <= prev, "rank probabilities must be non-increasing");
+            prev = p;
+            sum += p;
+        }
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "rank probabilities must sum to 1, got {sum} for n={n} theta={theta}"
+        );
+    }
+}
+
+#[test]
+fn zipfian_samples_respect_distribution_bounds() {
+    use bench::workload::Zipf;
+    const SAMPLES: usize = 20_000;
+    for_each_case(|rng| {
+        // Random key-space size and skew per case.
+        let n = 16 + rng.next_below(1 << 12);
+        let theta = 0.5 + rng.next_below(49) as f64 / 100.0; // 0.50..=0.98
+        let z = Zipf::new(n, theta);
+        let mut head_hits = 0usize;
+        let mut top_decile_hits = 0usize;
+        let top_decile = (n / 10).max(1);
+        for _ in 0..SAMPLES {
+            let k = z.sample(rng);
+            assert!(k < n, "sample {k} out of bounds for n={n}");
+            if k == 0 {
+                head_hits += 1;
+            }
+            if k < top_decile {
+                top_decile_hits += 1;
+            }
+        }
+        // The hottest rank's empirical frequency must track its analytic
+        // probability (generous tolerance: 20k samples, random parameters).
+        let expected = z.rank_probability(0);
+        let observed = head_hits as f64 / SAMPLES as f64;
+        assert!(
+            (observed - expected).abs() < 0.4 * expected + 0.01,
+            "rank-0 frequency {observed:.4} vs expected {expected:.4} (n={n}, theta={theta})"
+        );
+        // Skew sanity: the top decile must capture visibly more mass than a
+        // uniform distribution would give it.
+        let uniform_share = top_decile as f64 / n as f64;
+        let observed_share = top_decile_hits as f64 / SAMPLES as f64;
+        assert!(
+            observed_share > 1.2 * uniform_share,
+            "top-{top_decile} share {observed_share:.4} not skewed above uniform {uniform_share:.4} \
+             (n={n}, theta={theta})"
+        );
+    });
+}
+
+#[test]
 fn tpcc_key_encoding_is_injective() {
     use std::collections::HashMap;
     use tpcc::{customer_key, Field};
