@@ -1,13 +1,12 @@
 //! Fig. 7: throughput of transactional hash tables (Medley, txMontage,
 //! OneFile, POneFile) for get:insert:remove ratios 0:1:1, 2:1:1, 18:1:1.
 
-use bench::systems::OneFileMicro;
+use bench::systems::{OneFileMicro, TxMontageMicro};
 use bench::{emit, CommonArgs, MedleyMicro};
 use medley::TxManager;
 use nbds::MichaelHashMap;
-use pmem::{NvmCostModel, PersistenceDomain, SimNvm};
+use pmem::{DomainBackend, NvmCostModel, SimNvm};
 use std::sync::Arc;
-use txmontage::DurableHashMap;
 
 fn main() {
     let args = CommonArgs::parse();
@@ -31,14 +30,11 @@ fn main() {
             }
             // txMontage (persistent hash table, periodic persistence).
             {
-                let mgr = TxManager::new();
-                let domain = PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::OPTANE_LIKE);
-                let map = Arc::new(DurableHashMap::hash_map(buckets, Arc::clone(&domain)));
-                let _advancer = pmem::EpochAdvancer::spawn(
-                    Arc::clone(&domain),
+                let sys = TxMontageMicro::hash_map(
+                    buckets,
+                    DomainBackend::Arena,
                     std::time::Duration::from_millis(10),
                 );
-                let sys = MedleyMicro::new("txMontage", mgr, map);
                 emit(
                     "fig7",
                     "txMontage",

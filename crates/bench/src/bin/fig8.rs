@@ -1,13 +1,12 @@
 //! Fig. 8: throughput of transactional skiplists (Medley, txMontage, OneFile,
 //! POneFile, TDSL, LFTT) for get:insert:remove ratios 0:1:1, 2:1:1, 18:1:1.
 
-use bench::systems::{LfttMicro, OneFileMicro, TdslMicro};
+use bench::systems::{LfttMicro, OneFileMicro, TdslMicro, TxMontageMicro};
 use bench::{emit, CommonArgs, MedleyMicro};
 use medley::TxManager;
 use nbds::SkipList;
-use pmem::{NvmCostModel, PersistenceDomain, SimNvm};
+use pmem::{DomainBackend, NvmCostModel, SimNvm};
 use std::sync::Arc;
-use txmontage::DurableSkipList;
 
 fn main() {
     let args = CommonArgs::parse();
@@ -29,14 +28,10 @@ fn main() {
                 );
             }
             {
-                let mgr = TxManager::new();
-                let domain = PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::OPTANE_LIKE);
-                let map = Arc::new(DurableSkipList::skip_list(Arc::clone(&domain)));
-                let _advancer = pmem::EpochAdvancer::spawn(
-                    Arc::clone(&domain),
+                let sys = TxMontageMicro::skip_list(
+                    DomainBackend::Arena,
                     std::time::Duration::from_millis(10),
                 );
-                let sys = MedleyMicro::new("txMontage", mgr, map);
                 emit(
                     "fig8",
                     "txMontage",

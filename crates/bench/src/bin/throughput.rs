@@ -1,7 +1,7 @@
 //! Contended-throughput harness: ops/sec-vs-threads series under zipfian and
 //! uniform key distributions, written to `BENCH_throughput.json`.
 //!
-//! Three workloads per thread count and distribution:
+//! Transient workloads per thread count and distribution:
 //!
 //! * `transfer/*` — two-word transfers over a tiny hot account set (general
 //!   descriptor path under install conflicts and helping storms), with a
@@ -10,6 +10,17 @@
 //!   and read-only fast paths under bucket contention);
 //! * `map18:1:1/*` — read-heavy mix (read-only path dominant).
 //!
+//! Durable (txMontage) workloads, run with a live `EpochAdvancer` so every
+//! committed update flows through the persistence domain's payload
+//! alloc/retire path and the periodic write-back:
+//!
+//! * `durable-transfer/*` — two-key balance transfers over a durable map
+//!   (each commit retires two payloads and allocates two more);
+//! * `durable-map2:1:1/*` — update-heavy durable map mix;
+//! * `durable-*-mutex/*` — the same workloads on the Mutex-slab payload
+//!   store, the A/B baseline whose global lock serializes all payload
+//!   traffic (pass `--no-durable-baseline` to skip).
+//!
 //! ```text
 //! cargo run --release -p bench --bin throughput -- \
 //!     --threads 1,4,16 --seconds 0.5 --keys 65536 --accounts 8 --theta 0.99
@@ -17,16 +28,22 @@
 //!
 //! Prints `workload/dist,threads,ops_per_sec,commits,aborts,helps` CSV rows
 //! and writes the full per-series statistics (commit-path mix, conflict
-//! aborts, helps) to the JSON report (`BENCH_JSON` overrides the path).
+//! aborts, helps, NVM flush/fence deltas and domain state for the durable
+//! series) to the JSON report (`BENCH_JSON` overrides the path).
 
-use bench::workload::{run_hot_transfer, run_map_mix, write_report, KeyDist, ThroughputConfig};
+use bench::workload::{
+    run_durable_map_mix, run_durable_transfer, run_hot_transfer, run_map_mix, write_report,
+    KeyDist, ThroughputConfig,
+};
 use bench::CommonArgs;
+use pmem::DomainBackend;
 use std::time::Duration;
 
 fn main() {
     let args = CommonArgs::parse();
     let accounts: u64 = CommonArgs::extra_flag("--accounts", 8);
     let theta: f64 = CommonArgs::extra_flag("--theta", 0.99);
+    let skip_baseline = std::env::args().any(|a| a == "--no-durable-baseline");
     let duration = Duration::from_secs_f64(args.seconds);
 
     println!("workload,threads,ops_per_sec,commits,aborts,helps");
@@ -43,6 +60,19 @@ fn main() {
             results.push(r);
             for ratio in [(2, 1, 1), (18, 1, 1)] {
                 let r = run_map_mix(&cfg, args.keys, ratio);
+                println!("{}", r.csv_row());
+                results.push(r);
+            }
+            // Durable series: arena store, then the Mutex-slab baseline.
+            let mut backends = vec![DomainBackend::Arena];
+            if !skip_baseline {
+                backends.push(DomainBackend::MutexSlab);
+            }
+            for backend in backends {
+                let r = run_durable_transfer(&cfg, accounts, backend);
+                println!("{}", r.csv_row());
+                results.push(r);
+                let r = run_durable_map_mix(&cfg, args.keys, (2, 1, 1), backend);
                 println!("{}", r.csv_row());
                 results.push(r);
             }

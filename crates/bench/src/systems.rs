@@ -1,8 +1,76 @@
 //! Microbenchmark adapters for the baseline systems (OneFile, POneFile,
 //! TDSL, LFTT) and constructors for the Medley / txMontage configurations.
 
-use crate::{MicroOp, MicroSession, MicroSystem};
+use crate::{MedleyMicro, MicroOp, MicroSession, MicroSystem};
+use medley::TxManager;
+use nbds::TxMap;
+use pmem::{DomainBackend, EpochAdvancer, NvmCostModel, PersistenceDomain};
 use std::sync::Arc;
+use std::time::Duration;
+use txmontage::{Durable, DurableHashMap, DurableSkipList};
+
+// ---------------------------------------------------------------------------
+// txMontage
+// ---------------------------------------------------------------------------
+
+/// The txMontage configuration of the figure benchmarks: a durable Medley
+/// map over a fresh manager and persistence domain, with a live epoch
+/// advancer that is stopped when the setup is dropped.  The `backend`
+/// parameter selects the payload store (arena by default; the Mutex-slab
+/// baseline for A/B runs).
+pub struct TxMontageMicro<M> {
+    inner: MedleyMicro<Durable<M>>,
+    domain: Arc<PersistenceDomain>,
+    _advancer: EpochAdvancer,
+}
+
+impl TxMontageMicro<nbds::MichaelHashMap<(u64, u64)>> {
+    /// Durable hash map (Fig. 7's txMontage series).
+    pub fn hash_map(buckets: usize, backend: DomainBackend, advancer_period: Duration) -> Self {
+        let mgr = TxManager::new();
+        let domain =
+            PersistenceDomain::with_backend(Arc::clone(&mgr), NvmCostModel::OPTANE_LIKE, backend);
+        let map = Arc::new(DurableHashMap::hash_map(buckets, Arc::clone(&domain)));
+        let advancer = EpochAdvancer::spawn(Arc::clone(&domain), advancer_period);
+        Self {
+            inner: MedleyMicro::new("txMontage", mgr, map),
+            domain,
+            _advancer: advancer,
+        }
+    }
+}
+
+impl TxMontageMicro<nbds::SkipList<(u64, u64)>> {
+    /// Durable skiplist (Fig. 8's txMontage series).
+    pub fn skip_list(backend: DomainBackend, advancer_period: Duration) -> Self {
+        let mgr = TxManager::new();
+        let domain =
+            PersistenceDomain::with_backend(Arc::clone(&mgr), NvmCostModel::OPTANE_LIKE, backend);
+        let map = Arc::new(DurableSkipList::skip_list(Arc::clone(&domain)));
+        let advancer = EpochAdvancer::spawn(Arc::clone(&domain), advancer_period);
+        Self {
+            inner: MedleyMicro::new("txMontage", mgr, map),
+            domain,
+            _advancer: advancer,
+        }
+    }
+}
+
+impl<M> TxMontageMicro<M> {
+    /// The persistence domain (for flush/fence accounting).
+    pub fn domain(&self) -> &Arc<PersistenceDomain> {
+        &self.domain
+    }
+}
+
+impl<M: TxMap<(u64, u64)> + 'static> MicroSystem for TxMontageMicro<M> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+    fn make_session(&self) -> Box<dyn MicroSession + '_> {
+        self.inner.make_session()
+    }
+}
 
 // ---------------------------------------------------------------------------
 // OneFile / POneFile
@@ -221,5 +289,17 @@ mod tests {
         assert!(run_micro(&LfttMicro::new(1 << 10), &cfg, 2) > 0.0);
         let nvm = Arc::new(pmem::SimNvm::new(pmem::NvmCostModel::ZERO));
         assert!(run_micro(&OneFileMicro::persistent(1 << 10, nvm), &cfg, 2) > 0.0);
+    }
+
+    #[test]
+    fn txmontage_adapter_runs_and_writes_back() {
+        let cfg = tiny_cfg();
+        let sys = TxMontageMicro::hash_map(1 << 10, DomainBackend::Arena, Duration::from_millis(2));
+        assert!(run_micro(&sys, &cfg, 2) > 0.0);
+        let (flushes, fences) = sys.domain().nvm().stats().snapshot();
+        assert!(
+            flushes > 0 && fences > 0,
+            "advancer must write payloads back"
+        );
     }
 }

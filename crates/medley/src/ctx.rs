@@ -147,6 +147,16 @@ pub trait Ctx: sealed::Sealed + Sized {
     /// monomorphization: `false` for [`NonTx`], `true` for an open [`Txn`].
     fn is_transactional(&self) -> bool;
 
+    /// The thread-slot id of the underlying [`ThreadHandle`] (always below
+    /// [`TxManager::max_threads`](crate::TxManager::max_threads) of the
+    /// manager the handle is registered with).
+    ///
+    /// This is the per-slot arena hook: side structures that keep per-thread
+    /// state — such as the payload arenas of a persistence domain — index it
+    /// by this id, relying on the manager's guarantee that at most one live
+    /// handle owns a slot at a time.
+    fn tid(&self) -> usize;
+
     /// The persistence epoch the open transaction snapshotted at begin
     /// (txMontage hook), or `None` in a standalone context.
     fn snapshot_epoch(&self) -> Option<u64>;
@@ -269,6 +279,11 @@ impl Ctx for NonTx<'_> {
     #[inline]
     fn is_transactional(&self) -> bool {
         false
+    }
+
+    #[inline]
+    fn tid(&self) -> usize {
+        self.h.tid()
     }
 
     #[inline]
@@ -532,6 +547,11 @@ impl Ctx for Txn<'_> {
     #[inline]
     fn is_transactional(&self) -> bool {
         self.h.in_tx()
+    }
+
+    #[inline]
+    fn tid(&self) -> usize {
+        self.h.tid()
     }
 
     #[inline]

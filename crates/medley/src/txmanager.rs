@@ -255,6 +255,18 @@ impl TxManager {
         &self.stats
     }
 
+    /// Number of thread slots this manager was created with.
+    ///
+    /// Thread-slot ids handed out by [`TxManager::register`] are always in
+    /// `0..max_threads()`, and at most one live [`ThreadHandle`] holds a
+    /// given slot at a time.  Per-slot side structures (such as the payload
+    /// arenas of `pmem::PersistenceDomain`) size themselves from this value
+    /// and index by [`ThreadHandle::tid`]: registration through the manager
+    /// is what makes a slot's arena single-writer.
+    pub fn max_threads(&self) -> usize {
+        self.descs.len()
+    }
+
     /// The epoch-based reclamation domain shared by structures built on this
     /// manager.
     pub fn collector(&self) -> &Arc<ebr::Collector> {

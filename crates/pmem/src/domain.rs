@@ -15,31 +15,424 @@
 //! always linearize entirely inside one epoch: this is the one-line
 //! integration that gives txMontage failure atomicity "almost for free"
 //! (paper Sec. 4.4).
+//!
+//! # Contention-scalable payload store
+//!
+//! The default backend ([`DomainBackend::Arena`]) shards the payload store
+//! into **per-thread arenas**, one per `TxManager` thread slot (the manager
+//! guarantees at most one live handle per slot, so each arena has a single
+//! allocating thread).  The fast paths are lock-free:
+//!
+//! * **alloc** — pop the arena's Treiber free list (single popper: the
+//!   owning slot) or bump-extend a lazily allocated chunk; tag the slot and
+//!   push it on the arena's *dirty list* for its birth epoch;
+//! * **retire** — store the retirement epoch into the slot (possibly from
+//!   another thread) and push the slot on the dirty list for that epoch;
+//! * **abandon** (aborted transaction) — flag the slot; it is recycled when
+//!   its birth-epoch dirty list is consumed, or immediately if that has
+//!   already happened.
+//!
+//! Dirty lists are **epoch-indexed**: each arena keeps a small ring of
+//! intrusive lock-free lists, one per recent epoch.  [`PersistenceDomain::advance_epoch`]
+//! consumes only the lists of the epochs crossing the durability horizon, so
+//! the per-epoch write-back is `O(payloads born/retired in those epochs)`
+//! rather than `O(every slot ever allocated)` as in the Mutex-slab design.
+//!
+//! ## Epoch lifecycle of one payload slot
+//!
+//! ```text
+//!   alloc(e)                    retire(r)                advance past r
+//!   ────────►  LIVE, birth=e  ───────────►  retired(r)  ───────────────►  FREE
+//!      │        │  dirty[e%R] ◄─ birth          │  dirty[r%R] ◄─ retire     │
+//!      │        │                               │                          │
+//!      │        ▼ advance past e                ▼ advance past r           │
+//!      │     birth written back            retirement written back,        │
+//!      │     (payload durable,             slot recycled exactly once      │
+//!      │      recoverable)                 (never before it is durable)    │
+//!      │                                                                   │
+//!      └── abort → ABANDONED ── birth list consumed ───────────────────────┘
+//! ```
+//!
+//! `persisted_epoch` is advanced only *after* the write-back of the epochs it
+//! covers, and [`PersistenceDomain::recover`] derives its horizon from
+//! `persisted_epoch` under the same lock that serializes recycling — so
+//! recovery can never claim durability for an epoch whose write-back has not
+//! happened, and no payload visible at the horizon is recycled mid-scan.
+//!
+//! The previous single-`Mutex<Slab>` design is kept as
+//! [`DomainBackend::MutexSlab`], the A/B baseline for the
+//! `durable-*` throughput series.
 
 use crate::nvm::{NvmCostModel, SimNvm};
 use medley::util::sync::Mutex;
+use medley::util::CachePadded;
 use medley::TxManager;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 /// A payload slot is retired but its retirement is not yet durable.
 const LIVE: u64 = u64::MAX;
 
-/// One payload record: a key/value pair plus the epochs in which it was
-/// created and retired.  In real nbMontage this is a cache-line-sized block
-/// in NVM; here it is a slot in the simulated-NVM slab.
+/// Birth sentinel of a slot that currently holds no payload (free, or still
+/// being initialized by its owner).
+const UNBORN: u64 = u64::MAX;
+
+/// Identifier of a payload record (returned by
+/// [`PersistenceDomain::alloc_payload`]).  With the arena backend the id
+/// packs the owning thread slot into the high bits and the slot index into
+/// the low 40 bits; treat it as opaque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayloadId(pub u64);
+
+/// Which payload-store implementation a domain uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DomainBackend {
+    /// Per-thread payload arenas with epoch-indexed dirty lists (lock-free
+    /// alloc/retire fast paths, `O(dirty)` write-back per epoch).  The
+    /// default.
+    #[default]
+    Arena,
+    /// The original single `Mutex<Slab>` store whose write-back rescans
+    /// every slot ever allocated.  Kept as the contended-throughput A/B
+    /// baseline.
+    MutexSlab,
+}
+
+/// Statistics of a persistence domain.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DomainStats {
+    /// Payload records currently considered live (born, not retired, not
+    /// abandoned).
+    pub live_payloads: usize,
+    /// Payload slots available for reuse.
+    pub free_slots: usize,
+    /// Payload slots ever created (live + free + in flight).
+    pub allocated_slots: usize,
+    /// Epoch up to which payloads have been written back.
+    pub persisted_epoch: u64,
+    /// Current epoch.
+    pub current_epoch: u64,
+}
+
+// ---------------------------------------------------------------------------
+// PayloadId encoding (arena backend)
+// ---------------------------------------------------------------------------
+
+/// Bits of a [`PayloadId`] holding the slot index within its arena.
+const IDX_BITS: u32 = 40;
+const IDX_MASK: u64 = (1 << IDX_BITS) - 1;
+
+#[inline]
+fn encode_id(tid: usize, idx: u64) -> PayloadId {
+    debug_assert!(idx <= IDX_MASK);
+    PayloadId(((tid as u64) << IDX_BITS) | idx)
+}
+
+#[inline]
+fn decode_id(id: PayloadId) -> (usize, u64) {
+    ((id.0 >> IDX_BITS) as usize, id.0 & IDX_MASK)
+}
+
+// ---------------------------------------------------------------------------
+// Arena backend
+// ---------------------------------------------------------------------------
+
+/// Slot-state flags (bits of `Slot::state`).
+const BIRTH_FLUSHED: u64 = 1 << 0;
+const RETIRE_FLUSHED: u64 = 1 << 1;
+/// The slot has been pushed on its arena's free list (set exactly once per
+/// incarnation — this is the per-slot flag that replaces the old
+/// `free.contains(&idx)` scan and makes double-recycling impossible).
+const FREED: u64 = 1 << 2;
+/// The payload belongs to an aborted transaction and was never part of any
+/// durable state; recycled when its birth dirty entry is consumed.
+const ABANDONED: u64 = 1 << 3;
+
+const KIND_BIRTH: usize = 0;
+const KIND_RETIRE: usize = 1;
+
+/// Size of the per-arena epoch ring of dirty lists.  Unconsumed dirty epochs
+/// span at most the two epochs above the durability horizon (plus a little
+/// slack for stale tags, which the drain re-buckets), so 8 is ample.
+const RING: usize = 8;
+
+const CHUNK_SHIFT: u32 = 13;
+/// Slots per lazily-allocated arena chunk.
+const CHUNK_SIZE: usize = 1 << CHUNK_SHIFT;
+/// Maximum chunks per arena (bounds an arena at 8Mi slots — comfortably
+/// above the paper's 1M-key workloads even when one thread preloads the
+/// whole store; the chunk table itself is a few KiB per arena).
+const MAX_CHUNKS: usize = 1024;
+
+/// One payload slot: a key/value pair, its birth/retire epochs, its state
+/// flags, and the intrusive links threading it onto the arena's free list
+/// and (per kind) onto one epoch-indexed dirty list.  64 bytes.
+struct Slot {
+    key: AtomicU64,
+    val: AtomicU64,
+    /// Birth epoch; [`UNBORN`] while the slot is free.  Stored with
+    /// `Release` as the publication of `key`/`val`.
+    birth: AtomicU64,
+    /// Retirement epoch; [`LIVE`] while the payload is live.
+    retire: AtomicU64,
+    state: AtomicU64,
+    /// Next free slot (index + 1; 0 = end).  Meaningful only while FREED.
+    free_link: AtomicU64,
+    /// Next dirty entry per kind (encoded entry + 1; 0 = end).  Meaningful
+    /// only while the slot sits on the corresponding dirty list.
+    links: [AtomicU64; 2],
+}
+
+impl Default for Slot {
+    fn default() -> Self {
+        Self {
+            key: AtomicU64::new(0),
+            val: AtomicU64::new(0),
+            birth: AtomicU64::new(UNBORN),
+            retire: AtomicU64::new(LIVE),
+            state: AtomicU64::new(0),
+            free_link: AtomicU64::new(0),
+            links: [AtomicU64::new(0), AtomicU64::new(0)],
+        }
+    }
+}
+
+/// One thread slot's payload arena.
+struct Arena {
+    chunks: Box<[OnceLock<Box<[Slot]>>]>,
+    /// Published slot count (bump-extended by the owning thread only).
+    len: AtomicU64,
+    /// Treiber free-list head (slot index + 1; 0 = empty).  Pushed by any
+    /// thread (recycler, abandoner), popped only by the owning thread —
+    /// single-popper Treiber is ABA-free.
+    free_head: AtomicU64,
+    free_count: AtomicU64,
+    /// Epoch-indexed dirty-list heads (encoded entry + 1; 0 = empty).
+    dirty: [AtomicU64; RING],
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self {
+            chunks: (0..MAX_CHUNKS).map(|_| OnceLock::new()).collect(),
+            len: AtomicU64::new(0),
+            free_head: AtomicU64::new(0),
+            free_count: AtomicU64::new(0),
+            dirty: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Arena {
+    #[inline]
+    fn slot(&self, idx: u64) -> &Slot {
+        let chunk = (idx >> CHUNK_SHIFT) as usize;
+        let off = (idx & (CHUNK_SIZE as u64 - 1)) as usize;
+        &self.chunks[chunk].get().expect("published slot")[off]
+    }
+
+    /// Pops a free slot.  Only the owning thread calls this, so the Treiber
+    /// pop has a single popper and cannot suffer ABA.
+    fn pop_free(&self) -> Option<u64> {
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            if head == 0 {
+                return None;
+            }
+            let idx = head - 1;
+            let next = self.slot(idx).free_link.load(Ordering::Relaxed);
+            if self
+                .free_head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.free_count.fetch_sub(1, Ordering::Relaxed);
+                return Some(idx);
+            }
+        }
+    }
+
+    /// Pushes `idx` on the free list (any thread).
+    fn push_free(&self, idx: u64) {
+        let slot = self.slot(idx);
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            slot.free_link.store(head, Ordering::Relaxed);
+            if self
+                .free_head
+                .compare_exchange_weak(head, idx + 1, Ordering::Release, Ordering::Acquire)
+                .is_ok()
+            {
+                self.free_count.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    /// Extends the arena by one slot (owning thread only).
+    fn bump(&self) -> u64 {
+        let idx = self.len.load(Ordering::Relaxed);
+        let chunk = (idx >> CHUNK_SHIFT) as usize;
+        assert!(chunk < MAX_CHUNKS, "payload arena exhausted");
+        self.chunks[chunk].get_or_init(|| {
+            (0..CHUNK_SIZE)
+                .map(|_| Slot::default())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        // Fresh slots carry `birth == UNBORN`, so publishing the length
+        // before the slot is tagged cannot expose uninitialized payloads.
+        self.len.store(idx + 1, Ordering::Release);
+        idx
+    }
+
+    /// Pushes the (slot, kind) dirty entry on the list of `epoch` (any
+    /// thread; lock-free Treiber push).
+    fn push_dirty(&self, epoch: u64, idx: u64, kind: usize) {
+        let enc = idx * 2 + kind as u64;
+        let head = &self.dirty[(epoch % RING as u64) as usize];
+        let slot = self.slot(idx);
+        loop {
+            let h = head.load(Ordering::Acquire);
+            slot.links[kind].store(h, Ordering::Relaxed);
+            if head
+                .compare_exchange_weak(h, enc + 1, Ordering::Release, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}
+
+/// The sharded payload store.
+struct ArenaStore {
+    arenas: Box<[CachePadded<Arena>]>,
+    /// Serializes slot recycling against recovery scans (and the periodic
+    /// drains against each other).  Never taken on the alloc/retire fast
+    /// paths.
+    recycle_lock: Mutex<()>,
+}
+
+impl ArenaStore {
+    fn new(max_threads: usize) -> Self {
+        Self {
+            arenas: (0..max_threads)
+                .map(|_| CachePadded::new(Arena::default()))
+                .collect(),
+            recycle_lock: Mutex::new(()),
+        }
+    }
+
+    /// Recycles a slot exactly once per incarnation (the FREED flag makes a
+    /// second attempt a no-op).
+    fn free_slot(arena: &Arena, idx: u64) {
+        let s = arena.slot(idx);
+        if s.state.fetch_or(FREED, Ordering::AcqRel) & FREED == 0 {
+            s.birth.store(UNBORN, Ordering::Release);
+            arena.push_free(idx);
+        }
+    }
+
+    /// Consumes one epoch bucket of one arena: write back every due
+    /// birth/retirement, recycle slots whose retirement (or abandonment) is
+    /// resolved, and re-bucket entries whose tag was moved to a later epoch.
+    /// Returns the number of cache lines to write back.  Caller holds
+    /// `recycle_lock`.
+    ///
+    /// ## Recycling handoff (why freeing waits for *both* entries)
+    ///
+    /// The dirty lists are intrusive: each slot owns its birth/retire link
+    /// fields, so a slot must never be recycled — and thus reallocated,
+    /// which pushes a *new* birth entry and overwrites the link — while one
+    /// of its old entries is still sitting in some bucket (the overwrite
+    /// would splice the new list into the old one and could even close a
+    /// cycle, hanging the next drain).  A retirement's bucket can be
+    /// consumed before its birth's (LIFO order within one shared `e % RING`
+    /// bucket, or a birth entry stranded by a push/drain race), so the free
+    /// is a handoff: whichever of the two consumptions observes the other's
+    /// `*_FLUSHED` flag already set (the `fetch_or`s totally order them)
+    /// recycles the slot.  Only then is every reference to the slot's links
+    /// gone.
+    fn drain_bucket(&self, arena: &Arena, bucket: usize, durable: u64) -> u64 {
+        let mut entry = arena.dirty[bucket].swap(0, Ordering::AcqRel);
+        let mut flushed = 0u64;
+        while entry != 0 {
+            let enc = entry - 1;
+            let (idx, kind) = (enc / 2, (enc % 2) as usize);
+            let s = arena.slot(idx);
+            // Read the successor before any re-push can reuse the link.
+            entry = s.links[kind].load(Ordering::Relaxed);
+            if kind == KIND_BIRTH {
+                let b = s.birth.load(Ordering::Acquire);
+                if b == UNBORN {
+                    continue; // already recycled
+                }
+                if b >= durable && s.state.load(Ordering::Relaxed) & ABANDONED == 0 {
+                    // Tag moved to a later epoch (standalone-op re-
+                    // validation): not due yet, re-bucket.
+                    arena.push_dirty(b, idx, KIND_BIRTH);
+                    continue;
+                }
+                let st = s.state.fetch_or(BIRTH_FLUSHED, Ordering::AcqRel);
+                if st & ABANDONED != 0 {
+                    // Never part of any durable state: recycle, no flush.
+                    // (If the abandoner saw BIRTH_FLUSHED already set it
+                    // recycled the slot itself; `free_slot` is idempotent.)
+                    Self::free_slot(arena, idx);
+                } else {
+                    if st & BIRTH_FLUSHED == 0 {
+                        flushed += 1;
+                    }
+                    if st & RETIRE_FLUSHED != 0 {
+                        // The retirement was written back first and deferred
+                        // the recycle to us (see the handoff note above).
+                        Self::free_slot(arena, idx);
+                    }
+                }
+            } else {
+                let r = s.retire.load(Ordering::Acquire);
+                if r == LIVE {
+                    continue; // defensive: no pending retirement
+                }
+                if r >= durable {
+                    arena.push_dirty(r, idx, KIND_RETIRE);
+                    continue;
+                }
+                let st = s.state.fetch_or(RETIRE_FLUSHED, Ordering::AcqRel);
+                if st & RETIRE_FLUSHED == 0 {
+                    flushed += 1;
+                }
+                // A retirement is recycled only once it is durable (so
+                // recovery can never resurrect the slot) *and* only via the
+                // handoff: if the birth entry is still pending somewhere,
+                // its consumption performs the free.
+                if st & BIRTH_FLUSHED != 0 {
+                    Self::free_slot(arena, idx);
+                }
+            }
+        }
+        flushed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex-slab backend (A/B baseline)
+// ---------------------------------------------------------------------------
+
+/// One payload record of the Mutex-slab baseline.
 #[derive(Debug, Clone, Copy)]
 struct Payload {
     key: u64,
     val: u64,
     birth: u64,
     retire: u64,
+    /// Per-slot recycle flag (replaces the old `free.contains(&idx)` scan,
+    /// which was O(free²) per epoch and double-pushed abandoned slots).
+    freed: bool,
 }
-
-/// Identifier of a payload record (returned by [`PersistenceDomain::alloc_payload`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PayloadId(pub u64);
 
 #[derive(Debug, Default)]
 struct Slab {
@@ -47,32 +440,35 @@ struct Slab {
     free: Vec<usize>,
 }
 
-/// Statistics of a persistence domain.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct DomainStats {
-    /// Payload records currently considered live.
-    pub live_payloads: usize,
-    /// Payload slots available for reuse.
-    pub free_slots: usize,
-    /// Epoch up to which payloads have been written back.
-    pub persisted_epoch: u64,
-    /// Current epoch.
-    pub current_epoch: u64,
+// ---------------------------------------------------------------------------
+// Domain
+// ---------------------------------------------------------------------------
+
+enum Store {
+    Arena(ArenaStore),
+    MutexSlab(Mutex<Slab>),
 }
 
 /// An nbMontage-style persistence domain bound to one [`TxManager`].
+///
+/// Payload arenas are registered per manager thread slot: the domain sizes
+/// its store from [`TxManager::max_threads`] and callers identify their
+/// arena by the thread-slot id (`Ctx::tid` / `ThreadHandle::tid`), so a
+/// domain must only be used with handles of the manager it was created on.
 pub struct PersistenceDomain {
     mgr: Arc<TxManager>,
     nvm: SimNvm,
-    slab: Mutex<Slab>,
+    store: Store,
     /// Epoch up to which all payload births/retirements have been "written
-    /// back" to simulated NVM.
+    /// back" to simulated NVM (exclusive).  Advanced only after the
+    /// write-back of the epochs it covers.
     persisted_epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for PersistenceDomain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PersistenceDomain")
+            .field("backend", &self.backend())
             .field("current_epoch", &self.current_epoch())
             .field(
                 "persisted_epoch",
@@ -99,16 +495,39 @@ fn durable_end(epoch: u64) -> u64 {
 }
 
 impl PersistenceDomain {
-    /// Creates a domain on `mgr` with the given NVM cost model, and turns on
-    /// epoch validation for all transactions of that manager.
+    /// Creates a domain on `mgr` with the given NVM cost model and the
+    /// default [`DomainBackend::Arena`] store, and turns on epoch validation
+    /// for all transactions of that manager.
     pub fn new(mgr: Arc<TxManager>, cost: NvmCostModel) -> Arc<Self> {
+        Self::with_backend(mgr, cost, DomainBackend::default())
+    }
+
+    /// Creates a domain with an explicit payload-store backend (the
+    /// Mutex-slab baseline exists for A/B throughput comparisons).
+    pub fn with_backend(
+        mgr: Arc<TxManager>,
+        cost: NvmCostModel,
+        backend: DomainBackend,
+    ) -> Arc<Self> {
         mgr.set_epoch_validation(true);
+        let store = match backend {
+            DomainBackend::Arena => Store::Arena(ArenaStore::new(mgr.max_threads())),
+            DomainBackend::MutexSlab => Store::MutexSlab(Mutex::new(Slab::default())),
+        };
         Arc::new(Self {
             mgr,
             nvm: SimNvm::new(cost),
-            slab: Mutex::new(Slab::default()),
+            store,
             persisted_epoch: AtomicU64::new(0),
         })
+    }
+
+    /// The payload-store backend in use.
+    pub fn backend(&self) -> DomainBackend {
+        match self.store {
+            Store::Arena(_) => DomainBackend::Arena,
+            Store::MutexSlab(_) => DomainBackend::MutexSlab,
+        }
     }
 
     /// The transaction manager whose epoch word drives this domain.
@@ -126,51 +545,192 @@ impl PersistenceDomain {
         self.mgr.current_epoch()
     }
 
-    /// Allocates a payload record for `key -> val`, tagged with `epoch`.
-    pub fn alloc_payload(&self, key: u64, val: u64, epoch: u64) -> PayloadId {
-        let mut slab = self.slab.lock();
-        let payload = Payload {
-            key,
-            val,
-            birth: epoch,
-            retire: LIVE,
-        };
-        let idx = if let Some(idx) = slab.free.pop() {
-            slab.slots[idx] = payload;
-            idx
-        } else {
-            slab.slots.push(payload);
-            slab.slots.len() - 1
-        };
-        PayloadId(idx as u64)
+    /// Allocates a payload record for `key -> val`, tagged with `epoch`, in
+    /// the arena of thread slot `tid` (the caller's `Ctx::tid()` /
+    /// `ThreadHandle::tid()`; the manager guarantees the slot has a single
+    /// live owner, which is what makes the arena fast path safe).
+    pub fn alloc_payload(&self, tid: usize, key: u64, val: u64, epoch: u64) -> PayloadId {
+        match &self.store {
+            Store::Arena(store) => {
+                let arena = &store.arenas[tid];
+                let idx = arena.pop_free().unwrap_or_else(|| arena.bump());
+                let s = arena.slot(idx);
+                s.key.store(key, Ordering::Relaxed);
+                s.val.store(val, Ordering::Relaxed);
+                s.retire.store(LIVE, Ordering::Relaxed);
+                s.state.store(0, Ordering::Relaxed);
+                // Publishes the fields above to recovery/write-back scans.
+                s.birth.store(epoch, Ordering::Release);
+                arena.push_dirty(epoch, idx, KIND_BIRTH);
+                self.repair_stale_bucket(tid, epoch);
+                encode_id(tid, idx)
+            }
+            Store::MutexSlab(slab) => {
+                let mut slab = slab.lock();
+                let payload = Payload {
+                    key,
+                    val,
+                    birth: epoch,
+                    retire: LIVE,
+                    freed: false,
+                };
+                let idx = if let Some(idx) = slab.free.pop() {
+                    slab.slots[idx] = payload;
+                    idx
+                } else {
+                    slab.slots.push(payload);
+                    slab.slots.len() - 1
+                };
+                PayloadId(idx as u64)
+            }
+        }
     }
 
     /// Abandons a payload that belongs to an *aborted* transaction: the
     /// record was never part of any durable state (its birth epoch is more
-    /// recent than every possible recovery horizon), so its slot can be
-    /// recycled immediately.
+    /// recent than every possible recovery horizon), so its slot is recycled
+    /// — immediately in the slab baseline, and as soon as its birth-epoch
+    /// dirty list is consumed in the arena store (at once if that already
+    /// happened).
     pub fn abandon_payload(&self, id: PayloadId) {
-        let mut slab = self.slab.lock();
-        let idx = id.0 as usize;
-        slab.slots[idx].birth = LIVE;
-        slab.slots[idx].retire = 0;
-        slab.free.push(idx);
+        match &self.store {
+            Store::Arena(store) => {
+                let (tid, idx) = decode_id(id);
+                let arena = &store.arenas[tid];
+                let s = arena.slot(idx);
+                let st = s.state.fetch_or(ABANDONED, Ordering::AcqRel);
+                debug_assert_eq!(st & FREED, 0, "payload abandoned after recycle");
+                if st & BIRTH_FLUSHED != 0 {
+                    // The birth dirty entry was already consumed (the epoch
+                    // crossed the horizon while the transaction was in
+                    // flight); nobody else will recycle the slot.  The free
+                    // must happen under the recycle lock — recovery scans
+                    // rely on it to pin every slot whose (old) birth they
+                    // have already read, and a lock-free free here would let
+                    // the owner reallocate the slot mid-scan and have the
+                    // scan emit the new in-flight key/value under the old
+                    // durable birth epoch.  Cold path: this branch only runs
+                    // when an abort raced the durability horizon.
+                    let _g = store.recycle_lock.lock();
+                    ArenaStore::free_slot(arena, idx);
+                }
+            }
+            Store::MutexSlab(slab) => {
+                let mut slab = slab.lock();
+                let idx = id.0 as usize;
+                slab.slots[idx].birth = LIVE;
+                slab.slots[idx].retire = 0;
+                slab.slots[idx].freed = true;
+                slab.free.push(idx);
+            }
+        }
     }
 
     /// Marks the payload `id` as retired in `epoch` (the key/value pair it
-    /// represents has been removed or replaced).
+    /// represents has been removed or replaced).  May be called from any
+    /// thread, not only the arena owner.
     pub fn retire_payload(&self, id: PayloadId, epoch: u64) {
-        let mut slab = self.slab.lock();
-        let slot = &mut slab.slots[id.0 as usize];
-        debug_assert_eq!(slot.retire, LIVE, "payload retired twice");
-        slot.retire = epoch;
+        match &self.store {
+            Store::Arena(store) => {
+                let (tid, idx) = decode_id(id);
+                let arena = &store.arenas[tid];
+                let s = arena.slot(idx);
+                let prev = s.retire.swap(epoch, Ordering::AcqRel);
+                debug_assert_eq!(prev, LIVE, "payload retired twice");
+                arena.push_dirty(epoch, idx, KIND_RETIRE);
+                self.repair_stale_bucket(tid, epoch);
+            }
+            Store::MutexSlab(slab) => {
+                let mut slab = slab.lock();
+                let slot = &mut slab.slots[id.0 as usize];
+                debug_assert_eq!(slot.retire, LIVE, "payload retired twice");
+                slot.retire = epoch;
+            }
+        }
+    }
+
+    /// Moves the birth tag of `id` from `from` to the later epoch `to`.
+    ///
+    /// Standalone (`NonTx`) operations read the epoch before their index
+    /// update linearizes; if the clock advanced across the update, the
+    /// payload would claim durability one horizon too early (it would be
+    /// recovered at a cut the operation is not part of).  Re-tagging with an
+    /// epoch read *after* the linearization is always conservative: the
+    /// operation linearized no later than the re-read, so the payload can be
+    /// lost with the newest epochs but never resurrected.  The write-back
+    /// drain re-buckets the pending dirty entry to the new epoch.
+    ///
+    /// A CAS (never a blind store) so that a racing write-back — which may
+    /// have already recycled and reallocated the slot — is left untouched.
+    pub fn retag_birth(&self, id: PayloadId, from: u64, to: u64) {
+        debug_assert!(from <= to);
+        match &self.store {
+            Store::Arena(store) => {
+                let (tid, idx) = decode_id(id);
+                let s = store.arenas[tid].slot(idx);
+                let _ = s
+                    .birth
+                    .compare_exchange(from, to, Ordering::AcqRel, Ordering::Relaxed);
+            }
+            Store::MutexSlab(slab) => {
+                let mut slab = slab.lock();
+                let slot = &mut slab.slots[id.0 as usize];
+                if slot.birth == from && !slot.freed {
+                    slot.birth = to;
+                }
+            }
+        }
+    }
+
+    /// Moves the retirement tag of `id` from `from` to the later epoch `to`
+    /// (see [`PersistenceDomain::retag_birth`] for the standalone-operation
+    /// race this repairs).
+    pub fn retag_retire(&self, id: PayloadId, from: u64, to: u64) {
+        debug_assert!(from <= to);
+        match &self.store {
+            Store::Arena(store) => {
+                let (tid, idx) = decode_id(id);
+                let s = store.arenas[tid].slot(idx);
+                let _ = s
+                    .retire
+                    .compare_exchange(from, to, Ordering::AcqRel, Ordering::Relaxed);
+            }
+            Store::MutexSlab(slab) => {
+                let mut slab = slab.lock();
+                let slot = &mut slab.slots[id.0 as usize];
+                if slot.retire == from && !slot.freed {
+                    slot.retire = to;
+                }
+            }
+        }
+    }
+
+    /// A dirty entry was pushed for an epoch that is already persisted (a
+    /// stale tag, or a push that raced the write-back of its epoch): drain
+    /// that bucket now so the write-back claim stays honest.  One relaxed
+    /// load on the fast path; the lock is taken only in the racy case.
+    fn repair_stale_bucket(&self, tid: usize, epoch: u64) {
+        if epoch >= self.persisted_epoch.load(Ordering::Acquire) {
+            return;
+        }
+        if let Store::Arena(store) = &self.store {
+            let _g = store.recycle_lock.lock();
+            let durable = self.persisted_epoch.load(Ordering::Relaxed);
+            let flushed =
+                store.drain_bucket(&store.arenas[tid], (epoch % RING as u64) as usize, durable);
+            if flushed > 0 {
+                self.nvm.flush_lines(flushed);
+                self.nvm.fence();
+            }
+        }
     }
 
     /// Advances the epoch clock by one and performs the periodic persistence
     /// work for every epoch that is now two behind: all payloads born or
     /// retired in those epochs are written back (one simulated cache-line
     /// flush per record, one fence per batch), and slots whose retirement is
-    /// durable are recycled.
+    /// durable are recycled.  With the arena store this consumes only the
+    /// dirty lists of the crossing epochs — `O(dirty)`, not `O(all slots)`.
     ///
     /// Returns the new current epoch.
     pub fn advance_epoch(&self) -> u64 {
@@ -178,78 +738,222 @@ impl PersistenceDomain {
         // `persisted_epoch` holds the *exclusive* end of the epoch range
         // whose payload births/retirements have been written back.
         let durable = durable_end(new_epoch);
-        let mut slab = self.slab.lock();
-        let prev = self.persisted_epoch.load(Ordering::Acquire);
-        if durable > prev {
-            let mut flushed = 0u64;
-            let mut recycle = Vec::new();
-            for (idx, p) in slab.slots.iter().enumerate() {
-                let born_now = p.birth >= prev && p.birth < durable;
-                let retired_now = p.retire != LIVE && p.retire >= prev && p.retire < durable;
-                if born_now || retired_now {
-                    flushed += 1;
-                }
-                if p.retire != LIVE && p.retire < durable {
-                    recycle.push(idx);
+        match &self.store {
+            Store::Arena(store) => {
+                let _g = store.recycle_lock.lock();
+                let prev = self.persisted_epoch.load(Ordering::Relaxed);
+                if durable > prev {
+                    let mut flushed = 0u64;
+                    // Each bucket needs draining at most once even if the
+                    // horizon jumped more than a full ring.
+                    let lo = if durable - prev >= RING as u64 {
+                        durable - RING as u64
+                    } else {
+                        prev
+                    };
+                    for e in lo..durable {
+                        let bucket = (e % RING as u64) as usize;
+                        for arena in store.arenas.iter() {
+                            flushed += store.drain_bucket(arena, bucket, durable);
+                        }
+                    }
+                    if flushed > 0 {
+                        self.nvm.flush_lines(flushed);
+                    }
+                    self.nvm.fence();
+                    // Published only after the write-back above, so a
+                    // recovery horizon derived from it is always honest.
+                    self.persisted_epoch.store(durable, Ordering::Release);
                 }
             }
-            if flushed > 0 {
-                self.nvm.flush_lines(flushed);
-            }
-            self.nvm.fence();
-            for idx in recycle {
-                // A slot is recycled only once its retirement is durable, so
-                // recovery can never resurrect it.
-                if !slab.free.contains(&idx) {
-                    slab.free.push(idx);
-                    slab.slots[idx].birth = LIVE; // tombstone
+            Store::MutexSlab(slab) => {
+                let mut slab = slab.lock();
+                let prev = self.persisted_epoch.load(Ordering::Acquire);
+                if durable > prev {
+                    let mut flushed = 0u64;
+                    let mut recycle = Vec::new();
+                    for (idx, p) in slab.slots.iter().enumerate() {
+                        if p.freed {
+                            continue;
+                        }
+                        let born_now = p.birth >= prev && p.birth < durable;
+                        let retired_now =
+                            p.retire != LIVE && p.retire >= prev && p.retire < durable;
+                        if born_now || retired_now {
+                            flushed += 1;
+                        }
+                        if p.retire != LIVE && p.retire < durable {
+                            recycle.push(idx);
+                        }
+                    }
+                    if flushed > 0 {
+                        self.nvm.flush_lines(flushed);
+                    }
+                    self.nvm.fence();
+                    for idx in recycle {
+                        // A slot is recycled only once its retirement is
+                        // durable, so recovery can never resurrect it; the
+                        // per-slot flag makes the push exactly-once.
+                        let slot = &mut slab.slots[idx];
+                        if !slot.freed {
+                            slot.freed = true;
+                            slot.birth = LIVE; // tombstone
+                            slab.free.push(idx);
+                        }
+                    }
+                    self.persisted_epoch.store(durable, Ordering::Release);
                 }
             }
-            self.persisted_epoch.store(durable, Ordering::Release);
         }
         new_epoch
     }
 
     /// nbMontage `sync()`: makes everything completed before the call
     /// durable by advancing the epoch twice.
+    ///
+    /// With the arena store this additionally drains *every* dirty bucket
+    /// (not only the ones the two advances crossed): a dirty entry pushed
+    /// concurrently with the drain of its own epoch can land after the
+    /// bucket was consumed and would otherwise wait for the ring to wrap.
+    /// `sync` is the quiescence point, so it settles such stragglers
+    /// immediately.
     pub fn sync(&self) {
         self.advance_epoch();
         self.advance_epoch();
-    }
-
-    /// Simulates post-crash recovery: returns the key/value mapping as of the
-    /// end of epoch `current - 2` (the nbMontage recovery point).  A payload
-    /// is recovered if it was born in a durable epoch and either never
-    /// retired or retired after the recovery point.
-    pub fn recover(&self) -> HashMap<u64, u64> {
-        let crash_epoch = self.current_epoch();
-        let horizon = durable_end(crash_epoch);
-        let slab = self.slab.lock();
-        let mut out = HashMap::new();
-        for p in slab.slots.iter() {
-            if p.birth == LIVE {
-                continue; // recycled tombstone
+        if let Store::Arena(store) = &self.store {
+            let _g = store.recycle_lock.lock();
+            let durable = self.persisted_epoch.load(Ordering::Relaxed);
+            let mut flushed = 0u64;
+            for arena in store.arenas.iter() {
+                for bucket in 0..RING {
+                    flushed += store.drain_bucket(arena, bucket, durable);
+                }
             }
-            if p.birth < horizon && (p.retire == LIVE || p.retire >= horizon) {
-                out.insert(p.key, p.val);
+            if flushed > 0 {
+                self.nvm.flush_lines(flushed);
+                self.nvm.fence();
             }
         }
-        out
+    }
+
+    /// Simulates post-crash recovery: returns the key/value mapping as of
+    /// the recovery horizon.  A payload is recovered if it was born in a
+    /// durable epoch and either never retired or retired at/after the
+    /// horizon.  Equivalent to [`PersistenceDomain::recover_with_horizon`]
+    /// without the horizon.
+    pub fn recover(&self) -> HashMap<u64, u64> {
+        self.recover_with_horizon().0
+    }
+
+    /// Post-crash recovery, also returning the horizon used (the epoch cut
+    /// the mapping corresponds to: everything before it is included, nothing
+    /// at or after it).
+    ///
+    /// The horizon is `persisted_epoch` — the exclusive end of the epochs
+    /// whose write-back has actually happened — read under the same lock
+    /// that serializes recycling.  Deriving it from `current_epoch()` (as
+    /// the old code did) races a concurrent [`PersistenceDomain::advance_epoch`]: the clock is
+    /// bumped *before* the write-back, so a recovery sampling the clock in
+    /// that window would claim durability for epochs that were never written
+    /// back.  Holding the recycle lock additionally pins every payload
+    /// retired at/after the horizon for the duration of the scan.
+    pub fn recover_with_horizon(&self) -> (HashMap<u64, u64>, u64) {
+        match &self.store {
+            Store::Arena(store) => {
+                let _g = store.recycle_lock.lock();
+                let horizon = self.persisted_epoch.load(Ordering::Acquire);
+                let mut out = HashMap::new();
+                for arena in store.arenas.iter() {
+                    let len = arena.len.load(Ordering::Acquire);
+                    for idx in 0..len {
+                        let s = arena.slot(idx);
+                        let b = s.birth.load(Ordering::Acquire);
+                        if b == UNBORN || b >= horizon {
+                            continue; // free, in-flight, or not yet durable
+                        }
+                        if s.state.load(Ordering::Relaxed) & ABANDONED != 0 {
+                            continue; // aborted transaction's payload
+                        }
+                        let r = s.retire.load(Ordering::Relaxed);
+                        if r == LIVE || r >= horizon {
+                            out.insert(
+                                s.key.load(Ordering::Relaxed),
+                                s.val.load(Ordering::Relaxed),
+                            );
+                        }
+                    }
+                }
+                (out, horizon)
+            }
+            Store::MutexSlab(slab) => {
+                let slab = slab.lock();
+                // Same fix in the baseline: the horizon is what has been
+                // written back, sampled under the slab lock (which
+                // `advance_epoch` holds across write-back + publication).
+                let horizon = self.persisted_epoch.load(Ordering::Acquire);
+                let mut out = HashMap::new();
+                for p in slab.slots.iter() {
+                    if p.freed || p.birth == LIVE {
+                        continue; // recycled tombstone
+                    }
+                    if p.birth < horizon && (p.retire == LIVE || p.retire >= horizon) {
+                        out.insert(p.key, p.val);
+                    }
+                }
+                (out, horizon)
+            }
+        }
     }
 
     /// Counters describing the domain's state.
     pub fn stats(&self) -> DomainStats {
-        let slab = self.slab.lock();
-        let live = slab
-            .slots
-            .iter()
-            .filter(|p| p.birth != LIVE && p.retire == LIVE)
-            .count();
-        DomainStats {
-            live_payloads: live,
-            free_slots: slab.free.len(),
-            persisted_epoch: self.persisted_epoch.load(Ordering::Relaxed),
-            current_epoch: self.current_epoch(),
+        match &self.store {
+            Store::Arena(store) => {
+                let _g = store.recycle_lock.lock();
+                let mut live = 0usize;
+                let mut free = 0usize;
+                let mut allocated = 0usize;
+                for arena in store.arenas.iter() {
+                    let len = arena.len.load(Ordering::Acquire);
+                    allocated += len as usize;
+                    free += arena.free_count.load(Ordering::Relaxed) as usize;
+                    for idx in 0..len {
+                        let s = arena.slot(idx);
+                        let b = s.birth.load(Ordering::Acquire);
+                        if b == UNBORN {
+                            continue;
+                        }
+                        if s.state.load(Ordering::Relaxed) & ABANDONED != 0 {
+                            continue;
+                        }
+                        if s.retire.load(Ordering::Relaxed) == LIVE {
+                            live += 1;
+                        }
+                    }
+                }
+                DomainStats {
+                    live_payloads: live,
+                    free_slots: free,
+                    allocated_slots: allocated,
+                    persisted_epoch: self.persisted_epoch.load(Ordering::Relaxed),
+                    current_epoch: self.current_epoch(),
+                }
+            }
+            Store::MutexSlab(slab) => {
+                let slab = slab.lock();
+                let live = slab
+                    .slots
+                    .iter()
+                    .filter(|p| !p.freed && p.birth != LIVE && p.retire == LIVE)
+                    .count();
+                DomainStats {
+                    live_payloads: live,
+                    free_slots: slab.free.len(),
+                    allocated_slots: slab.slots.len(),
+                    persisted_epoch: self.persisted_epoch.load(Ordering::Relaxed),
+                    current_epoch: self.current_epoch(),
+                }
+            }
         }
     }
 }
@@ -263,13 +967,35 @@ pub struct EpochAdvancer {
 
 impl EpochAdvancer {
     /// Spawns an advancer ticking every `period`.
+    ///
+    /// The tick schedule is absolute (`start + k·period`), not
+    /// sleep-relative: epoch length is the system's durability promise (an
+    /// operation is durable within two periods of completing), so an
+    /// advancer that oversleeps — e.g. starved on an oversubscribed box —
+    /// catches up instead of silently stretching the epochs and skipping
+    /// write-back work.  The catch-up is *lag-bounded* (at most a few
+    /// periods of back-to-back advances, then the schedule resyncs): an
+    /// unbounded burst would advance the epoch continuously for as long as
+    /// the backlog lasts, and since every epoch-validated transaction aborts
+    /// when the epoch moves under it, a long burst livelocks all durable
+    /// transactions in the system.
     pub fn spawn(domain: Arc<PersistenceDomain>, period: std::time::Duration) -> Self {
+        const MAX_LAG_PERIODS: u32 = 4;
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let join = std::thread::spawn(move || {
+            let mut next = std::time::Instant::now() + period;
             while !stop2.load(Ordering::Relaxed) {
-                std::thread::sleep(period);
+                let now = std::time::Instant::now();
+                if now < next {
+                    std::thread::sleep(next - now);
+                }
                 domain.advance_epoch();
+                next += period;
+                let now = std::time::Instant::now();
+                if now > next + period * MAX_LAG_PERIODS {
+                    next = now;
+                }
             }
         });
         Self {
@@ -296,46 +1022,114 @@ mod tests {
         PersistenceDomain::new(TxManager::new(), NvmCostModel::ZERO)
     }
 
+    fn both_backends() -> Vec<Arc<PersistenceDomain>> {
+        [DomainBackend::Arena, DomainBackend::MutexSlab]
+            .into_iter()
+            .map(|b| PersistenceDomain::with_backend(TxManager::new(), NvmCostModel::ZERO, b))
+            .collect()
+    }
+
     #[test]
     fn payloads_become_durable_after_two_epochs() {
-        let d = domain();
-        let e = d.current_epoch();
-        d.alloc_payload(1, 10, e);
-        // Not yet durable: recovery horizon is e - 2.
-        assert!(d.recover().is_empty());
-        d.advance_epoch();
-        d.advance_epoch();
-        let rec = d.recover();
-        assert_eq!(rec.get(&1), Some(&10));
+        for d in both_backends() {
+            let e = d.current_epoch();
+            d.alloc_payload(0, 1, 10, e);
+            // Not yet durable: recovery horizon is e - 2.
+            assert!(d.recover().is_empty());
+            d.advance_epoch();
+            d.advance_epoch();
+            let rec = d.recover();
+            assert_eq!(rec.get(&1), Some(&10));
+        }
     }
 
     #[test]
     fn retirement_hides_payload_after_horizon_passes() {
-        let d = domain();
-        let e = d.current_epoch();
-        let id = d.alloc_payload(2, 20, e);
-        d.sync();
-        assert_eq!(d.recover().get(&2), Some(&20));
-        let e2 = d.current_epoch();
-        d.retire_payload(id, e2);
-        // Retirement not yet durable: still recovered.
-        assert_eq!(d.recover().get(&2), Some(&20));
-        d.sync();
-        assert!(!d.recover().contains_key(&2));
+        for d in both_backends() {
+            let e = d.current_epoch();
+            let id = d.alloc_payload(0, 2, 20, e);
+            d.sync();
+            assert_eq!(d.recover().get(&2), Some(&20));
+            let e2 = d.current_epoch();
+            d.retire_payload(id, e2);
+            // Retirement not yet durable: still recovered.
+            assert_eq!(d.recover().get(&2), Some(&20));
+            d.sync();
+            assert!(!d.recover().contains_key(&2));
+        }
     }
 
     #[test]
     fn retired_slots_are_recycled_only_when_durable() {
-        let d = domain();
-        let e = d.current_epoch();
-        let id = d.alloc_payload(3, 30, e);
-        d.retire_payload(id, e);
-        assert_eq!(d.stats().free_slots, 0);
-        d.sync();
-        assert_eq!(d.stats().free_slots, 1);
-        // The recycled slot is reused by the next allocation.
-        let id2 = d.alloc_payload(4, 40, d.current_epoch());
-        assert_eq!(id2, id);
+        for d in both_backends() {
+            let e = d.current_epoch();
+            let id = d.alloc_payload(0, 3, 30, e);
+            d.retire_payload(id, e);
+            assert_eq!(d.stats().free_slots, 0);
+            d.sync();
+            assert_eq!(d.stats().free_slots, 1);
+            // The recycled slot is reused by the next allocation.
+            let id2 = d.alloc_payload(0, 4, 40, d.current_epoch());
+            assert_eq!(id2, id);
+        }
+    }
+
+    #[test]
+    fn retired_durable_slot_enters_free_list_exactly_once() {
+        // Regression for the recycle loop double-pushing slots: a slot whose
+        // retirement became durable must be recycled exactly once, no matter
+        // how many more epochs pass over it.
+        for d in both_backends() {
+            let e = d.current_epoch();
+            let id = d.alloc_payload(0, 7, 70, e);
+            d.retire_payload(id, e);
+            d.sync();
+            assert_eq!(d.stats().free_slots, 1, "{:?}", d.backend());
+            for _ in 0..6 {
+                d.advance_epoch();
+                assert_eq!(
+                    d.stats().free_slots,
+                    1,
+                    "slot recycled more than once on {:?}",
+                    d.backend()
+                );
+            }
+            // One allocation consumes the recycled slot...
+            let id2 = d.alloc_payload(0, 8, 80, d.current_epoch());
+            assert_eq!(id2, id);
+            assert_eq!(d.stats().free_slots, 0);
+            // ...and the next one must get a fresh slot, not a duplicate.
+            let id3 = d.alloc_payload(0, 9, 90, d.current_epoch());
+            assert_ne!(id3, id2);
+        }
+    }
+
+    #[test]
+    fn abandoned_payloads_are_recycled_and_never_recovered() {
+        for d in both_backends() {
+            let e = d.current_epoch();
+            let id = d.alloc_payload(0, 5, 50, e);
+            d.abandon_payload(id);
+            assert_eq!(d.stats().live_payloads, 0);
+            d.sync();
+            d.sync();
+            assert!(d.recover().is_empty(), "{:?}", d.backend());
+            assert_eq!(d.stats().free_slots, 1, "{:?}", d.backend());
+            // Abandon after the birth epoch already crossed the horizon
+            // (in-flight transaction overtaken by the clock).
+            let e = d.current_epoch();
+            let id = d.alloc_payload(0, 6, 60, e);
+            d.sync(); // birth write-back happens with the payload in flight
+            d.abandon_payload(id);
+            assert!(!d.recover().contains_key(&6));
+            d.sync();
+            assert!(!d.recover().contains_key(&6));
+            assert_eq!(d.stats().live_payloads, 0);
+            // The first abandoned slot was recycled and reused by the second
+            // allocation, so exactly one slot is free again.
+            assert_eq!(d.stats().free_slots, 1, "{:?}", d.backend());
+            assert_eq!(d.stats().allocated_slots, 1, "{:?}", d.backend());
+        }
     }
 
     #[test]
@@ -343,7 +1137,7 @@ mod tests {
         let d = domain();
         let e = d.current_epoch();
         for k in 0..100 {
-            d.alloc_payload(k, k, e);
+            d.alloc_payload(0, k, k, e);
         }
         let (flushes_before, _) = d.nvm().stats().snapshot();
         assert_eq!(flushes_before, 0, "no eager flushing");
@@ -351,6 +1145,178 @@ mod tests {
         let (flushes, fences) = d.nvm().stats().snapshot();
         assert_eq!(flushes, 100, "one write-back per payload, batched");
         assert!(fences <= 4, "a handful of fences per epoch, not per op");
+    }
+
+    #[test]
+    fn dirty_lists_make_write_back_proportional_to_churn() {
+        // A large resident population must not be re-flushed by later
+        // epochs: after the initial write-back, an epoch that saw k updates
+        // flushes O(k) lines, independent of the resident set.
+        let d = domain();
+        let e = d.current_epoch();
+        for k in 0..10_000 {
+            d.alloc_payload(0, k, k, e);
+        }
+        d.sync();
+        let (flushes_initial, _) = d.nvm().stats().snapshot();
+        assert_eq!(flushes_initial, 10_000);
+        // Two quiet epochs: nothing new to write back.
+        d.sync();
+        let (flushes_quiet, _) = d.nvm().stats().snapshot();
+        assert_eq!(flushes_quiet, flushes_initial, "quiet epochs flush nothing");
+        // A small burst: write-back is proportional to the burst only.
+        let e = d.current_epoch();
+        for k in 0..10 {
+            d.alloc_payload(0, 100_000 + k, k, e);
+        }
+        d.sync();
+        let (flushes_burst, _) = d.nvm().stats().snapshot();
+        assert_eq!(flushes_burst - flushes_quiet, 10);
+    }
+
+    #[test]
+    fn multi_arena_payloads_recover_together() {
+        let mgr = TxManager::with_max_threads(8);
+        let d = PersistenceDomain::with_backend(mgr, NvmCostModel::ZERO, DomainBackend::Arena);
+        let e = d.current_epoch();
+        for tid in 0..8 {
+            d.alloc_payload(tid, tid as u64, tid as u64 * 10, e);
+        }
+        d.sync();
+        let rec = d.recover();
+        assert_eq!(rec.len(), 8);
+        for tid in 0..8u64 {
+            assert_eq!(rec.get(&tid), Some(&(tid * 10)));
+        }
+        assert_eq!(d.stats().live_payloads, 8);
+        assert_eq!(d.stats().allocated_slots, 8);
+    }
+
+    #[test]
+    fn recovery_horizon_never_outruns_write_back() {
+        // Regression for the recover/advance race: the epoch *clock* is
+        // advanced before the write-back runs, so a horizon derived from
+        // `current_epoch()` would claim durability for epochs that were
+        // never written back.  Bumping the raw clock (as a preempted
+        // advancer does between its two steps) must not move the recovery
+        // horizon.
+        for d in both_backends() {
+            let e = d.current_epoch();
+            d.alloc_payload(0, 1, 10, e);
+            // The clock alone races ahead; no write-back has happened.
+            d.manager().advance_epoch();
+            d.manager().advance_epoch();
+            let (rec, horizon) = d.recover_with_horizon();
+            assert_eq!(
+                horizon,
+                0,
+                "{:?}: horizon must track write-back",
+                d.backend()
+            );
+            assert!(
+                rec.is_empty(),
+                "{:?}: claimed durability without write-back: {rec:?}",
+                d.backend()
+            );
+            // Once the domain itself advances, the write-back runs and the
+            // payload becomes recoverable.
+            d.advance_epoch();
+            let (rec, horizon) = d.recover_with_horizon();
+            assert_eq!(horizon, d.stats().persisted_epoch);
+            assert_eq!(rec.get(&1), Some(&10));
+        }
+    }
+
+    #[test]
+    fn recover_races_advancer_without_claiming_unflushed_epochs() {
+        // The satellite-1 regression proper: hammer recover() while a
+        // µs-period advancer runs and an allocator churns payloads.  Each
+        // payload's value records its birth tag, so any recovered entry
+        // tagged at/after the returned horizon is a claim of durability for
+        // an epoch whose write-back had not happened.
+        let mgr = TxManager::with_max_threads(4);
+        let d = PersistenceDomain::new(mgr, NvmCostModel::ZERO);
+        let advancer = EpochAdvancer::spawn(Arc::clone(&d), std::time::Duration::from_micros(1));
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let d2 = &d;
+            let stop = &stop;
+            s.spawn(move || {
+                // Retire each previous allocation so the arena stays small:
+                // the recovery scans below are O(arena slots), and an
+                // unbounded allocator makes the racing loop quadratic on a
+                // slow box.
+                let mut pending: Option<PayloadId> = None;
+                let mut k = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let e = d2.current_epoch();
+                    let id = d2.alloc_payload(0, k, e, e);
+                    if let Some(old) = pending.take() {
+                        d2.retire_payload(old, d2.current_epoch());
+                    }
+                    pending = Some(id);
+                    k += 1;
+                }
+            });
+            let mut last_horizon = 0;
+            for _ in 0..500 {
+                let (rec, horizon) = d.recover_with_horizon();
+                assert!(horizon >= last_horizon, "horizon must be monotone");
+                last_horizon = horizon;
+                for (k, birth_tag) in rec {
+                    assert!(
+                        birth_tag < horizon,
+                        "key {k} born in epoch {birth_tag} recovered at horizon {horizon}"
+                    );
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        drop(advancer);
+    }
+
+    #[test]
+    fn stale_tags_are_repaired_by_retag() {
+        // The standalone-operation race: a payload tagged in epoch `e` whose
+        // index update linearizes after the clock moved must be re-tagged
+        // with the later epoch, or it becomes recoverable at a horizon its
+        // operation is not part of.
+        let d = domain();
+        let e = d.current_epoch();
+        let id = d.alloc_payload(0, 1, 10, e);
+        // The clock moves across the (conceptual) index update; the fix
+        // re-tags the payload with the post-linearization epoch.
+        d.advance_epoch();
+        let now = d.current_epoch();
+        d.retag_birth(id, e, now);
+        d.advance_epoch(); // horizon crosses e, but not `now`
+        let (rec, horizon) = d.recover_with_horizon();
+        assert!(horizon > e);
+        assert!(
+            !rec.contains_key(&1),
+            "re-tagged payload recovered before its new epoch is durable"
+        );
+        d.sync();
+        assert_eq!(d.recover().get(&1), Some(&10), "durable after the new tag");
+
+        // Same for retirements: the removal linearized in `now2`, so at a
+        // horizon between the stale tag and `now2` the payload must still be
+        // visible.
+        let stale = d.current_epoch();
+        d.advance_epoch();
+        let now2 = d.current_epoch();
+        d.retire_payload(id, stale);
+        d.retag_retire(id, stale, now2);
+        d.advance_epoch(); // horizon crosses `stale`
+        let (rec, horizon) = d.recover_with_horizon();
+        assert!(horizon > stale && horizon <= now2);
+        assert_eq!(
+            rec.get(&1),
+            Some(&10),
+            "retirement claimed durable before its write-back epoch"
+        );
+        d.sync();
+        assert!(!d.recover().contains_key(&1));
     }
 
     #[test]
@@ -370,5 +1336,44 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(60));
         }
         assert!(d.current_epoch() > before);
+    }
+
+    #[test]
+    fn concurrent_alloc_retire_across_arenas_keeps_accounting() {
+        // 8 threads allocate and retire in their own arenas while an
+        // advancer recycles; afterwards every retired slot is free exactly
+        // once and every survivor is recoverable.
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 2_000;
+        let mgr = TxManager::with_max_threads(THREADS);
+        let d = PersistenceDomain::new(mgr, NvmCostModel::ZERO);
+        let advancer = EpochAdvancer::spawn(Arc::clone(&d), std::time::Duration::from_micros(20));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let d = &d;
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let e = d.current_epoch();
+                        let key = ((t as u64) << 32) | i;
+                        let id = d.alloc_payload(t, key, i, e);
+                        if i % 2 == 0 {
+                            d.retire_payload(id, d.current_epoch());
+                        }
+                    }
+                });
+            }
+        });
+        drop(advancer);
+        d.sync();
+        d.sync();
+        let stats = d.stats();
+        let expected_live = (THREADS as u64 * PER_THREAD / 2) as usize;
+        assert_eq!(stats.live_payloads, expected_live);
+        assert_eq!(
+            stats.free_slots + expected_live,
+            stats.allocated_slots,
+            "every non-live slot must be free exactly once: {stats:?}"
+        );
+        assert_eq!(d.recover().len(), expected_live);
     }
 }

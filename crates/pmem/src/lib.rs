@@ -7,17 +7,29 @@
 //!   coarse intervals;
 //! * a **payload store** holding the semantically significant data of each
 //!   structure (key/value pairs), each record tagged with the epoch of the
-//!   operation that created or retired it;
+//!   operation that created or retired it.  The store is sharded into
+//!   **per-thread arenas** (one per `TxManager` thread slot) with lock-free
+//!   allocation and retirement, and each arena keeps **epoch-indexed dirty
+//!   lists** so the periodic write-back touches only the records that
+//!   actually changed in the epochs crossing the durability horizon;
 //! * **periodic persistence**: payloads are written back in batches at epoch
 //!   boundaries rather than eagerly, and post-crash recovery restores the
 //!   state as of the end of epoch `e − 2` — the *buffered* durable
 //!   linearizability of Izraelevitz et al., extended to transactions
-//!   (buffered durable strict serializability) by txMontage;
+//!   (buffered durable strict serializability) by txMontage.  Buffered
+//!   durability deliberately trades a bounded recent window for throughput:
+//!   a crash in epoch `e` loses the operations of epochs `e − 1` and `e`
+//!   (anything newer than the last completed write-back), but never an
+//!   operation that a [`PersistenceDomain::sync`] call covered, and recovery
+//!   is always a consistent cut — no half-applied transaction is ever
+//!   restored;
 //! * a **simulated NVM** device that counts (and optionally charges latency
 //!   for) cache-line write-backs and fences, standing in for the Optane
 //!   hardware of the paper per DESIGN.md's substitution table.
 //!
 //! The `txmontage` crate combines this domain with the Medley maps of `nbds`.
+//! See [`domain`] for the slot lifecycle diagram and the concurrency
+//! argument of the arena store.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -25,5 +37,5 @@
 pub mod domain;
 pub mod nvm;
 
-pub use domain::{DomainStats, EpochAdvancer, PayloadId, PersistenceDomain};
-pub use nvm::{NvmCostModel, NvmStats, SimNvm};
+pub use domain::{DomainBackend, DomainStats, EpochAdvancer, PayloadId, PersistenceDomain};
+pub use nvm::{NvmCostModel, NvmSnapshot, NvmStats, SimNvm};

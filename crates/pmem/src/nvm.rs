@@ -65,6 +65,32 @@ impl NvmStats {
             self.fences.load(Ordering::Relaxed),
         )
     }
+
+    /// A structured point-in-time copy, subtractable for per-run deltas
+    /// (used by the `durable-*` throughput series).
+    pub fn snapshot_counts(&self) -> NvmSnapshot {
+        let (flushes, fences) = self.snapshot();
+        NvmSnapshot { flushes, fences }
+    }
+}
+
+/// A point-in-time copy of an [`NvmStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NvmSnapshot {
+    /// Cache-line write-backs issued so far.
+    pub flushes: u64,
+    /// Ordering fences issued so far.
+    pub fences: u64,
+}
+
+impl NvmSnapshot {
+    /// The persistence work performed between `earlier` and `self`.
+    pub fn delta_since(self, earlier: NvmSnapshot) -> NvmSnapshot {
+        NvmSnapshot {
+            flushes: self.flushes - earlier.flushes,
+            fences: self.fences - earlier.fences,
+        }
+    }
 }
 
 /// A simulated NVM device: charges latencies and counts operations.

@@ -14,23 +14,48 @@
 //!
 //! * the transient index (hash table / skiplist) stays in DRAM, exactly as
 //!   nbMontage keeps indices transient;
-//! * every update allocates or retires payload records tagged with the
-//!   transaction's epoch;
+//! * every update allocates or retires payload records in the calling
+//!   thread's arena, tagged with the operation's epoch;
 //! * payload bookkeeping for committed updates runs in the post-commit
 //!   cleanup phase, and payloads of aborted transactions are abandoned via
 //!   Medley's abort actions;
 //! * [`Durable::recover`] rebuilds the key/value mapping as of the nbMontage
 //!   recovery point (end of epoch `e − 2`).
 //!
+//! In production the epoch clock is driven by a background
+//! [`pmem::EpochAdvancer`], which periodically advances the epoch and writes
+//! back the dirty payloads of the epochs crossing the durability horizon —
+//! without it, nothing ever becomes durable on its own and only explicit
+//! [`Durable::sync`] calls move the horizon:
+//!
+//! ## Known simulation limitation: pre-linearization payload visibility
+//!
+//! A payload record is allocated in the domain *before* the index update
+//! that publishes it linearizes (both standalone and transactional paths;
+//! the Mutex-slab design of earlier revisions had the same window).  If the
+//! updating thread stalls for two or more epoch advances inside that
+//! microseconds-wide window, a concurrent [`Durable::recover`] can include
+//! the pending key/value even though the operation has not happened (and may
+//! yet fail or abort, abandoning the payload).  Real nbMontage closes this
+//! with its epoch-participation protocol — the advancer waits for the
+//! operations of an epoch to retire before persisting it — which this
+//! simulation does not model.  The post-linearization tag race, by
+//! contrast, *is* handled: standalone operations re-validate the epoch
+//! after their update and re-tag conservatively.
+//!
 //! ```
 //! use medley::TxManager;
 //! use nbds::MichaelHashMap;
-//! use pmem::{NvmCostModel, PersistenceDomain};
+//! use pmem::{EpochAdvancer, NvmCostModel, PersistenceDomain};
+//! use std::time::Duration;
 //! use txmontage::Durable;
 //!
 //! let mgr = TxManager::new();
 //! let domain = PersistenceDomain::new(mgr.clone(), NvmCostModel::ZERO);
 //! let map = Durable::new(MichaelHashMap::with_buckets(64), domain.clone());
+//! // The advancer ticks the epoch clock in the background, like
+//! // nbMontage's; completed operations become durable within two periods.
+//! let advancer = EpochAdvancer::spawn(domain.clone(), Duration::from_millis(1));
 //! let mut h = mgr.register();
 //!
 //! // Standalone (uninstrumented) update through the NonTx context...
@@ -41,9 +66,10 @@
 //!     map.put(t, 3, 300);
 //!     Ok(())
 //! });
-//! domain.sync();                       // make it durable
+//! domain.sync();                       // force durability now (don't wait)
 //! assert_eq!(map.recover().get(&1), Some(&100));
 //! assert_eq!(map.recover().get(&2), Some(&200));
+//! drop(advancer);                      // stops and joins the ticker
 //! ```
 
 #![warn(missing_docs)]
@@ -51,7 +77,7 @@
 
 use medley::Ctx;
 use nbds::{MichaelHashMap, SkipList, TxMap};
-use pmem::PersistenceDomain;
+use pmem::{PayloadId, PersistenceDomain};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -91,7 +117,9 @@ impl<M> Durable<M>
 where
     M: TxMap<Indexed>,
 {
-    /// Wraps a transient Medley map.
+    /// Wraps a transient Medley map.  The domain must be bound to the same
+    /// `TxManager` as the handles that will operate on the map (payload
+    /// arenas are indexed by the manager's thread slots).
     pub fn new(inner: M, domain: Arc<PersistenceDomain>) -> Self {
         Self { inner, domain }
     }
@@ -109,6 +137,34 @@ where
             .unwrap_or_else(|| self.domain.current_epoch())
     }
 
+    /// Closes the standalone-update epoch race: a `NonTx` operation reads
+    /// the epoch once *before* its index update, so the clock may advance
+    /// before the update linearizes — the payload would then be tagged one
+    /// epoch early and claimed durable (recovered) at a horizon the
+    /// operation is not part of, losing or resurrecting it across a crash.
+    /// Transactions are immune (the MCNS commit validates the snapshot
+    /// epoch), so for standalone operations we re-read the epoch *after* the
+    /// update and, on a change, conservatively re-tag the touched payloads
+    /// with the later epoch: the operation linearized no later than the
+    /// re-read, so the new tag can delay durability by one horizon but never
+    /// claim it early.
+    fn revalidate_standalone_epoch(
+        &self,
+        tagged: u64,
+        birth: Option<PayloadId>,
+        retired: Option<PayloadId>,
+    ) {
+        let now = self.domain.current_epoch();
+        if now != tagged {
+            if let Some(id) = birth {
+                self.domain.retag_birth(id, tagged, now);
+            }
+            if let Some(id) = retired {
+                self.domain.retag_retire(id, tagged, now);
+            }
+        }
+    }
+
     /// Looks up `key`.
     pub fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<u64> {
         self.inner.get(cx, key).map(|(v, _)| v)
@@ -122,10 +178,13 @@ where
     /// Inserts `key -> val` if absent; returns `true` on success.
     pub fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: u64) -> bool {
         let epoch = self.op_epoch(cx);
-        let payload = self.domain.alloc_payload(key, val, epoch);
+        let payload = self.domain.alloc_payload(cx.tid(), key, val, epoch);
         if self.inner.insert(cx, key, (val, payload.0)) {
             let domain = Arc::clone(&self.domain);
             cx.add_abort_action(move |_| domain.abandon_payload(payload));
+            if !cx.is_transactional() {
+                self.revalidate_standalone_epoch(epoch, Some(payload), None);
+            }
             true
         } else {
             self.domain.abandon_payload(payload);
@@ -136,18 +195,19 @@ where
     /// Inserts or replaces; returns the previous value if any.
     pub fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: u64) -> Option<u64> {
         let epoch = self.op_epoch(cx);
-        let payload = self.domain.alloc_payload(key, val, epoch);
+        let payload = self.domain.alloc_payload(cx.tid(), key, val, epoch);
         let prev = self.inner.put(cx, key, (val, payload.0));
         let domain = Arc::clone(&self.domain);
         cx.add_abort_action(move |_| domain.abandon_payload(payload));
-        match prev {
-            Some((old_val, old_payload)) => {
-                let domain = Arc::clone(&self.domain);
-                cx.add_cleanup(move |_| domain.retire_payload(pmem::PayloadId(old_payload), epoch));
-                Some(old_val)
-            }
-            None => None,
+        let retired = prev.map(|(_, old_payload)| PayloadId(old_payload));
+        if let Some(old) = retired {
+            let domain = Arc::clone(&self.domain);
+            cx.add_cleanup(move |_| domain.retire_payload(old, epoch));
         }
+        if !cx.is_transactional() {
+            self.revalidate_standalone_epoch(epoch, Some(payload), retired);
+        }
+        prev.map(|(old_val, _)| old_val)
     }
 
     /// Removes `key`; returns its value if present.
@@ -155,8 +215,12 @@ where
         let epoch = self.op_epoch(cx);
         match self.inner.remove(cx, key) {
             Some((old_val, old_payload)) => {
+                let old = PayloadId(old_payload);
                 let domain = Arc::clone(&self.domain);
-                cx.add_cleanup(move |_| domain.retire_payload(pmem::PayloadId(old_payload), epoch));
+                cx.add_cleanup(move |_| domain.retire_payload(old, epoch));
+                if !cx.is_transactional() {
+                    self.revalidate_standalone_epoch(epoch, None, Some(old));
+                }
                 Some(old_val)
             }
             None => None,
@@ -172,6 +236,12 @@ where
     /// nbMontage recovery point (end of epoch `current − 2`).
     pub fn recover(&self) -> HashMap<u64, u64> {
         self.domain.recover()
+    }
+
+    /// Recovery that also reports the epoch horizon of the returned cut (see
+    /// [`PersistenceDomain::recover_with_horizon`]).
+    pub fn recover_with_horizon(&self) -> (HashMap<u64, u64>, u64) {
+        self.domain.recover_with_horizon()
     }
 }
 
@@ -200,7 +270,7 @@ where
 mod tests {
     use super::*;
     use medley::{AbortReason, TxManager, TxResult};
-    use pmem::NvmCostModel;
+    use pmem::{EpochAdvancer, NvmCostModel};
 
     fn setup() -> (Arc<TxManager>, Arc<PersistenceDomain>, DurableHashMap) {
         let mgr = TxManager::new();
@@ -328,5 +398,79 @@ mod tests {
         let rec = map.recover();
         assert_eq!(rec.get(&1), Some(&11), "epoch-0 update must be durable");
         assert!(!rec.contains_key(&3), "current-epoch update may be lost");
+    }
+
+    #[test]
+    fn standalone_ops_under_microsecond_advancer_recover_exactly() {
+        // Satellite-2 regression: 8 threads of standalone (NonTx) puts and
+        // removes race a ~µs-period advancer, so the epoch clock routinely
+        // moves between an operation's epoch read and its index update —
+        // the window in which payloads used to keep a one-epoch-early tag.
+        // Each thread owns a disjoint key range with monotonically
+        // increasing values; concurrent recoveries must always be
+        // consistent cuts (monotone per key), and the final recovery after
+        // a quiescent sync must equal the live contents exactly.
+        const THREADS: usize = 8;
+        const KEYS_PER_THREAD: u64 = 16;
+        const ROUNDS: u64 = 400;
+        let mgr = TxManager::with_max_threads(THREADS + 1);
+        let domain = PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::ZERO);
+        let map = Arc::new(DurableHashMap::hash_map(256, Arc::clone(&domain)));
+        let advancer =
+            EpochAdvancer::spawn(Arc::clone(&domain), std::time::Duration::from_micros(1));
+        std::thread::scope(|s| {
+            for t in 0..THREADS as u64 {
+                let mgr = Arc::clone(&mgr);
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    let mut h = mgr.register();
+                    for i in 1..=ROUNDS {
+                        let k = t * KEYS_PER_THREAD + (i % KEYS_PER_THREAD);
+                        if i % 7 == 0 {
+                            map.remove(&mut h.nontx(), k);
+                        } else {
+                            map.put(&mut h.nontx(), k, i);
+                        }
+                    }
+                });
+            }
+            // Concurrent recoveries: every cut must be per-key monotone
+            // (values only grow within a thread's range).
+            let mut floors: HashMap<u64, u64> = HashMap::new();
+            for _ in 0..200 {
+                let (rec, _) = map.recover_with_horizon();
+                for (k, v) in rec {
+                    let f = floors.entry(k).or_insert(0);
+                    assert!(v >= *f, "key {k} went backwards: recovered {v} after {f}");
+                    *f = v;
+                }
+            }
+        });
+        drop(advancer);
+        // Quiesce: after two syncs everything completed is durable, so the
+        // recovery must equal the live map exactly — a stale early tag (or a
+        // lost retirement) would surface as a missing/resurrected key here.
+        domain.sync();
+        domain.sync();
+        let rec = map.recover();
+        let mut h = mgr.register();
+        let mut cx = h.nontx();
+        let mut live = 0;
+        for t in 0..THREADS as u64 {
+            for j in 0..KEYS_PER_THREAD {
+                let k = t * KEYS_PER_THREAD + j;
+                let in_map = map.get(&mut cx, k);
+                assert_eq!(
+                    rec.get(&k).copied(),
+                    in_map,
+                    "recovery and live map disagree on key {k}"
+                );
+                if in_map.is_some() {
+                    live += 1;
+                }
+            }
+        }
+        assert_eq!(rec.len(), live);
+        assert_eq!(domain.stats().live_payloads, live);
     }
 }
