@@ -1,0 +1,323 @@
+//! Service-level load generator for the `kvstore` layer: N closed-loop
+//! client connections over loopback TCP, zipfian key picks, mixed
+//! single-key / multi-key traffic, per-request latency histograms.
+//!
+//! By default it is self-hosting: it starts an in-process server, runs one
+//! series against the **transient** backend and one against the **durable**
+//! (txMontage, live epoch advancer) backend, and writes both to
+//! `BENCH_server.json` via the shared `bench::report` emitter — throughput,
+//! client-observed abort counts, log-bucketed p50/p90/p99 latencies, and
+//! the server's own `STATS` snapshot (commit-path mix, conflict aborts,
+//! domain state).  `--connect ADDR` instead drives an externally started
+//! `kvserver`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin kvbench -- \
+//!     --connections 4 --seconds 2 --keys 4096 --theta 0.99 --workers 4
+//! ```
+//!
+//! Traffic mix per draw (keys zipfian unless `--uniform`): 50% `GET`,
+//! 20% `PUT`, 10% `CAS`, 10% `TRANSFER` (two picks, amount 1), 10% `MGET`
+//! of 4 keys.  There are no `DEL`s so `TRANSFER` accounts stay populated;
+//! failed transfers (`Insufficient`) are successful round trips and are
+//! counted separately from aborts.
+
+use bench::report::{write_json, LatencyHistogram};
+use bench::workload::KeyDist;
+use bench::CommonArgs;
+use kvstore::{
+    Client, KvError, Server, ServerConfig, StatsReply, StoreBackend, StoreConfig, TableKind,
+};
+use medley::util::FastRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Initial balance preloaded into every key.
+const INITIAL: u64 = 1_000_000;
+
+/// Per-connection tallies of one series.
+#[derive(Default)]
+struct ConnTally {
+    ok: u64,
+    retry_aborts: u64,
+    app_errors: u64,
+}
+
+struct SeriesResult {
+    name: String,
+    connections: usize,
+    elapsed: Duration,
+    ok: u64,
+    retry_aborts: u64,
+    app_errors: u64,
+    hist: LatencyHistogram,
+    server: StatsReply,
+}
+
+impl SeriesResult {
+    fn to_json(&self) -> String {
+        let (p50, p90, p99) = self.hist.percentiles_ns();
+        let t = &self.server.tx;
+        let ops_per_sec = self.ok as f64 / self.elapsed.as_secs_f64().max(1e-9);
+        let domain = match &self.server.domain {
+            None => String::new(),
+            Some(d) => format!(
+                ",\"live_payloads\":{},\"persisted_epoch\":{},\"current_epoch\":{}",
+                d.live_payloads, d.persisted_epoch, d.current_epoch
+            ),
+        };
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"connections\":{},\"elapsed_s\":{:.4},",
+                "\"ops\":{},\"ops_per_sec\":{:.0},",
+                "\"retry_aborts\":{},\"app_errors\":{},",
+                "\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{},",
+                "\"server_commits\":{},\"server_aborts\":{},",
+                "\"server_conflict_aborts\":{},\"server_fast_commits\":{},",
+                "\"server_ro_commits\":{},\"server_general_commits\":{}{}}}"
+            ),
+            self.name,
+            self.connections,
+            self.elapsed.as_secs_f64(),
+            self.ok,
+            ops_per_sec,
+            self.retry_aborts,
+            self.app_errors,
+            p50,
+            p90,
+            p99,
+            self.hist.max_ns(),
+            t.commits,
+            t.aborts,
+            t.conflict_aborts,
+            t.fast_commits,
+            t.ro_commits,
+            t.general_commits,
+            domain,
+        )
+    }
+
+    fn csv_row(&self) -> String {
+        let (p50, _, p99) = self.hist.percentiles_ns();
+        format!(
+            "{},{},{:.0},{},{},{},{}",
+            self.name,
+            self.connections,
+            self.ok as f64 / self.elapsed.as_secs_f64().max(1e-9),
+            self.retry_aborts,
+            self.server.tx.conflict_aborts,
+            p50,
+            p99
+        )
+    }
+}
+
+/// One client operation: sampled shape, executed, latency recorded.
+fn run_one_op(
+    c: &mut Client,
+    rng: &mut FastRng,
+    sampler: &bench::workload::KeySampler,
+    keys: u64,
+    tally: &mut ConnTally,
+    hist: &mut LatencyHistogram,
+) -> Result<(), KvError> {
+    let k = sampler.sample(rng);
+    let dice = rng.next_below(100);
+    let start = Instant::now();
+    let outcome: Result<(), KvError> = if dice < 50 {
+        c.get(k).map(|_| ())
+    } else if dice < 70 {
+        c.put(k, rng.next_u64() % INITIAL).map(|_| ())
+    } else if dice < 80 {
+        // CAS against the freshly read value: mostly succeeds, loses under
+        // contention (server-side transactional retry).
+        match c.get(k) {
+            Ok(Some(cur)) => c.cas(k, cur, cur ^ 1).map(|_| ()),
+            Ok(None) => Ok(()),
+            Err(e) => Err(e),
+        }
+    } else if dice < 90 {
+        let mut to = sampler.sample(rng);
+        if to == k {
+            to = (to + 1) % keys;
+        }
+        c.transfer(k, to, 1).map(|_| ())
+    } else {
+        let ks: Vec<u64> = (0..4).map(|_| sampler.sample(rng)).collect();
+        c.mget(&ks).map(|_| ())
+    };
+    match outcome {
+        Ok(()) => {
+            tally.ok += 1;
+            hist.record(start.elapsed());
+            Ok(())
+        }
+        Err(KvError::Server(code)) => {
+            // The server answered: the round trip completed, classify it.
+            match code {
+                kvstore::ErrCode::Retry | kvstore::ErrCode::Capacity => tally.retry_aborts += 1,
+                _ => {
+                    tally.app_errors += 1;
+                    hist.record(start.elapsed());
+                }
+            }
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_series(
+    name: String,
+    addr: std::net::SocketAddr,
+    connections: usize,
+    duration: Duration,
+    keys: u64,
+    dist: KeyDist,
+) -> SeriesResult {
+    // Preload every key over the wire (chunked MSETs stay well inside the
+    // descriptor write-set capacity).
+    {
+        let mut c = Client::connect(addr).expect("preload connect");
+        let pairs: Vec<(u64, u64)> = (0..keys).map(|k| (k, INITIAL)).collect();
+        for chunk in pairs.chunks(512) {
+            c.mset(chunk).expect("preload mset");
+        }
+    }
+
+    let barrier = Barrier::new(connections + 1);
+    let ok = AtomicU64::new(0);
+    let retry_aborts = AtomicU64::new(0);
+    let app_errors = AtomicU64::new(0);
+    let hist = Mutex::new(LatencyHistogram::new());
+    let started = Mutex::new(None::<Instant>);
+    std::thread::scope(|s| {
+        for t in 0..connections {
+            let barrier = &barrier;
+            let ok = &ok;
+            let retry_aborts = &retry_aborts;
+            let app_errors = &app_errors;
+            let hist = &hist;
+            let sampler = dist.sampler(keys);
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("bench connect");
+                let mut rng = FastRng::new(0xBE9C4 + t as u64);
+                let mut tally = ConnTally::default();
+                let mut local_hist = LatencyHistogram::new();
+                barrier.wait();
+                let deadline = Instant::now() + duration;
+                while Instant::now() < deadline {
+                    if run_one_op(
+                        &mut c,
+                        &mut rng,
+                        &sampler,
+                        keys,
+                        &mut tally,
+                        &mut local_hist,
+                    )
+                    .is_err()
+                    {
+                        break;
+                    }
+                }
+                ok.fetch_add(tally.ok, Ordering::Relaxed);
+                retry_aborts.fetch_add(tally.retry_aborts, Ordering::Relaxed);
+                app_errors.fetch_add(tally.app_errors, Ordering::Relaxed);
+                hist.lock().unwrap().merge(&local_hist);
+            });
+        }
+        barrier.wait();
+        *started.lock().unwrap() = Some(Instant::now());
+    });
+    let elapsed = started.lock().unwrap().expect("run started").elapsed();
+
+    // Durable servers: take a durability cut, then sample the statistics.
+    let server = {
+        let mut c = Client::connect(addr).expect("stats connect");
+        let _ = c.sync();
+        c.stats().expect("stats")
+    };
+
+    SeriesResult {
+        name,
+        connections,
+        elapsed,
+        ok: ok.load(Ordering::Relaxed),
+        retry_aborts: retry_aborts.load(Ordering::Relaxed),
+        app_errors: app_errors.load(Ordering::Relaxed),
+        hist: hist.into_inner().unwrap(),
+        server,
+    }
+}
+
+fn main() {
+    let args = CommonArgs::parse();
+    let connections: usize = CommonArgs::extra_flag("--connections", 2);
+    let workers: usize = CommonArgs::extra_flag("--workers", 4);
+    let theta: f64 = CommonArgs::extra_flag("--theta", 0.99);
+    let uniform = std::env::args().any(|a| a == "--uniform");
+    let connect: String = CommonArgs::extra_flag("--connect", String::new());
+    let tables = match CommonArgs::extra_flag("--tables", "hash".to_string()).as_str() {
+        "hash" => TableKind::Hash,
+        "skip" => TableKind::Skip,
+        "mixed" => TableKind::Mixed,
+        other => panic!("unknown --tables {other:?} (hash|skip|mixed)"),
+    };
+    let duration = Duration::from_secs_f64(args.seconds);
+    let dist = if uniform {
+        KeyDist::Uniform
+    } else {
+        KeyDist::Zipfian(theta)
+    };
+
+    println!(
+        "series,connections,ops_per_sec,client_retry_aborts,server_conflict_aborts,p50_ns,p99_ns"
+    );
+    let mut results = Vec::new();
+
+    if !connect.is_empty() {
+        let addr = connect.parse().expect("--connect ADDR:PORT");
+        let r = run_series(
+            format!("server-external/{}", dist.label()),
+            addr,
+            connections,
+            duration,
+            args.keys,
+            dist,
+        );
+        println!("{}", r.csv_row());
+        results.push(r);
+    } else {
+        for (label, backend) in [
+            ("transient", StoreBackend::Transient),
+            ("durable", StoreBackend::Durable),
+        ] {
+            let cfg = ServerConfig {
+                workers,
+                store: StoreConfig {
+                    tables,
+                    backend,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let server = Server::start(&cfg).expect("start kvstore server");
+            let r = run_series(
+                format!("server-{label}/{}", dist.label()),
+                server.local_addr(),
+                connections,
+                duration,
+                args.keys,
+                dist,
+            );
+            println!("{}", r.csv_row());
+            results.push(r);
+            server.shutdown();
+        }
+    }
+
+    let entries: Vec<String> = results.iter().map(SeriesResult::to_json).collect();
+    write_json("server", &entries);
+}

@@ -402,7 +402,7 @@ pub fn run_hot_transfer(cfg: &ThroughputConfig, accounts: u64) -> ThroughputResu
         cfg.threads,
         committed,
         elapsed,
-        mgr.stats().snapshot(),
+        mgr.stats_snapshot(),
     )
 }
 
@@ -460,7 +460,7 @@ pub fn run_map_mix(
         cfg.threads,
         committed,
         elapsed,
-        mgr.stats().snapshot(),
+        mgr.stats_snapshot(),
     )
 }
 
@@ -531,14 +531,8 @@ where
         nvm_delta,
         domain: domain.stats(),
     };
-    ThroughputResult::new(
-        name,
-        cfg.threads,
-        committed,
-        elapsed,
-        mgr.stats().snapshot(),
-    )
-    .with_durable(durable)
+    ThroughputResult::new(name, cfg.threads, committed, elapsed, mgr.stats_snapshot())
+        .with_durable(durable)
 }
 
 /// Durable map mix: the [`run_map_mix`] workload on a `txmontage::Durable`
@@ -701,21 +695,12 @@ pub fn run_durable_transfer(
 // Report
 // ---------------------------------------------------------------------------
 
-/// Writes the JSON report for a throughput run to the path named by the
-/// `BENCH_JSON` environment variable, or `BENCH_<target>.json` in the
-/// working directory (mirrors the criterion shim's convention).
+/// Writes the JSON report for a throughput run via the shared
+/// [`crate::report`] emitter (`BENCH_<target>.json`, or the path named by
+/// the `BENCH_JSON` environment variable).
 pub fn write_report(target: &str, results: &[ThroughputResult]) {
-    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| format!("BENCH_{target}.json"));
     let entries: Vec<String> = results.iter().map(ThroughputResult::to_json).collect();
-    let body = format!(
-        "{{\n  \"target\": \"{}\",\n  \"results\": [\n    {}\n  ]\n}}\n",
-        target,
-        entries.join(",\n    ")
-    );
-    match std::fs::write(&path, body) {
-        Ok(()) => println!("wrote {} throughput results to {path}", results.len()),
-        Err(e) => eprintln!("failed to write throughput report {path}: {e}"),
-    }
+    crate::report::write_json(target, &entries);
 }
 
 #[cfg(test)]

@@ -1,0 +1,88 @@
+//! Standalone kvstore server.
+//!
+//! ```text
+//! cargo run --release -p kvstore --bin kvserver -- \
+//!     --addr 127.0.0.1:7878 --workers 4 --shards 8 \
+//!     --tables mixed --backend durable --advancer-us 200
+//! ```
+//!
+//! Prints the bound address on stdout, then serves until stdin reaches EOF
+//! or a line is entered (so `kvserver < /dev/null` in scripts still drains
+//! gracefully via the `--seconds` limit, and an interactive Enter stops it).
+//! `--seconds N` serves for N seconds and then drains — handy for smoke
+//! runs.
+
+use kvstore::{Server, ServerConfig, StoreBackend, StoreConfig, TableKind};
+use std::time::Duration;
+
+fn flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("invalid value {v:?} for {name}"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let addr: String = flag("--addr", "127.0.0.1:7878".to_string());
+    let workers: usize = flag("--workers", 4);
+    let shards: usize = flag("--shards", 8);
+    let tables = match flag("--tables", "hash".to_string()).as_str() {
+        "hash" => TableKind::Hash,
+        "skip" => TableKind::Skip,
+        "mixed" => TableKind::Mixed,
+        other => panic!("unknown --tables {other:?} (hash|skip|mixed)"),
+    };
+    let backend = match flag("--backend", "transient".to_string()).as_str() {
+        "transient" => StoreBackend::Transient,
+        "durable" => StoreBackend::Durable,
+        other => panic!("unknown --backend {other:?} (transient|durable)"),
+    };
+    let advancer_us: u64 = flag("--advancer-us", 200);
+    let retries: u64 = flag("--retries", 256);
+    let seconds: f64 = flag("--seconds", 0.0);
+
+    let cfg = ServerConfig {
+        addr,
+        workers,
+        store: StoreConfig {
+            shards,
+            tables,
+            backend,
+            max_retries: retries,
+            advancer_period: (advancer_us > 0).then(|| Duration::from_micros(advancer_us)),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let server = Server::start(&cfg).expect("bind kvstore server");
+    println!("kvserver listening on {}", server.local_addr());
+    println!(
+        "  workers={} shards={} tables={:?} backend={:?}",
+        workers, shards, tables, backend
+    );
+
+    if seconds > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(seconds));
+    } else {
+        // Serve until stdin closes or a line arrives.
+        let mut line = String::new();
+        let _ = std::io::stdin().read_line(&mut line);
+    }
+    println!("draining...");
+    let store = server.shutdown();
+    let snap = store.manager().stats_snapshot();
+    println!(
+        "served: {} commits ({} fast / {} ro / {} general), {} aborts ({} conflict)",
+        snap.commits,
+        snap.fast_commits,
+        snap.ro_commits,
+        snap.general_commits,
+        snap.aborts,
+        snap.conflict_aborts
+    );
+}

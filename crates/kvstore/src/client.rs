@@ -1,0 +1,261 @@
+//! A blocking client with request pipelining.
+//!
+//! [`Client::send`] buffers a request frame and returns immediately;
+//! [`Client::recv`] flushes the buffer and blocks for the next response.
+//! Because the server answers in request order per connection, a client can
+//! keep `depth` requests in flight and pair responses positionally — the
+//! `kvbench` load generator drives exactly this pattern.  The one-liner
+//! methods ([`Client::get`], [`Client::transfer`], …) are `send` + `recv`
+//! with the response variant checked.
+
+use crate::proto::{self, ErrCode, Request, Response, StatsReply};
+use crate::store::{Cmd, CmdOut};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure of one command.
+#[derive(Debug)]
+pub enum KvError {
+    /// Transport failure; the connection is unusable.
+    Io(std::io::Error),
+    /// The server answered with an abort/error status.
+    Server(ErrCode),
+    /// The server answered with a frame this client cannot decode, or a
+    /// response shape that does not match the request.
+    Proto,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Io(e) => write!(f, "kvstore transport error: {e}"),
+            KvError::Server(c) => write!(f, "kvstore server error: {c:?}"),
+            KvError::Proto => f.write_str("kvstore protocol mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl From<std::io::Error> for KvError {
+    fn from(e: std::io::Error) -> Self {
+        KvError::Io(e)
+    }
+}
+
+/// Command result alias.
+pub type KvResult<T> = Result<T, KvError>;
+
+/// A blocking, pipelining kvstore connection.
+pub struct Client {
+    stream: TcpStream,
+    wbuf: Vec<u8>,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    next_id: u32,
+    /// Request ids in flight, oldest first (the server answers in order).
+    pending: VecDeque<u32>,
+}
+
+impl Client {
+    /// Connects (TCP, `TCP_NODELAY`).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            wbuf: Vec::new(),
+            rbuf: Vec::new(),
+            rpos: 0,
+            next_id: 1,
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Buffers one request frame; [`Client::flush`] (or the next `recv`)
+    /// puts it on the wire.  Returns the request id.
+    ///
+    /// A command too large for one frame (an `MGET`/`MSET`/`BATCH` past
+    /// [`proto::MAX_FRAME`]) is refused with `InvalidInput` — nothing is
+    /// buffered and the pipeline stays intact; chunk the command instead.
+    pub fn send(&mut self, req: &Request) -> std::io::Result<u32> {
+        let id = self.next_id;
+        proto::try_encode_request(&mut self.wbuf, id, req).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "kvstore command exceeds the maximum frame size",
+            )
+        })?;
+        self.next_id = self.next_id.wrapping_add(1);
+        self.pending.push_back(id);
+        Ok(id)
+    }
+
+    /// Writes every buffered request to the socket.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if !self.wbuf.is_empty() {
+            self.stream.write_all(&self.wbuf)?;
+            self.wbuf.clear();
+        }
+        Ok(())
+    }
+
+    /// Number of requests sent but not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Flushes, then blocks for the next response (they arrive in request
+    /// order; the echoed id is checked against the oldest in-flight
+    /// request).
+    pub fn recv(&mut self) -> KvResult<Response> {
+        let expect = self.pending.pop_front().ok_or(KvError::Proto)?;
+        self.flush()?;
+        loop {
+            if let Some(frame) =
+                proto::take_frame(&self.rbuf, &mut self.rpos).map_err(|_| KvError::Proto)?
+            {
+                let (id, resp) = proto::decode_response(frame).map_err(|_| KvError::Proto)?;
+                if self.rpos * 2 > self.rbuf.len() && self.rpos > 4096 {
+                    self.rbuf.drain(..self.rpos);
+                    self.rpos = 0;
+                }
+                if id != expect {
+                    return Err(KvError::Proto);
+                }
+                return Ok(resp);
+            }
+            let mut chunk = [0u8; 16 << 10];
+            let n = self.stream.read(&mut chunk).map_err(KvError::Io)?;
+            if n == 0 {
+                return Err(KvError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                )));
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// One round trip: `send` + `recv` (no other requests may be in
+    /// flight, so responses stay positionally paired).
+    pub fn call(&mut self, req: &Request) -> KvResult<Response> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    fn cmd(&mut self, cmd: Cmd) -> KvResult<CmdOut> {
+        match self.call(&Request::Cmd(cmd))? {
+            Response::Ok(out) => Ok(out),
+            Response::Err(e) => Err(KvError::Server(e)),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: u64) -> KvResult<Option<u64>> {
+        match self.cmd(Cmd::Get(key))? {
+            CmdOut::Value(v) => Ok(v),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Inserts or replaces `key`; returns the previous value.
+    pub fn put(&mut self, key: u64, val: u64) -> KvResult<Option<u64>> {
+        match self.cmd(Cmd::Put(key, val))? {
+            CmdOut::Prev(v) => Ok(v),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Removes `key`; returns the removed value.
+    pub fn del(&mut self, key: u64) -> KvResult<Option<u64>> {
+        match self.cmd(Cmd::Del(key))? {
+            CmdOut::Removed(v) => Ok(v),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Compare-and-swap; returns `(success, post-op value)`.
+    pub fn cas(&mut self, key: u64, expected: u64, desired: u64) -> KvResult<(bool, Option<u64>)> {
+        match self.cmd(Cmd::Cas {
+            key,
+            expected,
+            desired,
+        })? {
+            CmdOut::Cas { success, current } => Ok((success, current)),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&mut self, key: u64) -> KvResult<bool> {
+        match self.cmd(Cmd::Contains(key))? {
+            CmdOut::Present(p) => Ok(p),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Atomic multi-key read: one consistent snapshot of all `keys`.
+    pub fn mget(&mut self, keys: &[u64]) -> KvResult<Vec<Option<u64>>> {
+        match self.cmd(Cmd::MGet(keys.to_vec()))? {
+            CmdOut::Values(v) if v.len() == keys.len() => Ok(v),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Atomic multi-key write: all pairs commit together.
+    pub fn mset(&mut self, pairs: &[(u64, u64)]) -> KvResult<()> {
+        match self.cmd(Cmd::MSet(pairs.to_vec()))? {
+            CmdOut::Done => Ok(()),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Failure-atomic transfer; returns both post-transfer balances.
+    pub fn transfer(&mut self, from: u64, to: u64, amount: u64) -> KvResult<(u64, u64)> {
+        match self.cmd(Cmd::Transfer { from, to, amount })? {
+            CmdOut::Transferred {
+                from_after,
+                to_after,
+            } => Ok((from_after, to_after)),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Runs a batch of single-key commands as one transaction.
+    pub fn batch(&mut self, cmds: Vec<Cmd>) -> KvResult<Vec<CmdOut>> {
+        match self.cmd(Cmd::Batch(cmds))? {
+            CmdOut::Batch(outs) => Ok(outs),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Fetches the server's aggregated statistics.
+    pub fn stats(&mut self) -> KvResult<StatsReply> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Err(e) => Err(KvError::Server(e)),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Takes a durability cut; returns the persisted epoch (0 on a
+    /// transient server).
+    pub fn sync(&mut self) -> KvResult<u64> {
+        match self.call(&Request::Sync)? {
+            Response::Synced(e) => Ok(e),
+            Response::Err(e) => Err(KvError::Server(e)),
+            _ => Err(KvError::Proto),
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("in_flight", &self.pending.len())
+            .finish()
+    }
+}

@@ -1,0 +1,829 @@
+//! The kvstore wire protocol: a length-prefixed binary frame codec.
+//!
+//! # Wire format
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! [u32 len (LE)] [payload: len bytes]
+//! ```
+//!
+//! `len` counts only the payload and must not exceed [`MAX_FRAME`]; a peer
+//! announcing a larger frame is malformed and the connection is closed.
+//! Frames are fully pipelined: a client may send any number of request
+//! frames without waiting, and the server answers each request with exactly
+//! one response frame *in request order* per connection.
+//!
+//! ## Request payload
+//!
+//! ```text
+//! [u32 req_id (LE)] [u8 opcode] [body]
+//! ```
+//!
+//! `req_id` is an opaque client-chosen token echoed verbatim in the
+//! response.  Opcodes and bodies (all integers little-endian):
+//!
+//! | opcode | name       | body |
+//! |--------|------------|------|
+//! | `0x01` | `GET`      | `key: u64` |
+//! | `0x02` | `PUT`      | `key: u64, val: u64` |
+//! | `0x03` | `DEL`      | `key: u64` |
+//! | `0x04` | `CAS`      | `key: u64, expected: u64, desired: u64` |
+//! | `0x05` | `CONTAINS` | `key: u64` |
+//! | `0x10` | `MGET`     | `n: u32, n × key: u64` |
+//! | `0x11` | `MSET`     | `n: u32, n × (key: u64, val: u64)` |
+//! | `0x12` | `TRANSFER` | `from: u64, to: u64, amount: u64` |
+//! | `0x13` | `BATCH`    | `n: u32, n × (u8 opcode + body)` — single-key ops only |
+//! | `0x20` | `STATS`    | (empty) |
+//! | `0x21` | `SYNC`     | (empty) |
+//!
+//! `GET`/`PUT`/`DEL`/`CONTAINS` run as standalone (uninstrumented `NonTx`)
+//! operations.  `CAS` and every multi-key command run as one Medley
+//! transaction: `MGET` is one atomic (read-only, descriptor-free) snapshot,
+//! `MSET` and `TRANSFER` are failure-atomic across all their keys — and
+//! across whatever *shards* (distinct nonblocking structures) those keys hash
+//! to, which is exactly the NBTC composition the paper builds.  `BATCH` runs
+//! its command list under a single `ThreadHandle::run_with`.
+//!
+//! ## Response payload
+//!
+//! ```text
+//! [u32 req_id (LE)] [u8 status] [u8 opcode echo] [body if status == OK]
+//! ```
+//!
+//! ### Status / abort-code mapping
+//!
+//! A transaction that loses a conflict is retried server-side up to the
+//! configured retry budget; the status byte reports how the command
+//! ultimately resolved:
+//!
+//! | status | name               | meaning |
+//! |--------|--------------------|---------|
+//! | `0x00` | `OK`               | committed (or standalone op completed) |
+//! | `0x10` | `ABORT_RETRY`      | conflict-aborted past the retry budget ([`medley::TxError::RetriesExhausted`]); safe to resend |
+//! | `0x11` | `ABORT_CAPACITY`   | transaction overflowed descriptor capacity ([`medley::TxError::CapacityExceeded`]); shrink the batch |
+//! | `0x12` | `ERR_NOT_FOUND`    | `TRANSFER` named a missing account (explicit abort; nothing changed) |
+//! | `0x13` | `ERR_INSUFFICIENT` | `TRANSFER` source balance below `amount`, or the credit would overflow the destination (explicit abort; nothing changed) |
+//! | `0x20` | `ERR_MALFORMED`    | undecodable request, oversized frame, or an illegal `BATCH` member |
+//!
+//! Non-`OK` responses carry no body beyond the opcode echo.  `OK` bodies:
+//!
+//! | opcode | body |
+//! |--------|------|
+//! | `GET`/`DEL` | `present: u8` (+ `val: u64` when 1) |
+//! | `PUT`       | `had_prev: u8` (+ `prev: u64` when 1) |
+//! | `CAS`       | `success: u8, present: u8` (+ `current: u64` when present) — `current` is the post-op value |
+//! | `CONTAINS`  | `present: u8` |
+//! | `MGET`      | `n: u32, n × (present: u8 [+ val: u64])` |
+//! | `MSET`      | (empty) |
+//! | `TRANSFER`  | `from_after: u64, to_after: u64` |
+//! | `BATCH`     | `n: u32, n × (u8 opcode + single-op body)` |
+//! | `STATS`     | 10 × `u64` transaction counters, `has_domain: u8` (+ 5 × `u64` domain stats) — see [`StatsReply`] |
+//! | `SYNC`      | `persisted_epoch: u64` |
+
+use crate::store::{Cmd, CmdOut};
+use medley::TxStatsSnapshot;
+use pmem::DomainStats;
+
+/// Maximum payload size of one frame (1 MiB).  Large enough for a
+/// multi-thousand-key `MSET`, small enough that a corrupt length prefix
+/// cannot make a peer buffer gigabytes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Length of the frame header (the `u32` length prefix).
+pub const FRAME_HEADER: usize = 4;
+
+const OP_GET: u8 = 0x01;
+const OP_PUT: u8 = 0x02;
+const OP_DEL: u8 = 0x03;
+const OP_CAS: u8 = 0x04;
+const OP_CONTAINS: u8 = 0x05;
+const OP_MGET: u8 = 0x10;
+const OP_MSET: u8 = 0x11;
+const OP_TRANSFER: u8 = 0x12;
+const OP_BATCH: u8 = 0x13;
+const OP_STATS: u8 = 0x20;
+const OP_SYNC: u8 = 0x21;
+
+const ST_OK: u8 = 0x00;
+const ST_ABORT_RETRY: u8 = 0x10;
+const ST_ABORT_CAPACITY: u8 = 0x11;
+const ST_ERR_NOT_FOUND: u8 = 0x12;
+const ST_ERR_INSUFFICIENT: u8 = 0x13;
+const ST_ERR_MALFORMED: u8 = 0x20;
+
+/// A decoded request: a store command or an admin command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// A data command executed by the store core.
+    Cmd(Cmd),
+    /// Aggregated `TxStats` (+ `DomainStats` in durable mode) snapshot.
+    Stats,
+    /// Durability cut: everything completed before the reply is recoverable.
+    Sync,
+}
+
+pub use crate::store::ErrCode;
+
+/// The `STATS` response payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Aggregated transaction counters ([`medley::TxManager::stats_snapshot`]).
+    pub tx: TxStatsSnapshot,
+    /// Persistence-domain state (durable servers only).
+    pub domain: Option<DomainStats>,
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The command committed; its result.
+    Ok(CmdOut),
+    /// Statistics snapshot.
+    Stats(StatsReply),
+    /// `SYNC` acknowledgement carrying the persisted epoch of the cut.
+    Synced(u64),
+    /// The command failed with the given code.
+    Err(ErrCode),
+}
+
+/// Frame-decoding error: the peer sent bytes that cannot be a valid frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtoError;
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("malformed kvstore protocol frame")
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---------------------------------------------------------------------------
+// Primitive readers/writers
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        let b = *self.buf.get(self.pos).ok_or(ProtoError)?;
+        self.pos += 1;
+        Ok(b)
+    }
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let end = self.pos.checked_add(4).ok_or(ProtoError)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(ProtoError)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let end = self.pos.checked_add(8).ok_or(ProtoError)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(ProtoError)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+    fn finished(&self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Appends one frame (length prefix + `payload`) to `out`.
+///
+/// # Panics
+/// Panics if `payload` exceeds [`MAX_FRAME`] (encoders bound their payloads,
+/// so this indicates a bug, not peer input).
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(payload.len() <= MAX_FRAME, "frame over MAX_FRAME");
+    put_u32(out, payload.len() as u32);
+    out.extend_from_slice(payload);
+}
+
+/// Tries to split one frame out of `buf[*consumed..]`, advancing `*consumed`
+/// past it.  Returns `Ok(None)` when the buffer holds only a partial frame,
+/// and `Err` when the announced length exceeds [`MAX_FRAME`] (the connection
+/// should be closed; resynchronization is impossible).
+pub fn take_frame<'a>(buf: &'a [u8], consumed: &mut usize) -> Result<Option<&'a [u8]>, ProtoError> {
+    let rest = &buf[*consumed..];
+    if rest.len() < FRAME_HEADER {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtoError);
+    }
+    if rest.len() < FRAME_HEADER + len {
+        return Ok(None);
+    }
+    let frame = &rest[FRAME_HEADER..FRAME_HEADER + len];
+    *consumed += FRAME_HEADER + len;
+    Ok(Some(frame))
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+fn cmd_opcode(cmd: &Cmd) -> u8 {
+    match cmd {
+        Cmd::Get(_) => OP_GET,
+        Cmd::Put(..) => OP_PUT,
+        Cmd::Del(_) => OP_DEL,
+        Cmd::Cas { .. } => OP_CAS,
+        Cmd::Contains(_) => OP_CONTAINS,
+        Cmd::MGet(_) => OP_MGET,
+        Cmd::MSet(_) => OP_MSET,
+        Cmd::Transfer { .. } => OP_TRANSFER,
+        Cmd::Batch(_) => OP_BATCH,
+    }
+}
+
+fn encode_cmd_body(buf: &mut Vec<u8>, cmd: &Cmd) {
+    match cmd {
+        Cmd::Get(k) | Cmd::Del(k) | Cmd::Contains(k) => put_u64(buf, *k),
+        Cmd::Put(k, v) => {
+            put_u64(buf, *k);
+            put_u64(buf, *v);
+        }
+        Cmd::Cas {
+            key,
+            expected,
+            desired,
+        } => {
+            put_u64(buf, *key);
+            put_u64(buf, *expected);
+            put_u64(buf, *desired);
+        }
+        Cmd::MGet(keys) => {
+            put_u32(buf, keys.len() as u32);
+            for k in keys {
+                put_u64(buf, *k);
+            }
+        }
+        Cmd::MSet(pairs) => {
+            put_u32(buf, pairs.len() as u32);
+            for (k, v) in pairs {
+                put_u64(buf, *k);
+                put_u64(buf, *v);
+            }
+        }
+        Cmd::Transfer { from, to, amount } => {
+            put_u64(buf, *from);
+            put_u64(buf, *to);
+            put_u64(buf, *amount);
+        }
+        Cmd::Batch(cmds) => {
+            put_u32(buf, cmds.len() as u32);
+            for c in cmds {
+                buf.push(cmd_opcode(c));
+                encode_cmd_body(buf, c);
+            }
+        }
+    }
+}
+
+fn decode_cmd_body(cur: &mut Cursor<'_>, opcode: u8, nested: bool) -> Result<Cmd, ProtoError> {
+    Ok(match opcode {
+        OP_GET => Cmd::Get(cur.u64()?),
+        OP_PUT => Cmd::Put(cur.u64()?, cur.u64()?),
+        OP_DEL => Cmd::Del(cur.u64()?),
+        OP_CAS => Cmd::Cas {
+            key: cur.u64()?,
+            expected: cur.u64()?,
+            desired: cur.u64()?,
+        },
+        OP_CONTAINS => Cmd::Contains(cur.u64()?),
+        OP_MGET if !nested => {
+            let n = cur.u32()? as usize;
+            if n > MAX_FRAME / 8 {
+                return Err(ProtoError);
+            }
+            let mut keys = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                keys.push(cur.u64()?);
+            }
+            Cmd::MGet(keys)
+        }
+        OP_MSET if !nested => {
+            let n = cur.u32()? as usize;
+            if n > MAX_FRAME / 16 {
+                return Err(ProtoError);
+            }
+            let mut pairs = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                pairs.push((cur.u64()?, cur.u64()?));
+            }
+            Cmd::MSet(pairs)
+        }
+        OP_TRANSFER if !nested => Cmd::Transfer {
+            from: cur.u64()?,
+            to: cur.u64()?,
+            amount: cur.u64()?,
+        },
+        OP_BATCH if !nested => {
+            let n = cur.u32()? as usize;
+            if n > MAX_FRAME / 9 {
+                return Err(ProtoError);
+            }
+            let mut cmds = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let op = cur.u8()?;
+                // Single-key commands only inside a batch: the IR maps 1:1
+                // onto one transaction, and nested multi-key commands would
+                // be a hidden second fan-out.
+                cmds.push(decode_cmd_body(cur, op, true)?);
+            }
+            Cmd::Batch(cmds)
+        }
+        _ => return Err(ProtoError),
+    })
+}
+
+/// Encodes one request frame (header + payload) onto `out`.
+///
+/// # Panics
+/// Panics if the encoded payload exceeds [`MAX_FRAME`]; use
+/// [`try_encode_request`] when the command size comes from caller input.
+pub fn encode_request(out: &mut Vec<u8>, req_id: u32, req: &Request) {
+    try_encode_request(out, req_id, req).expect("request over MAX_FRAME");
+}
+
+/// Fallible [`encode_request`]: returns `Err` (writing nothing) when the
+/// command is too large for one frame — an `MGET`/`MSET`/`BATCH` this big
+/// would be refused by the server's descriptor capacity anyway, so callers
+/// should chunk it.
+pub fn try_encode_request(out: &mut Vec<u8>, req_id: u32, req: &Request) -> Result<(), ProtoError> {
+    let mut payload = Vec::with_capacity(32);
+    put_u32(&mut payload, req_id);
+    match req {
+        Request::Cmd(cmd) => {
+            payload.push(cmd_opcode(cmd));
+            encode_cmd_body(&mut payload, cmd);
+        }
+        Request::Stats => payload.push(OP_STATS),
+        Request::Sync => payload.push(OP_SYNC),
+    }
+    if payload.len() > MAX_FRAME {
+        return Err(ProtoError);
+    }
+    write_frame(out, &payload);
+    Ok(())
+}
+
+/// Decodes one request payload (a frame returned by [`take_frame`]).
+pub fn decode_request(frame: &[u8]) -> Result<(u32, Request), ProtoError> {
+    let mut cur = Cursor::new(frame);
+    let req_id = cur.u32()?;
+    let opcode = cur.u8()?;
+    let req = match opcode {
+        OP_STATS => Request::Stats,
+        OP_SYNC => Request::Sync,
+        _ => Request::Cmd(decode_cmd_body(&mut cur, opcode, false)?),
+    };
+    cur.finished()?;
+    Ok((req_id, req))
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+fn out_opcode(out: &CmdOut) -> u8 {
+    match out {
+        CmdOut::Value(_) => OP_GET,
+        CmdOut::Prev(_) => OP_PUT,
+        CmdOut::Removed(_) => OP_DEL,
+        CmdOut::Cas { .. } => OP_CAS,
+        CmdOut::Present(_) => OP_CONTAINS,
+        CmdOut::Values(_) => OP_MGET,
+        CmdOut::Done => OP_MSET,
+        CmdOut::Transferred { .. } => OP_TRANSFER,
+        CmdOut::Batch(_) => OP_BATCH,
+    }
+}
+
+fn put_opt(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            buf.push(1);
+            put_u64(buf, v);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn get_opt(cur: &mut Cursor<'_>) -> Result<Option<u64>, ProtoError> {
+    match cur.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(cur.u64()?)),
+        _ => Err(ProtoError),
+    }
+}
+
+fn encode_out_body(buf: &mut Vec<u8>, out: &CmdOut) {
+    match out {
+        CmdOut::Value(v) | CmdOut::Prev(v) | CmdOut::Removed(v) => put_opt(buf, *v),
+        CmdOut::Cas { success, current } => {
+            buf.push(u8::from(*success));
+            put_opt(buf, *current);
+        }
+        CmdOut::Present(p) => buf.push(u8::from(*p)),
+        CmdOut::Values(vals) => {
+            put_u32(buf, vals.len() as u32);
+            for v in vals {
+                put_opt(buf, *v);
+            }
+        }
+        CmdOut::Done => {}
+        CmdOut::Transferred {
+            from_after,
+            to_after,
+        } => {
+            put_u64(buf, *from_after);
+            put_u64(buf, *to_after);
+        }
+        CmdOut::Batch(outs) => {
+            put_u32(buf, outs.len() as u32);
+            for o in outs {
+                buf.push(out_opcode(o));
+                encode_out_body(buf, o);
+            }
+        }
+    }
+}
+
+fn decode_out_body(cur: &mut Cursor<'_>, opcode: u8, nested: bool) -> Result<CmdOut, ProtoError> {
+    Ok(match opcode {
+        OP_GET => CmdOut::Value(get_opt(cur)?),
+        OP_PUT => CmdOut::Prev(get_opt(cur)?),
+        OP_DEL => CmdOut::Removed(get_opt(cur)?),
+        OP_CAS => CmdOut::Cas {
+            success: cur.u8()? != 0,
+            current: get_opt(cur)?,
+        },
+        OP_CONTAINS => CmdOut::Present(cur.u8()? != 0),
+        OP_MGET if !nested => {
+            let n = cur.u32()? as usize;
+            if n > MAX_FRAME / 2 {
+                return Err(ProtoError);
+            }
+            let mut vals = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                vals.push(get_opt(cur)?);
+            }
+            CmdOut::Values(vals)
+        }
+        OP_MSET if !nested => CmdOut::Done,
+        OP_TRANSFER if !nested => CmdOut::Transferred {
+            from_after: cur.u64()?,
+            to_after: cur.u64()?,
+        },
+        OP_BATCH if !nested => {
+            let n = cur.u32()? as usize;
+            if n > MAX_FRAME / 2 {
+                return Err(ProtoError);
+            }
+            let mut outs = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let op = cur.u8()?;
+                outs.push(decode_out_body(cur, op, true)?);
+            }
+            CmdOut::Batch(outs)
+        }
+        _ => return Err(ProtoError),
+    })
+}
+
+fn err_status(e: ErrCode) -> u8 {
+    match e {
+        ErrCode::Retry => ST_ABORT_RETRY,
+        ErrCode::Capacity => ST_ABORT_CAPACITY,
+        ErrCode::NotFound => ST_ERR_NOT_FOUND,
+        ErrCode::Insufficient => ST_ERR_INSUFFICIENT,
+        ErrCode::Malformed => ST_ERR_MALFORMED,
+    }
+}
+
+fn status_err(st: u8) -> Result<ErrCode, ProtoError> {
+    Ok(match st {
+        ST_ABORT_RETRY => ErrCode::Retry,
+        ST_ABORT_CAPACITY => ErrCode::Capacity,
+        ST_ERR_NOT_FOUND => ErrCode::NotFound,
+        ST_ERR_INSUFFICIENT => ErrCode::Insufficient,
+        ST_ERR_MALFORMED => ErrCode::Malformed,
+        _ => return Err(ProtoError),
+    })
+}
+
+/// Encodes one response frame onto `out`.  `opcode` is the opcode of the
+/// request being answered (echoed so error responses stay self-describing).
+pub fn encode_response(out: &mut Vec<u8>, req_id: u32, opcode: u8, resp: &Response) {
+    let mut payload = Vec::with_capacity(32);
+    put_u32(&mut payload, req_id);
+    match resp {
+        Response::Ok(cmd_out) => {
+            payload.push(ST_OK);
+            payload.push(out_opcode(cmd_out));
+            encode_out_body(&mut payload, cmd_out);
+        }
+        Response::Stats(s) => {
+            payload.push(ST_OK);
+            payload.push(OP_STATS);
+            let t = &s.tx;
+            for v in [
+                t.commits,
+                t.aborts,
+                t.helps,
+                t.fast_commits,
+                t.ro_commits,
+                t.general_commits,
+                t.conflict_aborts,
+                t.explicit_aborts,
+                t.capacity_aborts,
+                t.unwind_aborts,
+            ] {
+                put_u64(&mut payload, v);
+            }
+            match &s.domain {
+                Some(d) => {
+                    payload.push(1);
+                    put_u64(&mut payload, d.live_payloads as u64);
+                    put_u64(&mut payload, d.free_slots as u64);
+                    put_u64(&mut payload, d.allocated_slots as u64);
+                    put_u64(&mut payload, d.persisted_epoch);
+                    put_u64(&mut payload, d.current_epoch);
+                }
+                None => payload.push(0),
+            }
+        }
+        Response::Synced(epoch) => {
+            payload.push(ST_OK);
+            payload.push(OP_SYNC);
+            put_u64(&mut payload, *epoch);
+        }
+        Response::Err(e) => {
+            payload.push(err_status(*e));
+            payload.push(opcode);
+        }
+    }
+    write_frame(out, &payload);
+}
+
+/// Decodes one response payload (a frame returned by [`take_frame`]).
+pub fn decode_response(frame: &[u8]) -> Result<(u32, Response), ProtoError> {
+    let mut cur = Cursor::new(frame);
+    let req_id = cur.u32()?;
+    let status = cur.u8()?;
+    let opcode = cur.u8()?;
+    let resp = if status == ST_OK {
+        match opcode {
+            OP_STATS => {
+                let mut vals = [0u64; 10];
+                for v in &mut vals {
+                    *v = cur.u64()?;
+                }
+                let tx = TxStatsSnapshot {
+                    commits: vals[0],
+                    aborts: vals[1],
+                    helps: vals[2],
+                    fast_commits: vals[3],
+                    ro_commits: vals[4],
+                    general_commits: vals[5],
+                    conflict_aborts: vals[6],
+                    explicit_aborts: vals[7],
+                    capacity_aborts: vals[8],
+                    unwind_aborts: vals[9],
+                };
+                let domain = match cur.u8()? {
+                    0 => None,
+                    1 => Some(DomainStats {
+                        live_payloads: cur.u64()? as usize,
+                        free_slots: cur.u64()? as usize,
+                        allocated_slots: cur.u64()? as usize,
+                        persisted_epoch: cur.u64()?,
+                        current_epoch: cur.u64()?,
+                    }),
+                    _ => return Err(ProtoError),
+                };
+                Response::Stats(StatsReply { tx, domain })
+            }
+            OP_SYNC => Response::Synced(cur.u64()?),
+            _ => Response::Ok(decode_out_body(&mut cur, opcode, false)?),
+        }
+    } else {
+        Response::Err(status_err(status)?)
+    };
+    cur.finished()?;
+    Ok((req_id, resp))
+}
+
+/// The opcode byte of a request (used by the server to echo it back).
+pub fn request_opcode(req: &Request) -> u8 {
+    match req {
+        Request::Cmd(c) => cmd_opcode(c),
+        Request::Stats => OP_STATS,
+        Request::Sync => OP_SYNC,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut wire = Vec::new();
+        encode_request(&mut wire, 7, &req);
+        let mut consumed = 0;
+        let frame = take_frame(&wire, &mut consumed).unwrap().unwrap();
+        let (id, decoded) = decode_request(frame).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(decoded, req);
+        assert_eq!(consumed, wire.len());
+    }
+
+    fn roundtrip_response(resp: Response, opcode: u8) {
+        let mut wire = Vec::new();
+        encode_response(&mut wire, 9, opcode, &resp);
+        let mut consumed = 0;
+        let frame = take_frame(&wire, &mut consumed).unwrap().unwrap();
+        let (id, decoded) = decode_response(frame).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Cmd(Cmd::Get(42)));
+        roundtrip_request(Request::Cmd(Cmd::Put(1, 2)));
+        roundtrip_request(Request::Cmd(Cmd::Del(3)));
+        roundtrip_request(Request::Cmd(Cmd::Cas {
+            key: 4,
+            expected: 5,
+            desired: 6,
+        }));
+        roundtrip_request(Request::Cmd(Cmd::Contains(8)));
+        roundtrip_request(Request::Cmd(Cmd::MGet(vec![1, 2, 3])));
+        roundtrip_request(Request::Cmd(Cmd::MSet(vec![(1, 10), (2, 20)])));
+        roundtrip_request(Request::Cmd(Cmd::Transfer {
+            from: 1,
+            to: 2,
+            amount: 3,
+        }));
+        roundtrip_request(Request::Cmd(Cmd::Batch(vec![
+            Cmd::Get(1),
+            Cmd::Put(2, 3),
+            Cmd::Cas {
+                key: 4,
+                expected: 0,
+                desired: 1,
+            },
+        ])));
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Sync);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Ok(CmdOut::Value(Some(1))), OP_GET);
+        roundtrip_response(Response::Ok(CmdOut::Value(None)), OP_GET);
+        roundtrip_response(Response::Ok(CmdOut::Prev(Some(2))), OP_PUT);
+        roundtrip_response(Response::Ok(CmdOut::Removed(None)), OP_DEL);
+        roundtrip_response(
+            Response::Ok(CmdOut::Cas {
+                success: true,
+                current: Some(9),
+            }),
+            OP_CAS,
+        );
+        roundtrip_response(Response::Ok(CmdOut::Present(false)), OP_CONTAINS);
+        roundtrip_response(
+            Response::Ok(CmdOut::Values(vec![Some(1), None, Some(3)])),
+            OP_MGET,
+        );
+        roundtrip_response(Response::Ok(CmdOut::Done), OP_MSET);
+        roundtrip_response(
+            Response::Ok(CmdOut::Transferred {
+                from_after: 4,
+                to_after: 6,
+            }),
+            OP_TRANSFER,
+        );
+        roundtrip_response(
+            Response::Ok(CmdOut::Batch(vec![
+                CmdOut::Value(Some(1)),
+                CmdOut::Prev(None),
+            ])),
+            OP_BATCH,
+        );
+        roundtrip_response(
+            Response::Stats(StatsReply {
+                tx: TxStatsSnapshot {
+                    commits: 10,
+                    aborts: 2,
+                    helps: 1,
+                    fast_commits: 5,
+                    ro_commits: 3,
+                    general_commits: 2,
+                    conflict_aborts: 2,
+                    explicit_aborts: 0,
+                    capacity_aborts: 0,
+                    unwind_aborts: 0,
+                },
+                domain: Some(DomainStats {
+                    live_payloads: 3,
+                    free_slots: 1,
+                    allocated_slots: 4,
+                    persisted_epoch: 7,
+                    current_epoch: 9,
+                }),
+            }),
+            OP_STATS,
+        );
+        roundtrip_response(Response::Synced(12), OP_SYNC);
+        for e in [
+            ErrCode::Retry,
+            ErrCode::Capacity,
+            ErrCode::NotFound,
+            ErrCode::Insufficient,
+            ErrCode::Malformed,
+        ] {
+            roundtrip_response(Response::Err(e), OP_TRANSFER);
+        }
+    }
+
+    #[test]
+    fn partial_frames_and_pipelines_split_correctly() {
+        let mut wire = Vec::new();
+        encode_request(&mut wire, 1, &Request::Cmd(Cmd::Get(1)));
+        encode_request(&mut wire, 2, &Request::Cmd(Cmd::Put(2, 3)));
+        // Feed byte-by-byte: frames must come out exactly twice, in order.
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            buf.push(b);
+            let mut consumed = 0;
+            while let Some(frame) = take_frame(&buf, &mut consumed).unwrap() {
+                got.push(decode_request(frame).unwrap().0);
+            }
+            buf.drain(..consumed);
+        }
+        assert_eq!(got, vec![1, 2]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut wire = Vec::new();
+        put_u32(&mut wire, (MAX_FRAME + 1) as u32);
+        wire.extend_from_slice(&[0; 16]);
+        let mut consumed = 0;
+        assert!(take_frame(&wire, &mut consumed).is_err());
+    }
+
+    #[test]
+    fn nested_multikey_batch_is_rejected() {
+        // Hand-craft a BATCH containing a TRANSFER: must not decode.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 3); // req id
+        payload.push(OP_BATCH);
+        put_u32(&mut payload, 1);
+        payload.push(OP_TRANSFER);
+        put_u64(&mut payload, 1);
+        put_u64(&mut payload, 2);
+        put_u64(&mut payload, 3);
+        assert!(decode_request(&payload).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut wire = Vec::new();
+        encode_request(&mut wire, 5, &Request::Cmd(Cmd::Get(1)));
+        let mut consumed = 0;
+        let frame = take_frame(&wire, &mut consumed).unwrap().unwrap();
+        let mut bad = frame.to_vec();
+        bad.push(0xFF);
+        assert!(decode_request(&bad).is_err());
+    }
+}

@@ -1,0 +1,401 @@
+//! The TCP server: a fixed worker pool multiplexing pipelined connections.
+//!
+//! One acceptor thread hands sockets round-robin to `workers` worker
+//! threads.  Each worker registers **one** [`medley::ThreadHandle`] — one
+//! `TxManager` thread slot, held for the server's lifetime — and multiplexes
+//! all of its connections over it with nonblocking reads/writes
+//! (thread-per-core style: the worker *is* the transaction thread, so a
+//! command never crosses a thread boundary between decode and commit).
+//! Requests are executed in arrival order per connection and responses are
+//! written back in the same order, so clients may pipeline arbitrarily
+//! deeply.
+//!
+//! Shutdown is a graceful drain: the acceptor stops, every worker finishes
+//! executing the complete frames already buffered on its connections,
+//! flushes its write buffers, and only then closes the sockets and drops
+//! its handle (flushing its statistics).  In durable mode the epoch
+//! advancer is stopped *after* the workers, so every committed update still
+//! has a ticking clock while requests are in flight.
+
+use crate::proto::{self, Request, Response};
+use crate::store::{ErrCode, Store, StoreConfig};
+use medley::{ThreadHandle, TxManager};
+use pmem::EpochAdvancer;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks a free port; see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads (= `TxManager` slots held; each multiplexes any number
+    /// of connections).
+    pub workers: usize,
+    /// The store the workers execute against.
+    pub store: StoreConfig,
+    /// How long [`Server::shutdown`] lets the drain run before force-closing
+    /// connections that still have unflushed output.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            store: StoreConfig::default(),
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Idle strategy: a worker whose pass moved no bytes first yields (cheap,
+/// keeps wakeup latency at scheduler granularity while requests are
+/// trickling), and only after this many consecutive idle passes starts
+/// sleeping — so a quiet server costs ~no CPU but an active connection
+/// never eats a fixed sleep on its latency path.
+const IDLE_YIELDS: u32 = 128;
+
+/// Sleep per idle pass once the yield budget is exhausted.
+const IDLE_SLEEP: Duration = Duration::from_micros(50);
+
+/// Read chunk size per `read` call.
+const READ_CHUNK: usize = 64 << 10;
+
+/// One multiplexed connection's state.
+struct Conn {
+    stream: TcpStream,
+    /// Inbound bytes; `rpos` marks how far frames have been consumed.
+    rbuf: Vec<u8>,
+    rpos: usize,
+    /// Outbound bytes; `wpos` marks how far the socket has accepted them.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Peer closed its sending side (we still flush what we owe).
+    eof: bool,
+    /// The inbound stream is unrecoverable (oversized length prefix): no
+    /// more reading or decoding, but responses to requests that already
+    /// executed are still flushed before the socket closes.
+    poisoned: bool,
+    /// Connection is unusable (I/O error); dropped immediately.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            eof: false,
+            poisoned: false,
+            dead: false,
+        })
+    }
+
+    /// Whether every byte owed to the peer has hit the socket.
+    fn flushed(&self) -> bool {
+        self.wpos == self.wbuf.len()
+    }
+
+    /// Moves buffered responses toward the socket.  Returns whether bytes
+    /// were written.
+    fn pump_write(&mut self) -> bool {
+        let mut progress = false;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.flushed() && !self.wbuf.is_empty() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        progress
+    }
+
+    /// Pulls available bytes off the socket.  Returns whether bytes were
+    /// read.
+    fn pump_read(&mut self) -> bool {
+        if self.eof || self.dead || self.poisoned {
+            return false;
+        }
+        let mut progress = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    progress = true;
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Decodes and executes every complete frame buffered so far.  Returns
+    /// whether any frame was served.
+    fn pump_execute(&mut self, store: &Store, h: &mut ThreadHandle) -> bool {
+        if self.poisoned {
+            return false;
+        }
+        let mut progress = false;
+        loop {
+            let frame = match proto::take_frame(&self.rbuf, &mut self.rpos) {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(_) => {
+                    // A length prefix past MAX_FRAME: resynchronization is
+                    // impossible.  Poison (not kill) the connection so the
+                    // responses of requests that already executed are still
+                    // flushed before the socket closes.
+                    self.poisoned = true;
+                    break;
+                }
+            };
+            progress = true;
+            match proto::decode_request(frame) {
+                Ok((req_id, req)) => {
+                    let opcode = proto::request_opcode(&req);
+                    let resp = match &req {
+                        Request::Cmd(cmd) => match store.exec(h, cmd) {
+                            Ok(out) => Response::Ok(out),
+                            Err(e) => Response::Err(e),
+                        },
+                        Request::Stats => Response::Stats(store.stats(h)),
+                        Request::Sync => Response::Synced(store.sync()),
+                    };
+                    proto::encode_response(&mut self.wbuf, req_id, opcode, &resp);
+                }
+                Err(_) => {
+                    // Frame boundaries are intact, so answer and carry on.
+                    let req_id = frame
+                        .get(..4)
+                        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                        .unwrap_or(0);
+                    let opcode = frame.get(4).copied().unwrap_or(0);
+                    proto::encode_response(
+                        &mut self.wbuf,
+                        req_id,
+                        opcode,
+                        &Response::Err(ErrCode::Malformed),
+                    );
+                }
+            }
+        }
+        // Reclaim consumed prefix once it dominates the buffer.
+        if self.rpos > 4096 && self.rpos * 2 > self.rbuf.len() {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+        progress
+    }
+
+    /// Whether the connection is finished and can be dropped.
+    fn finished(&self) -> bool {
+        self.dead
+            || (self.poisoned && self.flushed())
+            || (self.eof && self.flushed() && !self.has_pending_frame())
+    }
+
+    fn has_pending_frame(&self) -> bool {
+        let mut pos = self.rpos;
+        matches!(proto::take_frame(&self.rbuf, &mut pos), Ok(Some(_)))
+    }
+}
+
+fn worker_loop(
+    store: Arc<Store>,
+    inbox: Arc<Mutex<Vec<TcpStream>>>,
+    stop: Arc<AtomicBool>,
+    drain_deadline: Duration,
+) {
+    let mut h = store.manager().register();
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut draining_since: Option<Instant> = None;
+    let mut idle_streak = 0u32;
+    loop {
+        for stream in inbox.lock().unwrap().drain(..) {
+            if let Ok(c) = Conn::new(stream) {
+                conns.push(c);
+            }
+        }
+        let mut progress = false;
+        for conn in &mut conns {
+            progress |= conn.pump_read();
+            progress |= conn.pump_execute(&store, &mut h);
+            progress |= conn.pump_write();
+        }
+        conns.retain(|c| !c.finished());
+        if stop.load(Ordering::Acquire) {
+            let deadline = *draining_since.get_or_insert_with(Instant::now) + drain_deadline;
+            // Drain: requests already received keep being served, but once
+            // nothing is buffered in either direction the sockets close —
+            // we do not wait for peers to hang up.
+            let quiesced = !progress && conns.iter().all(|c| c.flushed() && !c.has_pending_frame());
+            if conns.is_empty() || quiesced || Instant::now() > deadline {
+                break;
+            }
+        }
+        if progress {
+            idle_streak = 0;
+        } else {
+            idle_streak = idle_streak.saturating_add(1);
+            if idle_streak <= IDLE_YIELDS {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+    }
+    // `h` drops here: unwind-safe stats flush for this worker slot.
+}
+
+/// A running kvstore server (see the module docs).
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    store: Arc<Store>,
+    advancer: Option<EpochAdvancer>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool, and starts accepting.
+    pub fn start(cfg: &ServerConfig) -> std::io::Result<Self> {
+        assert!(cfg.workers > 0, "server needs at least one worker");
+        // One slot per worker plus slack for in-process admin/test handles
+        // on the same manager.
+        let mgr = TxManager::with_max_threads(cfg.workers + 8);
+        let (store, advancer) = Store::new(mgr, &cfg.store);
+        let store = Arc::new(store);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>> = (0..cfg.workers)
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
+        let workers = inboxes
+            .iter()
+            .map(|inbox| {
+                let store = Arc::clone(&store);
+                let inbox = Arc::clone(inbox);
+                let stop = Arc::clone(&stop);
+                let deadline = cfg.drain_deadline;
+                std::thread::spawn(move || worker_loop(store, inbox, stop, deadline))
+            })
+            .collect();
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut next = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            inboxes[next % inboxes.len()].lock().unwrap().push(stream);
+                            next += 1;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                    }
+                }
+            })
+        };
+
+        Ok(Self {
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+            store,
+            advancer,
+        })
+    }
+
+    /// The bound address (resolves the `:0` port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The store the server executes against (for in-process preload,
+    /// statistics, or recovery checks).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Graceful drain: stop accepting, let every worker serve the requests
+    /// already buffered and flush its responses, join the pool, then stop
+    /// the epoch advancer (durable mode).  Returns the store so callers can
+    /// take post-shutdown statistics (exact: every worker handle has been
+    /// dropped, which flushes its tallies) or a recovery cut with no
+    /// concurrent epoch ticks.
+    pub fn shutdown(mut self) -> Arc<Store> {
+        self.stop.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(adv) = self.advancer.take() {
+            adv.shutdown();
+        }
+        Arc::clone(&self.store)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // `shutdown` consumed the threads if it ran; otherwise stop and join
+        // here so a dropped server never leaks its pool.
+        self.stop.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // `advancer` drops (and joins) after the workers by field order.
+    }
+}

@@ -1,0 +1,713 @@
+//! The store core: a sharded namespace of transactional tables.
+//!
+//! A [`Store`] owns `shards` independent nonblocking maps (Michael hash
+//! table or skiplist per shard, transient Medley or durable txMontage
+//! backend) plus the [`medley::TxManager`] they all share.  Keys hash to
+//! shards, so a multi-key command routinely spans several *distinct*
+//! nonblocking structures — and because every structure is an NBTC
+//! `Composable` on the same manager, the store simply runs the whole command
+//! under one [`medley::ThreadHandle::run_with`] and gets multi-structure
+//! atomicity for free.  That is the paper's composition claim turned into
+//! the product feature: `TRANSFER` debits one map and credits another in a
+//! single M-compare-N-swap commit, `MGET` is one descriptor-free atomic
+//! snapshot across shards, and a [`Cmd::Batch`] is a small transaction IR
+//! executed failure-atomically.
+//!
+//! Single-key `GET`/`PUT`/`DEL`/`CONTAINS` need no composition and run as
+//! standalone operations through [`medley::NonTx`], which monomorphizes the
+//! instrumentation away — the service's hot path pays for transactions only
+//! when a command actually composes.
+
+use crate::proto::StatsReply;
+use medley::{AbortReason, RunConfig, ThreadHandle, TxError, TxManager};
+use nbds::{MichaelHashMap, SkipList};
+use pmem::{EpochAdvancer, NvmCostModel, PersistenceDomain};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use txmontage::{Durable, DurableHashMap, DurableSkipList};
+
+/// A typed store command (the request IR; see [`crate::proto`] for the wire
+/// encoding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cmd {
+    /// Look up a key.
+    Get(u64),
+    /// Insert or replace a key.
+    Put(u64, u64),
+    /// Remove a key.
+    Del(u64),
+    /// Compare-and-swap a key's value (fails if absent or mismatched).
+    Cas {
+        /// Key to update.
+        key: u64,
+        /// Value the key must currently hold.
+        expected: u64,
+        /// Replacement value.
+        desired: u64,
+    },
+    /// Membership test (never clones the value).
+    Contains(u64),
+    /// Atomic multi-key read: one consistent (read-only transactional)
+    /// snapshot of all the keys, across shards.
+    MGet(Vec<u64>),
+    /// Atomic multi-key write: all puts commit together or not at all.
+    MSet(Vec<(u64, u64)>),
+    /// Move `amount` from one account to another, failure-atomically.
+    Transfer {
+        /// Debited key.
+        from: u64,
+        /// Credited key.
+        to: u64,
+        /// Units to move.
+        amount: u64,
+    },
+    /// A list of single-key commands run as one transaction.
+    Batch(Vec<Cmd>),
+}
+
+/// The result of a committed [`Cmd`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmdOut {
+    /// `GET`: the value, if present.
+    Value(Option<u64>),
+    /// `PUT`: the previous value, if any.
+    Prev(Option<u64>),
+    /// `DEL`: the removed value, if any.
+    Removed(Option<u64>),
+    /// `CAS` outcome; `current` is the post-operation value.
+    Cas {
+        /// Whether the swap happened.
+        success: bool,
+        /// The key's value after the operation (`None` if absent).
+        current: Option<u64>,
+    },
+    /// `CONTAINS` outcome.
+    Present(bool),
+    /// `MGET`: one entry per requested key, in request order.
+    Values(Vec<Option<u64>>),
+    /// `MSET` acknowledgement.
+    Done,
+    /// `TRANSFER`: both post-transfer balances.
+    Transferred {
+        /// Debited account's balance after the transfer.
+        from_after: u64,
+        /// Credited account's balance after the transfer.
+        to_after: u64,
+    },
+    /// `BATCH`: one result per command, in order.
+    Batch(Vec<CmdOut>),
+}
+
+/// How a command failed (mapped onto the wire's status byte; see the
+/// [`crate::proto`] table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Conflict-aborted past the server's retry budget; safe to resend.
+    Retry,
+    /// Transaction exceeded descriptor capacity; shrink the batch.
+    Capacity,
+    /// A `TRANSFER` account does not exist.
+    NotFound,
+    /// `TRANSFER` source balance below the requested amount, or the credit
+    /// would overflow the destination balance (nothing changed either way).
+    Insufficient,
+    /// Undecodable request or illegal `BATCH` member.
+    Malformed,
+}
+
+/// Which map implements each shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableKind {
+    /// Michael hash table per shard (O(1) point ops; the default).
+    #[default]
+    Hash,
+    /// Skiplist per shard.
+    Skip,
+    /// Alternate hash/skiplist per shard — every cross-shard command then
+    /// composes operations on *different* structure types in one
+    /// transaction, the paper's headline trick.
+    Mixed,
+}
+
+/// Which runtime backs the tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreBackend {
+    /// Transient Medley maps (DRAM only).
+    #[default]
+    Transient,
+    /// Durable txMontage maps: every update allocates/retires payload
+    /// records in a [`PersistenceDomain`]; `SYNC` takes a durability cut and
+    /// recovery returns the last cut's state.
+    Durable,
+}
+
+/// Store construction parameters.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Number of shards (tables) the key space hashes over.
+    pub shards: usize,
+    /// Map type per shard.
+    pub tables: TableKind,
+    /// Buckets per hash shard.
+    pub buckets_per_shard: usize,
+    /// Transient or durable tables.
+    pub backend: StoreBackend,
+    /// Conflict-retry budget per command before reporting
+    /// [`ErrCode::Retry`] to the client.
+    pub max_retries: u64,
+    /// Durable mode: period of the background epoch advancer, or `None` to
+    /// leave the epoch clock manual (only [`Store::sync`] advances it —
+    /// used by restart tests that need a deterministic durability cut).
+    pub advancer_period: Option<Duration>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            tables: TableKind::Hash,
+            buckets_per_shard: 1 << 10,
+            backend: StoreBackend::Transient,
+            max_retries: 256,
+            advancer_period: Some(Duration::from_micros(200)),
+        }
+    }
+}
+
+/// One shard's table.  All four variants implement [`TxMap<u64>`] over the
+/// same `TxManager`, which is what lets a single transaction span any mix of
+/// them.
+enum Table {
+    Hash(MichaelHashMap<u64>),
+    Skip(SkipList<u64>),
+    DurableHash(DurableHashMap),
+    DurableSkip(DurableSkipList),
+}
+
+macro_rules! on_table {
+    ($table:expr, $m:ident => $body:expr) => {
+        match $table {
+            Table::Hash($m) => $body,
+            Table::Skip($m) => $body,
+            Table::DurableHash($m) => $body,
+            Table::DurableSkip($m) => $body,
+        }
+    };
+}
+
+impl Table {
+    fn get<C: medley::Ctx>(&self, cx: &mut C, key: u64) -> Option<u64> {
+        on_table!(self, m => m.get(cx, key))
+    }
+    fn insert_or_replace<C: medley::Ctx>(&self, cx: &mut C, key: u64, val: u64) -> Option<u64> {
+        on_table!(self, m => m.put(cx, key, val))
+    }
+    fn remove<C: medley::Ctx>(&self, cx: &mut C, key: u64) -> Option<u64> {
+        on_table!(self, m => m.remove(cx, key))
+    }
+    fn contains<C: medley::Ctx>(&self, cx: &mut C, key: u64) -> bool {
+        on_table!(self, m => m.contains(cx, key))
+    }
+}
+
+/// The sharded transactional store (see the module docs).
+pub struct Store {
+    mgr: Arc<TxManager>,
+    tables: Vec<Table>,
+    domain: Option<Arc<PersistenceDomain>>,
+    run_cfg: RunConfig,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("shards", &self.tables.len())
+            .field("durable", &self.domain.is_some())
+            .finish()
+    }
+}
+
+impl Store {
+    /// Builds a store on `mgr`.  Returns the store and, in durable mode with
+    /// an [`StoreConfig::advancer_period`], the running [`EpochAdvancer`]
+    /// (the caller owns its shutdown so drain order is explicit).
+    pub fn new(mgr: Arc<TxManager>, cfg: &StoreConfig) -> (Self, Option<EpochAdvancer>) {
+        assert!(cfg.shards > 0, "store needs at least one shard");
+        let domain = match cfg.backend {
+            StoreBackend::Transient => None,
+            // Count-only NVM model, as in the throughput harness: the
+            // service measures runtime bookkeeping, not simulated Optane
+            // stalls.
+            StoreBackend::Durable => {
+                Some(PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::ZERO))
+            }
+        };
+        let tables = (0..cfg.shards)
+            .map(|i| {
+                let skip = match cfg.tables {
+                    TableKind::Hash => false,
+                    TableKind::Skip => true,
+                    TableKind::Mixed => i % 2 == 1,
+                };
+                match (&domain, skip) {
+                    (None, false) => {
+                        Table::Hash(MichaelHashMap::with_buckets(cfg.buckets_per_shard))
+                    }
+                    (None, true) => Table::Skip(SkipList::new()),
+                    (Some(d), false) => Table::DurableHash(Durable::new(
+                        MichaelHashMap::with_buckets(cfg.buckets_per_shard),
+                        Arc::clone(d),
+                    )),
+                    (Some(d), true) => {
+                        Table::DurableSkip(Durable::new(SkipList::new(), Arc::clone(d)))
+                    }
+                }
+            })
+            .collect();
+        let advancer = match (&domain, cfg.advancer_period) {
+            (Some(d), Some(period)) => Some(EpochAdvancer::spawn(Arc::clone(d), period)),
+            _ => None,
+        };
+        (
+            Self {
+                mgr,
+                tables,
+                domain,
+                run_cfg: RunConfig::new()
+                    .max_retries(cfg.max_retries)
+                    .backoff_limit(8),
+            },
+            advancer,
+        )
+    }
+
+    /// The transaction manager all shards share.
+    pub fn manager(&self) -> &Arc<TxManager> {
+        &self.mgr
+    }
+
+    /// The persistence domain (durable stores only).
+    pub fn domain(&self) -> Option<&Arc<PersistenceDomain>> {
+        self.domain.as_ref()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The shard a key lives in (Fibonacci hash so dense *and* strided key
+    /// patterns both spread; a plain `key % shards` would pin every client
+    /// that strides by the shard count onto one table).
+    #[inline]
+    fn table(&self, key: u64) -> &Table {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.tables[(h % self.tables.len() as u64) as usize]
+    }
+
+    /// Maps the terminal [`TxError`] of a command transaction onto the wire
+    /// error code.  `Conflict` cannot reach here (the retry loop absorbs
+    /// it); `Explicit` only escapes `TRANSFER`, which records its own code.
+    fn map_tx_err(e: TxError) -> ErrCode {
+        match e {
+            TxError::RetriesExhausted => ErrCode::Retry,
+            TxError::CapacityExceeded => ErrCode::Capacity,
+            _ => ErrCode::Retry,
+        }
+    }
+
+    /// Executes one command through `h`.  Single-key reads/writes run
+    /// standalone; everything that composes runs as one transaction under
+    /// the store's retry budget.
+    pub fn exec(&self, h: &mut ThreadHandle, cmd: &Cmd) -> Result<CmdOut, ErrCode> {
+        match cmd {
+            Cmd::Get(k) => Ok(CmdOut::Value(self.table(*k).get(&mut h.nontx(), *k))),
+            Cmd::Put(k, v) => Ok(CmdOut::Prev(self.table(*k).insert_or_replace(
+                &mut h.nontx(),
+                *k,
+                *v,
+            ))),
+            Cmd::Del(k) => Ok(CmdOut::Removed(self.table(*k).remove(&mut h.nontx(), *k))),
+            Cmd::Contains(k) => Ok(CmdOut::Present(self.table(*k).contains(&mut h.nontx(), *k))),
+            Cmd::Cas {
+                key,
+                expected,
+                desired,
+            } => {
+                let table = self.table(*key);
+                h.run_with(&self.run_cfg, |t| {
+                    let current = table.get(t, *key);
+                    if current == Some(*expected) {
+                        table.insert_or_replace(t, *key, *desired);
+                        Ok(CmdOut::Cas {
+                            success: true,
+                            current: Some(*desired),
+                        })
+                    } else {
+                        Ok(CmdOut::Cas {
+                            success: false,
+                            current,
+                        })
+                    }
+                })
+                .map_err(Self::map_tx_err)
+            }
+            Cmd::MGet(keys) => h
+                .run_with(&self.run_cfg, |t| {
+                    Ok(CmdOut::Values(
+                        keys.iter().map(|&k| self.table(k).get(t, k)).collect(),
+                    ))
+                })
+                .map_err(Self::map_tx_err),
+            Cmd::MSet(pairs) => h
+                .run_with(&self.run_cfg, |t| {
+                    for &(k, v) in pairs {
+                        self.table(k).insert_or_replace(t, k, v);
+                    }
+                    Ok(CmdOut::Done)
+                })
+                .map_err(Self::map_tx_err),
+            Cmd::Transfer { from, to, amount } => {
+                if from == to {
+                    // A self-transfer is a (possibly failing) balance probe.
+                    let bal = self.table(*from).get(&mut h.nontx(), *from);
+                    return match bal {
+                        None => Err(ErrCode::NotFound),
+                        Some(b) if b < *amount => Err(ErrCode::Insufficient),
+                        Some(b) => Ok(CmdOut::Transferred {
+                            from_after: b,
+                            to_after: b,
+                        }),
+                    };
+                }
+                // The closure aborts explicitly on business-rule failures;
+                // the cell carries *which* rule fired out of the retry loop.
+                let why = Cell::new(ErrCode::Retry);
+                let res = h.run_with(&self.run_cfg, |t| {
+                    let Some(a) = self.table(*from).get(t, *from) else {
+                        why.set(ErrCode::NotFound);
+                        return Err(t.abort(AbortReason::Explicit));
+                    };
+                    let Some(b) = self.table(*to).get(t, *to) else {
+                        why.set(ErrCode::NotFound);
+                        return Err(t.abort(AbortReason::Explicit));
+                    };
+                    if a < *amount {
+                        why.set(ErrCode::Insufficient);
+                        return Err(t.abort(AbortReason::Explicit));
+                    }
+                    // The credit side must be guarded too: an unchecked
+                    // `b + amount` is wire-reachable overflow (worker panic
+                    // under debug overflow checks, silently wrapped — i.e.
+                    // destroyed — balance in release).
+                    let Some(credited) = b.checked_add(*amount) else {
+                        why.set(ErrCode::Insufficient);
+                        return Err(t.abort(AbortReason::Explicit));
+                    };
+                    self.table(*from).insert_or_replace(t, *from, a - *amount);
+                    self.table(*to).insert_or_replace(t, *to, credited);
+                    Ok(CmdOut::Transferred {
+                        from_after: a - *amount,
+                        to_after: credited,
+                    })
+                });
+                res.map_err(|e| match e {
+                    TxError::Explicit => why.get(),
+                    other => Self::map_tx_err(other),
+                })
+            }
+            Cmd::Batch(cmds) => {
+                // Validate the IR before opening the transaction: only
+                // single-key commands may appear (the codec enforces this on
+                // the wire; in-process callers get the same rule).
+                for c in cmds {
+                    if !matches!(
+                        c,
+                        Cmd::Get(_)
+                            | Cmd::Put(..)
+                            | Cmd::Del(_)
+                            | Cmd::Cas { .. }
+                            | Cmd::Contains(_)
+                    ) {
+                        return Err(ErrCode::Malformed);
+                    }
+                }
+                h.run_with(&self.run_cfg, |t| {
+                    let mut outs = Vec::with_capacity(cmds.len());
+                    for c in cmds {
+                        outs.push(match c {
+                            Cmd::Get(k) => CmdOut::Value(self.table(*k).get(t, *k)),
+                            Cmd::Put(k, v) => {
+                                CmdOut::Prev(self.table(*k).insert_or_replace(t, *k, *v))
+                            }
+                            Cmd::Del(k) => CmdOut::Removed(self.table(*k).remove(t, *k)),
+                            Cmd::Contains(k) => CmdOut::Present(self.table(*k).contains(t, *k)),
+                            Cmd::Cas {
+                                key,
+                                expected,
+                                desired,
+                            } => {
+                                let current = self.table(*key).get(t, *key);
+                                if current == Some(*expected) {
+                                    self.table(*key).insert_or_replace(t, *key, *desired);
+                                    CmdOut::Cas {
+                                        success: true,
+                                        current: Some(*desired),
+                                    }
+                                } else {
+                                    CmdOut::Cas {
+                                        success: false,
+                                        current,
+                                    }
+                                }
+                            }
+                            _ => unreachable!("validated above"),
+                        });
+                    }
+                    Ok(CmdOut::Batch(outs))
+                })
+                .map_err(Self::map_tx_err)
+            }
+        }
+    }
+
+    /// Aggregated statistics (the `STATS` admin command).  `h` is the
+    /// calling worker's handle: its local tallies are flushed first so the
+    /// snapshot includes at least everything this worker completed.
+    pub fn stats(&self, h: &mut ThreadHandle) -> StatsReply {
+        h.flush_stats();
+        StatsReply {
+            tx: self.mgr.stats_snapshot(),
+            domain: self.domain.as_ref().map(|d| d.stats()),
+        }
+    }
+
+    /// Durability cut (the `SYNC` admin command): on a durable store, every
+    /// operation completed before the call is recoverable afterwards
+    /// (nbMontage's wait-free sync — epoch advances plus write-back, never
+    /// blocking concurrent updaters).  Returns the persisted epoch of the
+    /// cut; a transient store is a no-op reporting epoch 0.
+    pub fn sync(&self) -> u64 {
+        match &self.domain {
+            Some(d) => {
+                d.sync();
+                d.stats().persisted_epoch
+            }
+            None => 0,
+        }
+    }
+
+    /// Simulated post-crash recovery of a durable store: the key/value map
+    /// as of the last durability horizon (union over all shards, which
+    /// share one domain).  Transient stores recover empty.
+    pub fn recover(&self) -> HashMap<u64, u64> {
+        match &self.domain {
+            Some(d) => d.recover(),
+            None => HashMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(cfg: &StoreConfig) -> (Arc<TxManager>, Store, Option<EpochAdvancer>) {
+        let mgr = TxManager::with_max_threads(16);
+        let (s, adv) = Store::new(Arc::clone(&mgr), cfg);
+        (mgr, s, adv)
+    }
+
+    #[test]
+    fn single_key_commands_roundtrip() {
+        for tables in [TableKind::Hash, TableKind::Skip, TableKind::Mixed] {
+            let cfg = StoreConfig {
+                tables,
+                shards: 4,
+                ..Default::default()
+            };
+            let (mgr, s, _adv) = store(&cfg);
+            let mut h = mgr.register();
+            assert_eq!(s.exec(&mut h, &Cmd::Get(1)), Ok(CmdOut::Value(None)));
+            assert_eq!(s.exec(&mut h, &Cmd::Put(1, 10)), Ok(CmdOut::Prev(None)));
+            assert_eq!(s.exec(&mut h, &Cmd::Put(1, 11)), Ok(CmdOut::Prev(Some(10))));
+            assert_eq!(s.exec(&mut h, &Cmd::Get(1)), Ok(CmdOut::Value(Some(11))));
+            assert_eq!(s.exec(&mut h, &Cmd::Contains(1)), Ok(CmdOut::Present(true)));
+            assert_eq!(s.exec(&mut h, &Cmd::Del(1)), Ok(CmdOut::Removed(Some(11))));
+            assert_eq!(
+                s.exec(&mut h, &Cmd::Contains(1)),
+                Ok(CmdOut::Present(false))
+            );
+        }
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_match() {
+        let (mgr, s, _adv) = store(&StoreConfig::default());
+        let mut h = mgr.register();
+        let miss = s.exec(
+            &mut h,
+            &Cmd::Cas {
+                key: 5,
+                expected: 0,
+                desired: 1,
+            },
+        );
+        assert_eq!(
+            miss,
+            Ok(CmdOut::Cas {
+                success: false,
+                current: None
+            })
+        );
+        s.exec(&mut h, &Cmd::Put(5, 50)).unwrap();
+        let hit = s.exec(
+            &mut h,
+            &Cmd::Cas {
+                key: 5,
+                expected: 50,
+                desired: 51,
+            },
+        );
+        assert_eq!(
+            hit,
+            Ok(CmdOut::Cas {
+                success: true,
+                current: Some(51)
+            })
+        );
+        assert_eq!(s.exec(&mut h, &Cmd::Get(5)), Ok(CmdOut::Value(Some(51))));
+    }
+
+    #[test]
+    fn multikey_commands_span_shards_atomically() {
+        // Mixed tables: keys land on hash *and* skiplist shards, so these
+        // transactions compose different structure types.
+        let cfg = StoreConfig {
+            tables: TableKind::Mixed,
+            shards: 4,
+            ..Default::default()
+        };
+        let (mgr, s, _adv) = store(&cfg);
+        let mut h = mgr.register();
+        let pairs: Vec<(u64, u64)> = (0..32).map(|k| (k, 1000)).collect();
+        assert_eq!(s.exec(&mut h, &Cmd::MSet(pairs.clone())), Ok(CmdOut::Done));
+        let keys: Vec<u64> = pairs.iter().map(|(k, _)| *k).collect();
+        let got = s.exec(&mut h, &Cmd::MGet(keys)).unwrap();
+        assert_eq!(got, CmdOut::Values(vec![Some(1000); 32]));
+
+        let t = s
+            .exec(
+                &mut h,
+                &Cmd::Transfer {
+                    from: 0,
+                    to: 1,
+                    amount: 400,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            t,
+            CmdOut::Transferred {
+                from_after: 600,
+                to_after: 1400
+            }
+        );
+        assert_eq!(
+            s.exec(
+                &mut h,
+                &Cmd::Transfer {
+                    from: 0,
+                    to: 1,
+                    amount: 601,
+                },
+            ),
+            Err(ErrCode::Insufficient)
+        );
+        assert_eq!(
+            s.exec(
+                &mut h,
+                &Cmd::Transfer {
+                    from: 999,
+                    to: 1,
+                    amount: 1,
+                },
+            ),
+            Err(ErrCode::NotFound)
+        );
+        // Failed transfers changed nothing.
+        let got = s.exec(&mut h, &Cmd::MGet(vec![0, 1])).unwrap();
+        assert_eq!(got, CmdOut::Values(vec![Some(600), Some(1400)]));
+    }
+
+    #[test]
+    fn batch_runs_as_one_transaction() {
+        let (mgr, s, _adv) = store(&StoreConfig::default());
+        let mut h = mgr.register();
+        s.exec(&mut h, &Cmd::Put(1, 10)).unwrap();
+        let out = s
+            .exec(
+                &mut h,
+                &Cmd::Batch(vec![
+                    Cmd::Get(1),
+                    Cmd::Put(2, 20),
+                    Cmd::Cas {
+                        key: 1,
+                        expected: 10,
+                        desired: 12,
+                    },
+                    Cmd::Del(1),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            CmdOut::Batch(vec![
+                CmdOut::Value(Some(10)),
+                CmdOut::Prev(None),
+                CmdOut::Cas {
+                    success: true,
+                    current: Some(12)
+                },
+                CmdOut::Removed(Some(12)),
+            ])
+        );
+        // Multi-key commands are rejected inside a batch.
+        assert_eq!(
+            s.exec(&mut h, &Cmd::Batch(vec![Cmd::MGet(vec![1])])),
+            Err(ErrCode::Malformed)
+        );
+        h.flush_stats();
+        assert!(mgr.stats_snapshot().general_commits >= 1);
+    }
+
+    #[test]
+    fn durable_store_survives_via_sync_and_recover() {
+        let cfg = StoreConfig {
+            backend: StoreBackend::Durable,
+            advancer_period: None,
+            tables: TableKind::Mixed,
+            shards: 4,
+            ..Default::default()
+        };
+        let (mgr, s, adv) = store(&cfg);
+        assert!(
+            adv.is_none(),
+            "manual epoch mode must not spawn an advancer"
+        );
+        let mut h = mgr.register();
+        s.exec(&mut h, &Cmd::MSet(vec![(1, 10), (2, 20), (3, 30)]))
+            .unwrap();
+        assert!(s.recover().is_empty(), "nothing durable before the sync");
+        let epoch = s.sync();
+        assert!(epoch >= 1, "sync must move the durability horizon: {epoch}");
+        let rec = s.recover();
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.get(&2), Some(&20));
+        // Un-synced later writes are not in the cut.
+        s.exec(&mut h, &Cmd::Put(4, 40)).unwrap();
+        assert_eq!(s.recover().len(), 3);
+    }
+}

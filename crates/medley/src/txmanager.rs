@@ -255,6 +255,19 @@ impl TxManager {
         &self.stats
     }
 
+    /// A point-in-time copy of the aggregate statistics — the one place that
+    /// sums the per-thread counter flushes into a coherent snapshot.
+    ///
+    /// Counters are batched per handle (see [`ThreadHandle::flush_stats`]),
+    /// so a snapshot taken while handles are live may lag each handle by up
+    /// to a flush batch; counts are exact once the contributing handles have
+    /// been dropped (drop flushes) or explicitly flushed.  The commit-path
+    /// counters partition `commits`: `commits == fast_commits + ro_commits +
+    /// general_commits` holds on every exact snapshot.
+    pub fn stats_snapshot(&self) -> TxStatsSnapshot {
+        self.stats.snapshot()
+    }
+
     /// Number of thread slots this manager was created with.
     ///
     /// Thread-slot ids handed out by [`TxManager::register`] are always in

@@ -985,10 +985,17 @@ impl EpochAdvancer {
         let stop2 = Arc::clone(&stop);
         let join = std::thread::spawn(move || {
             let mut next = std::time::Instant::now() + period;
+            // Long periods are slept in bounded slices so a shutdown request
+            // is honored promptly instead of after up to one full period
+            // (µs/ms periods are unaffected: one slice covers them).
+            const MAX_SLEEP_SLICE: std::time::Duration = std::time::Duration::from_millis(10);
             while !stop2.load(Ordering::Relaxed) {
                 let now = std::time::Instant::now();
                 if now < next {
-                    std::thread::sleep(next - now);
+                    std::thread::sleep((next - now).min(MAX_SLEEP_SLICE));
+                    if std::time::Instant::now() < next {
+                        continue;
+                    }
                 }
                 domain.advance_epoch();
                 next += period;
@@ -1001,6 +1008,22 @@ impl EpochAdvancer {
         Self {
             stop,
             join: Some(join),
+        }
+    }
+
+    /// Requests the advancer thread to stop and joins it.
+    ///
+    /// Dropping an `EpochAdvancer` does the same implicitly; the explicit
+    /// form exists so shutdown sequences can place the join deliberately —
+    /// e.g. the durable `kvstore` server drains its workers first, then
+    /// stops the advancer, then takes its final recovery cut, guaranteeing
+    /// no epoch advance (and no write-back) races the cut.  After `shutdown`
+    /// returns, the epoch clock is no longer ticking and no advancer-driven
+    /// write-back can be in flight.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
         }
     }
 }

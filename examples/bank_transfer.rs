@@ -76,7 +76,7 @@ fn main() {
     println!(
         "total balance {total} (expected {expected}), {denied} transfers denied for insufficient funds"
     );
-    let snap = mgr.stats().snapshot();
+    let snap = mgr.stats_snapshot();
     println!(
         "commits={} (fast={} read-only={}) aborts={} (conflict={} explicit={}) helps={}",
         snap.commits,

@@ -15,7 +15,7 @@ fn main() {
     // epoch clock is advanced by a background thread like nbMontage's.
     let domain = PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::OPTANE_LIKE);
     let store = DurableHashMap::hash_map(1 << 12, Arc::clone(&domain));
-    let _advancer = EpochAdvancer::spawn(Arc::clone(&domain), Duration::from_millis(5));
+    let advancer = EpochAdvancer::spawn(Arc::clone(&domain), Duration::from_millis(5));
 
     let mut h = mgr.register();
 
@@ -50,6 +50,11 @@ fn main() {
     store.sync();
     let late = store.recover();
     println!("after sync, key 3 recovered: {}", late.contains_key(&3));
+
+    // Stop the epoch clock explicitly before reading the final statistics:
+    // after `shutdown` returns no advancer-driven write-back is in flight,
+    // so the flush/fence counts below are settled.
+    advancer.shutdown();
 
     let (flushes, fences) = domain.nvm().stats().snapshot();
     println!(

@@ -50,7 +50,7 @@ fn main() {
     // batched tallies, so the global counters are exact afterwards; use
     // `h.flush_stats()` instead to sample mid-run.
     drop(h);
-    let snap = mgr.stats().snapshot();
+    let snap = mgr.stats_snapshot();
     println!(
         "commits={} (fast={} read-only={}) aborts={} (explicit={}) helps={}",
         snap.commits,

@@ -59,7 +59,7 @@ fn main() {
         "every committed newOrder must allocate exactly one order id"
     );
     drop(session); // flush the session's batched statistics
-    let snap = mgr.stats().snapshot();
+    let snap = mgr.stats_snapshot();
     println!(
         "medley commits={} (fast={} read-only={}) aborts={}",
         snap.commits, snap.fast_commits, snap.ro_commits, snap.aborts

@@ -54,7 +54,7 @@ fn panic_inside_run_aborts_and_leaves_handle_reusable() {
     assert_eq!(a.try_load_value(), Some(15));
 
     h.flush_stats();
-    let snap = mgr.stats().snapshot();
+    let snap = mgr.stats_snapshot();
     assert_eq!(snap.unwind_aborts, 1, "the unwind abort must be recorded");
     assert_eq!(snap.commits, 1);
 }
@@ -102,7 +102,7 @@ fn handle_drop_flushes_batched_stats_exactly() {
         let _: TxResult<()> = h.run(|t| Err(t.abort(AbortReason::Explicit)));
         // No flush_stats here: dropping the handle must flush.
     }
-    let snap = mgr.stats().snapshot();
+    let snap = mgr.stats_snapshot();
     assert_eq!(snap.commits, COMMITS);
     assert_eq!(snap.aborts, 1);
     assert_eq!(snap.explicit_aborts, 1);
@@ -124,7 +124,7 @@ fn run_config_bounds_retries_and_stats_classify_aborts() {
     assert_eq!(res, Err(TxError::RetriesExhausted));
     assert_eq!(attempts, 3);
     h.flush_stats();
-    let snap = mgr.stats().snapshot();
+    let snap = mgr.stats_snapshot();
     assert_eq!(snap.conflict_aborts, 3);
     assert_eq!(snap.aborts, 3);
     assert_eq!(snap.commits, 0);
@@ -243,7 +243,7 @@ fn mixed_nontx_and_txn_contexts_conserve_tokens() {
     assert_eq!(seen.len() as u64, TOKENS, "tokens must be conserved");
     drop(h);
 
-    let snap = mgr.stats().snapshot();
+    let snap = mgr.stats_snapshot();
     assert!(snap.commits > 0);
     assert!(
         snap.fast_commits > 0,

@@ -107,7 +107,7 @@ fn bank_transfer_conservation_across_cas_words() {
     let total: u64 = accounts.iter().map(|w| w.try_load_value().unwrap()).sum();
     assert_eq!(total, ACCOUNTS * INITIAL, "money must be conserved");
 
-    let snap = mgr.stats().snapshot();
+    let snap = mgr.stats_snapshot();
     assert!(snap.commits > 0);
     assert!(
         snap.fast_commits > 0,
@@ -297,7 +297,7 @@ fn queue_hashtable_transfer_conserves_tokens() {
     assert_eq!(seen.len() as u64, TOKENS, "tokens must be conserved");
     drop(h);
 
-    let snap = mgr.stats().snapshot();
+    let snap = mgr.stats_snapshot();
     assert!(
         snap.fast_commits > 0,
         "container fast path never taken: {snap:?}"
