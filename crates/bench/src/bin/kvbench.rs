@@ -26,15 +26,24 @@ use bench::report::{write_json, LatencyHistogram};
 use bench::workload::KeyDist;
 use bench::CommonArgs;
 use kvstore::{
-    Client, KvError, Server, ServerConfig, StatsReply, StoreBackend, StoreConfig, TableKind,
+    Client, Cmd, ErrCode, KvError, OverloadConfig, Request, Response, Server, ServerConfig,
+    StatsReply, StoreBackend, StoreConfig, TableKind,
 };
 use medley::util::FastRng;
-use std::sync::atomic::{AtomicU64, Ordering};
+use medley::ContentionPolicy;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 /// Initial balance preloaded into every key.
 const INITIAL: u64 = 1_000_000;
+
+/// Open-loop mode: most requests one connection may have outstanding before
+/// the generator counts a scheduled send as dropped instead of queuing it —
+/// an open-loop generator must never let a slow server push back on its
+/// clock, but its own memory must stay bounded too.
+const OPEN_LOOP_PIPELINE: usize = 4096;
 
 /// Per-connection tallies of one series.
 #[derive(Default)]
@@ -113,6 +122,16 @@ impl SeriesResult {
     }
 }
 
+/// Preloads every key over the wire (chunked MSETs stay well inside the
+/// descriptor write-set capacity).
+fn preload(addr: std::net::SocketAddr, keys: u64) {
+    let mut c = Client::connect(addr).expect("preload connect");
+    let pairs: Vec<(u64, u64)> = (0..keys).map(|k| (k, INITIAL)).collect();
+    for chunk in pairs.chunks(512) {
+        c.mset(chunk).expect("preload mset");
+    }
+}
+
 /// One client operation: sampled shape, executed, latency recorded.
 fn run_one_op(
     c: &mut Client,
@@ -177,15 +196,7 @@ fn run_series(
     keys: u64,
     dist: KeyDist,
 ) -> SeriesResult {
-    // Preload every key over the wire (chunked MSETs stay well inside the
-    // descriptor write-set capacity).
-    {
-        let mut c = Client::connect(addr).expect("preload connect");
-        let pairs: Vec<(u64, u64)> = (0..keys).map(|k| (k, INITIAL)).collect();
-        for chunk in pairs.chunks(512) {
-            c.mset(chunk).expect("preload mset");
-        }
-    }
+    preload(addr, keys);
 
     let barrier = Barrier::new(connections + 1);
     let ok = AtomicU64::new(0);
@@ -252,6 +263,393 @@ fn run_series(
     }
 }
 
+/// Aggregated result of one open-loop (offered-load) series.
+struct OverloadResult {
+    name: String,
+    connections: usize,
+    elapsed: Duration,
+    offered_per_sec: f64,
+    capacity_per_sec: f64,
+    sent: u64,
+    ok: u64,
+    shed: u64,
+    retry_aborts: u64,
+    app_errors: u64,
+    dropped_sends: u64,
+    max_queue_depth: usize,
+    hist: LatencyHistogram,
+    server: StatsReply,
+}
+
+impl OverloadResult {
+    fn to_json(&self) -> String {
+        let (p50, _, p99) = self.hist.percentiles_ns();
+        let p999 = self.hist.p999_ns();
+        let secs = self.elapsed.as_secs_f64().max(1e-9);
+        let goodput = self.ok as f64 / secs;
+        let answered = self.ok + self.shed + self.retry_aborts + self.app_errors;
+        let shed_rate = self.shed as f64 / (answered.max(1)) as f64;
+        let t = &self.server.tx;
+        let load = self.server.load.unwrap_or_default();
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"mode\":\"overload\",\"connections\":{},",
+                "\"elapsed_s\":{:.4},\"offered_per_sec\":{:.0},",
+                "\"closed_loop_capacity_per_sec\":{:.0},",
+                "\"sent\":{},\"ok\":{},\"goodput_per_sec\":{:.0},",
+                "\"shed\":{},\"shed_rate\":{:.4},\"retry_aborts\":{},",
+                "\"app_errors\":{},\"dropped_sends\":{},\"max_queue_depth\":{},",
+                "\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{},",
+                "\"server_shed\":{},\"server_peak_inflight_bytes\":{},",
+                "\"server_accept_retries\":{},\"server_cm_waits\":{},",
+                "\"server_cm_priority_skips\":{},\"server_cm_escalations\":{},",
+                "\"server_commits\":{},\"server_conflict_aborts\":{}}}"
+            ),
+            self.name,
+            self.connections,
+            secs,
+            self.offered_per_sec,
+            self.capacity_per_sec,
+            self.sent,
+            self.ok,
+            goodput,
+            self.shed,
+            shed_rate,
+            self.retry_aborts,
+            self.app_errors,
+            self.dropped_sends,
+            self.max_queue_depth,
+            p50,
+            p99,
+            p999,
+            self.hist.max_ns(),
+            load.shed_requests,
+            load.peak_inflight_bytes,
+            load.accept_retries,
+            t.cm_waits,
+            t.cm_priority_skips,
+            t.cm_escalations,
+            t.commits,
+            t.conflict_aborts,
+        )
+    }
+
+    fn csv_row(&self) -> String {
+        let p999 = self.hist.p999_ns();
+        let secs = self.elapsed.as_secs_f64().max(1e-9);
+        format!(
+            "{},{},{:.0},{},{},{},{}",
+            self.name,
+            self.connections,
+            self.ok as f64 / secs,
+            self.shed,
+            self.server.tx.conflict_aborts,
+            self.hist.percentiles_ns().0,
+            p999
+        )
+    }
+}
+
+/// Samples one request with the same mix as the closed-loop generator —
+/// except CAS is blind (an open-loop tick cannot afford a read round trip
+/// first); it still exercises the transactional path either way.
+fn sample_cmd(rng: &mut FastRng, sampler: &bench::workload::KeySampler, keys: u64) -> Cmd {
+    let k = sampler.sample(rng);
+    let dice = rng.next_below(100);
+    if dice < 50 {
+        Cmd::Get(k)
+    } else if dice < 70 {
+        Cmd::Put(k, rng.next_u64() % INITIAL)
+    } else if dice < 80 {
+        Cmd::Cas {
+            key: k,
+            expected: INITIAL,
+            desired: INITIAL,
+        }
+    } else if dice < 90 {
+        let mut to = sampler.sample(rng);
+        if to == k {
+            to = (to + 1) % keys;
+        }
+        Cmd::Transfer {
+            from: k,
+            to,
+            amount: 1,
+        }
+    } else {
+        Cmd::MGet((0..4).map(|_| sampler.sample(rng)).collect())
+    }
+}
+
+/// Per-connection tallies of one open-loop series.
+#[derive(Default)]
+struct OpenLoopTally {
+    sent: u64,
+    ok: u64,
+    shed: u64,
+    retry_aborts: u64,
+    app_errors: u64,
+    dropped: u64,
+    max_depth: usize,
+}
+
+impl OpenLoopTally {
+    fn classify(&mut self, resp: &Response, sent_at: Instant, hist: &mut LatencyHistogram) {
+        match resp {
+            Response::Ok(_) => {
+                self.ok += 1;
+                hist.record(sent_at.elapsed());
+            }
+            Response::Err(ErrCode::Overload) => self.shed += 1,
+            Response::Err(ErrCode::Retry) | Response::Err(ErrCode::Capacity) => {
+                self.retry_aborts += 1
+            }
+            Response::Err(_) => self.app_errors += 1,
+            _ => self.app_errors += 1,
+        }
+    }
+}
+
+/// Open-loop (offered-load) series: each connection sends on a fixed clock
+/// regardless of how fast responses come back, so load past capacity shows
+/// up as shedding and queueing instead of silently slowing the generator —
+/// the collapse closed-loop benchmarks cannot see.
+#[allow(clippy::too_many_arguments)]
+fn run_overload_series(
+    name: String,
+    addr: std::net::SocketAddr,
+    connections: usize,
+    duration: Duration,
+    keys: u64,
+    dist: KeyDist,
+    offered_per_sec: f64,
+    capacity_per_sec: f64,
+) -> OverloadResult {
+    preload(addr, keys);
+    let interval = Duration::from_secs_f64(connections as f64 / offered_per_sec.max(1.0));
+
+    let barrier = Barrier::new(connections + 1);
+    let sent = AtomicU64::new(0);
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let retry_aborts = AtomicU64::new(0);
+    let app_errors = AtomicU64::new(0);
+    let dropped = AtomicU64::new(0);
+    let max_depth = AtomicUsize::new(0);
+    let hist = Mutex::new(LatencyHistogram::new());
+    let started = Mutex::new(None::<Instant>);
+    std::thread::scope(|s| {
+        for t in 0..connections {
+            let barrier = &barrier;
+            let sent = &sent;
+            let ok = &ok;
+            let shed = &shed;
+            let retry_aborts = &retry_aborts;
+            let app_errors = &app_errors;
+            let dropped = &dropped;
+            let max_depth = &max_depth;
+            let hist = &hist;
+            let sampler = dist.sampler(keys);
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("bench connect");
+                let mut rng = FastRng::new(0x0FE2ED + t as u64);
+                let mut tally = OpenLoopTally::default();
+                let mut local_hist = LatencyHistogram::new();
+                // Send timestamps of in-flight requests, oldest first
+                // (responses come back in request order per connection).
+                let mut pending_at: VecDeque<Instant> = VecDeque::new();
+                barrier.wait();
+                let begin = Instant::now();
+                let deadline = begin + duration;
+                let mut next_send = begin;
+                'run: while Instant::now() < deadline {
+                    // Fire every tick that has come due on the offered-load
+                    // clock; a full pipeline drops the send (counted) rather
+                    // than stalling the clock.
+                    let now = Instant::now();
+                    while next_send <= now {
+                        next_send += interval;
+                        if c.in_flight() >= OPEN_LOOP_PIPELINE {
+                            tally.dropped += 1;
+                            continue;
+                        }
+                        let cmd = sample_cmd(&mut rng, &sampler, keys);
+                        if c.send(&Request::Cmd(cmd)).is_err() {
+                            break 'run;
+                        }
+                        pending_at.push_back(Instant::now());
+                        tally.sent += 1;
+                    }
+                    tally.max_depth = tally.max_depth.max(c.in_flight());
+                    // Drain whatever responses have arrived; never block
+                    // past a sliver of the tick.
+                    loop {
+                        match c.recv_timeout(Duration::from_micros(50)) {
+                            Ok(Some(resp)) => {
+                                let at = pending_at.pop_front().expect("pending send time");
+                                tally.classify(&resp, at, &mut local_hist);
+                            }
+                            Ok(None) => break,
+                            Err(_) => break 'run,
+                        }
+                    }
+                    let now = Instant::now();
+                    if next_send > now {
+                        std::thread::sleep((next_send - now).min(Duration::from_micros(200)));
+                    }
+                }
+                // Final drain: bounded, so a wedged server cannot hang the
+                // harness.
+                let drain_deadline = Instant::now() + Duration::from_millis(500);
+                while c.in_flight() > 0 && Instant::now() < drain_deadline {
+                    match c.recv_timeout(Duration::from_millis(10)) {
+                        Ok(Some(resp)) => {
+                            let at = pending_at.pop_front().expect("pending send time");
+                            tally.classify(&resp, at, &mut local_hist);
+                        }
+                        Ok(None) => {}
+                        Err(_) => break,
+                    }
+                }
+                sent.fetch_add(tally.sent, Ordering::Relaxed);
+                ok.fetch_add(tally.ok, Ordering::Relaxed);
+                shed.fetch_add(tally.shed, Ordering::Relaxed);
+                retry_aborts.fetch_add(tally.retry_aborts, Ordering::Relaxed);
+                app_errors.fetch_add(tally.app_errors, Ordering::Relaxed);
+                dropped.fetch_add(tally.dropped, Ordering::Relaxed);
+                max_depth.fetch_max(tally.max_depth, Ordering::Relaxed);
+                hist.lock().unwrap().merge(&local_hist);
+            });
+        }
+        barrier.wait();
+        *started.lock().unwrap() = Some(Instant::now());
+    });
+    let elapsed = started.lock().unwrap().expect("run started").elapsed();
+
+    let server = {
+        let mut c = Client::connect(addr).expect("stats connect");
+        c.stats().expect("stats")
+    };
+
+    OverloadResult {
+        name,
+        connections,
+        elapsed,
+        offered_per_sec,
+        capacity_per_sec,
+        sent: sent.load(Ordering::Relaxed),
+        ok: ok.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        retry_aborts: retry_aborts.load(Ordering::Relaxed),
+        app_errors: app_errors.load(Ordering::Relaxed),
+        dropped_sends: dropped.load(Ordering::Relaxed),
+        max_queue_depth: max_depth.load(Ordering::Relaxed),
+        hist: hist.into_inner().unwrap(),
+        server,
+    }
+}
+
+/// The `--overload` mode: measure closed-loop capacity with the default
+/// contention policy, then drive open-loop at a multiple of it against a
+/// default-policy server and an adaptive-policy server (the A/B the
+/// ROADMAP's saturation item asks for), recording goodput, shed rate,
+/// queue depth, and p99.9 per policy.
+fn run_overload_mode(
+    connections: usize,
+    workers: usize,
+    duration: Duration,
+    keys: u64,
+    dist: KeyDist,
+    tables: TableKind,
+    offered_mult: f64,
+) -> Vec<String> {
+    // Tighter shed watermarks than the server default: the benchmark's
+    // pipeline bound caps how much backlog a few connections can build, and
+    // the point here is to exercise the shed path, not to find the largest
+    // queue that fits in RAM.
+    let overload_cfg = OverloadConfig {
+        shed_high: 64 << 10,
+        shed_low: 16 << 10,
+        ..Default::default()
+    };
+
+    // Phase 1: closed-loop capacity with the default policy.
+    let cap_cfg = ServerConfig {
+        workers,
+        store: StoreConfig {
+            tables,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let server = Server::start(&cap_cfg).expect("start capacity server");
+    let cap = run_series(
+        format!("overload-capacity/{}", dist.label()),
+        server.local_addr(),
+        connections,
+        duration,
+        keys,
+        dist,
+    );
+    println!("{}", cap.csv_row());
+    server.shutdown();
+    let capacity = cap.ok as f64 / cap.elapsed.as_secs_f64().max(1e-9);
+
+    // Phase 1b: flood calibration.  Closed-loop with a few connections is
+    // latency-bound and understates the service rate — "2× that" may not
+    // saturate anything.  An open-loop flood (clock far past any plausible
+    // capacity, pipeline-capped) measures what the server actually serves
+    // per second; the offered overload rate is a multiple of *this*.
+    let server = Server::start(&cap_cfg).expect("start calibration server");
+    let flood = run_overload_series(
+        format!("overload-flood/{}", dist.label()),
+        server.local_addr(),
+        connections,
+        duration,
+        keys,
+        dist,
+        50_000_000.0,
+        capacity,
+    );
+    println!("{}", flood.csv_row());
+    server.shutdown();
+    let service_rate = flood.ok as f64 / flood.elapsed.as_secs_f64().max(1e-9);
+    let offered = service_rate.max(capacity) * offered_mult;
+
+    // Phase 2: open-loop at `offered` against each contention policy.
+    let mut entries = vec![cap.to_json(), flood.to_json()];
+    for (label, policy) in [
+        ("backoff", ContentionPolicy::Backoff),
+        ("adaptive", ContentionPolicy::Adaptive),
+    ] {
+        let cfg = ServerConfig {
+            workers,
+            store: StoreConfig {
+                tables,
+                contention: policy,
+                ..Default::default()
+            },
+            overload: overload_cfg.clone(),
+            ..Default::default()
+        };
+        let server = Server::start(&cfg).expect("start overload server");
+        let r = run_overload_series(
+            format!("overload-{offered_mult}x/{label}/{}", dist.label()),
+            server.local_addr(),
+            connections,
+            duration,
+            keys,
+            dist,
+            offered,
+            capacity,
+        );
+        println!("{}", r.csv_row());
+        entries.push(r.to_json());
+        server.shutdown();
+    }
+    entries
+}
+
 fn main() {
     let args = CommonArgs::parse();
     let connections: usize = CommonArgs::extra_flag("--connections", 2);
@@ -275,6 +673,22 @@ fn main() {
     println!(
         "series,connections,ops_per_sec,client_retry_aborts,server_conflict_aborts,p50_ns,p99_ns"
     );
+
+    if std::env::args().any(|a| a == "--overload") {
+        let offered_mult: f64 = CommonArgs::extra_flag("--offered-mult", 2.0);
+        let entries = run_overload_mode(
+            connections,
+            workers,
+            duration,
+            args.keys,
+            dist,
+            tables,
+            offered_mult,
+        );
+        write_json("server", &entries);
+        return;
+    }
+
     let mut results = Vec::new();
 
     if !connect.is_empty() {

@@ -126,6 +126,12 @@ impl LatencyHistogram {
             self.quantile_ns(0.99),
         )
     }
+
+    /// The p99.9 in nanoseconds — the tail the overload harness watches,
+    /// since saturation shows up there long before it reaches the median.
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
 }
 
 #[cfg(test)]
@@ -171,7 +177,23 @@ mod tests {
     fn empty_histogram_is_all_zero() {
         let h = LatencyHistogram::new();
         assert_eq!(h.percentiles_ns(), (0, 0, 0));
+        assert_eq!(h.p999_ns(), 0);
         assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn p999_sits_in_the_tail() {
+        let mut h = LatencyHistogram::new();
+        // 0.2% of samples are 100µs stragglers: p99.9 must see the tail.
+        for _ in 0..9980 {
+            h.record(Duration::from_nanos(100));
+        }
+        for _ in 0..20 {
+            h.record(Duration::from_micros(100));
+        }
+        let p999 = h.p999_ns();
+        assert!(p999 >= 50_000, "p99.9 {p999} must reach the straggler");
+        assert!(h.percentiles_ns().0 < 1000, "p50 stays fast");
     }
 
     #[test]

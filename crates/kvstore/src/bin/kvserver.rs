@@ -12,7 +12,8 @@
 //! `--seconds N` serves for N seconds and then drains — handy for smoke
 //! runs.
 
-use kvstore::{Server, ServerConfig, StoreBackend, StoreConfig, TableKind};
+use kvstore::{OverloadConfig, Server, ServerConfig, StoreBackend, StoreConfig, TableKind};
+use medley::ContentionPolicy;
 use std::time::Duration;
 
 fn flag<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -45,6 +46,17 @@ fn main() {
     let advancer_us: u64 = flag("--advancer-us", 200);
     let retries: u64 = flag("--retries", 256);
     let seconds: f64 = flag("--seconds", 0.0);
+    let contention = match flag("--cm", "backoff".to_string()).as_str() {
+        "backoff" => ContentionPolicy::Backoff,
+        "karma" => ContentionPolicy::Karma,
+        "adaptive" => ContentionPolicy::Adaptive,
+        other => panic!("unknown --cm {other:?} (backoff|karma|adaptive)"),
+    };
+    let overload = OverloadConfig {
+        shed_high: flag("--shed-high", OverloadConfig::default().shed_high),
+        shed_low: flag("--shed-low", OverloadConfig::default().shed_low),
+        ..Default::default()
+    };
 
     let cfg = ServerConfig {
         addr,
@@ -54,9 +66,11 @@ fn main() {
             tables,
             backend,
             max_retries: retries,
+            contention,
             advancer_period: (advancer_us > 0).then(|| Duration::from_micros(advancer_us)),
             ..Default::default()
         },
+        overload,
         ..Default::default()
     };
     let server = Server::start(&cfg).expect("bind kvstore server");
@@ -74,6 +88,7 @@ fn main() {
         let _ = std::io::stdin().read_line(&mut line);
     }
     println!("draining...");
+    let load = server.load_stats();
     let store = server.shutdown();
     let snap = store.manager().stats_snapshot();
     println!(
@@ -84,5 +99,9 @@ fn main() {
         snap.general_commits,
         snap.aborts,
         snap.conflict_aborts
+    );
+    println!(
+        "load: {} shed, peak backlog {} B, {} accept retries, {} cm waits",
+        load.shed_requests, load.peak_inflight_bytes, load.accept_retries, snap.cm_waits
     );
 }

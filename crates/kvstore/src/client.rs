@@ -10,9 +10,23 @@
 
 use crate::proto::{self, ErrCode, Request, Response, StatsReply};
 use crate::store::{Cmd, CmdOut};
+use medley::util::FastRng;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// How many times a typed command resends after [`ErrCode::Overload`]
+/// before surfacing the error.  A bounded budget keeps a saturated server
+/// from turning clients into infinite retry loops (which would only deepen
+/// the overload).
+const OVERLOAD_RESEND_BUDGET: u32 = 8;
+
+/// Base of the jittered overload retry delay; attempt `n` sleeps uniformly
+/// in `[0, OVERLOAD_BASE_DELAY_US << min(n, 6))` microseconds ("full
+/// jitter", which decorrelates the retry storms that synchronized backoff
+/// produces).
+const OVERLOAD_BASE_DELAY_US: u64 = 50;
 
 /// Client-side failure of one command.
 #[derive(Debug)]
@@ -56,6 +70,10 @@ pub struct Client {
     next_id: u32,
     /// Request ids in flight, oldest first (the server answers in order).
     pending: VecDeque<u32>,
+    /// Jitter source for overload retry delays.
+    rng: FastRng,
+    /// Total [`ErrCode::Overload`] responses this client retried through.
+    overload_retries: u64,
 }
 
 impl Client {
@@ -63,6 +81,10 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        // Seed the jitter source per connection (the ephemeral port is
+        // unique per live connection on this host), so simultaneous clients
+        // never share a retry schedule.
+        let seed = stream.local_addr().map_or(1, |a| u64::from(a.port()) + 1);
         Ok(Self {
             stream,
             wbuf: Vec::new(),
@@ -70,6 +92,8 @@ impl Client {
             rpos: 0,
             next_id: 1,
             pending: VecDeque::new(),
+            rng: FastRng::new(seed),
+            overload_retries: 0,
         })
     }
 
@@ -138,6 +162,54 @@ impl Client {
         }
     }
 
+    /// Flushes, then waits at most `timeout` for the next pipelined
+    /// response.  Returns `Ok(None)` when no request is in flight or no
+    /// complete frame arrived in time — the open-loop load generator polls
+    /// this so a stalled server cannot block the send clock.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> KvResult<Option<Response>> {
+        if self.pending.is_empty() {
+            return Ok(None);
+        }
+        self.flush()?;
+        loop {
+            if let Some(frame) =
+                proto::take_frame(&self.rbuf, &mut self.rpos).map_err(|_| KvError::Proto)?
+            {
+                let expect = self.pending.pop_front().ok_or(KvError::Proto)?;
+                let (id, resp) = proto::decode_response(frame).map_err(|_| KvError::Proto)?;
+                if self.rpos * 2 > self.rbuf.len() && self.rpos > 4096 {
+                    self.rbuf.drain(..self.rpos);
+                    self.rpos = 0;
+                }
+                if id != expect {
+                    return Err(KvError::Proto);
+                }
+                return Ok(Some(resp));
+            }
+            self.stream
+                .set_read_timeout(Some(timeout.max(Duration::from_micros(1))))?;
+            let mut chunk = [0u8; 16 << 10];
+            let res = self.stream.read(&mut chunk);
+            self.stream.set_read_timeout(None)?;
+            match res {
+                Ok(0) => {
+                    return Err(KvError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed mid-response",
+                    )))
+                }
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(KvError::Io(e)),
+            }
+        }
+    }
+
     /// One round trip: `send` + `recv` (no other requests may be in
     /// flight, so responses stay positionally paired).
     pub fn call(&mut self, req: &Request) -> KvResult<Response> {
@@ -145,11 +217,30 @@ impl Client {
         self.recv()
     }
 
+    /// Total [`ErrCode::Overload`] responses the typed command methods
+    /// absorbed by resending.
+    pub fn overload_retries(&self) -> u64 {
+        self.overload_retries
+    }
+
     fn cmd(&mut self, cmd: Cmd) -> KvResult<CmdOut> {
-        match self.call(&Request::Cmd(cmd))? {
-            Response::Ok(out) => Ok(out),
-            Response::Err(e) => Err(KvError::Server(e)),
-            _ => Err(KvError::Proto),
+        let req = Request::Cmd(cmd);
+        let mut attempt: u32 = 0;
+        loop {
+            match self.call(&req)? {
+                Response::Ok(out) => return Ok(out),
+                // A shed command executed nothing, so resending is safe.
+                // Full-jitter backoff, bounded by the resend budget; past
+                // the budget the Overload error surfaces to the caller.
+                Response::Err(ErrCode::Overload) if attempt < OVERLOAD_RESEND_BUDGET => {
+                    attempt += 1;
+                    self.overload_retries += 1;
+                    let cap = OVERLOAD_BASE_DELAY_US << attempt.min(6);
+                    std::thread::sleep(Duration::from_micros(self.rng.next_below(cap.max(1))));
+                }
+                Response::Err(e) => return Err(KvError::Server(e)),
+                _ => return Err(KvError::Proto),
+            }
         }
     }
 

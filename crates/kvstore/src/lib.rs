@@ -47,8 +47,8 @@ pub mod server;
 pub mod store;
 
 pub use client::{Client, KvError, KvResult};
-pub use proto::{ErrCode, Request, Response, StatsReply};
-pub use server::{Server, ServerConfig};
+pub use proto::{ErrCode, LoadStats, Request, Response, StatsReply};
+pub use server::{OverloadConfig, Server, ServerConfig};
 pub use store::{Cmd, CmdOut, Store, StoreBackend, StoreConfig, TableKind};
 
 #[cfg(test)]

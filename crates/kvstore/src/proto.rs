@@ -64,6 +64,7 @@
 //! | `0x11` | `ABORT_CAPACITY`   | transaction overflowed descriptor capacity ([`medley::TxError::CapacityExceeded`]); shrink the batch |
 //! | `0x12` | `ERR_NOT_FOUND`    | `TRANSFER` named a missing account (explicit abort; nothing changed) |
 //! | `0x13` | `ERR_INSUFFICIENT` | `TRANSFER` source balance below `amount`, or the credit would overflow the destination (explicit abort; nothing changed) |
+//! | `0x14` | `ABORT_OVERLOAD`   | load-shed at admission: the server is over its backlog watermark and refused to *start* the (transactional) command — nothing was executed, no partial effects exist; safe to resend after a jittered delay |
 //! | `0x20` | `ERR_MALFORMED`    | undecodable request, oversized frame, or an illegal `BATCH` member |
 //!
 //! Non-`OK` responses carry no body beyond the opcode echo.  `OK` bodies:
@@ -78,7 +79,7 @@
 //! | `MSET`      | (empty) |
 //! | `TRANSFER`  | `from_after: u64, to_after: u64` |
 //! | `BATCH`     | `n: u32, n × (u8 opcode + single-op body)` |
-//! | `STATS`     | 10 × `u64` transaction counters, `has_domain: u8` (+ 5 × `u64` domain stats) — see [`StatsReply`] |
+//! | `STATS`     | 13 × `u64` transaction counters, `has_domain: u8` (+ 5 × `u64` domain stats), `has_load: u8` (+ 4 × `u64` load stats) — see [`StatsReply`] |
 //! | `SYNC`      | `persisted_epoch: u64` |
 
 use crate::store::{Cmd, CmdOut};
@@ -110,6 +111,7 @@ const ST_ABORT_RETRY: u8 = 0x10;
 const ST_ABORT_CAPACITY: u8 = 0x11;
 const ST_ERR_NOT_FOUND: u8 = 0x12;
 const ST_ERR_INSUFFICIENT: u8 = 0x13;
+const ST_ABORT_OVERLOAD: u8 = 0x14;
 const ST_ERR_MALFORMED: u8 = 0x20;
 
 /// A decoded request: a store command or an admin command.
@@ -125,6 +127,24 @@ pub enum Request {
 
 pub use crate::store::ErrCode;
 
+/// Server load / admission-control counters reported by `STATS`.
+///
+/// These come from the server's overload machinery, not the store core, so a
+/// `Store::stats` taken without a server reports `None` for the section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadStats {
+    /// Requests refused with [`ErrCode::Overload`] since startup.
+    pub shed_requests: u64,
+    /// Decoded-but-unexecuted request bytes currently queued across all
+    /// connections (the admission backlog the shed watermark gates on).
+    pub inflight_bytes: u64,
+    /// High-water mark of `inflight_bytes` since startup.
+    pub peak_inflight_bytes: u64,
+    /// Transient `accept(2)` failures (e.g. `EMFILE`) survived by backing
+    /// off and retrying instead of tearing down the listener.
+    pub accept_retries: u64,
+}
+
 /// The `STATS` response payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsReply {
@@ -132,6 +152,8 @@ pub struct StatsReply {
     pub tx: TxStatsSnapshot,
     /// Persistence-domain state (durable servers only).
     pub domain: Option<DomainStats>,
+    /// Admission-control counters (only when served by a `kvstore` server).
+    pub load: Option<LoadStats>,
 }
 
 /// A decoded response.
@@ -522,6 +544,7 @@ fn err_status(e: ErrCode) -> u8 {
         ErrCode::Capacity => ST_ABORT_CAPACITY,
         ErrCode::NotFound => ST_ERR_NOT_FOUND,
         ErrCode::Insufficient => ST_ERR_INSUFFICIENT,
+        ErrCode::Overload => ST_ABORT_OVERLOAD,
         ErrCode::Malformed => ST_ERR_MALFORMED,
     }
 }
@@ -532,6 +555,7 @@ fn status_err(st: u8) -> Result<ErrCode, ProtoError> {
         ST_ABORT_CAPACITY => ErrCode::Capacity,
         ST_ERR_NOT_FOUND => ErrCode::NotFound,
         ST_ERR_INSUFFICIENT => ErrCode::Insufficient,
+        ST_ABORT_OVERLOAD => ErrCode::Overload,
         ST_ERR_MALFORMED => ErrCode::Malformed,
         _ => return Err(ProtoError),
     })
@@ -563,6 +587,9 @@ pub fn encode_response(out: &mut Vec<u8>, req_id: u32, opcode: u8, resp: &Respon
                 t.explicit_aborts,
                 t.capacity_aborts,
                 t.unwind_aborts,
+                t.cm_waits,
+                t.cm_priority_skips,
+                t.cm_escalations,
             ] {
                 put_u64(&mut payload, v);
             }
@@ -574,6 +601,16 @@ pub fn encode_response(out: &mut Vec<u8>, req_id: u32, opcode: u8, resp: &Respon
                     put_u64(&mut payload, d.allocated_slots as u64);
                     put_u64(&mut payload, d.persisted_epoch);
                     put_u64(&mut payload, d.current_epoch);
+                }
+                None => payload.push(0),
+            }
+            match &s.load {
+                Some(l) => {
+                    payload.push(1);
+                    put_u64(&mut payload, l.shed_requests);
+                    put_u64(&mut payload, l.inflight_bytes);
+                    put_u64(&mut payload, l.peak_inflight_bytes);
+                    put_u64(&mut payload, l.accept_retries);
                 }
                 None => payload.push(0),
             }
@@ -600,7 +637,7 @@ pub fn decode_response(frame: &[u8]) -> Result<(u32, Response), ProtoError> {
     let resp = if status == ST_OK {
         match opcode {
             OP_STATS => {
-                let mut vals = [0u64; 10];
+                let mut vals = [0u64; 13];
                 for v in &mut vals {
                     *v = cur.u64()?;
                 }
@@ -615,6 +652,9 @@ pub fn decode_response(frame: &[u8]) -> Result<(u32, Response), ProtoError> {
                     explicit_aborts: vals[7],
                     capacity_aborts: vals[8],
                     unwind_aborts: vals[9],
+                    cm_waits: vals[10],
+                    cm_priority_skips: vals[11],
+                    cm_escalations: vals[12],
                 };
                 let domain = match cur.u8()? {
                     0 => None,
@@ -627,7 +667,17 @@ pub fn decode_response(frame: &[u8]) -> Result<(u32, Response), ProtoError> {
                     }),
                     _ => return Err(ProtoError),
                 };
-                Response::Stats(StatsReply { tx, domain })
+                let load = match cur.u8()? {
+                    0 => None,
+                    1 => Some(LoadStats {
+                        shed_requests: cur.u64()?,
+                        inflight_bytes: cur.u64()?,
+                        peak_inflight_bytes: cur.u64()?,
+                        accept_retries: cur.u64()?,
+                    }),
+                    _ => return Err(ProtoError),
+                };
+                Response::Stats(StatsReply { tx, domain, load })
             }
             OP_SYNC => Response::Synced(cur.u64()?),
             _ => Response::Ok(decode_out_body(&mut cur, opcode, false)?),
@@ -750,6 +800,9 @@ mod tests {
                     explicit_aborts: 0,
                     capacity_aborts: 0,
                     unwind_aborts: 0,
+                    cm_waits: 6,
+                    cm_priority_skips: 4,
+                    cm_escalations: 1,
                 },
                 domain: Some(DomainStats {
                     live_payloads: 3,
@@ -757,6 +810,12 @@ mod tests {
                     allocated_slots: 4,
                     persisted_epoch: 7,
                     current_epoch: 9,
+                }),
+                load: Some(LoadStats {
+                    shed_requests: 11,
+                    inflight_bytes: 512,
+                    peak_inflight_bytes: 4096,
+                    accept_retries: 2,
                 }),
             }),
             OP_STATS,
@@ -767,6 +826,7 @@ mod tests {
             ErrCode::Capacity,
             ErrCode::NotFound,
             ErrCode::Insufficient,
+            ErrCode::Overload,
             ErrCode::Malformed,
         ] {
             roundtrip_response(Response::Err(e), OP_TRANSFER);

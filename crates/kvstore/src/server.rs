@@ -17,13 +17,14 @@
 //! advancer is stopped *after* the workers, so every committed update still
 //! has a ticking clock while requests are in flight.
 
-use crate::proto::{self, Request, Response};
-use crate::store::{ErrCode, Store, StoreConfig};
+use crate::proto::{self, LoadStats, Request, Response};
+use crate::store::{Cmd, ErrCode, Store, StoreConfig};
+use medley::util::CachePadded;
 use medley::{ThreadHandle, TxManager};
 use pmem::EpochAdvancer;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -41,6 +42,8 @@ pub struct ServerConfig {
     /// How long [`Server::shutdown`] lets the drain run before force-closing
     /// connections that still have unflushed output.
     pub drain_deadline: Duration,
+    /// Admission-control and backpressure watermarks.
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServerConfig {
@@ -50,7 +53,139 @@ impl Default for ServerConfig {
             workers: 4,
             store: StoreConfig::default(),
             drain_deadline: Duration::from_secs(5),
+            overload: OverloadConfig::default(),
         }
+    }
+}
+
+/// Admission-control watermarks: every buffer a peer can grow has a bound,
+/// and crossing a bound changes behavior (pause reading, shed) instead of
+/// allocating.  High/low pairs give hysteresis so the server does not
+/// flap at a boundary.
+///
+/// With these bounds, per-connection memory is `O(rbuf_high + wbuf_high +
+/// MAX_FRAME)` regardless of offered load: a peer that will not drain its
+/// responses stops being read; a peer that floods requests stops being read
+/// once a complete frame is parked; and a worker whose total backlog passes
+/// `shed_high` refuses to *start* transactional work (cheap shed responses)
+/// until it drains below `shed_low`.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Stop reading a connection whose unflushed response bytes exceed this.
+    pub wbuf_high: usize,
+    /// Resume reading once unflushed response bytes drain below this.
+    pub wbuf_low: usize,
+    /// Stop reading a connection whose undecoded inbound backlog exceeds
+    /// this *and* already holds a complete frame (a partial frame keeps
+    /// reading so it can finish: frames are bounded by
+    /// [`proto::MAX_FRAME`], so this cannot unbound the buffer).
+    pub rbuf_high: usize,
+    /// Frames executed from one connection per worker pass — bounds how
+    /// long one deeply-pipelined peer can monopolize its worker before the
+    /// other connections get their pumps.
+    pub conn_inflight: usize,
+    /// Worker backlog bytes (buffered requests + responses across its
+    /// connections) at which transactional commands start being shed with
+    /// [`ErrCode::Overload`].  `0` sheds every transactional command — a
+    /// deterministic mode the overload tests use.
+    pub shed_high: usize,
+    /// Worker backlog bytes below which shedding stops.
+    pub shed_low: usize,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        Self {
+            wbuf_high: 256 << 10,
+            wbuf_low: 64 << 10,
+            rbuf_high: 256 << 10,
+            conn_inflight: 64,
+            shed_high: 1 << 20,
+            shed_low: 256 << 10,
+        }
+    }
+}
+
+/// Shared load/admission counters, written by workers and the acceptor,
+/// reported through `STATS` (and [`Server::load_stats`]).
+struct ServerLoad {
+    shed: AtomicU64,
+    accept_retries: AtomicU64,
+    peak_backlog: AtomicU64,
+    /// Per-worker backlog bytes, one padded slot each (no false sharing on
+    /// the per-pass store).
+    backlog: Vec<CachePadded<AtomicU64>>,
+}
+
+impl ServerLoad {
+    fn new(workers: usize) -> Self {
+        Self {
+            shed: AtomicU64::new(0),
+            accept_retries: AtomicU64::new(0),
+            peak_backlog: AtomicU64::new(0),
+            backlog: (0..workers)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_accept_retry(&self) {
+        self.accept_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn set_backlog(&self, slot: usize, bytes: u64) {
+        self.backlog[slot].store(bytes, Ordering::Relaxed);
+        let total: u64 = self.backlog.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        self.peak_backlog.fetch_max(total, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LoadStats {
+        LoadStats {
+            shed_requests: self.shed.load(Ordering::Relaxed),
+            inflight_bytes: self.backlog.iter().map(|b| b.load(Ordering::Relaxed)).sum(),
+            peak_inflight_bytes: self.peak_backlog.load(Ordering::Relaxed),
+            accept_retries: self.accept_retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Escalating sleep for transient `accept(2)` failures (`EMFILE`, `ENFILE`,
+/// `ECONNABORTED`, …).  The listener must never be torn down for these: the
+/// condition clears when connections close, and an acceptor that dies turns
+/// a load spike into a permanent outage.
+struct AcceptBackoff {
+    delay: Duration,
+}
+
+impl AcceptBackoff {
+    const INITIAL: Duration = Duration::from_millis(1);
+    const MAX: Duration = Duration::from_millis(100);
+
+    fn new() -> Self {
+        Self {
+            delay: Self::INITIAL,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.delay = Self::INITIAL;
+    }
+
+    /// Returns the delay to sleep now and doubles the next one (capped).
+    fn advance(&mut self) -> Duration {
+        let now = self.delay;
+        self.delay = (self.delay * 2).min(Self::MAX);
+        now
+    }
+
+    /// Sleeps the current delay, escalating for the next failure.
+    fn wait(&mut self) {
+        let d = self.advance();
+        std::thread::sleep(d);
     }
 }
 
@@ -84,6 +219,10 @@ struct Conn {
     poisoned: bool,
     /// Connection is unusable (I/O error); dropped immediately.
     dead: bool,
+    /// Backpressure latch: reading is paused because the peer stopped
+    /// draining its responses (unflushed bytes crossed `wbuf_high`); cleared
+    /// once they fall below `wbuf_low`.
+    wpaused: bool,
 }
 
 impl Conn {
@@ -99,12 +238,29 @@ impl Conn {
             eof: false,
             poisoned: false,
             dead: false,
+            wpaused: false,
         })
     }
 
     /// Whether every byte owed to the peer has hit the socket.
     fn flushed(&self) -> bool {
         self.wpos == self.wbuf.len()
+    }
+
+    /// Response bytes accepted for this peer but not yet on the socket.
+    fn unflushed(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Undecoded inbound bytes.
+    fn inbound_backlog(&self) -> usize {
+        self.rbuf.len() - self.rpos
+    }
+
+    /// Bytes this connection holds in either direction — its contribution
+    /// to the worker backlog the shed watermark gates on.
+    fn backlog_bytes(&self) -> usize {
+        self.inbound_backlog() + self.unflushed()
     }
 
     /// Moves buffered responses toward the socket.  Returns whether bytes
@@ -136,10 +292,30 @@ impl Conn {
         progress
     }
 
-    /// Pulls available bytes off the socket.  Returns whether bytes were
-    /// read.
-    fn pump_read(&mut self) -> bool {
+    /// Pulls available bytes off the socket, honoring the backpressure
+    /// watermarks.  Returns whether bytes were read.
+    fn pump_read(&mut self, ov: &OverloadConfig) -> bool {
         if self.eof || self.dead || self.poisoned {
+            return false;
+        }
+        // Write-side backpressure with hysteresis: a peer that will not
+        // drain its responses stops being read (and therefore stops being
+        // served) until it catches up — its TCP window, not our heap,
+        // absorbs the overload.
+        if self.wpaused {
+            if self.unflushed() <= ov.wbuf_low {
+                self.wpaused = false;
+            } else {
+                return false;
+            }
+        } else if self.unflushed() >= ov.wbuf_high {
+            self.wpaused = true;
+            return false;
+        }
+        // Read-side bound: with a complete frame already parked, more input
+        // only deepens the queue.  Without one we keep reading so a partial
+        // frame can complete (bounded by MAX_FRAME, enforced on decode).
+        if self.inbound_backlog() >= ov.rbuf_high && self.has_pending_frame() {
             return false;
         }
         let mut progress = false;
@@ -156,6 +332,9 @@ impl Conn {
                     if n < chunk.len() {
                         break;
                     }
+                    if self.inbound_backlog() >= ov.rbuf_high && self.has_pending_frame() {
+                        break;
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -168,14 +347,31 @@ impl Conn {
         progress
     }
 
-    /// Decodes and executes every complete frame buffered so far.  Returns
-    /// whether any frame was served.
-    fn pump_execute(&mut self, store: &Store, h: &mut ThreadHandle) -> bool {
+    /// Decodes and executes buffered complete frames — up to the per-pass
+    /// budget and the write-buffer bound, shedding transactional commands
+    /// while the worker is over its backlog watermark.  Returns whether any
+    /// frame was served.
+    fn pump_execute(
+        &mut self,
+        store: &Store,
+        h: &mut ThreadHandle,
+        ov: &OverloadConfig,
+        shedding: bool,
+        load: &ServerLoad,
+    ) -> bool {
         if self.poisoned {
             return false;
         }
         let mut progress = false;
+        let mut served = 0usize;
         loop {
+            // Per-connection execution bounds: a deeply-pipelined peer gets
+            // at most `conn_inflight` frames per pass, and never more
+            // responses than `wbuf_high` can hold (unserved frames stay
+            // buffered and count toward the backlog).
+            if served >= ov.conn_inflight || self.unflushed() >= ov.wbuf_high {
+                break;
+            }
             let frame = match proto::take_frame(&self.rbuf, &mut self.rpos) {
                 Ok(Some(f)) => f,
                 Ok(None) => break,
@@ -189,15 +385,43 @@ impl Conn {
                 }
             };
             progress = true;
+            served += 1;
             match proto::decode_request(frame) {
                 Ok((req_id, req)) => {
                     let opcode = proto::request_opcode(&req);
                     let resp = match &req {
+                        // Shed only what is expensive: a transactional
+                        // command costs a full retry loop, while a
+                        // single-key op costs about as much as encoding the
+                        // shed response would — refusing those buys nothing.
+                        // Admin commands always run (STATS is how overload
+                        // is diagnosed).  The shed happens *before* `exec`,
+                        // so a refused TRANSFER has zero partial effects,
+                        // and the response is encoded in arrival order like
+                        // any other, preserving pipelined req-id ordering.
+                        Request::Cmd(cmd)
+                            if shedding
+                                && matches!(
+                                    cmd,
+                                    Cmd::Cas { .. }
+                                        | Cmd::MGet(_)
+                                        | Cmd::MSet(_)
+                                        | Cmd::Transfer { .. }
+                                        | Cmd::Batch(_)
+                                ) =>
+                        {
+                            load.note_shed();
+                            Response::Err(ErrCode::Overload)
+                        }
                         Request::Cmd(cmd) => match store.exec(h, cmd) {
                             Ok(out) => Response::Ok(out),
                             Err(e) => Response::Err(e),
                         },
-                        Request::Stats => Response::Stats(store.stats(h)),
+                        Request::Stats => {
+                            let mut s = store.stats(h);
+                            s.load = Some(load.snapshot());
+                            Response::Stats(s)
+                        }
                         Request::Sync => Response::Synced(store.sync()),
                     };
                     proto::encode_response(&mut self.wbuf, req_id, opcode, &resp);
@@ -244,11 +468,17 @@ fn worker_loop(
     inbox: Arc<Mutex<Vec<TcpStream>>>,
     stop: Arc<AtomicBool>,
     drain_deadline: Duration,
+    ov: OverloadConfig,
+    load: Arc<ServerLoad>,
+    slot: usize,
 ) {
     let mut h = store.manager().register();
     let mut conns: Vec<Conn> = Vec::new();
     let mut draining_since: Option<Instant> = None;
     let mut idle_streak = 0u32;
+    // Shed latch with hysteresis over this worker's backlog.  `shed_high == 0`
+    // starts (and stays) shedding — the deterministic test mode.
+    let mut shedding = ov.shed_high == 0;
     loop {
         for stream in inbox.lock().unwrap().drain(..) {
             if let Ok(c) = Conn::new(stream) {
@@ -257,11 +487,18 @@ fn worker_loop(
         }
         let mut progress = false;
         for conn in &mut conns {
-            progress |= conn.pump_read();
-            progress |= conn.pump_execute(&store, &mut h);
+            progress |= conn.pump_read(&ov);
+            progress |= conn.pump_execute(&store, &mut h, &ov, shedding, &load);
             progress |= conn.pump_write();
         }
         conns.retain(|c| !c.finished());
+        let backlog: u64 = conns.iter().map(|c| c.backlog_bytes() as u64).sum();
+        load.set_backlog(slot, backlog);
+        if backlog >= ov.shed_high as u64 {
+            shedding = true;
+        } else if backlog <= ov.shed_low as u64 && ov.shed_high > 0 {
+            shedding = false;
+        }
         if stop.load(Ordering::Acquire) {
             let deadline = *draining_since.get_or_insert_with(Instant::now) + drain_deadline;
             // Drain: requests already received keep being served, but once
@@ -283,6 +520,7 @@ fn worker_loop(
             }
         }
     }
+    load.set_backlog(slot, 0);
     // `h` drops here: unwind-safe stats flush for this worker slot.
 }
 
@@ -293,6 +531,7 @@ pub struct Server {
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     store: Arc<Store>,
+    load: Arc<ServerLoad>,
     advancer: Option<EpochAdvancer>,
 }
 
@@ -310,34 +549,53 @@ impl Server {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
 
+        let load = Arc::new(ServerLoad::new(cfg.workers));
+
         let inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>> = (0..cfg.workers)
             .map(|_| Arc::new(Mutex::new(Vec::new())))
             .collect();
         let workers = inboxes
             .iter()
-            .map(|inbox| {
+            .enumerate()
+            .map(|(slot, inbox)| {
                 let store = Arc::clone(&store);
                 let inbox = Arc::clone(inbox);
                 let stop = Arc::clone(&stop);
                 let deadline = cfg.drain_deadline;
-                std::thread::spawn(move || worker_loop(store, inbox, stop, deadline))
+                let ov = cfg.overload.clone();
+                let load = Arc::clone(&load);
+                std::thread::spawn(move || {
+                    worker_loop(store, inbox, stop, deadline, ov, load, slot)
+                })
             })
             .collect();
 
         let acceptor = {
             let stop = Arc::clone(&stop);
+            let load = Arc::clone(&load);
             std::thread::spawn(move || {
                 let mut next = 0usize;
+                let mut backoff = AcceptBackoff::new();
                 while !stop.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            backoff.reset();
                             inboxes[next % inboxes.len()].lock().unwrap().push(stream);
                             next += 1;
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            backoff.reset();
                             std::thread::sleep(Duration::from_millis(1));
                         }
-                        Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                        // EMFILE/ENFILE/ECONNABORTED and friends: transient.
+                        // Back off (escalating, capped) and keep the
+                        // listener — the condition clears when connections
+                        // close, and tearing down turns a spike into an
+                        // outage.
+                        Err(_) => {
+                            load.note_accept_retry();
+                            backoff.wait();
+                        }
                     }
                 }
             })
@@ -349,8 +607,15 @@ impl Server {
             acceptor: Some(acceptor),
             workers,
             store,
+            load,
             advancer,
         })
+    }
+
+    /// A point-in-time snapshot of the admission-control counters (also
+    /// available remotely through `STATS`).
+    pub fn load_stats(&self) -> LoadStats {
+        self.load.snapshot()
     }
 
     /// The bound address (resolves the `:0` port).
@@ -397,5 +662,44 @@ impl Drop for Server {
             let _ = w.join();
         }
         // `advancer` drops (and joins) after the workers by field order.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_backoff_escalates_to_cap_and_resets() {
+        let mut b = AcceptBackoff::new();
+        let mut prev = Duration::ZERO;
+        for _ in 0..16 {
+            let d = b.advance();
+            assert!(d >= prev, "delays must be nondecreasing");
+            assert!(d <= AcceptBackoff::MAX);
+            prev = d;
+        }
+        assert_eq!(prev, AcceptBackoff::MAX, "must reach the cap");
+        b.reset();
+        assert_eq!(b.advance(), AcceptBackoff::INITIAL);
+    }
+
+    #[test]
+    fn server_load_tracks_backlog_and_peak() {
+        let load = ServerLoad::new(2);
+        load.set_backlog(0, 100);
+        load.set_backlog(1, 50);
+        let s = load.snapshot();
+        assert_eq!(s.inflight_bytes, 150);
+        assert_eq!(s.peak_inflight_bytes, 150);
+        load.set_backlog(0, 0);
+        let s = load.snapshot();
+        assert_eq!(s.inflight_bytes, 50);
+        assert_eq!(s.peak_inflight_bytes, 150, "peak must not regress");
+        load.note_shed();
+        load.note_accept_retry();
+        let s = load.snapshot();
+        assert_eq!(s.shed_requests, 1);
+        assert_eq!(s.accept_retries, 1);
     }
 }

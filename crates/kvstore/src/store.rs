@@ -19,7 +19,7 @@
 //! when a command actually composes.
 
 use crate::proto::StatsReply;
-use medley::{AbortReason, RunConfig, ThreadHandle, TxError, TxManager};
+use medley::{AbortReason, ContentionPolicy, RunConfig, ThreadHandle, TxError, TxManager};
 use nbds::{MichaelHashMap, SkipList};
 use pmem::{EpochAdvancer, NvmCostModel, PersistenceDomain};
 use std::cell::Cell;
@@ -113,6 +113,10 @@ pub enum ErrCode {
     /// `TRANSFER` source balance below the requested amount, or the credit
     /// would overflow the destination balance (nothing changed either way).
     Insufficient,
+    /// Load-shed at admission: the server refused to start the command
+    /// because it is over its backlog watermark.  Nothing was executed, so
+    /// resending (after a jittered delay) is always safe.
+    Overload,
     /// Undecodable request or illegal `BATCH` member.
     Malformed,
 }
@@ -157,6 +161,11 @@ pub struct StoreConfig {
     /// Conflict-retry budget per command before reporting
     /// [`ErrCode::Retry`] to the client.
     pub max_retries: u64,
+    /// How command transactions wait between conflict retries (the
+    /// [`medley::ContentionPolicy`] passed to every `run_with`).  The
+    /// adaptive policy is what the overload harness A/Bs against the
+    /// default exponential backoff.
+    pub contention: ContentionPolicy,
     /// Durable mode: period of the background epoch advancer, or `None` to
     /// leave the epoch clock manual (only [`Store::sync`] advances it —
     /// used by restart tests that need a deterministic durability cut).
@@ -171,6 +180,7 @@ impl Default for StoreConfig {
             buckets_per_shard: 1 << 10,
             backend: StoreBackend::Transient,
             max_retries: 256,
+            contention: ContentionPolicy::Backoff,
             advancer_period: Some(Duration::from_micros(200)),
         }
     }
@@ -277,7 +287,8 @@ impl Store {
                 domain,
                 run_cfg: RunConfig::new()
                     .max_retries(cfg.max_retries)
-                    .backoff_limit(8),
+                    .backoff_limit(8)
+                    .contention_policy(cfg.contention),
             },
             advancer,
         )
@@ -481,6 +492,8 @@ impl Store {
         StatsReply {
             tx: self.mgr.stats_snapshot(),
             domain: self.domain.as_ref().map(|d| d.stats()),
+            // Admission control lives in the server; a bare store has none.
+            load: None,
         }
     }
 

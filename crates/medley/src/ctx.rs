@@ -574,6 +574,45 @@ impl std::fmt::Debug for Txn<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Contention management
+// ---------------------------------------------------------------------------
+
+/// How [`ThreadHandle::run_with`] waits between conflict retries — the
+/// pluggable contention manager.
+///
+/// The TM literature (Kuznetsov & Ravi, *Why Transactional Memory Should Not
+/// Be Obstruction-Free*; Scherer & Scott's karma/timestamp managers) argues
+/// that liveness under contention should come from a deliberate contention
+/// *policy*, not from per-operation heroics.  The runtime keeps the commit
+/// protocol fixed and exposes the policy here; each variant only changes how
+/// long a transaction waits after losing a conflict, so every policy
+/// preserves the runtime's safety argument unchanged.
+///
+/// All three policies are measurable through the contention-manager counters
+/// in [`TxStats`](crate::TxStats) (`cm_waits`, `cm_priority_skips`,
+/// `cm_escalations`), which is what makes policy A/B runs comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContentionPolicy {
+    /// Capped exponential backoff (the historical default): every lost
+    /// conflict doubles the wait up to [`RunConfig::backoff_limit`].
+    #[default]
+    Backoff,
+    /// Karma-style seniority: the wait *shrinks* as the transaction invests
+    /// more attempts, so long-suffering transactions get priority over fresh
+    /// ones instead of being pushed ever further back.  (A local reading of
+    /// Scherer & Scott's karma manager — our commit protocol has no channel
+    /// for the winner to learn the loser's priority, so priority is spent on
+    /// one's own wait rather than on aborting the enemy.)
+    Karma,
+    /// Adaptive, fed by the per-thread conflict-abort-rate EWMA
+    /// ([`ThreadHandle::contention_ewma`]): near-zero waits while the thread
+    /// is winning (uncontended keys), the default escalation in the middle,
+    /// and an immediate escalation to scheduler yields once the abort rate
+    /// says the thread is stuck on a hot key.
+    Adaptive,
+}
+
+// ---------------------------------------------------------------------------
 // RunConfig
 // ---------------------------------------------------------------------------
 
@@ -584,12 +623,14 @@ impl std::fmt::Debug for Txn<'_> {
 /// progress argument of the paper: a transaction that keeps losing conflicts
 /// eventually runs in isolation long enough to commit.  Latency-sensitive
 /// callers can bound the retry count (surfaced as
-/// [`TxError::RetriesExhausted`](crate::TxError::RetriesExhausted)) and cap
-/// how far the backoff escalates.
+/// [`TxError::RetriesExhausted`](crate::TxError::RetriesExhausted)), cap
+/// how far the backoff escalates, and swap the wait policy itself via
+/// [`RunConfig::contention_policy`].
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     max_retries: Option<u64>,
     backoff_limit: u32,
+    policy: ContentionPolicy,
 }
 
 impl Default for RunConfig {
@@ -597,6 +638,7 @@ impl Default for RunConfig {
         Self {
             max_retries: None,
             backoff_limit: u32::MAX,
+            policy: ContentionPolicy::Backoff,
         }
     }
 }
@@ -631,12 +673,24 @@ impl RunConfig {
         self
     }
 
+    /// Selects the contention manager that paces conflict retries (the
+    /// default is [`ContentionPolicy::Backoff`], today's capped exponential
+    /// backoff).
+    pub fn contention_policy(mut self, policy: ContentionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     pub(crate) fn max_retries_value(&self) -> Option<u64> {
         self.max_retries
     }
 
     pub(crate) fn backoff_limit_value(&self) -> u32 {
         self.backoff_limit
+    }
+
+    pub(crate) fn contention_policy_value(&self) -> ContentionPolicy {
+        self.policy
     }
 }
 

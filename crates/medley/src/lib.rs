@@ -88,7 +88,7 @@ pub mod txmanager;
 pub mod util;
 
 pub use casobj::{CasObj, CasWord, Word};
-pub use ctx::{Ctx, NonTx, RunConfig, Txn};
+pub use ctx::{ContentionPolicy, Ctx, NonTx, RunConfig, Txn};
 pub use descriptor::{Desc, Status, MAX_ENTRIES};
 pub use errors::{Abort, AbortReason, TxError, TxResult};
 pub use txmanager::{ThreadHandle, TxManager, TxStats, TxStatsSnapshot};

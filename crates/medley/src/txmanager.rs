@@ -18,7 +18,7 @@
 
 use crate::atomic128::{pack, unpack};
 use crate::casobj::CasWord;
-use crate::ctx::{RunConfig, Txn};
+use crate::ctx::{ContentionPolicy, RunConfig, Txn};
 use crate::descriptor::{Desc, Status};
 use crate::ebr;
 use crate::errors::{Abort, AbortReason, TxError, TxResult};
@@ -44,6 +44,14 @@ const RECENT_LOADS: usize = 16;
 /// automatically when a handle is dropped).
 const STATS_FLUSH_EVERY: u64 = 64;
 
+/// [`ContentionPolicy::Adaptive`] thresholds on the per-thread abort-rate
+/// EWMA (fixed point, /1024).  At or above `CM_HOT` the thread is losing most
+/// conflicts — almost certainly hammering a hot key — and waits by yielding
+/// the core.  Between `CM_WARM` and `CM_HOT` it uses the standard exponential
+/// ladder; below `CM_WARM` it retries almost immediately.
+const CM_HOT: u32 = 512;
+const CM_WARM: u32 = 96;
+
 /// Aggregate statistics maintained by a [`TxManager`].
 ///
 /// Every counter lives on its own pair of cache lines so that threads
@@ -63,6 +71,9 @@ pub struct TxStats {
     explicit_aborts: CachePadded<AtomicU64>,
     capacity_aborts: CachePadded<AtomicU64>,
     unwind_aborts: CachePadded<AtomicU64>,
+    cm_waits: CachePadded<AtomicU64>,
+    cm_priority_skips: CachePadded<AtomicU64>,
+    cm_escalations: CachePadded<AtomicU64>,
 }
 
 /// A point-in-time copy of a [`TxStats`].
@@ -103,6 +114,18 @@ pub struct TxStatsSnapshot {
     /// a panicking transaction body, or by a [`ThreadHandle`] dropped
     /// mid-transaction (subset of `aborts`).
     pub unwind_aborts: u64,
+    /// Contention-manager wait decisions: one per conflict retry paced by
+    /// [`ThreadHandle::run_with`], whatever the configured
+    /// [`ContentionPolicy`].
+    pub cm_waits: u64,
+    /// Waits the karma policy collapsed to a bare spin hint because the
+    /// transaction's invested attempts earned it priority (subset of
+    /// `cm_waits`; always 0 under other policies).
+    pub cm_priority_skips: u64,
+    /// Waits the adaptive policy escalated straight to a scheduler yield
+    /// because the thread's conflict-abort-rate EWMA crossed the hot
+    /// threshold (subset of `cm_waits`; always 0 under other policies).
+    pub cm_escalations: u64,
 }
 
 impl TxStats {
@@ -119,6 +142,9 @@ impl TxStats {
             explicit_aborts: self.explicit_aborts.load(Ordering::Relaxed),
             capacity_aborts: self.capacity_aborts.load(Ordering::Relaxed),
             unwind_aborts: self.unwind_aborts.load(Ordering::Relaxed),
+            cm_waits: self.cm_waits.load(Ordering::Relaxed),
+            cm_priority_skips: self.cm_priority_skips.load(Ordering::Relaxed),
+            cm_escalations: self.cm_escalations.load(Ordering::Relaxed),
         }
     }
 }
@@ -243,6 +269,10 @@ impl TxManager {
                     stat_explicit_aborts: 0,
                     stat_capacity_aborts: 0,
                     stat_unwind_aborts: 0,
+                    stat_cm_waits: 0,
+                    stat_cm_priority_skips: 0,
+                    stat_cm_escalations: 0,
+                    abort_rate: 0,
                     stat_unflushed: 0,
                 };
             }
@@ -439,6 +469,13 @@ pub struct ThreadHandle {
     stat_explicit_aborts: u64,
     stat_capacity_aborts: u64,
     stat_unwind_aborts: u64,
+    stat_cm_waits: u64,
+    stat_cm_priority_skips: u64,
+    stat_cm_escalations: u64,
+    /// Fixed-point (/1024) EWMA of this thread's recent `run_with` attempt
+    /// outcomes: 0 = committing first try, 1024 = losing every conflict.
+    /// Feeds [`ContentionPolicy::Adaptive`].
+    abort_rate: u32,
     stat_unflushed: u64,
 }
 
@@ -827,6 +864,9 @@ impl ThreadHandle {
         drain(&mut self.stat_explicit_aborts, &stats.explicit_aborts);
         drain(&mut self.stat_capacity_aborts, &stats.capacity_aborts);
         drain(&mut self.stat_unwind_aborts, &stats.unwind_aborts);
+        drain(&mut self.stat_cm_waits, &stats.cm_waits);
+        drain(&mut self.stat_cm_priority_skips, &stats.cm_priority_skips);
+        drain(&mut self.stat_cm_escalations, &stats.cm_escalations);
         self.stat_unflushed = 0;
     }
 
@@ -917,6 +957,7 @@ impl ThreadHandle {
         mut body: impl FnMut(&mut Txn<'_>) -> Result<R, Abort>,
     ) -> TxResult<R> {
         let mut backoff = Backoff::with_limit(cfg.backoff_limit_value());
+        let policy = cfg.contention_policy_value();
         let mut attempts: u64 = 0;
         loop {
             attempts += 1;
@@ -929,7 +970,10 @@ impl ThreadHandle {
                         return Ok(value);
                     }
                     match txn.commit() {
-                        Ok(()) => return Ok(value),
+                        Ok(()) => {
+                            self.record_cm_outcome(false);
+                            return Ok(value);
+                        }
                         Err(TxError::Conflict) => {}
                         Err(e) => return Err(e),
                     }
@@ -952,13 +996,67 @@ impl ThreadHandle {
                     }
                 }
             }
+            // Lost a conflict: feed the contention signal, then wait as the
+            // configured contention manager dictates.
+            self.record_cm_outcome(true);
             if let Some(max) = cfg.max_retries_value() {
                 if attempts > max {
                     return Err(TxError::RetriesExhausted);
                 }
             }
-            backoff.backoff();
+            self.cm_wait(policy, &mut backoff, attempts);
         }
+    }
+
+    /// Updates the per-thread conflict-abort-rate EWMA (fixed point /1024,
+    /// smoothing factor 1/16) with one `run_with` attempt outcome.
+    #[inline]
+    fn record_cm_outcome(&mut self, aborted: bool) {
+        let target: u32 = if aborted { 1024 } else { 0 };
+        self.abort_rate = (self.abort_rate * 15 + target) / 16;
+    }
+
+    /// The per-thread conflict-abort-rate EWMA feeding
+    /// [`ContentionPolicy::Adaptive`]: 0.0 means every recent transaction
+    /// committed on its first attempt, 1.0 means every recent attempt lost a
+    /// conflict.  Hot keys surface here without the runtime knowing key
+    /// identity — a thread hammering a contended word is exactly a thread
+    /// whose abort rate pins high.
+    pub fn contention_ewma(&self) -> f64 {
+        self.abort_rate as f64 / 1024.0
+    }
+
+    /// One contention-manager wait between conflict retries.  `attempts`
+    /// counts attempts already spent on this transaction (work invested).
+    fn cm_wait(&mut self, policy: ContentionPolicy, backoff: &mut Backoff, attempts: u64) {
+        self.stat_cm_waits += 1;
+        match policy {
+            ContentionPolicy::Backoff => backoff.backoff(),
+            ContentionPolicy::Karma => {
+                // Seniority discount: the exponent the default ladder would
+                // have reached is reduced by log2(attempts), so the longer a
+                // transaction has fought the shorter it waits.
+                let seniority = 63 - (attempts | 1).leading_zeros();
+                if backoff.backoff_discounted(seniority) {
+                    self.stat_cm_priority_skips += 1;
+                }
+            }
+            ContentionPolicy::Adaptive => {
+                let rate = self.abort_rate;
+                if rate >= CM_HOT {
+                    // Hot-key regime: spinning only reheats the word; hand
+                    // the core to whoever is winning.
+                    self.stat_cm_escalations += 1;
+                    std::thread::yield_now();
+                } else if rate >= CM_WARM {
+                    backoff.backoff();
+                } else {
+                    // Mostly winning: any wait is pure added latency.
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        self.note_stat_event();
     }
 
     /// Aborts the open transaction, recording `kind` in the per-reason abort
@@ -2142,5 +2240,94 @@ mod tests {
         }
         let total = a.try_load_value().unwrap() + b.try_load_value().unwrap();
         assert_eq!(total, 2_000);
+    }
+
+    #[test]
+    fn all_contention_policies_commit_under_contention() {
+        for policy in [
+            ContentionPolicy::Backoff,
+            ContentionPolicy::Karma,
+            ContentionPolicy::Adaptive,
+        ] {
+            let mgr = Arc::new(TxManager::new());
+            let w = Arc::new(CasWord::new(0));
+            const THREADS: usize = 4;
+            const PER_THREAD: u64 = 200;
+            let mut handles = Vec::new();
+            for _ in 0..THREADS {
+                let mgr = Arc::clone(&mgr);
+                let w = Arc::clone(&w);
+                handles.push(std::thread::spawn(move || {
+                    let cfg = RunConfig::new().contention_policy(policy);
+                    let mut h = mgr.register();
+                    for _ in 0..PER_THREAD {
+                        h.run_with(&cfg, |t| {
+                            let v = t.nbtc_load(&w);
+                            if !t.nbtc_cas(&w, v, v + 1, true, true) {
+                                return Err(t.abort(AbortReason::Conflict));
+                            }
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                }));
+            }
+            for t in handles {
+                t.join().unwrap();
+            }
+            assert_eq!(
+                w.try_load_value(),
+                Some(THREADS as u64 * PER_THREAD),
+                "policy {policy:?} lost updates"
+            );
+        }
+    }
+
+    #[test]
+    fn karma_waits_are_counted_in_stats() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let mut backoff = Backoff::new();
+        for i in 1..=64 {
+            h.cm_wait(ContentionPolicy::Karma, &mut backoff, i);
+        }
+        h.flush_stats();
+        let snap = mgr.stats().snapshot();
+        assert_eq!(snap.cm_waits, 64);
+        assert!(
+            snap.cm_priority_skips > 0,
+            "high-seniority waits must collapse to near-immediate retries"
+        );
+    }
+
+    #[test]
+    fn adaptive_abort_rate_ewma_tracks_outcomes() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        assert_eq!(h.contention_ewma(), 0.0);
+        for _ in 0..64 {
+            h.record_cm_outcome(true);
+        }
+        assert!(h.contention_ewma() > 0.9);
+        for _ in 0..64 {
+            h.record_cm_outcome(false);
+        }
+        assert!(h.contention_ewma() < 0.1);
+    }
+
+    #[test]
+    fn adaptive_policy_escalates_when_hot() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        // Drive the EWMA into the hot regime, then take one adaptive wait.
+        for _ in 0..64 {
+            h.record_cm_outcome(true);
+        }
+        let mut backoff = Backoff::new();
+        h.cm_wait(ContentionPolicy::Adaptive, &mut backoff, 1);
+        h.flush_stats();
+        let snap = mgr.stats().snapshot();
+        assert_eq!(snap.cm_waits, 1);
+        assert_eq!(snap.cm_escalations, 1);
     }
 }
