@@ -11,6 +11,14 @@
 //! domain state).  `--connect ADDR` instead drives an externally started
 //! `kvserver`.
 //!
+//! `--grow` switches to the elasticity comparison: load `--keys` keys into a
+//! hash server pre-sized for the final count and into an elastic server
+//! booted at a few hundred buckets per shard, recording windowed throughput
+//! during the load (the elastic server grows its directories on-line under
+//! that churn), then run the standard mixed phase on both and report the
+//! elastic/presized steady-state ratio plus grow events and final bucket
+//! counts from `STATS`.
+//!
 //! ```text
 //! cargo run --release -p bench --bin kvbench -- \
 //!     --connections 4 --seconds 2 --keys 4096 --theta 0.99 --workers 4
@@ -76,6 +84,14 @@ impl SeriesResult {
                 d.live_payloads, d.persisted_epoch, d.current_epoch
             ),
         };
+        let tables = match &self.server.tables {
+            None => String::new(),
+            Some(t) => format!(
+                ",\"grow_events\":{},\"total_buckets\":{}",
+                t.grow_events,
+                t.shards.iter().map(|sh| sh.buckets).sum::<u64>()
+            ),
+        };
         format!(
             concat!(
                 "{{\"name\":\"{}\",\"connections\":{},\"elapsed_s\":{:.4},",
@@ -84,7 +100,7 @@ impl SeriesResult {
                 "\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{},",
                 "\"server_commits\":{},\"server_aborts\":{},",
                 "\"server_conflict_aborts\":{},\"server_fast_commits\":{},",
-                "\"server_ro_commits\":{},\"server_general_commits\":{}{}}}"
+                "\"server_ro_commits\":{},\"server_general_commits\":{}{}{}}}"
             ),
             self.name,
             self.connections,
@@ -104,6 +120,7 @@ impl SeriesResult {
             t.ro_commits,
             t.general_commits,
             domain,
+            tables,
         )
     }
 
@@ -195,8 +212,11 @@ fn run_series(
     duration: Duration,
     keys: u64,
     dist: KeyDist,
+    do_preload: bool,
 ) -> SeriesResult {
-    preload(addr, keys);
+    if do_preload {
+        preload(addr, keys);
+    }
 
     let barrier = Barrier::new(connections + 1);
     let ok = AtomicU64::new(0);
@@ -590,6 +610,7 @@ fn run_overload_mode(
         duration,
         keys,
         dist,
+        true,
     );
     println!("{}", cap.csv_row());
     server.shutdown();
@@ -650,6 +671,211 @@ fn run_overload_mode(
     entries
 }
 
+/// Width of one throughput window in the `--grow` load phase.
+const GROW_WINDOW_MS: u64 = 100;
+
+/// Keys per `MSET` during the `--grow` load phase (same chunking as
+/// `preload`, well inside descriptor capacity).
+const GROW_CHUNK: usize = 512;
+
+/// The timed load phase of the `--grow` mode: `connections` clients split
+/// the key space and pump chunked `MSET`s as fast as the server takes them,
+/// tallying acknowledged keys into [`GROW_WINDOW_MS`] windows.  On an
+/// elastic server the early windows land while every shard's directory is
+/// still doubling, so the window series *is* the during-growth dip curve.
+fn run_grow_load(
+    addr: std::net::SocketAddr,
+    connections: usize,
+    keys: u64,
+) -> (Duration, Vec<u64>, LatencyHistogram) {
+    let barrier = Barrier::new(connections + 1);
+    let windows = Mutex::new(Vec::<u64>::new());
+    let hist = Mutex::new(LatencyHistogram::new());
+    let started = Mutex::new(None::<Instant>);
+    std::thread::scope(|s| {
+        for t in 0..connections {
+            let barrier = &barrier;
+            let windows = &windows;
+            let hist = &hist;
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("grow connect");
+                let lo = keys * t as u64 / connections as u64;
+                let hi = keys * (t as u64 + 1) / connections as u64;
+                let mut local_windows: Vec<u64> = Vec::new();
+                let mut local_hist = LatencyHistogram::new();
+                barrier.wait();
+                let begin = Instant::now();
+                let mut chunk: Vec<(u64, u64)> = Vec::with_capacity(GROW_CHUNK);
+                let mut k = lo;
+                while k < hi {
+                    chunk.clear();
+                    let end = (k + GROW_CHUNK as u64).min(hi);
+                    chunk.extend((k..end).map(|key| (key, INITIAL)));
+                    let at = Instant::now();
+                    c.mset(&chunk).expect("grow mset");
+                    local_hist.record(at.elapsed());
+                    let w = (begin.elapsed().as_millis() as u64 / GROW_WINDOW_MS) as usize;
+                    if local_windows.len() <= w {
+                        local_windows.resize(w + 1, 0);
+                    }
+                    local_windows[w] += end - k;
+                    k = end;
+                }
+                let mut g = windows.lock().unwrap();
+                if g.len() < local_windows.len() {
+                    g.resize(local_windows.len(), 0);
+                }
+                for (i, v) in local_windows.iter().enumerate() {
+                    g[i] += v;
+                }
+                hist.lock().unwrap().merge(&local_hist);
+            });
+        }
+        barrier.wait();
+        *started.lock().unwrap() = Some(Instant::now());
+    });
+    let elapsed = started.lock().unwrap().expect("load started").elapsed();
+    (
+        elapsed,
+        windows.into_inner().unwrap(),
+        hist.into_inner().unwrap(),
+    )
+}
+
+/// The `--grow` mode: the same key load and mixed phase against (a) a hash
+/// server pre-sized for the final key count and (b) an elastic server booted
+/// at [`kvstore::ELASTIC_BOOT_BUCKETS`] buckets per shard.  The load phase
+/// records windowed throughput (the elastic server's during-growth dip);
+/// the steady phase shows where the grown table settles relative to the
+/// pre-sized baseline; `STATS` supplies grow events and final bucket
+/// counts.  A final `grow-summary` entry carries the presized/elastic
+/// steady-state ratio CI asserts on.
+fn run_grow_mode(
+    connections: usize,
+    workers: usize,
+    duration: Duration,
+    keys: u64,
+    dist: KeyDist,
+) -> Vec<String> {
+    let shards = StoreConfig::default().shards;
+    let presized_buckets = ((keys as usize / shards).max(1)).next_power_of_two();
+    let mut entries = Vec::new();
+    let mut steady_ops = Vec::new();
+    let mut elastic_summary = String::new();
+    for (label, tables, buckets_per_shard) in [
+        ("presized", TableKind::Hash, presized_buckets),
+        // The knob is ignored by elastic shards; pass a nonsense value to
+        // prove it.
+        ("elastic", TableKind::Elastic, 1),
+    ] {
+        let cfg = ServerConfig {
+            workers,
+            store: StoreConfig {
+                tables,
+                buckets_per_shard,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let server = Server::start(&cfg).expect("start grow server");
+        let addr = server.local_addr();
+        let (load_elapsed, windows, load_hist) = run_grow_load(addr, connections, keys);
+        let steady = run_series(
+            format!("grow-steady/{label}/{}", dist.label()),
+            addr,
+            connections,
+            duration,
+            keys,
+            dist,
+            false, // the load phase already populated every key
+        );
+        println!("{}", steady.csv_row());
+        server.shutdown();
+
+        // Dip statistics over complete windows (the last window is partial).
+        let full = if windows.len() > 1 {
+            &windows[..windows.len() - 1]
+        } else {
+            &windows[..]
+        };
+        let scale = 1000.0 / GROW_WINDOW_MS as f64;
+        let min_w = full.iter().copied().min().unwrap_or(0) as f64 * scale;
+        let mean_w = if full.is_empty() {
+            0.0
+        } else {
+            full.iter().sum::<u64>() as f64 / full.len() as f64 * scale
+        };
+        let dip_ratio = if mean_w > 0.0 { min_w / mean_w } else { 1.0 };
+        let (p50, _, p99) = load_hist.percentiles_ns();
+        let (grow_events, total_buckets) = steady
+            .server
+            .tables
+            .as_ref()
+            .map(|t| (t.grow_events, t.shards.iter().map(|sh| sh.buckets).sum()))
+            .unwrap_or((0, 0u64));
+        entries.push(format!(
+            concat!(
+                "{{\"name\":\"grow-load/{}/{}\",\"mode\":\"grow\",\"keys\":{},",
+                "\"connections\":{},\"load_elapsed_s\":{:.4},",
+                "\"load_keys_per_sec\":{:.0},\"window_ms\":{},",
+                "\"min_window_keys_per_sec\":{:.0},",
+                "\"mean_window_keys_per_sec\":{:.0},\"dip_ratio\":{:.4},",
+                "\"load_p50_ns\":{},\"load_p99_ns\":{},",
+                "\"grow_events\":{},\"total_buckets\":{}}}"
+            ),
+            label,
+            dist.label(),
+            keys,
+            connections,
+            load_elapsed.as_secs_f64(),
+            keys as f64 / load_elapsed.as_secs_f64().max(1e-9),
+            GROW_WINDOW_MS,
+            min_w,
+            mean_w,
+            dip_ratio,
+            p50,
+            p99,
+            grow_events,
+            total_buckets,
+        ));
+        let ops_per_sec = steady.ok as f64 / steady.elapsed.as_secs_f64().max(1e-9);
+        steady_ops.push(ops_per_sec);
+        if label == "elastic" {
+            elastic_summary = format!(
+                ",\"elastic_grow_events\":{grow_events},\
+                 \"elastic_total_buckets\":{total_buckets},\
+                 \"elastic_dip_ratio\":{dip_ratio:.4}"
+            );
+            assert!(
+                grow_events > 0,
+                "elastic server served {keys} keys without a single directory doubling"
+            );
+        }
+        entries.push(steady.to_json());
+    }
+    let ratio = steady_ops[1] / steady_ops[0].max(1e-9);
+    println!(
+        "grow-summary: elastic steady-state at {:.1}% of presized ({:.0} vs {:.0} ops/s)",
+        ratio * 100.0,
+        steady_ops[1],
+        steady_ops[0]
+    );
+    entries.push(format!(
+        concat!(
+            "{{\"name\":\"grow-summary/{}\",\"mode\":\"grow\",\"keys\":{},",
+            "\"presized_steady_ops_per_sec\":{:.0},",
+            "\"elastic_steady_ops_per_sec\":{:.0},\"steady_ratio\":{:.4}{}}}"
+        ),
+        dist.label(),
+        keys,
+        steady_ops[0],
+        steady_ops[1],
+        ratio,
+        elastic_summary,
+    ));
+    entries
+}
+
 fn main() {
     let args = CommonArgs::parse();
     let connections: usize = CommonArgs::extra_flag("--connections", 2);
@@ -661,7 +887,8 @@ fn main() {
         "hash" => TableKind::Hash,
         "skip" => TableKind::Skip,
         "mixed" => TableKind::Mixed,
-        other => panic!("unknown --tables {other:?} (hash|skip|mixed)"),
+        "elastic" => TableKind::Elastic,
+        other => panic!("unknown --tables {other:?} (hash|skip|mixed|elastic)"),
     };
     let duration = Duration::from_secs_f64(args.seconds);
     let dist = if uniform {
@@ -673,6 +900,12 @@ fn main() {
     println!(
         "series,connections,ops_per_sec,client_retry_aborts,server_conflict_aborts,p50_ns,p99_ns"
     );
+
+    if std::env::args().any(|a| a == "--grow") {
+        let entries = run_grow_mode(connections, workers, duration, args.keys, dist);
+        write_json("server", &entries);
+        return;
+    }
 
     if std::env::args().any(|a| a == "--overload") {
         let offered_mult: f64 = CommonArgs::extra_flag("--offered-mult", 2.0);
@@ -700,6 +933,7 @@ fn main() {
             duration,
             args.keys,
             dist,
+            true,
         );
         println!("{}", r.csv_row());
         results.push(r);
@@ -725,6 +959,7 @@ fn main() {
                 duration,
                 args.keys,
                 dist,
+                true,
             );
             println!("{}", r.csv_row());
             results.push(r);

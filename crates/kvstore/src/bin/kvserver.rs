@@ -36,7 +36,8 @@ fn main() {
         "hash" => TableKind::Hash,
         "skip" => TableKind::Skip,
         "mixed" => TableKind::Mixed,
-        other => panic!("unknown --tables {other:?} (hash|skip|mixed)"),
+        "elastic" => TableKind::Elastic,
+        other => panic!("unknown --tables {other:?} (hash|skip|mixed|elastic)"),
     };
     let backend = match flag("--backend", "transient".to_string()).as_str() {
         "transient" => StoreBackend::Transient,

@@ -47,9 +47,11 @@ pub mod server;
 pub mod store;
 
 pub use client::{Client, KvError, KvResult};
-pub use proto::{ErrCode, LoadStats, Request, Response, StatsReply};
+pub use proto::{
+    ErrCode, LoadStats, Request, Response, ShardKind, ShardStats, StatsReply, TableStats,
+};
 pub use server::{OverloadConfig, Server, ServerConfig};
-pub use store::{Cmd, CmdOut, Store, StoreBackend, StoreConfig, TableKind};
+pub use store::{Cmd, CmdOut, Store, StoreBackend, StoreConfig, TableKind, ELASTIC_BOOT_BUCKETS};
 
 #[cfg(test)]
 mod tests {

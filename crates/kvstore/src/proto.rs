@@ -79,8 +79,25 @@
 //! | `MSET`      | (empty) |
 //! | `TRANSFER`  | `from_after: u64, to_after: u64` |
 //! | `BATCH`     | `n: u32, n × (u8 opcode + single-op body)` |
-//! | `STATS`     | 13 × `u64` transaction counters, `has_domain: u8` (+ 5 × `u64` domain stats), `has_load: u8` (+ 4 × `u64` load stats) — see [`StatsReply`] |
+//! | `STATS`     | 13 × `u64` transaction counters, `has_domain: u8` (+ 5 × `u64` domain stats), `has_load: u8` (+ 4 × `u64` load stats), `has_tables: u8` (+ table section, below) — see [`StatsReply`] |
 //! | `SYNC`      | `persisted_epoch: u64` |
+//!
+//! The `STATS` table section (present when `has_tables == 1`) describes the
+//! store's shards:
+//!
+//! ```text
+//! grow_events: u64            // directory doublings, summed over elastic shards
+//! n: u32                      // shard count
+//! n × (
+//!   kind: u8                  // 0 = hash, 1 = skip, 2 = elastic
+//!   has_items: u8 [+ items: u64]  // relaxed per-shard item count (hash/elastic)
+//!   buckets: u64              // current bucket count (0 for skiplists)
+//! )
+//! ```
+//!
+//! A shard's load factor is derived, not wired: `items / buckets` for the
+//! kinds that report both.  Skiplists have neither buckets nor a maintained
+//! counter, so they report `kind = 1`, `has_items = 0`, `buckets = 0`.
 
 use crate::store::{Cmd, CmdOut};
 use medley::TxStatsSnapshot;
@@ -145,8 +162,42 @@ pub struct LoadStats {
     pub accept_retries: u64,
 }
 
-/// The `STATS` response payload.
+/// What structure implements one shard (the `kind` byte of the `STATS`
+/// table section).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardKind {
+    /// Michael chained hash table (fixed bucket count).
+    Hash,
+    /// Skiplist (no buckets, no maintained item counter).
+    Skip,
+    /// Split-ordered elastic hash table (bucket directory grows on-line).
+    Elastic,
+}
+
+/// One shard's table metrics in the `STATS` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Which structure backs the shard.
+    pub kind: ShardKind,
+    /// Relaxed item count (`None` for kinds without a maintained counter).
+    pub items: Option<u64>,
+    /// Current bucket count (`0` for bucketless kinds).
+    pub buckets: u64,
+}
+
+/// The per-table section of the `STATS` reply: one entry per shard plus the
+/// store-wide growth tally.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TableStats {
+    /// Directory doublings since startup, summed over elastic shards
+    /// (always `0` for stores without elastic tables).
+    pub grow_events: u64,
+    /// Per-shard kind / items / buckets, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+/// The `STATS` response payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsReply {
     /// Aggregated transaction counters ([`medley::TxManager::stats_snapshot`]).
     pub tx: TxStatsSnapshot,
@@ -154,6 +205,8 @@ pub struct StatsReply {
     pub domain: Option<DomainStats>,
     /// Admission-control counters (only when served by a `kvstore` server).
     pub load: Option<LoadStats>,
+    /// Per-shard table metrics (item counts, bucket counts, grow events).
+    pub tables: Option<TableStats>,
 }
 
 /// A decoded response.
@@ -614,6 +667,23 @@ pub fn encode_response(out: &mut Vec<u8>, req_id: u32, opcode: u8, resp: &Respon
                 }
                 None => payload.push(0),
             }
+            match &s.tables {
+                Some(t) => {
+                    payload.push(1);
+                    put_u64(&mut payload, t.grow_events);
+                    put_u32(&mut payload, t.shards.len() as u32);
+                    for sh in &t.shards {
+                        payload.push(match sh.kind {
+                            ShardKind::Hash => 0,
+                            ShardKind::Skip => 1,
+                            ShardKind::Elastic => 2,
+                        });
+                        put_opt(&mut payload, sh.items);
+                        put_u64(&mut payload, sh.buckets);
+                    }
+                }
+                None => payload.push(0),
+            }
         }
         Response::Synced(epoch) => {
             payload.push(ST_OK);
@@ -677,7 +747,44 @@ pub fn decode_response(frame: &[u8]) -> Result<(u32, Response), ProtoError> {
                     }),
                     _ => return Err(ProtoError),
                 };
-                Response::Stats(StatsReply { tx, domain, load })
+                let tables = match cur.u8()? {
+                    0 => None,
+                    1 => {
+                        let grow_events = cur.u64()?;
+                        let n = cur.u32()? as usize;
+                        // Each shard entry is at least 10 bytes on the wire.
+                        if n > MAX_FRAME / 10 {
+                            return Err(ProtoError);
+                        }
+                        let mut shards = Vec::with_capacity(n.min(4096));
+                        for _ in 0..n {
+                            let kind = match cur.u8()? {
+                                0 => ShardKind::Hash,
+                                1 => ShardKind::Skip,
+                                2 => ShardKind::Elastic,
+                                _ => return Err(ProtoError),
+                            };
+                            let items = get_opt(&mut cur)?;
+                            let buckets = cur.u64()?;
+                            shards.push(ShardStats {
+                                kind,
+                                items,
+                                buckets,
+                            });
+                        }
+                        Some(TableStats {
+                            grow_events,
+                            shards,
+                        })
+                    }
+                    _ => return Err(ProtoError),
+                };
+                Response::Stats(StatsReply {
+                    tx,
+                    domain,
+                    load,
+                    tables,
+                })
             }
             OP_SYNC => Response::Synced(cur.u64()?),
             _ => Response::Ok(decode_out_body(&mut cur, opcode, false)?),
@@ -817,6 +924,37 @@ mod tests {
                     peak_inflight_bytes: 4096,
                     accept_retries: 2,
                 }),
+                tables: Some(TableStats {
+                    grow_events: 5,
+                    shards: vec![
+                        ShardStats {
+                            kind: ShardKind::Hash,
+                            items: Some(100),
+                            buckets: 1024,
+                        },
+                        ShardStats {
+                            kind: ShardKind::Skip,
+                            items: None,
+                            buckets: 0,
+                        },
+                        ShardStats {
+                            kind: ShardKind::Elastic,
+                            items: Some(9000),
+                            buckets: 4096,
+                        },
+                    ],
+                }),
+            }),
+            OP_STATS,
+        );
+        // A bare-store reply (every optional section absent) must roundtrip
+        // too: absence flags are part of the wire contract.
+        roundtrip_response(
+            Response::Stats(StatsReply {
+                tx: TxStatsSnapshot::default(),
+                domain: None,
+                load: None,
+                tables: None,
             }),
             OP_STATS,
         );

@@ -18,15 +18,15 @@
 //! instrumentation away — the service's hot path pays for transactions only
 //! when a command actually composes.
 
-use crate::proto::StatsReply;
+use crate::proto::{ShardKind, ShardStats, StatsReply, TableStats};
 use medley::{AbortReason, ContentionPolicy, RunConfig, ThreadHandle, TxError, TxManager};
-use nbds::{MichaelHashMap, SkipList};
+use nbds::{MichaelHashMap, SkipList, SplitOrderedMap};
 use pmem::{EpochAdvancer, NvmCostModel, PersistenceDomain};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
-use txmontage::{Durable, DurableHashMap, DurableSkipList};
+use txmontage::{Durable, DurableHashMap, DurableSkipList, DurableSplitOrderedMap};
 
 /// A typed store command (the request IR; see [`crate::proto`] for the wire
 /// encoding).
@@ -133,7 +133,19 @@ pub enum TableKind {
     /// composes operations on *different* structure types in one
     /// transaction, the paper's headline trick.
     Mixed,
+    /// Split-ordered elastic hash table per shard: each shard boots at
+    /// [`ELASTIC_BOOT_BUCKETS`] buckets and doubles its directory on-line as
+    /// committed inserts accumulate, so
+    /// [`StoreConfig::buckets_per_shard`] is **ignored** — there is nothing
+    /// to tune.  Resizing is infrastructure work that never joins a
+    /// command transaction's footprint (see [`nbds::SplitOrderedMap`]).
+    Elastic,
 }
+
+/// Initial bucket count of each [`TableKind::Elastic`] shard.  Deliberately
+/// tiny relative to real key counts: the point of the elastic table is that
+/// the directory finds its own size under load.
+pub const ELASTIC_BOOT_BUCKETS: usize = 256;
 
 /// Which runtime backs the tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -186,14 +198,16 @@ impl Default for StoreConfig {
     }
 }
 
-/// One shard's table.  All four variants implement [`TxMap<u64>`] over the
+/// One shard's table.  Every variant implements [`TxMap<u64>`] over the
 /// same `TxManager`, which is what lets a single transaction span any mix of
 /// them.
 enum Table {
     Hash(MichaelHashMap<u64>),
     Skip(SkipList<u64>),
+    Elastic(SplitOrderedMap<u64>),
     DurableHash(DurableHashMap),
     DurableSkip(DurableSkipList),
+    DurableElastic(DurableSplitOrderedMap),
 }
 
 macro_rules! on_table {
@@ -201,8 +215,10 @@ macro_rules! on_table {
         match $table {
             Table::Hash($m) => $body,
             Table::Skip($m) => $body,
+            Table::Elastic($m) => $body,
             Table::DurableHash($m) => $body,
             Table::DurableSkip($m) => $body,
+            Table::DurableElastic($m) => $body,
         }
     };
 }
@@ -219,6 +235,46 @@ impl Table {
     }
     fn contains<C: medley::Ctx>(&self, cx: &mut C, key: u64) -> bool {
         on_table!(self, m => m.contains(cx, key))
+    }
+    /// The shard's entry in the `STATS` table section.  Counts are relaxed
+    /// snapshots — consistent enough for capacity monitoring, not a
+    /// linearizable size.
+    fn shard_stats(&self) -> ShardStats {
+        match self {
+            Table::Hash(m) => ShardStats {
+                kind: ShardKind::Hash,
+                items: Some(m.len()),
+                buckets: m.bucket_count() as u64,
+            },
+            Table::DurableHash(m) => ShardStats {
+                kind: ShardKind::Hash,
+                items: Some(m.inner().len()),
+                buckets: m.inner().bucket_count() as u64,
+            },
+            Table::Skip(_) | Table::DurableSkip(_) => ShardStats {
+                kind: ShardKind::Skip,
+                items: None,
+                buckets: 0,
+            },
+            Table::Elastic(m) => ShardStats {
+                kind: ShardKind::Elastic,
+                items: Some(m.len()),
+                buckets: m.buckets(),
+            },
+            Table::DurableElastic(m) => ShardStats {
+                kind: ShardKind::Elastic,
+                items: Some(m.inner().len()),
+                buckets: m.inner().buckets(),
+            },
+        }
+    }
+    /// Directory doublings so far (elastic shards; `0` otherwise).
+    fn grow_events(&self) -> u64 {
+        match self {
+            Table::Elastic(m) => m.grow_events(),
+            Table::DurableElastic(m) => m.inner().grow_events(),
+            _ => 0,
+        }
     }
 }
 
@@ -256,23 +312,36 @@ impl Store {
         };
         let tables = (0..cfg.shards)
             .map(|i| {
-                let skip = match cfg.tables {
-                    TableKind::Hash => false,
-                    TableKind::Skip => true,
-                    TableKind::Mixed => i % 2 == 1,
+                let kind = match cfg.tables {
+                    TableKind::Hash => ShardKind::Hash,
+                    TableKind::Skip => ShardKind::Skip,
+                    TableKind::Mixed => {
+                        if i % 2 == 1 {
+                            ShardKind::Skip
+                        } else {
+                            ShardKind::Hash
+                        }
+                    }
+                    TableKind::Elastic => ShardKind::Elastic,
                 };
-                match (&domain, skip) {
-                    (None, false) => {
+                match (&domain, kind) {
+                    (None, ShardKind::Hash) => {
                         Table::Hash(MichaelHashMap::with_buckets(cfg.buckets_per_shard))
                     }
-                    (None, true) => Table::Skip(SkipList::new()),
-                    (Some(d), false) => Table::DurableHash(Durable::new(
+                    (None, ShardKind::Skip) => Table::Skip(SkipList::new()),
+                    (None, ShardKind::Elastic) => {
+                        Table::Elastic(SplitOrderedMap::with_buckets(ELASTIC_BOOT_BUCKETS))
+                    }
+                    (Some(d), ShardKind::Hash) => Table::DurableHash(Durable::new(
                         MichaelHashMap::with_buckets(cfg.buckets_per_shard),
                         Arc::clone(d),
                     )),
-                    (Some(d), true) => {
+                    (Some(d), ShardKind::Skip) => {
                         Table::DurableSkip(Durable::new(SkipList::new(), Arc::clone(d)))
                     }
+                    (Some(d), ShardKind::Elastic) => Table::DurableElastic(
+                        DurableSplitOrderedMap::split_ordered(ELASTIC_BOOT_BUCKETS, Arc::clone(d)),
+                    ),
                 }
             })
             .collect();
@@ -494,6 +563,10 @@ impl Store {
             domain: self.domain.as_ref().map(|d| d.stats()),
             // Admission control lives in the server; a bare store has none.
             load: None,
+            tables: Some(TableStats {
+                grow_events: self.tables.iter().map(Table::grow_events).sum(),
+                shards: self.tables.iter().map(Table::shard_stats).collect(),
+            }),
         }
     }
 
@@ -535,7 +608,12 @@ mod tests {
 
     #[test]
     fn single_key_commands_roundtrip() {
-        for tables in [TableKind::Hash, TableKind::Skip, TableKind::Mixed] {
+        for tables in [
+            TableKind::Hash,
+            TableKind::Skip,
+            TableKind::Mixed,
+            TableKind::Elastic,
+        ] {
             let cfg = StoreConfig {
                 tables,
                 shards: 4,
@@ -694,6 +772,104 @@ mod tests {
         );
         h.flush_stats();
         assert!(mgr.stats_snapshot().general_commits >= 1);
+    }
+
+    #[test]
+    fn elastic_store_grows_under_load_and_reports_it() {
+        let cfg = StoreConfig {
+            tables: TableKind::Elastic,
+            shards: 4,
+            // Deliberately absurd: elastic shards must ignore this knob.
+            buckets_per_shard: 1,
+            ..Default::default()
+        };
+        let (mgr, s, _adv) = store(&cfg);
+        let mut h = mgr.register();
+        // Enough keys to push every shard's load factor over the threshold
+        // several times over (4 shards × 256 boot buckets × factor 4).
+        let n: u64 = 40_000;
+        for chunk in (0..n).collect::<Vec<_>>().chunks(512) {
+            let pairs: Vec<(u64, u64)> = chunk.iter().map(|&k| (k, k + 1)).collect();
+            assert_eq!(s.exec(&mut h, &Cmd::MSet(pairs)), Ok(CmdOut::Done));
+        }
+        for k in [0, 1, n / 2, n - 1] {
+            assert_eq!(s.exec(&mut h, &Cmd::Get(k)), Ok(CmdOut::Value(Some(k + 1))));
+        }
+        let stats = s.stats(&mut h);
+        let tables = stats.tables.expect("store stats always carry tables");
+        assert_eq!(tables.shards.len(), 4);
+        assert!(
+            tables.grow_events > 0,
+            "40k inserts into 4×256 boot buckets must double directories"
+        );
+        let mut items_total = 0;
+        for sh in &tables.shards {
+            assert_eq!(sh.kind, ShardKind::Elastic);
+            assert!(
+                sh.buckets > ELASTIC_BOOT_BUCKETS as u64,
+                "shard still at boot size: {} buckets",
+                sh.buckets
+            );
+            items_total += sh.items.expect("elastic shards maintain a counter");
+        }
+        assert_eq!(items_total, n, "per-shard counters must sum to key count");
+    }
+
+    #[test]
+    fn stats_tables_section_reflects_table_kinds() {
+        let cfg = StoreConfig {
+            tables: TableKind::Mixed,
+            shards: 4,
+            ..Default::default()
+        };
+        let (mgr, s, _adv) = store(&cfg);
+        let mut h = mgr.register();
+        s.exec(&mut h, &Cmd::MSet((0..64).map(|k| (k, k)).collect()))
+            .unwrap();
+        let tables = s.stats(&mut h).tables.unwrap();
+        assert_eq!(tables.grow_events, 0, "fixed tables never grow");
+        assert_eq!(tables.shards.len(), 4);
+        let hash_items: u64 = tables
+            .shards
+            .iter()
+            .filter(|sh| sh.kind == ShardKind::Hash)
+            .map(|sh| {
+                assert!(sh.buckets > 0);
+                sh.items.expect("hash shards maintain a counter")
+            })
+            .sum();
+        assert!(hash_items > 0, "some keys must land on hash shards");
+        for sh in tables.shards.iter().filter(|sh| sh.kind == ShardKind::Skip) {
+            assert_eq!(sh.items, None);
+            assert_eq!(sh.buckets, 0);
+        }
+    }
+
+    #[test]
+    fn durable_elastic_store_syncs_and_recovers() {
+        let cfg = StoreConfig {
+            backend: StoreBackend::Durable,
+            advancer_period: None,
+            tables: TableKind::Elastic,
+            shards: 2,
+            ..Default::default()
+        };
+        let (mgr, s, _adv) = store(&cfg);
+        let mut h = mgr.register();
+        let n: u64 = 8_192;
+        for chunk in (0..n).collect::<Vec<_>>().chunks(512) {
+            let pairs: Vec<(u64, u64)> = chunk.iter().map(|&k| (k, k * 2)).collect();
+            s.exec(&mut h, &Cmd::MSet(pairs)).unwrap();
+        }
+        let tables = s.stats(&mut h).tables.unwrap();
+        assert!(
+            tables.grow_events > 0,
+            "durable elastic shards must grow too"
+        );
+        s.sync();
+        let rec = s.recover();
+        assert_eq!(rec.len(), n as usize);
+        assert_eq!(rec.get(&100), Some(&200));
     }
 
     #[test]

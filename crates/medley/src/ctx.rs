@@ -160,6 +160,30 @@ pub trait Ctx: sealed::Sealed + Sized {
     /// The persistence epoch the open transaction snapshotted at begin
     /// (txMontage hook), or `None` in a standalone context.
     fn snapshot_epoch(&self) -> Option<u64>;
+
+    /// Plain descriptor-finalizing load that **never joins a transaction's
+    /// read set**, even in a [`Txn`] context.
+    ///
+    /// This is the hook for *infrastructure* actions inside a container
+    /// operation — work that maintains the container's physical layout
+    /// (e.g. publishing a bucket sentinel or doubling a directory in a
+    /// split-ordered hash table) rather than its abstract state.  Such
+    /// actions must take effect immediately and must not be validated,
+    /// buffered, or rolled back with the enclosing transaction: two
+    /// transactions touching disjoint keys may both trigger the same bucket
+    /// initialization, and neither should conflict-abort over it.
+    fn untracked_load(&mut self, obj: &CasWord) -> u64;
+
+    /// Plain descriptor-finalizing CAS that **never joins a transaction's
+    /// write set** — the effect is immediately visible to all threads and is
+    /// not undone if the enclosing transaction aborts.
+    ///
+    /// See [`Ctx::untracked_load`] for the intended use (container
+    /// infrastructure actions).  Callers must ensure the CAS is harmless to
+    /// the transaction's atomicity argument: it may only install state that
+    /// is semantically a no-op at the abstract level (sentinels, directory
+    /// slots, unlinking already-deleted nodes).
+    fn untracked_cas(&mut self, obj: &CasWord, expected: u64, desired: u64) -> bool;
 }
 
 // ---------------------------------------------------------------------------
@@ -289,6 +313,16 @@ impl Ctx for NonTx<'_> {
     #[inline]
     fn snapshot_epoch(&self) -> Option<u64> {
         None
+    }
+
+    #[inline]
+    fn untracked_load(&mut self, obj: &CasWord) -> u64 {
+        self.h.untracked_load_counted(obj).0
+    }
+
+    #[inline]
+    fn untracked_cas(&mut self, obj: &CasWord, expected: u64, desired: u64) -> bool {
+        self.h.untracked_cas(obj, expected, desired)
     }
 }
 
@@ -561,6 +595,22 @@ impl Ctx for Txn<'_> {
         } else {
             None
         }
+    }
+
+    #[inline]
+    fn untracked_load(&mut self, obj: &CasWord) -> u64 {
+        // Deliberately bypasses `tx_load_counted`: the value read is
+        // infrastructure, not part of the transaction's footprint, so it is
+        // neither buffered nor validated.
+        self.h.untracked_load_counted(obj).0
+    }
+
+    #[inline]
+    fn untracked_cas(&mut self, obj: &CasWord, expected: u64, desired: u64) -> bool {
+        // Immediate global effect even mid-transaction: infrastructure CASes
+        // (sentinel insertion, directory publication) must survive an abort
+        // of the enclosing transaction.
+        self.h.untracked_cas(obj, expected, desired)
     }
 }
 

@@ -18,6 +18,7 @@
 //! standalone operations on the same buckets never encounter (or help) a
 //! descriptor before the transaction reaches its commit.
 
+use crate::counter::LenCounter;
 use crate::list::MichaelList;
 use medley::Ctx;
 
@@ -28,6 +29,10 @@ pub const DEFAULT_BUCKETS: usize = 1 << 20;
 pub struct MichaelHashMap<V> {
     buckets: Box<[MichaelList<V>]>,
     mask: u64,
+    /// Striped live-item counter.  Deltas follow the transactional outcome
+    /// discipline: applied immediately standalone, post-commit in a
+    /// transaction, never on abort (see [`LenCounter`]).
+    count: LenCounter,
 }
 
 impl<V> MichaelHashMap<V>
@@ -46,12 +51,37 @@ where
         Self {
             buckets: buckets.into_boxed_slice(),
             mask: (n - 1) as u64,
+            count: LenCounter::new(),
         }
     }
 
     /// Number of buckets.
     pub fn bucket_count(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Committed live-item count (relaxed striped sum; see
+    /// [`LenCounter::len`] for the consistency caveats).
+    pub fn len(&self) -> u64 {
+        self.count.len()
+    }
+
+    /// Whether [`MichaelHashMap::len`] currently reads zero.
+    pub fn is_empty(&self) -> bool {
+        self.count.is_empty()
+    }
+
+    /// Registers a counter delta to apply when the enclosing operation's
+    /// outcome is decided (immediately standalone, post-commit in a
+    /// transaction, dropped on abort).
+    fn count_delta<C: Ctx>(&self, cx: &mut C, delta: i64) {
+        let counter_addr = &self.count as *const LenCounter as usize;
+        cx.add_cleanup(move |h| {
+            // SAFETY: the map outlives the transaction (caller contract —
+            // the same one the list unlink cleanups rely on).
+            let count = unsafe { &*(counter_addr as *const LenCounter) };
+            count.add(h.tid(), delta);
+        });
     }
 
     #[inline]
@@ -74,17 +104,29 @@ where
 
     /// Inserts `key -> val` only if absent; returns `true` on success.
     pub fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> bool {
-        self.bucket(key).insert(cx, key, val)
+        let ok = self.bucket(key).insert(cx, key, val);
+        if ok {
+            self.count_delta(cx, 1);
+        }
+        ok
     }
 
     /// Inserts or replaces; returns the previous value if any.
     pub fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> Option<V> {
-        self.bucket(key).put(cx, key, val)
+        let old = self.bucket(key).put(cx, key, val);
+        if old.is_none() {
+            self.count_delta(cx, 1);
+        }
+        old
     }
 
     /// Removes `key`; returns its value if it was present.
     pub fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
-        self.bucket(key).remove(cx, key)
+        let old = self.bucket(key).remove(cx, key);
+        if old.is_some() {
+            self.count_delta(cx, -1);
+        }
+        old
     }
 
     /// Quiescent count of live keys (test/diagnostic helper).
@@ -136,6 +178,37 @@ mod tests {
         assert_eq!(map.remove(&mut h.nontx(), 1), Some(12));
         assert_eq!(map.remove(&mut h.nontx(), 1), None);
         assert_eq!(map.len_quiescent(), 1);
+    }
+
+    #[test]
+    fn len_counter_tracks_commits_only() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let map = small_map();
+        assert!(map.is_empty());
+        assert!(map.insert(&mut h.nontx(), 1, 10));
+        assert_eq!(map.put(&mut h.nontx(), 2, 20), None);
+        assert_eq!(
+            map.put(&mut h.nontx(), 2, 21),
+            Some(20),
+            "replace is neutral"
+        );
+        assert_eq!(map.len(), 2);
+        let res: TxResult<()> = h.run(|t| {
+            assert!(map.insert(t, 3, 30));
+            assert_eq!(map.remove(t, 1), Some(10));
+            Err(t.abort(AbortReason::Explicit))
+        });
+        assert!(res.is_err());
+        assert_eq!(map.len(), 2, "aborted deltas must not land");
+        let res: TxResult<()> = h.run(|t| {
+            assert!(map.insert(t, 3, 30));
+            assert_eq!(map.remove(t, 1), Some(10));
+            Ok(())
+        });
+        assert!(res.is_ok());
+        assert_eq!(map.len(), 2, "+1 and -1 in one committed transaction");
+        assert_eq!(map.len() as usize, map.len_quiescent());
     }
 
     #[test]

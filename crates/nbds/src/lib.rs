@@ -10,6 +10,9 @@
 //! * [`MichaelList`] — Michael's lock-free ordered list (paper Fig. 2's
 //!   building block);
 //! * [`MichaelHashMap`] — Michael's chained hash table;
+//! * [`SplitOrderedMap`] — the Shalev–Shavit split-ordered list: an
+//!   **elastic** hash table whose bucket directory doubles on-line under
+//!   load, with transactions composing across the table mid-grow;
 //! * [`SkipList`] — a Fraser-style CAS-based skiplist;
 //! * [`MsQueue`] — the Michael–Scott FIFO queue.
 //!
@@ -25,15 +28,19 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod counter;
 pub mod hashtable;
 pub mod list;
 pub mod map;
 pub mod msqueue;
 pub mod skiplist;
+pub mod split_ordered;
 pub mod tag;
 
+pub use counter::LenCounter;
 pub use hashtable::MichaelHashMap;
 pub use list::MichaelList;
 pub use map::{TxMap, TxQueue};
 pub use msqueue::MsQueue;
 pub use skiplist::SkipList;
+pub use split_ordered::SplitOrderedMap;

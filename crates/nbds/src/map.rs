@@ -29,12 +29,14 @@ pub trait TxMap<V>: Send + Sync {
     fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V>;
     /// Whether `key` is present.
     ///
-    /// The default clones the value through [`TxMap::get`]; the `nbds`
-    /// containers override it with a counted-read traversal that never
-    /// clones `V`.
-    fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool {
-        self.get(cx, key).is_some()
-    }
+    /// Deliberately **required** (no default): a membership test must be a
+    /// counted-read traversal that registers its linearizing load and never
+    /// clones `V`.  An earlier default delegated to `self.get(..).is_some()`,
+    /// which silently cloned the value for any container that forgot to
+    /// override it — making the choice explicit turns that performance trap
+    /// into a compile error.  (See the `contains_never_clones_the_value`
+    /// test for the enforcement on the in-crate containers.)
+    fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool;
 }
 
 /// A FIFO queue whose operations can participate in Medley transactions or
@@ -112,6 +114,27 @@ where
     }
 }
 
+impl<V> TxMap<V> for crate::SplitOrderedMap<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        crate::SplitOrderedMap::get(self, cx, key)
+    }
+    fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> bool {
+        crate::SplitOrderedMap::insert(self, cx, key, val)
+    }
+    fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> Option<V> {
+        crate::SplitOrderedMap::put(self, cx, key, val)
+    }
+    fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
+        crate::SplitOrderedMap::remove(self, cx, key)
+    }
+    fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool {
+        crate::SplitOrderedMap::contains(self, cx, key)
+    }
+}
+
 impl<V> TxQueue<V> for crate::MsQueue<V>
 where
     V: Clone + Send + Sync + 'static,
@@ -150,6 +173,7 @@ mod tests {
         exercise(&crate::MichaelHashMap::<u64>::with_buckets(16), &mut h);
         exercise(&crate::SkipList::<u64>::new(), &mut h);
         exercise(&crate::MichaelList::<u64>::new(), &mut h);
+        exercise(&crate::SplitOrderedMap::<u64>::new(), &mut h);
     }
 
     #[test]
@@ -184,5 +208,45 @@ mod tests {
         assert_eq!(res, Ok((true, false)));
         h.flush_stats();
         assert!(mgr.stats().snapshot().ro_commits >= 1);
+    }
+
+    /// A value type whose `Clone` counts invocations: proof that no in-crate
+    /// container answers `contains` through the old cloning `get` shortcut.
+    #[derive(Debug)]
+    struct CountsClones(std::sync::Arc<std::sync::atomic::AtomicU64>);
+    impl Clone for CountsClones {
+        fn clone(&self) -> Self {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Self(std::sync::Arc::clone(&self.0))
+        }
+    }
+
+    #[test]
+    fn contains_never_clones_the_value() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        fn probe<M: TxMap<CountsClones>>(map: &M, h: &mut medley::ThreadHandle) {
+            let clones = Arc::new(AtomicU64::new(0));
+            assert!(map.insert(&mut h.nontx(), 1, CountsClones(Arc::clone(&clones))));
+            let inserted = clones.load(Ordering::Relaxed);
+            assert!(map.contains(&mut h.nontx(), 1));
+            assert!(!map.contains(&mut h.nontx(), 2));
+            let res = h.run(|t| Ok((map.contains(t, 1), map.contains(t, 2))));
+            assert_eq!(res, Ok((true, false)));
+            assert_eq!(
+                clones.load(Ordering::Relaxed),
+                inserted,
+                "contains must not clone the value"
+            );
+        }
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        probe(
+            &crate::MichaelHashMap::<CountsClones>::with_buckets(16),
+            &mut h,
+        );
+        probe(&crate::MichaelList::<CountsClones>::new(), &mut h);
+        probe(&crate::SkipList::<CountsClones>::new(), &mut h);
+        probe(&crate::SplitOrderedMap::<CountsClones>::new(), &mut h);
     }
 }

@@ -76,7 +76,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 use medley::Ctx;
-use nbds::{MichaelHashMap, SkipList, TxMap};
+use nbds::{MichaelHashMap, SkipList, SplitOrderedMap, TxMap};
 use pmem::{PayloadId, PersistenceDomain};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -98,6 +98,11 @@ pub type DurableHashMap = Durable<MichaelHashMap<Indexed>>;
 /// Persistent skiplist (txMontage counterpart of the skiplist experiments,
 /// Figs. 8–10).
 pub type DurableSkipList = Durable<SkipList<Indexed>>;
+/// Persistent **elastic** hash map: a split-ordered-list index whose bucket
+/// directory grows on-line, wrapped with the same payload discipline as
+/// [`DurableHashMap`].  Directory doubling is transient-index infrastructure
+/// — it touches no payloads and plays no part in recovery.
+pub type DurableSplitOrderedMap = Durable<SplitOrderedMap<Indexed>>;
 
 impl DurableHashMap {
     /// Creates a persistent hash map with `buckets` buckets.
@@ -110,6 +115,14 @@ impl DurableSkipList {
     /// Creates a persistent skiplist.
     pub fn skip_list(domain: Arc<PersistenceDomain>) -> Self {
         Durable::new(SkipList::new(), domain)
+    }
+}
+
+impl DurableSplitOrderedMap {
+    /// Creates a persistent elastic hash map starting at `buckets` buckets
+    /// (a warm-start hint; the directory grows on its own).
+    pub fn split_ordered(buckets: usize, domain: Arc<PersistenceDomain>) -> Self {
+        Durable::new(SplitOrderedMap::with_buckets(buckets), domain)
     }
 }
 
@@ -127,6 +140,13 @@ where
     /// The persistence domain backing this map.
     pub fn domain(&self) -> &Arc<PersistenceDomain> {
         &self.domain
+    }
+
+    /// The transient index, for structure-level introspection (bucket
+    /// counts, item counters, grow events) that the payload layer does not
+    /// see.
+    pub fn inner(&self) -> &M {
+        &self.inner
     }
 
     /// The epoch to tag payloads of the current operation with: inside a
@@ -380,6 +400,40 @@ mod tests {
         let rec = map.recover();
         assert_eq!(rec.len(), 25);
         for k in (1..50u64).step_by(2) {
+            assert_eq!(rec.get(&k), Some(&(k * 2)));
+        }
+    }
+
+    #[test]
+    fn split_ordered_variant_grows_and_recovers() {
+        let mgr = TxManager::new();
+        let domain = PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::ZERO);
+        let map = DurableSplitOrderedMap::split_ordered(2, Arc::clone(&domain));
+        let mut h = mgr.register();
+        const N: u64 = 2_000;
+        for k in 0..N {
+            assert!(map.insert(&mut h.nontx(), k, k * 2));
+        }
+        assert!(
+            map.inner().grow_events() > 0,
+            "the durable index must grow like the transient one"
+        );
+        for k in (0..N).step_by(2) {
+            assert_eq!(map.remove(&mut h.nontx(), k), Some(k * 2));
+        }
+        // Transactional move across the grown table.
+        let res: TxResult<()> = h.run(|h| {
+            let v = map.remove(h, 1).unwrap();
+            assert!(map.insert(h, N + 1, v));
+            Ok(())
+        });
+        assert!(res.is_ok());
+        domain.sync();
+        let rec = map.recover();
+        assert_eq!(rec.len() as u64, N / 2);
+        assert_eq!(rec.get(&(N + 1)), Some(&2));
+        assert!(!rec.contains_key(&1));
+        for k in (3..N).step_by(2) {
             assert_eq!(rec.get(&k), Some(&(k * 2)));
         }
     }

@@ -10,7 +10,7 @@
 
 use medley::util::FastRng;
 use medley::{AbortReason, TxManager, TxResult};
-use nbds::{MichaelHashMap, SkipList, TxMap};
+use nbds::{MichaelHashMap, SkipList, SplitOrderedMap, TxMap};
 use std::collections::BTreeMap;
 
 const CASES: u64 = 64;
@@ -91,6 +91,99 @@ fn skiplist_matches_sequential_model() {
     for_each_case(|rng| {
         let ops = random_ops(rng, 1, 200);
         check_against_model(&SkipList::<u64>::new(), &ops);
+    });
+}
+
+#[test]
+fn split_ordered_matches_sequential_model() {
+    for_each_case(|rng| {
+        let ops = random_ops(rng, 1, 200);
+        // Boot at the minimum size so longer sequences cross the grow
+        // threshold mid-run and the model check spans a resize.
+        check_against_model(&SplitOrderedMap::<u64>::new(), &ops);
+    });
+}
+
+#[test]
+fn split_order_key_math_properties() {
+    use nbds::split_ordered::{key_hash, parent_bucket, so_regular_key, so_sentinel_key};
+    for_each_case(|rng| {
+        for _ in 0..256 {
+            let k = rng.next_u64();
+            // Bit reversal is an involution, so the split-order mapping is
+            // injective: distinct hashes yield distinct regular keys.
+            let reg = so_regular_key(key_hash(k));
+            assert_eq!(reg.reverse_bits(), key_hash(k) | 1 << 63);
+            // Regular keys are odd, sentinel keys even: the two key
+            // populations can never collide in the shared list order.
+            assert_eq!(reg & 1, 1, "regular split-order keys must be odd");
+            let b = rng.next_u64() >> rng.next_below(64).max(33);
+            let sen = so_sentinel_key(b);
+            assert_eq!(sen & 1, 0, "sentinel split-order keys must be even");
+            // Parent recursion: clearing the top set bit strictly decreases
+            // the bucket index and terminates at bucket 0, in at most 64
+            // steps (one per possible set bit).
+            let mut cur = b;
+            let mut steps = 0;
+            while cur != 0 {
+                let parent = parent_bucket(cur);
+                assert!(parent < cur, "parent {parent} not below bucket {cur}");
+                // The parent's sentinel sorts before the child's: the child
+                // splits the parent's chain.
+                assert!(
+                    so_sentinel_key(parent) < so_sentinel_key(cur),
+                    "parent sentinel must precede child sentinel in list order"
+                );
+                cur = parent;
+                steps += 1;
+                assert!(steps <= 64, "parent chain failed to terminate");
+            }
+        }
+    });
+}
+
+#[test]
+fn split_ordered_integrity_over_random_grow_schedules() {
+    for_each_case(|rng| {
+        let ops = random_ops(rng, 50, 400);
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let map = SplitOrderedMap::<u64>::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Get(k) => {
+                    assert_eq!(map.get(&mut h.nontx(), k), model.get(&k).copied());
+                }
+                Op::Insert(k, v) => {
+                    if map.insert(&mut h.nontx(), k, v) {
+                        model.insert(k, v);
+                    }
+                }
+                Op::Put(k, v) => {
+                    assert_eq!(map.put(&mut h.nontx(), k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => assert_eq!(map.remove(&mut h.nontx(), k), model.remove(&k)),
+            }
+            // Random grow schedule: doubling at arbitrary points must be
+            // invisible to the operation stream. Capped so a long schedule
+            // doesn't allocate a multi-million-entry directory for ~200 keys.
+            if rng.next_below(16) == 0 && map.buckets() < (1 << 10) {
+                map.force_grow();
+            }
+        }
+        drop(h);
+        // Integrity: split-order sorted list, every initialized bucket's
+        // sentinel reachable and its parent chain initialized (monotone
+        // bucket initialization), counter consistent with reachable items.
+        let (items, _buckets) = map
+            .check_integrity_quiescent()
+            .expect("integrity after random grow schedule");
+        assert_eq!(items, model.len() as u64);
+        let mut h = mgr.register();
+        for (k, v) in &model {
+            assert_eq!(map.get(&mut h.nontx(), *k), Some(*v));
+        }
     });
 }
 

@@ -7,7 +7,7 @@
 
 use bench::workload::{run_hot_transfer, KeyDist, ThroughputConfig};
 use medley::{AbortReason, CasWord, Ctx, TxManager, TxResult};
-use nbds::{MichaelHashMap, MsQueue, TxQueue};
+use nbds::{MichaelHashMap, MsQueue, SplitOrderedMap, TxMap, TxQueue};
 use std::sync::Arc;
 
 const THREADS: usize = 8;
@@ -183,15 +183,18 @@ fn zipfian_hot_word_contention_stress() {
     );
 }
 
-/// Token conservation across a queue and a hash table: transactions move
-/// tokens queue→table and table→queue; lone enqueues/dequeues and lookups
-/// exercise the fast paths through the `nbds` containers.
-#[test]
-fn queue_hashtable_transfer_conserves_tokens() {
+/// Token conservation across a queue and a map: transactions move tokens
+/// queue→table and table→queue; lone enqueues/dequeues and lookups exercise
+/// the fast paths through the `nbds` containers.  Generic over [`TxMap`] so
+/// the same composition stress covers every map implementation; `snapshot`
+/// drains the map's final state (not part of the trait).
+fn run_queue_map_transfer<M>(table: Arc<M>, snapshot: impl FnOnce(&M) -> Vec<(u64, u64)>)
+where
+    M: TxMap<u64> + 'static,
+{
     const TOKENS: u64 = 64;
     let mgr = TxManager::new();
     let queue: Arc<MsQueue<u64>> = Arc::new(MsQueue::new());
-    let table: Arc<MichaelHashMap<u64>> = Arc::new(MichaelHashMap::with_buckets(128));
     // Drive the queue exclusively through the `TxQueue` trait object surface
     // (generically), proving queues are harness-swappable like maps.
     fn enq<Q: TxQueue<u64>, C: Ctx>(q: &Q, cx: &mut C, v: u64) {
@@ -290,7 +293,7 @@ fn queue_hashtable_transfer_conserves_tokens() {
             assert!(seen.insert(tok), "token {tok} duplicated");
         }
     }
-    for (k, v) in table.snapshot() {
+    for (k, v) in snapshot(table.as_ref()) {
         assert_eq!(k, v);
         assert!(seen.insert(k), "token {k} duplicated across structures");
     }
@@ -305,5 +308,24 @@ fn queue_hashtable_transfer_conserves_tokens() {
     assert!(
         snap.ro_commits > 0,
         "container read-only path never taken: {snap:?}"
+    );
+}
+
+#[test]
+fn queue_hashtable_transfer_conserves_tokens() {
+    run_queue_map_transfer(
+        Arc::new(MichaelHashMap::<u64>::with_buckets(128)),
+        MichaelHashMap::snapshot,
+    );
+}
+
+/// The same queue↔map composition over the elastic table with **zero
+/// pre-sizing**: it boots at the minimum directory and any growth happens
+/// while the transactional traffic is live.
+#[test]
+fn queue_split_ordered_transfer_conserves_tokens() {
+    run_queue_map_transfer(
+        Arc::new(SplitOrderedMap::<u64>::new()),
+        SplitOrderedMap::snapshot,
     );
 }
