@@ -70,6 +70,8 @@ struct SeriesResult {
     app_errors: u64,
     hist: LatencyHistogram,
     server: StatsReply,
+    /// Extra JSON fields (`,"k":v` form) a specialized series tacks on.
+    extra: String,
 }
 
 impl SeriesResult {
@@ -92,6 +94,14 @@ impl SeriesResult {
                 t.shards.iter().map(|sh| sh.buckets).sum::<u64>()
             ),
         };
+        let events = match &self.server.events {
+            None => String::new(),
+            Some(e) => format!(
+                ",\"epoll_waits\":{},\"events_dispatched\":{},\
+                 \"spurious_wakeups\":{},\"writev_saved\":{}",
+                e.epoll_waits, e.events_dispatched, e.spurious_wakeups, e.writev_saved
+            ),
+        };
         format!(
             concat!(
                 "{{\"name\":\"{}\",\"connections\":{},\"elapsed_s\":{:.4},",
@@ -100,7 +110,7 @@ impl SeriesResult {
                 "\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{},",
                 "\"server_commits\":{},\"server_aborts\":{},",
                 "\"server_conflict_aborts\":{},\"server_fast_commits\":{},",
-                "\"server_ro_commits\":{},\"server_general_commits\":{}{}{}}}"
+                "\"server_ro_commits\":{},\"server_general_commits\":{}{}{}{}{}}}"
             ),
             self.name,
             self.connections,
@@ -121,6 +131,8 @@ impl SeriesResult {
             t.general_commits,
             domain,
             tables,
+            events,
+            self.extra,
         )
     }
 
@@ -280,7 +292,326 @@ fn run_series(
         app_errors: app_errors.load(Ordering::Relaxed),
         hist: hist.into_inner().unwrap(),
         server,
+        extra: String::new(),
     }
+}
+
+/// Preloads every key with a `vsize`-byte blob value.  Chunks stay well
+/// under `MAX_FRAME` (64 pairs of ≤4 KiB values ≈ 260 KiB per `MSETB`).
+fn preload_blob(addr: std::net::SocketAddr, keys: u64, payload: &[u8]) {
+    let mut c = Client::connect(addr).expect("preload connect");
+    let ks: Vec<u64> = (0..keys).collect();
+    for chunk in ks.chunks(64) {
+        let pairs: Vec<(u64, &[u8])> = chunk.iter().map(|&k| (k, payload)).collect();
+        c.mset_b(&pairs).expect("preload mset_b");
+    }
+}
+
+/// One blob-family client operation: 50% `GETB`, 40% `PUTB` of a
+/// fixed-size payload, 10% `MGETB` of 4 keys.
+fn run_blob_op(
+    c: &mut Client,
+    rng: &mut FastRng,
+    sampler: &bench::workload::KeySampler,
+    payload: &[u8],
+    tally: &mut ConnTally,
+    hist: &mut LatencyHistogram,
+) -> Result<(), KvError> {
+    let k = sampler.sample(rng);
+    let dice = rng.next_below(100);
+    let start = Instant::now();
+    let outcome: Result<(), KvError> = if dice < 50 {
+        c.get_b(k).map(|_| ())
+    } else if dice < 90 {
+        c.put_b(k, payload).map(|_| ())
+    } else {
+        let ks: Vec<u64> = (0..4).map(|_| sampler.sample(rng)).collect();
+        c.mget_b(&ks).map(|_| ())
+    };
+    match outcome {
+        Ok(()) => {
+            tally.ok += 1;
+            hist.record(start.elapsed());
+            Ok(())
+        }
+        Err(KvError::Server(code)) => {
+            match code {
+                kvstore::ErrCode::Retry | kvstore::ErrCode::Capacity => tally.retry_aborts += 1,
+                _ => {
+                    tally.app_errors += 1;
+                    hist.record(start.elapsed());
+                }
+            }
+            Ok(())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Closed-loop series over the blob op family with `vsize`-byte values —
+/// the variable-length path end to end: length-prefixed wire values,
+/// `Value::Bytes` through the transactional maps, and (durable backend)
+/// size-classed arena slots with overflow chains for 4 KiB payloads.
+fn run_blob_series(
+    name: String,
+    addr: std::net::SocketAddr,
+    connections: usize,
+    duration: Duration,
+    keys: u64,
+    dist: KeyDist,
+    vsize: usize,
+) -> SeriesResult {
+    let payload: Vec<u8> = (0..vsize).map(|i| (i * 131) as u8).collect();
+    preload_blob(addr, keys, &payload);
+
+    let barrier = Barrier::new(connections + 1);
+    let ok = AtomicU64::new(0);
+    let retry_aborts = AtomicU64::new(0);
+    let app_errors = AtomicU64::new(0);
+    let hist = Mutex::new(LatencyHistogram::new());
+    let started = Mutex::new(None::<Instant>);
+    std::thread::scope(|s| {
+        for t in 0..connections {
+            let barrier = &barrier;
+            let ok = &ok;
+            let retry_aborts = &retry_aborts;
+            let app_errors = &app_errors;
+            let hist = &hist;
+            let payload = &payload;
+            let sampler = dist.sampler(keys);
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("bench connect");
+                let mut rng = FastRng::new(0xB10B + t as u64);
+                let mut tally = ConnTally::default();
+                let mut local_hist = LatencyHistogram::new();
+                barrier.wait();
+                let deadline = Instant::now() + duration;
+                while Instant::now() < deadline {
+                    if run_blob_op(
+                        &mut c,
+                        &mut rng,
+                        &sampler,
+                        payload,
+                        &mut tally,
+                        &mut local_hist,
+                    )
+                    .is_err()
+                    {
+                        break;
+                    }
+                }
+                ok.fetch_add(tally.ok, Ordering::Relaxed);
+                retry_aborts.fetch_add(tally.retry_aborts, Ordering::Relaxed);
+                app_errors.fetch_add(tally.app_errors, Ordering::Relaxed);
+                hist.lock().unwrap().merge(&local_hist);
+            });
+        }
+        barrier.wait();
+        *started.lock().unwrap() = Some(Instant::now());
+    });
+    let elapsed = started.lock().unwrap().expect("run started").elapsed();
+
+    let server = {
+        let mut c = Client::connect(addr).expect("stats connect");
+        let _ = c.sync();
+        c.stats().expect("stats")
+    };
+
+    SeriesResult {
+        name,
+        connections,
+        elapsed,
+        ok: ok.load(Ordering::Relaxed),
+        retry_aborts: retry_aborts.load(Ordering::Relaxed),
+        app_errors: app_errors.load(Ordering::Relaxed),
+        hist: hist.into_inner().unwrap(),
+        server,
+        extra: format!(",\"value_bytes\":{vsize}"),
+    }
+}
+
+/// Pipelining depth per connection in the `--fanout` mode.
+const FANOUT_DEPTH: usize = 4;
+
+/// Connection-fanout series: `connections` pipelined clients multiplexed
+/// over at most 8 driver threads, each connection kept `depth` requests
+/// deep.  This is the shape the epoll server is built for — far more
+/// sockets than workers, every socket busy — and the closed-loop latency
+/// histogram includes the pipeline queueing the readiness loop must not
+/// amplify.
+fn run_fanout_series(
+    name: String,
+    addr: std::net::SocketAddr,
+    connections: usize,
+    depth: usize,
+    duration: Duration,
+    keys: u64,
+    dist: KeyDist,
+) -> SeriesResult {
+    preload(addr, keys);
+    let drivers = connections.min(8);
+
+    let barrier = Barrier::new(drivers + 1);
+    let ok = AtomicU64::new(0);
+    let retry_aborts = AtomicU64::new(0);
+    let app_errors = AtomicU64::new(0);
+    let hist = Mutex::new(LatencyHistogram::new());
+    let started = Mutex::new(None::<Instant>);
+    std::thread::scope(|s| {
+        for d in 0..drivers {
+            let barrier = &barrier;
+            let ok = &ok;
+            let retry_aborts = &retry_aborts;
+            let app_errors = &app_errors;
+            let hist = &hist;
+            let sampler = dist.sampler(keys);
+            s.spawn(move || {
+                let lo = connections * d / drivers;
+                let hi = connections * (d + 1) / drivers;
+                let mut conns: Vec<(Client, VecDeque<Instant>)> = (lo..hi)
+                    .map(|_| {
+                        (
+                            Client::connect(addr).expect("fanout connect"),
+                            VecDeque::new(),
+                        )
+                    })
+                    .collect();
+                let mut rng = FastRng::new(0xFA9 + d as u64);
+                let mut tally = OpenLoopTally::default();
+                let mut local_hist = LatencyHistogram::new();
+                barrier.wait();
+                let deadline = Instant::now() + duration;
+                'run: while Instant::now() < deadline {
+                    for (c, pending) in conns.iter_mut() {
+                        // Top the pipeline up, then take exactly one
+                        // response: the pipeline oscillates between
+                        // DEPTH-1 and DEPTH deep, and the blocking recv
+                        // paces the driver without ever letting any
+                        // connection drain dry.
+                        while c.in_flight() < depth {
+                            let cmd = sample_cmd(&mut rng, &sampler, keys);
+                            if c.send(&Request::Cmd(cmd)).is_err() {
+                                break 'run;
+                            }
+                            pending.push_back(Instant::now());
+                        }
+                        match c.recv() {
+                            Ok(resp) => {
+                                let at = pending.pop_front().expect("pending send time");
+                                tally.classify(&resp, at, &mut local_hist);
+                            }
+                            Err(_) => break 'run,
+                        }
+                    }
+                }
+                // Drain what is still in flight so the tallies see it.
+                for (c, pending) in conns.iter_mut() {
+                    while c.in_flight() > 0 {
+                        match c.recv() {
+                            Ok(resp) => {
+                                let at = pending.pop_front().expect("pending send time");
+                                tally.classify(&resp, at, &mut local_hist);
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                }
+                ok.fetch_add(tally.ok, Ordering::Relaxed);
+                retry_aborts.fetch_add(tally.shed + tally.retry_aborts, Ordering::Relaxed);
+                app_errors.fetch_add(tally.app_errors, Ordering::Relaxed);
+                hist.lock().unwrap().merge(&local_hist);
+            });
+        }
+        barrier.wait();
+        *started.lock().unwrap() = Some(Instant::now());
+    });
+    let elapsed = started.lock().unwrap().expect("run started").elapsed();
+
+    let server = {
+        let mut c = Client::connect(addr).expect("stats connect");
+        c.stats().expect("stats")
+    };
+
+    SeriesResult {
+        name,
+        connections,
+        elapsed,
+        ok: ok.load(Ordering::Relaxed),
+        retry_aborts: retry_aborts.load(Ordering::Relaxed),
+        app_errors: app_errors.load(Ordering::Relaxed),
+        hist: hist.into_inner().unwrap(),
+        server,
+        extra: format!(",\"pipeline_depth\":{depth}"),
+    }
+}
+
+/// The `--fanout` mode: the same pipelined mixed workload at the same
+/// **total concurrency** — `FANOUT_DEPTH × fan` requests in flight —
+/// offered over 8 connections (deep pipelines) and over `fan` connections
+/// (depth [`FANOUT_DEPTH`] each) against fresh servers, plus a summary row
+/// with the p99 ratio CI asserts on.  Holding the total constant is what
+/// makes the ratio meaningful: queueing delay is fixed by Little's law at
+/// either socket count, so any p99 gap is pure per-socket multiplexing
+/// cost — the thing the readiness loop exists to flatten.
+fn run_fanout_mode(
+    workers: usize,
+    duration: Duration,
+    keys: u64,
+    dist: KeyDist,
+    tables: TableKind,
+    fan: usize,
+) -> Vec<String> {
+    let total = FANOUT_DEPTH * fan;
+    let mut entries = Vec::new();
+    let mut p99s = Vec::new();
+    let mut rates = Vec::new();
+    for (conns, depth) in [(8usize, total / 8), (fan, FANOUT_DEPTH)] {
+        let cfg = ServerConfig {
+            workers,
+            store: StoreConfig {
+                tables,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let server = Server::start(&cfg).expect("start fanout server");
+        let r = run_fanout_series(
+            format!("server-fanout/c{conns}/{}", dist.label()),
+            server.local_addr(),
+            conns,
+            depth,
+            duration,
+            keys,
+            dist,
+        );
+        println!("{}", r.csv_row());
+        p99s.push(r.hist.percentiles_ns().2);
+        rates.push(r.ok as f64 / r.elapsed.as_secs_f64().max(1e-9));
+        entries.push(r.to_json());
+        server.shutdown();
+    }
+    let ratio = p99s[1] as f64 / (p99s[0] as f64).max(1.0);
+    println!(
+        "fanout-summary: c{fan} p99 at {:.2}x of c8 at equal load ({} vs {} ns), {:.0} vs {:.0} ops/s",
+        ratio, p99s[1], p99s[0], rates[1], rates[0]
+    );
+    entries.push(format!(
+        concat!(
+            "{{\"name\":\"fanout-summary/{}\",\"mode\":\"fanout\",",
+            "\"total_in_flight\":{},\"base_connections\":8,\"fan_connections\":{},",
+            "\"base_p99_ns\":{},\"fan_p99_ns\":{},\"p99_ratio\":{:.4},",
+            "\"base_ops_per_sec\":{:.0},\"fan_ops_per_sec\":{:.0}}}"
+        ),
+        dist.label(),
+        total,
+        fan,
+        p99s[0],
+        p99s[1],
+        ratio,
+        rates[0],
+        rates[1],
+    ));
+    entries
 }
 
 /// Aggregated result of one open-loop (offered-load) series.
@@ -877,6 +1208,11 @@ fn run_grow_mode(
 }
 
 fn main() {
+    // Hundreds of benchmark connections means hundreds of descriptors on
+    // both ends of the loopback; lift the soft cap before opening any.
+    if let Err(e) = kvstore::sys::raise_nofile_limit() {
+        eprintln!("warning: could not raise RLIMIT_NOFILE: {e}");
+    }
     let args = CommonArgs::parse();
     let connections: usize = CommonArgs::extra_flag("--connections", 2);
     let workers: usize = CommonArgs::extra_flag("--workers", 4);
@@ -903,6 +1239,13 @@ fn main() {
 
     if std::env::args().any(|a| a == "--grow") {
         let entries = run_grow_mode(connections, workers, duration, args.keys, dist);
+        write_json("server", &entries);
+        return;
+    }
+
+    if std::env::args().any(|a| a == "--fanout") {
+        let fan: usize = CommonArgs::extra_flag("--fanout-conns", 512);
+        let entries = run_fanout_mode(workers, duration, args.keys, dist, tables, fan);
         write_json("server", &entries);
         return;
     }
@@ -964,6 +1307,39 @@ fn main() {
             println!("{}", r.csv_row());
             results.push(r);
             server.shutdown();
+        }
+
+        // Blob series: the same service through the variable-length op
+        // family, at a small inline-class size and a multi-read-pass size
+        // (4 KiB spills class-0 durable slots into overflow chains).
+        for (label, backend) in [
+            ("transient", StoreBackend::Transient),
+            ("durable", StoreBackend::Durable),
+        ] {
+            for vsize in [128usize, 4096] {
+                let cfg = ServerConfig {
+                    workers,
+                    store: StoreConfig {
+                        tables,
+                        backend,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                let server = Server::start(&cfg).expect("start blob server");
+                let r = run_blob_series(
+                    format!("server-blob-{label}/{vsize}B/{}", dist.label()),
+                    server.local_addr(),
+                    connections,
+                    duration,
+                    args.keys,
+                    dist,
+                    vsize,
+                );
+                println!("{}", r.csv_row());
+                results.push(r);
+                server.shutdown();
+            }
         }
     }
 

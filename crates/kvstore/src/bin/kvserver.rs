@@ -74,6 +74,14 @@ fn main() {
         overload,
         ..Default::default()
     };
+    // Every connection is a file descriptor; lift the soft cap to the hard
+    // cap up front so a connection-heavy benchmark doesn't die on EMFILE.
+    match kvstore::sys::raise_nofile_limit() {
+        Ok((prev, now)) if prev != now => println!("RLIMIT_NOFILE raised: {prev} -> {now}"),
+        Ok((_, now)) => println!("RLIMIT_NOFILE already at hard limit: {now}"),
+        Err(e) => eprintln!("warning: could not raise RLIMIT_NOFILE: {e}"),
+    }
+
     let server = Server::start(&cfg).expect("bind kvstore server");
     println!("kvserver listening on {}", server.local_addr());
     println!(
@@ -90,6 +98,7 @@ fn main() {
     }
     println!("draining...");
     let load = server.load_stats();
+    let events = server.event_stats();
     let store = server.shutdown();
     let snap = store.manager().stats_snapshot();
     println!(
@@ -104,5 +113,9 @@ fn main() {
     println!(
         "load: {} shed, peak backlog {} B, {} accept retries, {} cm waits",
         load.shed_requests, load.peak_inflight_bytes, load.accept_retries, snap.cm_waits
+    );
+    println!(
+        "events: {} epoll_waits, {} dispatched, {} spurious, {} writes saved by writev",
+        events.epoll_waits, events.events_dispatched, events.spurious_wakeups, events.writev_saved
     );
 }

@@ -11,6 +11,7 @@
 use crate::proto::{self, ErrCode, Request, Response, StatsReply};
 use crate::store::{Cmd, CmdOut};
 use medley::util::FastRng;
+use pmem::Value;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -311,6 +312,69 @@ impl Client {
                 from_after,
                 to_after,
             } => Ok((from_after, to_after)),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Looks up `key` as a byte value (blob op family).
+    pub fn get_b(&mut self, key: u64) -> KvResult<Option<Value>> {
+        match self.cmd(Cmd::GetB(key))? {
+            CmdOut::ValueB(v) => Ok(v),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Inserts or replaces `key` with a byte value; returns the previous
+    /// value.  `val` is canonicalized through [`Value::from_bytes`], so an
+    /// 8-byte input stores the same value a fixed-width `put` would.
+    pub fn put_b(&mut self, key: u64, val: &[u8]) -> KvResult<Option<Value>> {
+        match self.cmd(Cmd::PutB(key, Value::from_bytes(val)))? {
+            CmdOut::PrevB(v) => Ok(v),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Removes `key`; returns the removed value (blob op family).
+    pub fn del_b(&mut self, key: u64) -> KvResult<Option<Value>> {
+        match self.cmd(Cmd::DelB(key))? {
+            CmdOut::RemovedB(v) => Ok(v),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Byte-exact compare-and-swap; returns `(success, post-op value)`.
+    pub fn cas_b(
+        &mut self,
+        key: u64,
+        expected: &[u8],
+        desired: &[u8],
+    ) -> KvResult<(bool, Option<Value>)> {
+        match self.cmd(Cmd::CasB {
+            key,
+            expected: Value::from_bytes(expected),
+            desired: Value::from_bytes(desired),
+        })? {
+            CmdOut::CasB { success, current } => Ok((success, current)),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Atomic multi-key read returning byte values.
+    pub fn mget_b(&mut self, keys: &[u64]) -> KvResult<Vec<Option<Value>>> {
+        match self.cmd(Cmd::MGetB(keys.to_vec()))? {
+            CmdOut::ValuesB(v) if v.len() == keys.len() => Ok(v),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Atomic multi-key write of byte values: all pairs commit together.
+    pub fn mset_b(&mut self, pairs: &[(u64, &[u8])]) -> KvResult<()> {
+        let pairs: Vec<(u64, Value)> = pairs
+            .iter()
+            .map(|(k, v)| (*k, Value::from_bytes(v)))
+            .collect();
+        match self.cmd(Cmd::MSetB(pairs))? {
+            CmdOut::Done => Ok(()),
             _ => Err(KvError::Proto),
         }
     }

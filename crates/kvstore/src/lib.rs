@@ -45,10 +45,12 @@ pub mod client;
 pub mod proto;
 pub mod server;
 pub mod store;
+pub mod sys;
 
 pub use client::{Client, KvError, KvResult};
 pub use proto::{
-    ErrCode, LoadStats, Request, Response, ShardKind, ShardStats, StatsReply, TableStats,
+    ErrCode, EventStats, LoadStats, Request, Response, ShardKind, ShardStats, StatsReply,
+    TableStats,
 };
 pub use server::{OverloadConfig, Server, ServerConfig};
 pub use store::{Cmd, CmdOut, Store, StoreBackend, StoreConfig, TableKind, ELASTIC_BOOT_BUCKETS};
@@ -147,8 +149,57 @@ mod tests {
         drop(c);
         let store = server.shutdown();
         let rec = store.recover();
-        assert_eq!(rec.get(&1), Some(&10));
-        assert_eq!(rec.get(&2), Some(&20));
+        assert_eq!(rec.get(&1), Some(&pmem::Value::U64(10)));
+        assert_eq!(rec.get(&2), Some(&pmem::Value::U64(20)));
+    }
+
+    #[test]
+    fn blob_values_and_event_stats_over_the_wire() {
+        use pmem::Value;
+        let (server, mut c) = start(ServerConfig::default());
+        // A value big enough to span several read/write passes.
+        let blob: Vec<u8> = (0..100_000usize).map(|i| (i * 31) as u8).collect();
+        assert_eq!(c.put_b(5, &blob).unwrap(), None);
+        assert_eq!(c.get_b(5).unwrap(), Some(Value::from_bytes(&blob)));
+        // Word interop: the blob family reads fixed-width writes and an
+        // 8-byte blob IS a word.
+        assert_eq!(c.put(6, 42).unwrap(), None);
+        assert_eq!(c.get_b(6).unwrap(), Some(Value::U64(42)));
+        assert_eq!(
+            c.put_b(6, &43u64.to_le_bytes()).unwrap(),
+            Some(Value::U64(42))
+        );
+        assert_eq!(c.get(6).unwrap(), Some(43));
+        // A fixed-width GET on a blob is refused, not truncated.
+        match c.get(5) {
+            Err(KvError::Server(ErrCode::Malformed)) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // Byte-exact CAS and multi-key blob ops.
+        assert!(c.cas_b(5, &blob, b"small now").unwrap().0);
+        c.mset_b(&[(7, b"abc".as_slice()), (8, b"defg".as_slice())])
+            .unwrap();
+        assert_eq!(
+            c.mget_b(&[5, 7, 8, 9]).unwrap(),
+            vec![
+                Some(Value::from_bytes(b"small now")),
+                Some(Value::from_bytes(b"abc")),
+                Some(Value::from_bytes(b"defg")),
+                None,
+            ]
+        );
+        assert_eq!(c.del_b(7).unwrap(), Some(Value::from_bytes(b"abc")));
+        // The event-loop section is observable over the wire and the traffic
+        // above must have exercised it.
+        let stats = c.stats().unwrap();
+        let ev = stats.events.expect("server reports event-loop stats");
+        assert!(ev.epoll_waits > 0, "worker loops wait on epoll");
+        assert!(
+            ev.events_dispatched > 0,
+            "traffic arrives as readiness events"
+        );
+        drop(c);
+        server.shutdown();
     }
 
     #[test]

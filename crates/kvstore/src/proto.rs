@@ -30,20 +30,40 @@
 //! | `0x03` | `DEL`      | `key: u64` |
 //! | `0x04` | `CAS`      | `key: u64, expected: u64, desired: u64` |
 //! | `0x05` | `CONTAINS` | `key: u64` |
+//! | `0x06` | `GETB`     | `key: u64` |
+//! | `0x07` | `PUTB`     | `key: u64, vlen: u32, vlen × u8` |
+//! | `0x08` | `DELB`     | `key: u64` |
+//! | `0x09` | `CASB`     | `key: u64, elen: u32, elen × u8, dlen: u32, dlen × u8` |
 //! | `0x10` | `MGET`     | `n: u32, n × key: u64` |
 //! | `0x11` | `MSET`     | `n: u32, n × (key: u64, val: u64)` |
 //! | `0x12` | `TRANSFER` | `from: u64, to: u64, amount: u64` |
 //! | `0x13` | `BATCH`    | `n: u32, n × (u8 opcode + body)` — single-key ops only |
+//! | `0x16` | `MGETB`    | `n: u32, n × key: u64` |
+//! | `0x17` | `MSETB`    | `n: u32, n × (key: u64, vlen: u32, vlen × u8)` |
 //! | `0x20` | `STATS`    | (empty) |
 //! | `0x21` | `SYNC`     | (empty) |
 //!
-//! `GET`/`PUT`/`DEL`/`CONTAINS` run as standalone (uninstrumented `NonTx`)
-//! operations.  `CAS` and every multi-key command run as one Medley
-//! transaction: `MGET` is one atomic (read-only, descriptor-free) snapshot,
-//! `MSET` and `TRANSFER` are failure-atomic across all their keys — and
-//! across whatever *shards* (distinct nonblocking structures) those keys hash
-//! to, which is exactly the NBTC composition the paper builds.  `BATCH` runs
-//! its command list under a single `ThreadHandle::run_with`.
+//! ## Value lengths and the blob op family
+//!
+//! The `*B` opcodes carry **length-prefixed byte values** (`vlen: u32` LE
+//! followed by `vlen` raw bytes).  A value may be `0..=`[`MAX_VALUE_BYTES`]
+//! (256 KiB) bytes long; decoders reject anything longer *before* allocating,
+//! even though the 1 MiB frame cap would admit it.  An exactly-8-byte value
+//! is canonically a word ([`pmem::Value::from_bytes`]), so `PUT k 5` and
+//! `PUTB k <5u64 LE>` store the *same* value and the two op families fully
+//! interoperate — a fixed-width op that reads back a non-word value reports
+//! `ERR_MALFORMED` rather than truncating it.
+//!
+//! `GET`/`PUT`/`DEL`/`CONTAINS` (and their blob twins `GETB`/`PUTB`/`DELB`)
+//! run as standalone (uninstrumented `NonTx`) operations.  `CAS`/`CASB` and
+//! every multi-key command run as one Medley transaction: `MGET`/`MGETB` is
+//! one atomic (read-only, descriptor-free) snapshot, `MSET`/`MSETB` and
+//! `TRANSFER` are failure-atomic across all their keys — and across whatever
+//! *shards* (distinct nonblocking structures) those keys hash to, which is
+//! exactly the NBTC composition the paper builds.  `BATCH` runs its command
+//! list under a single `ThreadHandle::run_with`; blob single-key ops
+//! (`GETB`/`PUTB`/`DELB`/`CASB`) are legal batch members alongside the
+//! fixed-width ones.
 //!
 //! ## Response payload
 //!
@@ -75,12 +95,22 @@
 //! | `PUT`       | `had_prev: u8` (+ `prev: u64` when 1) |
 //! | `CAS`       | `success: u8, present: u8` (+ `current: u64` when present) — `current` is the post-op value |
 //! | `CONTAINS`  | `present: u8` |
+//! | `GETB`/`DELB` | `tagged value` (below) |
+//! | `PUTB`      | `tagged value` — the previous value |
+//! | `CASB`      | `success: u8, tagged value` — post-op value |
 //! | `MGET`      | `n: u32, n × (present: u8 [+ val: u64])` |
-//! | `MSET`      | (empty) |
+//! | `MSET`/`MSETB` | (empty) |
 //! | `TRANSFER`  | `from_after: u64, to_after: u64` |
 //! | `BATCH`     | `n: u32, n × (u8 opcode + single-op body)` |
-//! | `STATS`     | 13 × `u64` transaction counters, `has_domain: u8` (+ 5 × `u64` domain stats), `has_load: u8` (+ 4 × `u64` load stats), `has_tables: u8` (+ table section, below) — see [`StatsReply`] |
+//! | `MGETB`     | `n: u32, n × tagged value` |
+//! | `STATS`     | 13 × `u64` transaction counters, `has_domain: u8` (+ 5 × `u64` domain stats), `has_load: u8` (+ 4 × `u64` load stats), `has_tables: u8` (+ table section, below), `has_events: u8` (+ 4 × `u64` event-loop stats, see [`EventStats`]) — see [`StatsReply`] |
 //! | `SYNC`      | `persisted_epoch: u64` |
+//!
+//! A *tagged value* in a blob-op response is one byte of tag plus a
+//! tag-dependent body: `0` = absent (no body), `1` = word (`val: u64`),
+//! `2` = bytes (`vlen: u32, vlen × u8`, same [`MAX_VALUE_BYTES`] bound as
+//! requests).  Encoders emit the canonical form (8-byte values always travel
+//! as tag `1`), and decoders re-canonicalize defensively.
 //!
 //! The `STATS` table section (present when `has_tables == 1`) describes the
 //! store's shards:
@@ -101,7 +131,7 @@
 
 use crate::store::{Cmd, CmdOut};
 use medley::TxStatsSnapshot;
-use pmem::DomainStats;
+use pmem::{DomainStats, Value, MAX_VALUE_BYTES};
 
 /// Maximum payload size of one frame (1 MiB).  Large enough for a
 /// multi-thousand-key `MSET`, small enough that a corrupt length prefix
@@ -116,10 +146,16 @@ const OP_PUT: u8 = 0x02;
 const OP_DEL: u8 = 0x03;
 const OP_CAS: u8 = 0x04;
 const OP_CONTAINS: u8 = 0x05;
+const OP_GETB: u8 = 0x06;
+const OP_PUTB: u8 = 0x07;
+const OP_DELB: u8 = 0x08;
+const OP_CASB: u8 = 0x09;
 const OP_MGET: u8 = 0x10;
 const OP_MSET: u8 = 0x11;
 const OP_TRANSFER: u8 = 0x12;
 const OP_BATCH: u8 = 0x13;
+const OP_MGETB: u8 = 0x16;
+const OP_MSETB: u8 = 0x17;
 const OP_STATS: u8 = 0x20;
 const OP_SYNC: u8 = 0x21;
 
@@ -185,6 +221,27 @@ pub struct ShardStats {
     pub buckets: u64,
 }
 
+/// Event-loop counters reported by `STATS` (servers only; a bare
+/// `Store::stats` reports `None` for the section).
+///
+/// Summed over the worker threads since startup.  Together they describe how
+/// efficiently readiness is being turned into work: `events_dispatched /
+/// epoll_waits` is the wakeup batching factor, `spurious_wakeups` counts
+/// dispatched readiness events whose pumps moved no bytes and served no
+/// frame, and `writev_saved` counts the `write(2)` calls the vectored
+/// response path avoided (each `writev` of *n* buffers saves *n − 1* calls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventStats {
+    /// `epoll_wait(2)` calls made by the worker loops.
+    pub epoll_waits: u64,
+    /// Readiness events dispatched to connections (doorbell events excluded).
+    pub events_dispatched: u64,
+    /// Dispatched events whose pumps made no progress.
+    pub spurious_wakeups: u64,
+    /// `write` syscalls avoided by batching response frames into `writev`.
+    pub writev_saved: u64,
+}
+
 /// The per-table section of the `STATS` reply: one entry per shard plus the
 /// store-wide growth tally.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -207,9 +264,15 @@ pub struct StatsReply {
     pub load: Option<LoadStats>,
     /// Per-shard table metrics (item counts, bucket counts, grow events).
     pub tables: Option<TableStats>,
+    /// Event-loop counters (only when served by a `kvstore` server).
+    pub events: Option<EventStats>,
 }
 
 /// A decoded response.
+// `Stats` dwarfs the data-path variants, but a `Response` only ever lives
+// for one decode-and-match on the client; boxing the rare admin reply
+// would cost an allocation per `STATS` for no hot-path gain.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
     /// The command committed; its result.
@@ -272,12 +335,76 @@ impl<'a> Cursor<'a> {
         self.pos = end;
         Ok(u64::from_le_bytes(bytes.try_into().unwrap()))
     }
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(ProtoError)?;
+        self.pos = end;
+        Ok(bytes)
+    }
     fn finished(&self) -> Result<(), ProtoError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
             Err(ProtoError)
         }
+    }
+}
+
+// Length-prefixed byte value (`vlen: u32, vlen × u8`) used by the blob-op
+// request bodies.  Words serialize as their 8 LE bytes; the decoder rebuilds
+// through `Value::from_bytes`, so canonical form survives the wire.
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    debug_assert!(v.byte_len() <= MAX_VALUE_BYTES);
+    put_u32(buf, v.byte_len() as u32);
+    match v {
+        Value::U64(w) => buf.extend_from_slice(&w.to_le_bytes()),
+        Value::Bytes(b) => buf.extend_from_slice(b),
+    }
+}
+
+fn get_value(cur: &mut Cursor<'_>) -> Result<Value, ProtoError> {
+    let len = cur.u32()? as usize;
+    // Refuse over-limit values before touching the payload bytes: the frame
+    // cap (1 MiB) is larger than the value cap (256 KiB), so this is the
+    // check that actually bounds per-value allocation.
+    if len > MAX_VALUE_BYTES {
+        return Err(ProtoError);
+    }
+    Ok(Value::from_bytes(cur.bytes(len)?))
+}
+
+// Tagged optional value (`0` absent / `1` word / `2` bytes) used by blob-op
+// response bodies.
+
+fn put_opt_value(buf: &mut Vec<u8>, v: &Option<Value>) {
+    match v {
+        None => buf.push(0),
+        Some(Value::U64(w)) => {
+            buf.push(1);
+            put_u64(buf, *w);
+        }
+        Some(Value::Bytes(b)) => {
+            debug_assert!(b.len() <= MAX_VALUE_BYTES);
+            buf.push(2);
+            put_u32(buf, b.len() as u32);
+            buf.extend_from_slice(b);
+        }
+    }
+}
+
+fn get_opt_value(cur: &mut Cursor<'_>) -> Result<Option<Value>, ProtoError> {
+    match cur.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(Value::U64(cur.u64()?))),
+        2 => {
+            let len = cur.u32()? as usize;
+            if len > MAX_VALUE_BYTES {
+                return Err(ProtoError);
+            }
+            Ok(Some(Value::from_bytes(cur.bytes(len)?)))
+        }
+        _ => Err(ProtoError),
     }
 }
 
@@ -332,6 +459,12 @@ fn cmd_opcode(cmd: &Cmd) -> u8 {
         Cmd::MSet(_) => OP_MSET,
         Cmd::Transfer { .. } => OP_TRANSFER,
         Cmd::Batch(_) => OP_BATCH,
+        Cmd::GetB(_) => OP_GETB,
+        Cmd::PutB(..) => OP_PUTB,
+        Cmd::DelB(_) => OP_DELB,
+        Cmd::CasB { .. } => OP_CASB,
+        Cmd::MGetB(_) => OP_MGETB,
+        Cmd::MSetB(_) => OP_MSETB,
     }
 }
 
@@ -374,6 +507,33 @@ fn encode_cmd_body(buf: &mut Vec<u8>, cmd: &Cmd) {
             for c in cmds {
                 buf.push(cmd_opcode(c));
                 encode_cmd_body(buf, c);
+            }
+        }
+        Cmd::GetB(k) | Cmd::DelB(k) => put_u64(buf, *k),
+        Cmd::PutB(k, v) => {
+            put_u64(buf, *k);
+            put_value(buf, v);
+        }
+        Cmd::CasB {
+            key,
+            expected,
+            desired,
+        } => {
+            put_u64(buf, *key);
+            put_value(buf, expected);
+            put_value(buf, desired);
+        }
+        Cmd::MGetB(keys) => {
+            put_u32(buf, keys.len() as u32);
+            for k in keys {
+                put_u64(buf, *k);
+            }
+        }
+        Cmd::MSetB(pairs) => {
+            put_u32(buf, pairs.len() as u32);
+            for (k, v) in pairs {
+                put_u64(buf, *k);
+                put_value(buf, v);
             }
         }
     }
@@ -431,6 +591,37 @@ fn decode_cmd_body(cur: &mut Cursor<'_>, opcode: u8, nested: bool) -> Result<Cmd
                 cmds.push(decode_cmd_body(cur, op, true)?);
             }
             Cmd::Batch(cmds)
+        }
+        OP_GETB => Cmd::GetB(cur.u64()?),
+        OP_PUTB => Cmd::PutB(cur.u64()?, get_value(cur)?),
+        OP_DELB => Cmd::DelB(cur.u64()?),
+        OP_CASB => Cmd::CasB {
+            key: cur.u64()?,
+            expected: get_value(cur)?,
+            desired: get_value(cur)?,
+        },
+        OP_MGETB if !nested => {
+            let n = cur.u32()? as usize;
+            if n > MAX_FRAME / 8 {
+                return Err(ProtoError);
+            }
+            let mut keys = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                keys.push(cur.u64()?);
+            }
+            Cmd::MGetB(keys)
+        }
+        OP_MSETB if !nested => {
+            let n = cur.u32()? as usize;
+            // Each pair is at least key (8) + length prefix (4) bytes.
+            if n > MAX_FRAME / 12 {
+                return Err(ProtoError);
+            }
+            let mut pairs = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                pairs.push((cur.u64()?, get_value(cur)?));
+            }
+            Cmd::MSetB(pairs)
         }
         _ => return Err(ProtoError),
     })
@@ -496,6 +687,11 @@ fn out_opcode(out: &CmdOut) -> u8 {
         CmdOut::Done => OP_MSET,
         CmdOut::Transferred { .. } => OP_TRANSFER,
         CmdOut::Batch(_) => OP_BATCH,
+        CmdOut::ValueB(_) => OP_GETB,
+        CmdOut::PrevB(_) => OP_PUTB,
+        CmdOut::RemovedB(_) => OP_DELB,
+        CmdOut::CasB { .. } => OP_CASB,
+        CmdOut::ValuesB(_) => OP_MGETB,
     }
 }
 
@@ -546,6 +742,17 @@ fn encode_out_body(buf: &mut Vec<u8>, out: &CmdOut) {
                 encode_out_body(buf, o);
             }
         }
+        CmdOut::ValueB(v) | CmdOut::PrevB(v) | CmdOut::RemovedB(v) => put_opt_value(buf, v),
+        CmdOut::CasB { success, current } => {
+            buf.push(u8::from(*success));
+            put_opt_value(buf, current);
+        }
+        CmdOut::ValuesB(vals) => {
+            put_u32(buf, vals.len() as u32);
+            for v in vals {
+                put_opt_value(buf, v);
+            }
+        }
     }
 }
 
@@ -587,6 +794,26 @@ fn decode_out_body(cur: &mut Cursor<'_>, opcode: u8, nested: bool) -> Result<Cmd
             }
             CmdOut::Batch(outs)
         }
+        OP_GETB => CmdOut::ValueB(get_opt_value(cur)?),
+        OP_PUTB => CmdOut::PrevB(get_opt_value(cur)?),
+        OP_DELB => CmdOut::RemovedB(get_opt_value(cur)?),
+        OP_CASB => CmdOut::CasB {
+            success: cur.u8()? != 0,
+            current: get_opt_value(cur)?,
+        },
+        OP_MGETB if !nested => {
+            let n = cur.u32()? as usize;
+            if n > MAX_FRAME / 2 {
+                return Err(ProtoError);
+            }
+            let mut vals = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                vals.push(get_opt_value(cur)?);
+            }
+            CmdOut::ValuesB(vals)
+        }
+        // An `MSETB` acknowledgement is body-less, like `MSET`'s.
+        OP_MSETB if !nested => CmdOut::Done,
         _ => return Err(ProtoError),
     })
 }
@@ -681,6 +908,16 @@ pub fn encode_response(out: &mut Vec<u8>, req_id: u32, opcode: u8, resp: &Respon
                         put_opt(&mut payload, sh.items);
                         put_u64(&mut payload, sh.buckets);
                     }
+                }
+                None => payload.push(0),
+            }
+            match &s.events {
+                Some(ev) => {
+                    payload.push(1);
+                    put_u64(&mut payload, ev.epoll_waits);
+                    put_u64(&mut payload, ev.events_dispatched);
+                    put_u64(&mut payload, ev.spurious_wakeups);
+                    put_u64(&mut payload, ev.writev_saved);
                 }
                 None => payload.push(0),
             }
@@ -779,11 +1016,22 @@ pub fn decode_response(frame: &[u8]) -> Result<(u32, Response), ProtoError> {
                     }
                     _ => return Err(ProtoError),
                 };
+                let events = match cur.u8()? {
+                    0 => None,
+                    1 => Some(EventStats {
+                        epoll_waits: cur.u64()?,
+                        events_dispatched: cur.u64()?,
+                        spurious_wakeups: cur.u64()?,
+                        writev_saved: cur.u64()?,
+                    }),
+                    _ => return Err(ProtoError),
+                };
                 Response::Stats(StatsReply {
                     tx,
                     domain,
                     load,
                     tables,
+                    events,
                 })
             }
             OP_SYNC => Response::Synced(cur.u64()?),
@@ -862,6 +1110,111 @@ mod tests {
     }
 
     #[test]
+    fn blob_requests_roundtrip() {
+        let blob = Value::from_bytes(b"hello, variable-length world");
+        roundtrip_request(Request::Cmd(Cmd::GetB(42)));
+        roundtrip_request(Request::Cmd(Cmd::PutB(1, blob.clone())));
+        roundtrip_request(Request::Cmd(Cmd::PutB(2, Value::U64(7))));
+        roundtrip_request(Request::Cmd(Cmd::PutB(3, Value::from_bytes(b""))));
+        roundtrip_request(Request::Cmd(Cmd::DelB(3)));
+        roundtrip_request(Request::Cmd(Cmd::CasB {
+            key: 4,
+            expected: Value::U64(5),
+            desired: blob.clone(),
+        }));
+        roundtrip_request(Request::Cmd(Cmd::MGetB(vec![1, 2, 3])));
+        roundtrip_request(Request::Cmd(Cmd::MSetB(vec![
+            (1, blob.clone()),
+            (2, Value::U64(20)),
+        ])));
+        // Blob singles may ride inside a BATCH next to fixed-width ops.
+        roundtrip_request(Request::Cmd(Cmd::Batch(vec![
+            Cmd::Get(1),
+            Cmd::PutB(2, blob),
+            Cmd::CasB {
+                key: 4,
+                expected: Value::from_bytes(b"old"),
+                desired: Value::from_bytes(b"new"),
+            },
+            Cmd::DelB(5),
+        ])));
+    }
+
+    #[test]
+    fn blob_responses_roundtrip() {
+        let blob = Value::from_bytes(&vec![0xAB; 4096]);
+        roundtrip_response(Response::Ok(CmdOut::ValueB(Some(blob.clone()))), OP_GETB);
+        roundtrip_response(Response::Ok(CmdOut::ValueB(None)), OP_GETB);
+        roundtrip_response(Response::Ok(CmdOut::ValueB(Some(Value::U64(9)))), OP_GETB);
+        roundtrip_response(Response::Ok(CmdOut::PrevB(Some(blob.clone()))), OP_PUTB);
+        roundtrip_response(Response::Ok(CmdOut::RemovedB(None)), OP_DELB);
+        roundtrip_response(
+            Response::Ok(CmdOut::CasB {
+                success: false,
+                current: Some(blob.clone()),
+            }),
+            OP_CASB,
+        );
+        roundtrip_response(
+            Response::Ok(CmdOut::ValuesB(vec![
+                Some(Value::U64(1)),
+                None,
+                Some(Value::from_bytes(b"xyz")),
+            ])),
+            OP_MGETB,
+        );
+        roundtrip_response(
+            Response::Ok(CmdOut::Batch(vec![
+                CmdOut::ValueB(Some(blob)),
+                CmdOut::Prev(None),
+                CmdOut::CasB {
+                    success: true,
+                    current: Some(Value::from_bytes(b"new")),
+                },
+            ])),
+            OP_BATCH,
+        );
+    }
+
+    #[test]
+    fn eight_byte_wire_values_decode_canonically_as_words() {
+        // A hand-built PUTB carrying exactly 8 bytes must decode to U64:
+        // canonical form is a wire-level invariant, not a courtesy.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 1); // req id
+        payload.push(OP_PUTB);
+        put_u64(&mut payload, 77); // key
+        put_u32(&mut payload, 8);
+        put_u64(&mut payload, 0xDEAD_BEEF);
+        let (_, req) = decode_request(&payload).unwrap();
+        assert_eq!(req, Request::Cmd(Cmd::PutB(77, Value::U64(0xDEAD_BEEF))));
+    }
+
+    #[test]
+    fn oversized_value_is_rejected_before_the_frame_cap() {
+        // vlen between MAX_VALUE_BYTES and MAX_FRAME: frame-legal, value-illegal.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 2); // req id
+        payload.push(OP_PUTB);
+        put_u64(&mut payload, 1); // key
+        let vlen = (MAX_VALUE_BYTES + 1) as u32;
+        put_u32(&mut payload, vlen);
+        payload.resize(payload.len() + vlen as usize, 0);
+        assert!(payload.len() < MAX_FRAME);
+        assert!(decode_request(&payload).is_err());
+
+        // Same bound on the response side (tag 2 tagged value).
+        let mut resp = Vec::new();
+        put_u32(&mut resp, 3); // req id
+        resp.push(ST_OK);
+        resp.push(OP_GETB);
+        resp.push(2); // tag: bytes
+        put_u32(&mut resp, vlen);
+        resp.resize(resp.len() + vlen as usize, 0);
+        assert!(decode_response(&resp).is_err());
+    }
+
+    #[test]
     fn responses_roundtrip() {
         roundtrip_response(Response::Ok(CmdOut::Value(Some(1))), OP_GET);
         roundtrip_response(Response::Ok(CmdOut::Value(None)), OP_GET);
@@ -924,6 +1277,12 @@ mod tests {
                     peak_inflight_bytes: 4096,
                     accept_retries: 2,
                 }),
+                events: Some(EventStats {
+                    epoll_waits: 1000,
+                    events_dispatched: 2500,
+                    spurious_wakeups: 3,
+                    writev_saved: 700,
+                }),
                 tables: Some(TableStats {
                     grow_events: 5,
                     shards: vec![
@@ -955,6 +1314,7 @@ mod tests {
                 domain: None,
                 load: None,
                 tables: None,
+                events: None,
             }),
             OP_STATS,
         );

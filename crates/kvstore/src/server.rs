@@ -1,29 +1,55 @@
-//! The TCP server: a fixed worker pool multiplexing pipelined connections.
+//! The TCP server: a fixed worker pool multiplexing pipelined connections
+//! over per-worker epoll event loops.
 //!
 //! One acceptor thread hands sockets round-robin to `workers` worker
-//! threads.  Each worker registers **one** [`medley::ThreadHandle`] — one
-//! `TxManager` thread slot, held for the server's lifetime — and multiplexes
-//! all of its connections over it with nonblocking reads/writes
-//! (thread-per-core style: the worker *is* the transaction thread, so a
-//! command never crosses a thread boundary between decode and commit).
+//! threads (ringing the target worker's eventfd doorbell).  Each worker
+//! registers **one** [`medley::ThreadHandle`] — one `TxManager` thread slot,
+//! held for the server's lifetime — and multiplexes all of its connections
+//! over it (thread-per-core style: the worker *is* the transaction thread,
+//! so a command never crosses a thread boundary between decode and commit).
 //! Requests are executed in arrival order per connection and responses are
 //! written back in the same order, so clients may pipeline arbitrarily
 //! deeply.
 //!
-//! Shutdown is a graceful drain: the acceptor stops, every worker finishes
-//! executing the complete frames already buffered on its connections,
-//! flushes its write buffers, and only then closes the sockets and drops
-//! its handle (flushing its statistics).  In durable mode the epoch
-//! advancer is stopped *after* the workers, so every committed update still
-//! has a ticking clock while requests are in flight.
+//! # Readiness-driven multiplexing
+//!
+//! Each worker owns a **level-triggered** [`crate::sys::Epoll`] instance.
+//! A connection's interest mask is a pure function of its state, recomputed
+//! after every pump and pushed to the kernel (`EPOLL_CTL_MOD`) only when it
+//! changes:
+//!
+//! * `EPOLLIN` is wanted unless the peer is gone (`eof`/`dead`), the inbound
+//!   stream is poisoned, the write-side backpressure latch (`wpaused`) is
+//!   set, or the read-side bound is hit (a complete frame is parked and the
+//!   undecoded backlog is ≥ `rbuf_high`).  The old skip-flag checks became
+//!   interest changes: a paused connection costs *nothing* until its
+//!   watermark clears, instead of being polled and skipped every pass.
+//! * `EPOLLOUT` is wanted exactly while response bytes are queued.  A short
+//!   or `WouldBlock` write leaves bytes queued, which *is* the re-arm — the
+//!   next `EPOLLOUT` event resumes the flush.
+//!
+//! Responses are encoded into a per-connection segment chain and flushed
+//! with **vectored writes** (`writev`): one syscall covers up to
+//! [`MAX_WRITE_IOVECS`] queued segments, and the saved-syscall tally is
+//! reported through `STATS` ([`crate::proto::EventStats`]).
+//!
+//! Shutdown is a graceful drain: the acceptor stops, every doorbell rings,
+//! every worker finishes executing the complete frames already buffered on
+//! its connections, flushes its write chains, and only then closes the
+//! sockets and drops its handle (flushing its statistics).  In durable mode
+//! the epoch advancer is stopped *after* the workers, so every committed
+//! update still has a ticking clock while requests are in flight.
 
-use crate::proto::{self, LoadStats, Request, Response};
+use crate::proto::{self, EventStats, LoadStats, Request, Response};
 use crate::store::{Cmd, ErrCode, Store, StoreConfig};
+use crate::sys::{Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use medley::util::CachePadded;
 use medley::{ThreadHandle, TxManager};
 use pmem::EpochAdvancer;
-use std::io::{Read, Write};
+use std::collections::VecDeque;
+use std::io::{IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -59,13 +85,13 @@ impl Default for ServerConfig {
 }
 
 /// Admission-control watermarks: every buffer a peer can grow has a bound,
-/// and crossing a bound changes behavior (pause reading, shed) instead of
-/// allocating.  High/low pairs give hysteresis so the server does not
+/// and crossing a bound changes behavior (drop read interest, shed) instead
+/// of allocating.  High/low pairs give hysteresis so the server does not
 /// flap at a boundary.
 ///
 /// With these bounds, per-connection memory is `O(rbuf_high + wbuf_high +
 /// MAX_FRAME)` regardless of offered load: a peer that will not drain its
-/// responses stops being read; a peer that floods requests stops being read
+/// responses loses `EPOLLIN` interest; a peer that floods requests loses it
 /// once a complete frame is parked; and a worker whose total backlog passes
 /// `shed_high` refuses to *start* transactional work (cheap shed responses)
 /// until it drains below `shed_low`.
@@ -153,6 +179,53 @@ impl ServerLoad {
     }
 }
 
+/// Shared event-loop counters, summed over workers, reported through
+/// `STATS` (and [`Server::event_stats`]).
+struct ServerEvents {
+    epoll_waits: AtomicU64,
+    events_dispatched: AtomicU64,
+    spurious_wakeups: AtomicU64,
+    writev_saved: AtomicU64,
+}
+
+impl ServerEvents {
+    fn new() -> Self {
+        Self {
+            epoll_waits: AtomicU64::new(0),
+            events_dispatched: AtomicU64::new(0),
+            spurious_wakeups: AtomicU64::new(0),
+            writev_saved: AtomicU64::new(0),
+        }
+    }
+
+    fn note_writev(&self, iovecs: usize) {
+        if iovecs > 1 {
+            self.writev_saved
+                .fetch_add((iovecs - 1) as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn note_pass(&self, dispatched: u64, spurious: u64) {
+        self.epoll_waits.fetch_add(1, Ordering::Relaxed);
+        if dispatched > 0 {
+            self.events_dispatched
+                .fetch_add(dispatched, Ordering::Relaxed);
+        }
+        if spurious > 0 {
+            self.spurious_wakeups.fetch_add(spurious, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> EventStats {
+        EventStats {
+            epoll_waits: self.epoll_waits.load(Ordering::Relaxed),
+            events_dispatched: self.events_dispatched.load(Ordering::Relaxed),
+            spurious_wakeups: self.spurious_wakeups.load(Ordering::Relaxed),
+            writev_saved: self.writev_saved.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Escalating sleep for transient `accept(2)` failures (`EMFILE`, `ENFILE`,
 /// `ECONNABORTED`, …).  The listener must never be torn down for these: the
 /// condition clears when connections close, and an acceptor that dies turns
@@ -189,18 +262,130 @@ impl AcceptBackoff {
     }
 }
 
-/// Idle strategy: a worker whose pass moved no bytes first yields (cheap,
-/// keeps wakeup latency at scheduler granularity while requests are
-/// trickling), and only after this many consecutive idle passes starts
-/// sleeping — so a quiet server costs ~no CPU but an active connection
-/// never eats a fixed sleep on its latency path.
-const IDLE_YIELDS: u32 = 128;
-
-/// Sleep per idle pass once the yield budget is exhausted.
-const IDLE_SLEEP: Duration = Duration::from_micros(50);
-
 /// Read chunk size per `read` call.
 const READ_CHUNK: usize = 64 << 10;
+
+/// `epoll_wait` records fetched per pass.
+const EVENT_BATCH: usize = 256;
+
+/// Poll timeout while idle.  The doorbell interrupts it for handoffs and
+/// shutdown, and any socket event interrupts it for traffic, so this only
+/// bounds how stale the shed latch / backlog gauge can get on a quiet
+/// worker.
+const IDLE_POLL_MS: i32 = 100;
+
+/// Poll timeout while draining for shutdown: short, so the quiesce check
+/// and drain deadline are reevaluated promptly.
+const DRAIN_POLL_MS: i32 = 1;
+
+/// Epoll token reserved for the worker's doorbell (connection slots use
+/// their slab index, which can never reach this).
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Segment target for the response chain: frames append to the open tail
+/// segment until it reaches this size, so tiny responses coalesce instead of
+/// each becoming its own iovec.
+const WRITE_SEGMENT_BYTES: usize = 16 << 10;
+
+/// Maximum iovecs per `writev` — comfortably under every Unix's `IOV_MAX`
+/// (≥ 1024) while keeping the per-call stack cost small.
+pub const MAX_WRITE_IOVECS: usize = 64;
+
+/// Queued response bytes awaiting the socket: a chain of closed segments
+/// plus an open tail that response frames append to.  Flushed with vectored
+/// writes; partially-written head segments are tracked by offset, not
+/// memmoved.
+struct WriteChain {
+    segs: VecDeque<Vec<u8>>,
+    /// Consumed bytes of `segs.front()`.
+    head: usize,
+    /// The open segment new frames are encoded into.
+    tail: Vec<u8>,
+    /// Total unflushed bytes across `segs` and `tail`.
+    len: usize,
+}
+
+impl WriteChain {
+    fn new() -> Self {
+        Self {
+            segs: VecDeque::new(),
+            head: 0,
+            tail: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends whatever `f` encodes into the open tail segment, sealing the
+    /// tail into the chain once it reaches the segment target.
+    fn encode_with(&mut self, f: impl FnOnce(&mut Vec<u8>)) {
+        let before = self.tail.len();
+        f(&mut self.tail);
+        self.len += self.tail.len() - before;
+        if self.tail.len() >= WRITE_SEGMENT_BYTES {
+            self.segs.push_back(std::mem::take(&mut self.tail));
+        }
+    }
+
+    /// Fills `iovs` with up to [`MAX_WRITE_IOVECS`] slices covering the
+    /// queued bytes, oldest first.
+    fn gather<'a>(&'a self, iovs: &mut Vec<IoSlice<'a>>) {
+        iovs.clear();
+        for (i, seg) in self.segs.iter().enumerate() {
+            if iovs.len() == MAX_WRITE_IOVECS {
+                return;
+            }
+            let from = if i == 0 { self.head } else { 0 };
+            if from < seg.len() {
+                iovs.push(IoSlice::new(&seg[from..]));
+            }
+        }
+        if iovs.len() < MAX_WRITE_IOVECS {
+            // With no closed segments, `head` tracks consumption of the
+            // open tail itself.
+            let from = if self.segs.is_empty() { self.head } else { 0 };
+            if from < self.tail.len() {
+                iovs.push(IoSlice::new(&self.tail[from..]));
+            }
+        }
+    }
+
+    /// Marks `n` queued bytes as written, releasing exhausted segments.
+    fn advance(&mut self, mut n: usize) {
+        debug_assert!(n <= self.len);
+        self.len -= n;
+        while n > 0 {
+            if let Some(front) = self.segs.front() {
+                let avail = front.len() - self.head;
+                if n >= avail {
+                    n -= avail;
+                    self.head = 0;
+                    self.segs.pop_front();
+                } else {
+                    self.head += n;
+                    n = 0;
+                }
+            } else {
+                // Only the open tail remains; it is consumed in order too.
+                debug_assert!(n <= self.tail.len() - self.head);
+                self.head += n;
+                if self.head == self.tail.len() {
+                    self.tail.clear();
+                    self.head = 0;
+                }
+                n = 0;
+            }
+        }
+        if self.len == 0 {
+            self.head = 0;
+            self.segs.clear();
+            self.tail.clear();
+        }
+    }
+}
 
 /// One multiplexed connection's state.
 struct Conn {
@@ -208,9 +393,16 @@ struct Conn {
     /// Inbound bytes; `rpos` marks how far frames have been consumed.
     rbuf: Vec<u8>,
     rpos: usize,
-    /// Outbound bytes; `wpos` marks how far the socket has accepted them.
-    wbuf: Vec<u8>,
-    wpos: usize,
+    /// Outbound response frames awaiting the socket.
+    chain: WriteChain,
+    /// The interest mask currently registered with the worker's epoll.
+    interest: u32,
+    /// Readiness bits delivered this pass (consumed by the service loop).
+    ready: u32,
+    /// The connection holds a complete, executable frame but its last
+    /// execute pump stopped early (per-pass budget or write-buffer bound):
+    /// the worker must run another pass without waiting for socket events.
+    exec_pending: bool,
     /// Peer closed its sending side (we still flush what we owe).
     eof: bool,
     /// The inbound stream is unrecoverable (oversized length prefix): no
@@ -233,8 +425,10 @@ impl Conn {
             stream,
             rbuf: Vec::new(),
             rpos: 0,
-            wbuf: Vec::new(),
-            wpos: 0,
+            chain: WriteChain::new(),
+            interest: 0,
+            ready: 0,
+            exec_pending: false,
             eof: false,
             poisoned: false,
             dead: false,
@@ -244,12 +438,12 @@ impl Conn {
 
     /// Whether every byte owed to the peer has hit the socket.
     fn flushed(&self) -> bool {
-        self.wpos == self.wbuf.len()
+        self.chain.is_empty()
     }
 
     /// Response bytes accepted for this peer but not yet on the socket.
     fn unflushed(&self) -> usize {
-        self.wbuf.len() - self.wpos
+        self.chain.len
     }
 
     /// Undecoded inbound bytes.
@@ -263,18 +457,57 @@ impl Conn {
         self.inbound_backlog() + self.unflushed()
     }
 
-    /// Moves buffered responses toward the socket.  Returns whether bytes
-    /// were written.
-    fn pump_write(&mut self) -> bool {
+    /// Rolls the write-side backpressure latch forward (hysteresis over
+    /// `wbuf_high`/`wbuf_low`).
+    fn update_wpause(&mut self, ov: &OverloadConfig) {
+        if self.wpaused {
+            if self.unflushed() <= ov.wbuf_low {
+                self.wpaused = false;
+            }
+        } else if self.unflushed() >= ov.wbuf_high {
+            self.wpaused = true;
+        }
+    }
+
+    /// The interest mask this connection's state calls for.  Backpressure
+    /// is expressed here: a paused or bounded connection simply stops
+    /// asking for `EPOLLIN`, and queued response bytes are what ask for
+    /// `EPOLLOUT`.
+    fn desired_interest(&self, ov: &OverloadConfig) -> u32 {
+        if self.dead {
+            return 0;
+        }
+        let mut mask = 0;
+        let read_bounded = self.inbound_backlog() >= ov.rbuf_high && self.has_pending_frame();
+        if !self.eof && !self.poisoned && !self.wpaused && !read_bounded {
+            mask |= EPOLLIN;
+        }
+        if !self.chain.is_empty() {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// Moves queued responses toward the socket with vectored writes.
+    /// Returns whether bytes were written.
+    fn pump_write(&mut self, events: &ServerEvents) -> bool {
         let mut progress = false;
-        while self.wpos < self.wbuf.len() {
-            match self.stream.write(&self.wbuf[self.wpos..]) {
+        while !self.chain.is_empty() {
+            let mut iovs: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_WRITE_IOVECS.min(8));
+            self.chain.gather(&mut iovs);
+            let res = if iovs.len() == 1 {
+                self.stream.write(&iovs[0])
+            } else {
+                self.stream.write_vectored(&iovs)
+            };
+            match res {
                 Ok(0) => {
                     self.dead = true;
                     break;
                 }
                 Ok(n) => {
-                    self.wpos += n;
+                    events.note_writev(iovs.len());
+                    self.chain.advance(n);
                     progress = true;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -285,10 +518,6 @@ impl Conn {
                 }
             }
         }
-        if self.flushed() && !self.wbuf.is_empty() {
-            self.wbuf.clear();
-            self.wpos = 0;
-        }
         progress
     }
 
@@ -298,18 +527,11 @@ impl Conn {
         if self.eof || self.dead || self.poisoned {
             return false;
         }
-        // Write-side backpressure with hysteresis: a peer that will not
-        // drain its responses stops being read (and therefore stops being
-        // served) until it catches up — its TCP window, not our heap,
-        // absorbs the overload.
+        // Write-side backpressure: a peer that will not drain its responses
+        // stops being read (and therefore stops being served) until it
+        // catches up — its TCP window, not our heap, absorbs the overload.
+        self.update_wpause(ov);
         if self.wpaused {
-            if self.unflushed() <= ov.wbuf_low {
-                self.wpaused = false;
-            } else {
-                return false;
-            }
-        } else if self.unflushed() >= ov.wbuf_high {
-            self.wpaused = true;
             return false;
         }
         // Read-side bound: with a complete frame already parked, more input
@@ -358,6 +580,7 @@ impl Conn {
         ov: &OverloadConfig,
         shedding: bool,
         load: &ServerLoad,
+        events: &ServerEvents,
     ) -> bool {
         if self.poisoned {
             return false;
@@ -408,6 +631,9 @@ impl Conn {
                                         | Cmd::MSet(_)
                                         | Cmd::Transfer { .. }
                                         | Cmd::Batch(_)
+                                        | Cmd::CasB { .. }
+                                        | Cmd::MGetB(_)
+                                        | Cmd::MSetB(_)
                                 ) =>
                         {
                             load.note_shed();
@@ -420,11 +646,13 @@ impl Conn {
                         Request::Stats => {
                             let mut s = store.stats(h);
                             s.load = Some(load.snapshot());
+                            s.events = Some(events.snapshot());
                             Response::Stats(s)
                         }
                         Request::Sync => Response::Synced(store.sync()),
                     };
-                    proto::encode_response(&mut self.wbuf, req_id, opcode, &resp);
+                    self.chain
+                        .encode_with(|buf| proto::encode_response(buf, req_id, opcode, &resp));
                 }
                 Err(_) => {
                     // Frame boundaries are intact, so answer and carry on.
@@ -433,12 +661,14 @@ impl Conn {
                         .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
                         .unwrap_or(0);
                     let opcode = frame.get(4).copied().unwrap_or(0);
-                    proto::encode_response(
-                        &mut self.wbuf,
-                        req_id,
-                        opcode,
-                        &Response::Err(ErrCode::Malformed),
-                    );
+                    self.chain.encode_with(|buf| {
+                        proto::encode_response(
+                            buf,
+                            req_id,
+                            opcode,
+                            &Response::Err(ErrCode::Malformed),
+                        )
+                    });
                 }
             }
         }
@@ -448,6 +678,12 @@ impl Conn {
             self.rpos = 0;
         }
         progress
+    }
+
+    /// Whether another execute pump could make progress right now (used to
+    /// schedule zero-timeout passes for leftover budgeted work).
+    fn can_execute(&self, ov: &OverloadConfig) -> bool {
+        !self.poisoned && self.unflushed() < ov.wbuf_high && self.has_pending_frame()
     }
 
     /// Whether the connection is finished and can be dropped.
@@ -463,60 +699,157 @@ impl Conn {
     }
 }
 
-fn worker_loop(
+struct WorkerShared {
     store: Arc<Store>,
     inbox: Arc<Mutex<Vec<TcpStream>>>,
+    wake: Arc<WakeFd>,
     stop: Arc<AtomicBool>,
-    drain_deadline: Duration,
     ov: OverloadConfig,
     load: Arc<ServerLoad>,
-    slot: usize,
-) {
+    events: Arc<ServerEvents>,
+}
+
+fn worker_loop(shared: WorkerShared, drain_deadline: Duration, slot: usize) {
+    let WorkerShared {
+        store,
+        inbox,
+        wake,
+        stop,
+        ov,
+        load,
+        events,
+    } = shared;
     let mut h = store.manager().register();
-    let mut conns: Vec<Conn> = Vec::new();
+    let epoll = Epoll::new().expect("epoll_create1 failed");
+    epoll
+        .add(wake.as_raw_fd(), EPOLLIN, WAKE_TOKEN)
+        .expect("registering worker doorbell failed");
+    // Connection slab: the slot index doubles as the epoll token, so one
+    // readiness record maps to its connection without a lookup table.
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut evbuf = vec![EpollEvent::zeroed(); EVENT_BATCH];
     let mut draining_since: Option<Instant> = None;
-    let mut idle_streak = 0u32;
+    // Leftover executable frames from a budget-bounded pass: the next wait
+    // must not block on the kernel while decoded work is already parked.
+    let mut work_pending = false;
     // Shed latch with hysteresis over this worker's backlog.  `shed_high == 0`
     // starts (and stays) shedding — the deterministic test mode.
     let mut shedding = ov.shed_high == 0;
     loop {
+        // Adopt handed-off connections (the acceptor rang the doorbell).
         for stream in inbox.lock().unwrap().drain(..) {
-            if let Ok(c) = Conn::new(stream) {
-                conns.push(c);
+            if let Ok(mut c) = Conn::new(stream) {
+                let idx = free.pop().unwrap_or_else(|| {
+                    conns.push(None);
+                    conns.len() - 1
+                });
+                c.interest = EPOLLIN;
+                match epoll.add(c.stream.as_raw_fd(), EPOLLIN, idx as u64) {
+                    Ok(()) => conns[idx] = Some(c),
+                    Err(_) => free.push(idx), // conn drops (and closes) here
+                }
             }
         }
-        let mut progress = false;
-        for conn in &mut conns {
-            progress |= conn.pump_read(&ov);
-            progress |= conn.pump_execute(&store, &mut h, &ov, shedding, &load);
-            progress |= conn.pump_write();
+
+        let timeout = if work_pending {
+            0
+        } else if stop.load(Ordering::Acquire) {
+            DRAIN_POLL_MS
+        } else {
+            IDLE_POLL_MS
+        };
+        let n = epoll.wait(&mut evbuf, timeout).unwrap_or(0);
+
+        // Deliver readiness to the slab (the doorbell only needs draining:
+        // its payload — new conns or the stop flag — is read elsewhere).
+        let mut dispatched = 0u64;
+        for ev in &evbuf[..n] {
+            let token = { ev.data };
+            if token == WAKE_TOKEN {
+                wake.drain();
+                continue;
+            }
+            if let Some(Some(conn)) = conns.get_mut(token as usize) {
+                conn.ready = ev.events;
+                dispatched += 1;
+            }
         }
-        conns.retain(|c| !c.finished());
-        let backlog: u64 = conns.iter().map(|c| c.backlog_bytes() as u64).sum();
+
+        // Service pass: pump only connections with readiness or parked
+        // executable frames.  Order per conn: flush first (frees write-
+        // buffer budget), then read, then execute, then flush what execute
+        // produced.
+        let mut progress = false;
+        let mut spurious = 0u64;
+        let mut backlog = 0u64;
+        work_pending = false;
+        for (idx, slot) in conns.iter_mut().enumerate() {
+            let Some(conn) = slot.as_mut() else {
+                continue;
+            };
+            let bits = std::mem::take(&mut conn.ready);
+            let mut moved = false;
+            if bits & EPOLLOUT != 0 {
+                moved |= conn.pump_write(&events);
+            }
+            if bits & (EPOLLIN | EPOLLHUP | EPOLLERR) != 0 {
+                moved |= conn.pump_read(&ov);
+            }
+            if bits != 0 || conn.exec_pending {
+                moved |= conn.pump_execute(&store, &mut h, &ov, shedding, &load, &events);
+                moved |= conn.pump_write(&events);
+            }
+            if bits != 0 && !moved {
+                spurious += 1;
+            }
+            progress |= moved;
+            conn.update_wpause(&ov);
+            conn.exec_pending = conn.can_execute(&ov);
+            work_pending |= conn.exec_pending;
+            if conn.finished() {
+                // Dropping the stream closes the fd, which deregisters it
+                // from the epoll set implicitly.
+                *slot = None;
+                free.push(idx);
+                continue;
+            }
+            // Re-arm: push the recomputed interest mask only on change.
+            let want = conn.desired_interest(&ov);
+            if want != conn.interest {
+                let fd = conn.stream.as_raw_fd();
+                if epoll.modify(fd, want, idx as u64).is_err() {
+                    *slot = None;
+                    free.push(idx);
+                    continue;
+                }
+                conn.interest = want;
+            }
+            backlog += conn.backlog_bytes() as u64;
+        }
+        events.note_pass(dispatched, spurious);
+
         load.set_backlog(slot, backlog);
         if backlog >= ov.shed_high as u64 {
             shedding = true;
         } else if backlog <= ov.shed_low as u64 && ov.shed_high > 0 {
             shedding = false;
         }
+
         if stop.load(Ordering::Acquire) {
             let deadline = *draining_since.get_or_insert_with(Instant::now) + drain_deadline;
             // Drain: requests already received keep being served, but once
             // nothing is buffered in either direction the sockets close —
             // we do not wait for peers to hang up.
-            let quiesced = !progress && conns.iter().all(|c| c.flushed() && !c.has_pending_frame());
-            if conns.is_empty() || quiesced || Instant::now() > deadline {
+            let live = conns.iter().flatten();
+            let quiesced = !progress
+                && conns
+                    .iter()
+                    .flatten()
+                    .all(|c| c.flushed() && !c.has_pending_frame());
+            let empty = live.count() == 0;
+            if empty || quiesced || Instant::now() > deadline {
                 break;
-            }
-        }
-        if progress {
-            idle_streak = 0;
-        } else {
-            idle_streak = idle_streak.saturating_add(1);
-            if idle_streak <= IDLE_YIELDS {
-                std::thread::yield_now();
-            } else {
-                std::thread::sleep(IDLE_SLEEP);
             }
         }
     }
@@ -530,8 +863,10 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    wakes: Vec<Arc<WakeFd>>,
     store: Arc<Store>,
     load: Arc<ServerLoad>,
+    events: Arc<ServerEvents>,
     advancer: Option<EpochAdvancer>,
 }
 
@@ -550,29 +885,37 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
 
         let load = Arc::new(ServerLoad::new(cfg.workers));
+        let events = Arc::new(ServerEvents::new());
 
         let inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>> = (0..cfg.workers)
             .map(|_| Arc::new(Mutex::new(Vec::new())))
             .collect();
+        let wakes: Vec<Arc<WakeFd>> = (0..cfg.workers)
+            .map(|_| WakeFd::new().map(Arc::new))
+            .collect::<std::io::Result<_>>()?;
         let workers = inboxes
             .iter()
+            .zip(&wakes)
             .enumerate()
-            .map(|(slot, inbox)| {
-                let store = Arc::clone(&store);
-                let inbox = Arc::clone(inbox);
-                let stop = Arc::clone(&stop);
+            .map(|(slot, (inbox, wake))| {
+                let shared = WorkerShared {
+                    store: Arc::clone(&store),
+                    inbox: Arc::clone(inbox),
+                    wake: Arc::clone(wake),
+                    stop: Arc::clone(&stop),
+                    ov: cfg.overload.clone(),
+                    load: Arc::clone(&load),
+                    events: Arc::clone(&events),
+                };
                 let deadline = cfg.drain_deadline;
-                let ov = cfg.overload.clone();
-                let load = Arc::clone(&load);
-                std::thread::spawn(move || {
-                    worker_loop(store, inbox, stop, deadline, ov, load, slot)
-                })
+                std::thread::spawn(move || worker_loop(shared, deadline, slot))
             })
             .collect();
 
         let acceptor = {
             let stop = Arc::clone(&stop);
             let load = Arc::clone(&load);
+            let wakes = wakes.clone();
             std::thread::spawn(move || {
                 let mut next = 0usize;
                 let mut backoff = AcceptBackoff::new();
@@ -580,7 +923,12 @@ impl Server {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             backoff.reset();
-                            inboxes[next % inboxes.len()].lock().unwrap().push(stream);
+                            let w = next % inboxes.len();
+                            inboxes[w].lock().unwrap().push(stream);
+                            // Ring the worker's doorbell: its epoll wait
+                            // returns promptly instead of eating the idle
+                            // poll timeout before adopting the connection.
+                            wakes[w].wake();
                             next += 1;
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -606,8 +954,10 @@ impl Server {
             stop,
             acceptor: Some(acceptor),
             workers,
+            wakes,
             store,
             load,
+            events,
             advancer,
         })
     }
@@ -616,6 +966,12 @@ impl Server {
     /// available remotely through `STATS`).
     pub fn load_stats(&self) -> LoadStats {
         self.load.snapshot()
+    }
+
+    /// A point-in-time snapshot of the event-loop counters (also available
+    /// remotely through `STATS`).
+    pub fn event_stats(&self) -> EventStats {
+        self.events.snapshot()
     }
 
     /// The bound address (resolves the `:0` port).
@@ -629,6 +985,15 @@ impl Server {
         &self.store
     }
 
+    fn signal_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake every worker out of its poll so the drain starts now, not a
+        // poll timeout from now.
+        for w in &self.wakes {
+            w.wake();
+        }
+    }
+
     /// Graceful drain: stop accepting, let every worker serve the requests
     /// already buffered and flush its responses, join the pool, then stop
     /// the epoch advancer (durable mode).  Returns the store so callers can
@@ -636,7 +1001,7 @@ impl Server {
     /// dropped, which flushes its tallies) or a recovery cut with no
     /// concurrent epoch ticks.
     pub fn shutdown(mut self) -> Arc<Store> {
-        self.stop.store(true, Ordering::Release);
+        self.signal_stop();
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
@@ -654,7 +1019,7 @@ impl Drop for Server {
     fn drop(&mut self) {
         // `shutdown` consumed the threads if it ran; otherwise stop and join
         // here so a dropped server never leaks its pool.
-        self.stop.store(true, Ordering::Release);
+        self.signal_stop();
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
@@ -701,5 +1066,72 @@ mod tests {
         let s = load.snapshot();
         assert_eq!(s.shed_requests, 1);
         assert_eq!(s.accept_retries, 1);
+    }
+
+    #[test]
+    fn write_chain_tracks_partial_consumption_across_segments() {
+        let mut chain = WriteChain::new();
+        // Two sealed segments plus an open tail.
+        chain.encode_with(|b| b.extend_from_slice(&[1u8; WRITE_SEGMENT_BYTES]));
+        chain.encode_with(|b| b.extend_from_slice(&[2u8; WRITE_SEGMENT_BYTES]));
+        chain.encode_with(|b| b.extend_from_slice(&[3u8; 100]));
+        let total = 2 * WRITE_SEGMENT_BYTES + 100;
+        assert_eq!(chain.len, total);
+        assert_eq!(chain.segs.len(), 2);
+        assert_eq!(chain.tail.len(), 100);
+
+        // (count, total bytes, first slice's length and leading byte)
+        fn peek(chain: &WriteChain) -> (usize, usize, usize, u8) {
+            let mut iovs = Vec::new();
+            chain.gather(&mut iovs);
+            let total = iovs.iter().map(|s| s.len()).sum();
+            let (flen, fbyte) = iovs.first().map_or((0, 0), |s| (s.len(), s[0]));
+            (iovs.len(), total, flen, fbyte)
+        }
+
+        assert_eq!(peek(&chain), (3, total, WRITE_SEGMENT_BYTES, 1));
+
+        // Consume into the middle of the first segment...
+        chain.advance(10);
+        assert_eq!(peek(&chain), (3, total - 10, WRITE_SEGMENT_BYTES - 10, 1));
+        // ...then across the segment boundary into the second.
+        chain.advance(WRITE_SEGMENT_BYTES);
+        assert_eq!(
+            peek(&chain),
+            (
+                2,
+                WRITE_SEGMENT_BYTES - 10 + 100,
+                WRITE_SEGMENT_BYTES - 10,
+                2
+            )
+        );
+        // ...and drain everything.
+        let remaining = chain.len;
+        chain.advance(remaining);
+        assert!(chain.is_empty());
+        assert_eq!(peek(&chain), (0, 0, 0, 0));
+
+        // New bytes after a full drain start a fresh tail; partial tail
+        // consumption must resume mid-tail, not from its start.
+        chain.encode_with(|b| b.extend_from_slice(b"tail"));
+        assert_eq!(chain.len, 4);
+        chain.advance(2);
+        {
+            let mut iovs = Vec::new();
+            chain.gather(&mut iovs);
+            assert_eq!(iovs.len(), 1);
+            assert_eq!(&iovs[0][..], b"il");
+        }
+    }
+
+    #[test]
+    fn write_chain_iovec_gather_is_bounded() {
+        let mut chain = WriteChain::new();
+        for _ in 0..(2 * MAX_WRITE_IOVECS) {
+            chain.encode_with(|b| b.extend_from_slice(&[0u8; WRITE_SEGMENT_BYTES]));
+        }
+        let mut iovs = Vec::new();
+        chain.gather(&mut iovs);
+        assert_eq!(iovs.len(), MAX_WRITE_IOVECS);
     }
 }

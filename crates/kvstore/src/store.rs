@@ -21,7 +21,7 @@
 use crate::proto::{ShardKind, ShardStats, StatsReply, TableStats};
 use medley::{AbortReason, ContentionPolicy, RunConfig, ThreadHandle, TxError, TxManager};
 use nbds::{MichaelHashMap, SkipList, SplitOrderedMap};
-use pmem::{EpochAdvancer, NvmCostModel, PersistenceDomain};
+use pmem::{EpochAdvancer, NvmCostModel, PersistenceDomain, Value};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -30,6 +30,13 @@ use txmontage::{Durable, DurableHashMap, DurableSkipList, DurableSplitOrderedMap
 
 /// A typed store command (the request IR; see [`crate::proto`] for the wire
 /// encoding).
+///
+/// The fixed-width (`u64`) variants are the historical interface; the `*B`
+/// variants carry variable-length [`Value`]s.  Both families address the
+/// same tables — an 8-byte blob and a word are the *same* value (see
+/// [`pmem::value`]'s canonical form) — but a fixed-width command that
+/// encounters a longer blob value reports [`ErrCode::Malformed`], because
+/// its result type cannot carry the bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Cmd {
     /// Look up a key.
@@ -65,6 +72,25 @@ pub enum Cmd {
     },
     /// A list of single-key commands run as one transaction.
     Batch(Vec<Cmd>),
+    /// Blob lookup: like [`Cmd::Get`] but the result carries any value.
+    GetB(u64),
+    /// Blob insert-or-replace.
+    PutB(u64, Value),
+    /// Blob remove.
+    DelB(u64),
+    /// Blob compare-and-swap (byte-exact comparison).
+    CasB {
+        /// Key to update.
+        key: u64,
+        /// Value the key must currently hold.
+        expected: Value,
+        /// Replacement value.
+        desired: Value,
+    },
+    /// Blob-capable atomic multi-key read.
+    MGetB(Vec<u64>),
+    /// Blob-capable atomic multi-key write.
+    MSetB(Vec<(u64, Value)>),
 }
 
 /// The result of a committed [`Cmd`].
@@ -98,6 +124,21 @@ pub enum CmdOut {
     },
     /// `BATCH`: one result per command, in order.
     Batch(Vec<CmdOut>),
+    /// `GETB`: the value, if present.
+    ValueB(Option<Value>),
+    /// `PUTB`: the previous value, if any.
+    PrevB(Option<Value>),
+    /// `DELB`: the removed value, if any.
+    RemovedB(Option<Value>),
+    /// `CASB` outcome; `current` is the post-operation value.
+    CasB {
+        /// Whether the swap happened.
+        success: bool,
+        /// The key's value after the operation (`None` if absent).
+        current: Option<Value>,
+    },
+    /// `MGETB`: one entry per requested key, in request order.
+    ValuesB(Vec<Option<Value>>),
 }
 
 /// How a command failed (mapped onto the wire's status byte; see the
@@ -117,7 +158,9 @@ pub enum ErrCode {
     /// because it is over its backlog watermark.  Nothing was executed, so
     /// resending (after a jittered delay) is always safe.
     Overload,
-    /// Undecodable request or illegal `BATCH` member.
+    /// Undecodable request, illegal `BATCH` member, or a fixed-width (`u64`)
+    /// command that encountered a blob value it cannot represent (use the
+    /// `*B` blob commands, which handle every value).
     Malformed,
 }
 
@@ -198,16 +241,16 @@ impl Default for StoreConfig {
     }
 }
 
-/// One shard's table.  Every variant implements [`TxMap<u64>`] over the
+/// One shard's table.  Every variant stores [`Value`]s and operates over the
 /// same `TxManager`, which is what lets a single transaction span any mix of
 /// them.
 enum Table {
-    Hash(MichaelHashMap<u64>),
-    Skip(SkipList<u64>),
-    Elastic(SplitOrderedMap<u64>),
-    DurableHash(DurableHashMap),
-    DurableSkip(DurableSkipList),
-    DurableElastic(DurableSplitOrderedMap),
+    Hash(MichaelHashMap<Value>),
+    Skip(SkipList<Value>),
+    Elastic(SplitOrderedMap<Value>),
+    DurableHash(DurableHashMap<Value>),
+    DurableSkip(DurableSkipList<Value>),
+    DurableElastic(DurableSplitOrderedMap<Value>),
 }
 
 macro_rules! on_table {
@@ -224,13 +267,13 @@ macro_rules! on_table {
 }
 
 impl Table {
-    fn get<C: medley::Ctx>(&self, cx: &mut C, key: u64) -> Option<u64> {
+    fn get<C: medley::Ctx>(&self, cx: &mut C, key: u64) -> Option<Value> {
         on_table!(self, m => m.get(cx, key))
     }
-    fn insert_or_replace<C: medley::Ctx>(&self, cx: &mut C, key: u64, val: u64) -> Option<u64> {
+    fn insert_or_replace<C: medley::Ctx>(&self, cx: &mut C, key: u64, val: Value) -> Option<Value> {
         on_table!(self, m => m.put(cx, key, val))
     }
-    fn remove<C: medley::Ctx>(&self, cx: &mut C, key: u64) -> Option<u64> {
+    fn remove<C: medley::Ctx>(&self, cx: &mut C, key: u64) -> Option<Value> {
         on_table!(self, m => m.remove(cx, key))
     }
     fn contains<C: medley::Ctx>(&self, cx: &mut C, key: u64) -> bool {
@@ -276,6 +319,30 @@ impl Table {
             _ => 0,
         }
     }
+}
+
+/// Converts a value read by a fixed-width (`u64`) command; a blob cannot be
+/// carried by the `u64` result types, so the command reports
+/// [`ErrCode::Malformed`] (the `*B` commands handle every value).
+fn word(v: Option<Value>) -> Result<Option<u64>, ErrCode> {
+    match v {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or(ErrCode::Malformed),
+    }
+}
+
+/// In-transaction form of [`word`]: on a blob value, records the error code
+/// and aborts the surrounding transaction (nothing commits).
+macro_rules! word_or_abort {
+    ($t:expr, $why:expr, $v:expr) => {
+        match word($v) {
+            Ok(v) => v,
+            Err(e) => {
+                $why.set(e);
+                return Err($t.abort(AbortReason::Explicit));
+            }
+        }
+    };
 }
 
 /// The sharded transactional store (see the module docs).
@@ -403,24 +470,37 @@ impl Store {
     /// the store's retry budget.
     pub fn exec(&self, h: &mut ThreadHandle, cmd: &Cmd) -> Result<CmdOut, ErrCode> {
         match cmd {
-            Cmd::Get(k) => Ok(CmdOut::Value(self.table(*k).get(&mut h.nontx(), *k))),
-            Cmd::Put(k, v) => Ok(CmdOut::Prev(self.table(*k).insert_or_replace(
+            Cmd::Get(k) => Ok(CmdOut::Value(word(self.table(*k).get(&mut h.nontx(), *k))?)),
+            Cmd::Put(k, v) => Ok(CmdOut::Prev(word(self.table(*k).insert_or_replace(
                 &mut h.nontx(),
                 *k,
-                *v,
-            ))),
-            Cmd::Del(k) => Ok(CmdOut::Removed(self.table(*k).remove(&mut h.nontx(), *k))),
+                Value::U64(*v),
+            ))?)),
+            Cmd::Del(k) => Ok(CmdOut::Removed(word(
+                self.table(*k).remove(&mut h.nontx(), *k),
+            )?)),
             Cmd::Contains(k) => Ok(CmdOut::Present(self.table(*k).contains(&mut h.nontx(), *k))),
+            Cmd::GetB(k) => Ok(CmdOut::ValueB(self.table(*k).get(&mut h.nontx(), *k))),
+            Cmd::PutB(k, v) => {
+                Self::check_len(v)?;
+                Ok(CmdOut::PrevB(self.table(*k).insert_or_replace(
+                    &mut h.nontx(),
+                    *k,
+                    v.clone(),
+                )))
+            }
+            Cmd::DelB(k) => Ok(CmdOut::RemovedB(self.table(*k).remove(&mut h.nontx(), *k))),
             Cmd::Cas {
                 key,
                 expected,
                 desired,
             } => {
                 let table = self.table(*key);
+                let why = Cell::new(ErrCode::Retry);
                 h.run_with(&self.run_cfg, |t| {
                     let current = table.get(t, *key);
-                    if current == Some(*expected) {
-                        table.insert_or_replace(t, *key, *desired);
+                    if current == Some(Value::U64(*expected)) {
+                        table.insert_or_replace(t, *key, Value::U64(*desired));
                         Ok(CmdOut::Cas {
                             success: true,
                             current: Some(*desired),
@@ -428,15 +508,56 @@ impl Store {
                     } else {
                         Ok(CmdOut::Cas {
                             success: false,
+                            current: word_or_abort!(t, why, current),
+                        })
+                    }
+                })
+                .map_err(|e| match e {
+                    TxError::Explicit => why.get(),
+                    other => Self::map_tx_err(other),
+                })
+            }
+            Cmd::CasB {
+                key,
+                expected,
+                desired,
+            } => {
+                Self::check_len(desired)?;
+                let table = self.table(*key);
+                h.run_with(&self.run_cfg, |t| {
+                    let current = table.get(t, *key);
+                    if current.as_ref() == Some(expected) {
+                        table.insert_or_replace(t, *key, desired.clone());
+                        Ok(CmdOut::CasB {
+                            success: true,
+                            current: Some(desired.clone()),
+                        })
+                    } else {
+                        Ok(CmdOut::CasB {
+                            success: false,
                             current,
                         })
                     }
                 })
                 .map_err(Self::map_tx_err)
             }
-            Cmd::MGet(keys) => h
+            Cmd::MGet(keys) => {
+                let why = Cell::new(ErrCode::Retry);
+                h.run_with(&self.run_cfg, |t| {
+                    let mut vals = Vec::with_capacity(keys.len());
+                    for &k in keys {
+                        vals.push(word_or_abort!(t, why, self.table(k).get(t, k)));
+                    }
+                    Ok(CmdOut::Values(vals))
+                })
+                .map_err(|e| match e {
+                    TxError::Explicit => why.get(),
+                    other => Self::map_tx_err(other),
+                })
+            }
+            Cmd::MGetB(keys) => h
                 .run_with(&self.run_cfg, |t| {
-                    Ok(CmdOut::Values(
+                    Ok(CmdOut::ValuesB(
                         keys.iter().map(|&k| self.table(k).get(t, k)).collect(),
                     ))
                 })
@@ -444,15 +565,27 @@ impl Store {
             Cmd::MSet(pairs) => h
                 .run_with(&self.run_cfg, |t| {
                     for &(k, v) in pairs {
-                        self.table(k).insert_or_replace(t, k, v);
+                        self.table(k).insert_or_replace(t, k, Value::U64(v));
                     }
                     Ok(CmdOut::Done)
                 })
                 .map_err(Self::map_tx_err),
+            Cmd::MSetB(pairs) => {
+                for (_, v) in pairs {
+                    Self::check_len(v)?;
+                }
+                h.run_with(&self.run_cfg, |t| {
+                    for (k, v) in pairs {
+                        self.table(*k).insert_or_replace(t, *k, v.clone());
+                    }
+                    Ok(CmdOut::Done)
+                })
+                .map_err(Self::map_tx_err)
+            }
             Cmd::Transfer { from, to, amount } => {
                 if from == to {
                     // A self-transfer is a (possibly failing) balance probe.
-                    let bal = self.table(*from).get(&mut h.nontx(), *from);
+                    let bal = word(self.table(*from).get(&mut h.nontx(), *from))?;
                     return match bal {
                         None => Err(ErrCode::NotFound),
                         Some(b) if b < *amount => Err(ErrCode::Insufficient),
@@ -466,11 +599,11 @@ impl Store {
                 // the cell carries *which* rule fired out of the retry loop.
                 let why = Cell::new(ErrCode::Retry);
                 let res = h.run_with(&self.run_cfg, |t| {
-                    let Some(a) = self.table(*from).get(t, *from) else {
+                    let Some(a) = word_or_abort!(t, why, self.table(*from).get(t, *from)) else {
                         why.set(ErrCode::NotFound);
                         return Err(t.abort(AbortReason::Explicit));
                     };
-                    let Some(b) = self.table(*to).get(t, *to) else {
+                    let Some(b) = word_or_abort!(t, why, self.table(*to).get(t, *to)) else {
                         why.set(ErrCode::NotFound);
                         return Err(t.abort(AbortReason::Explicit));
                     };
@@ -486,8 +619,10 @@ impl Store {
                         why.set(ErrCode::Insufficient);
                         return Err(t.abort(AbortReason::Explicit));
                     };
-                    self.table(*from).insert_or_replace(t, *from, a - *amount);
-                    self.table(*to).insert_or_replace(t, *to, credited);
+                    self.table(*from)
+                        .insert_or_replace(t, *from, Value::U64(a - *amount));
+                    self.table(*to)
+                        .insert_or_replace(t, *to, Value::U64(credited));
                     Ok(CmdOut::Transferred {
                         from_after: a - *amount,
                         to_after: credited,
@@ -503,41 +638,80 @@ impl Store {
                 // single-key commands may appear (the codec enforces this on
                 // the wire; in-process callers get the same rule).
                 for c in cmds {
-                    if !matches!(
-                        c,
+                    match c {
                         Cmd::Get(_)
-                            | Cmd::Put(..)
-                            | Cmd::Del(_)
-                            | Cmd::Cas { .. }
-                            | Cmd::Contains(_)
-                    ) {
-                        return Err(ErrCode::Malformed);
+                        | Cmd::Put(..)
+                        | Cmd::Del(_)
+                        | Cmd::Cas { .. }
+                        | Cmd::Contains(_)
+                        | Cmd::GetB(_)
+                        | Cmd::DelB(_) => {}
+                        Cmd::PutB(_, v) => Self::check_len(v)?,
+                        Cmd::CasB { desired, .. } => Self::check_len(desired)?,
+                        _ => return Err(ErrCode::Malformed),
                     }
                 }
+                let why = Cell::new(ErrCode::Retry);
                 h.run_with(&self.run_cfg, |t| {
                     let mut outs = Vec::with_capacity(cmds.len());
                     for c in cmds {
                         outs.push(match c {
-                            Cmd::Get(k) => CmdOut::Value(self.table(*k).get(t, *k)),
-                            Cmd::Put(k, v) => {
-                                CmdOut::Prev(self.table(*k).insert_or_replace(t, *k, *v))
+                            Cmd::Get(k) => {
+                                CmdOut::Value(word_or_abort!(t, why, self.table(*k).get(t, *k)))
                             }
-                            Cmd::Del(k) => CmdOut::Removed(self.table(*k).remove(t, *k)),
+                            Cmd::Put(k, v) => CmdOut::Prev(word_or_abort!(
+                                t,
+                                why,
+                                self.table(*k).insert_or_replace(t, *k, Value::U64(*v))
+                            )),
+                            Cmd::Del(k) => CmdOut::Removed(word_or_abort!(
+                                t,
+                                why,
+                                self.table(*k).remove(t, *k)
+                            )),
                             Cmd::Contains(k) => CmdOut::Present(self.table(*k).contains(t, *k)),
+                            Cmd::GetB(k) => CmdOut::ValueB(self.table(*k).get(t, *k)),
+                            Cmd::PutB(k, v) => {
+                                CmdOut::PrevB(self.table(*k).insert_or_replace(t, *k, v.clone()))
+                            }
+                            Cmd::DelB(k) => CmdOut::RemovedB(self.table(*k).remove(t, *k)),
                             Cmd::Cas {
                                 key,
                                 expected,
                                 desired,
                             } => {
                                 let current = self.table(*key).get(t, *key);
-                                if current == Some(*expected) {
-                                    self.table(*key).insert_or_replace(t, *key, *desired);
+                                if current == Some(Value::U64(*expected)) {
+                                    self.table(*key).insert_or_replace(
+                                        t,
+                                        *key,
+                                        Value::U64(*desired),
+                                    );
                                     CmdOut::Cas {
                                         success: true,
                                         current: Some(*desired),
                                     }
                                 } else {
                                     CmdOut::Cas {
+                                        success: false,
+                                        current: word_or_abort!(t, why, current),
+                                    }
+                                }
+                            }
+                            Cmd::CasB {
+                                key,
+                                expected,
+                                desired,
+                            } => {
+                                let current = self.table(*key).get(t, *key);
+                                if current.as_ref() == Some(expected) {
+                                    self.table(*key).insert_or_replace(t, *key, desired.clone());
+                                    CmdOut::CasB {
+                                        success: true,
+                                        current: Some(desired.clone()),
+                                    }
+                                } else {
+                                    CmdOut::CasB {
                                         success: false,
                                         current,
                                     }
@@ -548,8 +722,21 @@ impl Store {
                     }
                     Ok(CmdOut::Batch(outs))
                 })
-                .map_err(Self::map_tx_err)
+                .map_err(|e| match e {
+                    TxError::Explicit => why.get(),
+                    other => Self::map_tx_err(other),
+                })
             }
+        }
+    }
+
+    /// Rejects over-limit blob values before any table is touched.
+    #[inline]
+    fn check_len(v: &Value) -> Result<(), ErrCode> {
+        if v.byte_len() > pmem::MAX_VALUE_BYTES {
+            Err(ErrCode::Malformed)
+        } else {
+            Ok(())
         }
     }
 
@@ -561,8 +748,10 @@ impl Store {
         StatsReply {
             tx: self.mgr.stats_snapshot(),
             domain: self.domain.as_ref().map(|d| d.stats()),
-            // Admission control lives in the server; a bare store has none.
+            // Admission control and the event loop live in the server; a
+            // bare store has neither.
             load: None,
+            events: None,
             tables: Some(TableStats {
                 grow_events: self.tables.iter().map(Table::grow_events).sum(),
                 shards: self.tables.iter().map(Table::shard_stats).collect(),
@@ -588,7 +777,7 @@ impl Store {
     /// Simulated post-crash recovery of a durable store: the key/value map
     /// as of the last durability horizon (union over all shards, which
     /// share one domain).  Transient stores recover empty.
-    pub fn recover(&self) -> HashMap<u64, u64> {
+    pub fn recover(&self) -> HashMap<u64, Value> {
         match &self.domain {
             Some(d) => d.recover(),
             None => HashMap::new(),
@@ -869,7 +1058,159 @@ mod tests {
         s.sync();
         let rec = s.recover();
         assert_eq!(rec.len(), n as usize);
-        assert_eq!(rec.get(&100), Some(&200));
+        assert_eq!(rec.get(&100), Some(&Value::U64(200)));
+    }
+
+    #[test]
+    fn blob_commands_roundtrip_and_interoperate_with_words() {
+        let (mgr, s, _adv) = store(&StoreConfig::default());
+        let mut h = mgr.register();
+        let blob = Value::from_bytes(b"hello, variable-length world");
+        let big = Value::from_bytes(&vec![0xAB; 4096]);
+        // Blob roundtrip.
+        assert_eq!(
+            s.exec(&mut h, &Cmd::PutB(1, blob.clone())),
+            Ok(CmdOut::PrevB(None))
+        );
+        assert_eq!(
+            s.exec(&mut h, &Cmd::GetB(1)),
+            Ok(CmdOut::ValueB(Some(blob.clone())))
+        );
+        // Word/blob interop: an exactly-8-byte blob IS the word.
+        s.exec(&mut h, &Cmd::Put(2, 42)).unwrap();
+        assert_eq!(
+            s.exec(&mut h, &Cmd::GetB(2)),
+            Ok(CmdOut::ValueB(Some(Value::U64(42))))
+        );
+        assert_eq!(
+            s.exec(
+                &mut h,
+                &Cmd::PutB(2, Value::from_bytes(&43u64.to_le_bytes()))
+            ),
+            Ok(CmdOut::PrevB(Some(Value::U64(42))))
+        );
+        assert_eq!(s.exec(&mut h, &Cmd::Get(2)), Ok(CmdOut::Value(Some(43))));
+        // Fixed-width commands cannot carry a blob: Malformed, nothing lost.
+        assert_eq!(s.exec(&mut h, &Cmd::Get(1)), Err(ErrCode::Malformed));
+        assert_eq!(
+            s.exec(&mut h, &Cmd::MGet(vec![2, 1])),
+            Err(ErrCode::Malformed)
+        );
+        assert_eq!(
+            s.exec(
+                &mut h,
+                &Cmd::Transfer {
+                    from: 1,
+                    to: 2,
+                    amount: 1
+                }
+            ),
+            Err(ErrCode::Malformed)
+        );
+        assert_eq!(
+            s.exec(&mut h, &Cmd::GetB(1)),
+            Ok(CmdOut::ValueB(Some(blob.clone())))
+        );
+        // Blob CAS is byte-exact.
+        assert_eq!(
+            s.exec(
+                &mut h,
+                &Cmd::CasB {
+                    key: 1,
+                    expected: Value::from_bytes(b"wrong"),
+                    desired: big.clone(),
+                }
+            ),
+            Ok(CmdOut::CasB {
+                success: false,
+                current: Some(blob.clone())
+            })
+        );
+        assert_eq!(
+            s.exec(
+                &mut h,
+                &Cmd::CasB {
+                    key: 1,
+                    expected: blob.clone(),
+                    desired: big.clone(),
+                }
+            ),
+            Ok(CmdOut::CasB {
+                success: true,
+                current: Some(big.clone())
+            })
+        );
+        // Multi-key blob ops and mixed batches.
+        assert_eq!(
+            s.exec(
+                &mut h,
+                &Cmd::MSetB(vec![(10, Value::from_bytes(b"abc")), (11, Value::U64(7))])
+            ),
+            Ok(CmdOut::Done)
+        );
+        assert_eq!(
+            s.exec(&mut h, &Cmd::MGetB(vec![10, 11, 12])),
+            Ok(CmdOut::ValuesB(vec![
+                Some(Value::from_bytes(b"abc")),
+                Some(Value::U64(7)),
+                None
+            ]))
+        );
+        let out = s
+            .exec(
+                &mut h,
+                &Cmd::Batch(vec![
+                    Cmd::GetB(10),
+                    Cmd::PutB(12, Value::from_bytes(b"xyz")),
+                    Cmd::Del(11),
+                    Cmd::DelB(10),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(
+            out,
+            CmdOut::Batch(vec![
+                CmdOut::ValueB(Some(Value::from_bytes(b"abc"))),
+                CmdOut::PrevB(None),
+                CmdOut::Removed(Some(7)),
+                CmdOut::RemovedB(Some(Value::from_bytes(b"abc"))),
+            ])
+        );
+        // A legacy op hitting a blob inside a batch aborts the whole batch.
+        assert_eq!(
+            s.exec(&mut h, &Cmd::Batch(vec![Cmd::Put(20, 1), Cmd::Get(12)])),
+            Err(ErrCode::Malformed)
+        );
+        assert_eq!(
+            s.exec(&mut h, &Cmd::Contains(20)),
+            Ok(CmdOut::Present(false))
+        );
+        // Over-limit values are rejected up front.
+        let oversized = Value::Bytes(vec![0u8; pmem::MAX_VALUE_BYTES + 1].into());
+        assert_eq!(
+            s.exec(&mut h, &Cmd::PutB(30, oversized)),
+            Err(ErrCode::Malformed)
+        );
+    }
+
+    #[test]
+    fn durable_blob_store_syncs_and_recovers() {
+        let cfg = StoreConfig {
+            backend: StoreBackend::Durable,
+            advancer_period: None,
+            tables: TableKind::Mixed,
+            shards: 4,
+            ..Default::default()
+        };
+        let (mgr, s, _adv) = store(&cfg);
+        let mut h = mgr.register();
+        let blob = Value::from_bytes(&vec![9u8; 1000]);
+        s.exec(&mut h, &Cmd::PutB(1, blob.clone())).unwrap();
+        s.exec(&mut h, &Cmd::Put(2, 22)).unwrap();
+        s.sync();
+        let rec = s.recover();
+        assert_eq!(rec.get(&1), Some(&blob));
+        assert_eq!(rec.get(&2), Some(&Value::U64(22)));
     }
 
     #[test]
@@ -894,7 +1235,7 @@ mod tests {
         assert!(epoch >= 1, "sync must move the durability horizon: {epoch}");
         let rec = s.recover();
         assert_eq!(rec.len(), 3);
-        assert_eq!(rec.get(&2), Some(&20));
+        assert_eq!(rec.get(&2), Some(&Value::U64(20)));
         // Un-synced later writes are not in the cut.
         s.exec(&mut h, &Cmd::Put(4, 40)).unwrap();
         assert_eq!(s.recover().len(), 3);

@@ -64,6 +64,7 @@
 //! `durable-*` throughput series.
 
 use crate::nvm::{NvmCostModel, SimNvm};
+use crate::value::{Value, MAX_VALUE_BYTES};
 use medley::util::sync::Mutex;
 use medley::util::CachePadded;
 use medley::TxManager;
@@ -81,8 +82,8 @@ const UNBORN: u64 = u64::MAX;
 
 /// Identifier of a payload record (returned by
 /// [`PersistenceDomain::alloc_payload`]).  With the arena backend the id
-/// packs the owning thread slot into the high bits and the slot index into
-/// the low 40 bits; treat it as opaque.
+/// packs the owning thread slot and the size class into the high bits and
+/// the slot index into the low bits; treat it as opaque.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PayloadId(pub u64);
 
@@ -120,19 +121,27 @@ pub struct DomainStats {
 // PayloadId encoding (arena backend)
 // ---------------------------------------------------------------------------
 
-/// Bits of a [`PayloadId`] holding the slot index within its arena.
-const IDX_BITS: u32 = 40;
+/// Bits of a [`PayloadId`] holding the slot index within its size class.
+const IDX_BITS: u32 = 38;
 const IDX_MASK: u64 = (1 << IDX_BITS) - 1;
+/// Bits holding the size class (directly above the index).
+const CLASS_BITS: u32 = 2;
+const CLASS_MASK: u64 = (1 << CLASS_BITS) - 1;
 
 #[inline]
-fn encode_id(tid: usize, idx: u64) -> PayloadId {
+fn encode_id(tid: usize, class: usize, idx: u64) -> PayloadId {
     debug_assert!(idx <= IDX_MASK);
-    PayloadId(((tid as u64) << IDX_BITS) | idx)
+    debug_assert!(class < CLASSES);
+    PayloadId(((tid as u64) << (IDX_BITS + CLASS_BITS)) | ((class as u64) << IDX_BITS) | idx)
 }
 
 #[inline]
-fn decode_id(id: PayloadId) -> (usize, u64) {
-    ((id.0 >> IDX_BITS) as usize, id.0 & IDX_MASK)
+fn decode_id(id: PayloadId) -> (usize, usize, u64) {
+    (
+        (id.0 >> (IDX_BITS + CLASS_BITS)) as usize,
+        ((id.0 >> IDX_BITS) & CLASS_MASK) as usize,
+        id.0 & IDX_MASK,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -161,19 +170,41 @@ const RING: usize = 8;
 const CHUNK_SHIFT: u32 = 13;
 /// Slots per lazily-allocated arena chunk.
 const CHUNK_SIZE: usize = 1 << CHUNK_SHIFT;
-/// Maximum chunks per arena (bounds an arena at 8Mi slots — comfortably
-/// above the paper's 1M-key workloads even when one thread preloads the
-/// whole store; the chunk table itself is a few KiB per arena).
+/// Maximum chunks per size class (bounds each class at 8Mi slots —
+/// comfortably above the paper's 1M-key workloads even when one thread
+/// preloads the whole store; the chunk table itself is a few KiB).
 const MAX_CHUNKS: usize = 1024;
 
+/// Number of payload size classes.  Class 0 is the historical 64-byte
+/// "word" slot whose value lives in the slot's `val` field (and which
+/// doubles as the metadata slot of spilled oversized records); classes 1
+/// and 2 append an inline data area to each slot.
+const CLASSES: usize = 3;
+/// Inline value data words appended per slot, per class.
+const CLASS_DATA_WORDS: [usize; CLASSES] = [0, 8, 56];
+/// Inline value byte capacity per class (class 0: the `val` word).
+const CLASS_CAPS: [usize; CLASSES] = [8, 64, 448];
+/// `vlen` sentinel: the slot's value is the plain word in `val`.
+const VLEN_WORD: u64 = u64::MAX;
+/// Data words per overflow block (a 256-byte block: next link + 248 data
+/// bytes).  Values larger than the biggest inline class spill entirely to a
+/// chain of these, length-prefixed by the head slot's `vlen`.
+const OVF_DATA_WORDS: usize = 31;
+const OVF_DATA_BYTES: usize = OVF_DATA_WORDS * 8;
+
 /// One payload slot: a key/value pair, its birth/retire epochs, its state
-/// flags, and the intrusive links threading it onto the arena's free list
-/// and (per kind) onto one epoch-indexed dirty list.  64 bytes.
+/// flags, and the intrusive links threading it onto its class's free list
+/// and (per kind) onto one epoch-indexed dirty list.  Classes 1 and 2 store
+/// their value bytes in the chunk's side data area; class 0 stores a word
+/// in `val` (`vlen == VLEN_WORD`) or an overflow-chain head (`val` = block
+/// index + 1, `vlen` = byte length).
 struct Slot {
     key: AtomicU64,
     val: AtomicU64,
+    /// Value byte length, or [`VLEN_WORD`] for a plain word in `val`.
+    vlen: AtomicU64,
     /// Birth epoch; [`UNBORN`] while the slot is free.  Stored with
-    /// `Release` as the publication of `key`/`val`.
+    /// `Release` as the publication of `key`/`val`/data.
     birth: AtomicU64,
     /// Retirement epoch; [`LIVE`] while the payload is live.
     retire: AtomicU64,
@@ -190,6 +221,7 @@ impl Default for Slot {
         Self {
             key: AtomicU64::new(0),
             val: AtomicU64::new(0),
+            vlen: AtomicU64::new(VLEN_WORD),
             birth: AtomicU64::new(UNBORN),
             retire: AtomicU64::new(LIVE),
             state: AtomicU64::new(0),
@@ -199,9 +231,54 @@ impl Default for Slot {
     }
 }
 
-/// One thread slot's payload arena.
-struct Arena {
-    chunks: Box<[OnceLock<Box<[Slot]>>]>,
+/// Picks the size class for a value: words in class 0, small/large blobs in
+/// the inline classes, oversized blobs spilled from a class-0 head slot.
+#[inline]
+fn class_for(val: &Value) -> usize {
+    match val {
+        Value::U64(_) => 0,
+        Value::Bytes(b) if b.len() <= CLASS_CAPS[1] => 1,
+        Value::Bytes(b) if b.len() <= CLASS_CAPS[2] => 2,
+        Value::Bytes(_) => 0,
+    }
+}
+
+/// Simulated cache lines written back for one payload birth: the slot's
+/// metadata line, plus the class's inline data area, plus — for spilled
+/// records — four lines per 256-byte overflow block.
+#[inline]
+fn birth_lines(class: usize, vlen: u64) -> u64 {
+    match class {
+        0 if vlen == VLEN_WORD => 1,
+        0 => 1 + (vlen as usize).div_ceil(OVF_DATA_BYTES).max(1) as u64 * 4,
+        1 => 2,
+        _ => 8,
+    }
+}
+
+/// [`birth_lines`] keyed by a [`Value`] (used by the Mutex-slab baseline so
+/// both backends charge the same write-back cost per record).
+#[inline]
+fn value_lines(val: &Value) -> u64 {
+    let class = class_for(val);
+    let vlen = match val {
+        Value::U64(_) => VLEN_WORD,
+        Value::Bytes(b) => b.len() as u64,
+    };
+    birth_lines(class, vlen)
+}
+
+/// One lazily-allocated chunk of a size class: the slot metadata plus the
+/// class's inline value area (`data_words` words per slot).
+struct Chunk {
+    slots: Box<[Slot]>,
+    data: Box<[AtomicU64]>,
+}
+
+/// The chunked slab of one size class within one arena.
+struct ClassSlab {
+    chunks: Box<[OnceLock<Chunk>]>,
+    data_words: usize,
     /// Published slot count (bump-extended by the owning thread only).
     len: AtomicU64,
     /// Treiber free-list head (slot index + 1; 0 = empty).  Pushed by any
@@ -209,28 +286,36 @@ struct Arena {
     /// single-popper Treiber is ABA-free.
     free_head: AtomicU64,
     free_count: AtomicU64,
-    /// Epoch-indexed dirty-list heads (encoded entry + 1; 0 = empty).
-    dirty: [AtomicU64; RING],
 }
 
-impl Default for Arena {
-    fn default() -> Self {
+impl ClassSlab {
+    fn new(data_words: usize) -> Self {
         Self {
             chunks: (0..MAX_CHUNKS).map(|_| OnceLock::new()).collect(),
+            data_words,
             len: AtomicU64::new(0),
             free_head: AtomicU64::new(0),
             free_count: AtomicU64::new(0),
-            dirty: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
-}
 
-impl Arena {
+    #[inline]
+    fn chunk(&self, idx: u64) -> &Chunk {
+        self.chunks[(idx >> CHUNK_SHIFT) as usize]
+            .get()
+            .expect("published slot")
+    }
+
     #[inline]
     fn slot(&self, idx: u64) -> &Slot {
-        let chunk = (idx >> CHUNK_SHIFT) as usize;
+        &self.chunk(idx).slots[(idx & (CHUNK_SIZE as u64 - 1)) as usize]
+    }
+
+    /// The inline value area of slot `idx` (empty for class 0).
+    #[inline]
+    fn data(&self, idx: u64) -> &[AtomicU64] {
         let off = (idx & (CHUNK_SIZE as u64 - 1)) as usize;
-        &self.chunks[chunk].get().expect("published slot")[off]
+        &self.chunk(idx).data[off * self.data_words..(off + 1) * self.data_words]
     }
 
     /// Pops a free slot.  Only the owning thread calls this, so the Treiber
@@ -271,29 +356,152 @@ impl Arena {
         }
     }
 
-    /// Extends the arena by one slot (owning thread only).
+    /// Extends the class by one slot (owning thread only).
     fn bump(&self) -> u64 {
         let idx = self.len.load(Ordering::Relaxed);
         let chunk = (idx >> CHUNK_SHIFT) as usize;
         assert!(chunk < MAX_CHUNKS, "payload arena exhausted");
-        self.chunks[chunk].get_or_init(|| {
-            (0..CHUNK_SIZE)
+        let words = self.data_words;
+        self.chunks[chunk].get_or_init(|| Chunk {
+            slots: (0..CHUNK_SIZE)
                 .map(|_| Slot::default())
                 .collect::<Vec<_>>()
-                .into_boxed_slice()
+                .into_boxed_slice(),
+            data: (0..CHUNK_SIZE * words)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
         });
         // Fresh slots carry `birth == UNBORN`, so publishing the length
         // before the slot is tagged cannot expose uninitialized payloads.
         self.len.store(idx + 1, Ordering::Release);
         idx
     }
+}
 
-    /// Pushes the (slot, kind) dirty entry on the list of `epoch` (any
-    /// thread; lock-free Treiber push).
-    fn push_dirty(&self, epoch: u64, idx: u64, kind: usize) {
-        let enc = idx * 2 + kind as u64;
+/// One 256-byte overflow block of a spilled oversized value.
+struct OvfBlock {
+    /// Next block in the chain (index + 1; 0 = end).  Doubles as the
+    /// free-list link while the block is free — the lifetimes are disjoint.
+    next: AtomicU64,
+    data: [AtomicU64; OVF_DATA_WORDS],
+}
+
+impl Default for OvfBlock {
+    fn default() -> Self {
+        Self {
+            next: AtomicU64::new(0),
+            data: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// The per-arena overflow-block slab (same single-popper discipline as the
+/// slot free lists: popped only by the owning thread during allocation,
+/// pushed by whoever recycles the head slot under the recycle lock).
+struct OvfSlab {
+    chunks: Box<[OnceLock<Box<[OvfBlock]>>]>,
+    len: AtomicU64,
+    free_head: AtomicU64,
+    free_count: AtomicU64,
+}
+
+impl Default for OvfSlab {
+    fn default() -> Self {
+        Self {
+            chunks: (0..MAX_CHUNKS).map(|_| OnceLock::new()).collect(),
+            len: AtomicU64::new(0),
+            free_head: AtomicU64::new(0),
+            free_count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl OvfSlab {
+    #[inline]
+    fn block(&self, idx: u64) -> &OvfBlock {
+        let chunk = (idx >> CHUNK_SHIFT) as usize;
+        let off = (idx & (CHUNK_SIZE as u64 - 1)) as usize;
+        &self.chunks[chunk].get().expect("published block")[off]
+    }
+
+    fn pop_free(&self) -> Option<u64> {
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            if head == 0 {
+                return None;
+            }
+            let idx = head - 1;
+            let next = self.block(idx).next.load(Ordering::Relaxed);
+            if self
+                .free_head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.free_count.fetch_sub(1, Ordering::Relaxed);
+                return Some(idx);
+            }
+        }
+    }
+
+    fn push_free(&self, idx: u64) {
+        let block = self.block(idx);
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            block.next.store(head, Ordering::Relaxed);
+            if self
+                .free_head
+                .compare_exchange_weak(head, idx + 1, Ordering::Release, Ordering::Acquire)
+                .is_ok()
+            {
+                self.free_count.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    fn bump(&self) -> u64 {
+        let idx = self.len.load(Ordering::Relaxed);
+        let chunk = (idx >> CHUNK_SHIFT) as usize;
+        assert!(chunk < MAX_CHUNKS, "overflow slab exhausted");
+        self.chunks[chunk].get_or_init(|| {
+            (0..CHUNK_SIZE)
+                .map(|_| OvfBlock::default())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        self.len.store(idx + 1, Ordering::Release);
+        idx
+    }
+}
+
+/// One thread slot's payload arena: one chunked slab per size class, the
+/// overflow-block slab, and the epoch ring of dirty lists shared by all
+/// classes.
+struct Arena {
+    classes: [ClassSlab; CLASSES],
+    ovf: OvfSlab,
+    /// Epoch-indexed dirty-list heads (encoded entry + 1; 0 = empty).
+    dirty: [AtomicU64; RING],
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self {
+            classes: std::array::from_fn(|c| ClassSlab::new(CLASS_DATA_WORDS[c])),
+            ovf: OvfSlab::default(),
+            dirty: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Arena {
+    /// Pushes the (class, slot, kind) dirty entry on the list of `epoch`
+    /// (any thread; lock-free Treiber push).
+    fn push_dirty(&self, epoch: u64, class: usize, idx: u64, kind: usize) {
+        let enc = (idx * CLASSES as u64 + class as u64) * 2 + kind as u64;
         let head = &self.dirty[(epoch % RING as u64) as usize];
-        let slot = self.slot(idx);
+        let slot = self.classes[class].slot(idx);
         loop {
             let h = head.load(Ordering::Acquire);
             slot.links[kind].store(h, Ordering::Relaxed);
@@ -304,6 +512,95 @@ impl Arena {
                 return;
             }
         }
+    }
+
+    /// Writes `val` into slot (`class`, `idx`)'s value storage.  Owning
+    /// thread only, before the `Release` publication of `birth`.
+    fn write_value(&self, class: usize, idx: u64, val: &Value) {
+        let s = self.classes[class].slot(idx);
+        match val {
+            Value::U64(v) => {
+                debug_assert_eq!(class, 0);
+                s.val.store(*v, Ordering::Relaxed);
+                s.vlen.store(VLEN_WORD, Ordering::Relaxed);
+            }
+            Value::Bytes(b) if class > 0 => {
+                debug_assert!(b.len() <= CLASS_CAPS[class]);
+                let data = self.classes[class].data(idx);
+                for (i, part) in b.chunks(8).enumerate() {
+                    let mut w = [0u8; 8];
+                    w[..part.len()].copy_from_slice(part);
+                    data[i].store(u64::from_le_bytes(w), Ordering::Relaxed);
+                }
+                s.vlen.store(b.len() as u64, Ordering::Relaxed);
+            }
+            Value::Bytes(b) => {
+                // Oversized record: the value spills to a length-prefixed
+                // overflow chain (`vlen` is the prefix, `val` the head).
+                s.val.store(self.alloc_ovf_chain(b), Ordering::Relaxed);
+                s.vlen.store(b.len() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Builds the overflow chain for `bytes`, tail to head (so every `next`
+    /// link is written before the head is published), and returns the head
+    /// block index + 1.
+    fn alloc_ovf_chain(&self, bytes: &[u8]) -> u64 {
+        let nblocks = bytes.len().div_ceil(OVF_DATA_BYTES).max(1);
+        let mut next = 0u64;
+        for i in (0..nblocks).rev() {
+            let idx = self.ovf.pop_free().unwrap_or_else(|| self.ovf.bump());
+            let blk = self.ovf.block(idx);
+            let end = bytes.len().min((i + 1) * OVF_DATA_BYTES);
+            for (w, part) in bytes[i * OVF_DATA_BYTES..end].chunks(8).enumerate() {
+                let mut buf = [0u8; 8];
+                buf[..part.len()].copy_from_slice(part);
+                blk.data[w].store(u64::from_le_bytes(buf), Ordering::Relaxed);
+            }
+            blk.next.store(next, Ordering::Relaxed);
+            next = idx + 1;
+        }
+        next
+    }
+
+    /// Reads the value of slot (`class`, `idx`).  Callers hold the recycle
+    /// lock (recovery scan), so the slot cannot be recycled — and its
+    /// overflow chain cannot be reclaimed — mid-read.
+    fn read_value(&self, class: usize, idx: u64) -> Value {
+        let s = self.classes[class].slot(idx);
+        let vlen = s.vlen.load(Ordering::Relaxed);
+        if vlen == VLEN_WORD {
+            return Value::U64(s.val.load(Ordering::Relaxed));
+        }
+        let len = (vlen as usize).min(MAX_VALUE_BYTES);
+        let mut out = Vec::with_capacity(len);
+        if class > 0 {
+            let data = self.classes[class].data(idx);
+            'words: for w in data {
+                for byte in w.load(Ordering::Relaxed).to_le_bytes() {
+                    if out.len() == len {
+                        break 'words;
+                    }
+                    out.push(byte);
+                }
+            }
+        } else {
+            let mut head = s.val.load(Ordering::Relaxed);
+            while head != 0 && out.len() < len {
+                let blk = self.ovf.block(head - 1);
+                'blk: for w in &blk.data {
+                    for byte in w.load(Ordering::Relaxed).to_le_bytes() {
+                        if out.len() == len {
+                            break 'blk;
+                        }
+                        out.push(byte);
+                    }
+                }
+                head = blk.next.load(Ordering::Relaxed);
+            }
+        }
+        Value::from_bytes(&out)
     }
 }
 
@@ -327,12 +624,25 @@ impl ArenaStore {
     }
 
     /// Recycles a slot exactly once per incarnation (the FREED flag makes a
-    /// second attempt a no-op).
-    fn free_slot(arena: &Arena, idx: u64) {
-        let s = arena.slot(idx);
+    /// second attempt a no-op).  A spilled record's overflow chain is
+    /// released with its head slot; every caller holds the recycle lock, so
+    /// no recovery scan can be walking the chain concurrently.
+    fn free_slot(arena: &Arena, class: usize, idx: u64) {
+        let s = arena.classes[class].slot(idx);
         if s.state.fetch_or(FREED, Ordering::AcqRel) & FREED == 0 {
+            if class == 0 && s.vlen.load(Ordering::Relaxed) != VLEN_WORD {
+                let mut head = s.val.load(Ordering::Relaxed);
+                while head != 0 {
+                    // Read the link before the push overwrites it with the
+                    // free-list link (they share the `next` field).
+                    let next = arena.ovf.block(head - 1).next.load(Ordering::Relaxed);
+                    arena.ovf.push_free(head - 1);
+                    head = next;
+                }
+            }
+            s.vlen.store(VLEN_WORD, Ordering::Relaxed);
             s.birth.store(UNBORN, Ordering::Release);
-            arena.push_free(idx);
+            arena.classes[class].push_free(idx);
         }
     }
 
@@ -361,8 +671,11 @@ impl ArenaStore {
         let mut flushed = 0u64;
         while entry != 0 {
             let enc = entry - 1;
-            let (idx, kind) = (enc / 2, (enc % 2) as usize);
-            let s = arena.slot(idx);
+            let kind = (enc % 2) as usize;
+            let combined = enc / 2;
+            let class = (combined % CLASSES as u64) as usize;
+            let idx = combined / CLASSES as u64;
+            let s = arena.classes[class].slot(idx);
             // Read the successor before any re-push can reuse the link.
             entry = s.links[kind].load(Ordering::Relaxed);
             if kind == KIND_BIRTH {
@@ -373,7 +686,7 @@ impl ArenaStore {
                 if b >= durable && s.state.load(Ordering::Relaxed) & ABANDONED == 0 {
                     // Tag moved to a later epoch (standalone-op re-
                     // validation): not due yet, re-bucket.
-                    arena.push_dirty(b, idx, KIND_BIRTH);
+                    arena.push_dirty(b, class, idx, KIND_BIRTH);
                     continue;
                 }
                 let st = s.state.fetch_or(BIRTH_FLUSHED, Ordering::AcqRel);
@@ -381,15 +694,17 @@ impl ArenaStore {
                     // Never part of any durable state: recycle, no flush.
                     // (If the abandoner saw BIRTH_FLUSHED already set it
                     // recycled the slot itself; `free_slot` is idempotent.)
-                    Self::free_slot(arena, idx);
+                    Self::free_slot(arena, class, idx);
                 } else {
                     if st & BIRTH_FLUSHED == 0 {
-                        flushed += 1;
+                        // A birth writes back the whole record: metadata
+                        // line, inline data area, overflow chain.
+                        flushed += birth_lines(class, s.vlen.load(Ordering::Relaxed));
                     }
                     if st & RETIRE_FLUSHED != 0 {
                         // The retirement was written back first and deferred
                         // the recycle to us (see the handoff note above).
-                        Self::free_slot(arena, idx);
+                        Self::free_slot(arena, class, idx);
                     }
                 }
             } else {
@@ -398,11 +713,12 @@ impl ArenaStore {
                     continue; // defensive: no pending retirement
                 }
                 if r >= durable {
-                    arena.push_dirty(r, idx, KIND_RETIRE);
+                    arena.push_dirty(r, class, idx, KIND_RETIRE);
                     continue;
                 }
                 let st = s.state.fetch_or(RETIRE_FLUSHED, Ordering::AcqRel);
                 if st & RETIRE_FLUSHED == 0 {
+                    // A retirement only touches the metadata line.
                     flushed += 1;
                 }
                 // A retirement is recycled only once it is durable (so
@@ -410,7 +726,7 @@ impl ArenaStore {
                 // handoff: if the birth entry is still pending somewhere,
                 // its consumption performs the free.
                 if st & BIRTH_FLUSHED != 0 {
-                    Self::free_slot(arena, idx);
+                    Self::free_slot(arena, class, idx);
                 }
             }
         }
@@ -423,10 +739,10 @@ impl ArenaStore {
 // ---------------------------------------------------------------------------
 
 /// One payload record of the Mutex-slab baseline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Payload {
     key: u64,
-    val: u64,
+    val: Value,
     birth: u64,
     retire: u64,
     /// Per-slot recycle flag (replaces the old `free.contains(&idx)` scan,
@@ -545,31 +861,46 @@ impl PersistenceDomain {
         self.mgr.current_epoch()
     }
 
+    /// Allocates a fixed-width word payload for `key -> val` — the
+    /// historical entry point, now a thin wrapper over
+    /// [`PersistenceDomain::alloc_value`].
+    pub fn alloc_payload(&self, tid: usize, key: u64, val: u64, epoch: u64) -> PayloadId {
+        self.alloc_value(tid, key, &Value::U64(val), epoch)
+    }
+
     /// Allocates a payload record for `key -> val`, tagged with `epoch`, in
     /// the arena of thread slot `tid` (the caller's `Ctx::tid()` /
     /// `ThreadHandle::tid()`; the manager guarantees the slot has a single
-    /// live owner, which is what makes the arena fast path safe).
-    pub fn alloc_payload(&self, tid: usize, key: u64, val: u64, epoch: u64) -> PayloadId {
+    /// live owner, which is what makes the arena fast path safe).  The value
+    /// lands in the size class fitting its byte length; oversized values
+    /// spill from a class-0 head slot to a length-prefixed overflow chain.
+    pub fn alloc_value(&self, tid: usize, key: u64, val: &Value, epoch: u64) -> PayloadId {
+        assert!(
+            val.byte_len() <= MAX_VALUE_BYTES,
+            "payload value exceeds MAX_VALUE_BYTES"
+        );
         match &self.store {
             Store::Arena(store) => {
                 let arena = &store.arenas[tid];
-                let idx = arena.pop_free().unwrap_or_else(|| arena.bump());
-                let s = arena.slot(idx);
+                let class = class_for(val);
+                let slab = &arena.classes[class];
+                let idx = slab.pop_free().unwrap_or_else(|| slab.bump());
+                let s = slab.slot(idx);
                 s.key.store(key, Ordering::Relaxed);
-                s.val.store(val, Ordering::Relaxed);
+                arena.write_value(class, idx, val);
                 s.retire.store(LIVE, Ordering::Relaxed);
                 s.state.store(0, Ordering::Relaxed);
                 // Publishes the fields above to recovery/write-back scans.
                 s.birth.store(epoch, Ordering::Release);
-                arena.push_dirty(epoch, idx, KIND_BIRTH);
+                arena.push_dirty(epoch, class, idx, KIND_BIRTH);
                 self.repair_stale_bucket(tid, epoch);
-                encode_id(tid, idx)
+                encode_id(tid, class, idx)
             }
             Store::MutexSlab(slab) => {
                 let mut slab = slab.lock();
                 let payload = Payload {
                     key,
-                    val,
+                    val: val.clone(),
                     birth: epoch,
                     retire: LIVE,
                     freed: false,
@@ -595,9 +926,9 @@ impl PersistenceDomain {
     pub fn abandon_payload(&self, id: PayloadId) {
         match &self.store {
             Store::Arena(store) => {
-                let (tid, idx) = decode_id(id);
+                let (tid, class, idx) = decode_id(id);
                 let arena = &store.arenas[tid];
-                let s = arena.slot(idx);
+                let s = arena.classes[class].slot(idx);
                 let st = s.state.fetch_or(ABANDONED, Ordering::AcqRel);
                 debug_assert_eq!(st & FREED, 0, "payload abandoned after recycle");
                 if st & BIRTH_FLUSHED != 0 {
@@ -612,7 +943,7 @@ impl PersistenceDomain {
                     // durable birth epoch.  Cold path: this branch only runs
                     // when an abort raced the durability horizon.
                     let _g = store.recycle_lock.lock();
-                    ArenaStore::free_slot(arena, idx);
+                    ArenaStore::free_slot(arena, class, idx);
                 }
             }
             Store::MutexSlab(slab) => {
@@ -632,12 +963,12 @@ impl PersistenceDomain {
     pub fn retire_payload(&self, id: PayloadId, epoch: u64) {
         match &self.store {
             Store::Arena(store) => {
-                let (tid, idx) = decode_id(id);
+                let (tid, class, idx) = decode_id(id);
                 let arena = &store.arenas[tid];
-                let s = arena.slot(idx);
+                let s = arena.classes[class].slot(idx);
                 let prev = s.retire.swap(epoch, Ordering::AcqRel);
                 debug_assert_eq!(prev, LIVE, "payload retired twice");
-                arena.push_dirty(epoch, idx, KIND_RETIRE);
+                arena.push_dirty(epoch, class, idx, KIND_RETIRE);
                 self.repair_stale_bucket(tid, epoch);
             }
             Store::MutexSlab(slab) => {
@@ -666,8 +997,8 @@ impl PersistenceDomain {
         debug_assert!(from <= to);
         match &self.store {
             Store::Arena(store) => {
-                let (tid, idx) = decode_id(id);
-                let s = store.arenas[tid].slot(idx);
+                let (tid, class, idx) = decode_id(id);
+                let s = store.arenas[tid].classes[class].slot(idx);
                 let _ = s
                     .birth
                     .compare_exchange(from, to, Ordering::AcqRel, Ordering::Relaxed);
@@ -689,8 +1020,8 @@ impl PersistenceDomain {
         debug_assert!(from <= to);
         match &self.store {
             Store::Arena(store) => {
-                let (tid, idx) = decode_id(id);
-                let s = store.arenas[tid].slot(idx);
+                let (tid, class, idx) = decode_id(id);
+                let s = store.arenas[tid].classes[class].slot(idx);
                 let _ = s
                     .retire
                     .compare_exchange(from, to, Ordering::AcqRel, Ordering::Relaxed);
@@ -779,7 +1110,11 @@ impl PersistenceDomain {
                         let born_now = p.birth >= prev && p.birth < durable;
                         let retired_now =
                             p.retire != LIVE && p.retire >= prev && p.retire < durable;
-                        if born_now || retired_now {
+                        if born_now {
+                            // Same cost model as the arena store: a birth
+                            // writes back the whole record.
+                            flushed += value_lines(&p.val);
+                        } else if retired_now {
                             flushed += 1;
                         }
                         if p.retire != LIVE && p.retire < durable {
@@ -841,8 +1176,23 @@ impl PersistenceDomain {
     /// durable epoch and either never retired or retired at/after the
     /// horizon.  Equivalent to [`PersistenceDomain::recover_with_horizon`]
     /// without the horizon.
-    pub fn recover(&self) -> HashMap<u64, u64> {
+    pub fn recover(&self) -> HashMap<u64, Value> {
         self.recover_with_horizon().0
+    }
+
+    /// [`PersistenceDomain::recover`] for stores known to hold only word
+    /// values (the historical fixed-width interface; panics if a blob value
+    /// is encountered).
+    pub fn recover_u64(&self) -> HashMap<u64, u64> {
+        self.recover()
+            .into_iter()
+            .map(|(k, v)| {
+                let v = v
+                    .as_u64()
+                    .expect("recover_u64 on a store holding blob values");
+                (k, v)
+            })
+            .collect()
     }
 
     /// Post-crash recovery, also returning the horizon used (the epoch cut
@@ -857,29 +1207,31 @@ impl PersistenceDomain {
     /// that window would claim durability for epochs that were never written
     /// back.  Holding the recycle lock additionally pins every payload
     /// retired at/after the horizon for the duration of the scan.
-    pub fn recover_with_horizon(&self) -> (HashMap<u64, u64>, u64) {
+    pub fn recover_with_horizon(&self) -> (HashMap<u64, Value>, u64) {
         match &self.store {
             Store::Arena(store) => {
                 let _g = store.recycle_lock.lock();
                 let horizon = self.persisted_epoch.load(Ordering::Acquire);
                 let mut out = HashMap::new();
                 for arena in store.arenas.iter() {
-                    let len = arena.len.load(Ordering::Acquire);
-                    for idx in 0..len {
-                        let s = arena.slot(idx);
-                        let b = s.birth.load(Ordering::Acquire);
-                        if b == UNBORN || b >= horizon {
-                            continue; // free, in-flight, or not yet durable
-                        }
-                        if s.state.load(Ordering::Relaxed) & ABANDONED != 0 {
-                            continue; // aborted transaction's payload
-                        }
-                        let r = s.retire.load(Ordering::Relaxed);
-                        if r == LIVE || r >= horizon {
-                            out.insert(
-                                s.key.load(Ordering::Relaxed),
-                                s.val.load(Ordering::Relaxed),
-                            );
+                    for (class, slab) in arena.classes.iter().enumerate() {
+                        let len = slab.len.load(Ordering::Acquire);
+                        for idx in 0..len {
+                            let s = slab.slot(idx);
+                            let b = s.birth.load(Ordering::Acquire);
+                            if b == UNBORN || b >= horizon {
+                                continue; // free, in-flight, or not yet durable
+                            }
+                            if s.state.load(Ordering::Relaxed) & ABANDONED != 0 {
+                                continue; // aborted transaction's payload
+                            }
+                            let r = s.retire.load(Ordering::Relaxed);
+                            if r == LIVE || r >= horizon {
+                                out.insert(
+                                    s.key.load(Ordering::Relaxed),
+                                    arena.read_value(class, idx),
+                                );
+                            }
                         }
                     }
                 }
@@ -897,7 +1249,7 @@ impl PersistenceDomain {
                         continue; // recycled tombstone
                     }
                     if p.birth < horizon && (p.retire == LIVE || p.retire >= horizon) {
-                        out.insert(p.key, p.val);
+                        out.insert(p.key, p.val.clone());
                     }
                 }
                 (out, horizon)
@@ -914,20 +1266,22 @@ impl PersistenceDomain {
                 let mut free = 0usize;
                 let mut allocated = 0usize;
                 for arena in store.arenas.iter() {
-                    let len = arena.len.load(Ordering::Acquire);
-                    allocated += len as usize;
-                    free += arena.free_count.load(Ordering::Relaxed) as usize;
-                    for idx in 0..len {
-                        let s = arena.slot(idx);
-                        let b = s.birth.load(Ordering::Acquire);
-                        if b == UNBORN {
-                            continue;
-                        }
-                        if s.state.load(Ordering::Relaxed) & ABANDONED != 0 {
-                            continue;
-                        }
-                        if s.retire.load(Ordering::Relaxed) == LIVE {
-                            live += 1;
+                    for slab in arena.classes.iter() {
+                        let len = slab.len.load(Ordering::Acquire);
+                        allocated += len as usize;
+                        free += slab.free_count.load(Ordering::Relaxed) as usize;
+                        for idx in 0..len {
+                            let s = slab.slot(idx);
+                            let b = s.birth.load(Ordering::Acquire);
+                            if b == UNBORN {
+                                continue;
+                            }
+                            if s.state.load(Ordering::Relaxed) & ABANDONED != 0 {
+                                continue;
+                            }
+                            if s.retire.load(Ordering::Relaxed) == LIVE {
+                                live += 1;
+                            }
                         }
                     }
                 }
@@ -1061,7 +1415,7 @@ mod tests {
             assert!(d.recover().is_empty());
             d.advance_epoch();
             d.advance_epoch();
-            let rec = d.recover();
+            let rec = d.recover_u64();
             assert_eq!(rec.get(&1), Some(&10));
         }
     }
@@ -1072,11 +1426,11 @@ mod tests {
             let e = d.current_epoch();
             let id = d.alloc_payload(0, 2, 20, e);
             d.sync();
-            assert_eq!(d.recover().get(&2), Some(&20));
+            assert_eq!(d.recover_u64().get(&2), Some(&20));
             let e2 = d.current_epoch();
             d.retire_payload(id, e2);
             // Retirement not yet durable: still recovered.
-            assert_eq!(d.recover().get(&2), Some(&20));
+            assert_eq!(d.recover_u64().get(&2), Some(&20));
             d.sync();
             assert!(!d.recover().contains_key(&2));
         }
@@ -1206,7 +1560,7 @@ mod tests {
             d.alloc_payload(tid, tid as u64, tid as u64 * 10, e);
         }
         d.sync();
-        let rec = d.recover();
+        let rec = d.recover_u64();
         assert_eq!(rec.len(), 8);
         for tid in 0..8u64 {
             assert_eq!(rec.get(&tid), Some(&(tid * 10)));
@@ -1246,7 +1600,7 @@ mod tests {
             d.advance_epoch();
             let (rec, horizon) = d.recover_with_horizon();
             assert_eq!(horizon, d.stats().persisted_epoch);
-            assert_eq!(rec.get(&1), Some(&10));
+            assert_eq!(rec.get(&1), Some(&Value::U64(10)));
         }
     }
 
@@ -1287,6 +1641,7 @@ mod tests {
                 assert!(horizon >= last_horizon, "horizon must be monotone");
                 last_horizon = horizon;
                 for (k, birth_tag) in rec {
+                    let birth_tag = birth_tag.as_u64().unwrap();
                     assert!(
                         birth_tag < horizon,
                         "key {k} born in epoch {birth_tag} recovered at horizon {horizon}"
@@ -1320,7 +1675,11 @@ mod tests {
             "re-tagged payload recovered before its new epoch is durable"
         );
         d.sync();
-        assert_eq!(d.recover().get(&1), Some(&10), "durable after the new tag");
+        assert_eq!(
+            d.recover_u64().get(&1),
+            Some(&10),
+            "durable after the new tag"
+        );
 
         // Same for retirements: the removal linearized in `now2`, so at a
         // horizon between the stale tag and `now2` the payload must still be
@@ -1335,11 +1694,64 @@ mod tests {
         assert!(horizon > stale && horizon <= now2);
         assert_eq!(
             rec.get(&1),
-            Some(&10),
+            Some(&Value::U64(10)),
             "retirement claimed durable before its write-back epoch"
         );
         d.sync();
         assert!(!d.recover().contains_key(&1));
+    }
+
+    #[test]
+    fn blob_values_roundtrip_through_all_size_classes() {
+        // One value per size class plus the boundaries: word, small inline,
+        // large inline, and overflow-chain spills of 1, many, and max-ish
+        // blocks — on both backends.
+        let lens = [0usize, 5, 8, 64, 65, 448, 449, 4096, 100_000];
+        for d in both_backends() {
+            let e = d.current_epoch();
+            for (k, len) in lens.iter().enumerate() {
+                let bytes: Vec<u8> = (0..*len).map(|i| (i * 13 + k) as u8).collect();
+                d.alloc_value(0, k as u64, &Value::from_bytes(&bytes), e);
+            }
+            d.sync();
+            let rec = d.recover();
+            assert_eq!(rec.len(), lens.len(), "{:?}", d.backend());
+            for (k, len) in lens.iter().enumerate() {
+                let bytes: Vec<u8> = (0..*len).map(|i| (i * 13 + k) as u8).collect();
+                assert_eq!(
+                    rec.get(&(k as u64)),
+                    Some(&Value::from_bytes(&bytes)),
+                    "len {len} on {:?}",
+                    d.backend()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spilled_records_recycle_their_overflow_chain() {
+        // A retired oversized record must return its head slot *and* its
+        // overflow blocks; a later spill of similar size reuses both instead
+        // of growing the slabs.
+        let d = domain();
+        let big: Vec<u8> = (0..10_000).map(|i| i as u8).collect();
+        let e = d.current_epoch();
+        let id = d.alloc_value(0, 1, &Value::from_bytes(&big), e);
+        d.sync();
+        d.retire_payload(id, d.current_epoch());
+        d.sync();
+        let stats = d.stats();
+        assert_eq!(stats.free_slots, 1);
+        // Reallocate a slightly smaller spill: same head slot, recycled
+        // blocks, no slab growth.
+        let big2: Vec<u8> = (0..9_000).map(|i| (i * 3) as u8).collect();
+        let id2 = d.alloc_value(0, 2, &Value::from_bytes(&big2), d.current_epoch());
+        assert_eq!(id2, id, "head slot must be recycled");
+        assert_eq!(d.stats().allocated_slots, stats.allocated_slots);
+        d.sync();
+        let rec = d.recover();
+        assert_eq!(rec.get(&2), Some(&Value::from_bytes(&big2)));
+        assert!(!rec.contains_key(&1));
     }
 
     #[test]

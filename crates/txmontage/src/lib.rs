@@ -59,7 +59,7 @@
 //! let mut h = mgr.register();
 //!
 //! // Standalone (uninstrumented) update through the NonTx context...
-//! map.put(&mut h.nontx(), 1, 100);
+//! map.put(&mut h.nontx(), 1, 100u64);
 //! // ...or a failure-atomic transactional one through the Txn context.
 //! let _ = h.run(|t| {
 //!     map.put(t, 2, 200);
@@ -77,48 +77,82 @@
 
 use medley::Ctx;
 use nbds::{MichaelHashMap, SkipList, SplitOrderedMap, TxMap};
-use pmem::{PayloadId, PersistenceDomain};
+use pmem::{PayloadId, PersistenceDomain, Value};
 use std::collections::HashMap;
+use std::marker::PhantomData;
 use std::sync::Arc;
 
-/// The value stored in the transient index: the user value plus the slot id
-/// of its payload record.
-type Indexed = (u64, u64);
+/// A user value type that can flow through a [`Durable`] map: it converts
+/// to/from the payload store's [`pmem::Value`] representation.
+///
+/// `u64` is the historical fixed-width value (and the default type
+/// parameter of every alias below); [`pmem::Value`] itself is the
+/// variable-length value the KV service stores.
+pub trait DurableValue: Clone + Send + Sync + 'static {
+    /// The payload-store representation of this value.
+    fn to_value(&self) -> Value;
+    /// Rebuilds the value from its payload-store representation (recovery
+    /// path).
+    fn from_value(v: Value) -> Self;
+}
+
+impl DurableValue for u64 {
+    fn to_value(&self) -> Value {
+        Value::U64(*self)
+    }
+    fn from_value(v: Value) -> Self {
+        v.as_u64()
+            .expect("u64-typed durable map recovered a blob value")
+    }
+}
+
+impl DurableValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+    fn from_value(v: Value) -> Self {
+        v
+    }
+}
 
 /// A persistent (buffered-durably strictly serializable) map built from a
-/// transient Medley map `M` and an nbMontage persistence domain.
-pub struct Durable<M> {
+/// transient Medley map `M` and an nbMontage persistence domain.  The
+/// transient index stores `(V, payload id)` pairs; `V` defaults to the
+/// historical fixed-width `u64` and may be [`pmem::Value`] for
+/// variable-length values.
+pub struct Durable<M, V = u64> {
     inner: M,
     domain: Arc<PersistenceDomain>,
+    _marker: PhantomData<V>,
 }
 
 /// Persistent hash map (txMontage counterpart of the paper's Michael hash
 /// table experiments, Fig. 7).
-pub type DurableHashMap = Durable<MichaelHashMap<Indexed>>;
+pub type DurableHashMap<V = u64> = Durable<MichaelHashMap<(V, u64)>, V>;
 /// Persistent skiplist (txMontage counterpart of the skiplist experiments,
 /// Figs. 8–10).
-pub type DurableSkipList = Durable<SkipList<Indexed>>;
+pub type DurableSkipList<V = u64> = Durable<SkipList<(V, u64)>, V>;
 /// Persistent **elastic** hash map: a split-ordered-list index whose bucket
 /// directory grows on-line, wrapped with the same payload discipline as
 /// [`DurableHashMap`].  Directory doubling is transient-index infrastructure
 /// — it touches no payloads and plays no part in recovery.
-pub type DurableSplitOrderedMap = Durable<SplitOrderedMap<Indexed>>;
+pub type DurableSplitOrderedMap<V = u64> = Durable<SplitOrderedMap<(V, u64)>, V>;
 
-impl DurableHashMap {
+impl<V: DurableValue> DurableHashMap<V> {
     /// Creates a persistent hash map with `buckets` buckets.
     pub fn hash_map(buckets: usize, domain: Arc<PersistenceDomain>) -> Self {
         Durable::new(MichaelHashMap::with_buckets(buckets), domain)
     }
 }
 
-impl DurableSkipList {
+impl<V: DurableValue> DurableSkipList<V> {
     /// Creates a persistent skiplist.
     pub fn skip_list(domain: Arc<PersistenceDomain>) -> Self {
         Durable::new(SkipList::new(), domain)
     }
 }
 
-impl DurableSplitOrderedMap {
+impl<V: DurableValue> DurableSplitOrderedMap<V> {
     /// Creates a persistent elastic hash map starting at `buckets` buckets
     /// (a warm-start hint; the directory grows on its own).
     pub fn split_ordered(buckets: usize, domain: Arc<PersistenceDomain>) -> Self {
@@ -126,15 +160,20 @@ impl DurableSplitOrderedMap {
     }
 }
 
-impl<M> Durable<M>
+impl<M, V> Durable<M, V>
 where
-    M: TxMap<Indexed>,
+    M: TxMap<(V, u64)>,
+    V: DurableValue,
 {
     /// Wraps a transient Medley map.  The domain must be bound to the same
     /// `TxManager` as the handles that will operate on the map (payload
     /// arenas are indexed by the manager's thread slots).
     pub fn new(inner: M, domain: Arc<PersistenceDomain>) -> Self {
-        Self { inner, domain }
+        Self {
+            inner,
+            domain,
+            _marker: PhantomData,
+        }
     }
 
     /// The persistence domain backing this map.
@@ -186,7 +225,7 @@ where
     }
 
     /// Looks up `key`.
-    pub fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<u64> {
+    pub fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
         self.inner.get(cx, key).map(|(v, _)| v)
     }
 
@@ -196,9 +235,11 @@ where
     }
 
     /// Inserts `key -> val` if absent; returns `true` on success.
-    pub fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: u64) -> bool {
+    pub fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> bool {
         let epoch = self.op_epoch(cx);
-        let payload = self.domain.alloc_payload(cx.tid(), key, val, epoch);
+        let payload = self
+            .domain
+            .alloc_value(cx.tid(), key, &val.to_value(), epoch);
         if self.inner.insert(cx, key, (val, payload.0)) {
             let domain = Arc::clone(&self.domain);
             cx.add_abort_action(move |_| domain.abandon_payload(payload));
@@ -213,13 +254,17 @@ where
     }
 
     /// Inserts or replaces; returns the previous value if any.
-    pub fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: u64) -> Option<u64> {
+    pub fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> Option<V> {
         let epoch = self.op_epoch(cx);
-        let payload = self.domain.alloc_payload(cx.tid(), key, val, epoch);
+        let payload = self
+            .domain
+            .alloc_value(cx.tid(), key, &val.to_value(), epoch);
         let prev = self.inner.put(cx, key, (val, payload.0));
         let domain = Arc::clone(&self.domain);
         cx.add_abort_action(move |_| domain.abandon_payload(payload));
-        let retired = prev.map(|(_, old_payload)| PayloadId(old_payload));
+        let retired = prev
+            .as_ref()
+            .map(|(_, old_payload)| PayloadId(*old_payload));
         if let Some(old) = retired {
             let domain = Arc::clone(&self.domain);
             cx.add_cleanup(move |_| domain.retire_payload(old, epoch));
@@ -231,7 +276,7 @@ where
     }
 
     /// Removes `key`; returns its value if present.
-    pub fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<u64> {
+    pub fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
         let epoch = self.op_epoch(cx);
         match self.inner.remove(cx, key) {
             Some((old_val, old_payload)) => {
@@ -254,31 +299,38 @@ where
 
     /// Simulated post-crash recovery: the key/value mapping as of the
     /// nbMontage recovery point (end of epoch `current − 2`).
-    pub fn recover(&self) -> HashMap<u64, u64> {
-        self.domain.recover()
+    pub fn recover(&self) -> HashMap<u64, V> {
+        self.recover_with_horizon().0
     }
 
     /// Recovery that also reports the epoch horizon of the returned cut (see
     /// [`PersistenceDomain::recover_with_horizon`]).
-    pub fn recover_with_horizon(&self) -> (HashMap<u64, u64>, u64) {
-        self.domain.recover_with_horizon()
+    pub fn recover_with_horizon(&self) -> (HashMap<u64, V>, u64) {
+        let (rec, horizon) = self.domain.recover_with_horizon();
+        (
+            rec.into_iter()
+                .map(|(k, v)| (k, V::from_value(v)))
+                .collect(),
+            horizon,
+        )
     }
 }
 
-impl<M> TxMap<u64> for Durable<M>
+impl<M, V> TxMap<V> for Durable<M, V>
 where
-    M: TxMap<Indexed>,
+    M: TxMap<(V, u64)>,
+    V: DurableValue,
 {
-    fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<u64> {
+    fn get<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
         Durable::get(self, cx, key)
     }
-    fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: u64) -> bool {
+    fn insert<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> bool {
         Durable::insert(self, cx, key, val)
     }
-    fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: u64) -> Option<u64> {
+    fn put<C: Ctx>(&self, cx: &mut C, key: u64, val: V) -> Option<V> {
         Durable::put(self, cx, key, val)
     }
-    fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<u64> {
+    fn remove<C: Ctx>(&self, cx: &mut C, key: u64) -> Option<V> {
         Durable::remove(self, cx, key)
     }
     fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool {
@@ -436,6 +488,35 @@ mod tests {
         for k in (3..N).step_by(2) {
             assert_eq!(rec.get(&k), Some(&(k * 2)));
         }
+    }
+
+    #[test]
+    fn blob_values_flow_through_transactions_and_recovery() {
+        use pmem::Value;
+        let mgr = TxManager::new();
+        let domain = PersistenceDomain::new(Arc::clone(&mgr), NvmCostModel::ZERO);
+        let map: DurableHashMap<Value> = DurableHashMap::hash_map(64, Arc::clone(&domain));
+        let mut h = mgr.register();
+        let small = Value::from_bytes(b"hello");
+        let big = Value::from_bytes(&vec![7u8; 4096]);
+        assert!(map.insert(&mut h.nontx(), 1, small.clone()));
+        let res: TxResult<()> = h.run(|t| {
+            map.put(t, 2, big.clone());
+            map.put(t, 3, Value::U64(33));
+            Ok(())
+        });
+        assert!(res.is_ok());
+        domain.sync();
+        let rec = map.recover();
+        assert_eq!(rec.get(&1), Some(&small));
+        assert_eq!(rec.get(&2), Some(&big));
+        assert_eq!(rec.get(&3), Some(&Value::U64(33)));
+        // Replacement retires the old blob's payload (and, in the arena
+        // store, its overflow chain).
+        assert_eq!(map.put(&mut h.nontx(), 2, Value::U64(2)), Some(big));
+        domain.sync();
+        assert_eq!(map.recover().get(&2), Some(&Value::U64(2)));
+        assert_eq!(domain.stats().live_payloads, 3);
     }
 
     #[test]

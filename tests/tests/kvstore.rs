@@ -160,6 +160,10 @@ fn durable_restart_recovers_sync_acked_state() {
     // "Crash": stop the server without another sync.
     let store = server.shutdown();
     let recovered = store.recover();
+    let recovered: HashMap<u64, u64> = recovered
+        .into_iter()
+        .map(|(k, v)| (k, v.as_u64().expect("word-only workload")))
+        .collect();
     assert_eq!(
         recovered, expected,
         "recovery must equal exactly the SYNC-acknowledged state"
@@ -251,6 +255,10 @@ fn durable_server_with_live_advancer_recovers_prefix() {
     let store = server.shutdown();
     let rec = store.recover();
     for k in 0..8u64 {
-        assert_eq!(rec.get(&k), Some(&200), "final sync must cover key {k}");
+        assert_eq!(
+            rec.get(&k),
+            Some(&pmem::Value::U64(200)),
+            "final sync must cover key {k}"
+        );
     }
 }
