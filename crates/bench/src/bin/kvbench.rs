@@ -569,7 +569,7 @@ fn run_fanout_mode(
         let cfg = ServerConfig {
             workers,
             store: StoreConfig {
-                tables,
+                tables: tables.clone(),
                 ..Default::default()
             },
             ..Default::default()
@@ -928,7 +928,7 @@ fn run_overload_mode(
     let cap_cfg = ServerConfig {
         workers,
         store: StoreConfig {
-            tables,
+            tables: tables.clone(),
             ..Default::default()
         },
         ..Default::default()
@@ -977,7 +977,7 @@ fn run_overload_mode(
         let cfg = ServerConfig {
             workers,
             store: StoreConfig {
-                tables,
+                tables: tables.clone(),
                 contention: policy,
                 ..Default::default()
             },
@@ -1094,10 +1094,9 @@ fn run_grow_mode(
     let mut steady_ops = Vec::new();
     let mut elastic_summary = String::new();
     for (label, tables, buckets_per_shard) in [
-        ("presized", TableKind::Hash, presized_buckets),
-        // The knob is ignored by elastic shards; pass a nonsense value to
-        // prove it.
-        ("elastic", TableKind::Elastic, 1),
+        ("presized", TableKind::Hash, Some(presized_buckets)),
+        // Elastic shards size themselves; the knob is a config error there.
+        ("elastic", TableKind::Elastic, None),
     ] {
         let cfg = ServerConfig {
             workers,
@@ -1207,6 +1206,333 @@ fn run_grow_mode(
     entries
 }
 
+/// Strided key slots one windowed `--scan` query covers.
+const SCAN_WINDOW: u64 = 128;
+
+/// The `--scan` mode: a range-partitioned (skiplist) server under a mix of
+/// windowed scans, transfers, and occasional full-space scans.  Keys are
+/// strided across the whole u64 space so range partitioning spreads them
+/// over every shard, and every full scan asserts **conservation**: money
+/// moving between accounts mid-scan must never change the page total,
+/// because a page is one atomic read-only transaction.
+fn run_scan_mode(connections: usize, workers: usize, duration: Duration, keys: u64) -> Vec<String> {
+    // A page is one transaction, and every returned entry is one counted
+    // read in its descriptor — so an atomic full-space page is bounded by
+    // the read-set capacity (4096 entries), not just MAX_SCAN_LIMIT.
+    assert!(
+        keys <= 3_500,
+        "--scan asserts full-page conservation; an atomic page is capped by \
+         descriptor read-set capacity, keep --keys <= 3500"
+    );
+    let cfg = ServerConfig {
+        workers,
+        store: StoreConfig {
+            tables: TableKind::Skip,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let server = Server::start(&cfg).expect("start scan server");
+    let addr = server.local_addr();
+    let stride = u64::MAX / keys;
+    {
+        let mut c = Client::connect(addr).expect("scan preload");
+        let pairs: Vec<(u64, u64)> = (0..keys).map(|i| (i * stride, INITIAL)).collect();
+        for chunk in pairs.chunks(512) {
+            c.mset(chunk).expect("scan preload mset");
+        }
+    }
+    let total: u128 = keys as u128 * INITIAL as u128;
+
+    let barrier = Barrier::new(connections + 1);
+    let scans = AtomicU64::new(0);
+    let scan_entries = AtomicU64::new(0);
+    let full_scans = AtomicU64::new(0);
+    let transfers = AtomicU64::new(0);
+    let retry_aborts = AtomicU64::new(0);
+    let hist = Mutex::new(LatencyHistogram::new());
+    let started = Mutex::new(None::<Instant>);
+    std::thread::scope(|s| {
+        for t in 0..connections {
+            let barrier = &barrier;
+            let scans = &scans;
+            let scan_entries = &scan_entries;
+            let full_scans = &full_scans;
+            let transfers = &transfers;
+            let retry_aborts = &retry_aborts;
+            let hist = &hist;
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("scan connect");
+                let mut rng = FastRng::new(0x5CA9 + t as u64);
+                let (mut n_scan, mut n_entries, mut n_full, mut n_xfer, mut n_retry) =
+                    (0u64, 0u64, 0u64, 0u64, 0u64);
+                let mut local_hist = LatencyHistogram::new();
+                barrier.wait();
+                let deadline = Instant::now() + duration;
+                while Instant::now() < deadline {
+                    let dice = rng.next_below(100);
+                    let start = Instant::now();
+                    if dice < 60 {
+                        let lo = rng.next_below(keys) * stride;
+                        let hi = lo.saturating_add(SCAN_WINDOW * stride);
+                        match c.scan(lo, hi, SCAN_WINDOW as u32) {
+                            Ok(page) => {
+                                n_scan += 1;
+                                n_entries += page.len() as u64;
+                                local_hist.record(start.elapsed());
+                            }
+                            Err(KvError::Server(_)) => n_retry += 1,
+                            Err(_) => break,
+                        }
+                    } else if dice < 90 {
+                        let from = rng.next_below(keys);
+                        let mut to = rng.next_below(keys);
+                        if to == from {
+                            to = (to + 1) % keys;
+                        }
+                        match c.transfer(from * stride, to * stride, 1) {
+                            Ok(_) => {
+                                n_xfer += 1;
+                                local_hist.record(start.elapsed());
+                            }
+                            Err(KvError::Server(ErrCode::Retry))
+                            | Err(KvError::Server(ErrCode::Capacity)) => n_retry += 1,
+                            Err(KvError::Server(_)) => n_xfer += 1, // Insufficient: answered
+                            Err(_) => break,
+                        }
+                    } else {
+                        match c.scan(0, u64::MAX, keys as u32) {
+                            Ok(page) => {
+                                assert_eq!(
+                                    page.len() as u64,
+                                    keys,
+                                    "full scan must see every account"
+                                );
+                                let sum: u128 = page
+                                    .iter()
+                                    .map(|(_, v)| match v {
+                                        pmem::Value::U64(w) => *w as u128,
+                                        pmem::Value::Bytes(_) => 0,
+                                    })
+                                    .sum();
+                                assert_eq!(
+                                    sum, total,
+                                    "scan page total drifted under concurrent transfers"
+                                );
+                                n_full += 1;
+                                local_hist.record(start.elapsed());
+                            }
+                            Err(KvError::Server(_)) => n_retry += 1,
+                            Err(_) => break,
+                        }
+                    }
+                }
+                scans.fetch_add(n_scan, Ordering::Relaxed);
+                scan_entries.fetch_add(n_entries, Ordering::Relaxed);
+                full_scans.fetch_add(n_full, Ordering::Relaxed);
+                transfers.fetch_add(n_xfer, Ordering::Relaxed);
+                retry_aborts.fetch_add(n_retry, Ordering::Relaxed);
+                hist.lock().unwrap().merge(&local_hist);
+            });
+        }
+        barrier.wait();
+        *started.lock().unwrap() = Some(Instant::now());
+    });
+    let elapsed = started.lock().unwrap().expect("run started").elapsed();
+
+    let stats = {
+        let mut c = Client::connect(addr).expect("stats connect");
+        c.stats().expect("stats")
+    };
+    server.shutdown();
+    let tables = stats.tables.expect("server reports table stats");
+    assert_eq!(
+        tables.partition,
+        kvstore::PartitionScheme::Range,
+        "skip tables must be range-partitioned"
+    );
+
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let (p50, _, p99) = hist.lock().unwrap().percentiles_ns();
+    let (n_scan, n_full) = (
+        scans.load(Ordering::Relaxed),
+        full_scans.load(Ordering::Relaxed),
+    );
+    println!(
+        "scan-summary: {:.0} scans/s ({} windowed + {} full, all pages conserved), {:.0} transfers/s",
+        (n_scan + n_full) as f64 / secs,
+        n_scan,
+        n_full,
+        transfers.load(Ordering::Relaxed) as f64 / secs,
+    );
+    vec![format!(
+        concat!(
+            "{{\"name\":\"scan/skip\",\"mode\":\"scan\",\"keys\":{},",
+            "\"connections\":{},\"elapsed_s\":{:.4},",
+            "\"scans\":{},\"scans_per_sec\":{:.0},\"scan_entries\":{},",
+            "\"full_scans\":{},\"transfers\":{},\"retry_aborts\":{},",
+            "\"p50_ns\":{},\"p99_ns\":{},\"partition\":\"range\",",
+            "\"server_commits\":{},\"server_ro_commits\":{}}}"
+        ),
+        keys,
+        connections,
+        elapsed.as_secs_f64(),
+        n_scan + n_full,
+        (n_scan + n_full) as f64 / secs,
+        scan_entries.load(Ordering::Relaxed),
+        n_full,
+        transfers.load(Ordering::Relaxed),
+        retry_aborts.load(Ordering::Relaxed),
+        p50,
+        p99,
+        stats.tx.commits,
+        stats.tx.ro_commits,
+    )]
+}
+
+/// The `--cache` mode: a cache-tables server (second-chance policy: hash map
+/// and FIFO queue composed in one transaction per op) under a zipfian get/put
+/// mix sized to overflow capacity.  Reports the server's commit-disciplined
+/// hit/miss/eviction tallies and asserts the capacity invariant on the
+/// occupancy `STATS` reports.
+fn run_cache_mode(
+    connections: usize,
+    workers: usize,
+    duration: Duration,
+    keys: u64,
+    dist: KeyDist,
+) -> Vec<String> {
+    let capacity = (keys / 4).max(StoreConfig::default().shards as u64);
+    let cfg = ServerConfig {
+        workers,
+        store: StoreConfig {
+            tables: TableKind::Cache { capacity },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let server = Server::start(&cfg).expect("start cache server");
+    let addr = server.local_addr();
+
+    let barrier = Barrier::new(connections + 1);
+    let gets = AtomicU64::new(0);
+    let observed_hits = AtomicU64::new(0);
+    let puts = AtomicU64::new(0);
+    let retry_aborts = AtomicU64::new(0);
+    let hist = Mutex::new(LatencyHistogram::new());
+    let started = Mutex::new(None::<Instant>);
+    std::thread::scope(|s| {
+        for t in 0..connections {
+            let barrier = &barrier;
+            let gets = &gets;
+            let observed_hits = &observed_hits;
+            let puts = &puts;
+            let retry_aborts = &retry_aborts;
+            let hist = &hist;
+            let sampler = dist.sampler(keys);
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("cache connect");
+                let mut rng = FastRng::new(0xCAC4E + t as u64);
+                let (mut n_get, mut n_hit, mut n_put, mut n_retry) = (0u64, 0u64, 0u64, 0u64);
+                let mut local_hist = LatencyHistogram::new();
+                barrier.wait();
+                let deadline = Instant::now() + duration;
+                while Instant::now() < deadline {
+                    let k = sampler.sample(&mut rng);
+                    let start = Instant::now();
+                    if rng.next_below(100) < 70 {
+                        match c.get(k) {
+                            Ok(v) => {
+                                n_get += 1;
+                                n_hit += u64::from(v.is_some());
+                                local_hist.record(start.elapsed());
+                            }
+                            Err(KvError::Server(_)) => n_retry += 1,
+                            Err(_) => break,
+                        }
+                    } else {
+                        match c.put(k, rng.next_u64() % INITIAL) {
+                            Ok(_) => {
+                                n_put += 1;
+                                local_hist.record(start.elapsed());
+                            }
+                            Err(KvError::Server(_)) => n_retry += 1,
+                            Err(_) => break,
+                        }
+                    }
+                }
+                gets.fetch_add(n_get, Ordering::Relaxed);
+                observed_hits.fetch_add(n_hit, Ordering::Relaxed);
+                puts.fetch_add(n_put, Ordering::Relaxed);
+                retry_aborts.fetch_add(n_retry, Ordering::Relaxed);
+                hist.lock().unwrap().merge(&local_hist);
+            });
+        }
+        barrier.wait();
+        *started.lock().unwrap() = Some(Instant::now());
+    });
+    let elapsed = started.lock().unwrap().expect("run started").elapsed();
+
+    let stats = {
+        let mut c = Client::connect(addr).expect("stats connect");
+        c.stats().expect("stats")
+    };
+    server.shutdown();
+    let tables = stats.tables.expect("server reports table stats");
+    let cache = tables.cache.expect("cache server reports cache tallies");
+    let live: u64 = tables
+        .shards
+        .iter()
+        .map(|sh| sh.items.expect("cache shards track occupancy"))
+        .sum();
+    assert!(
+        live <= capacity,
+        "live entries {live} exceed the configured capacity {capacity}"
+    );
+    let hit_rate = cache.hits as f64 / (cache.hits + cache.misses).max(1) as f64;
+
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let (p50, _, p99) = hist.lock().unwrap().percentiles_ns();
+    let ops = gets.load(Ordering::Relaxed) + puts.load(Ordering::Relaxed);
+    println!(
+        "cache-summary: {:.0} ops/s, hit rate {:.1}% ({} hits / {} misses), {} evictions, {live}/{capacity} live",
+        ops as f64 / secs,
+        hit_rate * 100.0,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+    );
+    vec![format!(
+        concat!(
+            "{{\"name\":\"cache/second-chance\",\"mode\":\"cache\",\"keys\":{},",
+            "\"capacity\":{},\"connections\":{},\"elapsed_s\":{:.4},",
+            "\"ops\":{},\"ops_per_sec\":{:.0},",
+            "\"gets\":{},\"client_observed_hits\":{},\"puts\":{},",
+            "\"retry_aborts\":{},\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},",
+            "\"evictions\":{},\"live_entries\":{},",
+            "\"p50_ns\":{},\"p99_ns\":{},\"server_commits\":{}}}"
+        ),
+        keys,
+        capacity,
+        connections,
+        elapsed.as_secs_f64(),
+        ops,
+        ops as f64 / secs,
+        gets.load(Ordering::Relaxed),
+        observed_hits.load(Ordering::Relaxed),
+        puts.load(Ordering::Relaxed),
+        retry_aborts.load(Ordering::Relaxed),
+        cache.hits,
+        cache.misses,
+        hit_rate,
+        cache.evictions,
+        live,
+        p50,
+        p99,
+        stats.tx.commits,
+    )]
+}
+
 fn main() {
     // Hundreds of benchmark connections means hundreds of descriptors on
     // both ends of the loopback; lift the soft cap before opening any.
@@ -1224,7 +1550,10 @@ fn main() {
         "skip" => TableKind::Skip,
         "mixed" => TableKind::Mixed,
         "elastic" => TableKind::Elastic,
-        other => panic!("unknown --tables {other:?} (hash|skip|mixed|elastic)"),
+        "cache" => TableKind::Cache {
+            capacity: CommonArgs::extra_flag("--cache-capacity", 1 << 16),
+        },
+        other => panic!("unknown --tables {other:?} (hash|skip|mixed|elastic|cache)"),
     };
     let duration = Duration::from_secs_f64(args.seconds);
     let dist = if uniform {
@@ -1239,6 +1568,18 @@ fn main() {
 
     if std::env::args().any(|a| a == "--grow") {
         let entries = run_grow_mode(connections, workers, duration, args.keys, dist);
+        write_json("server", &entries);
+        return;
+    }
+
+    if std::env::args().any(|a| a == "--scan") {
+        let entries = run_scan_mode(connections, workers, duration, args.keys);
+        write_json("server", &entries);
+        return;
+    }
+
+    if std::env::args().any(|a| a == "--cache") {
+        let entries = run_cache_mode(connections, workers, duration, args.keys, dist);
         write_json("server", &entries);
         return;
     }
@@ -1288,7 +1629,7 @@ fn main() {
             let cfg = ServerConfig {
                 workers,
                 store: StoreConfig {
-                    tables,
+                    tables: tables.clone(),
                     backend,
                     ..Default::default()
                 },
@@ -1320,7 +1661,7 @@ fn main() {
                 let cfg = ServerConfig {
                     workers,
                     store: StoreConfig {
-                        tables,
+                        tables: tables.clone(),
                         backend,
                         ..Default::default()
                     },

@@ -37,7 +37,10 @@ fn main() {
         "skip" => TableKind::Skip,
         "mixed" => TableKind::Mixed,
         "elastic" => TableKind::Elastic,
-        other => panic!("unknown --tables {other:?} (hash|skip|mixed|elastic)"),
+        "cache" => TableKind::Cache {
+            capacity: flag("--cache-capacity", 1 << 16),
+        },
+        other => panic!("unknown --tables {other:?} (hash|skip|mixed|elastic|cache)"),
     };
     let backend = match flag("--backend", "transient".to_string()).as_str() {
         "transient" => StoreBackend::Transient,
@@ -64,7 +67,7 @@ fn main() {
         workers,
         store: StoreConfig {
             shards,
-            tables,
+            tables: tables.clone(),
             backend,
             max_retries: retries,
             contention,

@@ -305,6 +305,18 @@ impl Client {
         }
     }
 
+    /// Ordered range scan: one atomically consistent page of `[lo, hi)`,
+    /// at most `limit` entries (server-capped at
+    /// [`crate::store::MAX_SCAN_LIMIT`]).  A truncated page is a consistent
+    /// prefix; resume from `last_key + 1`.  Only range-partitioned (skiplist)
+    /// stores answer scans — others report [`ErrCode::Malformed`].
+    pub fn scan(&mut self, lo: u64, hi: u64, limit: u32) -> KvResult<Vec<(u64, Value)>> {
+        match self.cmd(Cmd::Scan { lo, hi, limit })? {
+            CmdOut::Page(page) => Ok(page),
+            _ => Err(KvError::Proto),
+        }
+    }
+
     /// Failure-atomic transfer; returns both post-transfer balances.
     pub fn transfer(&mut self, from: u64, to: u64, amount: u64) -> KvResult<(u64, u64)> {
         match self.cmd(Cmd::Transfer { from, to, amount })? {

@@ -41,19 +41,25 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod cache;
 pub mod client;
 pub mod proto;
 pub mod server;
 pub mod store;
 pub mod sys;
 
+pub use cache::{CacheCounters, TxCache};
 pub use client::{Client, KvError, KvResult};
 pub use proto::{
-    ErrCode, EventStats, LoadStats, Request, Response, ShardKind, ShardStats, StatsReply,
-    TableStats,
+    CacheStats, ErrCode, EventStats, LoadStats, PartitionScheme, Request, Response, ShardKind,
+    ShardStats, StatsReply, TableStats,
 };
 pub use server::{OverloadConfig, Server, ServerConfig};
-pub use store::{Cmd, CmdOut, Store, StoreBackend, StoreConfig, TableKind, ELASTIC_BOOT_BUCKETS};
+pub use store::{
+    Cmd, CmdOut, ConfigError, HashPartition, Partition, Partitioner, RangePartition, Store,
+    StoreBackend, StoreConfig, TableKind, DEFAULT_BUCKETS_PER_SHARD, ELASTIC_BOOT_BUCKETS,
+    MAX_SCAN_LIMIT,
+};
 
 #[cfg(test)]
 mod tests {

@@ -40,6 +40,7 @@
 //! | `0x13` | `BATCH`    | `n: u32, n × (u8 opcode + body)` — single-key ops only |
 //! | `0x16` | `MGETB`    | `n: u32, n × key: u64` |
 //! | `0x17` | `MSETB`    | `n: u32, n × (key: u64, vlen: u32, vlen × u8)` |
+//! | `0x18` | `SCAN`     | `lo: u64, hi: u64, limit: u32` |
 //! | `0x20` | `STATS`    | (empty) |
 //! | `0x21` | `SYNC`     | (empty) |
 //!
@@ -64,6 +65,21 @@
 //! list under a single `ThreadHandle::run_with`; blob single-key ops
 //! (`GETB`/`PUTB`/`DELB`/`CASB`) are legal batch members alongside the
 //! fixed-width ones.
+//!
+//! `SCAN lo hi limit` returns an **atomically consistent ordered page** of
+//! the half-open key window `[lo, hi)`: one read-only Medley transaction
+//! walks the range-partitioned skiplist shards in key order, so every
+//! returned pair coexisted in a single serializable snapshot.  It is only
+//! answerable by range-partitioned stores (`TableKind::Skip`); on
+//! hash-partitioned ones it reports `ERR_MALFORMED`, and it is not a legal
+//! `BATCH` member.  The server truncates pages at `min(limit, 32768)`
+//! entries and a 512 KiB value budget; a truncated page is still a
+//! consistent *prefix* of the window, so clients resume from
+//! `last_key + 1`.  Every returned entry is one counted read in the scan's
+//! transaction descriptor, so a page is additionally bounded by the
+//! descriptor's read-set capacity (4096 entries) — a window too wide to fit
+//! reports `ABORT_CAPACITY`, exactly like an oversized `BATCH`: shrink the
+//! window and page through it.
 //!
 //! ## Response payload
 //!
@@ -103,6 +119,7 @@
 //! | `TRANSFER`  | `from_after: u64, to_after: u64` |
 //! | `BATCH`     | `n: u32, n × (u8 opcode + single-op body)` |
 //! | `MGETB`     | `n: u32, n × tagged value` |
+//! | `SCAN`      | `n: u32, n × (key: u64, vlen: u32, vlen × u8)` — keys strictly ascending |
 //! | `STATS`     | 13 × `u64` transaction counters, `has_domain: u8` (+ 5 × `u64` domain stats), `has_load: u8` (+ 4 × `u64` load stats), `has_tables: u8` (+ table section, below), `has_events: u8` (+ 4 × `u64` event-loop stats, see [`EventStats`]) — see [`StatsReply`] |
 //! | `SYNC`      | `persisted_epoch: u64` |
 //!
@@ -113,14 +130,18 @@
 //! as tag `1`), and decoders re-canonicalize defensively.
 //!
 //! The `STATS` table section (present when `has_tables == 1`) describes the
-//! store's shards:
+//! store's shards and how keys are routed to them:
 //!
 //! ```text
 //! grow_events: u64            // directory doublings, summed over elastic shards
+//! partition: u8               // 0 = hash partitioning, 1 = range partitioning
+//! has_cache: u8 [+ hits: u64, misses: u64, evictions: u64]  // cache tallies,
+//!                             // summed over cache shards (cache stores only)
 //! n: u32                      // shard count
 //! n × (
-//!   kind: u8                  // 0 = hash, 1 = skip, 2 = elastic
-//!   has_items: u8 [+ items: u64]  // relaxed per-shard item count (hash/elastic)
+//!   kind: u8                  // 0 = hash, 1 = skip, 2 = elastic, 3 = cache
+//!   has_items: u8 [+ items: u64]  // per-shard item count (hash/elastic: relaxed;
+//!                                 // cache: exact transactional occupancy)
 //!   buckets: u64              // current bucket count (0 for skiplists)
 //! )
 //! ```
@@ -128,6 +149,9 @@
 //! A shard's load factor is derived, not wired: `items / buckets` for the
 //! kinds that report both.  Skiplists have neither buckets nor a maintained
 //! counter, so they report `kind = 1`, `has_items = 0`, `buckets = 0`.
+//! Cache shards report their *exact* occupancy — the count is maintained
+//! inside the same transactions that mutate the shard, so the summed value
+//! never exceeds the configured capacity in any committed state.
 
 use crate::store::{Cmd, CmdOut};
 use medley::TxStatsSnapshot;
@@ -156,6 +180,7 @@ const OP_TRANSFER: u8 = 0x12;
 const OP_BATCH: u8 = 0x13;
 const OP_MGETB: u8 = 0x16;
 const OP_MSETB: u8 = 0x17;
+const OP_SCAN: u8 = 0x18;
 const OP_STATS: u8 = 0x20;
 const OP_SYNC: u8 = 0x21;
 
@@ -208,6 +233,35 @@ pub enum ShardKind {
     Skip,
     /// Split-ordered elastic hash table (bucket directory grows on-line).
     Elastic,
+    /// Second-chance cache: hash map + FIFO queue composed transactionally.
+    Cache,
+}
+
+/// How the store routes keys to shards (the `partition` byte of the `STATS`
+/// table section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionScheme {
+    /// Keys are hashed to shards; point ops spread evenly, no global order.
+    #[default]
+    Hash,
+    /// Shards own contiguous key ranges in shard order; `SCAN` is available.
+    Range,
+}
+
+/// Cache effectiveness tallies, summed over a cache store's shards
+/// (the `has_cache` section of the `STATS` table section).
+///
+/// Counters are commit-disciplined: an operation that aborts (or retries)
+/// tallies nothing, so `hits + misses` equals the number of *committed*
+/// lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Committed lookups that found their key.
+    pub hits: u64,
+    /// Committed lookups that missed.
+    pub misses: u64,
+    /// Entries removed by the second-chance policy to hold capacity.
+    pub evictions: u64,
 }
 
 /// One shard's table metrics in the `STATS` reply.
@@ -249,6 +303,11 @@ pub struct TableStats {
     /// Directory doublings since startup, summed over elastic shards
     /// (always `0` for stores without elastic tables).
     pub grow_events: u64,
+    /// How keys are routed to the shards below.
+    pub partition: PartitionScheme,
+    /// Cache tallies, summed over cache shards (`None` unless the store's
+    /// tables are caches).
+    pub cache: Option<CacheStats>,
     /// Per-shard kind / items / buckets, in shard order.
     pub shards: Vec<ShardStats>,
 }
@@ -465,6 +524,7 @@ fn cmd_opcode(cmd: &Cmd) -> u8 {
         Cmd::CasB { .. } => OP_CASB,
         Cmd::MGetB(_) => OP_MGETB,
         Cmd::MSetB(_) => OP_MSETB,
+        Cmd::Scan { .. } => OP_SCAN,
     }
 }
 
@@ -535,6 +595,11 @@ fn encode_cmd_body(buf: &mut Vec<u8>, cmd: &Cmd) {
                 put_u64(buf, *k);
                 put_value(buf, v);
             }
+        }
+        Cmd::Scan { lo, hi, limit } => {
+            put_u64(buf, *lo);
+            put_u64(buf, *hi);
+            put_u32(buf, *limit);
         }
     }
 }
@@ -623,6 +688,13 @@ fn decode_cmd_body(cur: &mut Cursor<'_>, opcode: u8, nested: bool) -> Result<Cmd
             }
             Cmd::MSetB(pairs)
         }
+        // A scan is a whole transaction by itself, so like the other
+        // multi-key commands it is not a legal BATCH member.
+        OP_SCAN if !nested => Cmd::Scan {
+            lo: cur.u64()?,
+            hi: cur.u64()?,
+            limit: cur.u32()?,
+        },
         _ => return Err(ProtoError),
     })
 }
@@ -692,6 +764,7 @@ fn out_opcode(out: &CmdOut) -> u8 {
         CmdOut::RemovedB(_) => OP_DELB,
         CmdOut::CasB { .. } => OP_CASB,
         CmdOut::ValuesB(_) => OP_MGETB,
+        CmdOut::Page(_) => OP_SCAN,
     }
 }
 
@@ -751,6 +824,13 @@ fn encode_out_body(buf: &mut Vec<u8>, out: &CmdOut) {
             put_u32(buf, vals.len() as u32);
             for v in vals {
                 put_opt_value(buf, v);
+            }
+        }
+        CmdOut::Page(entries) => {
+            put_u32(buf, entries.len() as u32);
+            for (k, v) in entries {
+                put_u64(buf, *k);
+                put_value(buf, v);
             }
         }
     }
@@ -814,6 +894,18 @@ fn decode_out_body(cur: &mut Cursor<'_>, opcode: u8, nested: bool) -> Result<Cmd
         }
         // An `MSETB` acknowledgement is body-less, like `MSET`'s.
         OP_MSETB if !nested => CmdOut::Done,
+        OP_SCAN if !nested => {
+            let n = cur.u32()? as usize;
+            // Each page entry is at least key (8) + length prefix (4) bytes.
+            if n > MAX_FRAME / 12 {
+                return Err(ProtoError);
+            }
+            let mut entries = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                entries.push((cur.u64()?, get_value(cur)?));
+            }
+            CmdOut::Page(entries)
+        }
         _ => return Err(ProtoError),
     })
 }
@@ -898,12 +990,26 @@ pub fn encode_response(out: &mut Vec<u8>, req_id: u32, opcode: u8, resp: &Respon
                 Some(t) => {
                     payload.push(1);
                     put_u64(&mut payload, t.grow_events);
+                    payload.push(match t.partition {
+                        PartitionScheme::Hash => 0,
+                        PartitionScheme::Range => 1,
+                    });
+                    match &t.cache {
+                        Some(c) => {
+                            payload.push(1);
+                            put_u64(&mut payload, c.hits);
+                            put_u64(&mut payload, c.misses);
+                            put_u64(&mut payload, c.evictions);
+                        }
+                        None => payload.push(0),
+                    }
                     put_u32(&mut payload, t.shards.len() as u32);
                     for sh in &t.shards {
                         payload.push(match sh.kind {
                             ShardKind::Hash => 0,
                             ShardKind::Skip => 1,
                             ShardKind::Elastic => 2,
+                            ShardKind::Cache => 3,
                         });
                         put_opt(&mut payload, sh.items);
                         put_u64(&mut payload, sh.buckets);
@@ -988,6 +1094,20 @@ pub fn decode_response(frame: &[u8]) -> Result<(u32, Response), ProtoError> {
                     0 => None,
                     1 => {
                         let grow_events = cur.u64()?;
+                        let partition = match cur.u8()? {
+                            0 => PartitionScheme::Hash,
+                            1 => PartitionScheme::Range,
+                            _ => return Err(ProtoError),
+                        };
+                        let cache = match cur.u8()? {
+                            0 => None,
+                            1 => Some(CacheStats {
+                                hits: cur.u64()?,
+                                misses: cur.u64()?,
+                                evictions: cur.u64()?,
+                            }),
+                            _ => return Err(ProtoError),
+                        };
                         let n = cur.u32()? as usize;
                         // Each shard entry is at least 10 bytes on the wire.
                         if n > MAX_FRAME / 10 {
@@ -999,6 +1119,7 @@ pub fn decode_response(frame: &[u8]) -> Result<(u32, Response), ProtoError> {
                                 0 => ShardKind::Hash,
                                 1 => ShardKind::Skip,
                                 2 => ShardKind::Elastic,
+                                3 => ShardKind::Cache,
                                 _ => return Err(ProtoError),
                             };
                             let items = get_opt(&mut cur)?;
@@ -1011,6 +1132,8 @@ pub fn decode_response(frame: &[u8]) -> Result<(u32, Response), ProtoError> {
                         }
                         Some(TableStats {
                             grow_events,
+                            partition,
+                            cache,
                             shards,
                         })
                     }
@@ -1285,6 +1408,8 @@ mod tests {
                 }),
                 tables: Some(TableStats {
                     grow_events: 5,
+                    partition: PartitionScheme::Hash,
+                    cache: None,
                     shards: vec![
                         ShardStats {
                             kind: ShardKind::Hash,
@@ -1372,6 +1497,58 @@ mod tests {
         put_u64(&mut payload, 2);
         put_u64(&mut payload, 3);
         assert!(decode_request(&payload).is_err());
+        // Same for SCAN: a whole transaction cannot nest inside another.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 4); // req id
+        payload.push(OP_BATCH);
+        put_u32(&mut payload, 1);
+        payload.push(OP_SCAN);
+        put_u64(&mut payload, 0);
+        put_u64(&mut payload, 10);
+        put_u32(&mut payload, 5);
+        assert!(decode_request(&payload).is_err());
+    }
+
+    #[test]
+    fn scan_and_cache_stats_roundtrip() {
+        roundtrip_request(Request::Cmd(Cmd::Scan {
+            lo: 100,
+            hi: u64::MAX,
+            limit: 4096,
+        }));
+        roundtrip_response(Response::Ok(CmdOut::Page(Vec::new())), OP_SCAN);
+        roundtrip_response(
+            Response::Ok(CmdOut::Page(vec![
+                (1, Value::U64(10)),
+                (2, Value::from_bytes(b"variable-length page entry")),
+                (u64::MAX - 1, Value::U64(30)),
+            ])),
+            OP_SCAN,
+        );
+        // A cache store's table section: range byte exercised separately.
+        roundtrip_response(
+            Response::Stats(StatsReply {
+                tx: TxStatsSnapshot::default(),
+                domain: None,
+                load: None,
+                tables: Some(TableStats {
+                    grow_events: 0,
+                    partition: PartitionScheme::Range,
+                    cache: Some(CacheStats {
+                        hits: 100,
+                        misses: 40,
+                        evictions: 25,
+                    }),
+                    shards: vec![ShardStats {
+                        kind: ShardKind::Cache,
+                        items: Some(32),
+                        buckets: 64,
+                    }],
+                }),
+                events: None,
+            }),
+            OP_STATS,
+        );
     }
 
     #[test]

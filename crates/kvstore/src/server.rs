@@ -634,6 +634,7 @@ impl Conn {
                                         | Cmd::CasB { .. }
                                         | Cmd::MGetB(_)
                                         | Cmd::MSetB(_)
+                                        | Cmd::Scan { .. }
                                 ) =>
                         {
                             load.note_shed();
@@ -877,7 +878,8 @@ impl Server {
         // One slot per worker plus slack for in-process admin/test handles
         // on the same manager.
         let mgr = TxManager::with_max_threads(cfg.workers + 8);
-        let (store, advancer) = Store::new(mgr, &cfg.store);
+        let (store, advancer) = Store::new(mgr, &cfg.store)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
         let store = Arc::new(store);
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;

@@ -40,7 +40,7 @@ pub mod tag;
 pub use counter::LenCounter;
 pub use hashtable::MichaelHashMap;
 pub use list::MichaelList;
-pub use map::{TxMap, TxQueue};
+pub use map::{TxMap, TxOrderedMap, TxQueue};
 pub use msqueue::MsQueue;
 pub use skiplist::SkipList;
 pub use split_ordered::SplitOrderedMap;

@@ -39,6 +39,29 @@ pub trait TxMap<V>: Send + Sync {
     fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool;
 }
 
+/// An **ordered** map: a [`TxMap`] whose keys additionally support a
+/// transactional range cursor.
+///
+/// Implemented by the skiplist (and its durable wrapper in `txmontage`);
+/// [`crate::MichaelHashMap`] and [`crate::SplitOrderedMap`] stay
+/// deliberately unordered — hashing destroys key order, so an ordered
+/// cursor over them would be a lie the type system should not tell.
+pub trait TxOrderedMap<V>: TxMap<V> {
+    /// Collects up to `limit` `(key, value)` pairs with keys in `bounds`,
+    /// in ascending key order.
+    ///
+    /// Under a transactional context the cursor's linearizing loads join the
+    /// read set (counted reads), so a *committed* scan is an atomic snapshot
+    /// of the traversed window; standalone the walk is uninstrumented and
+    /// makes no cross-key atomicity claim.
+    fn range<C: Ctx>(
+        &self,
+        cx: &mut C,
+        bounds: std::ops::Range<u64>,
+        limit: usize,
+    ) -> Vec<(u64, V)>;
+}
+
 /// A FIFO queue whose operations can participate in Medley transactions or
 /// run standalone — the queue-shaped counterpart of [`TxMap`], so queue
 /// workloads are harness-swappable too.
@@ -90,6 +113,20 @@ where
     }
     fn contains<C: Ctx>(&self, cx: &mut C, key: u64) -> bool {
         crate::SkipList::contains(self, cx, key)
+    }
+}
+
+impl<V> TxOrderedMap<V> for crate::SkipList<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    fn range<C: Ctx>(
+        &self,
+        cx: &mut C,
+        bounds: std::ops::Range<u64>,
+        limit: usize,
+    ) -> Vec<(u64, V)> {
+        crate::SkipList::range(self, cx, bounds, limit)
     }
 }
 

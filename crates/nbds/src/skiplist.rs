@@ -228,6 +228,65 @@ where
         })
     }
 
+    /// Ordered range cursor: collects up to `limit` live `(key, value)`
+    /// pairs with keys in `bounds`, in ascending key order.
+    ///
+    /// Transactionally this is an **atomic snapshot of the traversed
+    /// window**: the linearizing level-0 loads — the link into the first
+    /// candidate and each live node's own level-0 word — join the read set
+    /// with their counter tokens, so commit-time validation fails if any
+    /// membership in the window changed between the walk and the commit.
+    /// Marked nodes are skipped *without* registration: a level-0 word never
+    /// changes again once marked (removal freezes it at `marked(next)`, a
+    /// replace at `marked(replacement)`), so the hop through a dead node is
+    /// pinned by the registered live words on either side of it.  Any
+    /// membership change in the window — an insert, a removal mark, a
+    /// replace — must CAS one of the registered words, which invalidates the
+    /// counter token and aborts the scan's transaction.
+    ///
+    /// Standalone ([`NonTx`]) the same code monomorphizes into an
+    /// uninstrumented read pass with no cross-node atomicity claim, like
+    /// [`SkipList::snapshot`] but bounded.
+    pub fn range<C: Ctx>(
+        &self,
+        cx: &mut C,
+        bounds: std::ops::Range<u64>,
+        limit: usize,
+    ) -> Vec<(u64, V)> {
+        cx.with_op(|cx| {
+            let mut out = Vec::new();
+            if bounds.start >= bounds.end || limit == 0 {
+                return out;
+            }
+            let (mut preds, mut succs) = Self::empty_arrays();
+            let pos = self.search(cx, bounds.start, &mut preds, &mut succs);
+            // SAFETY: pos.prev valid while pinned.
+            cx.add_read_with_counter(unsafe { &*pos.prev }, pos.prev_val, pos.prev_cnt);
+            let mut curr = pos.curr;
+            // SAFETY: every node on the level-0 list is protected by the
+            // current pin; keys are immutable after construction.
+            while let Some(node) = unsafe { curr.as_ref() } {
+                if node.key >= bounds.end || out.len() == limit {
+                    break;
+                }
+                let (next_raw, next_cnt) = cx.nbtc_load_counted(&node.tower[0]);
+                if tag::is_marked(next_raw) {
+                    // Logically deleted: hop over it unregistered (frozen
+                    // word, see above).  A replace parks the successor with
+                    // the same key here, so order is preserved.
+                    curr = tag::as_ptr::<Node<V>>(tag::unmarked(next_raw));
+                    continue;
+                }
+                // Live: this one load both proves membership and pins the
+                // link to the successor.
+                cx.add_read_with_counter(&node.tower[0], next_raw, next_cnt);
+                out.push((node.key, node.val.clone()));
+                curr = tag::as_ptr::<Node<V>>(tag::unmarked(next_raw));
+            }
+            out
+        })
+    }
+
     /// Links `node` into levels `1..height` (post-linearization index
     /// maintenance).  Called from cleanup context, which is definitionally
     /// non-transactional — hence the concrete [`NonTx`] context.
@@ -641,6 +700,52 @@ mod tests {
             "about half the towers should be height 1"
         );
         assert!(counts[1] < 7_000);
+    }
+
+    #[test]
+    fn range_cursor_matches_model() {
+        let mgr = TxManager::new();
+        let mut h = mgr.register();
+        let sl = SkipList::new();
+        let keys: Vec<u64> = (0..200).map(|i| i * 3 + 1).collect();
+        for &k in &keys {
+            assert!(sl.insert(&mut h.nontx(), k, k * 10));
+        }
+        // Standalone walk.
+        let page = sl.range(&mut h.nontx(), 10..100, usize::MAX);
+        let model: Vec<(u64, u64)> = keys
+            .iter()
+            .filter(|&&k| (10..100).contains(&k))
+            .map(|&k| (k, k * 10))
+            .collect();
+        assert_eq!(page, model);
+        // Limit truncation takes the smallest keys.
+        let page = sl.range(&mut h.nontx(), 10..100, 5);
+        assert_eq!(page, model[..5]);
+        // Empty and inverted windows.
+        assert!(sl.range(&mut h.nontx(), 2..3, 10).is_empty());
+        assert!(sl.range(&mut h.nontx(), 50..50, 10).is_empty());
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = 100..10;
+        assert!(sl.range(&mut h.nontx(), inverted, 10).is_empty());
+        // Transactional: a read-only scan commits descriptor-free and sees
+        // the same page; own writes inside the transaction are visible.
+        let res: TxResult<Vec<(u64, u64)>> = h.run(|t| Ok(sl.range(t, 10..100, usize::MAX)));
+        assert_eq!(res.unwrap(), model);
+        h.flush_stats();
+        assert!(mgr.stats().snapshot().ro_commits >= 1);
+        let res: TxResult<usize> = h.run(|t| {
+            assert!(sl.insert(t, 12, 120));
+            let page = sl.range(t, 10..100, usize::MAX);
+            assert!(page.contains(&(12, 120)), "own insert visible to scan");
+            Ok(page.len())
+        });
+        assert_eq!(res.unwrap(), model.len() + 1);
+        // Deleted keys disappear from the page.
+        sl.remove(&mut h.nontx(), 12).unwrap();
+        sl.remove(&mut h.nontx(), 13).unwrap();
+        let page = sl.range(&mut h.nontx(), 10..100, usize::MAX);
+        assert!(!page.iter().any(|&(k, _)| k == 12 || k == 13));
     }
 
     #[test]

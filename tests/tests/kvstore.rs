@@ -112,6 +112,98 @@ fn transfer_stress_conserves_over_loopback() {
 }
 
 #[test]
+fn scan_stress_conserves_over_loopback() {
+    // 8 pipelined connections hammer TRANSFER over range-partitioned
+    // skiplist shards while interleaved SCANs audit the whole key space:
+    // a scan page is one atomic read-only transaction, so every page must
+    // be ordered, complete, and conserve the total balance even with
+    // transfers mid-flight on the other connections.
+    const ACCOUNTS: u64 = 64;
+    const INITIAL: u64 = 1 << 16;
+    const CONNECTIONS: usize = 8;
+    const ROUNDS: u64 = 800;
+
+    let cfg = ServerConfig {
+        workers: 4,
+        store: StoreConfig {
+            tables: TableKind::Skip,
+            shards: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let server = Server::start(&cfg).expect("start server");
+    let addr = server.local_addr();
+    // Stride accounts across the u64 space so the range partition spreads
+    // them over every shard (and scans cross shard boundaries).
+    let stride = u64::MAX / ACCOUNTS;
+
+    {
+        let mut c = Client::connect(addr).expect("preload");
+        let pairs: Vec<(u64, u64)> = (0..ACCOUNTS).map(|i| (i * stride, INITIAL)).collect();
+        c.mset(&pairs).expect("preload mset");
+    }
+
+    std::thread::scope(|s| {
+        for t in 0..CONNECTIONS {
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let sampler = KeyDist::Zipfian(0.99).sampler(ACCOUNTS);
+                let mut rng = FastRng::new(0x5CA2 + t as u64);
+                for i in 1..=ROUNDS {
+                    if i.is_multiple_of(16) {
+                        // Read-only audit: one atomic ordered page of the
+                        // whole space.
+                        let page = c.scan(0, u64::MAX, ACCOUNTS as u32).expect("audit scan");
+                        assert_eq!(page.len() as u64, ACCOUNTS, "scan missed accounts");
+                        let mut sum = 0u64;
+                        let mut prev: Option<u64> = None;
+                        for (k, v) in &page {
+                            assert!(prev < Some(*k), "page keys must be strictly ascending");
+                            prev = Some(*k);
+                            sum += v.as_u64().expect("word-only workload");
+                        }
+                        assert_eq!(sum, ACCOUNTS * INITIAL, "scan saw a torn state");
+                        continue;
+                    }
+                    let from = sampler.sample(&mut rng);
+                    let mut to = sampler.sample(&mut rng);
+                    if to == from {
+                        to = (to + 1) % ACCOUNTS;
+                    }
+                    match c.transfer(from * stride, to * stride, 1) {
+                        Ok(_) => {}
+                        Err(KvError::Server(_)) => {}
+                        Err(e) => panic!("transport failure: {e}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // Final page over the wire, then exact post-drain statistics.
+    {
+        let mut c = Client::connect(addr).expect("final check");
+        let page = c.scan(0, u64::MAX, ACCOUNTS as u32).expect("final scan");
+        let sum: u64 = page
+            .iter()
+            .map(|(_, v)| v.as_u64().expect("word-only workload"))
+            .sum();
+        assert_eq!(sum, ACCOUNTS * INITIAL, "transfers must conserve balance");
+    }
+    let store = server.shutdown();
+    let snap = store.manager().stats_snapshot();
+    assert!(
+        snap.ro_commits > 0,
+        "scans commit on the read-only path: {snap:?}"
+    );
+    assert!(
+        snap.general_commits > 0,
+        "transfers publish descriptors: {snap:?}"
+    );
+}
+
+#[test]
 fn durable_restart_recovers_sync_acked_state() {
     let cfg = ServerConfig {
         workers: 2,

@@ -361,3 +361,69 @@ fn tpcc_key_encoding_is_injective() {
         }
     }
 }
+
+#[test]
+fn store_scan_matches_btreemap_model() {
+    use kvstore::{Cmd, CmdOut, Store, StoreConfig, TableKind};
+    use std::sync::Arc;
+    // Arbitrary key sets over the full u64 space (so the range partition
+    // splits them over every shard), arbitrary windows and limits: a SCAN
+    // page must equal exactly what a sorted sequential model returns.
+    for_each_case(|rng| {
+        let cfg = StoreConfig {
+            tables: TableKind::Skip,
+            shards: 1 + rng.next_below(7) as usize,
+            ..Default::default()
+        };
+        let mgr = TxManager::with_max_threads(2);
+        let (store, _adv) = Store::new(Arc::clone(&mgr), &cfg).expect("valid config");
+        let mut h = mgr.register();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for _ in 0..(1 + rng.next_below(200)) {
+            let (k, v) = (rng.next_u64(), rng.next_below(1_000));
+            store.exec(&mut h, &Cmd::Put(k, v)).expect("put");
+            model.insert(k, v);
+        }
+        // A few removes keep the model honest about absent keys.
+        let keys: Vec<u64> = model.keys().copied().collect();
+        for k in keys.iter().step_by(5) {
+            store.exec(&mut h, &Cmd::Del(*k)).expect("del");
+            model.remove(k);
+        }
+        for _ in 0..8 {
+            let (lo, hi) = (rng.next_u64(), rng.next_u64());
+            let limit = rng.next_below(50) as u32;
+            let got = match store.exec(&mut h, &Cmd::Scan { lo, hi, limit }) {
+                Ok(CmdOut::Page(page)) => page,
+                other => panic!("scan returned {other:?}"),
+            };
+            let want: Vec<(u64, pmem::Value)> = if lo < hi {
+                model
+                    .range(lo..hi)
+                    .take(limit as usize)
+                    .map(|(&k, &v)| (k, pmem::Value::U64(v)))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            assert_eq!(got, want, "window [{lo}, {hi}) limit {limit}");
+        }
+        // The full window is the sorted model verbatim.
+        let got = match store.exec(
+            &mut h,
+            &Cmd::Scan {
+                lo: 0,
+                hi: u64::MAX,
+                limit: 1_000,
+            },
+        ) {
+            Ok(CmdOut::Page(page)) => page,
+            other => panic!("scan returned {other:?}"),
+        };
+        let want: Vec<(u64, pmem::Value)> = model
+            .range(..u64::MAX)
+            .map(|(&k, &v)| (k, pmem::Value::U64(v)))
+            .collect();
+        assert_eq!(got, want);
+    });
+}
