@@ -34,8 +34,8 @@ use bench::report::{write_json, LatencyHistogram};
 use bench::workload::KeyDist;
 use bench::CommonArgs;
 use kvstore::{
-    Client, Cmd, ErrCode, KvError, OverloadConfig, Request, Response, Server, ServerConfig,
-    StatsReply, StoreBackend, StoreConfig, TableKind,
+    Client, Cmd, ErrCode, KvError, MetricsReply, OverloadConfig, Request, Response, Server,
+    ServerConfig, StatsReply, StoreBackend, StoreConfig, TableKind, TelemetryConfig,
 };
 use medley::util::FastRng;
 use medley::ContentionPolicy;
@@ -61,6 +61,115 @@ struct ConnTally {
     app_errors: u64,
 }
 
+/// Client-observed latency split by operation type, parallel to the mixed
+/// workload's shapes.  Paired against the server's `METRICS` histograms in
+/// each BENCH row: the client side includes the wire and the pipeline, the
+/// server side is pure service time, and their gap is the queueing the
+/// event loop adds.
+#[derive(Default)]
+struct OpHists {
+    get: LatencyHistogram,
+    put: LatencyHistogram,
+    cas: LatencyHistogram,
+    transfer: LatencyHistogram,
+    mget: LatencyHistogram,
+}
+
+impl OpHists {
+    fn slots(&self) -> [(&'static str, &LatencyHistogram); 5] {
+        [
+            ("get", &self.get),
+            ("put", &self.put),
+            ("cas", &self.cas),
+            ("transfer", &self.transfer),
+            ("mget", &self.mget),
+        ]
+    }
+
+    fn merge(&mut self, other: &OpHists) {
+        self.get.merge(&other.get);
+        self.put.merge(&other.put);
+        self.cas.merge(&other.cas);
+        self.transfer.merge(&other.transfer);
+        self.mget.merge(&other.mget);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.slots().iter().all(|(_, h)| h.total() == 0)
+    }
+
+    /// `"name":{"ops":..,"p50_ns":..,"p90_ns":..,"p99_ns":..}` members for
+    /// every op type that saw traffic.
+    fn json_members(&self) -> String {
+        self.slots()
+            .iter()
+            .filter(|(_, h)| h.total() > 0)
+            .map(|(name, h)| hist_json_member(name, h))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// One `"name":{...}` histogram summary member.
+fn hist_json_member(name: &str, h: &LatencyHistogram) -> String {
+    let (p50, p90, p99) = h.percentiles_ns();
+    format!(
+        "\"{}\":{{\"ops\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+        name,
+        h.total(),
+        p50,
+        p90,
+        p99
+    )
+}
+
+/// Exposition name of a wire opcode in the `server_ops` JSON object (the
+/// same labels the Prometheus endpoint uses).
+fn opcode_json_name(opcode: u8) -> String {
+    match opcode {
+        0x01 => "get".to_string(),
+        0x02 => "put".to_string(),
+        0x03 => "del".to_string(),
+        0x04 => "cas".to_string(),
+        0x05 => "contains".to_string(),
+        0x06 => "get_b".to_string(),
+        0x07 => "put_b".to_string(),
+        0x08 => "del_b".to_string(),
+        0x09 => "cas_b".to_string(),
+        0x10 => "mget".to_string(),
+        0x11 => "mset".to_string(),
+        0x12 => "transfer".to_string(),
+        0x13 => "batch".to_string(),
+        0x16 => "mget_b".to_string(),
+        0x17 => "mset_b".to_string(),
+        0x18 => "scan".to_string(),
+        other => format!("op_0x{other:02x}"),
+    }
+}
+
+/// `,"server_ops":{...}` fragment from a `METRICS` reply (empty string when
+/// the server reported no active ops, e.g. telemetry disabled).
+fn server_ops_json(m: &MetricsReply) -> String {
+    if m.ops.is_empty() {
+        return String::new();
+    }
+    let members: Vec<String> = m
+        .ops
+        .iter()
+        .map(|o| {
+            let mut member = hist_json_member(&opcode_json_name(o.opcode), &o.hist);
+            let aborts: u64 = o.aborts.iter().sum();
+            member.truncate(member.len() - 1); // reopen the object
+            member.push_str(&format!(
+                ",\"retries\":{},\"aborts\":{}}}",
+                o.retries, aborts
+            ));
+            member
+        })
+        .collect();
+    format!(",\"server_ops\":{{{}}}", members.join(","))
+}
+
 struct SeriesResult {
     name: String,
     connections: usize,
@@ -69,7 +178,13 @@ struct SeriesResult {
     retry_aborts: u64,
     app_errors: u64,
     hist: LatencyHistogram,
+    /// Client-observed latency split by op type (empty for series whose op
+    /// loop does not classify, e.g. the blob family).
+    op_hists: OpHists,
     server: StatsReply,
+    /// The server's `METRICS` reply sampled after the run (`None` when the
+    /// server has telemetry disabled or reported nothing).
+    server_metrics: Option<MetricsReply>,
     /// Extra JSON fields (`,"k":v` form) a specialized series tacks on.
     extra: String,
 }
@@ -102,6 +217,15 @@ impl SeriesResult {
                 e.epoll_waits, e.events_dispatched, e.spurious_wakeups, e.writev_saved
             ),
         };
+        let client_ops = if self.op_hists.is_empty() {
+            String::new()
+        } else {
+            format!(",\"client_ops\":{{{}}}", self.op_hists.json_members())
+        };
+        let server_ops = self
+            .server_metrics
+            .as_ref()
+            .map_or_else(String::new, server_ops_json);
         format!(
             concat!(
                 "{{\"name\":\"{}\",\"connections\":{},\"elapsed_s\":{:.4},",
@@ -110,7 +234,7 @@ impl SeriesResult {
                 "\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{},",
                 "\"server_commits\":{},\"server_aborts\":{},",
                 "\"server_conflict_aborts\":{},\"server_fast_commits\":{},",
-                "\"server_ro_commits\":{},\"server_general_commits\":{}{}{}{}{}}}"
+                "\"server_ro_commits\":{},\"server_general_commits\":{}{}{}{}{}{}{}}}"
             ),
             self.name,
             self.connections,
@@ -132,6 +256,8 @@ impl SeriesResult {
             domain,
             tables,
             events,
+            client_ops,
+            server_ops,
             self.extra,
         )
     }
@@ -161,7 +287,8 @@ fn preload(addr: std::net::SocketAddr, keys: u64) {
     }
 }
 
-/// One client operation: sampled shape, executed, latency recorded.
+/// One client operation: sampled shape, executed, latency recorded (both
+/// overall and into the op type's own histogram).
 fn run_one_op(
     c: &mut Client,
     rng: &mut FastRng,
@@ -169,36 +296,48 @@ fn run_one_op(
     keys: u64,
     tally: &mut ConnTally,
     hist: &mut LatencyHistogram,
+    op_hists: &mut OpHists,
 ) -> Result<(), KvError> {
     let k = sampler.sample(rng);
     let dice = rng.next_below(100);
     let start = Instant::now();
-    let outcome: Result<(), KvError> = if dice < 50 {
-        c.get(k).map(|_| ())
+    let (outcome, op): (Result<(), KvError>, _) = if dice < 50 {
+        (c.get(k).map(|_| ()), 0)
     } else if dice < 70 {
-        c.put(k, rng.next_u64() % INITIAL).map(|_| ())
+        (c.put(k, rng.next_u64() % INITIAL).map(|_| ()), 1)
     } else if dice < 80 {
         // CAS against the freshly read value: mostly succeeds, loses under
         // contention (server-side transactional retry).
-        match c.get(k) {
+        let r = match c.get(k) {
             Ok(Some(cur)) => c.cas(k, cur, cur ^ 1).map(|_| ()),
             Ok(None) => Ok(()),
             Err(e) => Err(e),
-        }
+        };
+        (r, 2)
     } else if dice < 90 {
         let mut to = sampler.sample(rng);
         if to == k {
             to = (to + 1) % keys;
         }
-        c.transfer(k, to, 1).map(|_| ())
+        (c.transfer(k, to, 1).map(|_| ()), 3)
     } else {
         let ks: Vec<u64> = (0..4).map(|_| sampler.sample(rng)).collect();
-        c.mget(&ks).map(|_| ())
+        (c.mget(&ks).map(|_| ()), 4)
+    };
+    let mut record = |latency: Duration| {
+        hist.record(latency);
+        match op {
+            0 => op_hists.get.record(latency),
+            1 => op_hists.put.record(latency),
+            2 => op_hists.cas.record(latency),
+            3 => op_hists.transfer.record(latency),
+            _ => op_hists.mget.record(latency),
+        }
     };
     match outcome {
         Ok(()) => {
             tally.ok += 1;
-            hist.record(start.elapsed());
+            record(start.elapsed());
             Ok(())
         }
         Err(KvError::Server(code)) => {
@@ -207,7 +346,7 @@ fn run_one_op(
                 kvstore::ErrCode::Retry | kvstore::ErrCode::Capacity => tally.retry_aborts += 1,
                 _ => {
                     tally.app_errors += 1;
-                    hist.record(start.elapsed());
+                    record(start.elapsed());
                 }
             }
             Ok(())
@@ -235,6 +374,7 @@ fn run_series(
     let retry_aborts = AtomicU64::new(0);
     let app_errors = AtomicU64::new(0);
     let hist = Mutex::new(LatencyHistogram::new());
+    let op_hists = Mutex::new(OpHists::default());
     let started = Mutex::new(None::<Instant>);
     std::thread::scope(|s| {
         for t in 0..connections {
@@ -243,12 +383,14 @@ fn run_series(
             let retry_aborts = &retry_aborts;
             let app_errors = &app_errors;
             let hist = &hist;
+            let op_hists = &op_hists;
             let sampler = dist.sampler(keys);
             s.spawn(move || {
                 let mut c = Client::connect(addr).expect("bench connect");
                 let mut rng = FastRng::new(0xBE9C4 + t as u64);
                 let mut tally = ConnTally::default();
                 let mut local_hist = LatencyHistogram::new();
+                let mut local_ops = OpHists::default();
                 barrier.wait();
                 let deadline = Instant::now() + duration;
                 while Instant::now() < deadline {
@@ -259,6 +401,7 @@ fn run_series(
                         keys,
                         &mut tally,
                         &mut local_hist,
+                        &mut local_ops,
                     )
                     .is_err()
                     {
@@ -269,6 +412,7 @@ fn run_series(
                 retry_aborts.fetch_add(tally.retry_aborts, Ordering::Relaxed);
                 app_errors.fetch_add(tally.app_errors, Ordering::Relaxed);
                 hist.lock().unwrap().merge(&local_hist);
+                op_hists.lock().unwrap().merge(&local_ops);
             });
         }
         barrier.wait();
@@ -276,11 +420,14 @@ fn run_series(
     });
     let elapsed = started.lock().unwrap().expect("run started").elapsed();
 
-    // Durable servers: take a durability cut, then sample the statistics.
-    let server = {
+    // Durable servers: take a durability cut, then sample the statistics
+    // and (when the server has telemetry enabled) the metrics exposition.
+    let (server, server_metrics) = {
         let mut c = Client::connect(addr).expect("stats connect");
         let _ = c.sync();
-        c.stats().expect("stats")
+        let stats = c.stats().expect("stats");
+        let metrics = c.metrics().ok().filter(|m| !m.ops.is_empty());
+        (stats, metrics)
     };
 
     SeriesResult {
@@ -291,7 +438,9 @@ fn run_series(
         retry_aborts: retry_aborts.load(Ordering::Relaxed),
         app_errors: app_errors.load(Ordering::Relaxed),
         hist: hist.into_inner().unwrap(),
+        op_hists: op_hists.into_inner().unwrap(),
         server,
+        server_metrics,
         extra: String::new(),
     }
 }
@@ -411,10 +560,12 @@ fn run_blob_series(
     });
     let elapsed = started.lock().unwrap().expect("run started").elapsed();
 
-    let server = {
+    let (server, server_metrics) = {
         let mut c = Client::connect(addr).expect("stats connect");
         let _ = c.sync();
-        c.stats().expect("stats")
+        let stats = c.stats().expect("stats");
+        let metrics = c.metrics().ok().filter(|m| !m.ops.is_empty());
+        (stats, metrics)
     };
 
     SeriesResult {
@@ -425,7 +576,9 @@ fn run_blob_series(
         retry_aborts: retry_aborts.load(Ordering::Relaxed),
         app_errors: app_errors.load(Ordering::Relaxed),
         hist: hist.into_inner().unwrap(),
+        op_hists: OpHists::default(),
         server,
+        server_metrics,
         extra: format!(",\"value_bytes\":{vsize}"),
     }
 }
@@ -527,9 +680,11 @@ fn run_fanout_series(
     });
     let elapsed = started.lock().unwrap().expect("run started").elapsed();
 
-    let server = {
+    let (server, server_metrics) = {
         let mut c = Client::connect(addr).expect("stats connect");
-        c.stats().expect("stats")
+        let stats = c.stats().expect("stats");
+        let metrics = c.metrics().ok().filter(|m| !m.ops.is_empty());
+        (stats, metrics)
     };
 
     SeriesResult {
@@ -540,7 +695,9 @@ fn run_fanout_series(
         retry_aborts: retry_aborts.load(Ordering::Relaxed),
         app_errors: app_errors.load(Ordering::Relaxed),
         hist: hist.into_inner().unwrap(),
+        op_hists: OpHists::default(),
         server,
+        server_metrics,
         extra: format!(",\"pipeline_depth\":{depth}"),
     }
 }
@@ -1533,6 +1690,74 @@ fn run_cache_mode(
     )]
 }
 
+/// The `--metrics-ab` mode: the same closed-loop mixed workload against two
+/// otherwise-identical transient servers, one with telemetry enabled and one
+/// with it disabled, plus a summary row carrying the throughput ratio CI can
+/// assert on.  This is the overhead guard for the observability layer: the
+/// per-request cost of telemetry is three clock reads and a handful of
+/// relaxed atomics, and the ratio row makes any regression visible in
+/// BENCH_server.json rather than only under a profiler.
+fn run_metrics_ab_mode(
+    connections: usize,
+    workers: usize,
+    duration: Duration,
+    keys: u64,
+    dist: KeyDist,
+    tables: TableKind,
+) -> Vec<String> {
+    let mut entries = Vec::new();
+    let mut rates = Vec::new();
+    for enabled in [true, false] {
+        let cfg = ServerConfig {
+            workers,
+            store: StoreConfig {
+                tables: tables.clone(),
+                ..Default::default()
+            },
+            telemetry: TelemetryConfig {
+                enabled,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let server = Server::start(&cfg).expect("start A/B server");
+        let label = if enabled { "on" } else { "off" };
+        let mut r = run_series(
+            format!("server-ab/telemetry-{label}/{}", dist.label()),
+            server.local_addr(),
+            connections,
+            duration,
+            keys,
+            dist,
+            true,
+        );
+        r.extra = format!(",\"telemetry\":{enabled}");
+        println!("{}", r.csv_row());
+        let answered = r.ok + r.app_errors;
+        rates.push(answered as f64 / r.elapsed.as_secs_f64().max(1e-9));
+        entries.push(r.to_json());
+        server.shutdown();
+    }
+    let ratio = rates[0] / rates[1].max(1e-9);
+    println!(
+        "metrics-ab-summary: telemetry on at {:.3}x of off ({:.0} vs {:.0} ops/s)",
+        ratio, rates[0], rates[1]
+    );
+    entries.push(format!(
+        concat!(
+            "{{\"name\":\"metrics-ab-summary/{}\",\"mode\":\"metrics-ab\",",
+            "\"connections\":{},\"on_ops_per_sec\":{:.0},\"off_ops_per_sec\":{:.0},",
+            "\"on_off_ratio\":{:.4}}}"
+        ),
+        dist.label(),
+        connections,
+        rates[0],
+        rates[1],
+        ratio,
+    ));
+    entries
+}
+
 fn main() {
     // Hundreds of benchmark connections means hundreds of descriptors on
     // both ends of the loopback; lift the soft cap before opening any.
@@ -1562,6 +1787,24 @@ fn main() {
         KeyDist::Zipfian(theta)
     };
 
+    // Error probe: N transfers from guaranteed-missing keys against an
+    // external server, so a metrics scrape has abort-reason counters to
+    // attribute.  Exits without writing JSON.
+    let probe_errors: u64 = CommonArgs::extra_flag("--probe-errors", 0);
+    if probe_errors > 0 {
+        let addr: std::net::SocketAddr = connect
+            .parse()
+            .expect("--probe-errors needs --connect ADDR:PORT");
+        let mut c = Client::connect(addr).expect("probe connect");
+        let mut failures = 0u64;
+        for i in 0..probe_errors {
+            failures += u64::from(c.transfer(u64::MAX - i, 0, 1).is_err());
+        }
+        println!("probe-errors: {failures}/{probe_errors} transfers from missing keys failed");
+        assert_eq!(failures, probe_errors, "missing-key transfers must fail");
+        return;
+    }
+
     println!(
         "series,connections,ops_per_sec,client_retry_aborts,server_conflict_aborts,p50_ns,p99_ns"
     );
@@ -1587,6 +1830,12 @@ fn main() {
     if std::env::args().any(|a| a == "--fanout") {
         let fan: usize = CommonArgs::extra_flag("--fanout-conns", 512);
         let entries = run_fanout_mode(workers, duration, args.keys, dist, tables, fan);
+        write_json("server", &entries);
+        return;
+    }
+
+    if std::env::args().any(|a| a == "--metrics-ab") {
+        let entries = run_metrics_ab_mode(connections, workers, duration, args.keys, dist, tables);
         write_json("server", &entries);
         return;
     }

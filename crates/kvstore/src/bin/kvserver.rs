@@ -3,8 +3,15 @@
 //! ```text
 //! cargo run --release -p kvstore --bin kvserver -- \
 //!     --addr 127.0.0.1:7878 --workers 4 --shards 8 \
-//!     --tables mixed --backend durable --advancer-us 200
+//!     --tables mixed --backend durable --advancer-us 200 \
+//!     --metrics-addr 127.0.0.1:9187 --slow-us 1000 --trace-cap 256
 //! ```
+//!
+//! Telemetry is on by default; `--no-telemetry` disables it.
+//! `--metrics-addr HOST:PORT` additionally serves the Prometheus text
+//! exposition at `/metrics` on a dedicated thread.  `--slow-us` sets the
+//! slow-request trace threshold (0 traces everything) and `--trace-cap`
+//! the per-worker ring capacity.
 //!
 //! Prints the bound address on stdout, then serves until stdin reaches EOF
 //! or a line is entered (so `kvserver < /dev/null` in scripts still drains
@@ -12,7 +19,9 @@
 //! `--seconds N` serves for N seconds and then drains — handy for smoke
 //! runs.
 
-use kvstore::{OverloadConfig, Server, ServerConfig, StoreBackend, StoreConfig, TableKind};
+use kvstore::{
+    OverloadConfig, Server, ServerConfig, StoreBackend, StoreConfig, TableKind, TelemetryConfig,
+};
 use medley::ContentionPolicy;
 use std::time::Duration;
 
@@ -26,6 +35,10 @@ fn flag<T: std::str::FromStr>(name: &str, default: T) -> T {
                 .unwrap_or_else(|_| panic!("invalid value {v:?} for {name}"))
         })
         .unwrap_or(default)
+}
+
+fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 fn main() {
@@ -61,6 +74,16 @@ fn main() {
         shed_low: flag("--shed-low", OverloadConfig::default().shed_low),
         ..Default::default()
     };
+    let metrics_addr: String = flag("--metrics-addr", String::new());
+    let telemetry = TelemetryConfig {
+        enabled: !has_flag("--no-telemetry"),
+        slow_threshold: Duration::from_micros(flag(
+            "--slow-us",
+            TelemetryConfig::default().slow_threshold.as_micros() as u64,
+        )),
+        trace_capacity: flag("--trace-cap", TelemetryConfig::default().trace_capacity),
+        metrics_addr: (!metrics_addr.is_empty()).then_some(metrics_addr),
+    };
 
     let cfg = ServerConfig {
         addr,
@@ -75,6 +98,7 @@ fn main() {
             ..Default::default()
         },
         overload,
+        telemetry,
         ..Default::default()
     };
     // Every connection is a file descriptor; lift the soft cap to the hard
@@ -91,6 +115,9 @@ fn main() {
         "  workers={} shards={} tables={:?} backend={:?}",
         workers, shards, tables, backend
     );
+    if let Some(addr) = server.metrics_local_addr() {
+        println!("  metrics exposition on http://{addr}/metrics");
+    }
 
     if seconds > 0.0 {
         std::thread::sleep(Duration::from_secs_f64(seconds));
@@ -102,6 +129,30 @@ fn main() {
     println!("draining...");
     let load = server.load_stats();
     let events = server.event_stats();
+    // Telemetry summary before shutdown consumes the server: the busiest
+    // opcode's quantiles plus total slow-trace records — enough to see at a
+    // glance whether the run was healthy.
+    if let Some(tel) = server.telemetry() {
+        let m = tel.metrics_reply();
+        if let Some(top) = m.ops.iter().max_by_key(|o| o.hist.total()) {
+            let (p50, p90, p99) = top.hist.percentiles_ns();
+            println!(
+                "telemetry: busiest opcode 0x{:02x}: {} reqs, p50/p90/p99 = {}/{}/{} ns, {} retries",
+                top.opcode,
+                top.hist.total(),
+                p50,
+                p90,
+                p99,
+                top.retries
+            );
+        }
+        let t = tel.trace_reply();
+        println!(
+            "telemetry: {} slow-trace records held ({} evicted)",
+            t.records.len(),
+            t.evicted
+        );
+    }
     let store = server.shutdown();
     let snap = store.manager().stats_snapshot();
     println!(

@@ -8,7 +8,7 @@
 //! methods ([`Client::get`], [`Client::transfer`], …) are `send` + `recv`
 //! with the response variant checked.
 
-use crate::proto::{self, ErrCode, Request, Response, StatsReply};
+use crate::proto::{self, ErrCode, MetricsReply, Request, Response, StatsReply, TraceReply};
 use crate::store::{Cmd, CmdOut};
 use medley::util::FastRng;
 use pmem::Value;
@@ -413,6 +413,30 @@ impl Client {
     pub fn sync(&mut self) -> KvResult<u64> {
         match self.call(&Request::Sync)? {
             Response::Synced(e) => Ok(e),
+            Response::Err(e) => Err(KvError::Server(e)),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Fetches the server's telemetry snapshot: per-opcode latency
+    /// histograms (raw buckets, reconstructed client-side as
+    /// [`obs::LatencyHistogram`]), retry totals, abort-reason counters, and
+    /// per-worker event-loop phase times.  Empty when server telemetry is
+    /// disabled.
+    pub fn metrics(&mut self) -> KvResult<MetricsReply> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
+            Response::Err(e) => Err(KvError::Server(e)),
+            _ => Err(KvError::Proto),
+        }
+    }
+
+    /// Fetches the server's slow-request trace rings (newest records per
+    /// worker plus the count of older records evicted).  Empty when server
+    /// telemetry is disabled.
+    pub fn trace(&mut self) -> KvResult<TraceReply> {
+        match self.call(&Request::Trace)? {
+            Response::Trace(t) => Ok(t),
             Response::Err(e) => Err(KvError::Server(e)),
             _ => Err(KvError::Proto),
         }

@@ -47,12 +47,13 @@ pub mod proto;
 pub mod server;
 pub mod store;
 pub mod sys;
+pub mod telemetry;
 
 pub use cache::{CacheCounters, TxCache};
 pub use client::{Client, KvError, KvResult};
 pub use proto::{
-    CacheStats, ErrCode, EventStats, LoadStats, PartitionScheme, Request, Response, ShardKind,
-    ShardStats, StatsReply, TableStats,
+    CacheStats, ErrCode, EventStats, LoadStats, MetricsReply, OpMetrics, PartitionScheme, Request,
+    Response, ShardKind, ShardStats, StatsReply, TableStats, TraceReply, WorkerEvents,
 };
 pub use server::{OverloadConfig, Server, ServerConfig};
 pub use store::{
@@ -60,6 +61,7 @@ pub use store::{
     StoreBackend, StoreConfig, TableKind, DEFAULT_BUCKETS_PER_SHARD, ELASTIC_BOOT_BUCKETS,
     MAX_SCAN_LIMIT,
 };
+pub use telemetry::{Telemetry, TelemetryConfig, ERROR_LABELS, OP_LABELS, PHASE_LABELS};
 
 #[cfg(test)]
 mod tests {

@@ -43,6 +43,8 @@
 //! | `0x18` | `SCAN`     | `lo: u64, hi: u64, limit: u32` |
 //! | `0x20` | `STATS`    | (empty) |
 //! | `0x21` | `SYNC`     | (empty) |
+//! | `0x22` | `METRICS`  | (empty) — server-side telemetry snapshot |
+//! | `0x23` | `TRACE`    | (empty) — slow-request trace ring dump |
 //!
 //! ## Value lengths and the blob op family
 //!
@@ -120,8 +122,10 @@
 //! | `BATCH`     | `n: u32, n × (u8 opcode + single-op body)` |
 //! | `MGETB`     | `n: u32, n × tagged value` |
 //! | `SCAN`      | `n: u32, n × (key: u64, vlen: u32, vlen × u8)` — keys strictly ascending |
-//! | `STATS`     | 13 × `u64` transaction counters, `has_domain: u8` (+ 5 × `u64` domain stats), `has_load: u8` (+ 4 × `u64` load stats), `has_tables: u8` (+ table section, below), `has_events: u8` (+ 4 × `u64` event-loop stats, see [`EventStats`]) — see [`StatsReply`] |
+//! | `STATS`     | `uptime_secs: u64`, 13 × `u64` transaction counters, `has_domain: u8` (+ 5 × `u64` domain stats), `has_load: u8` (+ 4 × `u64` load stats), `has_tables: u8` (+ table section, below), `has_events: u8` (+ event-loop section: 4 × `u64` aggregate counters, `n: u32`, `n` × 4 × `u64` per-worker counters — see [`EventStats`]) — see [`StatsReply`] |
 //! | `SYNC`      | `persisted_epoch: u64` |
+//! | `METRICS`   | `uptime_secs: u64`, `n: u32`, `n` × per-opcode block (`opcode: u8, retries: u64, max_ns: u64`, 64 × `bucket: u64`, `e: u32`, `e` × `abort_count: u64`), `w: u32`, `w` × per-worker phase block (`p: u32`, `p` × `phase_ns: u64`) — see [`MetricsReply`] |
+//! | `TRACE`     | `evicted: u64, n: u32`, `n` × trace record (`opcode: u8, status: u8, req_id: u64, queue_ns: u64, exec_ns: u64, retries: u64`) — see [`TraceReply`] |
 //!
 //! A *tagged value* in a blob-op response is one byte of tag plus a
 //! tag-dependent body: `0` = absent (no body), `1` = word (`val: u64`),
@@ -155,6 +159,7 @@
 
 use crate::store::{Cmd, CmdOut};
 use medley::TxStatsSnapshot;
+use obs::{LatencyHistogram, TraceRecord, BUCKETS};
 use pmem::{DomainStats, Value, MAX_VALUE_BYTES};
 
 /// Maximum payload size of one frame (1 MiB).  Large enough for a
@@ -165,24 +170,26 @@ pub const MAX_FRAME: usize = 1 << 20;
 /// Length of the frame header (the `u32` length prefix).
 pub const FRAME_HEADER: usize = 4;
 
-const OP_GET: u8 = 0x01;
-const OP_PUT: u8 = 0x02;
-const OP_DEL: u8 = 0x03;
-const OP_CAS: u8 = 0x04;
-const OP_CONTAINS: u8 = 0x05;
-const OP_GETB: u8 = 0x06;
-const OP_PUTB: u8 = 0x07;
-const OP_DELB: u8 = 0x08;
-const OP_CASB: u8 = 0x09;
-const OP_MGET: u8 = 0x10;
-const OP_MSET: u8 = 0x11;
-const OP_TRANSFER: u8 = 0x12;
-const OP_BATCH: u8 = 0x13;
-const OP_MGETB: u8 = 0x16;
-const OP_MSETB: u8 = 0x17;
-const OP_SCAN: u8 = 0x18;
-const OP_STATS: u8 = 0x20;
-const OP_SYNC: u8 = 0x21;
+pub(crate) const OP_GET: u8 = 0x01;
+pub(crate) const OP_PUT: u8 = 0x02;
+pub(crate) const OP_DEL: u8 = 0x03;
+pub(crate) const OP_CAS: u8 = 0x04;
+pub(crate) const OP_CONTAINS: u8 = 0x05;
+pub(crate) const OP_GETB: u8 = 0x06;
+pub(crate) const OP_PUTB: u8 = 0x07;
+pub(crate) const OP_DELB: u8 = 0x08;
+pub(crate) const OP_CASB: u8 = 0x09;
+pub(crate) const OP_MGET: u8 = 0x10;
+pub(crate) const OP_MSET: u8 = 0x11;
+pub(crate) const OP_TRANSFER: u8 = 0x12;
+pub(crate) const OP_BATCH: u8 = 0x13;
+pub(crate) const OP_MGETB: u8 = 0x16;
+pub(crate) const OP_MSETB: u8 = 0x17;
+pub(crate) const OP_SCAN: u8 = 0x18;
+pub(crate) const OP_STATS: u8 = 0x20;
+pub(crate) const OP_SYNC: u8 = 0x21;
+pub(crate) const OP_METRICS: u8 = 0x22;
+pub(crate) const OP_TRACE: u8 = 0x23;
 
 const ST_OK: u8 = 0x00;
 const ST_ABORT_RETRY: u8 = 0x10;
@@ -201,6 +208,11 @@ pub enum Request {
     Stats,
     /// Durability cut: everything completed before the reply is recoverable.
     Sync,
+    /// Per-opcode telemetry snapshot: latency histograms, abort-reason and
+    /// retry breakdowns, per-worker event-loop phase accounting.
+    Metrics,
+    /// Slow-request trace ring dump.
+    Trace,
 }
 
 pub use crate::store::ErrCode;
@@ -284,7 +296,7 @@ pub struct ShardStats {
 /// dispatched readiness events whose pumps moved no bytes and served no
 /// frame, and `writev_saved` counts the `write(2)` calls the vectored
 /// response path avoided (each `writev` of *n* buffers saves *n − 1* calls).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EventStats {
     /// `epoll_wait(2)` calls made by the worker loops.
     pub epoll_waits: u64,
@@ -293,6 +305,24 @@ pub struct EventStats {
     /// Dispatched events whose pumps made no progress.
     pub spurious_wakeups: u64,
     /// `write` syscalls avoided by batching response frames into `writev`.
+    pub writev_saved: u64,
+    /// The same four counters broken out per worker thread, in worker
+    /// order — an uneven spread here means connection handoff is skewed
+    /// (the aggregate fields above are the column sums).
+    pub per_worker: Vec<WorkerEvents>,
+}
+
+/// One worker thread's event-loop counters (the per-worker rows of
+/// [`EventStats`]; field meanings identical to the aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerEvents {
+    /// `epoll_wait(2)` calls made by this worker's loop.
+    pub epoll_waits: u64,
+    /// Readiness events this worker dispatched to connections.
+    pub events_dispatched: u64,
+    /// Dispatched events whose pumps made no progress.
+    pub spurious_wakeups: u64,
+    /// `write` syscalls this worker avoided via `writev` batching.
     pub writev_saved: u64,
 }
 
@@ -315,6 +345,9 @@ pub struct TableStats {
 /// The `STATS` response payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsReply {
+    /// Whole seconds since the server started (0 for a bare `Store::stats`
+    /// taken without a server).
+    pub uptime_secs: u64,
     /// Aggregated transaction counters ([`medley::TxManager::stats_snapshot`]).
     pub tx: TxStatsSnapshot,
     /// Persistence-domain state (durable servers only).
@@ -325,6 +358,52 @@ pub struct StatsReply {
     pub tables: Option<TableStats>,
     /// Event-loop counters (only when served by a `kvstore` server).
     pub events: Option<EventStats>,
+}
+
+/// One opcode's aggregated telemetry in a [`MetricsReply`].
+///
+/// The histogram travels as its raw 64 log-bucket counts and reconstructs
+/// on the client as the same [`obs::LatencyHistogram`] the load generators
+/// record into — which is what makes client-observed vs. server-observed
+/// quantile comparisons apples-to-apples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpMetrics {
+    /// The wire opcode this block describes.
+    pub opcode: u8,
+    /// End-to-end (frame-decoded → response-encoded) latency histogram.
+    pub hist: LatencyHistogram,
+    /// Transactional attempts beyond the first, summed over this opcode's
+    /// served requests.
+    pub retries: u64,
+    /// Abort/error counts, indexed like [`crate::telemetry::ERROR_LABELS`].
+    pub aborts: Vec<u64>,
+}
+
+/// The `METRICS` response payload: the server's telemetry registry,
+/// aggregated across workers at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsReply {
+    /// Whole seconds since the server started.
+    pub uptime_secs: u64,
+    /// One block per opcode that saw traffic (inactive opcodes are not
+    /// shipped).
+    pub ops: Vec<OpMetrics>,
+    /// `worker_phases[worker][phase]` nanoseconds, indexed like
+    /// [`crate::telemetry::PHASE_LABELS`].  Empty when telemetry is
+    /// disabled on the server.
+    pub worker_phases: Vec<Vec<u64>>,
+}
+
+/// The `TRACE` response payload: the slow-request rings of every worker,
+/// merged.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceReply {
+    /// Lifecycle records of requests that crossed the server's slow
+    /// threshold (oldest first per worker).
+    pub records: Vec<TraceRecord>,
+    /// Slow requests that no longer fit in the bounded rings (evicted
+    /// oldest-first); `records.len() + evicted` is the total slow count.
+    pub evicted: u64,
 }
 
 /// A decoded response.
@@ -340,6 +419,10 @@ pub enum Response {
     Stats(StatsReply),
     /// `SYNC` acknowledgement carrying the persisted epoch of the cut.
     Synced(u64),
+    /// Telemetry snapshot.
+    Metrics(MetricsReply),
+    /// Slow-request trace dump.
+    Trace(TraceReply),
     /// The command failed with the given code.
     Err(ErrCode),
 }
@@ -722,6 +805,8 @@ pub fn try_encode_request(out: &mut Vec<u8>, req_id: u32, req: &Request) -> Resu
         }
         Request::Stats => payload.push(OP_STATS),
         Request::Sync => payload.push(OP_SYNC),
+        Request::Metrics => payload.push(OP_METRICS),
+        Request::Trace => payload.push(OP_TRACE),
     }
     if payload.len() > MAX_FRAME {
         return Err(ProtoError);
@@ -738,6 +823,8 @@ pub fn decode_request(frame: &[u8]) -> Result<(u32, Request), ProtoError> {
     let req = match opcode {
         OP_STATS => Request::Stats,
         OP_SYNC => Request::Sync,
+        OP_METRICS => Request::Metrics,
+        OP_TRACE => Request::Trace,
         _ => Request::Cmd(decode_cmd_body(&mut cur, opcode, false)?),
     };
     cur.finished()?;
@@ -921,6 +1008,15 @@ fn err_status(e: ErrCode) -> u8 {
     }
 }
 
+/// The wire status byte a response carries (recorded in slow-request
+/// trace records so a dumped trace is self-describing).
+pub(crate) fn response_status(resp: &Response) -> u8 {
+    match resp {
+        Response::Err(e) => err_status(*e),
+        _ => ST_OK,
+    }
+}
+
 fn status_err(st: u8) -> Result<ErrCode, ProtoError> {
     Ok(match st {
         ST_ABORT_RETRY => ErrCode::Retry,
@@ -947,6 +1043,7 @@ pub fn encode_response(out: &mut Vec<u8>, req_id: u32, opcode: u8, resp: &Respon
         Response::Stats(s) => {
             payload.push(ST_OK);
             payload.push(OP_STATS);
+            put_u64(&mut payload, s.uptime_secs);
             let t = &s.tx;
             for v in [
                 t.commits,
@@ -1024,6 +1121,13 @@ pub fn encode_response(out: &mut Vec<u8>, req_id: u32, opcode: u8, resp: &Respon
                     put_u64(&mut payload, ev.events_dispatched);
                     put_u64(&mut payload, ev.spurious_wakeups);
                     put_u64(&mut payload, ev.writev_saved);
+                    put_u32(&mut payload, ev.per_worker.len() as u32);
+                    for w in &ev.per_worker {
+                        put_u64(&mut payload, w.epoll_waits);
+                        put_u64(&mut payload, w.events_dispatched);
+                        put_u64(&mut payload, w.spurious_wakeups);
+                        put_u64(&mut payload, w.writev_saved);
+                    }
                 }
                 None => payload.push(0),
             }
@@ -1032,6 +1136,45 @@ pub fn encode_response(out: &mut Vec<u8>, req_id: u32, opcode: u8, resp: &Respon
             payload.push(ST_OK);
             payload.push(OP_SYNC);
             put_u64(&mut payload, *epoch);
+        }
+        Response::Metrics(m) => {
+            payload.push(ST_OK);
+            payload.push(OP_METRICS);
+            put_u64(&mut payload, m.uptime_secs);
+            put_u32(&mut payload, m.ops.len() as u32);
+            for op in &m.ops {
+                payload.push(op.opcode);
+                put_u64(&mut payload, op.retries);
+                put_u64(&mut payload, op.hist.max_ns());
+                for &c in op.hist.counts() {
+                    put_u64(&mut payload, c);
+                }
+                put_u32(&mut payload, op.aborts.len() as u32);
+                for &a in &op.aborts {
+                    put_u64(&mut payload, a);
+                }
+            }
+            put_u32(&mut payload, m.worker_phases.len() as u32);
+            for phases in &m.worker_phases {
+                put_u32(&mut payload, phases.len() as u32);
+                for &ns in phases {
+                    put_u64(&mut payload, ns);
+                }
+            }
+        }
+        Response::Trace(t) => {
+            payload.push(ST_OK);
+            payload.push(OP_TRACE);
+            put_u64(&mut payload, t.evicted);
+            put_u32(&mut payload, t.records.len() as u32);
+            for r in &t.records {
+                payload.push(r.opcode);
+                payload.push(r.status);
+                put_u64(&mut payload, r.req_id);
+                put_u64(&mut payload, r.queue_ns);
+                put_u64(&mut payload, r.exec_ns);
+                put_u64(&mut payload, r.retries);
+            }
         }
         Response::Err(e) => {
             payload.push(err_status(*e));
@@ -1050,6 +1193,7 @@ pub fn decode_response(frame: &[u8]) -> Result<(u32, Response), ProtoError> {
     let resp = if status == ST_OK {
         match opcode {
             OP_STATS => {
+                let uptime_secs = cur.u64()?;
                 let mut vals = [0u64; 13];
                 for v in &mut vals {
                     *v = cur.u64()?;
@@ -1141,15 +1285,37 @@ pub fn decode_response(frame: &[u8]) -> Result<(u32, Response), ProtoError> {
                 };
                 let events = match cur.u8()? {
                     0 => None,
-                    1 => Some(EventStats {
-                        epoll_waits: cur.u64()?,
-                        events_dispatched: cur.u64()?,
-                        spurious_wakeups: cur.u64()?,
-                        writev_saved: cur.u64()?,
-                    }),
+                    1 => {
+                        let epoll_waits = cur.u64()?;
+                        let events_dispatched = cur.u64()?;
+                        let spurious_wakeups = cur.u64()?;
+                        let writev_saved = cur.u64()?;
+                        let n = cur.u32()? as usize;
+                        // Each per-worker row is 32 bytes on the wire.
+                        if n > MAX_FRAME / 32 {
+                            return Err(ProtoError);
+                        }
+                        let mut per_worker = Vec::with_capacity(n.min(4096));
+                        for _ in 0..n {
+                            per_worker.push(WorkerEvents {
+                                epoll_waits: cur.u64()?,
+                                events_dispatched: cur.u64()?,
+                                spurious_wakeups: cur.u64()?,
+                                writev_saved: cur.u64()?,
+                            });
+                        }
+                        Some(EventStats {
+                            epoll_waits,
+                            events_dispatched,
+                            spurious_wakeups,
+                            writev_saved,
+                            per_worker,
+                        })
+                    }
                     _ => return Err(ProtoError),
                 };
                 Response::Stats(StatsReply {
+                    uptime_secs,
                     tx,
                     domain,
                     load,
@@ -1158,6 +1324,81 @@ pub fn decode_response(frame: &[u8]) -> Result<(u32, Response), ProtoError> {
                 })
             }
             OP_SYNC => Response::Synced(cur.u64()?),
+            OP_METRICS => {
+                let uptime_secs = cur.u64()?;
+                let n_ops = cur.u32()? as usize;
+                // Each op block is at least 1 + 8 + 8 + 64×8 + 4 bytes.
+                if n_ops > MAX_FRAME / 533 {
+                    return Err(ProtoError);
+                }
+                let mut ops = Vec::with_capacity(n_ops.min(256));
+                for _ in 0..n_ops {
+                    let opcode = cur.u8()?;
+                    let retries = cur.u64()?;
+                    let max_ns = cur.u64()?;
+                    let mut counts = [0u64; BUCKETS];
+                    for c in &mut counts {
+                        *c = cur.u64()?;
+                    }
+                    let n_aborts = cur.u32()? as usize;
+                    if n_aborts > 64 {
+                        return Err(ProtoError);
+                    }
+                    let mut aborts = Vec::with_capacity(n_aborts);
+                    for _ in 0..n_aborts {
+                        aborts.push(cur.u64()?);
+                    }
+                    ops.push(OpMetrics {
+                        opcode,
+                        hist: LatencyHistogram::from_parts(counts, max_ns),
+                        retries,
+                        aborts,
+                    });
+                }
+                let n_workers = cur.u32()? as usize;
+                if n_workers > MAX_FRAME / 4 {
+                    return Err(ProtoError);
+                }
+                let mut worker_phases = Vec::with_capacity(n_workers.min(4096));
+                for _ in 0..n_workers {
+                    let n_phases = cur.u32()? as usize;
+                    if n_phases > 64 {
+                        return Err(ProtoError);
+                    }
+                    let mut phases = Vec::with_capacity(n_phases);
+                    for _ in 0..n_phases {
+                        phases.push(cur.u64()?);
+                    }
+                    worker_phases.push(phases);
+                }
+                Response::Metrics(MetricsReply {
+                    uptime_secs,
+                    ops,
+                    worker_phases,
+                })
+            }
+            OP_TRACE => {
+                let evicted = cur.u64()?;
+                let n = cur.u32()? as usize;
+                // Each trace record is 34 bytes on the wire.
+                if n > MAX_FRAME / 34 {
+                    return Err(ProtoError);
+                }
+                let mut records = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let opcode = cur.u8()?;
+                    let status = cur.u8()?;
+                    records.push(TraceRecord {
+                        opcode,
+                        status,
+                        req_id: cur.u64()?,
+                        queue_ns: cur.u64()?,
+                        exec_ns: cur.u64()?,
+                        retries: cur.u64()?,
+                    });
+                }
+                Response::Trace(TraceReply { records, evicted })
+            }
             _ => Response::Ok(decode_out_body(&mut cur, opcode, false)?),
         }
     } else {
@@ -1173,6 +1414,8 @@ pub fn request_opcode(req: &Request) -> u8 {
         Request::Cmd(c) => cmd_opcode(c),
         Request::Stats => OP_STATS,
         Request::Sync => OP_SYNC,
+        Request::Metrics => OP_METRICS,
+        Request::Trace => OP_TRACE,
     }
 }
 
@@ -1230,6 +1473,8 @@ mod tests {
         ])));
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Sync);
+        roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::Trace);
     }
 
     #[test]
@@ -1372,6 +1617,7 @@ mod tests {
         );
         roundtrip_response(
             Response::Stats(StatsReply {
+                uptime_secs: 3600,
                 tx: TxStatsSnapshot {
                     commits: 10,
                     aborts: 2,
@@ -1405,6 +1651,20 @@ mod tests {
                     events_dispatched: 2500,
                     spurious_wakeups: 3,
                     writev_saved: 700,
+                    per_worker: vec![
+                        WorkerEvents {
+                            epoll_waits: 600,
+                            events_dispatched: 1500,
+                            spurious_wakeups: 1,
+                            writev_saved: 400,
+                        },
+                        WorkerEvents {
+                            epoll_waits: 400,
+                            events_dispatched: 1000,
+                            spurious_wakeups: 2,
+                            writev_saved: 300,
+                        },
+                    ],
                 }),
                 tables: Some(TableStats {
                     grow_events: 5,
@@ -1435,6 +1695,7 @@ mod tests {
         // too: absence flags are part of the wire contract.
         roundtrip_response(
             Response::Stats(StatsReply {
+                uptime_secs: 0,
                 tx: TxStatsSnapshot::default(),
                 domain: None,
                 load: None,
@@ -1528,6 +1789,7 @@ mod tests {
         // A cache store's table section: range byte exercised separately.
         roundtrip_response(
             Response::Stats(StatsReply {
+                uptime_secs: 42,
                 tx: TxStatsSnapshot::default(),
                 domain: None,
                 load: None,
@@ -1548,6 +1810,69 @@ mod tests {
                 events: None,
             }),
             OP_STATS,
+        );
+    }
+
+    #[test]
+    fn metrics_reply_roundtrips() {
+        // An empty registry snapshot (fresh server, telemetry off or idle).
+        roundtrip_response(Response::Metrics(MetricsReply::default()), OP_METRICS);
+
+        // Active ops carry full bucket arrays; the client-side histogram
+        // must reconstruct bit-for-bit so quantiles agree with the server.
+        let mut hist = LatencyHistogram::new();
+        for ns in [120u64, 900, 4_000, 65_000, 1 << 22] {
+            hist.record_ns(ns);
+        }
+        roundtrip_response(
+            Response::Metrics(MetricsReply {
+                uptime_secs: 17,
+                ops: vec![
+                    OpMetrics {
+                        opcode: OP_GET,
+                        hist: hist.clone(),
+                        retries: 3,
+                        aborts: vec![1, 0, 2, 0, 0, 0],
+                    },
+                    OpMetrics {
+                        opcode: OP_TRANSFER,
+                        hist,
+                        retries: 9,
+                        aborts: vec![4, 0, 0, 1, 0, 0],
+                    },
+                ],
+                worker_phases: vec![vec![100, 200, 300, 400], vec![50, 60, 70, 80]],
+            }),
+            OP_METRICS,
+        );
+    }
+
+    #[test]
+    fn trace_reply_roundtrips() {
+        roundtrip_response(Response::Trace(TraceReply::default()), OP_TRACE);
+        roundtrip_response(
+            Response::Trace(TraceReply {
+                records: vec![
+                    TraceRecord {
+                        opcode: OP_PUT,
+                        status: ST_OK,
+                        req_id: 42,
+                        queue_ns: 1_500,
+                        exec_ns: 80_000,
+                        retries: 2,
+                    },
+                    TraceRecord {
+                        opcode: OP_CAS,
+                        status: ST_ABORT_RETRY,
+                        req_id: 43,
+                        queue_ns: 900,
+                        exec_ns: 2_000_000,
+                        retries: 7,
+                    },
+                ],
+                evicted: 12,
+            }),
+            OP_TRACE,
         );
     }
 

@@ -40,11 +40,18 @@
 //! the epoch advancer is stopped *after* the workers, so every committed
 //! update still has a ticking clock while requests are in flight.
 
-use crate::proto::{self, EventStats, LoadStats, Request, Response};
+use crate::proto::{
+    self, EventStats, LoadStats, MetricsReply, Request, Response, TraceReply, WorkerEvents,
+};
 use crate::store::{Cmd, ErrCode, Store, StoreConfig};
 use crate::sys::{Epoll, EpollEvent, WakeFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use crate::telemetry::{
+    self, MetricsExporter, Telemetry, TelemetryConfig, PHASE_DECODE, PHASE_EPOLL_WAIT,
+    PHASE_EXECUTE, PHASE_FLUSH,
+};
 use medley::util::CachePadded;
 use medley::{ThreadHandle, TxManager};
+use obs::TraceRecord;
 use pmem::EpochAdvancer;
 use std::collections::VecDeque;
 use std::io::{IoSlice, Read, Write};
@@ -70,6 +77,9 @@ pub struct ServerConfig {
     pub drain_deadline: Duration,
     /// Admission-control and backpressure watermarks.
     pub overload: OverloadConfig,
+    /// Telemetry: per-opcode latency/abort/retry series, slow-request
+    /// tracing, and the optional Prometheus exposition listener.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +90,7 @@ impl Default for ServerConfig {
             store: StoreConfig::default(),
             drain_deadline: Duration::from_secs(5),
             overload: OverloadConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -179,16 +190,16 @@ impl ServerLoad {
     }
 }
 
-/// Shared event-loop counters, summed over workers, reported through
-/// `STATS` (and [`Server::event_stats`]).
-struct ServerEvents {
+/// One worker's event-loop counters (padded slot: each worker writes only
+/// its own cache line).
+struct WorkerEventCounters {
     epoll_waits: AtomicU64,
     events_dispatched: AtomicU64,
     spurious_wakeups: AtomicU64,
     writev_saved: AtomicU64,
 }
 
-impl ServerEvents {
+impl WorkerEventCounters {
     fn new() -> Self {
         Self {
             epoll_waits: AtomicU64::new(0),
@@ -216,12 +227,45 @@ impl ServerEvents {
         }
     }
 
-    fn snapshot(&self) -> EventStats {
-        EventStats {
+    fn snapshot(&self) -> WorkerEvents {
+        WorkerEvents {
             epoll_waits: self.epoll_waits.load(Ordering::Relaxed),
             events_dispatched: self.events_dispatched.load(Ordering::Relaxed),
             spurious_wakeups: self.spurious_wakeups.load(Ordering::Relaxed),
             writev_saved: self.writev_saved.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Event-loop counters, one padded slot per worker, reported through
+/// `STATS` (and [`Server::event_stats`]) both aggregated and per worker —
+/// the per-worker rows are how an unbalanced accept distribution or one
+/// spinning worker shows up.
+struct ServerEvents {
+    workers: Vec<CachePadded<WorkerEventCounters>>,
+}
+
+impl ServerEvents {
+    fn new(workers: usize) -> Self {
+        Self {
+            workers: (0..workers)
+                .map(|_| CachePadded::new(WorkerEventCounters::new()))
+                .collect(),
+        }
+    }
+
+    fn worker(&self, slot: usize) -> &WorkerEventCounters {
+        &self.workers[slot]
+    }
+
+    fn snapshot(&self) -> EventStats {
+        let per_worker: Vec<WorkerEvents> = self.workers.iter().map(|w| w.snapshot()).collect();
+        EventStats {
+            epoll_waits: per_worker.iter().map(|w| w.epoll_waits).sum(),
+            events_dispatched: per_worker.iter().map(|w| w.events_dispatched).sum(),
+            spurious_wakeups: per_worker.iter().map(|w| w.spurious_wakeups).sum(),
+            writev_saved: per_worker.iter().map(|w| w.writev_saved).sum(),
+            per_worker,
         }
     }
 }
@@ -415,6 +459,10 @@ struct Conn {
     /// draining its responses (unflushed bytes crossed `wbuf_high`); cleared
     /// once they fall below `wbuf_low`.
     wpaused: bool,
+    /// When the most recent socket read delivered bytes — the queue-time
+    /// anchor for slow-request tracing (how long a frame sat buffered
+    /// before its execute pump reached it).
+    last_read: Option<Instant>,
 }
 
 impl Conn {
@@ -433,6 +481,7 @@ impl Conn {
             poisoned: false,
             dead: false,
             wpaused: false,
+            last_read: None,
         })
     }
 
@@ -490,7 +539,7 @@ impl Conn {
 
     /// Moves queued responses toward the socket with vectored writes.
     /// Returns whether bytes were written.
-    fn pump_write(&mut self, events: &ServerEvents) -> bool {
+    fn pump_write(&mut self, ev: &WorkerEventCounters) -> bool {
         let mut progress = false;
         while !self.chain.is_empty() {
             let mut iovs: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_WRITE_IOVECS.min(8));
@@ -506,7 +555,7 @@ impl Conn {
                     break;
                 }
                 Ok(n) => {
-                    events.note_writev(iovs.len());
+                    ev.note_writev(iovs.len());
                     self.chain.advance(n);
                     progress = true;
                 }
@@ -566,6 +615,9 @@ impl Conn {
                 }
             }
         }
+        if progress {
+            self.last_read = Some(Instant::now());
+        }
         progress
     }
 
@@ -573,6 +625,7 @@ impl Conn {
     /// budget and the write-buffer bound, shedding transactional commands
     /// while the worker is over its backlog watermark.  Returns whether any
     /// frame was served.
+    #[allow(clippy::too_many_arguments)]
     fn pump_execute(
         &mut self,
         store: &Store,
@@ -581,12 +634,18 @@ impl Conn {
         shedding: bool,
         load: &ServerLoad,
         events: &ServerEvents,
+        started: Instant,
+        tel: Option<&WorkerTel<'_>>,
     ) -> bool {
         if self.poisoned {
             return false;
         }
         let mut progress = false;
         let mut served = 0usize;
+        // Phase tallies for this pump, flushed to the registry once at the
+        // end (two relaxed adds per pump, not two per frame).
+        let mut decode_acc = 0u64;
+        let mut exec_acc = 0u64;
         loop {
             // Per-connection execution bounds: a deeply-pipelined peer gets
             // at most `conn_inflight` frames per pass, and never more
@@ -595,6 +654,7 @@ impl Conn {
             if served >= ov.conn_inflight || self.unflushed() >= ov.wbuf_high {
                 break;
             }
+            let t_decode = tel.map(|_| Instant::now());
             let frame = match proto::take_frame(&self.rbuf, &mut self.rpos) {
                 Ok(Some(f)) => f,
                 Ok(None) => break,
@@ -612,6 +672,7 @@ impl Conn {
             match proto::decode_request(frame) {
                 Ok((req_id, req)) => {
                     let opcode = proto::request_opcode(&req);
+                    let t_exec = tel.map(|_| Instant::now());
                     let resp = match &req {
                         // Shed only what is expensive: a transactional
                         // command costs a full retry loop, while a
@@ -646,14 +707,57 @@ impl Conn {
                         },
                         Request::Stats => {
                             let mut s = store.stats(h);
+                            s.uptime_secs = started.elapsed().as_secs();
                             s.load = Some(load.snapshot());
                             s.events = Some(events.snapshot());
                             Response::Stats(s)
                         }
                         Request::Sync => Response::Synced(store.sync()),
+                        // Fold-on-read: the registry and trace rings are
+                        // only aggregated when somebody asks.  With
+                        // telemetry disabled both answer empty rather than
+                        // erroring, so probes are cheap either way.
+                        Request::Metrics => Response::Metrics(match tel {
+                            Some(wt) => wt.tel.metrics_reply(),
+                            None => MetricsReply::default(),
+                        }),
+                        Request::Trace => Response::Trace(match tel {
+                            Some(wt) => wt.tel.trace_reply(),
+                            None => TraceReply::default(),
+                        }),
                     };
                     self.chain
                         .encode_with(|buf| proto::encode_response(buf, req_id, opcode, &resp));
+                    if let (Some(wt), Some(t_decode), Some(t_exec)) = (tel, t_decode, t_exec) {
+                        // Frame picked up → decoded → response encoded: the
+                        // decode/execute split feeds phase accounting; the
+                        // execute span is the per-opcode service time.
+                        let done = Instant::now();
+                        decode_acc += (t_exec - t_decode).as_nanos() as u64;
+                        let exec_ns = (done - t_exec).as_nanos() as u64;
+                        exec_acc += exec_ns;
+                        if let Some(op) = telemetry::op_index(opcode) {
+                            let retries = h.take_last_attempts().saturating_sub(1);
+                            let wm = wt.tel.worker(wt.slot);
+                            wm.record_op(op, exec_ns, retries);
+                            if let Response::Err(e) = &resp {
+                                wm.record_error(op, telemetry::error_index(*e));
+                            }
+                            if exec_ns >= wt.tel.slow_ns() {
+                                let queue_ns = self.last_read.map_or(0, |r| {
+                                    t_decode.saturating_duration_since(r).as_nanos() as u64
+                                });
+                                wt.tel.trace(wt.slot).push(TraceRecord {
+                                    opcode,
+                                    status: proto::response_status(&resp),
+                                    req_id: u64::from(req_id),
+                                    queue_ns,
+                                    exec_ns,
+                                    retries,
+                                });
+                            }
+                        }
+                    }
                 }
                 Err(_) => {
                     // Frame boundaries are intact, so answer and carry on.
@@ -678,7 +782,28 @@ impl Conn {
             self.rbuf.drain(..self.rpos);
             self.rpos = 0;
         }
+        if let Some(wt) = tel {
+            let wm = wt.tel.worker(wt.slot);
+            wm.add_phase_ns(PHASE_DECODE, decode_acc);
+            wm.add_phase_ns(PHASE_EXECUTE, exec_acc);
+        }
         progress
+    }
+
+    /// [`Conn::pump_write`] wrapped in flush-phase accounting when
+    /// telemetry is on (zero clock reads when it is off).
+    fn pump_write_timed(&mut self, ev: &WorkerEventCounters, tel: Option<&WorkerTel<'_>>) -> bool {
+        match tel {
+            None => self.pump_write(ev),
+            Some(wt) => {
+                let t = Instant::now();
+                let progress = self.pump_write(ev);
+                wt.tel
+                    .worker(wt.slot)
+                    .add_phase_ns(PHASE_FLUSH, t.elapsed().as_nanos() as u64);
+                progress
+            }
+        }
     }
 
     /// Whether another execute pump could make progress right now (used to
@@ -700,6 +825,14 @@ impl Conn {
     }
 }
 
+/// One worker's view of the shared [`Telemetry`]: its own slot for the
+/// allocation-free write path plus the shared state for the fold-on-read
+/// admin commands.
+struct WorkerTel<'a> {
+    tel: &'a Telemetry,
+    slot: usize,
+}
+
 struct WorkerShared {
     store: Arc<Store>,
     inbox: Arc<Mutex<Vec<TcpStream>>>,
@@ -708,6 +841,8 @@ struct WorkerShared {
     ov: OverloadConfig,
     load: Arc<ServerLoad>,
     events: Arc<ServerEvents>,
+    tel: Option<Arc<Telemetry>>,
+    started: Instant,
 }
 
 fn worker_loop(shared: WorkerShared, drain_deadline: Duration, slot: usize) {
@@ -719,7 +854,10 @@ fn worker_loop(shared: WorkerShared, drain_deadline: Duration, slot: usize) {
         ov,
         load,
         events,
+        tel,
+        started,
     } = shared;
+    let wt = tel.as_deref().map(|t| WorkerTel { tel: t, slot });
     let mut h = store.manager().register();
     let epoll = Epoll::new().expect("epoll_create1 failed");
     epoll
@@ -760,7 +898,15 @@ fn worker_loop(shared: WorkerShared, drain_deadline: Duration, slot: usize) {
         } else {
             IDLE_POLL_MS
         };
+        let t_wait = wt.as_ref().map(|_| Instant::now());
         let n = epoll.wait(&mut evbuf, timeout).unwrap_or(0);
+        if let (Some(wt), Some(t)) = (&wt, t_wait) {
+            // Includes idle poll timeouts by design: the epoll_wait share
+            // of a worker's time IS its idle fraction.
+            wt.tel
+                .worker(slot)
+                .add_phase_ns(PHASE_EPOLL_WAIT, t.elapsed().as_nanos() as u64);
+        }
 
         // Deliver readiness to the slab (the doorbell only needs draining:
         // its payload — new conns or the stop flag — is read elsewhere).
@@ -785,6 +931,7 @@ fn worker_loop(shared: WorkerShared, drain_deadline: Duration, slot: usize) {
         let mut spurious = 0u64;
         let mut backlog = 0u64;
         work_pending = false;
+        let ev = events.worker(slot);
         for (idx, slot) in conns.iter_mut().enumerate() {
             let Some(conn) = slot.as_mut() else {
                 continue;
@@ -792,14 +939,23 @@ fn worker_loop(shared: WorkerShared, drain_deadline: Duration, slot: usize) {
             let bits = std::mem::take(&mut conn.ready);
             let mut moved = false;
             if bits & EPOLLOUT != 0 {
-                moved |= conn.pump_write(&events);
+                moved |= conn.pump_write_timed(ev, wt.as_ref());
             }
             if bits & (EPOLLIN | EPOLLHUP | EPOLLERR) != 0 {
                 moved |= conn.pump_read(&ov);
             }
             if bits != 0 || conn.exec_pending {
-                moved |= conn.pump_execute(&store, &mut h, &ov, shedding, &load, &events);
-                moved |= conn.pump_write(&events);
+                moved |= conn.pump_execute(
+                    &store,
+                    &mut h,
+                    &ov,
+                    shedding,
+                    &load,
+                    &events,
+                    started,
+                    wt.as_ref(),
+                );
+                moved |= conn.pump_write_timed(ev, wt.as_ref());
             }
             if bits != 0 && !moved {
                 spurious += 1;
@@ -828,7 +984,7 @@ fn worker_loop(shared: WorkerShared, drain_deadline: Duration, slot: usize) {
             }
             backlog += conn.backlog_bytes() as u64;
         }
-        events.note_pass(dispatched, spurious);
+        ev.note_pass(dispatched, spurious);
 
         load.set_backlog(slot, backlog);
         if backlog >= ov.shed_high as u64 {
@@ -868,6 +1024,8 @@ pub struct Server {
     store: Arc<Store>,
     load: Arc<ServerLoad>,
     events: Arc<ServerEvents>,
+    tel: Option<Arc<Telemetry>>,
+    exporter: Option<MetricsExporter>,
     advancer: Option<EpochAdvancer>,
 }
 
@@ -887,7 +1045,16 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
 
         let load = Arc::new(ServerLoad::new(cfg.workers));
-        let events = Arc::new(ServerEvents::new());
+        let events = Arc::new(ServerEvents::new(cfg.workers));
+        let tel = cfg
+            .telemetry
+            .enabled
+            .then(|| Arc::new(Telemetry::new(&cfg.telemetry, cfg.workers)));
+        let exporter = match (&tel, &cfg.telemetry.metrics_addr) {
+            (Some(t), Some(addr)) => Some(MetricsExporter::start(addr, Arc::clone(t))?),
+            _ => None,
+        };
+        let started = Instant::now();
 
         let inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>> = (0..cfg.workers)
             .map(|_| Arc::new(Mutex::new(Vec::new())))
@@ -908,6 +1075,8 @@ impl Server {
                     ov: cfg.overload.clone(),
                     load: Arc::clone(&load),
                     events: Arc::clone(&events),
+                    tel: tel.clone(),
+                    started,
                 };
                 let deadline = cfg.drain_deadline;
                 std::thread::spawn(move || worker_loop(shared, deadline, slot))
@@ -960,6 +1129,8 @@ impl Server {
             store,
             load,
             events,
+            tel,
+            exporter,
             advancer,
         })
     }
@@ -974,6 +1145,19 @@ impl Server {
     /// remotely through `STATS`).
     pub fn event_stats(&self) -> EventStats {
         self.events.snapshot()
+    }
+
+    /// The telemetry state, when enabled: the metrics registry, the
+    /// slow-request rings, and the exposition renderers (also available
+    /// remotely through `METRICS`/`TRACE`).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.tel.as_deref()
+    }
+
+    /// The bound address of the Prometheus exposition listener, when one
+    /// was configured (resolves a `:0` port).
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.exporter.as_ref().map(MetricsExporter::local_addr)
     }
 
     /// The bound address (resolves the `:0` port).
@@ -1009,6 +1193,9 @@ impl Server {
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(e) = self.exporter.take() {
+            e.shutdown();
         }
         if let Some(adv) = self.advancer.take() {
             adv.shutdown();

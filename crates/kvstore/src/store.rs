@@ -1161,6 +1161,9 @@ impl Store {
             }
         }
         StatsReply {
+            // A bare store has no start instant; the server stamps uptime
+            // when it answers `STATS`.
+            uptime_secs: 0,
             tx: self.mgr.stats_snapshot(),
             domain: self.domain.as_ref().map(|d| d.stats()),
             // Admission control and the event loop live in the server; a

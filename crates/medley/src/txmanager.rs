@@ -274,6 +274,7 @@ impl TxManager {
                     stat_cm_escalations: 0,
                     abort_rate: 0,
                     stat_unflushed: 0,
+                    last_run_attempts: 0,
                 };
             }
         }
@@ -477,6 +478,10 @@ pub struct ThreadHandle {
     /// Feeds [`ContentionPolicy::Adaptive`].
     abort_rate: u32,
     stat_unflushed: u64,
+    /// Attempt count of the most recently finished `run_with` (1 = committed
+    /// first try).  Consumed by [`ThreadHandle::take_last_attempts`] so
+    /// service layers can attribute retries to the request that paid them.
+    last_run_attempts: u64,
 }
 
 /// Which commit path a transaction took (statistics bookkeeping).
@@ -967,15 +972,21 @@ impl ThreadHandle {
                     if !txn.is_open() {
                         // The body aborted explicitly but still returned Ok;
                         // treat the produced value as the result.
+                        drop(txn);
+                        self.last_run_attempts = attempts;
                         return Ok(value);
                     }
                     match txn.commit() {
                         Ok(()) => {
                             self.record_cm_outcome(false);
+                            self.last_run_attempts = attempts;
                             return Ok(value);
                         }
                         Err(TxError::Conflict) => {}
-                        Err(e) => return Err(e),
+                        Err(e) => {
+                            self.last_run_attempts = attempts;
+                            return Err(e);
+                        }
                     }
                 }
                 Err(abort) => {
@@ -991,7 +1002,10 @@ impl ThreadHandle {
                     }
                     drop(txn);
                     match abort.reason() {
-                        AbortReason::Explicit => return Err(TxError::Explicit),
+                        AbortReason::Explicit => {
+                            self.last_run_attempts = attempts;
+                            return Err(TxError::Explicit);
+                        }
                         AbortReason::Conflict => {}
                     }
                 }
@@ -1001,6 +1015,7 @@ impl ThreadHandle {
             self.record_cm_outcome(true);
             if let Some(max) = cfg.max_retries_value() {
                 if attempts > max {
+                    self.last_run_attempts = attempts;
                     return Err(TxError::RetriesExhausted);
                 }
             }
@@ -1024,6 +1039,18 @@ impl ThreadHandle {
     /// whose abort rate pins high.
     pub fn contention_ewma(&self) -> f64 {
         self.abort_rate as f64 / 1024.0
+    }
+
+    /// Returns the attempt count of the most recent [`run`](Self::run) /
+    /// [`run_with`](Self::run_with) call and resets it to zero — a committed
+    /// first try reads 1, N−1 conflict retries read N.  Point operations
+    /// that never enter `run_with` leave it at 0, so a service layer can
+    /// call this after *any* command and charge the retries (attempts beyond
+    /// the first) to the request that incurred them without threading
+    /// counters through every execution path.
+    #[inline]
+    pub fn take_last_attempts(&mut self) -> u64 {
+        std::mem::take(&mut self.last_run_attempts)
     }
 
     /// One contention-manager wait between conflict retries.  `attempts`

@@ -1,0 +1,126 @@
+//! Bounded slow-request trace ring.
+//!
+//! Each worker owns one ring; a request whose end-to-end time crosses the
+//! configured threshold pushes one fixed-size lifecycle record.  The ring
+//! is a mutex around a `VecDeque` — fine because the mutex is taken only
+//! for requests that already blew the threshold (and by the rare `TRACE`
+//! reader), never on the fast path.  When full, the oldest record is
+//! evicted and counted, so the ring reports both "the most recent N slow
+//! requests" and "how many more there were".
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One slow request's lifecycle, in raw protocol terms (`obs` does not
+/// interpret opcodes or status bytes — the embedding service does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Wire opcode of the request.
+    pub opcode: u8,
+    /// Request id echoed on the wire (correlates with client logs).
+    pub req_id: u64,
+    /// Approximate time from the bytes arriving off the socket to
+    /// execution starting, in nanoseconds.
+    pub queue_ns: u64,
+    /// Execution time (decode through response encode), in nanoseconds.
+    pub exec_ns: u64,
+    /// Transactional attempts beyond the first.
+    pub retries: u64,
+    /// Wire status byte of the response.
+    pub status: u8,
+}
+
+struct Inner {
+    buf: VecDeque<TraceRecord>,
+    evicted: u64,
+}
+
+/// A bounded ring of [`TraceRecord`]s with an eviction counter.
+pub struct TraceRing {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` records (capacity 0 keeps
+    /// only the eviction counter — every push evicts immediately).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                buf: VecDeque::with_capacity(capacity),
+                evicted: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pushes one record, evicting the oldest if the ring is full.
+    pub fn push(&self, rec: TraceRecord) {
+        let mut g = self.inner.lock().unwrap();
+        if g.buf.len() >= self.capacity {
+            if g.buf.pop_front().is_none() {
+                // capacity 0: the record itself is the eviction
+                g.evicted += 1;
+                return;
+            }
+            g.evicted += 1;
+        }
+        g.buf.push_back(rec);
+    }
+
+    /// Copies out the current records (oldest first) and the eviction
+    /// count, leaving the ring intact so repeated dumps are idempotent.
+    pub fn snapshot(&self) -> (Vec<TraceRecord>, u64) {
+        let g = self.inner.lock().unwrap();
+        (g.buf.iter().copied().collect(), g.evicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64) -> TraceRecord {
+        TraceRecord {
+            opcode: 0x01,
+            req_id: id,
+            queue_ns: 10,
+            exec_ns: 20,
+            retries: 0,
+            status: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_and_counts_evictions() {
+        let ring = TraceRing::new(3);
+        for id in 0..10 {
+            ring.push(rec(id));
+        }
+        let (records, evicted) = ring.snapshot();
+        assert_eq!(evicted, 7);
+        assert_eq!(
+            records.iter().map(|r| r.req_id).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        // Idempotent: snapshot again, same view.
+        let (again, evicted2) = ring.snapshot();
+        assert_eq!(again.len(), 3);
+        assert_eq!(evicted2, 7);
+    }
+
+    #[test]
+    fn under_capacity_nothing_is_evicted() {
+        let ring = TraceRing::new(8);
+        ring.push(rec(1));
+        ring.push(rec(2));
+        let (records, evicted) = ring.snapshot();
+        assert_eq!(records.len(), 2);
+        assert_eq!(evicted, 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Observability integration tests: the telemetry layer driven over real
+//! loopback TCP connections, plus the allocation guard for the hot path.
+//!
+//! * `metrics_attribute_ops_and_aborts_over_loopback` — mixed traffic
+//!   (including forced application errors) against a default server; the
+//!   `METRICS` reply must attribute at least three distinct opcodes with
+//!   non-zero latency totals and at least one abort-reason counter.
+//! * `trace_with_zero_threshold_captures_every_request` — a single-worker
+//!   server with `slow_threshold = 0` traces every tracked request, so the
+//!   ring's record/eviction counts are exactly determined by the command
+//!   count and capacity.
+//! * `telemetry_hot_path_does_not_allocate` — a counting global allocator
+//!   wraps the whole test binary; recording latencies, errors, phase time,
+//!   and steady-state trace pushes must not allocate at all.
+
+use kvstore::{Client, Server, ServerConfig, StoreConfig, TableKind, TelemetryConfig};
+use obs::{MetricsRegistry, RegistrySpec, TraceRecord, TraceRing};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// System allocator wrapped with an allocation counter.  Installed for the
+/// whole test binary; individual tests read deltas around the region they
+/// care about.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn metrics_attribute_ops_and_aborts_over_loopback() {
+    let cfg = ServerConfig {
+        workers: 2,
+        store: StoreConfig {
+            tables: TableKind::Mixed,
+            shards: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let server = Server::start(&cfg).expect("start server");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+
+    for k in 0..32u64 {
+        c.put(k, 1000).expect("put");
+    }
+    for k in 0..32u64 {
+        assert_eq!(c.get(k).expect("get"), Some(1000));
+    }
+    for k in 0..8u64 {
+        c.cas(k, 1000, 2000).expect("cas");
+    }
+    for k in 0..8u64 {
+        c.transfer(k, k + 8, 1).expect("transfer");
+    }
+    // Forced application errors: transfers from keys that do not exist
+    // must surface as abort-reason counters in the exposition.
+    for k in 1000..1008u64 {
+        assert!(c.transfer(k, 0, 1).is_err(), "missing source must fail");
+    }
+
+    let m = c.metrics().expect("metrics");
+    assert!(m.uptime_secs < 3600, "sane uptime");
+    let active: Vec<_> = m.ops.iter().filter(|o| o.hist.total() > 0).collect();
+    assert!(
+        active.len() >= 3,
+        "expected >=3 active opcodes, got {:?}",
+        m.ops.iter().map(|o| o.opcode).collect::<Vec<_>>()
+    );
+    let total_aborts: u64 = m.ops.iter().flat_map(|o| o.aborts.iter()).sum();
+    assert!(total_aborts >= 8, "forced errors must be counted as aborts");
+    // Event-loop phase accounting: something was decoded and executed.
+    assert_eq!(m.worker_phases.len(), cfg.workers);
+    let phase_total: u64 = m.worker_phases.iter().flatten().sum();
+    assert!(phase_total > 0, "phase accounting saw no work");
+
+    // The Prometheus rendering of the same snapshot names the ops.
+    let page = server
+        .telemetry()
+        .expect("telemetry on by default")
+        .render_prometheus();
+    assert!(page.contains("kvstore_uptime_seconds"));
+    assert!(page.contains("kvstore_op_latency_ns_bucket{op=\"get\""));
+    assert!(page.contains("kvstore_op_aborts_total"));
+
+    server.shutdown();
+}
+
+#[test]
+fn trace_with_zero_threshold_captures_every_request() {
+    const CAPACITY: usize = 16;
+    const COMMANDS: u64 = 100;
+
+    let cfg = ServerConfig {
+        // One worker, one connection: every tracked request lands in the
+        // same ring, so the arithmetic below is exact.
+        workers: 1,
+        store: StoreConfig {
+            shards: 2,
+            ..Default::default()
+        },
+        telemetry: TelemetryConfig {
+            slow_threshold: Duration::ZERO,
+            trace_capacity: CAPACITY,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let server = Server::start(&cfg).expect("start server");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+
+    for k in 0..COMMANDS {
+        c.put(k, k).expect("put");
+    }
+    // TRACE itself is an admin command and must not trace itself.
+    let t = c.trace().expect("trace");
+    assert_eq!(t.records.len(), CAPACITY);
+    assert_eq!(t.evicted, COMMANDS - CAPACITY as u64);
+    for r in &t.records {
+        assert_eq!(r.status, 0, "all puts succeeded");
+        assert!(r.exec_ns > 0, "execution took nonzero time");
+    }
+    // Idempotent: a second dump sees the same ring (the dump itself did
+    // not add records).
+    let t2 = c.trace().expect("trace again");
+    assert_eq!(t2.records.len(), CAPACITY);
+    assert_eq!(t2.evicted, t.evicted);
+
+    server.shutdown();
+}
+
+#[test]
+fn telemetry_hot_path_does_not_allocate() {
+    const SPEC: RegistrySpec = RegistrySpec {
+        ops: &["get", "put"],
+        errors: &["retry", "not_found"],
+        phases: &["decode", "execute"],
+    };
+    let registry = MetricsRegistry::new(SPEC, 2);
+    let ring = TraceRing::new(8);
+    let rec = TraceRecord {
+        opcode: 0x01,
+        req_id: 7,
+        queue_ns: 10,
+        exec_ns: 20,
+        retries: 0,
+        status: 0,
+    };
+    // Fill the ring first: steady state is pop-oldest + push-newest inside
+    // the preallocated deque.
+    for _ in 0..8 {
+        ring.push(rec);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let w = registry.worker((i % 2) as usize);
+        w.record_op((i % 2) as usize, 100 + i, i % 3);
+        w.record_error((i % 2) as usize, (i % 2) as usize);
+        w.add_phase_ns((i % 2) as usize, 50);
+        ring.push(rec);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "telemetry recording must be allocation-free"
+    );
+}
